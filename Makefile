@@ -1,0 +1,29 @@
+# Convenience targets for the repro repository.
+
+.PHONY: install test bench bench-tables examples all clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The experiment report tables of EXPERIMENTS.md (fast: timing disabled).
+bench-tables:
+	pytest benchmarks/ -q -s --benchmark-disable
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+all: test bench-tables examples
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info

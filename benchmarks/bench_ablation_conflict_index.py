@@ -1,0 +1,38 @@
+"""Ablation — hash-grouped conflict index vs. naive quadratic scan.
+
+DESIGN.md calls out the per-FD hash index as a design choice; this
+bench quantifies it against the quadratic pairwise baseline.
+"""
+
+import pytest
+
+from repro.core.conflicts import conflicting_pairs, naive_conflicting_pairs
+from repro.core.schema import Schema
+from repro.workloads.generators import random_instance_with_conflicts
+
+SCHEMA = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+SIZES = [100, 300, 900]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ablation_indexed_conflicts(benchmark, size):
+    instance = random_instance_with_conflicts(SCHEMA, size, 0.5, seed=size)
+    pairs = benchmark(lambda: conflicting_pairs(SCHEMA, instance))
+    benchmark.extra_info["facts"] = len(instance)
+    benchmark.extra_info["conflicts"] = len(pairs)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_ablation_naive_conflicts(benchmark, size):
+    instance = random_instance_with_conflicts(SCHEMA, size, 0.5, seed=size)
+    pairs = benchmark(lambda: naive_conflicting_pairs(SCHEMA, instance))
+    benchmark.extra_info["facts"] = len(instance)
+    benchmark.extra_info["conflicts"] = len(pairs)
+
+
+def test_ablation_results_agree():
+    for size in SIZES:
+        instance = random_instance_with_conflicts(SCHEMA, size, 0.5, seed=size)
+        assert conflicting_pairs(SCHEMA, instance) == naive_conflicting_pairs(
+            SCHEMA, instance
+        )

@@ -1,0 +1,88 @@
+"""E10 — Theorems 7.1/7.6: the ccp classification table.
+
+Regenerates the Section 7.1 worked classifications (Example 3.3 and its
+two Δ variants, the four Sa–Sd anchors) and measures the ccp classifier.
+"""
+
+from repro.core.classification import classify_ccp_schema
+from repro.core.schema import Schema
+from repro.hardness.schemas import CCP_HARD_SCHEMAS
+
+from bench_e2_classification import random_schema_pool
+from conftest import print_series
+
+NAMED = [
+    (
+        "Example-3.3",
+        Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> 2", "T: 1 -> {2,3,4}", "T: {2,3} -> 1"],
+        ),
+        "coNP-complete",
+    ),
+    (
+        "variant-mixed",
+        Schema.parse(
+            {"R": 3, "S": 3}, ["R: 1 -> {2,3}", "S: {} -> 1"]
+        ),
+        "coNP-complete",
+    ),
+    (
+        "variant-primary-key",
+        Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> {2,3}", "S: {1,2} -> 3"],
+        ),
+        "PTIME",
+    ),
+] + [
+    (f"S{letter}-(Sect-7.3)", schema, "coNP-complete")
+    for letter, schema in CCP_HARD_SCHEMAS.items()
+]
+
+
+def test_e10_named_schema_table(benchmark):
+    rows = benchmark(
+        lambda: [
+            (
+                name,
+                "PTIME"
+                if classify_ccp_schema(schema).is_tractable
+                else "coNP-complete",
+            )
+            for name, schema, _ in NAMED
+        ]
+    )
+    print_series(
+        "E10: Theorem 7.1 classification (ccp priorities)",
+        rows,
+        ("schema", "verdict"),
+    )
+    for (name, verdict), (_, _, expected) in zip(rows, NAMED):
+        assert verdict == expected, name
+
+
+def test_e10_ccp_class_within_classical_class(benchmark):
+    """The ccp-tractable class sits strictly inside the classical one."""
+    from repro.core.classification import classify_schema
+
+    pool = random_schema_pool(count=150, seed=10)
+
+    def census():
+        ccp_tractable = classical_tractable = both = 0
+        for schema in pool:
+            ccp = classify_ccp_schema(schema).is_tractable
+            classical = classify_schema(schema).is_tractable
+            ccp_tractable += ccp
+            classical_tractable += classical
+            both += ccp and classical
+            assert not (ccp and not classical)
+        return ccp_tractable, classical_tractable, both
+
+    ccp_count, classical_count, both = benchmark(census)
+    print_series(
+        "E10: tractable-class containment census",
+        [(len(pool), ccp_count, classical_count)],
+        ("schemas", "ccp-tractable", "classically-tractable"),
+    )
+    assert ccp_count < classical_count  # strict in the sample

@@ -1,0 +1,113 @@
+"""E11 — the dichotomy itself, observed empirically.
+
+On a *tractable* schema, checking time grows polynomially with instance
+size while the repair count explodes; on a *hard* schema, the complete
+checkers' cost grows with the certificate search space.  This bench
+produces the crossover series: identical instance sizes, PTIME checker
+vs. brute force on the tractable schema, and certificate search vs.
+brute force on the hard one.
+"""
+
+import time
+
+import pytest
+
+from repro.core.checking import (
+    check_globally_optimal,
+    check_globally_optimal_brute_force,
+    check_globally_optimal_search,
+)
+from repro.core.repairs import count_repairs
+from repro.core.schema import Schema
+
+from conftest import make_checking_input, print_series
+
+TRACTABLE = Schema.single_relation(["1 -> 2"], arity=2)
+HARD = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_e11_tractable_vs_brute_force_crossover():
+    """The PTIME checker wins by widening margins as size grows."""
+    rows = []
+    for size in (8, 12, 16, 20):
+        prioritizing, candidate = make_checking_input(
+            TRACTABLE, size, density=0.7, seed=size
+        )
+        fast_result, fast_time = timed(
+            lambda: check_globally_optimal(prioritizing, candidate)
+        )
+        slow_result, slow_time = timed(
+            lambda: check_globally_optimal_brute_force(
+                prioritizing, candidate
+            )
+        )
+        assert fast_result.is_optimal == slow_result.is_optimal
+        repairs = count_repairs(TRACTABLE, prioritizing.instance)
+        rows.append(
+            (
+                len(prioritizing.instance),
+                repairs,
+                f"{fast_time * 1000:.2f}",
+                f"{slow_time * 1000:.2f}",
+                f"{slow_time / max(fast_time, 1e-9):.1f}x",
+            )
+        )
+    print_series(
+        "E11: tractable schema — GRepCheck1FD vs brute force",
+        rows,
+        ("facts", "repairs", "ptime-ms", "brute-ms", "ratio"),
+    )
+    # Shape assertion: the brute force's disadvantage grows with size.
+    first_ratio = float(rows[0][4][:-1])
+    last_ratio = float(rows[-1][4][:-1])
+    assert last_ratio > first_ratio
+
+
+def test_e11_hard_schema_search_vs_brute_force():
+    rows = []
+    for size in (6, 8, 10, 12):
+        prioritizing, candidate = make_checking_input(
+            HARD, size, density=0.7, seed=size
+        )
+        search_result, search_time = timed(
+            lambda: check_globally_optimal_search(prioritizing, candidate)
+        )
+        brute_result, brute_time = timed(
+            lambda: check_globally_optimal_brute_force(
+                prioritizing, candidate
+            )
+        )
+        assert search_result.is_optimal == brute_result.is_optimal
+        rows.append(
+            (
+                len(prioritizing.instance),
+                f"{search_time * 1000:.2f}",
+                f"{brute_time * 1000:.2f}",
+                search_result.is_optimal,
+            )
+        )
+    print_series(
+        "E11: hard schema (S4) — certificate search vs brute force",
+        rows,
+        ("facts", "search-ms", "brute-ms", "optimal"),
+    )
+
+
+@pytest.mark.parametrize("size", [100, 200, 400])
+def test_e11_ptime_checker_large_instances(benchmark, size):
+    """The PTIME side keeps answering at sizes where enumeration is
+    astronomically out of reach."""
+    prioritizing, candidate = make_checking_input(
+        TRACTABLE, size, density=0.7, seed=size
+    )
+    benchmark(lambda: check_globally_optimal(prioritizing, candidate))
+    benchmark.extra_info["facts"] = len(prioritizing.instance)
+    benchmark.extra_info["repairs"] = str(
+        count_repairs(TRACTABLE, prioritizing.instance)
+    )

@@ -1,0 +1,117 @@
+"""E13 — measured scaling exponents for every polynomial algorithm.
+
+Turns "solvable in polynomial time" into numbers: fits
+``time ≈ c · n^k`` over a doubling size series for each PTIME checker
+and the classifier, asserting the exponents stay small.  (An
+exponential-time algorithm on the same series produces a large,
+range-dependent pseudo-exponent; see `tests/test_analysis.py`.)
+"""
+
+import random
+
+from repro.analysis import fit_power_law, measure_scaling
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.repairs import greedy_repair
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+from conftest import print_series
+
+SIZES = [50, 100, 200, 400]
+MAX_EXPONENT = 3.5  # generous: quadratic-ish algorithms with noise
+
+
+def _series(schema, checker, ccp=False):
+    def make_input(size):
+        instance = random_instance_with_conflicts(
+            schema, size, 0.6, seed=size
+        )
+        if ccp:
+            priority = random_ccp_priority(
+                schema, instance, cross_probability=0.03, seed=size
+            )
+        else:
+            priority = random_conflict_priority(schema, instance, seed=size)
+        prioritizing = PrioritizingInstance(
+            schema, instance, priority, ccp=ccp
+        )
+        candidate = greedy_repair(schema, instance, random.Random(size))
+        return prioritizing, candidate
+
+    points = measure_scaling(
+        make_input,
+        lambda payload: checker(payload[0], payload[1]),
+        sizes=SIZES,
+        repeats=2,
+    )
+    return fit_power_law(points), points
+
+
+def test_e13_exponent_table():
+    single_fd = Schema.single_relation(["1 -> 2"], arity=2)
+    two_keys = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+    cases = [
+        ("GRepCheck1FD", single_fd, check_globally_optimal, False),
+        ("GRepCheck2Keys", two_keys, check_globally_optimal, False),
+        ("ccp-primary-key", single_fd, check_globally_optimal, True),
+        ("pareto", two_keys, check_pareto_optimal, False),
+        ("completion", two_keys, check_completion_optimal, False),
+    ]
+    rows = []
+    for name, schema, checker, ccp in cases:
+        fit, points = _series(schema, checker, ccp=ccp)
+        rows.append(
+            (
+                name,
+                f"{fit.exponent:.2f}",
+                f"{fit.r_squared:.3f}",
+                f"{points[-1].seconds * 1000:.1f}ms@{points[-1].size}",
+            )
+        )
+        assert fit.exponent < MAX_EXPONENT, (name, fit.exponent)
+    print_series(
+        "E13: fitted scaling laws (time ~ n^k) for the PTIME algorithms",
+        rows,
+        ("algorithm", "exponent-k", "r^2", "largest-point"),
+    )
+
+
+def test_e13_classifier_exponent():
+    from repro.core.classification import classify_schema
+    from repro.core.fd import FD
+    from repro.core.signature import RelationSymbol, Signature
+    from repro.core.schema import Schema as SchemaClass
+
+    def make_schema(relation_count):
+        rng = random.Random(relation_count)
+        relations, fds = [], []
+        for index in range(relation_count):
+            name = f"R{index}"
+            relations.append(RelationSymbol(name, 5))
+            for _ in range(4):
+                lhs = frozenset(a for a in range(1, 6) if rng.random() < 0.4)
+                rhs = frozenset(a for a in range(1, 6) if rng.random() < 0.5)
+                fds.append(FD(name, lhs, rhs))
+        return SchemaClass(Signature(relations), fds)
+
+    points = measure_scaling(
+        make_schema,
+        lambda schema: classify_schema(schema),
+        sizes=[10, 20, 40, 80],
+        repeats=2,
+    )
+    fit = fit_power_law(points)
+    print_series(
+        "E13: classifier scaling in the number of relations",
+        [(f"{fit.exponent:.2f}", f"{fit.r_squared:.3f}")],
+        ("exponent-k", "r^2"),
+    )
+    assert fit.exponent < 2.0  # linear-ish in the relation count

@@ -1,0 +1,87 @@
+"""E14 — counting and uniqueness (the paper's concluding problems), on
+the consortium workload.
+
+The concluding remarks pose: how many globally-optimal repairs are
+there, and when is there exactly one?  This bench measures the
+polynomial repair-counting shortcut on the scaled running example and
+reports the optimal-repair census as the priority gets more decisive.
+"""
+
+import pytest
+
+from repro.core.counting import count_repairs_fast, optimal_repair_census
+from repro.core.repairs import count_repairs
+from repro.engine import RepairManager
+from repro.workloads.consortium import consortium_scenario, consortium_schema
+
+from conftest import print_series
+
+
+@pytest.mark.parametrize("books", [50, 100, 200])
+def test_e14_polynomial_repair_counting(benchmark, books):
+    prioritizing = consortium_scenario(
+        book_count=books, library_count=books // 5, seed=books
+    )
+    schema = consortium_schema()
+    total = benchmark(
+        lambda: count_repairs_fast(schema, prioritizing.instance)
+    )
+    benchmark.extra_info["facts"] = len(prioritizing.instance)
+    benchmark.extra_info["repairs"] = str(total)
+    assert total >= 1
+
+
+def test_e14_fast_count_matches_enumeration():
+    prioritizing = consortium_scenario(book_count=15, library_count=4, seed=1)
+    schema = consortium_schema()
+    assert count_repairs_fast(
+        schema, prioritizing.instance
+    ) == count_repairs(schema, prioritizing.instance)
+
+
+def test_e14_census_vs_priority_decisiveness():
+    """Decisive priorities collapse the optimal-repair count — the
+    paper's 'unambiguous cleaning' in motion.  With the trusted-catalog
+    priority the optimum is unique at every clash rate (the catalog
+    tier is internally consistent, and it wins every conflict); with
+    the priority stripped away, every repair is optimal."""
+    from repro.core import PrioritizingInstance, PriorityRelation
+
+    rows = []
+    for clash in (0.2, 0.5, 0.9):
+        prioritizing = consortium_scenario(
+            book_count=8,
+            library_count=3,
+            genre_clash_rate=clash,
+            location_clash_rate=clash,
+            seed=7,
+        )
+        census = optimal_repair_census(prioritizing)
+        unprioritized = PrioritizingInstance(
+            prioritizing.schema,
+            prioritizing.instance,
+            PriorityRelation([]),
+        )
+        bare_census = optimal_repair_census(unprioritized)
+        rows.append(
+            (
+                f"{clash:.1f}",
+                census["all"],
+                census["global"],
+                RepairManager(prioritizing).has_unique_optimal_repair(),
+                bare_census["global"],
+            )
+        )
+        assert census["global"] == 1  # catalog priority: unambiguous
+        assert bare_census["global"] == bare_census["all"]  # no priority
+    print_series(
+        "E14: repair census on the consortium workload",
+        rows,
+        (
+            "clash-rate",
+            "repairs",
+            "globally-optimal",
+            "unique",
+            "optimal-without-priority",
+        ),
+    )

@@ -1,0 +1,78 @@
+"""E15 — polynomial counting of *optimal* repairs (extension).
+
+The paper's concluding problem asks for the number of globally-optimal
+repairs.  For single-FD schemas the per-block eligibility argument
+(``repro.core.counting_optimal``) answers in polynomial time; this
+bench validates against enumeration where both run and measures the
+polynomial path at sizes where enumeration is out of reach.
+"""
+
+import pytest
+
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import check_globally_optimal
+from repro.core.counting import count_repairs_fast
+from repro.core.counting_optimal import (
+    count_globally_optimal_repairs,
+    count_pareto_optimal_repairs,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+from conftest import print_series
+
+SCHEMA = Schema.single_relation(["1 -> 2"], arity=2)
+
+
+def make_pri(size, seed):
+    instance = random_instance_with_conflicts(SCHEMA, size, 0.7, seed=seed)
+    priority = random_conflict_priority(
+        SCHEMA, instance, edge_probability=0.6, seed=seed
+    )
+    return PrioritizingInstance(SCHEMA, instance, priority)
+
+
+def test_e15_validation_table():
+    rows = []
+    for size in (8, 12, 16):
+        pri = make_pri(size, seed=size)
+        fast = count_globally_optimal_repairs(pri)
+        slow = sum(
+            1
+            for repair in enumerate_repairs(SCHEMA, pri.instance)
+            if check_globally_optimal(pri, repair).is_optimal
+        )
+        rows.append((len(pri.instance), slow, fast, fast == slow))
+        assert fast == slow
+    print_series(
+        "E15: optimal-repair counting — block formula vs enumeration",
+        rows,
+        ("facts", "enumerated", "block-formula", "agree"),
+    )
+
+
+def test_e15_beyond_enumeration_table():
+    rows = []
+    for size in (100, 200, 400):
+        pri = make_pri(size, seed=size)
+        total = count_repairs_fast(SCHEMA, pri.instance)
+        optimal = count_globally_optimal_repairs(pri)
+        pareto = count_pareto_optimal_repairs(pri)
+        rows.append(
+            (len(pri.instance), str(total), str(optimal), str(pareto))
+        )
+        assert 1 <= optimal <= pareto <= total
+    print_series(
+        "E15: counting at enumeration-hostile sizes",
+        rows,
+        ("facts", "repairs", "globally-optimal", "pareto-optimal"),
+    )
+
+
+@pytest.mark.parametrize("size", [100, 200, 400])
+def test_e15_counting_scaling(benchmark, size):
+    pri = make_pri(size, seed=size)
+    count = benchmark(lambda: count_globally_optimal_repairs(pri))
+    benchmark.extra_info["facts"] = len(pri.instance)
+    benchmark.extra_info["optimal_repairs"] = str(count)

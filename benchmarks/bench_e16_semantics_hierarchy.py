@@ -1,0 +1,67 @@
+"""E16 — the strict semantics hierarchy, counted at scale (extension).
+
+Staworko et al.'s three semantics nest (completion ⊆ global ⊆ Pareto)
+and the paper's examples show both inclusions strict.  Built from the
+two canonical separating blocks (the J3 phenomenon and the
+[14, Prop. 10(iii)] counterexample), an instance with ``k`` blocks of
+each kind has *exactly* ``2^k`` completion-, ``3^k`` globally-, and
+``6^k`` Pareto-optimal repairs — counted here in polynomial time and
+verified against enumeration at small ``k``.
+"""
+
+import pytest
+
+from repro.core.counting import optimal_repair_census
+from repro.core.counting_optimal import (
+    count_completion_optimal_repairs_single_fd,
+    count_globally_optimal_repairs,
+    count_pareto_optimal_repairs,
+)
+from repro.workloads.separations import separation_instance
+
+from conftest import print_series
+
+
+def test_e16_hierarchy_table():
+    rows = []
+    for k in (1, 2, 3, 10, 30):
+        pri = separation_instance(k)
+        completion = count_completion_optimal_repairs_single_fd(pri)
+        globally = count_globally_optimal_repairs(pri)
+        pareto = count_pareto_optimal_repairs(pri)
+        rows.append(
+            (k, len(pri.instance), str(completion), str(globally), str(pareto))
+        )
+        assert completion == 2 ** k
+        assert globally == 3 ** k
+        assert pareto == 6 ** k
+    print_series(
+        "E16: optimal-repair counts along the semantics chain",
+        rows,
+        ("blocks-k", "facts", "completion-opt", "globally-opt", "pareto-opt"),
+    )
+
+
+def test_e16_formulas_match_enumeration():
+    for k in (1, 2):
+        pri = separation_instance(k)
+        census = optimal_repair_census(pri)
+        assert census["completion"] == 2 ** k
+        assert census["global"] == 3 ** k
+        assert census["pareto"] == 6 ** k
+
+
+@pytest.mark.parametrize("k", [10, 20, 40])
+def test_e16_counting_scaling(benchmark, k):
+    pri = separation_instance(k)
+
+    def count_all():
+        return (
+            count_completion_optimal_repairs_single_fd(pri),
+            count_globally_optimal_repairs(pri),
+            count_pareto_optimal_repairs(pri),
+        )
+
+    completion, globally, pareto = benchmark(count_all)
+    benchmark.extra_info["facts"] = len(pri.instance)
+    assert completion < globally < pareto

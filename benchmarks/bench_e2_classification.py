@@ -1,0 +1,81 @@
+"""E2 — Theorem 3.1 / Examples 3.2–3.4: the classification table.
+
+Regenerates the paper's classification of every named schema and
+benchmarks the classifier over a pool of random schemas.
+"""
+
+import random
+
+from repro.core.classification import classify_schema
+from repro.core.fd import FD
+from repro.core.schema import Schema
+from repro.core.signature import RelationSymbol, Signature
+from repro.hardness.schemas import HARD_SCHEMAS
+from repro.workloads.scenarios import running_example
+
+from conftest import print_series
+
+NAMED = [
+    ("running-example", running_example().schema, True),
+    (
+        "Example-3.3",
+        Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> 2", "T: 1 -> {2,3,4}", "T: {2,3} -> 1"],
+        ),
+        True,
+    ),
+] + [
+    (f"S{i}-(Example-3.4)", schema, False)
+    for i, schema in HARD_SCHEMAS.items()
+]
+
+
+def random_schema_pool(count=200, seed=0):
+    rng = random.Random(seed)
+    pool = []
+    for index in range(count):
+        relations = []
+        fds = []
+        for r in range(rng.randint(1, 3)):
+            arity = rng.randint(1, 4)
+            name = f"R{r}"
+            relations.append(RelationSymbol(name, arity))
+            for _ in range(rng.randint(0, 3)):
+                universe = range(1, arity + 1)
+                lhs = frozenset(a for a in universe if rng.random() < 0.4)
+                rhs = frozenset(a for a in universe if rng.random() < 0.5)
+                fds.append(FD(name, lhs, rhs))
+        pool.append(Schema(Signature(relations), fds))
+    return pool
+
+
+def test_e2_named_schema_table(benchmark):
+    rows = benchmark(
+        lambda: [
+            (name, classify_schema(schema).is_tractable)
+            for name, schema, _ in NAMED
+        ]
+    )
+    print_series(
+        "E2: Theorem 3.1 classification of the paper's schemas",
+        [(name, "PTIME" if t else "coNP-complete") for name, t in rows],
+        ("schema", "verdict"),
+    )
+    for (name, tractable), (_, _, expected) in zip(rows, NAMED):
+        assert tractable == expected, name
+
+
+def test_e2_random_schema_pool(benchmark):
+    pool = random_schema_pool()
+    verdicts = benchmark(
+        lambda: [classify_schema(schema).is_tractable for schema in pool]
+    )
+    tractable = sum(verdicts)
+    print_series(
+        "E2: random schema pool census",
+        [(len(pool), tractable, len(pool) - tractable)],
+        ("schemas", "PTIME", "coNP-complete"),
+    )
+    # Both sides of the dichotomy are populated.
+    assert 0 < tractable < len(pool)

@@ -1,0 +1,66 @@
+"""E4 — Figure 4 (``GRepCheck2Keys``) + Figure 3: swap graphs at scale.
+
+Regenerates Figure 3's graphs from the running example and measures the
+two-keys checker on growing instances.
+"""
+
+import pytest
+
+from repro.core.checking import build_swap_graph, check_globally_optimal
+from repro.core.schema import Schema
+from repro.workloads.scenarios import running_example
+
+from conftest import make_checking_input, print_series
+
+SCHEMA = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+SIZES = [50, 100, 200, 400]
+
+
+def test_e4_figure_3_reconstruction(benchmark):
+    """Rebuild the G12/G21 graphs of Figure 3 and report their shape."""
+    example = running_example()
+    libloc = example.prioritizing.restrict_to_relation("LibLoc")
+    f = example.facts
+    j = libloc.instance.subinstance([f["d1a"], f["f2b"], f["f3c"]])
+
+    def build_both():
+        g12 = build_swap_graph(libloc, j, frozenset({1}), frozenset({2}))
+        g21 = build_swap_graph(libloc, j, frozenset({2}), frozenset({1}))
+        return g12, g21
+
+    g12, g21 = benchmark(build_both)
+
+    def census(graph):
+        forward = sum(
+            len(dsts)
+            for src, dsts in graph.edges.items()
+            if src[0] == "L"
+        )
+        backward = sum(
+            len(dsts)
+            for src, dsts in graph.edges.items()
+            if src[0] == "R"
+        )
+        return forward, backward, not graph.is_acyclic()
+
+    rows = [
+        ("G12", *census(g12)),
+        ("G21", *census(g21)),
+    ]
+    print_series(
+        "E4: Figure 3 swap graphs for J = {d1a, f2b, f3c}",
+        rows,
+        ("graph", "forward-edges", "backward-edges", "has-cycle"),
+    )
+    assert rows[0] == ("G12", 3, 0, False)  # no right-to-left edges
+    assert rows[1] == ("G21", 3, 2, True)   # the two paper edges + cycle
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e4_grepcheck2keys_scaling(benchmark, size):
+    prioritizing, candidate = make_checking_input(SCHEMA, size, seed=size)
+    result = benchmark(
+        lambda: check_globally_optimal(prioritizing, candidate)
+    )
+    assert result.method == "GRepCheck2Keys"
+    benchmark.extra_info["facts"] = len(prioritizing.instance)

@@ -1,0 +1,85 @@
+"""E5 — Lemma 5.2 / Figure 5: the Hamiltonian-cycle gadget.
+
+Asserts the reduction's correctness against Held–Karp on a sweep of
+graphs, reports the (polynomial) gadget sizes, and measures both the
+gadget construction and the certificate search that decides it.
+"""
+
+import pytest
+
+from repro.core.checking import check_globally_optimal_search
+from repro.hardness.hamiltonian import UndirectedGraph, has_hamiltonian_cycle
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
+from repro.workloads.graphs import erdos_renyi
+
+from conftest import print_series
+
+GRAPHS = [
+    ("figure-5", UndirectedGraph(2, [(0, 1)])),
+    ("C4", UndirectedGraph.cycle(4)),
+    ("P5", UndirectedGraph.path(5)),
+    ("K5", UndirectedGraph.complete(5)),
+    ("star-6", UndirectedGraph(6, [(0, i) for i in range(1, 6)])),
+    ("C8", UndirectedGraph.cycle(8)),
+]
+
+
+def test_e5_reduction_correctness_sweep():
+    rows = []
+    for name, graph in GRAPHS:
+        gadget = build_hamiltonian_gadget(graph)
+        expected = has_hamiltonian_cycle(graph)
+        result = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        rows.append(
+            (
+                name,
+                graph.node_count,
+                len(gadget.prioritizing.instance),
+                expected,
+                result.is_optimal,
+            )
+        )
+        assert expected != result.is_optimal, name
+    print_series(
+        "E5: Lemma 5.2 gadget — Hamiltonian iff J not globally optimal",
+        rows,
+        ("graph", "n", "gadget-facts", "hamiltonian", "J-optimal"),
+    )
+
+
+def test_e5_gadget_size_is_polynomial():
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        graph = UndirectedGraph.cycle(n)
+        gadget = build_hamiltonian_gadget(graph)
+        facts = len(gadget.prioritizing.instance)
+        rows.append((n, facts, facts / (n * n)))
+        # |I| = n(5n + 2m); a cycle has m = n edges except C2 (m = 1).
+        edge_count = len(graph.edges)
+        assert facts == n * (5 * n + 2 * edge_count)
+    print_series(
+        "E5: gadget size scaling (cycle graphs)",
+        rows,
+        ("n", "facts", "facts/n^2"),
+    )
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e5_gadget_construction_bench(benchmark, n):
+    graph = erdos_renyi(n, 0.5, seed=n)
+    gadget = benchmark(lambda: build_hamiltonian_gadget(graph))
+    benchmark.extra_info["facts"] = len(gadget.prioritizing.instance)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_e5_certificate_search_bench(benchmark, n):
+    graph = erdos_renyi(n, 0.5, seed=n)
+    gadget = build_hamiltonian_gadget(graph)
+    result = benchmark(
+        lambda: check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+    )
+    assert result.is_optimal != has_hamiltonian_cycle(graph)

@@ -1,0 +1,98 @@
+"""E6 — Lemmas 5.3/5.4: the Π fact transport, measured and verified.
+
+Verifies injectivity and pairwise consistency preservation on full fact
+universes for several ≥3-keys target schemas, then measures end-to-end
+transport of a gadget instance (Lemma 5.5's reduction pipeline).
+"""
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.core.checking import check_globally_optimal_search
+from repro.core.fact import Fact
+from repro.core.schema import Schema
+from repro.hardness.hamiltonian import UndirectedGraph
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
+from repro.hardness.pi_case1 import PiCase1, transport_input
+from repro.hardness.schemas import S1
+
+from conftest import print_series
+
+TARGETS = {
+    "arity-3-threekeys": Schema.single_relation(
+        ["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"], arity=3
+    ),
+    "arity-4-threekeys": Schema.single_relation(
+        ["{1,2} -> {3,4}", "{1,3} -> {2,4}", "{2,3} -> {1,4}"], arity=4
+    ),
+    "arity-5-fourkeys": Schema.single_relation(
+        [
+            "{1,2} -> {1,2,3,4,5}",
+            "{1,3} -> {1,2,3,4,5}",
+            "{2,3} -> {1,2,3,4,5}",
+            "{1,4} -> {1,2,3,4,5}",
+        ],
+        arity=5,
+    ),
+}
+
+
+def property_census(target):
+    pi = PiCase1(target)
+    facts = [Fact("R1", v) for v in product(range(3), repeat=3)]
+    images = {pi.apply(f) for f in facts}
+    injective = len(images) == len(facts)
+    preserved = all(
+        S1.is_consistent(S1.instance([f, g]))
+        == target.is_consistent(
+            target.instance([pi.apply(f), pi.apply(g)])
+        )
+        for f, g in combinations(facts, 2)
+    )
+    return injective, preserved, len(facts)
+
+
+def test_e6_pi_properties_table():
+    rows = []
+    for name, target in TARGETS.items():
+        injective, preserved, universe = property_census(target)
+        rows.append((name, universe, injective, preserved))
+        assert injective and preserved, name
+    print_series(
+        "E6: Π key properties (Lemmas 5.3/5.4), exhaustive universes",
+        rows,
+        ("target", "facts-tested", "injective", "consistency-preserved"),
+    )
+
+
+@pytest.mark.parametrize("name", list(TARGETS))
+def test_e6_pi_apply_bench(benchmark, name):
+    pi = PiCase1(TARGETS[name])
+    facts = [Fact("R1", v) for v in product(range(4), repeat=3)]
+    benchmark(lambda: [pi.apply(f) for f in facts])
+
+
+def test_e6_end_to_end_transport(benchmark):
+    gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(4))
+    pi = PiCase1(TARGETS["arity-4-threekeys"])
+    moved_pri, moved_repair = benchmark(
+        lambda: transport_input(pi, gadget.prioritizing, gadget.repair)
+    )
+    source = check_globally_optimal_search(
+        gadget.prioritizing, gadget.repair
+    )
+    moved = check_globally_optimal_search(moved_pri, moved_repair)
+    assert source.is_optimal == moved.is_optimal == False  # C4 is Hamiltonian
+    print_series(
+        "E6: transported gadget preserves the answer",
+        [
+            (
+                len(gadget.prioritizing.instance),
+                len(moved_pri.instance),
+                source.is_optimal,
+                moved.is_optimal,
+            )
+        ],
+        ("source-facts", "image-facts", "source-optimal", "image-optimal"),
+    )

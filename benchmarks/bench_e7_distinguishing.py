@@ -1,0 +1,95 @@
+"""E7 — Theorem 6.1: the distinguishing algorithm is polynomial.
+
+Measures classifier runtime as the schema grows (relations, FDs, and
+arity), asserting sane growth, and validates against an exhaustive
+equivalence search on small schemas.
+"""
+
+import random
+
+import pytest
+
+from repro.core.classification import classify_schema
+from repro.core.fd import FD
+from repro.core.schema import Schema
+from repro.core.signature import RelationSymbol, Signature
+
+from conftest import print_series
+
+
+def build_schema(relation_count, fds_per_relation, arity, seed=0):
+    rng = random.Random(seed)
+    relations = []
+    fds = []
+    for index in range(relation_count):
+        name = f"R{index}"
+        relations.append(RelationSymbol(name, arity))
+        for _ in range(fds_per_relation):
+            universe = range(1, arity + 1)
+            lhs = frozenset(a for a in universe if rng.random() < 0.4)
+            rhs = frozenset(a for a in universe if rng.random() < 0.5)
+            fds.append(FD(name, lhs, rhs))
+    return Schema(Signature(relations), fds)
+
+
+@pytest.mark.parametrize(
+    "relation_count, fds_per_relation, arity",
+    [(5, 3, 4), (20, 5, 6), (50, 8, 8), (100, 10, 10)],
+)
+def test_e7_classifier_scaling(benchmark, relation_count, fds_per_relation, arity):
+    schema = build_schema(relation_count, fds_per_relation, arity)
+    verdict = benchmark(lambda: classify_schema(schema))
+    benchmark.extra_info["relations"] = relation_count
+    benchmark.extra_info["fds"] = relation_count * fds_per_relation
+    assert len(verdict.per_relation) == relation_count
+
+
+def test_e7_exhaustive_validation():
+    """Classifier vs. brute-force candidate search on arity-3 schemas."""
+    import itertools
+
+    from repro.core.classification import (
+        equivalent_single_fd,
+        equivalent_two_keys,
+    )
+    from repro.core.fdset import FDSet
+
+    rng = random.Random(7)
+    universe = [1, 2, 3]
+    subsets = [
+        frozenset(s)
+        for size in range(4)
+        for s in itertools.combinations(universe, size)
+    ]
+    checked = 0
+    for _ in range(150):
+        fds = [
+            FD(
+                "R",
+                frozenset(a for a in universe if rng.random() < 0.4),
+                frozenset(a for a in universe if rng.random() < 0.5),
+            )
+            for _ in range(rng.randint(1, 3))
+        ]
+        fdset = FDSet("R", 3, fds)
+        # Exhaustive single-FD search.
+        single_exhaustive = any(
+            fdset.equivalent_to_fds([FD("R", lhs, rhs)])
+            for lhs in subsets
+            for rhs in subsets
+        )
+        assert (equivalent_single_fd(fdset) is not None) == single_exhaustive
+        # Exhaustive two-keys search.
+        full = frozenset(universe)
+        two_exhaustive = any(
+            fdset.equivalent_to_fds([FD("R", a1, full), FD("R", a2, full)])
+            for a1 in subsets
+            for a2 in subsets
+        )
+        assert (equivalent_two_keys(fdset) is not None) == two_exhaustive
+        checked += 1
+    print_series(
+        "E7: classifier vs exhaustive equivalence search",
+        [(checked, "all agree")],
+        ("schemas-checked", "outcome"),
+    )

@@ -1,0 +1,72 @@
+"""E8 — Lemma 7.3 / Figure 6 / Example 7.2: ccp primary-key checking.
+
+Rebuilds the Example 7.2 graph, asserts the lemma's verdict, and
+measures the ``G_{J,I\\J}`` cycle test on growing ccp instances.
+"""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import build_ccp_graph, check_globally_optimal
+
+from conftest import make_checking_input, print_series
+
+SCHEMA = Schema.single_relation(["1 -> 2"], arity=2)
+SIZES = [50, 100, 200, 400]
+
+
+def example_7_2():
+    rows = [(0, 1), (0, 2), (0, "c"), (1, "a"), (1, "b"), (1, 3)]
+    facts = {row: Fact("R", row) for row in rows}
+    edges = [
+        (facts[(0, "c")], facts[(1, "b")]),
+        (facts[(1, "b")], facts[(1, "a")]),
+        (facts[(1, 3)], facts[(0, 2)]),
+        (facts[(0, 2)], facts[(0, 1)]),
+    ]
+    prioritizing = PrioritizingInstance(
+        SCHEMA,
+        SCHEMA.instance(facts.values()),
+        PriorityRelation(edges),
+        ccp=True,
+    )
+    candidate = prioritizing.instance.subinstance(
+        [facts[(0, 2)], facts[(1, "b")]]
+    )
+    return prioritizing, candidate
+
+
+def test_e8_figure_6_reconstruction(benchmark):
+    prioritizing, candidate = example_7_2()
+    graph = benchmark(lambda: build_ccp_graph(prioritizing, candidate))
+    edge_count = sum(len(s) for s in graph.successors.values())
+    cycle = graph.find_cycle()
+    print_series(
+        "E8: Example 7.2 graph G_{J, I\\J}",
+        [
+            (
+                len(graph.candidate_facts),
+                len(graph.outsider_facts),
+                edge_count,
+                cycle is not None,
+                len(cycle or []),
+            )
+        ],
+        ("|J|", "|I\\J|", "edges", "has-cycle", "cycle-length"),
+    )
+    assert cycle is not None  # J is improvable, per the example
+    result = check_globally_optimal(prioritizing, candidate)
+    assert not result.is_optimal
+    assert result.method == "ccp-primary-key"
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e8_ccp_primary_key_scaling(benchmark, size):
+    prioritizing, candidate = make_checking_input(
+        SCHEMA, size, seed=size, ccp=True
+    )
+    result = benchmark(
+        lambda: check_globally_optimal(prioritizing, candidate)
+    )
+    assert result.method == "ccp-primary-key"
+    benchmark.extra_info["facts"] = len(prioritizing.instance)

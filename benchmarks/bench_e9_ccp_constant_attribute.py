@@ -1,0 +1,73 @@
+"""E9 — Proposition 7.5: ccp constant-attribute checking.
+
+Asserts the key structural fact — the number of repairs of a
+constant-attribute-assignment instance is polynomial (at most the
+number of facts per relation, multiplied across relations) — and
+measures the partition-enumeration checker.
+"""
+
+import pytest
+
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import (
+    check_globally_optimal,
+    enumerate_partition_repairs,
+)
+from repro.core.repairs import greedy_repair
+from repro.workloads.generators import random_instance
+from repro.workloads.priorities import random_ccp_priority
+
+from conftest import print_series
+
+SCHEMA = Schema.parse(
+    {"R": 2, "S": 2}, ["R: {} -> 1", "S: {} -> 1"]
+)
+SIZES = [30, 60, 120, 240]
+
+
+def make_input(size, seed):
+    import random
+
+    instance = random_instance(
+        SCHEMA,
+        size,
+        {"R": [5, size], "S": [4, size]},
+        seed=seed,
+    )
+    priority = random_ccp_priority(
+        SCHEMA, instance, cross_probability=0.02, seed=seed
+    )
+    prioritizing = PrioritizingInstance(SCHEMA, instance, priority, ccp=True)
+    candidate = greedy_repair(SCHEMA, instance, random.Random(seed))
+    return prioritizing, candidate
+
+
+def test_e9_repair_count_is_polynomial():
+    rows = []
+    for size in SIZES:
+        prioritizing, _ = make_input(size, seed=size)
+        repair_count = sum(
+            1
+            for _ in enumerate_partition_repairs(
+                SCHEMA, prioritizing.instance
+            )
+        )
+        facts = len(prioritizing.instance)
+        rows.append((size, facts, repair_count))
+        # At most 5 * 4 partition combinations regardless of size.
+        assert repair_count <= 20
+    print_series(
+        "E9: constant-attribute instances have polynomially many repairs",
+        rows,
+        ("requested", "facts", "repairs"),
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_e9_ccp_constant_attribute_scaling(benchmark, size):
+    prioritizing, candidate = make_input(size, seed=size)
+    result = benchmark(
+        lambda: check_globally_optimal(prioritizing, candidate)
+    )
+    assert result.method == "ccp-constant-attribute"
+    benchmark.extra_info["facts"] = len(prioritizing.instance)

@@ -1,0 +1,59 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one experiment of DESIGN.md's
+per-experiment index (E1–E12 plus ablations).  Benchmarks both *measure*
+(via pytest-benchmark) and *assert the paper's qualitative claims* (who
+wins, how things scale); EXPERIMENTS.md records the measured outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrioritizingInstance, Schema
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+
+def make_checking_input(
+    schema: Schema,
+    size: int,
+    density: float = 0.6,
+    seed: int = 0,
+    ccp: bool = False,
+):
+    """A (prioritizing instance, candidate repair) pair of ~`size` facts.
+
+    The candidate is a greedy repair, so the checkers exercise their
+    full logic rather than bailing at the pre-checks.
+    """
+    import random
+
+    from repro.core.repairs import greedy_repair
+
+    instance = random_instance_with_conflicts(schema, size, density, seed=seed)
+    if ccp:
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.05, seed=seed
+        )
+    else:
+        priority = random_conflict_priority(schema, instance, seed=seed)
+    prioritizing = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+    candidate = greedy_repair(schema, instance, random.Random(seed))
+    return prioritizing, candidate
+
+
+def print_series(title: str, rows, headers) -> None:
+    """Print a small aligned table (the experiment's reported series)."""
+    print()
+    print(f"--- {title} ---")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

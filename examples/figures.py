@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's graph figures as GraphViz DOT.
+
+Writes four DOT files (default output directory: ``docs/figures/``):
+
+* ``figure3_g12.dot`` / ``figure3_g21.dot`` — the swap graphs of
+  Figure 3 (Example 4.3's J = {d1a, f2b, f3c});
+* ``figure6_gji.dot`` — the ccp graph of Figure 6 (Example 7.2);
+* ``figure1_conflicts.dot`` — the conflict graph of the Figure 1
+  instance (implicit in the paper, handy for intuition).
+
+Paste any of them into a GraphViz viewer to see the figures.
+
+Run:  python examples/figures.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import build_ccp_graph, build_swap_graph
+from repro.viz import (
+    ccp_graph_to_dot,
+    conflict_graph_to_dot,
+    swap_graph_to_dot,
+)
+from repro.workloads.scenarios import running_example
+
+
+def figure_3(out_dir: Path) -> None:
+    example = running_example()
+    facts = example.facts
+    libloc = example.prioritizing.restrict_to_relation("LibLoc")
+    j = libloc.instance.subinstance(
+        [facts["d1a"], facts["f2b"], facts["f3c"]]
+    )
+    g12 = build_swap_graph(libloc, j, frozenset({1}), frozenset({2}))
+    g21 = build_swap_graph(libloc, j, frozenset({2}), frozenset({1}))
+    (out_dir / "figure3_g12.dot").write_text(swap_graph_to_dot(g12, "G12"))
+    (out_dir / "figure3_g21.dot").write_text(swap_graph_to_dot(g21, "G21"))
+    print("figure3_g12.dot / figure3_g21.dot written "
+          f"(G21 has a cycle: {not g21.is_acyclic()})")
+
+
+def figure_6(out_dir: Path) -> None:
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    rows = [(0, 1), (0, 2), (0, "c"), (1, "a"), (1, "b"), (1, 3)]
+    facts = {row: Fact("R", row) for row in rows}
+    prioritizing = PrioritizingInstance(
+        schema,
+        schema.instance(facts.values()),
+        PriorityRelation(
+            [
+                (facts[(0, "c")], facts[(1, "b")]),
+                (facts[(1, "b")], facts[(1, "a")]),
+                (facts[(1, 3)], facts[(0, 2)]),
+                (facts[(0, 2)], facts[(0, 1)]),
+            ]
+        ),
+        ccp=True,
+    )
+    candidate = prioritizing.instance.subinstance(
+        [facts[(0, 2)], facts[(1, "b")]]
+    )
+    graph = build_ccp_graph(prioritizing, candidate)
+    (out_dir / "figure6_gji.dot").write_text(ccp_graph_to_dot(graph))
+    print(f"figure6_gji.dot written (has a cycle: {not graph.is_acyclic()})")
+
+
+def figure_1_conflicts(out_dir: Path) -> None:
+    example = running_example()
+    dot = conflict_graph_to_dot(
+        example.schema, example.prioritizing.instance
+    )
+    (out_dir / "figure1_conflicts.dot").write_text(dot)
+    print("figure1_conflicts.dot written")
+
+
+def main() -> None:
+    default = Path(__file__).resolve().parent.parent / "docs" / "figures"
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    out_dir.mkdir(parents=True, exist_ok=True)
+    figure_3(out_dir)
+    figure_6(out_dir)
+    figure_1_conflicts(out_dir)
+
+
+if __name__ == "__main__":
+    main()

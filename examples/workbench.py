@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A cleaning workbench session: profile, persist, count, certify.
+
+Shows the supporting toolkit around the core algorithms:
+
+* profile a dirty database's conflict structure (``repro.analysis``);
+* save the full cleaning problem to JSON and reload it (``repro.io``);
+* count repairs — polynomially, via the single-FD block formula — and
+  count the *optimal* ones per semantics (``repro.core.counting``),
+  answering the paper's "is the cleaning unambiguous?" question;
+* fit the empirical scaling law of the PTIME checker.
+
+Run:  python examples/workbench.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import (
+    fit_power_law,
+    instance_statistics,
+    measure_scaling,
+    priority_statistics,
+)
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import check_globally_optimal
+from repro.core.counting import (
+    count_repairs_fast,
+    optimal_repair_census,
+)
+from repro.core.repairs import greedy_repair
+from repro.io import load_prioritizing_instance, save_prioritizing_instance
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+
+def main() -> None:
+    schema = Schema.single_relation(
+        ["1 -> 2"], relation="Reading", arity=2,
+        attribute_names=("sensor", "value"),
+    )
+    instance = random_instance_with_conflicts(schema, 18, 0.65, seed=11)
+    priority = random_conflict_priority(schema, instance, seed=11)
+    prioritizing = PrioritizingInstance(schema, instance, priority)
+
+    print("=== profile ===")
+    stats = instance_statistics(schema, instance)
+    print(f"facts: {stats.fact_count}, conflicts: {stats.conflict_count}, "
+          f"conflict rate: {stats.conflict_rate:.2f}, "
+          f"largest component: {stats.largest_component}")
+    pstats = priority_statistics(prioritizing)
+    print(f"priority edges: {pstats['edge_count']:.0f} "
+          f"(orientation rate {pstats['orientation_rate']:.2f})")
+
+    print("\n=== persist and reload ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "problem.json"
+        save_prioritizing_instance(prioritizing, path)
+        prioritizing = load_prioritizing_instance(path)
+        print(f"round-tripped {path.stat().st_size} bytes of JSON")
+
+    print("\n=== counting ===")
+    total = count_repairs_fast(schema, prioritizing.instance)
+    print(f"repairs (block formula, polynomial): {total}")
+    census = optimal_repair_census(prioritizing)
+    print(f"census: {census}")
+    unambiguous = census["global"] == 1
+    print(f"cleaning unambiguous under global semantics: {unambiguous}")
+
+    print("\n=== empirical scaling law of GRepCheck1FD ===")
+
+    def make_input(size):
+        import random
+
+        inst = random_instance_with_conflicts(schema, size, 0.6, seed=size)
+        pri = PrioritizingInstance(
+            schema, inst, random_conflict_priority(schema, inst, seed=size)
+        )
+        return pri, greedy_repair(schema, inst, random.Random(size))
+
+    points = measure_scaling(
+        make_input,
+        lambda payload: check_globally_optimal(payload[0], payload[1]),
+        sizes=[50, 100, 200, 400],
+        repeats=2,
+    )
+    for point in points:
+        print(f"  n={point.size:4d}  {point.seconds * 1000:7.2f} ms")
+    fit = fit_power_law(points)
+    print(f"fitted: time ~ n^{fit.exponent:.2f} (r^2 = {fit.r_squared:.3f})"
+          " -- a small exponent, as Theorem 3.1 promises")
+
+
+if __name__ == "__main__":
+    main()

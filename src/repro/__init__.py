@@ -1,0 +1,88 @@
+"""repro: preferred repairs of inconsistent databases, and their
+complexity dichotomies.
+
+A complete, executable reproduction of *"Dichotomies in the Complexity of
+Preferred Repairs"* (Fagin, Kimelfeld, Kolaitis; PODS 2015): the data
+model of prioritized inconsistent databases, the polynomial-time
+globally-optimal repair-checking algorithms for the tractable schemas,
+the brute-force baseline for the hard ones, the dichotomy classifiers,
+and the coNP-hardness gadgetry.
+
+Quickstart
+----------
+>>> from repro import Schema, Fact, PriorityRelation, PrioritizingInstance
+>>> from repro import check_globally_optimal, classify_schema
+>>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+>>> f, g = Fact("R", (1, "new")), Fact("R", (1, "old"))
+>>> instance = schema.instance([f, g])
+>>> pri = PrioritizingInstance(schema, instance, PriorityRelation([(f, g)]))
+>>> check_globally_optimal(pri, schema.instance([f])).is_optimal
+True
+>>> check_globally_optimal(pri, schema.instance([g])).is_optimal
+False
+>>> classify_schema(schema).is_tractable
+True
+"""
+
+from repro.core.fact import Fact
+from repro.core.fd import FD
+from repro.core.fdset import FDSet
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.core.signature import RelationSymbol, Signature
+from repro.core.checking import (
+    CheckResult,
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.classification import (
+    CcpVerdict,
+    ClassificationVerdict,
+    classify_ccp_schema,
+    classify_schema,
+)
+from repro.core.counting import (
+    count_optimal_repairs,
+    count_repairs_fast,
+    has_unique_optimal_repair,
+    optimal_repair_census,
+)
+from repro.exceptions import ReproError
+from repro.explain import (
+    explain_ccp_classification,
+    explain_check,
+    explain_classification,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fact",
+    "FD",
+    "FDSet",
+    "Instance",
+    "PrioritizingInstance",
+    "PriorityRelation",
+    "Schema",
+    "RelationSymbol",
+    "Signature",
+    "CheckResult",
+    "check_globally_optimal",
+    "check_pareto_optimal",
+    "check_completion_optimal",
+    "ClassificationVerdict",
+    "CcpVerdict",
+    "classify_schema",
+    "classify_ccp_schema",
+    "count_repairs_fast",
+    "count_optimal_repairs",
+    "optimal_repair_census",
+    "has_unique_optimal_repair",
+    "explain_check",
+    "explain_classification",
+    "explain_ccp_classification",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""Analysis utilities: instance statistics and empirical scaling laws.
+
+Two kinds of helper live here:
+
+* :func:`instance_statistics` / :func:`priority_statistics` — structural
+  profiles of a cleaning problem (conflict counts, component sizes,
+  block shapes, priority coverage), used when deciding whether a
+  workload is even interesting;
+* :func:`measure_scaling` + :func:`fit_power_law` — run a callable over
+  growing input sizes and fit ``time ≈ c · n^k`` by least squares on the
+  log-log series, which is how the experiment suite turns "the checker
+  is polynomial" into a measured, checkable number.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.conflicts import conflict_graph, conflicting_pairs
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.schema import Schema
+
+__all__ = [
+    "InstanceStatistics",
+    "instance_statistics",
+    "priority_statistics",
+    "ScalingPoint",
+    "measure_scaling",
+    "PowerLawFit",
+    "fit_power_law",
+]
+
+
+@dataclass(frozen=True)
+class InstanceStatistics:
+    """A structural profile of an instance under a schema.
+
+    Attributes
+    ----------
+    fact_count:
+        Total number of facts.
+    conflict_count:
+        Number of conflicting (unordered) fact pairs.
+    conflicting_fact_count:
+        Number of facts participating in at least one conflict.
+    component_count:
+        Connected components of the conflict graph with ≥ 2 facts.
+    largest_component:
+        Size of the largest conflict component (0 if none).
+    """
+
+    fact_count: int
+    conflict_count: int
+    conflicting_fact_count: int
+    component_count: int
+    largest_component: int
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of facts involved in some conflict."""
+        if self.fact_count == 0:
+            return 0.0
+        return self.conflicting_fact_count / self.fact_count
+
+
+def instance_statistics(schema: Schema, instance: Instance) -> InstanceStatistics:
+    """Profile ``instance``'s conflict structure.
+
+    Examples
+    --------
+    >>> from repro.core import Fact
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> inst = schema.instance(
+    ...     [Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (2, "c"))]
+    ... )
+    >>> stats = instance_statistics(schema, inst)
+    >>> stats.conflict_count, stats.largest_component
+    (1, 2)
+    """
+    adjacency = conflict_graph(schema, instance)
+    pairs = conflicting_pairs(schema, instance)
+    conflicting = [fact for fact, neigh in adjacency.items() if neigh]
+    seen = set()
+    component_sizes: List[int] = []
+    for start in conflicting:
+        if start in seen:
+            continue
+        size = 0
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            size += 1
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        component_sizes.append(size)
+    return InstanceStatistics(
+        fact_count=len(instance),
+        conflict_count=len(pairs),
+        conflicting_fact_count=len(conflicting),
+        component_count=len(component_sizes),
+        largest_component=max(component_sizes, default=0),
+    )
+
+
+def priority_statistics(
+    prioritizing: PrioritizingInstance,
+) -> Dict[str, float]:
+    """Profile the priority relation relative to the conflicts.
+
+    Returns counts plus ``orientation_rate`` — the fraction of
+    conflicting pairs the priority orders (1.0 for completions) — and
+    ``cross_conflict_edges`` (non-zero only for ccp instances).
+    """
+    pairs = conflicting_pairs(
+        prioritizing.schema, prioritizing.instance
+    )
+    oriented = 0
+    cross = 0
+    for better, worse in prioritizing.priority.edges:
+        if frozenset({better, worse}) in pairs:
+            oriented += 1
+        else:
+            cross += 1
+    return {
+        "edge_count": float(len(prioritizing.priority)),
+        "conflict_count": float(len(pairs)),
+        "oriented_conflicts": float(oriented),
+        "cross_conflict_edges": float(cross),
+        "orientation_rate": (oriented / len(pairs)) if pairs else 1.0,
+    }
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measurement of the scaling series."""
+
+    size: int
+    seconds: float
+
+
+def measure_scaling(
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    sizes: Sequence[int],
+    repeats: int = 3,
+) -> List[ScalingPoint]:
+    """Time ``run`` on inputs of growing ``sizes`` (best of ``repeats``).
+
+    ``make_input(size)`` builds the input (untimed); ``run(input)`` is
+    the timed operation.
+    """
+    points: List[ScalingPoint] = []
+    for size in sizes:
+        payload = make_input(size)
+        best = min(
+            _time_once(run, payload) for _ in range(max(1, repeats))
+        )
+        points.append(ScalingPoint(size=size, seconds=best))
+    return points
+
+
+def _time_once(run: Callable[[object], object], payload: object) -> float:
+    start = time.perf_counter()
+    run(payload)
+    return time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A least-squares fit ``seconds ≈ coefficient · size^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, size: int) -> float:
+        """The fitted time at ``size``."""
+        return self.coefficient * size ** self.exponent
+
+
+def fit_power_law(points: Sequence[ScalingPoint]) -> PowerLawFit:
+    """Fit a power law to a scaling series via log-log least squares.
+
+    A polynomial-time algorithm shows up as a small, stable exponent;
+    an exponential one as an exponent that *grows* with the size range
+    (no power law fits, and ``r_squared`` degrades on wide ranges).
+
+    Examples
+    --------
+    >>> pts = [ScalingPoint(n, 2e-6 * n ** 2) for n in (10, 20, 40, 80)]
+    >>> fit = fit_power_law(pts)
+    >>> round(fit.exponent, 2)
+    2.0
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    sizes = np.array([p.size for p in points], dtype=float)
+    seconds = np.array([max(p.seconds, 1e-9) for p in points], dtype=float)
+    log_sizes = np.log(sizes)
+    log_seconds = np.log(seconds)
+    exponent, intercept = np.polyfit(log_sizes, log_seconds, 1)
+    predicted = exponent * log_sizes + intercept
+    residual = log_seconds - predicted
+    total = log_seconds - log_seconds.mean()
+    denominator = float(total @ total)
+    r_squared = (
+        1.0 - float(residual @ residual) / denominator
+        if denominator > 0
+        else 1.0
+    )
+    return PowerLawFit(
+        exponent=float(exponent),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )

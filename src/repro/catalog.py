@@ -1,0 +1,145 @@
+"""A catalog of every schema the paper names, as ready-made objects.
+
+Collecting the named schemas in one place keeps the examples, tests,
+and benchmarks in exact sync about what "Example 3.3" or "the Section 7
+primary-key variant" means, and gives downstream users a menu of
+schemas with known classification outcomes to experiment with.
+
+Each entry records where in the paper the schema appears and which side
+of each dichotomy it falls on (asserted by the test suite against the
+classifiers, so the catalog can never silently drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.schema import Schema
+from repro.hardness.schemas import CCP_HARD_SCHEMAS, HARD_SCHEMAS
+
+__all__ = ["CatalogEntry", "PAPER_SCHEMAS", "entries", "get"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A named schema with its expected classification.
+
+    Attributes
+    ----------
+    name:
+        The catalog key.
+    schema:
+        The schema object.
+    reference:
+        Where the schema appears in the paper.
+    classical_tractable:
+        The Theorem 3.1 side (True = PTIME).
+    ccp_tractable:
+        The Theorem 7.1 side (True = PTIME).
+    """
+
+    name: str
+    schema: Schema
+    reference: str
+    classical_tractable: bool
+    ccp_tractable: bool
+
+
+def _running_example_schema() -> Schema:
+    from repro.workloads.scenarios import running_example
+
+    return running_example().schema
+
+
+def _build() -> Dict[str, CatalogEntry]:
+    catalog: Dict[str, CatalogEntry] = {}
+
+    def add(name, schema, reference, classical, ccp):
+        catalog[name] = CatalogEntry(name, schema, reference, classical, ccp)
+
+    add(
+        "running-example",
+        _running_example_schema(),
+        "Examples 2.1-2.2, Figure 1",
+        True,
+        False,  # LibLoc has two keys: ccp-hard (cf. Sd)
+    )
+    add(
+        "example-3.3",
+        Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> 2", "T: 1 -> {2,3,4}", "T: {2,3} -> 1"],
+        ),
+        "Example 3.3",
+        True,
+        False,
+    )
+    for index, schema in HARD_SCHEMAS.items():
+        add(
+            f"s{index}",
+            schema,
+            f"Example 3.4, schema S{index}",
+            False,
+            False,
+        )
+    for letter, schema in CCP_HARD_SCHEMAS.items():
+        # Sb ({1→2} on a ternary relation) and Sd (two keys) are
+        # classically tractable; Sa mixes tractable relations; Sc has a
+        # hard relation ({1→2, ∅→3} is neither one FD nor two keys).
+        classical = {
+            "a": True,
+            "b": True,
+            "c": False,
+            "d": True,
+        }[letter]
+        add(
+            f"s{letter}",
+            schema,
+            f"Section 7.3, schema S{letter}",
+            classical,
+            False,
+        )
+    add(
+        "section-7-mixed-variant",
+        Schema.parse({"R": 3, "S": 3}, ["R: 1 -> {2,3}", "S: {} -> 1"]),
+        "Section 7.1 discussion (first Δ replacement)",
+        True,
+        False,
+    )
+    add(
+        "section-7-primary-key-variant",
+        Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> {2,3}", "S: {1,2} -> 3"],
+        ),
+        "Section 7.1 discussion (second Δ replacement)",
+        True,
+        True,
+    )
+    return catalog
+
+
+#: All named schemas, keyed by catalog name.
+PAPER_SCHEMAS: Dict[str, CatalogEntry] = _build()
+
+
+def entries() -> Iterator[CatalogEntry]:
+    """Iterate all catalog entries in a stable order."""
+    for name in sorted(PAPER_SCHEMAS):
+        yield PAPER_SCHEMAS[name]
+
+
+def get(name: str) -> CatalogEntry:
+    """Look up a catalog entry by name.
+
+    Examples
+    --------
+    >>> get("s4").classical_tractable
+    False
+    """
+    try:
+        return PAPER_SCHEMAS[name]
+    except KeyError:
+        known = ", ".join(sorted(PAPER_SCHEMAS))
+        raise KeyError(f"unknown catalog schema {name!r}; known: {known}")

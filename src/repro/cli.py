@@ -1,0 +1,264 @@
+"""Command-line interface for the :mod:`repro` library.
+
+Subcommands
+-----------
+``repro classify "R:3; 1 -> 2; 2 -> 3"``
+    Classify a schema under Theorem 3.1 and Theorem 7.1 and print both
+    verdicts with witnesses.
+``repro demo``
+    Replay the paper's running example end to end.
+``repro gadget --nodes 4 --edges 0,1 1,2 2,3 3,0``
+    Build the Lemma 5.2 gadget for a graph, run the checker, and report
+    whether the encoded Hamiltonian-cycle answer matches Held–Karp.
+``repro hard-schemas``
+    Print the classification of the paper's ten anchor schemas.
+``repro clean problem.json --out cleaned.json``
+    Load a JSON cleaning problem (see :mod:`repro.io`), produce a
+    preferred repair, certify it, and optionally write the result.
+``repro explain "R:3; 1 -> 2; 2 -> 3"``
+    Prose classification of a schema under both theorems.
+``repro stats problem.json``
+    Profile a problem's conflict and priority structure.
+
+Schema syntax: ``<Rel>:<arity>[, <Rel>:<arity> ...]; <fd>; <fd>; ...``
+with FDs in the paper's shorthand, e.g. ``R: {1,2} -> 3``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.classification import classify_ccp_schema, classify_schema
+from repro.core.schema import Schema
+
+__all__ = ["main", "parse_schema_spec"]
+
+
+def parse_schema_spec(spec: str) -> Schema:
+    """Parse the CLI schema syntax into a :class:`Schema`.
+
+    Examples
+    --------
+    >>> schema = parse_schema_spec("R:3; R: 1 -> 2; R: 2 -> 3")
+    >>> sorted(schema.relation_names())
+    ['R']
+    """
+    parts = [part.strip() for part in spec.split(";") if part.strip()]
+    if not parts:
+        raise ValueError("empty schema specification")
+    relations = {}
+    for decl in parts[0].split(","):
+        name, _, arity_text = decl.partition(":")
+        relations[name.strip()] = int(arity_text)
+    fd_texts = parts[1:]
+    if len(relations) == 1:
+        only = next(iter(relations))
+        fd_texts = [
+            text if ":" in text else f"{only}: {text}" for text in fd_texts
+        ]
+    return Schema.parse(relations, fd_texts)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    schema = parse_schema_spec(args.schema)
+    print(classify_schema(schema).describe())
+    print()
+    print(classify_ccp_schema(schema).describe())
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro.core.checking import check_globally_optimal, check_pareto_optimal
+    from repro.workloads.scenarios import running_example
+
+    example = running_example()
+    prioritizing = example.prioritizing
+    print("Running example (Figure 1):", prioritizing)
+    print(classify_schema(example.schema).describe())
+    for name, candidate in [
+        ("J1", example.j1),
+        ("J2", example.j2),
+        ("J3", example.j3),
+        ("J4", example.j4),
+    ]:
+        globally = check_globally_optimal(prioritizing, candidate)
+        pareto = check_pareto_optimal(prioritizing, candidate)
+        print(
+            f"{name}: globally-optimal={globally.is_optimal} "
+            f"pareto-optimal={pareto.is_optimal}"
+        )
+    return 0
+
+
+def _cmd_gadget(args: argparse.Namespace) -> int:
+    from repro.core.checking import check_globally_optimal_search
+    from repro.hardness.hamiltonian import UndirectedGraph, has_hamiltonian_cycle
+    from repro.hardness.hc_reduction import build_hamiltonian_gadget
+
+    edges = []
+    for token in args.edges or []:
+        u, _, v = token.partition(",")
+        edges.append((int(u), int(v)))
+    graph = UndirectedGraph(args.nodes, edges)
+    gadget = build_hamiltonian_gadget(graph)
+    expected = has_hamiltonian_cycle(graph)
+    result = check_globally_optimal_search(
+        gadget.prioritizing, gadget.repair
+    )
+    print(f"graph: {args.nodes} nodes, {len(edges)} edges")
+    print(f"gadget instance: {len(gadget.prioritizing.instance)} facts")
+    print(f"Held-Karp says Hamiltonian: {expected}")
+    print(f"checker says J globally-optimal: {result.is_optimal}")
+    agree = expected != result.is_optimal
+    print("reduction agrees:", agree)
+    if result.improvement is not None:
+        print(
+            "extracted cycle:",
+            gadget.cycle_from_improvement(result.improvement),
+        )
+    return 0 if agree else 1
+
+
+def _cmd_hard_schemas(_: argparse.Namespace) -> int:
+    from repro.hardness.schemas import CCP_HARD_SCHEMAS, HARD_SCHEMAS
+
+    print("Theorem 3.1 anchors (Example 3.4):")
+    for index, schema in HARD_SCHEMAS.items():
+        verdict = classify_schema(schema)
+        print(f"  S{index}: tractable={verdict.is_tractable}")
+    print("Theorem 7.1 anchors (Section 7.3):")
+    for letter, schema in CCP_HARD_SCHEMAS.items():
+        verdict = classify_ccp_schema(schema)
+        print(f"  S{letter}: ccp-tractable={verdict.is_tractable}")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    from repro.core.checking import check_globally_optimal
+    from repro.engine import RepairManager
+    from repro.io import (
+        instance_to_list,
+        load_prioritizing_instance,
+    )
+
+    prioritizing = load_prioritizing_instance(args.problem)
+    manager = RepairManager(prioritizing)
+    cleaned = manager.clean(seed=args.seed)
+    result = check_globally_optimal(prioritizing, cleaned)
+    print(
+        f"loaded {len(prioritizing.instance)} facts, "
+        f"{len(prioritizing.priority)} priorities"
+    )
+    print(f"cleaned instance keeps {len(cleaned)} facts")
+    print(f"certified globally-optimal: {result.is_optimal} "
+          f"(algorithm: {result.method})")
+    if args.out:
+        import json
+
+        Path(args.out).write_text(
+            json.dumps(instance_to_list(cleaned), indent=2)
+        )
+        print(f"wrote {args.out}")
+    return 0 if result.is_optimal else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.explain import (
+        explain_ccp_classification,
+        explain_classification,
+    )
+
+    schema = parse_schema_spec(args.schema)
+    print(explain_classification(schema))
+    print()
+    print(explain_ccp_classification(schema))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis import instance_statistics, priority_statistics
+    from repro.io import load_prioritizing_instance
+
+    prioritizing = load_prioritizing_instance(args.problem)
+    stats = instance_statistics(prioritizing.schema, prioritizing.instance)
+    pstats = priority_statistics(prioritizing)
+    print(f"facts:                 {stats.fact_count}")
+    print(f"conflicting pairs:     {stats.conflict_count}")
+    print(f"conflict rate:         {stats.conflict_rate:.2f}")
+    print(f"conflict components:   {stats.component_count} "
+          f"(largest: {stats.largest_component})")
+    print(f"priority edges:        {pstats['edge_count']:.0f}")
+    print(f"orientation rate:      {pstats['orientation_rate']:.2f}")
+    print(f"cross-conflict edges:  {pstats['cross_conflict_edges']:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preferred repairs and their complexity dichotomies "
+        "(Fagin, Kimelfeld, Kolaitis; PODS 2015).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify = subparsers.add_parser(
+        "classify", help="classify a schema under both dichotomies"
+    )
+    classify.add_argument(
+        "schema",
+        help='e.g. "R:3; 1 -> 2; 2 -> 3" or "R:2, S:2; R: 1 -> 2; S: {} -> 1"',
+    )
+    classify.set_defaults(handler=_cmd_classify)
+
+    demo = subparsers.add_parser("demo", help="replay the running example")
+    demo.set_defaults(handler=_cmd_demo)
+
+    gadget = subparsers.add_parser(
+        "gadget", help="run the Lemma 5.2 Hamiltonian-cycle gadget"
+    )
+    gadget.add_argument("--nodes", type=int, required=True)
+    gadget.add_argument(
+        "--edges", nargs="*", help='edges as "u,v" tokens', default=[]
+    )
+    gadget.set_defaults(handler=_cmd_gadget)
+
+    hard = subparsers.add_parser(
+        "hard-schemas", help="classify the paper's ten anchor schemas"
+    )
+    hard.set_defaults(handler=_cmd_hard_schemas)
+
+    clean = subparsers.add_parser(
+        "clean", help="clean a JSON problem file into a preferred repair"
+    )
+    clean.add_argument("problem", help="path to a repro.io problem JSON")
+    clean.add_argument("--out", help="write the cleaned facts here")
+    clean.add_argument("--seed", type=int, default=0)
+    clean.set_defaults(handler=_cmd_clean)
+
+    explain = subparsers.add_parser(
+        "explain", help="prose classification under both theorems"
+    )
+    explain.add_argument("schema", help="schema spec (see classify)")
+    explain.set_defaults(handler=_cmd_explain)
+
+    stats = subparsers.add_parser(
+        "stats", help="profile a JSON problem's conflict structure"
+    )
+    stats.add_argument("problem", help="path to a repro.io problem JSON")
+    stats.set_defaults(handler=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

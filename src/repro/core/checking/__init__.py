@@ -1,0 +1,79 @@
+"""Repair-checking algorithms for all three preference semantics.
+
+Entry points
+------------
+:func:`check_globally_optimal`
+    Dichotomy-guided globally-optimal checking (Sections 3, 4, 7).
+:func:`check_pareto_optimal`
+    Pareto-optimal checking, PTIME for every schema (Section 3).
+:func:`check_completion_optimal`
+    Completion-optimal checking, PTIME for every schema (Section 3).
+
+Individual algorithms (``GRepCheck1FD``, ``GRepCheck2Keys``, the ccp
+checkers, and the brute-force baselines) are exposed for direct use by
+experiments and tests.
+"""
+
+from repro.core.checking.brute_force import (
+    check_globally_optimal_brute_force,
+    check_globally_optimal_paranoid,
+)
+from repro.core.checking.ccp_constant_attribute import (
+    check_ccp_constant_attribute,
+    consistent_partitions,
+    enumerate_partition_repairs,
+)
+from repro.core.checking.ccp_primary_key import (
+    CcpGraph,
+    build_ccp_graph,
+    check_ccp_primary_key,
+)
+from repro.core.checking.completion import (
+    brute_force_completion_check,
+    check_completion_optimal,
+    enumerate_completion_optimal_repairs,
+    greedy_completion_repair,
+)
+from repro.core.checking.dispatcher import check_globally_optimal
+from repro.core.checking.improvement_search import (
+    check_globally_optimal_search,
+    find_global_improvement,
+)
+from repro.core.checking.pareto import check_pareto_optimal
+from repro.core.checking.result import CheckResult
+from repro.core.checking.single_fd import (
+    block_swap,
+    check_single_fd,
+    check_single_fd_literal,
+)
+from repro.core.checking.two_keys import (
+    SwapGraph,
+    build_swap_graph,
+    check_two_keys,
+)
+
+__all__ = [
+    "CheckResult",
+    "check_globally_optimal",
+    "check_pareto_optimal",
+    "check_completion_optimal",
+    "check_globally_optimal_brute_force",
+    "check_globally_optimal_paranoid",
+    "check_globally_optimal_search",
+    "find_global_improvement",
+    "check_single_fd",
+    "check_single_fd_literal",
+    "block_swap",
+    "check_two_keys",
+    "build_swap_graph",
+    "SwapGraph",
+    "check_ccp_primary_key",
+    "build_ccp_graph",
+    "CcpGraph",
+    "check_ccp_constant_attribute",
+    "consistent_partitions",
+    "enumerate_partition_repairs",
+    "greedy_completion_repair",
+    "enumerate_completion_optimal_repairs",
+    "brute_force_completion_check",
+]

@@ -1,0 +1,96 @@
+"""Brute-force globally-optimal repair checking (the coNP baseline).
+
+Globally-optimal repair checking is in coNP for every schema (Staworko et
+al., quoted in Section 3): a certificate for a "no" answer is a global
+improvement.  The brute-force checker searches for that certificate by
+enumerating *repairs* — which suffices by the following observation:
+
+    If ``J'`` is any global improvement of a repair ``J``, extend ``J'``
+    to a maximal consistent ``J''``.  Then ``J \\ J'' ⊆ J \\ J'`` and
+    ``J'' \\ J ⊇ J' \\ J``, so the improvement condition carries over,
+    and ``J'' ≠ J`` because ``J' \\ J ≠ ∅`` (a global improvement of a
+    *maximal* ``J`` cannot be a strict subset).  Hence an improvement
+    exists iff a maximal one does.
+
+The argument does not use the conflicting-facts restriction, so the same
+checker is the baseline for ccp-instances.
+
+For hardened cross-validation, :func:`check_globally_optimal_paranoid`
+scans *all* consistent subinstances instead (exponentially worse; used in
+tests to validate the repair-restricted search itself).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from repro.core.checking.result import CheckResult
+from repro.core.checking.validation import precheck
+from repro.core.improvements import is_global_improvement
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.repairs import enumerate_repairs
+
+__all__ = [
+    "check_globally_optimal_brute_force",
+    "check_globally_optimal_paranoid",
+]
+
+
+def check_globally_optimal_brute_force(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """Decide global optimality by enumerating all repairs.
+
+    Exponential in the number of conflicts; correct for every schema and
+    for both classical and ccp priorities.  This is the baseline every
+    polynomial checker is validated against, and the only complete
+    checker available on the coNP-hard side of the dichotomies.
+    """
+    failure = precheck(prioritizing, candidate, "global", "brute-force")
+    if failure is not None:
+        return failure
+    priority = prioritizing.priority
+    for repair in enumerate_repairs(prioritizing.schema, prioritizing.instance):
+        if is_global_improvement(repair, candidate, priority):
+            return CheckResult(
+                is_optimal=False,
+                semantics="global",
+                method="brute-force",
+                improvement=repair,
+                reason="an improving repair exists",
+            )
+    return CheckResult(is_optimal=True, semantics="global", method="brute-force")
+
+
+def check_globally_optimal_paranoid(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """Decide global optimality by scanning all consistent subinstances.
+
+    Only usable for instances of roughly a dozen facts; exists to
+    cross-validate :func:`check_globally_optimal_brute_force` (and, by
+    transitivity, everything validated against it).
+    """
+    failure = precheck(prioritizing, candidate, "global", "paranoid")
+    if failure is not None:
+        return failure
+    schema = prioritizing.schema
+    instance = prioritizing.instance
+    priority = prioritizing.priority
+    facts = sorted(instance.facts, key=str)
+    for size in range(len(facts) + 1):
+        for subset in combinations(facts, size):
+            other = instance.subinstance(subset)
+            if not schema.is_consistent(other):
+                continue
+            if is_global_improvement(other, candidate, priority):
+                return CheckResult(
+                    is_optimal=False,
+                    semantics="global",
+                    method="paranoid",
+                    improvement=other,
+                    reason="an improving consistent subinstance exists",
+                )
+    return CheckResult(is_optimal=True, semantics="global", method="paranoid")

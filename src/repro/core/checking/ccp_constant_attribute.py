@@ -1,0 +1,96 @@
+"""CCP globally-optimal checking for constant-attribute assignments.
+
+Implements Section 7.2.2 of the paper: when every ``Δ|R`` is equivalent
+to a single constant-attribute constraint ``∅ → B``, the repairs of an
+instance have a very rigid shape.  A *consistent partition* of ``R^I`` is
+a maximal set of ``R``-facts agreeing on ``⟦R.∅^Δ⟧`` (the attributes
+determined by the empty set); a subinstance is a repair iff it consists
+of exactly one consistent partition of each non-empty ``R^I``.
+
+There are therefore at most ``∏_R |R^I|`` repairs — polynomially many for
+a fixed schema (the degree is the number of relations, as the paper
+notes).  The checker enumerates them all and tests each for being a
+global improvement of the candidate (Proposition 7.5).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.core.checking.result import CheckResult
+from repro.core.checking.validation import precheck
+from repro.core.fact import Fact
+from repro.core.improvements import is_global_improvement
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.schema import Schema
+
+__all__ = [
+    "check_ccp_constant_attribute",
+    "consistent_partitions",
+    "enumerate_partition_repairs",
+]
+
+_METHOD = "ccp-constant-attribute"
+
+
+def consistent_partitions(
+    schema: Schema, instance: Instance, relation_name: str
+) -> List[FrozenSet[Fact]]:
+    """The consistent partitions of ``R^I`` (Section 7.2.2).
+
+    Facts are grouped by their projection onto ``⟦R.∅^Δ⟧``; each group is
+    one maximal consistent subset of ``R^I``.
+    """
+    determined = schema.fds_for(relation_name).constant_attributes()
+    groups: Dict[Tuple, List[Fact]] = {}
+    for fact in instance.relation(relation_name):
+        groups.setdefault(fact.project(determined), []).append(fact)
+    return [frozenset(group) for _, group in sorted(groups.items(), key=str)]
+
+
+def enumerate_partition_repairs(
+    schema: Schema, instance: Instance
+) -> Iterator[Instance]:
+    """All repairs of a constant-attribute-assignment instance.
+
+    The cross product of consistent partitions over the non-empty
+    relations; polynomially many for a fixed schema.
+    """
+    per_relation = [
+        consistent_partitions(schema, instance, name)
+        for name in sorted(instance.relation_names_used())
+    ]
+    for combination in product(*per_relation):
+        chosen: FrozenSet[Fact] = frozenset().union(*combination) if combination else frozenset()
+        yield instance.subinstance(chosen)
+
+
+def check_ccp_constant_attribute(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """Globally-optimal checking for constant-attribute assignments
+    (Proposition 7.5).
+
+    Valid whenever every ``Δ|R`` is equivalent to a single ``∅ → B``;
+    the dispatcher verifies that before routing here.  Enumerates the
+    polynomially many repairs and tests each for improving on the
+    candidate.
+    """
+    failure = precheck(prioritizing, candidate, "global", _METHOD)
+    if failure is not None:
+        return failure
+    priority = prioritizing.priority
+    for repair in enumerate_partition_repairs(
+        prioritizing.schema, prioritizing.instance
+    ):
+        if is_global_improvement(repair, candidate, priority):
+            return CheckResult(
+                is_optimal=False,
+                semantics="global",
+                method=_METHOD,
+                improvement=repair,
+                reason="an improving partition-combination repair exists",
+            )
+    return CheckResult(is_optimal=True, semantics="global", method=_METHOD)

@@ -1,0 +1,144 @@
+"""CCP globally-optimal checking for primary-key assignments.
+
+Implements Section 7.2.1 of the paper: when every ``Δ|R`` is equivalent
+to a single key constraint, globally-optimal repair checking over
+*cross-conflict* prioritizing instances reduces to acyclicity of the
+directed bipartite graph ``G_{J, I\\J}`` (Lemma 7.3):
+
+* one side holds the facts of ``J``, the other the facts of ``I \\ J``;
+* ``f → g`` for ``f ∈ J``, ``g ∈ I \\ J`` whenever ``f`` and ``g``
+  conflict;
+* ``g → f`` whenever ``g ≻ f`` (which, in the ccp setting, needs no
+  conflict between them).
+
+``J`` has a global improvement iff the graph has a cycle; the "if"
+direction of the lemma turns a simple cycle ``f1 → g1 → … → gk → f1``
+into the improvement ``(J \\ {f1..fk}) ∪ {g1..gk}``, which this
+implementation reconstructs as the witness.  Figure 6 of the paper shows
+the graph for Example 7.2; :func:`build_ccp_graph` is exposed so
+experiment E8 can regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.checking.result import CheckResult
+from repro.core.checking.validation import precheck
+from repro.core.conflicts import ConflictIndex
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+
+__all__ = ["check_ccp_primary_key", "build_ccp_graph", "CcpGraph"]
+
+_METHOD = "ccp-primary-key"
+
+
+@dataclass(frozen=True)
+class CcpGraph:
+    """The graph ``G_{J, I\\J}`` of Section 7.2.1.
+
+    Nodes are facts; ``successors`` maps each fact to its out-neighbours.
+    Facts of the candidate sit on one side, outsiders on the other, and
+    edges alternate sides by construction.
+    """
+
+    candidate_facts: FrozenSet[Fact]
+    outsider_facts: FrozenSet[Fact]
+    successors: Dict[Fact, FrozenSet[Fact]]
+
+    def find_cycle(self) -> Optional[List[Fact]]:
+        """A simple directed cycle as a fact list, or None if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Fact, int] = {}
+        parent: Dict[Fact, Optional[Fact]] = {}
+        for root in self.successors:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[Fact, List[Fact]]] = [
+                (root, list(self.successors.get(root, frozenset())))
+            ]
+            color[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, pending = stack[-1]
+                if pending:
+                    child = pending.pop()
+                    state = color.get(child, WHITE)
+                    if state == GRAY:
+                        cycle = [node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]  # type: ignore[assignment]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append(
+                            (child, list(self.successors.get(child, frozenset())))
+                        )
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph has no directed cycle."""
+        return self.find_cycle() is None
+
+
+def build_ccp_graph(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CcpGraph:
+    """Build ``G_{J, I\\J}`` for the given candidate repair."""
+    instance = prioritizing.instance
+    priority = prioritizing.priority
+    outsiders = instance.facts - candidate.facts
+    candidate_index = ConflictIndex(prioritizing.schema, candidate)
+    successors: Dict[Fact, Set[Fact]] = {fact: set() for fact in instance}
+    for outsider in outsiders:
+        # Conflict edges f -> g run from the candidate side.
+        for blocked in candidate_index.conflicts_of(outsider):
+            successors[blocked].add(outsider)
+        # Priority edges g -> f run back; only edges into J matter.
+        for dominated in priority.preferred_over(outsider):
+            if dominated in candidate.facts:
+                successors[outsider].add(dominated)
+    return CcpGraph(
+        candidate_facts=candidate.facts,
+        outsider_facts=frozenset(outsiders),
+        successors={f: frozenset(s) for f, s in successors.items()},
+    )
+
+
+def check_ccp_primary_key(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """Globally-optimal checking for primary-key assignments (Lemma 7.3).
+
+    Valid whenever every ``Δ|R`` is equivalent to a single key
+    constraint; the dispatcher verifies that via
+    :func:`repro.core.classification.classify_ccp_schema` before routing
+    here.  Works for classical priorities as well (they are a special
+    case of ccp priorities).
+    """
+    failure = precheck(prioritizing, candidate, "global", _METHOD)
+    if failure is not None:
+        return failure
+    graph = build_ccp_graph(prioritizing, candidate)
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        removed = [fact for fact in cycle if fact in candidate.facts]
+        added = [fact for fact in cycle if fact not in candidate.facts]
+        return CheckResult(
+            is_optimal=False,
+            semantics="global",
+            method=_METHOD,
+            improvement=candidate.replace_facts(removed, added),
+            reason="the graph G_{J,I\\J} has a cycle (Lemma 7.3)",
+        )
+    return CheckResult(is_optimal=True, semantics="global", method=_METHOD)

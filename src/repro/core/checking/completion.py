@@ -1,0 +1,243 @@
+"""Completion-optimal repair checking and enumeration.
+
+Staworko, Chomicki and Marcinkowski's third preference semantics, quoted
+by the paper in Sections 1–3: a repair ``J`` is *completion-optimal* if
+there is a completion ``≻'`` of the priority ``≻`` (an acyclic extension
+that is total on conflicting pairs) such that ``J`` is globally-optimal
+with respect to ``≻'``.  Completion-optimal repair checking is solvable
+in polynomial time for every schema (their Corollary 4).
+
+Their key characterization is operational: the completion-optimal repairs
+are exactly the possible outputs of the *greedy* procedure that
+repeatedly picks a remaining fact not ≻-dominated by any other remaining
+fact, commits it, and discards the facts conflicting with it.  This
+module implements:
+
+* :func:`check_completion_optimal` — the polynomial test, by a forced
+  simulation of the greedy on ``J`` (correct because picking any eligible
+  ``J``-fact never disables another: ``J`` is conflict-free, so a pick
+  only ever *shrinks* the set of potential dominators);
+* :func:`greedy_completion_repair` — one greedy run, yielding a
+  completion-optimal repair;
+* :func:`enumerate_completion_optimal_repairs` — all greedy outcomes
+  (exponential; used for cross-validation on small instances);
+* :func:`brute_force_completion_check` — the definitional test by
+  enumeration of total completions (heavily exponential; tests only).
+
+The classical (conflict-only) setting is assumed throughout, matching
+Staworko et al.'s definitions; ccp instances are rejected.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.result import CheckResult
+from repro.core.checking.validation import precheck
+from repro.core.conflicts import conflict_graph, conflicting_pairs
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.exceptions import CyclicPriorityError, InvalidPriorityError
+
+__all__ = [
+    "check_completion_optimal",
+    "greedy_completion_repair",
+    "enumerate_completion_optimal_repairs",
+    "brute_force_completion_check",
+]
+
+_METHOD = "greedy-simulation"
+
+
+def _reject_ccp(prioritizing: PrioritizingInstance) -> None:
+    if prioritizing.is_ccp:
+        raise InvalidPriorityError(
+            "completion-optimal semantics is defined for classical "
+            "(conflict-only) priorities; got a ccp-instance"
+        )
+
+
+def check_completion_optimal(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """Decide whether ``candidate`` is a completion-optimal repair.
+
+    Polynomial for every schema: simulates the greedy procedure, at each
+    step committing an arbitrary eligible fact of ``candidate`` (eligible
+    = not ≻-dominated by any remaining fact).  The simulation is complete
+    because eligibility of the remaining ``candidate``-facts is monotone
+    under commits — committing one removes only its conflict neighbours,
+    none of which belong to the conflict-free ``candidate``.
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact, PriorityRelation
+    >>> from repro.core import PrioritizingInstance
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+    ... )
+    >>> bool(check_completion_optimal(pri, schema.instance([g])))
+    False
+    """
+    _reject_ccp(prioritizing)
+    failure = precheck(prioritizing, candidate, "completion", _METHOD)
+    if failure is not None:
+        return failure
+    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    priority = prioritizing.priority
+    remaining: Set[Fact] = set(prioritizing.instance.facts)
+    to_pick: Set[Fact] = set(candidate.facts)
+    while to_pick:
+        pick = next(
+            (
+                fact
+                for fact in to_pick
+                if priority.improvers_of(fact).isdisjoint(remaining)
+            ),
+            None,
+        )
+        if pick is None:
+            blocked = next(iter(to_pick))
+            dominator = next(
+                iter(priority.improvers_of(blocked) & remaining)
+            )
+            return CheckResult(
+                is_optimal=False,
+                semantics="completion",
+                method=_METHOD,
+                reason=(
+                    f"no greedy run yields the candidate: {blocked} stays "
+                    f"dominated by the un-discarded {dominator}"
+                ),
+            )
+        to_pick.discard(pick)
+        remaining.discard(pick)
+        remaining -= adjacency[pick]
+    # With all of the candidate committed, maximality (checked by
+    # precheck) guarantees every leftover fact conflicted with a commit,
+    # so the greedy run ends exactly at the candidate.
+    return CheckResult(is_optimal=True, semantics="completion", method=_METHOD)
+
+
+def greedy_completion_repair(
+    prioritizing: PrioritizingInstance,
+    rng: Optional[random.Random] = None,
+) -> Instance:
+    """One greedy run: a (randomly chosen) completion-optimal repair."""
+    _reject_ccp(prioritizing)
+    rng = rng or random.Random(0)
+    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    priority = prioritizing.priority
+    remaining: Set[Fact] = set(prioritizing.instance.facts)
+    chosen: Set[Fact] = set()
+    while remaining:
+        eligible = [
+            fact
+            for fact in remaining
+            if priority.improvers_of(fact).isdisjoint(remaining)
+        ]
+        # An acyclic relation restricted to a non-empty finite set always
+        # has a maximal element, so `eligible` is never empty.
+        pick = rng.choice(sorted(eligible, key=str))
+        chosen.add(pick)
+        remaining.discard(pick)
+        remaining -= adjacency[pick]
+    return prioritizing.instance.subinstance(chosen)
+
+
+def enumerate_completion_optimal_repairs(
+    prioritizing: PrioritizingInstance,
+) -> Iterator[Instance]:
+    """All completion-optimal repairs, via exhaustive greedy branching.
+
+    Exponential in general; intended for cross-validation on small
+    instances.  Branches only on picks that change the reachable state
+    (the committed *set* determines the state, so we memoize on it).
+    """
+    _reject_ccp(prioritizing)
+    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    priority = prioritizing.priority
+    seen_states: Set[FrozenSet[Fact]] = set()
+    results: Set[FrozenSet[Fact]] = set()
+
+    def explore(remaining: FrozenSet[Fact], chosen: FrozenSet[Fact]) -> None:
+        if chosen in seen_states:
+            return
+        seen_states.add(chosen)
+        if not remaining:
+            results.add(chosen)
+            return
+        eligible = [
+            fact
+            for fact in remaining
+            if priority.improvers_of(fact).isdisjoint(remaining)
+        ]
+        for pick in eligible:
+            explore(
+                remaining - {pick} - adjacency[pick], chosen | {pick}
+            )
+
+    explore(frozenset(prioritizing.instance.facts), frozenset())
+    for facts in results:
+        yield prioritizing.instance.subinstance(facts)
+
+
+def _orientations_of_unordered_conflicts(
+    prioritizing: PrioritizingInstance,
+) -> Iterator[PriorityRelation]:
+    """Every completion of ``≻``: acyclic extensions total on conflicts."""
+    pairs = conflicting_pairs(prioritizing.schema, prioritizing.instance)
+    priority = prioritizing.priority
+    unordered: List[Tuple[Fact, Fact]] = []
+    for pair in sorted(pairs, key=str):
+        f, g = sorted(pair, key=str)
+        if not (priority.prefers(f, g) or priority.prefers(g, f)):
+            unordered.append((f, g))
+    base_edges = priority.edges
+    for choices in product((0, 1), repeat=len(unordered)):
+        oriented = set(base_edges)
+        for (f, g), direction in zip(unordered, choices):
+            oriented.add((f, g) if direction == 0 else (g, f))
+        try:
+            yield PriorityRelation(oriented)
+        except CyclicPriorityError:
+            continue
+
+
+def brute_force_completion_check(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """The definitional completion-optimality test (tests only).
+
+    Enumerates all completions of ``≻`` (acyclic orientations of the
+    not-yet-ordered conflicting pairs) and asks whether ``candidate`` is
+    globally-optimal under at least one of them.  Doubly exponential cost
+    in the worst case — use only on tiny instances.
+    """
+    _reject_ccp(prioritizing)
+    failure = precheck(prioritizing, candidate, "completion", "brute-force")
+    if failure is not None:
+        return failure
+    for completion in _orientations_of_unordered_conflicts(prioritizing):
+        completed = PrioritizingInstance(
+            prioritizing.schema,
+            prioritizing.instance,
+            completion,
+            ccp=False,
+        )
+        if check_globally_optimal_brute_force(completed, candidate):
+            return CheckResult(
+                is_optimal=True, semantics="completion", method="brute-force"
+            )
+    return CheckResult(
+        is_optimal=False,
+        semantics="completion",
+        method="brute-force",
+        reason="no completion makes the candidate globally-optimal",
+    )

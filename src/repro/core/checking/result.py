@@ -1,0 +1,59 @@
+"""The result type shared by all repair checkers.
+
+Every checker answers the *repair-checking problem*: given a prioritizing
+instance ``(I, ≻)`` and a subinstance ``J``, is ``J`` an optimal repair
+under the requested semantics?  Beyond the boolean, checkers report which
+algorithm ran and — whenever the answer is negative — a concrete
+*witness*: the improving subinstance that disqualifies ``J``.  Witnesses
+make the checkers self-certifying (tests re-validate every witness
+against Definition 2.4) and are invaluable when using the library for
+actual data cleaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.instance import Instance
+
+__all__ = ["CheckResult"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a repair-checking call.
+
+    Attributes
+    ----------
+    is_optimal:
+        Whether ``J`` is an optimal repair under the checker's semantics.
+    semantics:
+        ``"global"``, ``"pareto"``, or ``"completion"``.
+    method:
+        Which algorithm decided the question, e.g. ``"GRepCheck1FD"``,
+        ``"GRepCheck2Keys"``, ``"ccp-primary-key"``, ``"brute-force"``.
+    improvement:
+        When ``is_optimal`` is False and the failure is an improvement
+        (rather than ``J`` not being consistent), a concrete improving
+        subinstance; None otherwise.
+    reason:
+        A short human-readable explanation.
+
+    ``CheckResult`` is truthy exactly when ``is_optimal`` is True, so
+    callers may write ``if check_globally_optimal(...):``.
+    """
+
+    is_optimal: bool
+    semantics: str
+    method: str
+    improvement: Optional[Instance] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.is_optimal
+
+    def __str__(self) -> str:
+        verdict = "optimal" if self.is_optimal else "not optimal"
+        suffix = f" ({self.reason})" if self.reason else ""
+        return f"[{self.semantics}/{self.method}] {verdict}{suffix}"

@@ -1,0 +1,213 @@
+"""``GRepCheck2Keys`` — globally-optimal repair checking under two keys.
+
+Implements Section 4.2 / Figure 4 of the paper, for a single-relation
+schema whose FDs are equivalent to two key constraints
+``A1 → ⟦R⟧`` and ``A2 → ⟦R⟧``.
+
+The algorithm (by Lemma 4.4) is:
+
+1. if ``J`` has a Pareto improvement, answer "not optimal";
+2. otherwise ``J`` is globally optimal iff both *swap graphs*
+   ``G12_J`` and ``G21_J`` are acyclic.
+
+``G12_J`` is the directed bipartite graph whose left side holds the
+``A1``-projections of ``J``'s facts and whose right side holds their
+``A2``-projections, with:
+
+* a forward edge ``f[A1] → f[A2]`` for every ``f ∈ J``;
+* a backward edge ``f'[A2] → f'[A1]`` for every ``f' ∈ I \\ J`` such that
+  some ``f ∈ J`` has ``f[A2] = f'[A2]`` and ``f' ≻ f``.
+
+``G21_J`` swaps the roles of ``A1`` and ``A2``.  A cycle alternates
+forward (facts of ``J`` to evict) and backward (preferred replacement)
+edges; the Lemma 4.4 proof turns it into a concrete global improvement
+``(J \\ F) ∪ F'``, which this implementation reconstructs and returns as
+the witness.  Figure 3 of the paper shows the two graphs for the running
+example; :func:`build_swap_graph` is exposed so experiment E4 can
+regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.checking.result import CheckResult
+from repro.core.checking.validation import precheck
+from repro.core.fact import Fact
+from repro.core.fd import FD
+from repro.core.improvements import find_pareto_improvement
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+
+__all__ = ["check_two_keys", "build_swap_graph", "SwapGraph"]
+
+_METHOD = "GRepCheck2Keys"
+
+# A node is ("L" | "R", projection-tuple); edges carry the fact that
+# induced them so cycles can be turned back into improvements.
+_Node = Tuple[str, Tuple]
+
+
+@dataclass(frozen=True)
+class SwapGraph:
+    """One of the bipartite swap graphs ``G12_J`` / ``G21_J``.
+
+    Attributes
+    ----------
+    first, second:
+        The key left-hand sides playing the roles of ``A1`` and ``A2``
+        (``G12`` uses ``(A1, A2)``; ``G21`` uses ``(A2, A1)``).
+    edges:
+        Adjacency: node → {successor node → witnessing fact}.  Forward
+        (left-to-right) edges are witnessed by the ``J``-fact, backward
+        edges by the improving fact of ``I \\ J``.
+    """
+
+    first: FrozenSet[int]
+    second: FrozenSet[int]
+    edges: Dict[_Node, Dict[_Node, Fact]]
+
+    def find_cycle(self) -> Optional[List[_Node]]:
+        """A simple directed cycle as a node list, or None if acyclic."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[_Node, int] = {}
+        parent: Dict[_Node, Optional[_Node]] = {}
+        for root in self.edges:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[_Node, List[_Node]]] = [
+                (root, list(self.edges.get(root, {})))
+            ]
+            color[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, pending = stack[-1]
+                if pending:
+                    child = pending.pop()
+                    state = color.get(child, WHITE)
+                    if state == GRAY:
+                        cycle = [node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]  # type: ignore[assignment]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, list(self.edges.get(child, {}))))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph has no directed cycle."""
+        return self.find_cycle() is None
+
+    def cycle_to_improvement(
+        self, cycle: List[_Node], candidate: Instance
+    ) -> Instance:
+        """The global improvement ``(J \\ F) ∪ F'`` induced by ``cycle``.
+
+        Follows the "if" direction of Lemma 4.4: forward edges on the
+        cycle name the evicted facts ``F ⊆ J``, backward edges name the
+        preferred replacements ``F' ⊆ I \\ J``.
+        """
+        removed: List[Fact] = []
+        added: List[Fact] = []
+        for position, node in enumerate(cycle):
+            successor = cycle[(position + 1) % len(cycle)]
+            witness = self.edges[node][successor]
+            if node[0] == "L":
+                removed.append(witness)
+            else:
+                added.append(witness)
+        return candidate.replace_facts(removed, added)
+
+
+def build_swap_graph(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    first: FrozenSet[int],
+    second: FrozenSet[int],
+) -> SwapGraph:
+    """Build ``G12_J`` (or ``G21_J`` with the roles swapped).
+
+    ``first`` and ``second`` are the two key left-hand sides; the left
+    side of the graph carries ``first``-projections.
+    """
+    edges: Dict[_Node, Dict[_Node, Fact]] = {}
+    # Forward edges: one per candidate fact.  Because `first` is a key
+    # and the candidate is consistent, left nodes identify candidate
+    # facts uniquely (and symmetrically for right nodes).
+    second_value_to_fact: Dict[Tuple, Fact] = {}
+    for fact in candidate:
+        left: _Node = ("L", fact.project(first))
+        right: _Node = ("R", fact.project(second))
+        edges.setdefault(left, {})[right] = fact
+        edges.setdefault(right, {})
+        second_value_to_fact[fact.project(second)] = fact
+    # Backward edges: outsiders preferred to the candidate fact sharing
+    # their `second` projection.
+    priority = prioritizing.priority
+    for outsider in prioritizing.instance.facts - candidate.facts:
+        blocked = second_value_to_fact.get(outsider.project(second))
+        if blocked is None or not priority.prefers(outsider, blocked):
+            continue
+        right = ("R", outsider.project(second))
+        left = ("L", outsider.project(first))
+        edges.setdefault(right, {})[left] = outsider
+        edges.setdefault(left, {})
+    return SwapGraph(first=first, second=second, edges=edges)
+
+
+def check_two_keys(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    key1: FD,
+    key2: FD,
+) -> CheckResult:
+    """``GRepCheck2Keys`` (Figure 4).
+
+    Parameters
+    ----------
+    prioritizing:
+        The classical prioritizing instance ``(I, ≻)`` over a
+        single-relation schema.
+    candidate:
+        The subinstance ``J`` to check.
+    key1, key2:
+        The two key constraints ``Δ|R`` is equivalent to (produced by
+        :func:`repro.core.classification.equivalent_two_keys`).
+    """
+    failure = precheck(prioritizing, candidate, "global", _METHOD)
+    if failure is not None:
+        return failure
+    pareto = find_pareto_improvement(prioritizing, candidate)
+    if pareto is not None:
+        return CheckResult(
+            is_optimal=False,
+            semantics="global",
+            method=_METHOD,
+            improvement=pareto,
+            reason="a Pareto improvement exists",
+        )
+    for first, second, label in (
+        (key1.lhs, key2.lhs, "G12"),
+        (key2.lhs, key1.lhs, "G21"),
+    ):
+        graph = build_swap_graph(prioritizing, candidate, first, second)
+        cycle = graph.find_cycle()
+        if cycle is not None:
+            improvement = graph.cycle_to_improvement(cycle, candidate)
+            return CheckResult(
+                is_optimal=False,
+                semantics="global",
+                method=_METHOD,
+                improvement=improvement,
+                reason=f"the swap graph {label} has a cycle (Lemma 4.4)",
+            )
+    return CheckResult(is_optimal=True, semantics="global", method=_METHOD)

@@ -1,0 +1,78 @@
+"""Shared pre-checks run by every repair checker.
+
+All optimal-repair semantics agree on two necessary conditions:
+
+1. ``J`` must be a *consistent* subinstance of ``I`` (an inconsistent
+   ``J`` is not a repair of any kind);
+2. ``J`` must be *maximal* — otherwise ``J ∪ {g}`` for any non-conflicting
+   outsider ``g`` is a proper consistent superset, which is simultaneously
+   a global and a Pareto improvement (the improvement conditions are
+   vacuous when nothing is removed), so ``J`` is not optimal under any of
+   the semantics.
+
+:func:`precheck` factors this out and returns either a failing
+:class:`~repro.core.checking.result.CheckResult` or None (all good),
+letting each algorithm start from the paper's standing assumption that
+``J`` is a repair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.checking.result import CheckResult
+from repro.core.conflicts import ConflictIndex
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.exceptions import NotASubinstanceError
+
+__all__ = ["precheck"]
+
+
+def precheck(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    semantics: str,
+    method: str,
+) -> Optional[CheckResult]:
+    """Run the subinstance / consistency / maximality pre-checks.
+
+    Returns a negative :class:`CheckResult` when ``candidate`` fails one
+    of them (with a witness improvement for the maximality failure), or
+    None when ``candidate`` is a repair and the caller's algorithm should
+    proceed.
+
+    Raises
+    ------
+    NotASubinstanceError
+        If ``candidate`` contains facts outside the instance; this is a
+        malformed input rather than a "no" answer.
+    """
+    instance = prioritizing.instance
+    extra = candidate.facts - instance.facts
+    if extra:
+        raise NotASubinstanceError(
+            f"candidate repair contains {len(extra)} fact(s) outside the "
+            f"instance, e.g. {next(iter(extra))}"
+        )
+    index = ConflictIndex(prioritizing.schema, candidate)
+    if not index.is_consistent():
+        return CheckResult(
+            is_optimal=False,
+            semantics=semantics,
+            method=method,
+            reason="candidate is not consistent, hence not a repair",
+        )
+    for outsider in instance.facts - candidate.facts:
+        if not index.conflicts_with_anything(outsider):
+            return CheckResult(
+                is_optimal=False,
+                semantics=semantics,
+                method=method,
+                improvement=candidate.with_facts([outsider]),
+                reason=(
+                    f"candidate is not maximal: {outsider} can be added "
+                    f"without breaking consistency"
+                ),
+            )
+    return None

@@ -1,0 +1,365 @@
+"""The dichotomy classifiers (Theorems 3.1/6.1 and 7.1/7.6).
+
+Given a schema, decide — in polynomial time in the size of the schema —
+which side of each dichotomy it falls on.
+
+Classical setting (Theorem 3.1)
+    Globally-optimal repair checking is in PTIME iff for every relation
+    symbol ``R``, the restriction ``Δ|R`` is equivalent to (a) a single
+    FD or (b) a set of two key constraints; otherwise it is
+    coNP-complete.  The polynomial test (Section 6) rests on Lemma 6.2:
+    candidate left-hand sides can be drawn from the FDs of ``Δ|R``
+    themselves, and each candidate is validated with the
+    Maier–Mendelzon–Sagiv implication test (Theorem 6.3).
+
+CCP setting (Theorem 7.1)
+    Under cross-conflict priorities, checking is in PTIME iff ``Δ`` is a
+    *primary-key assignment* (every ``Δ|R`` equivalent to a single key
+    constraint) or a *constant-attribute assignment* (every ``Δ|R``
+    equivalent to a single ``∅ → B``); otherwise coNP-complete.  Note the
+    "every relation the same way" quantification: a schema mixing a key
+    relation with a constant-attribute relation is hard (Section 7.1's
+    discussion of Example 3.3 variants).
+
+Each verdict carries *witnesses* — the equivalent single FD or pair of
+keys — which the dispatching checkers then hand to the matching
+polynomial-time algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.fd import FD, AttributeSet
+from repro.core.fdset import FDSet
+from repro.core.schema import Schema
+
+__all__ = [
+    "RelationClass",
+    "RelationVerdict",
+    "ClassificationVerdict",
+    "CcpRelationVerdict",
+    "CcpVerdict",
+    "equivalent_single_fd",
+    "equivalent_single_key",
+    "equivalent_two_keys",
+    "equivalent_constant_attribute",
+    "classify_relation",
+    "classify_schema",
+    "classify_ccp_schema",
+]
+
+
+class RelationClass(Enum):
+    """How ``Δ|R`` is classified by Theorem 3.1's condition."""
+
+    SINGLE_FD = "single-fd"
+    TWO_KEYS = "two-keys"
+    HARD = "hard"
+
+
+# -- per-relation equivalence tests (Section 6) --------------------------------
+
+
+def equivalent_single_fd(fdset: FDSet) -> Optional[FD]:
+    """An FD ``A → B`` such that ``Δ|R ≡ {A → B}``, or None.
+
+    Implements the first test of Section 6.  By Lemma 6.2(1), if ``Δ|R``
+    is equivalent to a nontrivial ``A → B`` then some FD of ``Δ|R`` has
+    left-hand side exactly ``A``; so it suffices to try, for each
+    left-hand side ``A`` occurring in ``Δ|R``, the saturated candidate
+    ``A → closure(A)`` (which ``Δ|R`` implies by construction) and check
+    the converse implication.  An all-trivial ``Δ|R`` is equivalent to
+    the trivial FD ``∅ → ∅``.
+    """
+    if fdset.is_trivial():
+        return FD(fdset.relation, frozenset(), frozenset())
+    for lhs in sorted(fdset.left_hand_sides(), key=sorted):
+        candidate = FD(fdset.relation, lhs, fdset.closure(lhs))
+        if FDSet(fdset.relation, fdset.arity, [candidate]).implies_all(fdset):
+            return candidate
+    return None
+
+
+def equivalent_single_key(fdset: FDSet) -> Optional[FD]:
+    """A key ``A → ⟦R⟧`` such that ``Δ|R ≡ {A → ⟦R⟧}``, or None.
+
+    Candidates are the left-hand sides of ``Δ|R`` (Lemma 6.2) plus the
+    trivial key ``⟦R⟧ → ⟦R⟧`` covering the all-trivial case.
+    """
+    all_attributes = fdset.all_attributes()
+    candidates: List[AttributeSet] = sorted(
+        fdset.left_hand_sides(), key=sorted
+    )
+    candidates.append(all_attributes)
+    for lhs in candidates:
+        if fdset.closure(lhs) != all_attributes:
+            continue
+        candidate = FD(fdset.relation, lhs, all_attributes)
+        if FDSet(fdset.relation, fdset.arity, [candidate]).implies_all(fdset):
+            return candidate
+    return None
+
+
+def equivalent_two_keys(fdset: FDSet) -> Optional[Tuple[FD, FD]]:
+    """Keys ``A1 → ⟦R⟧, A2 → ⟦R⟧`` with ``Δ|R ≡ {both}``, or None.
+
+    Implements the second test of Section 6.  When one key contains the
+    other, the pair degenerates to a single key, handled by
+    :func:`equivalent_single_key` (the returned pair then repeats the
+    single key).  Otherwise, by Lemma 6.2(2) both left-hand sides occur
+    in ``Δ|R``, so all pairs of occurring left-hand sides are tried.
+    """
+    single = equivalent_single_key(fdset)
+    if single is not None:
+        return (single, single)
+    all_attributes = fdset.all_attributes()
+    lhs_list = sorted(fdset.left_hand_sides(), key=sorted)
+    for lhs1, lhs2 in combinations(lhs_list, 2):
+        if lhs1 <= lhs2 or lhs2 <= lhs1:
+            continue  # comparable pair degenerates to the single-key case
+        if fdset.closure(lhs1) != all_attributes:
+            continue
+        if fdset.closure(lhs2) != all_attributes:
+            continue
+        key1 = FD(fdset.relation, lhs1, all_attributes)
+        key2 = FD(fdset.relation, lhs2, all_attributes)
+        pair = FDSet(fdset.relation, fdset.arity, [key1, key2])
+        if pair.implies_all(fdset):
+            return (key1, key2)
+    return None
+
+
+def equivalent_constant_attribute(fdset: FDSet) -> Optional[FD]:
+    """An FD ``∅ → B`` such that ``Δ|R ≡ {∅ → B}``, or None (Section 7.1)."""
+    if fdset.is_equivalent_to_constant_attribute():
+        return FD(fdset.relation, frozenset(), fdset.constant_attributes())
+    return None
+
+
+# -- verdicts --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationVerdict:
+    """The Theorem 3.1 classification of one relation symbol.
+
+    Attributes
+    ----------
+    relation:
+        The relation symbol's name.
+    kind:
+        Which clause of the theorem applies (or HARD).
+    witnesses:
+        The equivalent single FD (one entry) or two keys (two entries);
+        empty for hard relations.
+    """
+
+    relation: str
+    kind: RelationClass
+    witnesses: Tuple[FD, ...] = ()
+
+    @property
+    def is_tractable(self) -> bool:
+        """Whether globally-optimal repair checking is PTIME for this
+        relation's single-relation schema."""
+        return self.kind is not RelationClass.HARD
+
+
+@dataclass(frozen=True)
+class ClassificationVerdict:
+    """The Theorem 3.1 classification of a whole schema.
+
+    By Proposition 3.5, the schema is tractable iff every relation is.
+    """
+
+    per_relation: Tuple[RelationVerdict, ...]
+
+    @property
+    def is_tractable(self) -> bool:
+        """Whether globally-optimal repair checking is PTIME (Thm 3.1)."""
+        return all(verdict.is_tractable for verdict in self.per_relation)
+
+    @property
+    def is_conp_complete(self) -> bool:
+        """Whether the problem is coNP-complete (the other side)."""
+        return not self.is_tractable
+
+    @property
+    def hard_relations(self) -> Tuple[str, ...]:
+        """The relations whose ``Δ|R`` violates the tractability condition."""
+        return tuple(
+            verdict.relation
+            for verdict in self.per_relation
+            if not verdict.is_tractable
+        )
+
+    def for_relation(self, name: str) -> RelationVerdict:
+        """The verdict for relation ``name``."""
+        for verdict in self.per_relation:
+            if verdict.relation == name:
+                return verdict
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        """A one-paragraph human-readable summary."""
+        lines = []
+        for verdict in self.per_relation:
+            if verdict.kind is RelationClass.SINGLE_FD:
+                detail = f"equivalent to single FD {verdict.witnesses[0]}"
+            elif verdict.kind is RelationClass.TWO_KEYS:
+                keys = " and ".join(str(w) for w in verdict.witnesses)
+                detail = f"equivalent to keys {keys}"
+            else:
+                detail = "neither a single FD nor two keys"
+            lines.append(f"  {verdict.relation}: {detail}")
+        head = (
+            "PTIME (Theorem 3.1 condition holds)"
+            if self.is_tractable
+            else "coNP-complete (Theorem 3.1 condition violated)"
+        )
+        return "\n".join(
+            [f"globally-optimal repair checking: {head}"] + lines
+        )
+
+
+def classify_relation(fdset: FDSet) -> RelationVerdict:
+    """Classify one relation per Theorem 3.1's condition.
+
+    Tries the single-FD clause first (matching the paper's ordering in
+    Examples 3.2/3.3), then the two-keys clause.
+    """
+    single = equivalent_single_fd(fdset)
+    if single is not None:
+        return RelationVerdict(
+            fdset.relation, RelationClass.SINGLE_FD, (single,)
+        )
+    pair = equivalent_two_keys(fdset)
+    if pair is not None:
+        return RelationVerdict(fdset.relation, RelationClass.TWO_KEYS, pair)
+    return RelationVerdict(fdset.relation, RelationClass.HARD)
+
+
+def classify_schema(schema: Schema) -> ClassificationVerdict:
+    """Classify a schema per Theorems 3.1 and 6.1.
+
+    Runs in time polynomial in the size of the schema: for each relation,
+    at most ``|Δ|R|`` (plus one) candidate left-hand sides and
+    ``O(|Δ|R|²)`` candidate pairs are validated, each validation being a
+    set of polynomial implication tests.
+
+    Examples
+    --------
+    >>> classify_schema(Schema.single_relation(["1 -> 2", "2 -> 3"])).is_tractable
+    False
+    >>> classify_schema(Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)).is_tractable
+    True
+    """
+    verdicts = tuple(
+        classify_relation(fdset) for _, fdset in schema.per_relation()
+    )
+    return ClassificationVerdict(verdicts)
+
+
+# -- ccp classification (Theorem 7.1) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CcpRelationVerdict:
+    """Per-relation ingredients of the ccp classification."""
+
+    relation: str
+    key_witness: Optional[FD]
+    constant_witness: Optional[FD]
+
+
+@dataclass(frozen=True)
+class CcpVerdict:
+    """The Theorem 7.1 classification of a schema for ccp-instances.
+
+    Attributes
+    ----------
+    per_relation:
+        For every relation, the single-key witness and/or the
+        constant-attribute witness (None where not equivalent).
+    """
+
+    per_relation: Tuple[CcpRelationVerdict, ...]
+
+    @property
+    def is_primary_key_assignment(self) -> bool:
+        """Whether *every* ``Δ|R`` is equivalent to a single key."""
+        return all(v.key_witness is not None for v in self.per_relation)
+
+    @property
+    def is_constant_attribute_assignment(self) -> bool:
+        """Whether *every* ``Δ|R`` is equivalent to a single ``∅ → B``."""
+        return all(v.constant_witness is not None for v in self.per_relation)
+
+    @property
+    def is_tractable(self) -> bool:
+        """PTIME iff primary-key or constant-attribute assignment."""
+        return (
+            self.is_primary_key_assignment
+            or self.is_constant_attribute_assignment
+        )
+
+    @property
+    def is_conp_complete(self) -> bool:
+        """coNP-complete in every other case."""
+        return not self.is_tractable
+
+    def describe(self) -> str:
+        """A one-paragraph human-readable summary."""
+        if self.is_primary_key_assignment:
+            head = "PTIME: Δ is a primary-key assignment"
+        elif self.is_constant_attribute_assignment:
+            head = "PTIME: Δ is a constant-attribute assignment"
+        else:
+            head = (
+                "coNP-complete: Δ is neither a primary-key nor a "
+                "constant-attribute assignment"
+            )
+        lines = []
+        for verdict in self.per_relation:
+            parts = []
+            if verdict.key_witness is not None:
+                parts.append(f"key {verdict.key_witness}")
+            if verdict.constant_witness is not None:
+                parts.append(f"constant-attribute {verdict.constant_witness}")
+            lines.append(
+                f"  {verdict.relation}: "
+                + (" / ".join(parts) if parts else "neither form")
+            )
+        return "\n".join(
+            [f"ccp globally-optimal repair checking: {head}"] + lines
+        )
+
+
+def classify_ccp_schema(schema: Schema) -> CcpVerdict:
+    """Classify a schema per Theorems 7.1 and 7.6 (ccp setting).
+
+    Examples
+    --------
+    >>> verdict = classify_ccp_schema(
+    ...     Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: 2 -> 1"])
+    ... )
+    >>> verdict.is_primary_key_assignment
+    True
+    >>> classify_ccp_schema(
+    ...     Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: {} -> 1"])
+    ... ).is_tractable
+    False
+    """
+    verdicts = tuple(
+        CcpRelationVerdict(
+            relation.name,
+            equivalent_single_key(fdset),
+            equivalent_constant_attribute(fdset),
+        )
+        for relation, fdset in schema.per_relation()
+    )
+    return CcpVerdict(verdicts)

@@ -1,0 +1,217 @@
+"""Conflict detection, enumeration, and the conflict graph.
+
+Because all constraints in the paper are functional dependencies,
+inconsistency is always witnessed by a *pair* of facts (a δ-conflict,
+Section 2.2).  Consequently:
+
+* consistent subinstances are exactly the independent sets of the
+  *conflict graph* (facts as vertices, δ-conflicts as edges), and
+* repairs (maximal consistent subinstances) are its maximal independent
+  sets.
+
+This module provides a :class:`ConflictIndex` that hash-groups the facts
+of an instance by each FD's left-hand side so that consistency checking is
+linear and per-fact conflict lookup avoids a full quadratic scan, plus a
+naive quadratic fallback used for ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.fact import Fact
+from repro.core.fd import FD
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+
+__all__ = [
+    "ConflictIndex",
+    "has_conflict",
+    "iter_conflicts",
+    "conflicting_pairs",
+    "conflict_graph",
+    "facts_conflicting_with",
+    "naive_conflicting_pairs",
+]
+
+_Key = Tuple[FD, Tuple[object, ...]]
+
+
+class ConflictIndex:
+    """A per-FD hash index over the facts of an instance.
+
+    For each FD ``δ = R: A → B`` the index groups the facts of ``R`` by
+    their value on ``A``.  Two facts δ-conflict iff they share a group and
+    differ on ``B``, so:
+
+    * :meth:`is_consistent` checks every group in one pass,
+    * :meth:`conflicts_of` looks only inside the groups of one fact,
+    * :meth:`iter_conflicts` enumerates conflicts group by group.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> inst = schema.instance([Fact("R", (1, "a")), Fact("R", (1, "b"))])
+    >>> index = ConflictIndex(schema, inst)
+    >>> index.is_consistent()
+    False
+    """
+
+    __slots__ = ("_schema", "_instance", "_groups")
+
+    def __init__(self, schema: Schema, instance: Instance) -> None:
+        self._schema = schema
+        self._instance = instance
+        groups: Dict[_Key, List[Fact]] = {}
+        for relation, fdset in schema.per_relation():
+            facts = instance.relation(relation.name)
+            if not facts:
+                continue
+            for fd in fdset:
+                if fd.is_trivial():
+                    continue
+                for fact in facts:
+                    key = (fd, fact.project(fd.lhs))
+                    groups.setdefault(key, []).append(fact)
+        self._groups = groups
+
+    @property
+    def instance(self) -> Instance:
+        """The indexed instance."""
+        return self._instance
+
+    @property
+    def schema(self) -> Schema:
+        """The schema whose FDs drive the index."""
+        return self._schema
+
+    def is_consistent(self) -> bool:
+        """Whether the instance satisfies every FD."""
+        for (fd, _), group in self._groups.items():
+            if len(group) < 2:
+                continue
+            rhs_values = {fact.project(fd.rhs) for fact in group}
+            if len(rhs_values) > 1:
+                return False
+        return True
+
+    def iter_conflicts(self) -> Iterator[Tuple[FD, Fact, Fact]]:
+        """Yield ``(δ, f, g)`` for every δ-conflict ``{f, g}`` once.
+
+        Within a group, facts are subgrouped by their RHS value; every
+        cross-subgroup pair is a conflict.
+        """
+        for (fd, _), group in self._groups.items():
+            if len(group) < 2:
+                continue
+            by_rhs: Dict[Tuple[object, ...], List[Fact]] = {}
+            for fact in group:
+                by_rhs.setdefault(fact.project(fd.rhs), []).append(fact)
+            if len(by_rhs) < 2:
+                continue
+            subgroups = list(by_rhs.values())
+            for i, left_group in enumerate(subgroups):
+                for right_group in subgroups[i + 1 :]:
+                    for f in left_group:
+                        for g in right_group:
+                            yield fd, f, g
+
+    def conflicts_of(self, fact: Fact) -> FrozenSet[Fact]:
+        """All facts of the instance conflicting with ``fact``.
+
+        ``fact`` itself need not belong to the instance; this is exactly
+        what the checking algorithms need when they probe whether adding a
+        fact ``g ∈ I \\ J`` to ``J`` would break consistency — they build
+        an index over ``J`` and ask for the conflicts of ``g``.
+        """
+        result: Set[Fact] = set()
+        fdset = self._schema.fds_for(fact.relation)
+        for fd in fdset:
+            if fd.is_trivial():
+                continue
+            key = (fd, fact.project(fd.lhs))
+            for candidate in self._groups.get(key, ()):
+                if candidate != fact and candidate.disagrees_with(fact, fd.rhs):
+                    result.add(candidate)
+        return frozenset(result)
+
+    def conflicts_with_anything(self, fact: Fact) -> bool:
+        """Whether ``fact`` conflicts with at least one indexed fact."""
+        fdset = self._schema.fds_for(fact.relation)
+        for fd in fdset:
+            if fd.is_trivial():
+                continue
+            key = (fd, fact.project(fd.lhs))
+            for candidate in self._groups.get(key, ()):
+                if candidate != fact and candidate.disagrees_with(fact, fd.rhs):
+                    return True
+        return False
+
+
+def has_conflict(schema: Schema, instance: Instance) -> bool:
+    """Whether ``instance`` violates any FD of ``schema``."""
+    return not ConflictIndex(schema, instance).is_consistent()
+
+
+def iter_conflicts(
+    schema: Schema, instance: Instance
+) -> Iterator[Tuple[FD, Fact, Fact]]:
+    """Yield every ``(δ, f, g)`` conflict of the instance."""
+    return ConflictIndex(schema, instance).iter_conflicts()
+
+
+def conflicting_pairs(
+    schema: Schema, instance: Instance
+) -> FrozenSet[FrozenSet[Fact]]:
+    """The set of conflicting fact pairs ``{f, g}`` (FD labels dropped).
+
+    A pair conflicting under several FDs appears once.
+    """
+    return frozenset(
+        frozenset({f, g}) for _, f, g in iter_conflicts(schema, instance)
+    )
+
+
+def conflict_graph(
+    schema: Schema, instance: Instance
+) -> Dict[Fact, FrozenSet[Fact]]:
+    """The conflict graph as an adjacency map over *all* facts.
+
+    Isolated facts (conflicting with nothing) map to an empty set, so the
+    mapping's key set is exactly the instance.
+    """
+    adjacency: Dict[Fact, Set[Fact]] = {fact: set() for fact in instance}
+    for _, f, g in iter_conflicts(schema, instance):
+        adjacency[f].add(g)
+        adjacency[g].add(f)
+    return {fact: frozenset(neigh) for fact, neigh in adjacency.items()}
+
+
+def facts_conflicting_with(
+    schema: Schema, instance: Instance, fact: Fact
+) -> FrozenSet[Fact]:
+    """All facts of ``instance`` that conflict with ``fact``.
+
+    Convenience wrapper building a one-shot index; code on a hot path
+    should build a :class:`ConflictIndex` once and reuse it.
+    """
+    return ConflictIndex(schema, instance).conflicts_of(fact)
+
+
+def naive_conflicting_pairs(
+    schema: Schema, instance: Instance
+) -> FrozenSet[FrozenSet[Fact]]:
+    """Quadratic pairwise conflict scan; ablation baseline for the index."""
+    facts_by_relation: Dict[str, List[Fact]] = {}
+    for fact in instance:
+        facts_by_relation.setdefault(fact.relation, []).append(fact)
+    pairs: Set[FrozenSet[Fact]] = set()
+    for relation_name, facts in facts_by_relation.items():
+        fds = [
+            fd for fd in schema.fds_for(relation_name) if not fd.is_trivial()
+        ]
+        for i, f in enumerate(facts):
+            for g in facts[i + 1 :]:
+                if any(fd.is_conflict(f, g) for fd in fds):
+                    pairs.add(frozenset({f, g}))
+    return frozenset(pairs)

@@ -1,0 +1,216 @@
+"""Counting and uniqueness of (preferred) repairs.
+
+The paper's concluding remarks pose two follow-up problems: determining
+the *number* of globally-optimal repairs, and characterizing when
+exactly *one* exists (an unambiguous cleaning).  This module provides
+the reference machinery for both:
+
+* :func:`count_repairs_fast` — the number of classical repairs, with a
+  polynomial shortcut for schemas whose every ``Δ|R`` is equivalent to
+  a single FD (repairs factor into independent block choices: the count
+  is the product, over FD-blocks, of the number of rhs-groups) and for
+  constant-attribute assignments (product of partition counts), falling
+  back to per-component maximal-independent-set enumeration otherwise;
+* :func:`count_optimal_repairs` / :func:`optimal_repair_census` — how
+  many repairs survive each preference semantics;
+* :func:`has_unique_optimal_repair` and
+  :func:`unique_optimal_repair` — the unambiguous-cleaning test, with
+  early exit;
+* :func:`is_cleaning_unambiguous_under_total_priority` — the sufficient
+  condition that a *total* priority (a completion) pins the cleaning
+  down to the single greedy outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.classification import equivalent_single_fd
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.repairs import count_repairs as _count_repairs_enumerative
+from repro.core.repairs import enumerate_repairs
+from repro.core.schema import Schema
+
+__all__ = [
+    "count_repairs_fast",
+    "count_optimal_repairs",
+    "optimal_repair_census",
+    "has_unique_optimal_repair",
+    "unique_optimal_repair",
+    "is_cleaning_unambiguous_under_total_priority",
+]
+
+
+def _single_fd_block_count(
+    schema: Schema, instance: Instance, relation_name: str
+) -> Optional[int]:
+    """Repair count of one relation when ``Δ|R`` ≡ a single FD, else None.
+
+    Under a single FD ``A → B`` the conflict graph of ``R^I`` is a
+    disjoint union of complete multipartite blocks (one per ``A``-value,
+    parts = ``B``-values), whose maximal independent sets are exactly
+    the per-block choices of one ``B``-value part.  The repair count is
+    therefore the product of the parts-per-block counts — computable in
+    linear time.
+    """
+    witness = equivalent_single_fd(schema.fds_for(relation_name))
+    if witness is None:
+        return None
+    if witness.is_trivial():
+        return 1
+    groups: Dict[Tuple, set] = {}
+    for fact in instance.relation(relation_name):
+        groups.setdefault(fact.project(witness.lhs), set()).add(
+            fact.project(witness.rhs)
+        )
+    count = 1
+    for rhs_values in groups.values():
+        count *= len(rhs_values)
+    return count
+
+
+def count_repairs_fast(schema: Schema, instance: Instance) -> int:
+    """The number of repairs of ``instance``.
+
+    Polynomial whenever every ``Δ|R`` is equivalent to a single FD
+    (which covers the constant-attribute assignments of Section 7.2.2 —
+    a ``∅ → B`` constraint *is* a single FD); otherwise falls back to
+    per-component maximal-independent-set enumeration (exponential in
+    the worst case).
+
+    Examples
+    --------
+    >>> from repro.core import Fact
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> inst = schema.instance(
+    ...     [Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (2, "c"))]
+    ... )
+    >>> count_repairs_fast(schema, inst)
+    2
+    """
+    total = 1
+    fallback_relations: List[str] = []
+    for relation in schema.signature:
+        per_relation = _single_fd_block_count(
+            schema, instance, relation.name
+        )
+        if per_relation is None:
+            fallback_relations.append(relation.name)
+        else:
+            total *= per_relation
+    for name in fallback_relations:
+        restricted_schema = schema.restrict(name)
+        restricted_instance = instance.restrict_to_relation(name)
+        total *= _count_repairs_enumerative(
+            restricted_schema, restricted_instance
+        )
+    return total
+
+
+_CHECKERS = {
+    "global": check_globally_optimal,
+    "pareto": check_pareto_optimal,
+    "completion": check_completion_optimal,
+}
+
+
+def _iter_optimal(
+    prioritizing: PrioritizingInstance, semantics: str
+) -> Iterator[Instance]:
+    try:
+        checker = _CHECKERS[semantics]
+    except KeyError:
+        raise ValueError(f"unknown semantics {semantics!r}") from None
+    for repair in enumerate_repairs(
+        prioritizing.schema, prioritizing.instance
+    ):
+        if checker(prioritizing, repair).is_optimal:
+            yield repair
+
+
+def count_optimal_repairs(
+    prioritizing: PrioritizingInstance, semantics: str = "global"
+) -> int:
+    """How many repairs are optimal under ``semantics``.
+
+    Exponential in general (the underlying enumeration is); the checks
+    themselves are polynomial on the tractable side of the dichotomy.
+    """
+    return sum(1 for _ in _iter_optimal(prioritizing, semantics))
+
+
+def optimal_repair_census(
+    prioritizing: PrioritizingInstance,
+) -> Dict[str, int]:
+    """Counts for all semantics at once, sharing one enumeration pass.
+
+    Returns ``{"all": ..., "pareto": ..., "global": ..., "completion":
+    ...}``; the counts are monotone along the semantics chain.
+    """
+    census = {"all": 0, "pareto": 0, "global": 0, "completion": 0}
+    for repair in enumerate_repairs(
+        prioritizing.schema, prioritizing.instance
+    ):
+        census["all"] += 1
+        if not check_pareto_optimal(prioritizing, repair).is_optimal:
+            continue
+        census["pareto"] += 1
+        if not check_globally_optimal(prioritizing, repair).is_optimal:
+            continue
+        census["global"] += 1
+        if prioritizing.is_ccp:
+            continue  # completion semantics is classical-only
+        if check_completion_optimal(prioritizing, repair).is_optimal:
+            census["completion"] += 1
+    return census
+
+
+def has_unique_optimal_repair(
+    prioritizing: PrioritizingInstance, semantics: str = "global"
+) -> bool:
+    """Whether exactly one repair is optimal under ``semantics``."""
+    return unique_optimal_repair(prioritizing, semantics) is not None
+
+
+def unique_optimal_repair(
+    prioritizing: PrioritizingInstance, semantics: str = "global"
+) -> Optional[Instance]:
+    """The unique optimal repair if there is exactly one, else None.
+
+    Early-exits after finding a second optimal repair.
+    """
+    found: Optional[Instance] = None
+    for repair in _iter_optimal(prioritizing, semantics):
+        if found is not None:
+            return None
+        found = repair
+    return found
+
+
+def is_cleaning_unambiguous_under_total_priority(
+    prioritizing: PrioritizingInstance,
+) -> bool:
+    """A sufficient test: total priorities define unambiguous cleanings.
+
+    If ``≻`` is total on conflicting pairs (a *completion*), the greedy
+    procedure is deterministic up to irrelevant ordering — at every
+    step the not-yet-discarded facts have a unique ≻-maximal choice per
+    conflict component — so exactly one completion-optimal repair
+    exists, and by the semantics chain it is also the unique
+    globally-optimal one... *provided* global and completion coincide,
+    which for total priorities they do: with a total priority, any
+    global improvement yields a greedy deviation.
+
+    The function returns True only when the priority is total on
+    conflicts; callers needing the exact answer for partial priorities
+    should use :func:`has_unique_optimal_repair` (exponential).
+    """
+    return prioritizing.priority.is_total_on_conflicts(
+        prioritizing.schema, prioritizing.instance
+    )

@@ -1,0 +1,425 @@
+"""Polynomial counting of optimal repairs for single-FD schemas.
+
+The paper's concluding remarks pose the problem of determining the
+number of globally-optimal repairs.  This module works that problem out
+for the schemas covered by Theorem 3.1's *first* tractability clause —
+every ``Δ|R`` equivalent to a single FD — where the answer turns out to
+be computable in polynomial time.  (This is an extension beyond the
+published text; the derivation is below and the implementation is
+cross-validated against exhaustive enumeration by the test suite.)
+
+Derivation.  Fix one relation with ``Δ|R ≡ {A → B}`` and a classical
+priority.  The conflict graph of ``I`` is a disjoint union of
+*FD-blocks* (one per ``A``-value), each a complete multipartite graph
+whose parts are the ``B``-value *groups*; a repair picks one full group
+per block.  Because priorities relate only conflicting facts, improvers
+stay within the block, so global improvements decompose per block:
+
+    a repair is globally optimal  ⟺  in every block, no other group
+    ``g'`` *dominates* the chosen group ``g`` (dominates = every fact
+    of ``g`` has an improver in ``g'``).
+
+Hence the number of globally-optimal repairs is the product, over
+blocks, of the number of *eligible* (undominated) groups.  The same
+argument gives Pareto optimality with single-fact domination (some one
+fact of ``g'`` improves every fact of ``g``), and completion-optimal
+counts follow by testing each group's block-local greedy reachability
+with the existing polynomial checker.
+
+Multi-relation schemas multiply per-relation counts (Proposition 3.5).
+Relations not equivalent to a single FD fall back to enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checking import check_globally_optimal, check_pareto_optimal
+from repro.core.classification import equivalent_single_fd
+from repro.core.fact import Fact
+from repro.core.priority import PrioritizingInstance
+from repro.core.repairs import enumerate_repairs
+
+__all__ = [
+    "count_globally_optimal_repairs",
+    "count_pareto_optimal_repairs",
+    "eligible_groups_per_block",
+    "fast_fact_survival_census",
+    "enumerate_optimal_repairs_single_fd",
+    "count_completion_optimal_repairs_single_fd",
+]
+
+_Block = Dict[Tuple, List[Fact]]
+
+
+def _blocks_of_relation(
+    prioritizing: PrioritizingInstance, relation_name: str, witness
+) -> Dict[Tuple, _Block]:
+    """``{A-value: {B-value: facts}}`` for one relation."""
+    blocks: Dict[Tuple, _Block] = {}
+    for fact in prioritizing.instance.relation(relation_name):
+        lhs_value = fact.project(witness.lhs)
+        rhs_value = fact.project(witness.rhs)
+        blocks.setdefault(lhs_value, {}).setdefault(rhs_value, []).append(
+            fact
+        )
+    return blocks
+
+
+def _group_dominates_globally(
+    prioritizing: PrioritizingInstance,
+    dominator: List[Fact],
+    dominated: List[Fact],
+) -> bool:
+    """Whether every fact of ``dominated`` has an improver in
+    ``dominator``."""
+    priority = prioritizing.priority
+    dominator_set = set(dominator)
+    return all(
+        priority.improvers_of(fact) & dominator_set for fact in dominated
+    )
+
+
+def _group_dominates_pareto(
+    prioritizing: PrioritizingInstance,
+    dominator: List[Fact],
+    dominated: List[Fact],
+) -> bool:
+    """Whether some single fact of ``dominator`` improves every fact of
+    ``dominated``."""
+    priority = prioritizing.priority
+    dominated_set = set(dominated)
+    return any(
+        dominated_set <= priority.preferred_over(witness)
+        for witness in dominator
+    )
+
+
+def eligible_groups_per_block(
+    prioritizing: PrioritizingInstance,
+    relation_name: str,
+    semantics: str = "global",
+) -> Optional[List[int]]:
+    """Per-block counts of optimal-eligible groups, or None if ``Δ|R``
+    is not equivalent to a single FD.
+
+    ``semantics`` is ``"global"`` or ``"pareto"``.
+    """
+    witness = equivalent_single_fd(
+        prioritizing.schema.fds_for(relation_name)
+    )
+    if witness is None:
+        return None
+    if witness.is_trivial():
+        facts = prioritizing.instance.relation(relation_name)
+        return [1] if facts else []
+    dominates = (
+        _group_dominates_globally
+        if semantics == "global"
+        else _group_dominates_pareto
+    )
+    if semantics not in ("global", "pareto"):
+        raise ValueError(f"unsupported semantics {semantics!r}")
+    counts: List[int] = []
+    for block in _blocks_of_relation(
+        prioritizing, relation_name, witness
+    ).values():
+        groups = list(block.values())
+        eligible = sum(
+            1
+            for chosen in groups
+            if not any(
+                dominates(prioritizing, other, chosen)
+                for other in groups
+                if other is not chosen
+            )
+        )
+        counts.append(eligible)
+    return counts
+
+
+def _count_for_relation(
+    prioritizing: PrioritizingInstance,
+    relation_name: str,
+    semantics: str,
+) -> int:
+    counts = eligible_groups_per_block(
+        prioritizing, relation_name, semantics
+    )
+    if counts is not None:
+        product = 1
+        for count in counts:
+            product *= count
+        return product
+    # Fallback: enumerate this relation's repairs and check each.
+    restricted = prioritizing.restrict_to_relation(relation_name)
+    checker = (
+        check_globally_optimal
+        if semantics == "global"
+        else check_pareto_optimal
+    )
+    return sum(
+        1
+        for repair in enumerate_repairs(
+            restricted.schema, restricted.instance
+        )
+        if checker(restricted, repair).is_optimal
+    )
+
+
+def _count_optimal(
+    prioritizing: PrioritizingInstance, semantics: str
+) -> int:
+    if prioritizing.is_ccp:
+        raise ValueError(
+            "the per-block counting argument needs conflict-only "
+            "priorities; use repro.core.counting.count_optimal_repairs "
+            "for ccp instances"
+        )
+    total = 1
+    for relation in prioritizing.schema.signature:
+        total *= _count_for_relation(prioritizing, relation.name, semantics)
+    return total
+
+
+def count_globally_optimal_repairs(
+    prioritizing: PrioritizingInstance,
+) -> int:
+    """The number of globally-optimal repairs.
+
+    Polynomial whenever every ``Δ|R`` is equivalent to a single FD; the
+    remaining relations fall back to per-relation enumeration
+    (Proposition 3.5 keeps the relations independent either way).
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, Schema
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([new, old]),
+    ...     PriorityRelation([(new, old)]),
+    ... )
+    >>> count_globally_optimal_repairs(pri)
+    1
+    """
+    return _count_optimal(prioritizing, "global")
+
+
+def count_pareto_optimal_repairs(
+    prioritizing: PrioritizingInstance,
+) -> int:
+    """The number of Pareto-optimal repairs (same structure, with
+    single-witness domination per block)."""
+    return _count_optimal(prioritizing, "pareto")
+
+
+def enumerate_optimal_repairs_single_fd(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+):
+    """Yield every optimal repair, with polynomial delay, for schemas
+    whose every ``Δ|R`` is equivalent to a single FD.
+
+    The optimal repairs are exactly the cross products of one
+    *eligible* group per FD-block (see the module docstring), so they
+    can be produced one after another without ever materializing the
+    full (possibly astronomical) repair set.  Raises
+    :class:`ValueError` when some relation lacks a single-FD witness or
+    the instance is ccp (use the enumeration-based
+    :func:`repro.cqa.preferred_repairs` there).
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, Schema
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([new, old]),
+    ...     PriorityRelation([(new, old)]),
+    ... )
+    >>> [sorted(map(str, r)) for r in
+    ...  enumerate_optimal_repairs_single_fd(pri)]
+    [["R(1, 'new')"]]
+    """
+    if prioritizing.is_ccp:
+        raise ValueError(
+            "per-block enumeration needs conflict-only priorities"
+        )
+    if semantics not in ("global", "pareto"):
+        raise ValueError(f"unsupported semantics {semantics!r}")
+    dominates = (
+        _group_dominates_globally
+        if semantics == "global"
+        else _group_dominates_pareto
+    )
+    block_choices: List[List[List[Fact]]] = []
+    for relation in prioritizing.schema.signature:
+        witness = equivalent_single_fd(
+            prioritizing.schema.fds_for(relation.name)
+        )
+        if witness is None:
+            raise ValueError(
+                f"Δ|{relation.name} is not equivalent to a single FD; "
+                f"use enumeration-based preferred_repairs instead"
+            )
+        if witness.is_trivial():
+            facts = list(prioritizing.instance.relation(relation.name))
+            if facts:
+                block_choices.append([facts])
+            continue
+        for block in _blocks_of_relation(
+            prioritizing, relation.name, witness
+        ).values():
+            groups = list(block.values())
+            eligible = [
+                chosen
+                for chosen in groups
+                if not any(
+                    dominates(prioritizing, other, chosen)
+                    for other in groups
+                    if other is not chosen
+                )
+            ]
+            block_choices.append(eligible)
+
+    def product(level: int, chosen: List[Fact]):
+        if level == len(block_choices):
+            yield prioritizing.instance.subinstance(chosen)
+            return
+        for group in block_choices[level]:
+            yield from product(level + 1, chosen + group)
+
+    yield from product(0, [])
+
+
+def count_completion_optimal_repairs_single_fd(
+    prioritizing: PrioritizingInstance,
+) -> int:
+    """The number of completion-optimal repairs for single-FD schemas.
+
+    Conflicts and (classical) priorities both stay within FD-blocks, so
+    the greedy procedure factorizes across blocks and the count is the
+    product of the per-block greedy-reachable outcome counts.  Each
+    block's outcomes are found by exhaustive greedy branching *within
+    the block* — exponential in the block size in the worst case, but
+    polynomial in the number of blocks; with bounded block sizes (the
+    common case) the whole computation is polynomial.
+
+    Raises :class:`ValueError` when some relation is not equivalent to
+    a single FD or the instance is ccp.
+    """
+    if prioritizing.is_ccp:
+        raise ValueError(
+            "completion-optimal semantics is defined for conflict-only "
+            "priorities"
+        )
+    from repro.core.checking.completion import (
+        enumerate_completion_optimal_repairs,
+    )
+    from repro.core.priority import PrioritizingInstance as _PI
+
+    total = 1
+    for relation in prioritizing.schema.signature:
+        witness = equivalent_single_fd(
+            prioritizing.schema.fds_for(relation.name)
+        )
+        if witness is None:
+            raise ValueError(
+                f"Δ|{relation.name} is not equivalent to a single FD"
+            )
+        if witness.is_trivial():
+            continue  # the whole relation is kept; one outcome
+        restricted_schema = prioritizing.schema.restrict(relation.name)
+        for block in _blocks_of_relation(
+            prioritizing, relation.name, witness
+        ).values():
+            block_facts = [
+                fact for group in block.values() for fact in group
+            ]
+            block_instance = prioritizing.instance.restrict_to_relation(
+                relation.name
+            ).subinstance(block_facts)
+            block_prioritizing = _PI(
+                restricted_schema,
+                block_instance,
+                prioritizing.priority.restrict_to(block_facts),
+                ccp=False,
+            )
+            total *= sum(
+                1
+                for _ in enumerate_completion_optimal_repairs(
+                    block_prioritizing
+                )
+            )
+    return total
+
+
+def fast_fact_survival_census(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+) -> Optional[Dict[str, frozenset]]:
+    """Polynomial fact-survival census for single-FD schemas, or None.
+
+    The atomic case of preferred consistent query answering (the
+    paper's concluding direction), answered in polynomial time when
+    every ``Δ|R`` is equivalent to a single FD: a repair contains a
+    fact iff it picks the fact's whole rhs-group in its block, so
+
+    * a fact is **certain** (in every optimal repair) iff its group is
+      the *only* eligible group of its block,
+    * **possible** iff its group is eligible,
+    * **doomed** otherwise.
+
+    Returns the same ``{"certain", "possible", "doomed"}`` partition as
+    :func:`repro.cqa.membership.fact_survival_census`, or None when
+    some relation is not equivalent to a single FD (callers then fall
+    back to enumeration).  ``semantics`` is ``"global"`` or
+    ``"pareto"``.
+    """
+    if prioritizing.is_ccp:
+        return None
+    if semantics not in ("global", "pareto"):
+        raise ValueError(f"unsupported semantics {semantics!r}")
+    dominates = (
+        _group_dominates_globally
+        if semantics == "global"
+        else _group_dominates_pareto
+    )
+    certain: set = set()
+    possible: set = set()
+    doomed: set = set()
+    for relation in prioritizing.schema.signature:
+        witness = equivalent_single_fd(
+            prioritizing.schema.fds_for(relation.name)
+        )
+        if witness is None:
+            return None
+        if witness.is_trivial():
+            certain.update(prioritizing.instance.relation(relation.name))
+            continue
+        for block in _blocks_of_relation(
+            prioritizing, relation.name, witness
+        ).values():
+            groups = list(block.values())
+            eligible_flags = [
+                not any(
+                    dominates(prioritizing, other, chosen)
+                    for other in groups
+                    if other is not chosen
+                )
+                for chosen in groups
+            ]
+            eligible_count = sum(eligible_flags)
+            for group, eligible in zip(groups, eligible_flags):
+                if eligible and eligible_count == 1:
+                    certain.update(group)
+                elif eligible:
+                    possible.update(group)
+                else:
+                    doomed.update(group)
+    return {
+        "certain": frozenset(certain),
+        "possible": frozenset(possible),
+        "doomed": frozenset(doomed),
+    }

@@ -1,0 +1,121 @@
+"""Facts: relation-symbol applications ``R(c1, ..., ck)``.
+
+A fact pairs a relation name with a tuple of constants (Section 2.1).
+Constants may be any hashable Python values; the library never interprets
+them beyond equality comparison, mirroring the paper's uninterpreted
+domain ``Const``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Fact", "facts_agreeing_on"]
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """An immutable fact ``R(t)``.
+
+    Parameters
+    ----------
+    relation:
+        The name of the relation symbol.
+    values:
+        The tuple of constants; its width must equal the relation's arity
+        (validated when the fact is added to an :class:`~repro.core.instance.Instance`
+        bound to a signature).
+
+    Attributes are addressed 1-based, as in the paper.
+
+    Examples
+    --------
+    >>> f = Fact("BookLoc", ("b1", "fiction", "lib1"))
+    >>> f[1]
+    'b1'
+    >>> f.project({1, 3})
+    ('b1', 'lib1')
+    """
+
+    relation: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise SchemaError("a fact must have at least one value")
+
+    @property
+    def arity(self) -> int:
+        """The number of values in this fact."""
+        return len(self.values)
+
+    def __getitem__(self, position: int) -> Any:
+        """The value in attribute ``position`` (1-based, as in the paper)."""
+        if not 1 <= position <= len(self.values):
+            raise IndexError(
+                f"fact {self}: attribute {position} out of range 1..{len(self.values)}"
+            )
+        return self.values[position - 1]
+
+    def project(self, attributes: Iterable[int]) -> Tuple[Any, ...]:
+        """The values at ``attributes``, in increasing attribute order.
+
+        This is the paper's ``f[A]`` notation (Section 4.2): the tuple of
+        components of ``f`` in the positions of ``A`` in a fixed
+        (ascending) order.
+        """
+        return tuple(self[position] for position in sorted(set(attributes)))
+
+    def agrees_with(self, other: "Fact", attributes: Iterable[int]) -> bool:
+        """Whether this fact and ``other`` have equal values on ``attributes``.
+
+        Facts from different relations never agree (conflicts, and hence
+        agreement checks, only ever apply within one relation).
+        """
+        if self.relation != other.relation:
+            return False
+        return all(self[position] == other[position] for position in attributes)
+
+    def disagrees_with(self, other: "Fact", attributes: Iterable[int]) -> bool:
+        """Whether the facts differ on at least one attribute in ``attributes``.
+
+        Note this is *not* the negation of :meth:`agrees_with` for facts of
+        different relations; both are False in that case, matching the
+        paper's convention that conflicts are intra-relation.
+        """
+        if self.relation != other.relation:
+            return False
+        return any(self[position] != other[position] for position in attributes)
+
+    def replace(self, position: int, value: Any) -> "Fact":
+        """A copy of this fact with attribute ``position`` set to ``value``."""
+        if not 1 <= position <= len(self.values):
+            raise IndexError(
+                f"fact {self}: attribute {position} out of range 1..{len(self.values)}"
+            )
+        new_values = (
+            self.values[: position - 1] + (value,) + self.values[position:]
+        )
+        return Fact(self.relation, new_values)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+
+def facts_agreeing_on(
+    facts: Iterable[Fact], reference: Fact, attributes: FrozenSet[int]
+) -> FrozenSet[Fact]:
+    """All facts in ``facts`` that agree with ``reference`` on ``attributes``.
+
+    A convenience used by the block-swap operation ``J[f ↔ g]`` of
+    Section 4.1.
+    """
+    return frozenset(
+        fact for fact in facts if fact.agrees_with(reference, attributes)
+    )

@@ -1,0 +1,180 @@
+"""Functional dependencies ``R : A → B`` over attribute positions.
+
+An FD (Section 2.2) names a relation symbol and two sets of attribute
+positions.  The convenience parser :meth:`FD.parse` accepts the paper's
+shorthand forms (``"R: 1 -> 2"``, ``"R: {1,2} -> 3"``, ``"R: {} -> 1"``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Union
+
+from repro.exceptions import InvalidFDError
+
+__all__ = ["FD", "AttributeSet", "attr_set"]
+
+AttributeSet = FrozenSet[int]
+
+
+def attr_set(attributes: Union[int, Iterable[int]]) -> AttributeSet:
+    """Normalize an int or iterable of ints into a frozen attribute set.
+
+    Examples
+    --------
+    >>> attr_set(3) == frozenset({3})
+    True
+    >>> attr_set([1, 2, 2]) == frozenset({1, 2})
+    True
+    """
+    if isinstance(attributes, int):
+        return frozenset({attributes})
+    return frozenset(attributes)
+
+
+_FD_PATTERN = re.compile(
+    r"""^\s*
+        (?:(?P<relation>\w+)\s*:)?\s*
+        (?P<lhs>\{[^}]*\}|[\d\s,]*)\s*
+        (?:->|→)\s*
+        (?P<rhs>\{[^}]*\}|[\d\s,]+)\s*$""",
+    re.VERBOSE,
+)
+
+
+def _parse_attr_list(text: str) -> AttributeSet:
+    text = text.strip()
+    if text.startswith("{") and text.endswith("}"):
+        text = text[1:-1]
+    if not text.strip():
+        return frozenset()
+    try:
+        return frozenset(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise InvalidFDError(f"cannot parse attribute list: {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``relation : lhs → rhs``.
+
+    Attributes are 1-based positions.  ``lhs`` may be empty (the paper's
+    *constant-attribute constraints* ``∅ → B`` of Section 7.1), and so may
+    ``rhs`` (yielding a trivial FD such as the ``S: ∅ → ∅`` of
+    Example 3.3).
+
+    Examples
+    --------
+    >>> fd = FD("R", {1}, {2, 3})
+    >>> fd.is_trivial()
+    False
+    >>> fd.is_key(arity=3)
+    False
+    >>> FD("R", {1}, {1, 2, 3}).is_key(arity=3)
+    True
+    """
+
+    relation: str
+    lhs: AttributeSet
+    rhs: AttributeSet
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: Union[int, Iterable[int]],
+        rhs: Union[int, Iterable[int]],
+    ) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", attr_set(lhs))
+        object.__setattr__(self, "rhs", attr_set(rhs))
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InvalidFDError("an FD must name a relation symbol")
+        for position in self.lhs | self.rhs:
+            if position < 1:
+                raise InvalidFDError(
+                    f"FD over {self.relation!r}: attribute positions are "
+                    f"1-based, got {position}"
+                )
+
+    @classmethod
+    def parse(cls, text: str, relation: str = "") -> "FD":
+        """Parse the paper's shorthand, e.g. ``"BookLoc: 1 -> 2"``.
+
+        If the text omits the relation prefix, ``relation`` must be given.
+
+        Examples
+        --------
+        >>> FD.parse("R: {1,2} -> 3")
+        FD(relation='R', lhs=frozenset({1, 2}), rhs=frozenset({3}))
+        >>> FD.parse("{} -> 1", relation="S").lhs
+        frozenset()
+        """
+        match = _FD_PATTERN.match(text)
+        if match is None:
+            raise InvalidFDError(f"cannot parse FD: {text!r}")
+        relation_name = match.group("relation") or relation
+        if not relation_name:
+            raise InvalidFDError(
+                f"FD {text!r} names no relation and none was supplied"
+            )
+        return cls(
+            relation_name,
+            _parse_attr_list(match.group("lhs")),
+            _parse_attr_list(match.group("rhs")),
+        )
+
+    # -- classification predicates (Section 2.2 / 7.1) -------------------------
+
+    def is_trivial(self) -> bool:
+        """Whether ``rhs ⊆ lhs`` (satisfied by every instance)."""
+        return self.rhs <= self.lhs
+
+    def is_key(self, arity: int) -> bool:
+        """Whether this FD is a key constraint: ``rhs = ⟦R⟧``."""
+        return self.rhs == frozenset(range(1, arity + 1))
+
+    def is_constant_attribute(self) -> bool:
+        """Whether this FD has the form ``∅ → B`` (Section 7.1)."""
+        return not self.lhs
+
+    def as_key(self, arity: int) -> "FD":
+        """The key constraint ``lhs → ⟦R⟧`` with this FD's left-hand side."""
+        return FD(self.relation, self.lhs, frozenset(range(1, arity + 1)))
+
+    def validate_for_arity(self, arity: int) -> None:
+        """Raise :class:`InvalidFDError` if any attribute exceeds ``arity``."""
+        out_of_range = {p for p in self.lhs | self.rhs if p > arity}
+        if out_of_range:
+            raise InvalidFDError(
+                f"FD {self}: attributes {sorted(out_of_range)} exceed "
+                f"arity {arity} of relation {self.relation!r}"
+            )
+
+    # -- semantics --------------------------------------------------------------
+
+    def is_conflict(self, fact1, fact2) -> bool:
+        """Whether ``{fact1, fact2}`` is a δ-conflict for this FD.
+
+        Per Section 2.2: the two facts belong to this FD's relation, agree
+        on every attribute of ``lhs``, and disagree on at least one
+        attribute of ``rhs``.
+        """
+        if fact1.relation != self.relation or fact2.relation != self.relation:
+            return False
+        return fact1.agrees_with(fact2, self.lhs) and fact1.disagrees_with(
+            fact2, self.rhs
+        )
+
+    def __str__(self) -> str:
+        def fmt(attrs: AttributeSet) -> str:
+            if not attrs:
+                return "{}"
+            if len(attrs) == 1:
+                return str(next(iter(attrs)))
+            return "{" + ",".join(str(a) for a in sorted(attrs)) + "}"
+
+        return f"{self.relation}: {fmt(self.lhs)} -> {fmt(self.rhs)}"

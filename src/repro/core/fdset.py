@@ -1,0 +1,349 @@
+"""Sets of functional dependencies over a single relation symbol.
+
+This module implements the classical FD theory the paper relies on:
+
+* **attribute closure** ``⟦R.A^Δ⟧`` (Section 2.2) via the standard
+  fixed-point algorithm;
+* **implication testing** (the paper's Theorem 6.3, due to Maier,
+  Mendelzon and Sagiv): ``Δ ⊨ A → B`` iff ``B ⊆ closure(A)``;
+* **equivalence** of FD sets (equal closures — tested by mutual
+  implication);
+* **minimal covers**, key discovery, and the classification predicates of
+  Sections 2.2 and 7.1;
+* the **determiner** notions of Section 5.2 (nontrivial, non-redundant,
+  and minimal determiners) that drive the hardness case analysis.
+
+All functions here are *per relation*: a :class:`FDSet` holds FDs over one
+relation symbol with a known arity.  Cross-relation bookkeeping (``Δ|R``)
+lives in :class:`repro.core.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.fd import FD, AttributeSet, attr_set
+from repro.exceptions import InvalidFDError
+
+__all__ = ["FDSet"]
+
+
+class FDSet:
+    """An immutable set of FDs over one relation symbol of known arity.
+
+    Parameters
+    ----------
+    relation:
+        The relation symbol's name; every FD must be over it.
+    arity:
+        The relation's arity; every FD attribute must lie in ``1..arity``.
+    fds:
+        The functional dependencies.
+
+    Examples
+    --------
+    >>> fds = FDSet("R", 3, [FD("R", {1}, {2}), FD("R", {2}, {3})])
+    >>> sorted(fds.closure({1}))
+    [1, 2, 3]
+    >>> fds.implies(FD("R", {1}, {3}))
+    True
+    """
+
+    __slots__ = ("_relation", "_arity", "_fds")
+
+    def __init__(self, relation: str, arity: int, fds: Iterable[FD] = ()) -> None:
+        if arity < 1:
+            raise InvalidFDError(f"arity must be positive, got {arity}")
+        fd_set: FrozenSet[FD] = frozenset(fds)
+        for fd in fd_set:
+            if fd.relation != relation:
+                raise InvalidFDError(
+                    f"FD {fd} does not belong to relation {relation!r}"
+                )
+            fd.validate_for_arity(arity)
+        self._relation = relation
+        self._arity = arity
+        self._fds = fd_set
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def relation(self) -> str:
+        """The relation symbol's name."""
+        return self._relation
+
+    @property
+    def arity(self) -> int:
+        """The relation's arity."""
+        return self._arity
+
+    @property
+    def fds(self) -> FrozenSet[FD]:
+        """The FDs as a frozenset."""
+        return self._fds
+
+    def all_attributes(self) -> AttributeSet:
+        """The full attribute set ``⟦R⟧ = {1, ..., arity}``."""
+        return frozenset(range(1, self._arity + 1))
+
+    def __iter__(self) -> Iterator[FD]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __bool__(self) -> bool:
+        return bool(self._fds)
+
+    def __contains__(self, fd: object) -> bool:
+        return fd in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FDSet):
+            return (
+                self._relation == other._relation
+                and self._arity == other._arity
+                and self._fds == other._fds
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._relation, self._arity, self._fds))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(str(fd) for fd in self._fds))
+        return f"FDSet({self._relation!r}/{self._arity}, {{{inner}}})"
+
+    def with_fds(self, fds: Iterable[FD]) -> "FDSet":
+        """A new FDSet with ``fds`` added."""
+        return FDSet(self._relation, self._arity, self._fds | frozenset(fds))
+
+    def without_fds(self, fds: Iterable[FD]) -> "FDSet":
+        """A new FDSet with ``fds`` removed."""
+        return FDSet(self._relation, self._arity, self._fds - frozenset(fds))
+
+    # -- closure and implication (Theorem 6.3) ----------------------------------
+
+    def closure(self, attributes) -> AttributeSet:
+        """The attribute closure ``⟦R.A^Δ⟧`` (Section 2.2).
+
+        The set of all attributes ``i`` such that ``A → i`` is in ``Δ+``,
+        computed by the standard fixed-point algorithm in
+        ``O(|Δ| · arity)`` passes.
+        """
+        closed: Set[int] = set(attr_set(attributes))
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.lhs <= closed and not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+        return frozenset(closed)
+
+    def implies(self, fd: FD) -> bool:
+        """Whether this set logically implies ``fd`` (``fd ∈ Δ+``).
+
+        This is the polynomial-time implication test of Maier, Mendelzon
+        and Sagiv (the paper's Theorem 6.3): ``Δ ⊨ A → B`` iff
+        ``B ⊆ ⟦R.A^Δ⟧``.
+        """
+        if fd.relation != self._relation:
+            return False
+        return fd.rhs <= self.closure(fd.lhs)
+
+    def implies_all(self, fds: Iterable[FD]) -> bool:
+        """Whether every FD in ``fds`` is implied by this set."""
+        return all(self.implies(fd) for fd in fds)
+
+    def is_implied_by(self, other: "FDSet") -> bool:
+        """Whether every FD of this set is implied by ``other``."""
+        return other.implies_all(self._fds)
+
+    def equivalent_to(self, other: "FDSet") -> bool:
+        """Whether the two sets have equal closures (``Δ1+ = Δ2+``).
+
+        Per Section 2.2 this is the same as having the same consistent
+        instances.  Tested by mutual implication.
+        """
+        if self._relation != other._relation or self._arity != other._arity:
+            return False
+        return self.is_implied_by(other) and other.is_implied_by(self)
+
+    def equivalent_to_fds(self, fds: Iterable[FD]) -> bool:
+        """Whether this set is equivalent to the FD set ``fds``."""
+        return self.equivalent_to(FDSet(self._relation, self._arity, fds))
+
+    # -- keys -------------------------------------------------------------------
+
+    def is_key(self, attributes) -> bool:
+        """Whether ``attributes`` functionally determines all of ``⟦R⟧``."""
+        return self.closure(attributes) == self.all_attributes()
+
+    def is_minimal_key(self, attributes) -> bool:
+        """Whether ``attributes`` is a key and no proper subset is."""
+        attributes = attr_set(attributes)
+        if not self.is_key(attributes):
+            return False
+        return not any(
+            self.is_key(attributes - {attribute}) for attribute in attributes
+        )
+
+    def minimal_keys(self) -> FrozenSet[AttributeSet]:
+        """All minimal keys, found by breadth-first search over subsets.
+
+        Exponential in the arity in the worst case; arities in this
+        library are tiny (schemas are fixed), so this is fine in practice.
+        """
+        found: List[AttributeSet] = []
+        universe = sorted(self.all_attributes())
+        for size in range(0, self._arity + 1):
+            for candidate in combinations(universe, size):
+                cand_set = frozenset(candidate)
+                if any(key <= cand_set for key in found):
+                    continue
+                if self.is_key(cand_set):
+                    found.append(cand_set)
+        return frozenset(found)
+
+    # -- normalization -----------------------------------------------------------
+
+    def nontrivial_fds(self) -> FrozenSet[FD]:
+        """The FDs in this set that are not trivial."""
+        return frozenset(fd for fd in self._fds if not fd.is_trivial())
+
+    def is_trivial(self) -> bool:
+        """Whether every FD in this set is trivial (no conflicts possible)."""
+        return not self.nontrivial_fds()
+
+    def saturated_fds(self) -> FrozenSet[FD]:
+        """Each FD ``A → B`` replaced by ``A → closure(A)``."""
+        return frozenset(
+            FD(self._relation, fd.lhs, self.closure(fd.lhs)) for fd in self._fds
+        )
+
+    def left_hand_sides(self) -> FrozenSet[AttributeSet]:
+        """The distinct left-hand sides occurring in this set."""
+        return frozenset(fd.lhs for fd in self._fds)
+
+    def minimal_cover(self) -> "FDSet":
+        """A minimal (canonical) cover: singleton RHS, reduced LHS, no
+        redundant FDs.
+
+        Not required for correctness anywhere, but useful for display and
+        for ablation tests of the classifier.
+        """
+        # 1. Split right-hand sides into singletons and drop trivial FDs.
+        split: Set[FD] = set()
+        for fd in self._fds:
+            for attribute in fd.rhs - fd.lhs:
+                split.add(FD(self._relation, fd.lhs, {attribute}))
+        # 2. Remove extraneous left-hand-side attributes.
+        reduced: Set[FD] = set()
+        for fd in split:
+            lhs = set(fd.lhs)
+            for attribute in sorted(fd.lhs):
+                if len(lhs) <= 0:
+                    break
+                trimmed = frozenset(lhs - {attribute})
+                if next(iter(fd.rhs)) in self.closure(trimmed):
+                    lhs -= {attribute}
+            reduced.add(FD(self._relation, frozenset(lhs), fd.rhs))
+        # 3. Remove redundant FDs one at a time.
+        remaining: Set[FD] = set(reduced)
+        for fd in sorted(reduced, key=str):
+            trial = FDSet(self._relation, self._arity, remaining - {fd})
+            if trial.implies(fd):
+                remaining.discard(fd)
+        return FDSet(self._relation, self._arity, remaining)
+
+    # -- Section 7.1 predicates ----------------------------------------------------
+
+    def constant_attributes(self) -> AttributeSet:
+        """The attributes determined by the empty set, ``⟦R.∅^Δ⟧``."""
+        return self.closure(frozenset())
+
+    def is_equivalent_to_constant_attribute(self) -> bool:
+        """Whether this set is equivalent to a single ``∅ → B`` constraint.
+
+        The candidate is ``∅ → closure(∅)``, which this set implies by
+        construction, so only the converse direction needs testing.  An
+        all-trivial set qualifies via the trivial constraint ``∅ → ∅``.
+        """
+        candidate = FDSet(
+            self._relation,
+            self._arity,
+            [FD(self._relation, frozenset(), self.constant_attributes())],
+        )
+        return self.is_implied_by(candidate)
+
+    # -- Section 5.2 determiners -----------------------------------------------------
+
+    def is_nontrivial_determiner(self, attributes) -> bool:
+        """Whether ``A ⊊ ⟦R.A^Δ⟧`` (A determines something outside itself)."""
+        attributes = attr_set(attributes)
+        return attributes < self.closure(attributes)
+
+    def is_non_redundant_determiner(self, attributes) -> bool:
+        """Section 5.2: no ``B ⊊ A`` has ``closure(A) \\ A ⊆ closure(B)``."""
+        attributes = attr_set(attributes)
+        gain = self.closure(attributes) - attributes
+        if not gain:
+            return False  # a non-redundant determiner is necessarily nontrivial
+        return not any(
+            gain <= self.closure(frozenset(subset))
+            for subset in _proper_subsets(attributes)
+        )
+
+    def is_minimal_determiner(self, attributes) -> bool:
+        """Section 5.2: nontrivial, and strictly contains no nontrivial
+        determiner."""
+        attributes = attr_set(attributes)
+        if not self.is_nontrivial_determiner(attributes):
+            return False
+        return not any(
+            self.is_nontrivial_determiner(frozenset(subset))
+            for subset in _proper_subsets(attributes)
+        )
+
+    def nontrivial_determiners(self) -> FrozenSet[AttributeSet]:
+        """All nontrivial determiners (exponential in arity; arity is tiny)."""
+        universe = sorted(self.all_attributes())
+        return frozenset(
+            frozenset(subset)
+            for subset in _all_subsets(universe)
+            if self.is_nontrivial_determiner(frozenset(subset))
+        )
+
+    def minimal_determiners(self) -> FrozenSet[AttributeSet]:
+        """All minimal determiners."""
+        return frozenset(
+            determiner
+            for determiner in self.nontrivial_determiners()
+            if self.is_minimal_determiner(determiner)
+        )
+
+    def non_redundant_determiners(self) -> FrozenSet[AttributeSet]:
+        """All non-redundant determiners."""
+        universe = sorted(self.all_attributes())
+        return frozenset(
+            frozenset(subset)
+            for subset in _all_subsets(universe)
+            if self.is_non_redundant_determiner(frozenset(subset))
+        )
+
+
+def _proper_subsets(attributes: AttributeSet) -> Iterator[Tuple[int, ...]]:
+    """All proper subsets of ``attributes`` (as tuples), smallest first."""
+    items = sorted(attributes)
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items))
+    )
+
+
+def _all_subsets(items: List[int]) -> Iterator[Tuple[int, ...]]:
+    """All subsets of ``items`` (as tuples), smallest first."""
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1)
+    )

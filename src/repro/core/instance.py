@@ -1,0 +1,209 @@
+"""Database instances as immutable sets of facts.
+
+Following Section 2.1 of the paper, an instance over a signature is a
+finite set of facts; ``J ⊆ I`` (subinstance) is plain set inclusion.  The
+:class:`Instance` class is a thin immutable wrapper over a frozenset of
+:class:`~repro.core.fact.Fact` objects that additionally knows its
+signature, validates arities, and offers per-relation views.
+
+All repair-theoretic operations (conflicts, repairs, improvements) live in
+their own modules and take instances as inputs; this module is purely the
+data substrate.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.fact import Fact
+from repro.core.signature import Signature
+from repro.exceptions import ArityError, NotASubinstanceError, UnknownRelationError
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An immutable set of facts over a signature.
+
+    Parameters
+    ----------
+    signature:
+        The signature the facts must conform to.
+    facts:
+        Any iterable of :class:`Fact`; validated against the signature.
+
+    Instances support the standard set protocol (`in`, `len`, iteration,
+    `<=`, `|`, `-`, `&`) where binary operations require both operands to
+    share a signature.
+
+    Examples
+    --------
+    >>> sig = Signature.single("R", 2)
+    >>> inst = Instance(sig, [Fact("R", (1, 2)), Fact("R", (1, 3))])
+    >>> len(inst)
+    2
+    >>> Fact("R", (1, 2)) in inst
+    True
+    """
+
+    __slots__ = ("_signature", "_facts", "_by_relation")
+
+    def __init__(self, signature: Signature, facts: Iterable[Fact] = ()) -> None:
+        validated = []
+        for fact in facts:
+            if fact.relation not in signature:
+                raise UnknownRelationError(fact.relation)
+            expected = signature.arity(fact.relation)
+            if fact.arity != expected:
+                raise ArityError(fact.relation, expected, fact.arity)
+            validated.append(fact)
+        self._signature = signature
+        self._facts: FrozenSet[Fact] = frozenset(validated)
+        by_relation: Dict[str, set] = {}
+        for fact in self._facts:
+            by_relation.setdefault(fact.relation, set()).add(fact)
+        self._by_relation: Dict[str, FrozenSet[Fact]] = {
+            name: frozenset(group) for name, group in by_relation.items()
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        signature: Signature,
+        tuples_by_relation: Mapping[str, Iterable[Sequence[Any]]],
+    ) -> "Instance":
+        """Build an instance from raw tuples grouped by relation name.
+
+        Examples
+        --------
+        >>> sig = Signature.single("R", 2)
+        >>> inst = Instance.from_tuples(sig, {"R": [(1, 2), (3, 4)]})
+        >>> len(inst)
+        2
+        """
+        facts = [
+            Fact(name, tuple(row))
+            for name, rows in tuples_by_relation.items()
+            for row in rows
+        ]
+        return cls(signature, facts)
+
+    def with_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance additionally containing ``facts``."""
+        return Instance(self._signature, self._facts | frozenset(facts))
+
+    def without_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance with ``facts`` removed (missing facts ignored)."""
+        return Instance(self._signature, self._facts - frozenset(facts))
+
+    def replace_facts(
+        self, removed: Iterable[Fact], added: Iterable[Fact]
+    ) -> "Instance":
+        """A new instance with ``removed`` taken out and ``added`` put in."""
+        return Instance(
+            self._signature, (self._facts - frozenset(removed)) | frozenset(added)
+        )
+
+    # -- set protocol ----------------------------------------------------------
+
+    @property
+    def signature(self) -> Signature:
+        """The signature this instance conforms to."""
+        return self._signature
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        """The facts as a frozenset."""
+        return self._facts
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __bool__(self) -> bool:
+        return bool(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return (
+                self._signature == other._signature and self._facts == other._facts
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._signature, self._facts))
+
+    def __le__(self, other: "Instance") -> bool:
+        """Subinstance test ``J ⊆ I``."""
+        return self._facts <= other._facts
+
+    def __lt__(self, other: "Instance") -> bool:
+        return self._facts < other._facts
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return Instance(self._signature, self._facts | other._facts)
+
+    def __sub__(self, other: "Instance") -> "Instance":
+        return Instance(self._signature, self._facts - other._facts)
+
+    def __and__(self, other: "Instance") -> "Instance":
+        return Instance(self._signature, self._facts & other._facts)
+
+    # -- views -----------------------------------------------------------------
+
+    def relation(self, name: str) -> FrozenSet[Fact]:
+        """The facts of relation ``name`` (empty for unused relations)."""
+        if name not in self._signature:
+            raise UnknownRelationError(name)
+        return self._by_relation.get(name, frozenset())
+
+    def relation_names_used(self) -> FrozenSet[str]:
+        """The relation names that actually hold at least one fact."""
+        return frozenset(self._by_relation)
+
+    def restrict_to_relation(self, name: str) -> "Instance":
+        """The instance over the one-relation signature ``{name}``.
+
+        This is the per-relation decomposition used by Proposition 3.5.
+        """
+        return Instance(self._signature.restrict(name), self.relation(name))
+
+    def subinstance(self, facts: Iterable[Fact]) -> "Instance":
+        """A subinstance with exactly ``facts``, validated to be ⊆ self."""
+        chosen = frozenset(facts)
+        extra = chosen - self._facts
+        if extra:
+            raise NotASubinstanceError(
+                f"{len(extra)} fact(s) are not part of the instance, "
+                f"e.g. {next(iter(extra))}"
+            )
+        return Instance(self._signature, chosen)
+
+    def active_domain(self) -> FrozenSet[Any]:
+        """All constants appearing anywhere in the instance."""
+        return frozenset(
+            value for fact in self._facts for value in fact.values
+        )
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(f) for f in sorted(self._facts, key=str)[:6])
+        suffix = ", ..." if len(self._facts) > 6 else ""
+        return f"Instance({len(self._facts)} facts: {preview}{suffix})"

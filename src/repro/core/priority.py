@@ -1,0 +1,314 @@
+"""Priority relations over the facts of an instance (Sections 2.3 and 7).
+
+A *priority* ``≻`` on an instance ``I`` is an acyclic binary relation on
+the facts of ``I``; ``f ≻ g`` reads "f has higher priority than g".  A
+*prioritizing instance* is a pair ``(I, ≻)``.  In the classical setting
+(Section 2.3), priorities are only allowed between *conflicting* facts; a
+*ccp-instance* (cross-conflict-prioritizing, Section 7) drops that
+restriction.
+
+:class:`PriorityRelation` stores the edge set explicitly with successor /
+predecessor adjacency, validates acyclicity on construction, and offers
+the queries the checking algorithms need (`prefers`, `preferred_over`,
+`improvers_of`).  :class:`PrioritizingInstance` bundles the instance, the
+priority, and the schema, and validates the conflicting-facts restriction
+unless ``ccp=True``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.conflicts import ConflictIndex
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.exceptions import (
+    CrossConflictPriorityError,
+    CyclicPriorityError,
+    InvalidPriorityError,
+    NotASubinstanceError,
+)
+
+__all__ = ["PriorityRelation", "PrioritizingInstance"]
+
+
+class PriorityRelation:
+    """An acyclic binary relation ``≻`` over facts.
+
+    Parameters
+    ----------
+    edges:
+        Pairs ``(f, g)`` meaning ``f ≻ g``.
+
+    Raises
+    ------
+    CyclicPriorityError
+        If the edges contain a directed cycle (including self-loops).
+
+    Examples
+    --------
+    >>> f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    >>> pri = PriorityRelation([(f, g)])
+    >>> pri.prefers(f, g)
+    True
+    >>> pri.prefers(g, f)
+    False
+    """
+
+    __slots__ = ("_edges", "_successors", "_predecessors")
+
+    def __init__(self, edges: Iterable[Tuple[Fact, Fact]] = ()) -> None:
+        edge_set: FrozenSet[Tuple[Fact, Fact]] = frozenset(edges)
+        successors: Dict[Fact, Set[Fact]] = {}
+        predecessors: Dict[Fact, Set[Fact]] = {}
+        for better, worse in edge_set:
+            successors.setdefault(better, set()).add(worse)
+            predecessors.setdefault(worse, set()).add(better)
+        self._edges = edge_set
+        self._successors = {
+            fact: frozenset(outs) for fact, outs in successors.items()
+        }
+        self._predecessors = {
+            fact: frozenset(ins) for fact, ins in predecessors.items()
+        }
+        cycle = self._find_cycle()
+        if cycle is not None:
+            raise CyclicPriorityError(cycle)
+
+    def _find_cycle(self) -> Optional[List[Fact]]:
+        """An iterative DFS cycle finder; returns a witness cycle or None."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Fact, int] = {}
+        parent: Dict[Fact, Optional[Fact]] = {}
+        for root in self._successors:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[Fact, Iterator[Fact]]] = [
+                (root, iter(self._successors.get(root, ())))
+            ]
+            color[root] = GRAY
+            parent[root] = None
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = color.get(child, WHITE)
+                    if state == GRAY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]  # type: ignore[assignment]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append(
+                            (child, iter(self._successors.get(child, ())))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "PriorityRelation":
+        """The empty priority (every repair is then optimal under all
+        semantics, recovering classical subset repairs)."""
+        return cls()
+
+    def with_edges(
+        self, edges: Iterable[Tuple[Fact, Fact]]
+    ) -> "PriorityRelation":
+        """A new relation with ``edges`` added (re-validates acyclicity)."""
+        return PriorityRelation(self._edges | frozenset(edges))
+
+    def restrict_to(self, facts: Iterable[Fact]) -> "PriorityRelation":
+        """The restriction of ``≻`` to pairs inside ``facts``.
+
+        Used by the per-relation decomposition of Proposition 3.5.
+        """
+        keep = frozenset(facts)
+        return PriorityRelation(
+            (f, g) for f, g in self._edges if f in keep and g in keep
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def edges(self) -> FrozenSet[Tuple[Fact, Fact]]:
+        """All ``(better, worse)`` pairs."""
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __bool__(self) -> bool:
+        return bool(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PriorityRelation):
+            return self._edges == other._edges
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._edges)
+
+    def prefers(self, better: Fact, worse: Fact) -> bool:
+        """Whether ``better ≻ worse``."""
+        return (better, worse) in self._edges
+
+    def preferred_over(self, fact: Fact) -> FrozenSet[Fact]:
+        """All facts ``g`` with ``fact ≻ g``."""
+        return self._successors.get(fact, frozenset())
+
+    def improvers_of(self, fact: Fact) -> FrozenSet[Fact]:
+        """All facts ``g`` with ``g ≻ fact``."""
+        return self._predecessors.get(fact, frozenset())
+
+    def facts_mentioned(self) -> FrozenSet[Fact]:
+        """Every fact occurring in some edge."""
+        return frozenset(self._successors) | frozenset(self._predecessors)
+
+    def is_total_on_conflicts(
+        self, schema: Schema, instance: Instance
+    ) -> bool:
+        """Whether every conflicting pair of ``instance`` is ≻-comparable.
+
+        Total priorities are the *completions* of Staworko et al.'s
+        completion-optimal semantics.
+        """
+        from repro.core.conflicts import iter_conflicts
+
+        for _, f, g in iter_conflicts(schema, instance):
+            if not (self.prefers(f, g) or self.prefers(g, f)):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"PriorityRelation({len(self._edges)} edges)"
+
+
+class PrioritizingInstance:
+    """A (possibly inconsistent) instance paired with a priority relation.
+
+    Parameters
+    ----------
+    schema:
+        The schema fixing the FDs.
+    instance:
+        The instance ``I``.
+    priority:
+        The relation ``≻`` over the facts of ``I``.
+    ccp:
+        When False (the classical setting of Section 2.3), every priority
+        edge must relate two *conflicting* facts of ``I``; when True (the
+        ccp-instances of Section 7) only acyclicity and membership in
+        ``I`` are required.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    >>> inst = schema.instance([f, g])
+    >>> pi = PrioritizingInstance(schema, inst, PriorityRelation([(f, g)]))
+    >>> pi.priority.prefers(f, g)
+    True
+    """
+
+    __slots__ = ("_schema", "_instance", "_priority", "_ccp")
+
+    def __init__(
+        self,
+        schema: Schema,
+        instance: Instance,
+        priority: PriorityRelation,
+        ccp: bool = False,
+    ) -> None:
+        mentioned = priority.facts_mentioned()
+        missing = mentioned - instance.facts
+        if missing:
+            raise InvalidPriorityError(
+                f"priority mentions {len(missing)} fact(s) outside the "
+                f"instance, e.g. {next(iter(missing))}"
+            )
+        if not ccp:
+            index = ConflictIndex(schema, instance)
+            for better, worse in priority.edges:
+                if worse not in index.conflicts_of(better):
+                    raise CrossConflictPriorityError(
+                        f"priority edge {better} > {worse} relates "
+                        f"non-conflicting facts; pass ccp=True for the "
+                        f"cross-conflict setting of Section 7"
+                    )
+        self._schema = schema
+        self._instance = instance
+        self._priority = priority
+        self._ccp = ccp
+
+    @property
+    def schema(self) -> Schema:
+        """The schema fixing the FDs."""
+        return self._schema
+
+    @property
+    def instance(self) -> Instance:
+        """The instance ``I``."""
+        return self._instance
+
+    @property
+    def priority(self) -> PriorityRelation:
+        """The priority relation ``≻``."""
+        return self._priority
+
+    @property
+    def is_ccp(self) -> bool:
+        """Whether this is a cross-conflict-prioritizing instance."""
+        return self._ccp
+
+    def subinstance(self, facts: Iterable[Fact]) -> Instance:
+        """A validated subinstance of ``I`` (raises if facts ⊄ I)."""
+        return self._instance.subinstance(facts)
+
+    def restrict_to_relation(self, name: str) -> "PrioritizingInstance":
+        """The per-relation restriction of Proposition 3.5.
+
+        Only valid in the classical setting; ccp priorities may cross
+        relations, making the decomposition unsound, so this raises for
+        ccp instances.
+        """
+        if self._ccp:
+            raise InvalidPriorityError(
+                "per-relation decomposition (Prop. 3.5) is unsound for "
+                "ccp-instances"
+            )
+        restricted_instance = self._instance.restrict_to_relation(name)
+        return PrioritizingInstance(
+            self._schema.restrict(name),
+            restricted_instance,
+            self._priority.restrict_to(restricted_instance.facts),
+            ccp=False,
+        )
+
+    def __repr__(self) -> str:
+        kind = "ccp" if self._ccp else "classical"
+        return (
+            f"PrioritizingInstance({len(self._instance)} facts, "
+            f"{len(self._priority)} priority edges, {kind})"
+        )

@@ -1,0 +1,181 @@
+"""Schemas: a signature together with a set of functional dependencies.
+
+A schema ``S = (R, Δ)`` (Section 2.2) is the fixed part of every problem
+in the paper: complexity is measured *per schema* (data complexity), and
+the dichotomy theorems classify schemas.  This module binds FDs to the
+signature, validates them, and exposes the per-relation restriction
+``Δ|R`` used throughout the paper (Proposition 3.5 reduces everything to
+single-relation schemas).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.fd import FD
+from repro.core.fdset import FDSet
+from repro.core.instance import Instance
+from repro.core.signature import RelationSymbol, Signature
+from repro.exceptions import UnknownRelationError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An immutable schema ``(signature, Δ)``.
+
+    Examples
+    --------
+    The paper's running example (Example 2.2):
+
+    >>> sig = Signature([
+    ...     RelationSymbol("BookLoc", 3, ("isbn", "genre", "lib")),
+    ...     RelationSymbol("LibLoc", 2, ("lib", "loc")),
+    ... ])
+    >>> schema = Schema(sig, [
+    ...     FD("BookLoc", {1}, {2}),
+    ...     FD("LibLoc", {1}, {2}),
+    ...     FD("LibLoc", {2}, {1}),
+    ... ])
+    >>> len(schema.fds_for("BookLoc"))
+    1
+    """
+
+    __slots__ = ("_signature", "_fds", "_by_relation")
+
+    def __init__(self, signature: Signature, fds: Iterable[FD] = ()) -> None:
+        fd_tuple = tuple(fds)
+        for fd in fd_tuple:
+            if fd.relation not in signature:
+                raise UnknownRelationError(fd.relation)
+            fd.validate_for_arity(signature.arity(fd.relation))
+        self._signature = signature
+        self._fds: FrozenSet[FD] = frozenset(fd_tuple)
+        by_relation: Dict[str, FDSet] = {}
+        for relation in signature:
+            relation_fds = frozenset(
+                fd for fd in self._fds if fd.relation == relation.name
+            )
+            by_relation[relation.name] = FDSet(
+                relation.name, relation.arity, relation_fds
+            )
+        self._by_relation = by_relation
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def single_relation(
+        cls,
+        fd_texts: Iterable[str],
+        relation: str = "R",
+        arity: Optional[int] = None,
+        attribute_names: Optional[Tuple[str, ...]] = None,
+    ) -> "Schema":
+        """Build a one-relation schema from FD shorthand strings.
+
+        If ``arity`` is omitted it is inferred as the largest attribute
+        mentioned by any FD (and at least 1).
+
+        Examples
+        --------
+        >>> schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        >>> schema.relation_names() == frozenset({'R'})
+        True
+        """
+        fds = [FD.parse(text, relation=relation) for text in fd_texts]
+        if arity is None:
+            mentioned = [p for fd in fds for p in fd.lhs | fd.rhs]
+            arity = max(mentioned) if mentioned else 1
+        signature = Signature.single(relation, arity, attribute_names)
+        return cls(signature, fds)
+
+    @classmethod
+    def parse(
+        cls,
+        relations: Mapping[str, int],
+        fd_texts: Iterable[str],
+    ) -> "Schema":
+        """Build a schema from ``{name: arity}`` plus FD shorthand strings.
+
+        Examples
+        --------
+        >>> schema = Schema.parse(
+        ...     {"R": 3, "S": 2},
+        ...     ["R: 1 -> 2", "S: {} -> 1"],
+        ... )
+        >>> sorted(schema.relation_names())
+        ['R', 'S']
+        """
+        signature = Signature(
+            [RelationSymbol(name, arity) for name, arity in relations.items()]
+        )
+        fds = [FD.parse(text) for text in fd_texts]
+        return cls(signature, fds)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def signature(self) -> Signature:
+        """The schema's signature."""
+        return self._signature
+
+    @property
+    def fds(self) -> FrozenSet[FD]:
+        """All FDs of the schema (the paper's Δ)."""
+        return self._fds
+
+    def relation_names(self) -> FrozenSet[str]:
+        """The names of all relation symbols."""
+        return self._signature.relation_names()
+
+    def relation(self, name: str) -> RelationSymbol:
+        """The relation symbol called ``name``."""
+        return self._signature[name]
+
+    def fds_for(self, name: str) -> FDSet:
+        """The restriction ``Δ|R`` as an :class:`FDSet` (Section 2.2)."""
+        try:
+            return self._by_relation[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def per_relation(self) -> Iterator[Tuple[RelationSymbol, FDSet]]:
+        """Iterate ``(R, Δ|R)`` pairs, the decomposition of Prop. 3.5."""
+        for relation in self._signature:
+            yield relation, self._by_relation[relation.name]
+
+    def restrict(self, name: str) -> "Schema":
+        """The single-relation schema ``({R}, Δ|R)`` of Proposition 3.5."""
+        return Schema(self._signature.restrict(name), self.fds_for(name).fds)
+
+    # -- semantics ----------------------------------------------------------------------
+
+    def empty_instance(self) -> Instance:
+        """The empty instance over this schema's signature."""
+        return Instance(self._signature)
+
+    def instance(self, facts) -> Instance:
+        """An instance over this schema's signature holding ``facts``."""
+        return Instance(self._signature, facts)
+
+    def is_consistent(self, instance: Instance) -> bool:
+        """Whether ``instance ⊨ Δ`` (no δ-conflict for any δ ∈ Δ).
+
+        Uses hash-grouping per FD left-hand side, so the cost is linear in
+        the instance for a fixed schema.
+        """
+        from repro.core.conflicts import has_conflict  # local import: avoid cycle
+
+        return not has_conflict(self, instance)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._signature == other._signature and self._fds == other._fds
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._signature, self._fds))
+
+    def __repr__(self) -> str:
+        fd_text = ", ".join(sorted(str(fd) for fd in self._fds))
+        return f"Schema({self._signature!r}, Δ={{{fd_text}}})"

@@ -1,0 +1,167 @@
+"""Relational signatures: relation symbols with fixed arities.
+
+The paper (Section 2.1) defines a signature as a finite set of relation
+symbols, each with a designated positive arity.  Attributes are referred to
+by *position*: the attributes of a relation symbol ``R`` are the indices
+``1 .. arity(R)``, written ``⟦R⟧`` in the paper and exposed here as
+:meth:`RelationSymbol.attributes`.
+
+Attribute *names* (such as ``isbn`` in the running example) are purely
+cosmetic in the formalism; we support them as optional documentation on
+:class:`RelationSymbol` because they make examples and error messages far
+more readable, but nothing in the algorithms depends on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.exceptions import SchemaError, UnknownRelationError
+
+__all__ = ["RelationSymbol", "Signature"]
+
+
+@dataclass(frozen=True)
+class RelationSymbol:
+    """A relation symbol with a fixed positive arity.
+
+    Parameters
+    ----------
+    name:
+        The symbol's name, e.g. ``"BookLoc"``.  Names are unique within a
+        :class:`Signature`.
+    arity:
+        The number of attributes (columns); must be positive.
+    attribute_names:
+        Optional human-readable names for the attributes, e.g.
+        ``("isbn", "genre", "lib")``.  If given, the tuple length must
+        equal ``arity``.
+
+    Examples
+    --------
+    >>> book_loc = RelationSymbol("BookLoc", 3, ("isbn", "genre", "lib"))
+    >>> book_loc.attributes()
+    frozenset({1, 2, 3})
+    >>> book_loc.attribute_name(1)
+    'isbn'
+    """
+
+    name: str
+    arity: int
+    attribute_names: Optional[Tuple[str, ...]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation symbol name must be non-empty")
+        if self.arity < 1:
+            raise SchemaError(
+                f"relation {self.name!r}: arity must be positive, got {self.arity}"
+            )
+        if self.attribute_names is not None:
+            names = tuple(self.attribute_names)
+            object.__setattr__(self, "attribute_names", names)
+            if len(names) != self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: got {len(names)} attribute names "
+                    f"for arity {self.arity}"
+                )
+
+    def attributes(self) -> FrozenSet[int]:
+        """The attribute positions ``{1, ..., arity}`` (the paper's ⟦R⟧)."""
+        return frozenset(range(1, self.arity + 1))
+
+    def attribute_name(self, position: int) -> str:
+        """A printable name for attribute ``position`` (1-based).
+
+        Falls back to ``"#<position>"`` when no names were declared.
+        """
+        if not 1 <= position <= self.arity:
+            raise SchemaError(
+                f"relation {self.name!r}: attribute {position} out of range "
+                f"1..{self.arity}"
+            )
+        if self.attribute_names is None:
+            return f"#{position}"
+        return self.attribute_names[position - 1]
+
+    def __str__(self) -> str:
+        if self.attribute_names is not None:
+            cols = ", ".join(self.attribute_names)
+        else:
+            cols = ", ".join(f"#{i}" for i in range(1, self.arity + 1))
+        return f"{self.name}({cols})"
+
+
+class Signature:
+    """An immutable collection of uniquely-named relation symbols.
+
+    Examples
+    --------
+    >>> sig = Signature([
+    ...     RelationSymbol("BookLoc", 3, ("isbn", "genre", "lib")),
+    ...     RelationSymbol("LibLoc", 2, ("lib", "loc")),
+    ... ])
+    >>> sorted(sig.relation_names())
+    ['BookLoc', 'LibLoc']
+    >>> sig["LibLoc"].arity
+    2
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSymbol]) -> None:
+        by_name: Dict[str, RelationSymbol] = {}
+        for relation in relations:
+            if relation.name in by_name:
+                raise SchemaError(
+                    f"duplicate relation symbol: {relation.name!r}"
+                )
+            by_name[relation.name] = relation
+        if not by_name:
+            raise SchemaError("a signature must contain at least one relation")
+        self._relations: Dict[str, RelationSymbol] = by_name
+
+    @classmethod
+    def single(cls, name: str, arity: int, attribute_names=None) -> "Signature":
+        """Convenience constructor for a one-relation signature."""
+        return cls([RelationSymbol(name, arity, attribute_names)])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.values()))
+
+    def relation_names(self) -> FrozenSet[str]:
+        """The names of all relation symbols in this signature."""
+        return frozenset(self._relations)
+
+    def arity(self, name: str) -> int:
+        """The arity of relation ``name`` (raises for unknown relations)."""
+        return self[name].arity
+
+    def restrict(self, name: str) -> "Signature":
+        """The one-relation signature ``{R}`` used by Proposition 3.5."""
+        return Signature([self[name]])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(r) for r in self)
+        return f"Signature({{{inner}}})"

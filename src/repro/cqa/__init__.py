@@ -1,0 +1,30 @@
+"""Consistent query answering over classical and preferred repairs.
+
+The paper's stated future-work direction, implemented by enumeration as
+a reference semantics: conjunctive queries (:mod:`repro.cqa.queries`),
+naive evaluation (:mod:`repro.cqa.evaluation`), and certain answers over
+all / Pareto-optimal / globally-optimal / completion-optimal repairs
+(:mod:`repro.cqa.consistent_answers`).
+"""
+
+from repro.cqa.consistent_answers import consistent_answers, preferred_repairs
+from repro.cqa.evaluation import evaluate, holds
+from repro.cqa.membership import (
+    fact_in_every_preferred_repair,
+    fact_in_some_preferred_repair,
+    fact_survival_census,
+)
+from repro.cqa.queries import Atom, ConjunctiveQuery, Var
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Var",
+    "evaluate",
+    "holds",
+    "consistent_answers",
+    "preferred_repairs",
+    "fact_in_every_preferred_repair",
+    "fact_in_some_preferred_repair",
+    "fact_survival_census",
+]

@@ -1,0 +1,97 @@
+"""Consistent query answering over classical and preferred repairs.
+
+The consistent answers of a query ``q`` on an inconsistent instance
+``I`` are ``⋂ {q(J) : J is a repair of I}`` (Arenas–Bertossi–Chomicki,
+quoted in the paper's introduction).  Restricting the intersection to
+*preferred* repairs yields the preferred-CQA semantics the paper's
+concluding remarks pose as future work; this module computes all four
+variants by repair enumeration:
+
+========================  =============================================
+``semantics``             repairs intersected
+========================  =============================================
+``"all"``                 every (subset) repair
+``"global"``              globally-optimal repairs
+``"pareto"``              Pareto-optimal repairs
+``"completion"``          completion-optimal repairs
+========================  =============================================
+
+Enumeration is exponential in general — this is a reference
+implementation for moderate instances and a ground truth for future
+polynomial algorithms, not a scalable evaluator.  Because the semantics
+nest (completion ⊆ global ⊆ pareto ⊆ all), the certain answers grow
+along the same chain, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterator, Tuple
+
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.repairs import enumerate_repairs
+from repro.cqa.evaluation import evaluate
+from repro.cqa.queries import ConjunctiveQuery
+
+__all__ = ["consistent_answers", "preferred_repairs"]
+
+
+def preferred_repairs(
+    prioritizing: PrioritizingInstance, semantics: str = "global"
+) -> Iterator[Instance]:
+    """The repairs selected by ``semantics`` (see module docstring)."""
+    schema = prioritizing.schema
+    for repair in enumerate_repairs(schema, prioritizing.instance):
+        if semantics == "all":
+            yield repair
+        elif semantics == "global":
+            if check_globally_optimal(prioritizing, repair).is_optimal:
+                yield repair
+        elif semantics == "pareto":
+            if check_pareto_optimal(prioritizing, repair).is_optimal:
+                yield repair
+        elif semantics == "completion":
+            if check_completion_optimal(prioritizing, repair).is_optimal:
+                yield repair
+        else:
+            raise ValueError(f"unknown semantics {semantics!r}")
+
+
+def consistent_answers(
+    query: ConjunctiveQuery,
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+) -> FrozenSet[Tuple[Any, ...]]:
+    """The certain answers of ``query`` over the selected repairs.
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact, PriorityRelation
+    >>> from repro.core import PrioritizingInstance
+    >>> from repro.cqa.queries import Atom, ConjunctiveQuery, Var
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+    ... )
+    >>> q = ConjunctiveQuery((Var("v"),), (Atom("R", (1, Var("v"))),))
+    >>> consistent_answers(q, pri, semantics="all")
+    frozenset()
+    >>> consistent_answers(q, pri, semantics="global")
+    frozenset({('new',)})
+    """
+    query.validate_against(prioritizing.schema)
+    answers = None
+    for repair in preferred_repairs(prioritizing, semantics=semantics):
+        repair_answers = evaluate(query, repair)
+        answers = (
+            repair_answers if answers is None else answers & repair_answers
+        )
+        if answers is not None and not answers:
+            break  # the intersection can only shrink
+    return frozenset() if answers is None else answers

@@ -1,0 +1,92 @@
+"""Naive conjunctive-query evaluation over a single instance.
+
+Backtracking join: atoms are matched left to right against the facts of
+the instance, accumulating a substitution; every complete substitution
+projects onto the head.  Exponential in the number of atoms in the
+worst case (query complexity), linear-ish in the data per atom — which
+is all the enumeration-based CQA semantics needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.cqa.queries import Atom, ConjunctiveQuery, Var
+
+__all__ = ["evaluate", "holds"]
+
+_Substitution = Dict[Var, Any]
+
+
+def _match_atom(
+    atom: Atom, fact: Fact, substitution: _Substitution
+) -> Optional[_Substitution]:
+    """Extend ``substitution`` so that ``atom`` matches ``fact``."""
+    if fact.relation != atom.relation or fact.arity != len(atom.terms):
+        return None
+    extended = dict(substitution)
+    for term, value in zip(atom.terms, fact.values):
+        if isinstance(term, Var):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _search(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    atom_index: int,
+    substitution: _Substitution,
+) -> Iterator[_Substitution]:
+    if atom_index == len(query.body):
+        yield substitution
+        return
+    atom = query.body[atom_index]
+    for fact in instance.relation(atom.relation):
+        extended = _match_atom(atom, fact, substitution)
+        if extended is not None:
+            yield from _search(query, instance, atom_index + 1, extended)
+
+
+def evaluate(
+    query: ConjunctiveQuery, instance: Instance
+) -> FrozenSet[Tuple[Any, ...]]:
+    """The answer set ``q(instance)`` as a set of head-value tuples.
+
+    A boolean query returns ``{()}`` when it holds and ``frozenset()``
+    otherwise.
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> inst = schema.instance([Fact("R", (1, "a")), Fact("R", (2, "b"))])
+    >>> q = ConjunctiveQuery((Var("x"),), (Atom("R", (Var("x"), "a")),))
+    >>> evaluate(q, inst)
+    frozenset({(1,)})
+    """
+    answers = set()
+    for substitution in _search(query, instance, 0, {}):
+        answers.add(tuple(substitution[var] for var in query.head))
+    return frozenset(answers)
+
+
+def holds(query: ConjunctiveQuery, instance: Instance) -> bool:
+    """Whether a boolean query is satisfied by ``instance``."""
+    for _ in _search(query, instance, 0, {}):
+        return True
+    return False

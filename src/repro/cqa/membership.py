@@ -1,0 +1,109 @@
+"""Fact-level certain/possible membership in preferred repairs.
+
+The atomic special case of preferred consistent query answering: is a
+given fact in *every* optimal repair (a certain fact — it survives any
+reasonable cleaning) or in *some* optimal repair (a possible fact)?
+Both are computed by enumeration, with early exit, matching the
+reference semantics of :mod:`repro.cqa.consistent_answers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.core.fact import Fact
+from repro.core.priority import PrioritizingInstance
+from repro.cqa.consistent_answers import preferred_repairs
+from repro.exceptions import ReproError
+
+__all__ = [
+    "fact_in_every_preferred_repair",
+    "fact_in_some_preferred_repair",
+    "fact_survival_census",
+]
+
+
+def _require_member(prioritizing: PrioritizingInstance, fact: Fact) -> None:
+    if fact not in prioritizing.instance:
+        raise ReproError(f"{fact} is not a fact of the instance")
+
+
+def fact_in_every_preferred_repair(
+    prioritizing: PrioritizingInstance,
+    fact: Fact,
+    semantics: str = "global",
+) -> bool:
+    """Whether ``fact`` belongs to every repair optimal under
+    ``semantics`` (a *certain* fact).
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact, PriorityRelation
+    >>> from repro.core import PrioritizingInstance
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([new, old]),
+    ...     PriorityRelation([(new, old)]),
+    ... )
+    >>> fact_in_every_preferred_repair(pri, new)
+    True
+    >>> fact_in_every_preferred_repair(pri, new, semantics="all")
+    False
+    """
+    _require_member(prioritizing, fact)
+    return all(
+        fact in repair
+        for repair in preferred_repairs(prioritizing, semantics=semantics)
+    )
+
+
+def fact_in_some_preferred_repair(
+    prioritizing: PrioritizingInstance,
+    fact: Fact,
+    semantics: str = "global",
+) -> bool:
+    """Whether ``fact`` belongs to at least one optimal repair
+    (a *possible* fact)."""
+    _require_member(prioritizing, fact)
+    return any(
+        fact in repair
+        for repair in preferred_repairs(prioritizing, semantics=semantics)
+    )
+
+
+def fact_survival_census(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+) -> Dict[str, FrozenSet[Fact]]:
+    """Partition the instance by survival across the optimal repairs.
+
+    Returns ``{"certain": ..., "possible": ..., "doomed": ...}`` —
+    facts in every optimal repair, in some but not all, and in none.
+
+    For classical priorities over schemas whose every ``Δ|R`` is
+    equivalent to a single FD, the answer comes from the polynomial
+    per-block analysis of :mod:`repro.core.counting_optimal`; otherwise
+    one enumeration pass runs (exponential in general).
+    """
+    if semantics in ("global", "pareto"):
+        from repro.core.counting_optimal import fast_fact_survival_census
+
+        fast = fast_fact_survival_census(prioritizing, semantics=semantics)
+        if fast is not None:
+            return fast
+    instance_facts = prioritizing.instance.facts
+    in_all = set(instance_facts)
+    in_some: set = set()
+    saw_any = False
+    for repair in preferred_repairs(prioritizing, semantics=semantics):
+        saw_any = True
+        in_all &= repair.facts
+        in_some |= repair.facts
+    if not saw_any:
+        in_all = set()
+    return {
+        "certain": frozenset(in_all),
+        "possible": frozenset(in_some - in_all),
+        "doomed": frozenset(instance_facts - in_some),
+    }

@@ -1,0 +1,125 @@
+"""Conjunctive queries over relational instances.
+
+The paper's concluding remarks name *consistent query answering in the
+framework of preferred repairs* as the next problem its tools should
+unlock; this package implements the semantics by enumeration so the
+library can answer such queries on moderate instances (and so future
+classification work has a reference implementation to test against).
+
+A conjunctive query is ``q(x̄) :- R1(t̄1), …, Rm(t̄m)`` where each term
+is a variable or a constant and every head variable occurs in the body
+(safety).  Variables are :class:`Var` objects; anything else is treated
+as a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Sequence, Tuple
+
+from repro.core.schema import Schema
+from repro.exceptions import QueryError
+
+__all__ = ["Var", "Atom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A query variable, identified by name.
+
+    Examples
+    --------
+    >>> Var("x") == Var("x")
+    True
+    >>> Var("x") == Var("y")
+    False
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)`` with variables or constants.
+
+    Examples
+    --------
+    >>> atom = Atom("BookLoc", (Var("b"), "fiction", Var("l")))
+    >>> sorted(v.name for v in atom.variables())
+    ['b', 'l']
+    """
+
+    relation: str
+    terms: Tuple[Any, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        if not self.terms:
+            raise QueryError("an atom needs at least one term")
+
+    def variables(self) -> FrozenSet[Var]:
+        """The variables occurring in this atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A safe conjunctive query ``q(head) :- body``.
+
+    Examples
+    --------
+    >>> q = ConjunctiveQuery(
+    ...     head=(Var("lib"),),
+    ...     body=(
+    ...         Atom("BookLoc", (Var("b"), "fiction", Var("lib"))),
+    ...     ),
+    ... )
+    >>> q.is_boolean()
+    False
+    """
+
+    head: Tuple[Var, ...]
+    body: Tuple[Atom, ...]
+
+    def __init__(self, head: Sequence[Var], body: Sequence[Atom]) -> None:
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "body", tuple(body))
+        if not self.body:
+            raise QueryError("a conjunctive query needs a non-empty body")
+        body_vars = frozenset(
+            var for atom in self.body for var in atom.variables()
+        )
+        unsafe = [var for var in self.head if var not in body_vars]
+        if unsafe:
+            raise QueryError(
+                f"unsafe head variables (not in the body): {unsafe!r}"
+            )
+
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty head (true/false answer)."""
+        return not self.head
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check every atom's relation and arity against ``schema``."""
+        for atom in self.body:
+            if atom.relation not in schema.signature:
+                raise QueryError(f"unknown relation in query: {atom.relation!r}")
+            expected = schema.signature.arity(atom.relation)
+            if len(atom.terms) != expected:
+                raise QueryError(
+                    f"atom {atom!r} has {len(atom.terms)} terms; relation "
+                    f"{atom.relation!r} has arity {expected}"
+                )
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(v) for v in self.head)
+        body = ", ".join(repr(a) for a in self.body)
+        return f"q({head}) :- {body}"

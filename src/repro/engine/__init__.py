@@ -1,0 +1,27 @@
+"""The user-facing database engine: mutable tables plus repair management.
+
+:class:`Database` holds possibly-inconsistent data and priority
+declarations; :class:`RepairManager` seals it and answers the
+repair-theoretic questions (check / enumerate / clean).
+"""
+
+from repro.engine.csv_loader import load_csv, load_tagged_sources
+from repro.engine.database import Database
+from repro.engine.repair_manager import RepairManager
+from repro.engine.rules import (
+    attribute_order,
+    chain,
+    newer_timestamp,
+    source_ranking,
+)
+
+__all__ = [
+    "Database",
+    "RepairManager",
+    "load_csv",
+    "load_tagged_sources",
+    "newer_timestamp",
+    "source_ranking",
+    "attribute_order",
+    "chain",
+]

@@ -1,0 +1,133 @@
+"""CSV ingestion for the database engine.
+
+Real cleaning workloads arrive as CSV exports; this module loads them
+into a :class:`~repro.engine.database.Database` with optional typed
+columns, and can attach a source tag priority in one step ("everything
+from feed A beats conflicting facts from feed B").
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.fact import Fact
+from repro.engine.database import Database
+from repro.exceptions import ReproError
+
+__all__ = ["load_csv", "load_tagged_sources"]
+
+#: A column converter: maps the raw string cell to a constant.
+Converter = Callable[[str], Any]
+
+
+def load_csv(
+    database: Database,
+    relation: str,
+    path: Union[str, Path],
+    converters: Optional[Sequence[Optional[Converter]]] = None,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> List[Fact]:
+    """Load a CSV file into one relation of ``database``.
+
+    Parameters
+    ----------
+    database:
+        The target database.
+    relation:
+        The relation to insert into; the CSV's column count must match
+        its arity.
+    path:
+        The CSV file.
+    converters:
+        Optional per-column converters (``None`` entries keep the raw
+        string), e.g. ``[int, None, float]``.
+    has_header:
+        Skip the first row when True.
+    delimiter:
+        The CSV delimiter.
+
+    Returns the inserted facts in file order (duplicates collapse to
+    the first occurrence).
+    """
+    arity = database.schema.signature.arity(relation)
+    if converters is not None and len(converters) != arity:
+        raise ReproError(
+            f"got {len(converters)} converters for relation "
+            f"{relation!r} of arity {arity}"
+        )
+    inserted: List[Fact] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != arity:
+                raise ReproError(
+                    f"{path}:{row_number + 1}: expected {arity} columns "
+                    f"for relation {relation!r}, got {len(row)}"
+                )
+            values: List[Any] = []
+            for column, cell in enumerate(row):
+                converter = (
+                    converters[column] if converters is not None else None
+                )
+                if converter is None:
+                    values.append(cell)
+                    continue
+                try:
+                    values.append(converter(cell))
+                except (TypeError, ValueError) as exc:
+                    raise ReproError(
+                        f"{path}:{row_number + 1}: column {column + 1}: "
+                        f"cannot convert {cell!r}: {exc}"
+                    ) from exc
+            inserted.append(database.insert(relation, values))
+    return inserted
+
+
+def load_tagged_sources(
+    database: Database,
+    relation: str,
+    sources: Sequence[Union[str, Path]],
+    converters: Optional[Sequence[Optional[Converter]]] = None,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> Dict[str, List[Fact]]:
+    """Load several CSV feeds with earlier feeds outranking later ones.
+
+    ``sources`` is ordered most-trusted first.  After loading, every
+    conflicting pair whose facts come from *differently ranked* feeds
+    gets a priority edge toward the more trusted fact (ties and facts
+    appearing in several feeds take their best rank).
+
+    Returns ``{source_path: facts}``.
+    """
+    loaded: Dict[str, List[Fact]] = {}
+    rank: Dict[Fact, int] = {}
+    for position, source in enumerate(sources):
+        facts = load_csv(
+            database,
+            relation,
+            source,
+            converters=converters,
+            has_header=has_header,
+            delimiter=delimiter,
+        )
+        loaded[str(source)] = facts
+        for fact in facts:
+            rank[fact] = min(rank.get(fact, position), position)
+
+    def prefer_trusted(fact_a: Fact, fact_b: Fact) -> Optional[Fact]:
+        rank_a = rank.get(fact_a)
+        rank_b = rank.get(fact_b)
+        if rank_a is None or rank_b is None or rank_a == rank_b:
+            return None
+        return fact_a if rank_a < rank_b else fact_b
+
+    database.apply_priority_rule(prefer_trusted)
+    return loaded

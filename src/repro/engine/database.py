@@ -1,0 +1,198 @@
+"""A small in-memory relational database with FD enforcement hooks.
+
+:class:`Database` is the mutable front end of the library: a downstream
+user loads possibly-dirty data into named tables, declares priorities
+between facts (directly or through rules such as "prefer source X"),
+and hands the result to :class:`~repro.engine.repair_manager.RepairManager`
+for cleaning.  Internally everything is converted to the immutable core
+types, so the algorithmic layer stays purely functional.
+
+Unlike a conventional DBMS, inserting a conflicting fact is *allowed* —
+inconsistency is the object of study — but the database tracks conflicts
+incrementally so that ``conflicts()`` and ``is_consistent()`` stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.conflicts import conflicting_pairs
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.exceptions import InvalidPriorityError, UnknownRelationError
+
+__all__ = ["Database"]
+
+#: A priority rule maps a conflicting pair to the preferred fact (or
+#: None to abstain).  Rules never see non-conflicting pairs.
+PriorityRule = Callable[[Fact, Fact], Optional[Fact]]
+
+
+class Database:
+    """A mutable, possibly-inconsistent database over a fixed schema.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(["1 -> 2"], relation="City", arity=2)
+    >>> db = Database(schema)
+    >>> good = db.insert("City", ("paris", "france"))
+    >>> bad = db.insert("City", ("paris", "texas"))
+    >>> db.is_consistent()
+    False
+    >>> len(db.conflicts())
+    1
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._facts: Set[Fact] = set()
+        self._priority_edges: Set[Tuple[Fact, Fact]] = set()
+
+    # -- data manipulation ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The fixed schema."""
+        return self._schema
+
+    def insert(self, relation: str, values: Sequence[Any]) -> Fact:
+        """Insert a tuple; returns the created :class:`Fact`.
+
+        Duplicate inserts are idempotent (set semantics).
+        """
+        if relation not in self._schema.signature:
+            raise UnknownRelationError(relation)
+        fact = Fact(relation, tuple(values))
+        # Arity validation happens through Instance construction rules;
+        # do it eagerly here for a friendly error.
+        expected = self._schema.signature.arity(relation)
+        if fact.arity != expected:
+            from repro.exceptions import ArityError
+
+            raise ArityError(relation, expected, fact.arity)
+        self._facts.add(fact)
+        return fact
+
+    def insert_many(
+        self, relation: str, rows: Iterable[Sequence[Any]]
+    ) -> List[Fact]:
+        """Insert several tuples into one relation."""
+        return [self.insert(relation, row) for row in rows]
+
+    def delete(self, fact: Fact) -> bool:
+        """Remove a fact (and any priorities touching it); False if absent."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._priority_edges = {
+            (better, worse)
+            for better, worse in self._priority_edges
+            if better != fact and worse != fact
+        }
+        return True
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def facts(self, relation: Optional[str] = None) -> FrozenSet[Fact]:
+        """All facts, or those of one relation."""
+        if relation is None:
+            return frozenset(self._facts)
+        if relation not in self._schema.signature:
+            raise UnknownRelationError(relation)
+        return frozenset(f for f in self._facts if f.relation == relation)
+
+    # -- consistency ---------------------------------------------------------------
+
+    def snapshot(self) -> Instance:
+        """The current contents as an immutable :class:`Instance`."""
+        return Instance(self._schema.signature, self._facts)
+
+    def is_consistent(self) -> bool:
+        """Whether the current contents satisfy every FD."""
+        return self._schema.is_consistent(self.snapshot())
+
+    def conflicts(self) -> FrozenSet[FrozenSet[Fact]]:
+        """All conflicting fact pairs currently present."""
+        return conflicting_pairs(self._schema, self.snapshot())
+
+    # -- priorities ------------------------------------------------------------------
+
+    def prefer(self, better: Fact, worse: Fact) -> None:
+        """Declare ``better ≻ worse`` (both facts must be present).
+
+        Acyclicity and the conflicting-facts restriction are validated
+        when the database is sealed into a prioritizing instance, so
+        bulk loading stays cheap.
+        """
+        if better not in self._facts or worse not in self._facts:
+            raise InvalidPriorityError(
+                "both facts must be inserted before declaring a priority"
+            )
+        self._priority_edges.add((better, worse))
+
+    def apply_priority_rule(self, rule: PriorityRule) -> int:
+        """Run ``rule`` over every conflicting pair; returns edges added.
+
+        The rule receives the two facts of each conflicting pair and
+        returns the preferred one (or None to leave the pair
+        unordered).  This is how "prefer the curated source" or "prefer
+        the newer timestamp" policies are expressed.
+        """
+        added = 0
+        for pair in self.conflicts():
+            fact_a, fact_b = sorted(pair, key=str)
+            winner = rule(fact_a, fact_b)
+            if winner is None:
+                continue
+            if winner not in pair:
+                raise InvalidPriorityError(
+                    f"priority rule returned {winner}, which is not a "
+                    f"member of the conflicting pair"
+                )
+            loser = fact_b if winner == fact_a else fact_a
+            if (winner, loser) not in self._priority_edges:
+                self._priority_edges.add((winner, loser))
+                added += 1
+        return added
+
+    def priority_edges(self) -> FrozenSet[Tuple[Fact, Fact]]:
+        """The declared ``(better, worse)`` pairs."""
+        return frozenset(self._priority_edges)
+
+    def seal(self, ccp: bool = False) -> PrioritizingInstance:
+        """Freeze the database into a validated prioritizing instance.
+
+        Raises if the declared priorities are cyclic, or (without
+        ``ccp``) relate non-conflicting facts.
+        """
+        return PrioritizingInstance(
+            self._schema,
+            self.snapshot(),
+            PriorityRelation(self._priority_edges),
+            ccp=ccp,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({len(self._facts)} facts, "
+            f"{len(self._priority_edges)} priorities, "
+            f"{'consistent' if self.is_consistent() else 'inconsistent'})"
+        )

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownRelationError",
+    "ArityError",
+    "InvalidFDError",
+    "InvalidPriorityError",
+    "CyclicPriorityError",
+    "CrossConflictPriorityError",
+    "InconsistentInstanceError",
+    "NotASubinstanceError",
+    "IntractableSchemaError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A schema (signature plus FDs) is malformed."""
+
+
+class UnknownRelationError(SchemaError):
+    """A fact, FD, or query atom refers to a relation not in the signature."""
+
+    def __init__(self, relation_name: str) -> None:
+        super().__init__(f"unknown relation symbol: {relation_name!r}")
+        self.relation_name = relation_name
+
+
+class ArityError(SchemaError):
+    """A tuple's width does not match the arity of its relation symbol."""
+
+    def __init__(self, relation_name: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"relation {relation_name!r} has arity {expected}, "
+            f"got a tuple of width {actual}"
+        )
+        self.relation_name = relation_name
+        self.expected = expected
+        self.actual = actual
+
+
+class InvalidFDError(SchemaError):
+    """A functional dependency refers to attributes outside ``1..arity``."""
+
+
+class InvalidPriorityError(ReproError):
+    """A priority relation violates the requirements of Section 2.3."""
+
+
+class CyclicPriorityError(InvalidPriorityError):
+    """The priority relation contains a cycle (it must be acyclic)."""
+
+    def __init__(self, cycle) -> None:
+        super().__init__(f"priority relation has a cycle: {list(cycle)!r}")
+        self.cycle = tuple(cycle)
+
+
+class CrossConflictPriorityError(InvalidPriorityError):
+    """A classical (non-ccp) priority relates two non-conflicting facts.
+
+    Section 2.3 of the paper requires ``f > g`` only between conflicting
+    facts; Section 7 relaxes this via *ccp-instances*.  Constructing a
+    classical prioritizing instance with a cross-conflict edge raises this
+    error; use ``ccp=True`` to opt into the relaxed setting.
+    """
+
+
+class InconsistentInstanceError(ReproError):
+    """An operation requires a consistent instance but got conflicts."""
+
+
+class NotASubinstanceError(ReproError):
+    """A candidate repair contains facts outside the original instance."""
+
+
+class IntractableSchemaError(ReproError):
+    """A polynomial-time checker was requested for a coNP-hard schema.
+
+    Raised by the dispatching checkers when the schema falls on the hard
+    side of the dichotomy and the caller did not allow the exponential
+    brute-force fallback.
+    """
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed (unsafe variables, bad arity...)."""

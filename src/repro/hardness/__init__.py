@@ -1,0 +1,76 @@
+"""Hardness machinery for the coNP-complete side of the dichotomies.
+
+Contents
+--------
+``schemas``
+    The six hard schemas ``S1 … S6`` of Example 3.4 and the four
+    ccp-hard schemas ``Sa … Sd`` of Section 7.3.
+``hamiltonian``
+    Undirected graphs and an exact Held–Karp Hamiltonian-cycle solver
+    (the source problem of Lemma 5.2).
+``hc_reduction``
+    The Lemma 5.2 gadget: graphs → repair-checking inputs over ``S1``.
+``pi_case1``
+    The fact transport ``Π`` carrying hardness from ``S1`` to any schema
+    equivalent to three or more keys (Lemmas 5.3–5.5).
+``case_analysis``
+    The Section 5.2 case branching routing arbitrary hard schemas to
+    their concrete source schema.
+"""
+
+from repro.hardness.case_analysis import HardnessCase, analyse_hard_relation
+from repro.hardness.hamiltonian import (
+    UndirectedGraph,
+    find_hamiltonian_cycle,
+    has_hamiltonian_cycle,
+)
+from repro.hardness.hc_reduction import (
+    HamiltonianGadget,
+    build_hamiltonian_gadget,
+)
+from repro.hardness.pi_case1 import (
+    PiCase1,
+    designated_keys,
+    minimal_incomparable_keys,
+    transport_input,
+)
+from repro.hardness.schemas import (
+    CCP_HARD_SCHEMAS,
+    HARD_SCHEMAS,
+    S1,
+    S2,
+    S3,
+    S4,
+    S5,
+    S6,
+    SA,
+    SB,
+    SC,
+    SD,
+)
+
+__all__ = [
+    "HardnessCase",
+    "analyse_hard_relation",
+    "UndirectedGraph",
+    "find_hamiltonian_cycle",
+    "has_hamiltonian_cycle",
+    "HamiltonianGadget",
+    "build_hamiltonian_gadget",
+    "PiCase1",
+    "designated_keys",
+    "minimal_incomparable_keys",
+    "transport_input",
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "S5",
+    "S6",
+    "SA",
+    "SB",
+    "SC",
+    "SD",
+    "HARD_SCHEMAS",
+    "CCP_HARD_SCHEMAS",
+]

@@ -1,0 +1,199 @@
+"""The Section 5.2 case branching for arbitrary hard schemas.
+
+The hardness side of Theorem 3.1 is proved by reduction: every
+single-relation schema ``S`` violating the tractability condition admits
+a consistency-preserving fact transport from one of the six concrete
+hard schemas ``S1 … S6``.  *Which* source schema applies is decided by a
+case analysis over two distinguished attribute sets:
+
+* ``A`` — a *minimal determiner* of ``Δ`` that is not a key (exists
+  whenever ``Δ`` is not equivalent to any set of key constraints);
+* ``B`` — a *non-redundant determiner* different from ``A``, minimal
+  with respect to containment among those (exists whenever ``Δ`` is not
+  equivalent to a single FD).
+
+With ``A⁺ = closure(A)``, ``Â = A⁺ \\ A``, ``B⁺ = closure(B)`` and
+``B̂ = B⁺ \\ B``, the paper's cases are:
+
+======  ==========================================================  ======
+Case    condition                                                   source
+======  ==========================================================  ======
+1       ``Δ`` equivalent to ≥ 3 (incomparable) keys                 ``S1``
+2       ``A⁺ = B⁺``                                                 ``S2``
+3       ``B⁺ ⊄ A⁺``, ``A ∩ B̂ ≠ ∅``, ``Â ∩ B ≠ ∅``                  ``S3``
+4       ``B⁺ ⊄ A⁺``, ``A ∩ B̂ ≠ ∅``, ``Â ∩ B = ∅``                  ``S4``
+5       ``B⁺ ⊄ A⁺``, ``A ∩ B̂ = ∅``, ``B̂ ⊆ Â``                      ``S5``
+6       ``B⁺ ⊄ A⁺``, ``A ∩ B̂ = ∅``, ``B̂ ⊄ Â``                      ``S6``
+7       ``A⁺ ⊄ B⁺`` (the residual; symmetric to ``B⁺ ⊄ A⁺``)        —
+======  ==========================================================  ======
+
+The published text spells out the transport ``Π`` only for Case 1
+(implemented in :mod:`repro.hardness.pi_case1`); for Cases 2–7 it refers
+to the full version.  This module therefore implements the complete
+*routing* — given any hard schema, which case applies and which concrete
+schema anchors its hardness — which experiments E5/E11 combine with
+empirical brute-force blowup measurements to exhibit the hardness side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.classification import classify_relation
+from repro.core.fd import AttributeSet
+from repro.core.fdset import FDSet
+from repro.core.schema import Schema
+from repro.exceptions import ReproError
+from repro.hardness.pi_case1 import minimal_incomparable_keys
+from repro.hardness.schemas import HARD_SCHEMAS
+
+__all__ = ["HardnessCase", "analyse_hard_relation"]
+
+
+@dataclass(frozen=True)
+class HardnessCase:
+    """The outcome of the Section 5.2 case analysis for one relation.
+
+    Attributes
+    ----------
+    case:
+        The paper's case number, 1–7.
+    source_index:
+        Which of the six concrete schemas anchors the reduction
+        (``1``–``6``); Case 7 reduces symmetrically, so its source is
+        the one its mirrored ``B⁺ ⊄ A⁺`` sub-case would use.
+    determiner_a, determiner_b:
+        The distinguished sets ``A`` and ``B`` (None for Case 1, which
+        needs no determiners).
+    """
+
+    case: int
+    source_index: int
+    determiner_a: Optional[AttributeSet] = None
+    determiner_b: Optional[AttributeSet] = None
+
+    @property
+    def source_schema(self) -> Schema:
+        """The concrete hard schema the reduction starts from."""
+        return HARD_SCHEMAS[self.source_index]
+
+
+def _pick_minimal_determiner_not_key(fdset: FDSet) -> AttributeSet:
+    for determiner in sorted(fdset.minimal_determiners(), key=sorted):
+        if not fdset.is_key(determiner):
+            return determiner
+    raise ReproError(
+        "no non-key minimal determiner found; the schema is equivalent "
+        "to a set of keys and belongs to Case 1"
+    )
+
+
+def _pick_minimal_other_non_redundant(
+    fdset: FDSet, avoid: AttributeSet
+) -> AttributeSet:
+    candidates = [
+        determiner
+        for determiner in fdset.non_redundant_determiners()
+        if determiner != avoid
+    ]
+    if not candidates:
+        raise ReproError(
+            "no second non-redundant determiner found; the schema is "
+            "equivalent to a single FD and is tractable"
+        )
+    minimal = [
+        determiner
+        for determiner in candidates
+        if not any(other < determiner for other in candidates)
+    ]
+    return sorted(minimal, key=sorted)[0]
+
+
+def analyse_hard_relation(fdset: FDSet) -> HardnessCase:
+    """Run the Section 5.2 case analysis on a hard ``Δ|R``.
+
+    Raises :class:`ReproError` when ``Δ|R`` is actually tractable
+    (equivalent to a single FD or to at most two keys).
+
+    Examples
+    --------
+    >>> from repro.hardness.schemas import S4
+    >>> analyse_hard_relation(S4.fds_for("R4")).case
+    4
+    """
+    if classify_relation(fdset).is_tractable:
+        raise ReproError(
+            f"Δ|{fdset.relation} satisfies the Theorem 3.1 condition; "
+            f"there is no hardness case to analyse"
+        )
+    keys = minimal_incomparable_keys(fdset)
+    if keys is not None:
+        # Equivalent to a set of keys; tractability was ruled out above,
+        # so there are at least three.
+        return HardnessCase(case=1, source_index=1)
+
+    determiner_a = _pick_minimal_determiner_not_key(fdset)
+    determiner_b = _pick_minimal_other_non_redundant(fdset, determiner_a)
+    a_plus = fdset.closure(determiner_a)
+    b_plus = fdset.closure(determiner_b)
+    a_hat = a_plus - determiner_a
+    b_hat = b_plus - determiner_b
+
+    if a_plus == b_plus:
+        case, source = 2, 2
+    elif not b_plus <= a_plus:
+        if determiner_a & b_hat:
+            if a_hat & determiner_b:
+                case, source = 3, 3
+            else:
+                case, source = 4, 4
+        elif b_hat <= a_hat:
+            case, source = 5, 5
+        else:
+            case, source = 6, 6
+    else:
+        # B⁺ ⊊ A⁺, hence A⁺ ⊄ B⁺: the symmetric Case 7.  Its reduction
+        # mirrors the B⁺ ⊄ A⁺ analysis with the roles of A and B
+        # swapped, so route through the mirrored sub-case.
+        mirrored = analyse_hard_relation_with(
+            fdset, determiner_b, determiner_a
+        )
+        case, source = 7, mirrored.source_index
+        return HardnessCase(
+            case=case,
+            source_index=source,
+            determiner_a=determiner_a,
+            determiner_b=determiner_b,
+        )
+    return HardnessCase(
+        case=case,
+        source_index=source,
+        determiner_a=determiner_a,
+        determiner_b=determiner_b,
+    )
+
+
+def analyse_hard_relation_with(
+    fdset: FDSet, determiner_a: AttributeSet, determiner_b: AttributeSet
+) -> HardnessCase:
+    """The case split of Section 5.2 for explicitly chosen ``A`` and ``B``.
+
+    Exposed for the mirrored Case 7 computation and for tests that pin
+    the determiners.
+    """
+    a_plus = fdset.closure(determiner_a)
+    b_plus = fdset.closure(determiner_b)
+    a_hat = a_plus - determiner_a
+    b_hat = b_plus - determiner_b
+    if a_plus == b_plus:
+        return HardnessCase(2, 2, determiner_a, determiner_b)
+    if not b_plus <= a_plus:
+        if determiner_a & b_hat:
+            if a_hat & determiner_b:
+                return HardnessCase(3, 3, determiner_a, determiner_b)
+            return HardnessCase(4, 4, determiner_a, determiner_b)
+        if b_hat <= a_hat:
+            return HardnessCase(5, 5, determiner_a, determiner_b)
+        return HardnessCase(6, 6, determiner_a, determiner_b)
+    return HardnessCase(7, 2, determiner_a, determiner_b)

@@ -1,0 +1,176 @@
+"""Undirected graphs and an exact Hamiltonian-cycle solver.
+
+The coNP-hardness proof of Lemma 5.2 reduces from the undirected
+Hamiltonian Cycle problem.  To *execute* that reduction (and verify its
+correctness empirically), we need the source problem itself: this module
+provides a minimal immutable undirected-graph type and a Held–Karp
+bitmask dynamic program deciding — and producing — Hamiltonian cycles.
+
+The paper's definition (proof of Lemma 5.2) asks for a permutation ``π``
+of the vertices with an edge between ``v_π(i)`` and ``v_π(i+1)`` for all
+``i`` (indices mod ``n``).  Degenerate consequences we preserve exactly:
+
+* ``n = 1``: a Hamiltonian cycle requires a self-loop, which simple
+  graphs lack, so the answer is "no";
+* ``n = 2``: the single edge is used in both directions, so two nodes
+  joined by an edge *do* form a Hamiltonian cycle (this matches the
+  paper's two-node worked example in Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = ["UndirectedGraph", "has_hamiltonian_cycle", "find_hamiltonian_cycle"]
+
+
+@dataclass(frozen=True)
+class UndirectedGraph:
+    """An immutable simple undirected graph over ``n`` vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    node_count:
+        The number of vertices.
+    edges:
+        Unordered vertex pairs; self-loops are rejected.
+
+    Examples
+    --------
+    >>> g = UndirectedGraph(3, [(0, 1), (1, 2), (0, 2)])
+    >>> g.has_edge(2, 0)
+    True
+    >>> g.degree(1)
+    2
+    """
+
+    node_count: int
+    edges: FrozenSet[FrozenSet[int]]
+
+    def __init__(
+        self, node_count: int, edges: Iterable[Tuple[int, int]] = ()
+    ) -> None:
+        if node_count < 1:
+            raise ReproError("a graph needs at least one vertex")
+        normalized = set()
+        for u, v in edges:
+            if u == v:
+                raise ReproError(f"self-loop at vertex {u} is not allowed")
+            if not (0 <= u < node_count and 0 <= v < node_count):
+                raise ReproError(
+                    f"edge ({u}, {v}) out of range 0..{node_count - 1}"
+                )
+            normalized.add(frozenset({u, v}))
+        object.__setattr__(self, "node_count", node_count)
+        object.__setattr__(self, "edges", frozenset(normalized))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return frozenset({u, v}) in self.edges
+
+    def neighbours(self, u: int) -> FrozenSet[int]:
+        """The vertices adjacent to ``u``."""
+        return frozenset(
+            next(iter(edge - {u})) for edge in self.edges if u in edge
+        )
+
+    def degree(self, u: int) -> int:
+        """The number of edges incident to ``u``."""
+        return sum(1 for edge in self.edges if u in edge)
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """The edges as sorted ``(min, max)`` pairs."""
+        return sorted((min(edge), max(edge)) for edge in self.edges)
+
+    @classmethod
+    def cycle(cls, node_count: int) -> "UndirectedGraph":
+        """The cycle graph ``C_n`` (Hamiltonian by construction)."""
+        return cls(
+            node_count,
+            [(i, (i + 1) % node_count) for i in range(node_count)]
+            if node_count > 2
+            else ([(0, 1)] if node_count == 2 else []),
+        )
+
+    @classmethod
+    def complete(cls, node_count: int) -> "UndirectedGraph":
+        """The complete graph ``K_n``."""
+        return cls(
+            node_count,
+            [
+                (u, v)
+                for u in range(node_count)
+                for v in range(u + 1, node_count)
+            ],
+        )
+
+    @classmethod
+    def path(cls, node_count: int) -> "UndirectedGraph":
+        """The path graph ``P_n`` (never Hamiltonian for ``n ≥ 2``...
+        except ``n = 2`` where the paper's definition closes the single
+        edge into a cycle)."""
+        return cls(node_count, [(i, i + 1) for i in range(node_count - 1)])
+
+
+def find_hamiltonian_cycle(graph: UndirectedGraph) -> Optional[List[int]]:
+    """A Hamiltonian cycle as a vertex permutation, or None.
+
+    Held–Karp bitmask dynamic programming over subsets containing vertex
+    0: ``O(2^n · n²)`` time, exact.  Practical up to ``n ≈ 18``, which is
+    far beyond what the gadget experiments need.
+
+    Examples
+    --------
+    >>> find_hamiltonian_cycle(UndirectedGraph.cycle(4)) is not None
+    True
+    >>> find_hamiltonian_cycle(UndirectedGraph.path(4)) is None
+    True
+    """
+    n = graph.node_count
+    if n == 1:
+        return None  # would need a self-loop
+    if n == 2:
+        return [0, 1] if graph.has_edge(0, 1) else None
+    adjacency = [
+        [graph.has_edge(u, v) for v in range(n)] for u in range(n)
+    ]
+    full = (1 << n) - 1
+    # reachable[mask][v]: predecessor of v on some path visiting exactly
+    # `mask`, starting at 0 (or -2 at the trivial start, -1 = unreachable).
+    predecessor: Dict[Tuple[int, int], int] = {(1, 0): -2}
+    frontier: List[Tuple[int, int]] = [(1, 0)]
+    while frontier:
+        next_frontier: List[Tuple[int, int]] = []
+        for mask, last in frontier:
+            for nxt in range(1, n):
+                if mask & (1 << nxt):
+                    continue
+                if not adjacency[last][nxt]:
+                    continue
+                key = (mask | (1 << nxt), nxt)
+                if key in predecessor:
+                    continue
+                predecessor[key] = last
+                next_frontier.append(key)
+        frontier = next_frontier
+    for last in range(1, n):
+        if (full, last) in predecessor and adjacency[last][0]:
+            cycle: List[int] = []
+            mask, node = full, last
+            while node != -2:
+                cycle.append(node)
+                previous = predecessor[(mask, node)]
+                mask &= ~(1 << node)
+                node = previous
+            cycle.reverse()
+            return cycle
+    return None
+
+
+def has_hamiltonian_cycle(graph: UndirectedGraph) -> bool:
+    """Whether ``graph`` has a Hamiltonian cycle (per the paper's
+    definition — see the module docstring for the degenerate cases)."""
+    return find_hamiltonian_cycle(graph) is not None

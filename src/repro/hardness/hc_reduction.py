@@ -1,0 +1,196 @@
+"""The Lemma 5.2 gadget: Hamiltonian Cycle ⇒ repair checking over ``S1``.
+
+Given an undirected graph ``G = (V, E)`` with ``V = {v_0, …, v_{n-1}}``,
+the reduction builds a prioritizing instance ``(I, ≻)`` over the schema
+``S1 = ({R1}, {{1,2}→3, {1,3}→2, {2,3}→1})`` and a repair ``J`` such that
+
+    ``J`` has a global improvement  ⟺  ``G`` has a Hamiltonian cycle,
+
+i.e. ``J`` is a globally-optimal repair iff ``G`` is *not* Hamiltonian —
+which is what makes globally-optimal repair checking coNP-hard for
+``S1``.  Figure 5 of the paper illustrates the construction for the
+two-node graph with a single edge; experiment E5 regenerates that figure
+and validates the equivalence on exhaustive and random graphs against
+the Held–Karp solver.
+
+Construction (verbatim from the proof, all index arithmetic mod ``n``):
+
+facts of ``I`` for every index ``i`` and vertex ``v_j``
+    ``R1(i, p_j^i, v_j)``, ``R1(i-1, q_j^i, r_j^i)``, ``R1(i, v_j, r_j^i)``,
+    ``R1(i, q_j^i, r_j^i)``, ``R1(i, v_j, v_j)``;
+facts of ``I`` for every index ``i`` and edge ``{v_j, v_k}``
+    ``R1(i, p_j^i, r_k^{i+1})``;
+priorities
+    ``R1(i, p_j^i, r_k^{i+1}) ≻ R1(i, p_j^i, v_j)``,
+    ``R1(i, q_j^i, r_j^i) ≻ R1(i-1, q_j^i, r_j^i)``,
+    ``R1(i, v_j, v_j) ≻ R1(i, v_j, r_j^i)``;
+the repair ``J``
+    ``R1(i, p_j^i, v_j)``, ``R1(i-1, q_j^i, r_j^i)``, ``R1(i, v_j, r_j^i)``
+    for every ``i`` and ``v_j``.
+
+Fresh constants ``p_j^i``, ``q_j^i``, ``r_j^i`` are realized as tagged
+strings; vertex constants as ``"v<j>"``; position-1 indices as plain
+integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.hardness.hamiltonian import UndirectedGraph
+from repro.hardness.schemas import S1
+
+__all__ = ["HamiltonianGadget", "build_hamiltonian_gadget"]
+
+_RELATION = "R1"
+
+
+def _p(i: int, j: int) -> str:
+    return f"p{j}^{i}"
+
+
+def _q(i: int, j: int) -> str:
+    return f"q{j}^{i}"
+
+
+def _r(i: int, j: int) -> str:
+    return f"r{j}^{i}"
+
+
+def _v(j: int) -> str:
+    return f"v{j}"
+
+
+@dataclass(frozen=True)
+class HamiltonianGadget:
+    """The reduction output: ``(I, ≻)`` over ``S1`` plus the repair ``J``.
+
+    Attributes
+    ----------
+    graph:
+        The source graph.
+    prioritizing:
+        The prioritizing instance ``(I, ≻)``.
+    repair:
+        The candidate repair ``J`` whose global optimality encodes
+        (non-)Hamiltonicity.
+    """
+
+    graph: UndirectedGraph
+    prioritizing: PrioritizingInstance
+    repair: Instance
+
+    @property
+    def schema(self) -> Schema:
+        """The fixed hard schema ``S1``."""
+        return self.prioritizing.schema
+
+    def improvement_from_cycle(self, cycle: List[int]) -> Instance:
+        """The global improvement ``J'`` encoding a Hamiltonian cycle.
+
+        Follows the "if" direction of the Lemma 5.2 proof: with
+        ``j = π(i)`` and ``k = π(i+1)``, replace
+
+        * ``R1(i, p_j^i, v_j)``    with ``R1(i, p_j^i, r_k^{i+1})``,
+        * ``R1(i-1, q_j^i, r_j^i)`` with ``R1(i, q_j^i, r_j^i)``,
+        * ``R1(i, v_j, r_j^i)``     with ``R1(i, v_j, v_j)``.
+        """
+        n = self.graph.node_count
+        if sorted(cycle) != list(range(n)):
+            raise ValueError(f"{cycle!r} is not a permutation of 0..{n - 1}")
+        removed: List[Fact] = []
+        added: List[Fact] = []
+        for i in range(n):
+            j = cycle[i]
+            k = cycle[(i + 1) % n]
+            removed.append(Fact(_RELATION, (i, _p(i, j), _v(j))))
+            added.append(Fact(_RELATION, (i, _p(i, j), _r((i + 1) % n, k))))
+            removed.append(
+                Fact(_RELATION, ((i - 1) % n, _q(i, j), _r(i, j)))
+            )
+            added.append(Fact(_RELATION, (i, _q(i, j), _r(i, j))))
+            removed.append(Fact(_RELATION, (i, _v(j), _r(i, j))))
+            added.append(Fact(_RELATION, (i, _v(j), _v(j))))
+        return self.repair.replace_facts(removed, added)
+
+    def cycle_from_improvement(self, improvement: Instance) -> List[int]:
+        """Extract the Hamiltonian cycle from a global improvement.
+
+        Follows the "only if" direction: a global improvement contains a
+        unique fact ``R1(i, v_j, v_j)`` for every index ``i``, and the
+        map ``π(i) = j`` is a Hamiltonian cycle.
+        """
+        n = self.graph.node_count
+        chosen: List[Optional[int]] = [None] * n
+        for fact in improvement:
+            first, second, third = fact.values
+            if isinstance(first, int) and second == third:
+                j = int(str(second)[1:])
+                if chosen[first] is not None:
+                    raise ValueError(
+                        f"two diagonal facts at index {first}; not a "
+                        f"well-formed improvement"
+                    )
+                chosen[first] = j
+        if any(j is None for j in chosen):
+            raise ValueError("improvement has no diagonal fact at some index")
+        return [int(j) for j in chosen]  # type: ignore[arg-type]
+
+
+def build_hamiltonian_gadget(graph: UndirectedGraph) -> HamiltonianGadget:
+    """Run the Lemma 5.2 reduction on ``graph``.
+
+    The output sizes are polynomial: ``|I| = n·(5n + 2|E|)`` facts (each
+    undirected edge contributes the two ordered versions), ``3n²``
+    priority edges plus ``2n·|E|`` more on the ``p``-facts, and
+    ``|J| = 3n²``.
+
+    Examples
+    --------
+    >>> gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(3))
+    >>> gadget.schema.is_consistent(gadget.repair)
+    True
+    """
+    n = graph.node_count
+    if n < 2:
+        raise ValueError(
+            "the Lemma 5.2 gadget needs at least two vertices (with n = 1 "
+            "the paper's q-facts for index i and i-1 coincide)"
+        )
+    facts: List[Fact] = []
+    priority_edges: List[Tuple[Fact, Fact]] = []
+    repair_facts: List[Fact] = []
+    for i in range(n):
+        for j in range(n):
+            p_fact = Fact(_RELATION, (i, _p(i, j), _v(j)))
+            q_old = Fact(_RELATION, ((i - 1) % n, _q(i, j), _r(i, j)))
+            q_new = Fact(_RELATION, (i, _q(i, j), _r(i, j)))
+            vr_fact = Fact(_RELATION, (i, _v(j), _r(i, j)))
+            vv_fact = Fact(_RELATION, (i, _v(j), _v(j)))
+            facts.extend([p_fact, q_old, q_new, vr_fact, vv_fact])
+            repair_facts.extend([p_fact, q_old, vr_fact])
+            priority_edges.append((q_new, q_old))
+            priority_edges.append((vv_fact, vr_fact))
+    for i in range(n):
+        for u, w in graph.edge_list():
+            for j, k in ((u, w), (w, u)):
+                edge_fact = Fact(
+                    _RELATION, (i, _p(i, j), _r((i + 1) % n, k))
+                )
+                facts.append(edge_fact)
+                priority_edges.append(
+                    (edge_fact, Fact(_RELATION, (i, _p(i, j), _v(j))))
+                )
+    instance = Instance(S1.signature, facts)
+    prioritizing = PrioritizingInstance(
+        S1, instance, PriorityRelation(priority_edges), ccp=False
+    )
+    repair = instance.subinstance(repair_facts)
+    return HamiltonianGadget(
+        graph=graph, prioritizing=prioritizing, repair=repair
+    )

@@ -1,0 +1,244 @@
+"""The fact transport ``Π`` for Case 1 (schemas equivalent to ≥ 3 keys).
+
+Section 5.1's general reduction pattern maps a repair-checking input over
+a concrete hard schema to one over an arbitrary hard schema ``S`` via a
+per-fact function ``Π`` with two key properties (Lemmas 5.3 and 5.4):
+
+1. ``Π`` is injective on facts;
+2. ``Π`` preserves consistency and inconsistency of fact *pairs* —
+   ``{f, g}`` satisfies ``Δ1`` iff ``{Π(f), Π(g)}`` satisfies ``Δ``.
+
+With both, transporting ``(I, ≻, J)`` fact-by-fact preserves the
+globally-optimal yes/no answer, so coNP-hardness travels from ``S1`` to
+``S``.
+
+This module implements Case 1: ``Δ`` is equivalent to key constraints
+``A_1 → ⟦R⟧, …, A_k → ⟦R⟧`` with ``k ≥ 3`` and pairwise-incomparable
+left-hand sides.  Following the paper, three of the keys are designated
+``A_{1,2}``, ``A_{2,3}``, ``A_{1,3}``, and the image of a fact
+``R1(c_1, c_2, c_3)`` assigns to attribute ``i`` of ``R`` a value
+determined by which designated keys contain ``i``:
+
+=========================================  =====================
+membership of ``i``                        value ``d_i``
+=========================================  =====================
+exactly ``A_{a,b}``                        the pair ``⟨c_a, c_b⟩``
+exactly ``A_{a,b}`` and ``A_{b,c}``        the shared ``c_b``
+all three                                  a fixed constant ``⊥``
+none of the three                          the triple ``⟨c_1, c_2, c_3⟩``
+=========================================  =====================
+
+.. note::
+   The conference version's display of this equation is ambiguous about
+   the last two rows (the copy this reproduction works from garbles
+   their alignment).  The assignment above is the unique reading that
+   makes *both* proof steps of Lemma 5.4 go through: the "if" direction
+   needs every attribute of ``A_{a,b}`` to avoid mentioning ``c_c``
+   (hence ⊥ on the triple intersection), and the "only if" direction
+   needs any key whose attributes mention at most one coordinate to be
+   contained in some ``A_{a,b} ∩ A_{b,c}`` (hence the full triple on
+   attributes outside all designated keys, which additional keys
+   ``A_4, …, A_k`` may reach).  Both properties are verified empirically
+   by experiment E6 and by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.fact import Fact
+from repro.core.fd import FD, AttributeSet
+from repro.core.fdset import FDSet
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PiCase1",
+    "designated_keys",
+    "minimal_incomparable_keys",
+    "transport_input",
+]
+
+#: The fixed constant placed on attributes inside all three designated keys.
+_BOTTOM = "⊥"
+
+
+def minimal_incomparable_keys(fdset: FDSet) -> Optional[List[AttributeSet]]:
+    """The minimal keys of ``Δ|R`` if ``Δ|R`` is equivalent to them.
+
+    Returns the (pairwise-incomparable) minimal keys when ``Δ|R`` is
+    equivalent to a set of key constraints, or None when it is not —
+    i.e., this decides membership in the paper's "all keys" regime
+    covering Case 1 (when there are ≥ 3) and the tractable one/two-key
+    schemas.
+    """
+    keys = sorted(fdset.minimal_keys(), key=sorted)
+    candidate = FDSet(
+        fdset.relation,
+        fdset.arity,
+        [FD(fdset.relation, key, fdset.all_attributes()) for key in keys],
+    )
+    if candidate.implies_all(fdset):
+        return [frozenset(key) for key in keys]
+    return None
+
+
+def designated_keys(
+    fdset: FDSet,
+) -> Tuple[AttributeSet, AttributeSet, AttributeSet]:
+    """Pick the designated keys ``A_{1,2}, A_{2,3}, A_{1,3}`` for Case 1.
+
+    Requires ``Δ|R`` to be equivalent to ``k ≥ 3`` pairwise-incomparable
+    keys; returns the three lexicographically-first minimal keys.
+    """
+    keys = minimal_incomparable_keys(fdset)
+    if keys is None or len(keys) < 3:
+        raise ReproError(
+            "Case 1 requires a schema equivalent to three or more "
+            "pairwise-incomparable key constraints"
+        )
+    return keys[0], keys[1], keys[2]
+
+
+@dataclass(frozen=True)
+class PiCase1:
+    """The fact transport ``Π`` from ``S1`` to a ≥3-keys schema.
+
+    Parameters
+    ----------
+    target:
+        A single-relation schema whose FDs are equivalent to three or
+        more pairwise-incomparable keys.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(
+    ...     ["{1,2} -> {3,4}", "{1,3} -> {2,4}", "{2,3} -> {1,4}"], arity=4
+    ... )
+    >>> pi = PiCase1(schema)
+    >>> fact = Fact("R1", ("x", "y", "z"))
+    >>> pi.apply(fact).relation == pi.relation_name
+    True
+    """
+
+    target: Schema
+
+    def __post_init__(self) -> None:
+        names = sorted(self.target.relation_names())
+        if len(names) != 1:
+            raise ReproError("Case 1 transport expects a one-relation schema")
+        fdset = self.target.fds_for(names[0])
+        a12, a23, a13 = designated_keys(fdset)
+        object.__setattr__(self, "_relation", names[0])
+        object.__setattr__(self, "_arity", fdset.arity)
+        object.__setattr__(self, "_a12", a12)
+        object.__setattr__(self, "_a23", a23)
+        object.__setattr__(self, "_a13", a13)
+
+    @property
+    def relation_name(self) -> str:
+        """The target relation symbol's name."""
+        return self._relation  # type: ignore[attr-defined]
+
+    @property
+    def designated(self) -> Tuple[AttributeSet, AttributeSet, AttributeSet]:
+        """The designated keys ``(A_{1,2}, A_{2,3}, A_{1,3})``."""
+        return (
+            self._a12,  # type: ignore[attr-defined]
+            self._a23,  # type: ignore[attr-defined]
+            self._a13,  # type: ignore[attr-defined]
+        )
+
+    def _attribute_value(self, position: int, values: Tuple) -> object:
+        c1, c2, c3 = values
+        a12, a23, a13 = self.designated
+        in12, in23, in13 = (
+            position in a12,
+            position in a23,
+            position in a13,
+        )
+        membership = (in12, in23, in13)
+        if membership == (True, True, True):
+            return _BOTTOM
+        if membership == (True, False, False):
+            return (c1, c2)
+        if membership == (False, True, False):
+            return (c2, c3)
+        if membership == (False, False, True):
+            return (c1, c3)
+        if membership == (True, True, False):
+            return c2  # shared coordinate of A_{1,2} and A_{2,3}
+        if membership == (False, True, True):
+            return c3  # shared coordinate of A_{2,3} and A_{1,3}
+        if membership == (True, False, True):
+            return c1  # shared coordinate of A_{1,2} and A_{1,3}
+        return (c1, c2, c3)  # outside all designated keys
+
+    def apply(self, fact: Fact) -> Fact:
+        """The image ``Π(f)`` of an ``S1``-fact."""
+        if fact.arity != 3:
+            raise ReproError(f"Π expects ternary S1 facts, got {fact}")
+        values = tuple(
+            self._attribute_value(position, fact.values)
+            for position in range(1, self._arity + 1)  # type: ignore[attr-defined]
+        )
+        return Fact(self.relation_name, values)
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        """The image ``Π(K)`` of a set of ``S1``-facts."""
+        return Instance(
+            self.target.signature, (self.apply(fact) for fact in instance)
+        )
+
+    def invert(self, image: Fact) -> Fact:
+        """The unique ``S1``-fact mapping to ``image`` (Lemma 5.3).
+
+        Reconstructs ``(c_1, c_2, c_3)`` from the schema-determined
+        recovery positions; raises if ``image`` is not in Π's range.
+        """
+        a12, a23, a13 = self.designated
+        c1 = self._recover(image, a12 - a23, a13, pair_slot=0)
+        c2 = self._recover(image, a12 - a13, a23, pair_slot=1)
+        c3 = self._recover(image, a23 - a12, a13, pair_slot=1)
+        candidate = Fact("R1", (c1, c2, c3))
+        if self.apply(candidate) != image:
+            raise ReproError(f"{image} is not in the range of Π")
+        return candidate
+
+    def _recover(
+        self,
+        image: Fact,
+        difference: AttributeSet,
+        other: AttributeSet,
+        pair_slot: int,
+    ) -> object:
+        position = min(difference)  # non-empty by pairwise incomparability
+        value = image[position]
+        if position in other:
+            return value  # single-coordinate attribute
+        return value[pair_slot]  # type: ignore[index]
+
+
+def transport_input(
+    pi: PiCase1,
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+) -> Tuple[PrioritizingInstance, Instance]:
+    """Transport an ``S1`` repair-checking input to the target schema.
+
+    Applies ``Π`` to the instance, the priority edges, and the candidate
+    repair, per Section 5.1.  The result has the same globally-optimal
+    answer as the source (verified empirically by experiment E6).
+    """
+    image_instance = pi.apply_instance(prioritizing.instance)
+    image_priority = PriorityRelation(
+        (pi.apply(better), pi.apply(worse))
+        for better, worse in prioritizing.priority.edges
+    )
+    image_prioritizing = PrioritizingInstance(
+        pi.target, image_instance, image_priority, ccp=prioritizing.is_ccp
+    )
+    return image_prioritizing, pi.apply_instance(candidate)

@@ -1,0 +1,91 @@
+"""The concrete coNP-hard schemas of the paper.
+
+Example 3.4 lists six single-relation schemas ``S1 … S6`` (each over a
+ternary relation symbol) that anchor the hardness side of Theorem 3.1:
+every schema violating the tractability condition reduces from one of
+them (Section 5.2's case analysis).  Section 7.3 lists four further
+schemas ``Sa … Sd`` anchoring the hardness side of the ccp dichotomy
+(Theorem 7.1).
+
+This module materializes all ten as :class:`~repro.core.schema.Schema`
+objects, using the paper's own relation names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.schema import Schema
+
+__all__ = [
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "S5",
+    "S6",
+    "HARD_SCHEMAS",
+    "SA",
+    "SB",
+    "SC",
+    "SD",
+    "CCP_HARD_SCHEMAS",
+]
+
+
+def _ternary(name: str, fd_texts) -> Schema:
+    return Schema.single_relation(fd_texts, relation=name, arity=3)
+
+
+#: ``Δ1 = {{1,2} → 3, {1,3} → 2, {2,3} → 1}`` — three minimal keys.
+S1: Schema = _ternary("R1", ["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"])
+
+#: ``Δ2 = {1 → 2, 2 → 1}`` — two non-key FDs on a ternary relation.
+S2: Schema = _ternary("R2", ["1 -> 2", "2 -> 1"])
+
+#: ``Δ3 = {{1,2} → 3, 3 → 2}``.
+S3: Schema = _ternary("R3", ["{1,2} -> 3", "3 -> 2"])
+
+#: ``Δ4 = {1 → 2, 2 → 3}`` — a chain of FDs.
+S4: Schema = _ternary("R4", ["1 -> 2", "2 -> 3"])
+
+#: ``Δ5 = {1 → 3, 2 → 3}`` — two determiners of the same attribute.
+S5: Schema = _ternary("R5", ["1 -> 3", "2 -> 3"])
+
+#: ``Δ6 = {∅ → 1, 2 → 3}`` — a constant attribute plus an FD.
+S6: Schema = _ternary("R6", ["{} -> 1", "2 -> 3"])
+
+#: The six hard schemas of Example 3.4, keyed by their paper index.
+HARD_SCHEMAS: Dict[int, Schema] = {
+    1: S1,
+    2: S2,
+    3: S3,
+    4: S4,
+    5: S5,
+    6: S6,
+}
+
+#: ``Sa``: binary ``R`` and ``S`` with ``R: 1 → 2`` and ``S: ∅ → 1`` —
+#: a key relation mixed with a constant-attribute relation (Section 7.3).
+SA: Schema = Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: {} -> 1"])
+
+#: ``Sb``: a single ternary relation with ``{1 → 2}`` (a non-key FD).
+SB: Schema = Schema.single_relation(["1 -> 2"], relation="R", arity=3)
+
+#: ``Sc``: a single ternary relation with ``{1 → 2, ∅ → 3}``.
+SC: Schema = Schema.single_relation(
+    ["1 -> 2", "{} -> 3"], relation="R", arity=3
+)
+
+#: ``Sd``: a single binary relation with ``{1 → 2, 2 → 1}``.
+SD: Schema = Schema.single_relation(
+    ["1 -> 2", "2 -> 1"], relation="R", arity=2
+)
+
+#: The four ccp-hard schemas of Section 7.3, keyed by their paper letter.
+CCP_HARD_SCHEMAS: Dict[str, Schema] = {
+    "a": SA,
+    "b": SB,
+    "c": SC,
+    "d": SD,
+}

@@ -1,0 +1,133 @@
+"""GraphViz DOT renderings of the paper's graph constructions.
+
+The paper communicates three graph-shaped objects: the swap graphs
+``G12_J``/``G21_J`` of Figure 3, the ccp graph ``G_{J,I\\J}`` of
+Figure 6, and the conflict graph implicit throughout.  This module
+renders each as GraphViz DOT text so the figures can be regenerated
+from any instance (`examples/figures.py` writes the paper's own).
+
+Only plain-text DOT is produced; no GraphViz binary is required (the
+output can be pasted into any DOT viewer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.checking.ccp_primary_key import CcpGraph
+from repro.core.checking.two_keys import SwapGraph
+from repro.core.conflicts import conflict_graph
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+
+__all__ = ["swap_graph_to_dot", "ccp_graph_to_dot", "conflict_graph_to_dot"]
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def swap_graph_to_dot(graph: SwapGraph, name: str = "G") -> str:
+    """Render a Figure 3-style swap graph as DOT.
+
+    Left-side nodes (first-key projections) are drawn as boxes on one
+    rank, right-side nodes as ellipses on the other; forward edges are
+    solid, backward (priority) edges dashed — matching the paper's
+    left/right layout.
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact, PriorityRelation
+    >>> from repro.core import PrioritizingInstance
+    >>> from repro.core.checking import build_swap_graph
+    >>> schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+    >>> f = Fact("R", (1, "a"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f]), PriorityRelation([])
+    ... )
+    >>> g12 = build_swap_graph(
+    ...     pri, schema.instance([f]), frozenset({1}), frozenset({2})
+    ... )
+    >>> "digraph" in swap_graph_to_dot(g12)
+    True
+    """
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    left_nodes = sorted(
+        {node for node in graph.edges if node[0] == "L"}, key=str
+    )
+    right_nodes = sorted(
+        {node for node in graph.edges if node[0] == "R"}, key=str
+    )
+
+    def node_id(node) -> str:
+        side, projection = node
+        label = ", ".join(str(v) for v in projection)
+        return _quote(f"{side}:{label}")
+
+    lines.append("  { rank=same;")
+    for node in left_nodes:
+        label = ", ".join(str(v) for v in node[1])
+        lines.append(f"    {node_id(node)} [shape=box, label={_quote(label)}];")
+    lines.append("  }")
+    lines.append("  { rank=same;")
+    for node in right_nodes:
+        label = ", ".join(str(v) for v in node[1])
+        lines.append(
+            f"    {node_id(node)} [shape=ellipse, label={_quote(label)}];"
+        )
+    lines.append("  }")
+    for source in sorted(graph.edges, key=str):
+        for target, fact in sorted(
+            graph.edges[source].items(), key=lambda kv: str(kv)
+        ):
+            style = "solid" if source[0] == "L" else "dashed"
+            lines.append(
+                f"  {node_id(source)} -> {node_id(target)} "
+                f"[style={style}, label={_quote(fact)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ccp_graph_to_dot(graph: CcpGraph, name: str = "GJI") -> str:
+    """Render a Figure 6-style ``G_{J,I\\J}`` graph as DOT.
+
+    Candidate facts are boxes, outsiders ellipses; conflict edges
+    (candidate → outsider) solid, priority edges dashed.
+    """
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for fact in sorted(graph.candidate_facts, key=str):
+        lines.append(f"  {_quote(fact)} [shape=box];")
+    for fact in sorted(graph.outsider_facts, key=str):
+        lines.append(f"  {_quote(fact)} [shape=ellipse];")
+    for source in sorted(graph.successors, key=str):
+        for target in sorted(graph.successors[source], key=str):
+            style = (
+                "solid" if source in graph.candidate_facts else "dashed"
+            )
+            lines.append(
+                f"  {_quote(source)} -> {_quote(target)} [style={style}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def conflict_graph_to_dot(
+    schema: Schema, instance: Instance, name: str = "Conflicts"
+) -> str:
+    """Render the (undirected) conflict graph as DOT."""
+    adjacency = conflict_graph(schema, instance)
+    lines: List[str] = [f"graph {name} {{"]
+    for fact in sorted(adjacency, key=str):
+        lines.append(f"  {_quote(fact)};")
+    seen = set()
+    for fact in sorted(adjacency, key=str):
+        for neighbour in sorted(adjacency[fact], key=str):
+            pair = frozenset({fact, neighbour})
+            if pair in seen:
+                continue
+            seen.add(pair)
+            lines.append(f"  {_quote(fact)} -- {_quote(neighbour)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Workload generation: synthetic inconsistent databases, priorities,
+random graphs, and the paper's running example.
+
+The paper is a theory paper without an empirical section, so every
+experiment in this reproduction runs on synthetic data produced here
+(documented as a substitution in DESIGN.md).  The generators model the
+paper's own motivations: conflicting sources of differing reliability
+and timestamped fact versions.
+"""
+
+from repro.workloads.generators import (
+    domain_sizes_for_density,
+    random_instance,
+    random_instance_with_conflicts,
+)
+from repro.workloads.graphs import (
+    all_graphs,
+    erdos_renyi,
+    hamiltonian_graph,
+    non_hamiltonian_graph,
+)
+from repro.workloads.priorities import (
+    layered_priority,
+    random_ccp_priority,
+    random_conflict_priority,
+    random_prioritizing_instance,
+    total_conflict_priority,
+)
+from repro.workloads.consortium import consortium_scenario, consortium_schema
+from repro.workloads.separations import (
+    separation_instance,
+    separation_schema,
+)
+from repro.workloads.scenarios import (
+    RunningExample,
+    running_example,
+    source_reliability_scenario,
+    timestamp_scenario,
+)
+
+__all__ = [
+    "random_instance",
+    "random_instance_with_conflicts",
+    "domain_sizes_for_density",
+    "erdos_renyi",
+    "hamiltonian_graph",
+    "non_hamiltonian_graph",
+    "all_graphs",
+    "random_conflict_priority",
+    "total_conflict_priority",
+    "random_ccp_priority",
+    "layered_priority",
+    "random_prioritizing_instance",
+    "RunningExample",
+    "running_example",
+    "source_reliability_scenario",
+    "timestamp_scenario",
+    "consortium_scenario",
+    "consortium_schema",
+    "separation_instance",
+    "separation_schema",
+]

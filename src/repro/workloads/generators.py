@@ -1,0 +1,132 @@
+"""Synthetic inconsistent databases with controllable conflict density.
+
+The paper evaluates nothing empirically (it is a theory paper), so the
+reproduction's experiments run on synthetic inconsistent databases.  The
+generators here produce instances over arbitrary schemas where the
+number and shape of δ-conflicts is steered by per-attribute domain
+sizes: small domains on FD left-hand sides create many same-LHS groups,
+small domains on right-hand sides create disagreement within them.
+
+All generators take an explicit seed and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+
+__all__ = [
+    "random_instance",
+    "random_instance_with_conflicts",
+    "domain_sizes_for_density",
+]
+
+
+def random_instance(
+    schema: Schema,
+    facts_per_relation: int,
+    domain_sizes: Optional[Dict[str, Sequence[int]]] = None,
+    seed: int = 0,
+) -> Instance:
+    """A random instance over ``schema``.
+
+    Parameters
+    ----------
+    schema:
+        The target schema.
+    facts_per_relation:
+        How many distinct facts to draw for each relation symbol.
+    domain_sizes:
+        Per relation, a sequence of per-attribute domain sizes (defaults
+        to ``facts_per_relation`` everywhere, which yields sparse
+        conflicts).  Attribute ``i`` of relation ``R`` draws uniformly
+        from ``{0, …, domain_sizes[R][i-1] - 1}``.
+    seed:
+        RNG seed.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> inst = random_instance(schema, 10, seed=1)
+    >>> len(inst) <= 10
+    True
+    """
+    rng = random.Random(seed)
+    facts: set = set()
+    for relation in schema.signature:
+        sizes = (
+            list(domain_sizes[relation.name])
+            if domain_sizes and relation.name in domain_sizes
+            else [max(facts_per_relation, 2)] * relation.arity
+        )
+        if len(sizes) != relation.arity:
+            raise ValueError(
+                f"domain_sizes[{relation.name!r}] must have "
+                f"{relation.arity} entries, got {len(sizes)}"
+            )
+        attempts = 0
+        produced: set = set()
+        while len(produced) < facts_per_relation and attempts < 50 * facts_per_relation:
+            attempts += 1
+            values = tuple(
+                rng.randrange(size) for size in sizes
+            )
+            produced.add(Fact(relation.name, values))
+        facts |= produced
+    return Instance(schema.signature, facts)
+
+
+def domain_sizes_for_density(
+    schema: Schema, facts_per_relation: int, density: float
+) -> Dict[str, List[int]]:
+    """Domain sizes tuned so that conflicts hit roughly ``density``.
+
+    ``density`` near 0 gives almost-consistent instances; near 1 gives
+    instances where most facts participate in conflicts.  The heuristic
+    shrinks every FD left-hand-side attribute's domain as density grows
+    (more facts collide on the LHS) while keeping the remaining
+    attributes wide (so colliding facts disagree on the RHS).
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    sizes: Dict[str, List[int]] = {}
+    for relation, fdset in schema.per_relation():
+        lhs_attributes = {
+            position for fd in fdset if not fd.is_trivial() for position in fd.lhs
+        }
+        wide = max(2 * facts_per_relation, 4)
+        # Interpolate the LHS domain between `facts_per_relation` groups
+        # (no collisions) and very few groups (everything collides).
+        narrow = max(2, round(facts_per_relation * (1.0 - density)) + 1)
+        sizes[relation.name] = [
+            narrow if position in lhs_attributes else wide
+            for position in range(1, relation.arity + 1)
+        ]
+    return sizes
+
+
+def random_instance_with_conflicts(
+    schema: Schema,
+    facts_per_relation: int,
+    density: float = 0.5,
+    seed: int = 0,
+) -> Instance:
+    """A random instance whose conflict rate tracks ``density``.
+
+    Examples
+    --------
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> dense = random_instance_with_conflicts(schema, 30, 0.9, seed=2)
+    >>> schema.is_consistent(dense)
+    False
+    """
+    return random_instance(
+        schema,
+        facts_per_relation,
+        domain_sizes_for_density(schema, facts_per_relation, density),
+        seed=seed,
+    )

@@ -1,0 +1,100 @@
+"""Random undirected graphs for the Hamiltonian-cycle experiments.
+
+Generators feeding the Lemma 5.2 gadget (experiment E5): Erdős–Rényi
+graphs, guaranteed-Hamiltonian graphs (a hidden cycle plus noise), and
+guaranteed-non-Hamiltonian graphs (a cut vertex construction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.hardness.hamiltonian import UndirectedGraph
+
+__all__ = [
+    "erdos_renyi",
+    "hamiltonian_graph",
+    "non_hamiltonian_graph",
+    "all_graphs",
+]
+
+
+def erdos_renyi(
+    node_count: int, edge_probability: float, seed: int = 0
+) -> UndirectedGraph:
+    """A ``G(n, p)`` random graph.
+
+    Examples
+    --------
+    >>> g = erdos_renyi(5, 0.5, seed=3)
+    >>> g.node_count
+    5
+    """
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(node_count)
+        for v in range(u + 1, node_count)
+        if rng.random() < edge_probability
+    ]
+    return UndirectedGraph(node_count, edges)
+
+
+def hamiltonian_graph(
+    node_count: int, extra_edge_probability: float = 0.2, seed: int = 0
+) -> UndirectedGraph:
+    """A graph guaranteed Hamiltonian: a hidden random cycle plus noise."""
+    if node_count < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    order = list(range(node_count))
+    rng.shuffle(order)
+    edges = {
+        (order[i], order[(i + 1) % node_count]) for i in range(node_count)
+    }
+    edges = {(u, v) for u, v in edges if u != v}
+    for u in range(node_count):
+        for v in range(u + 1, node_count):
+            if rng.random() < extra_edge_probability:
+                edges.add((u, v))
+    return UndirectedGraph(node_count, edges)
+
+
+def non_hamiltonian_graph(node_count: int, seed: int = 0) -> UndirectedGraph:
+    """A graph guaranteed non-Hamiltonian via a cut vertex.
+
+    Two random connected blobs share exactly one vertex; any Hamiltonian
+    cycle would have to pass through the cut vertex twice.
+    """
+    if node_count < 3:
+        raise ValueError("need at least three vertices for a cut vertex")
+    rng = random.Random(seed)
+    cut = 0
+    left = list(range(1, node_count // 2 + 1))
+    right = list(range(node_count // 2 + 1, node_count))
+    edges: List[Tuple[int, int]] = []
+    for blob in (left, right):
+        previous = cut
+        for node in blob:
+            edges.append((previous, node))
+            previous = node
+        for i, u in enumerate(blob):
+            for v in blob[i + 1 :]:
+                if rng.random() < 0.4:
+                    edges.append((u, v))
+    return UndirectedGraph(node_count, edges)
+
+
+def all_graphs(node_count: int) -> Iterator[UndirectedGraph]:
+    """Every graph on ``node_count`` labelled vertices (2^(n choose 2))."""
+    pairs = [
+        (u, v)
+        for u in range(node_count)
+        for v in range(u + 1, node_count)
+    ]
+    for mask in range(1 << len(pairs)):
+        yield UndirectedGraph(
+            node_count,
+            [pair for bit, pair in enumerate(pairs) if mask & (1 << bit)],
+        )

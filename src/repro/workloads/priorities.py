@@ -1,0 +1,165 @@
+"""Random priority relations over inconsistent instances.
+
+Builders for the ``≻`` side of prioritizing instances:
+
+* :func:`random_conflict_priority` — a random acyclic orientation of a
+  random subset of the conflicting pairs (the classical setting of
+  Section 2.3);
+* :func:`total_conflict_priority` — orients *every* conflicting pair
+  (a completion, under which all three preference semantics coincide
+  per Staworko et al.);
+* :func:`random_ccp_priority` — additionally relates non-conflicting
+  facts (the ccp setting of Section 7);
+* :func:`layered_priority` — assigns each fact a random tier and
+  prefers higher tiers, modelling source-reliability cleaning.
+
+Acyclicity is guaranteed by construction: every builder first draws a
+random global order on the facts and only emits edges along it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.conflicts import conflicting_pairs
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+
+__all__ = [
+    "random_conflict_priority",
+    "total_conflict_priority",
+    "random_ccp_priority",
+    "layered_priority",
+    "random_prioritizing_instance",
+]
+
+
+def _fact_order(instance: Instance, rng: random.Random) -> Dict[Fact, int]:
+    facts = sorted(instance.facts, key=str)
+    rng.shuffle(facts)
+    return {fact: position for position, fact in enumerate(facts)}
+
+
+def random_conflict_priority(
+    schema: Schema,
+    instance: Instance,
+    edge_probability: float = 0.7,
+    seed: int = 0,
+) -> PriorityRelation:
+    """A random acyclic priority over conflicting pairs only.
+
+    Each conflicting pair is oriented (along a hidden random global
+    order, so cycles cannot arise) with probability
+    ``edge_probability`` and left incomparable otherwise.
+    """
+    rng = random.Random(seed)
+    order = _fact_order(instance, rng)
+    edges: List[Tuple[Fact, Fact]] = []
+    for pair in sorted(conflicting_pairs(schema, instance), key=str):
+        if rng.random() >= edge_probability:
+            continue
+        f, g = sorted(pair, key=lambda fact: order[fact])
+        edges.append((f, g))
+    return PriorityRelation(edges)
+
+
+def total_conflict_priority(
+    schema: Schema, instance: Instance, seed: int = 0
+) -> PriorityRelation:
+    """An acyclic orientation of *all* conflicting pairs (a completion)."""
+    return random_conflict_priority(
+        schema, instance, edge_probability=1.0, seed=seed
+    )
+
+
+def random_ccp_priority(
+    schema: Schema,
+    instance: Instance,
+    conflict_probability: float = 0.7,
+    cross_probability: float = 0.1,
+    seed: int = 0,
+) -> PriorityRelation:
+    """A random acyclic cross-conflict priority (Section 7).
+
+    Conflicting pairs are oriented with ``conflict_probability``;
+    non-conflicting pairs additionally with ``cross_probability``.
+    """
+    rng = random.Random(seed)
+    order = _fact_order(instance, rng)
+    conflicts = conflicting_pairs(schema, instance)
+    edges: List[Tuple[Fact, Fact]] = []
+    facts = sorted(instance.facts, key=str)
+    for i, fact_a in enumerate(facts):
+        for fact_b in facts[i + 1 :]:
+            pair = frozenset({fact_a, fact_b})
+            probability = (
+                conflict_probability
+                if pair in conflicts
+                else cross_probability
+            )
+            if rng.random() >= probability:
+                continue
+            f, g = sorted(pair, key=lambda fact: order[fact])
+            edges.append((f, g))
+    return PriorityRelation(edges)
+
+
+def layered_priority(
+    schema: Schema,
+    instance: Instance,
+    tier_count: int = 3,
+    seed: int = 0,
+    ccp: bool = False,
+) -> PriorityRelation:
+    """A tier-based priority: facts in higher tiers beat lower tiers.
+
+    Models source reliability: each fact lands in a random tier
+    (``0`` = least trusted) and every pair in distinct tiers is oriented
+    toward the higher tier — restricted to conflicting pairs unless
+    ``ccp=True``.
+    """
+    rng = random.Random(seed)
+    tier = {fact: rng.randrange(tier_count) for fact in sorted(instance.facts, key=str)}
+    conflicts = conflicting_pairs(schema, instance)
+    edges: List[Tuple[Fact, Fact]] = []
+    facts = sorted(instance.facts, key=str)
+    for i, fact_a in enumerate(facts):
+        for fact_b in facts[i + 1 :]:
+            if tier[fact_a] == tier[fact_b]:
+                continue
+            if not ccp and frozenset({fact_a, fact_b}) not in conflicts:
+                continue
+            better, worse = (
+                (fact_a, fact_b)
+                if tier[fact_a] > tier[fact_b]
+                else (fact_b, fact_a)
+            )
+            edges.append((better, worse))
+    return PriorityRelation(edges)
+
+
+def random_prioritizing_instance(
+    schema: Schema,
+    instance: Instance,
+    edge_probability: float = 0.7,
+    seed: int = 0,
+    ccp: bool = False,
+    cross_probability: float = 0.1,
+) -> PrioritizingInstance:
+    """Bundle an instance with a freshly drawn random priority."""
+    if ccp:
+        priority = random_ccp_priority(
+            schema,
+            instance,
+            conflict_probability=edge_probability,
+            cross_probability=cross_probability,
+            seed=seed,
+        )
+    else:
+        priority = random_conflict_priority(
+            schema, instance, edge_probability=edge_probability, seed=seed
+        )
+    return PrioritizingInstance(schema, instance, priority, ccp=ccp)

@@ -1,0 +1,103 @@
+"""Instances that separate the three preference semantics.
+
+The semantics nest — completion-optimal ⊆ globally-optimal ⊆
+Pareto-optimal — and both inclusions are strict.  This module builds
+the canonical separating *blocks* (single-FD conflict blocks) and
+concatenates them into instances where the three optimal-repair counts
+diverge exponentially, making the hierarchy measurable (experiment
+E16):
+
+* :func:`pareto_not_global_block` — groups ``X = {x1, x2}`` and
+  ``Y = {y1, y2}`` with ``y1 ≻ x1``, ``y2 ≻ x2``: choosing ``X`` is
+  Pareto-optimal (no single fact dominates both ``x``'s) but not
+  globally optimal (``Y`` jointly improves it) — the running example's
+  J3 phenomenon in miniature.  Per-block counts: C=1, G=1, P=2.
+* :func:`global_not_completion_block` — groups ``X = {x1, x2}``,
+  ``Y = {y}``, ``Z = {z}`` with ``y ≻ x1``, ``z ≻ x2``: choosing ``X``
+  is globally optimal (neither ``Y`` nor ``Z`` improves both ``x``'s,
+  and ``Y ∪ Z`` is inconsistent) but no greedy run can produce it —
+  the counterexample to [14, Prop. 10(iii)] reported in Section 4.1.
+  Per-block counts: C=2, G=3, P=3.
+* :func:`separation_instance` — ``k`` blocks of each kind over one
+  relation, giving total counts ``C = 2^k``, ``G = 3^k``,
+  ``P = 2^k · 3^k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.fact import Fact
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+
+__all__ = [
+    "separation_schema",
+    "pareto_not_global_block",
+    "global_not_completion_block",
+    "separation_instance",
+]
+
+_Block = Tuple[List[Fact], List[Tuple[Fact, Fact]]]
+
+
+def separation_schema() -> Schema:
+    """A ternary relation with the single FD ``1 → 2``.
+
+    Attribute 1 names the block, attribute 2 the group, attribute 3
+    distinguishes facts within a group.
+    """
+    return Schema.single_relation(["1 -> 2"], relation="B", arity=3)
+
+
+def pareto_not_global_block(block_id: str) -> _Block:
+    """A block whose ``X`` choice is Pareto- but not globally optimal."""
+    x1 = Fact("B", (block_id, "x", 1))
+    x2 = Fact("B", (block_id, "x", 2))
+    y1 = Fact("B", (block_id, "y", 1))
+    y2 = Fact("B", (block_id, "y", 2))
+    return [x1, x2, y1, y2], [(y1, x1), (y2, x2)]
+
+
+def global_not_completion_block(block_id: str) -> _Block:
+    """A block whose ``X`` choice is globally but not completion
+    optimal."""
+    x1 = Fact("B", (block_id, "x", 1))
+    x2 = Fact("B", (block_id, "x", 2))
+    y = Fact("B", (block_id, "y", 1))
+    z = Fact("B", (block_id, "z", 1))
+    return [x1, x2, y, z], [(y, x1), (z, x2)]
+
+
+def separation_instance(block_count: int) -> PrioritizingInstance:
+    """``block_count`` blocks of each separator kind, in one relation.
+
+    The counts of optimal repairs are exactly
+    ``C = 2^k``, ``G = 3^k``, ``P = 2^k · 3^k`` for ``k = block_count``
+    (asserted by the tests and measured by experiment E16).
+
+    Examples
+    --------
+    >>> pri = separation_instance(2)
+    >>> len(pri.instance)
+    16
+    """
+    if block_count < 1:
+        raise ValueError("need at least one block")
+    schema = separation_schema()
+    facts: List[Fact] = []
+    edges: List[Tuple[Fact, Fact]] = []
+    for index in range(block_count):
+        for builder, tag in (
+            (pareto_not_global_block, "pg"),
+            (global_not_completion_block, "gc"),
+        ):
+            block_facts, block_edges = builder(f"{tag}{index}")
+            facts.extend(block_facts)
+            edges.extend(block_edges)
+    return PrioritizingInstance(
+        schema,
+        schema.instance(facts),
+        PriorityRelation(edges),
+        ccp=False,
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for the brute-force baselines."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import (
+    check_globally_optimal_brute_force,
+    check_globally_optimal_paranoid,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_ccp_priority, random_conflict_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestBruteForce:
+    def test_simple_swap(self, schema):
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        assert check_globally_optimal_brute_force(
+            pri, schema.instance([new])
+        ).is_optimal
+        result = check_globally_optimal_brute_force(pri, schema.instance([old]))
+        assert not result.is_optimal
+        assert_result_witness_valid(pri, schema.instance([old]), result)
+
+    def test_inconsistent_candidate(self, schema):
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert not check_globally_optimal_brute_force(
+            pri, schema.instance([a, b])
+        ).is_optimal
+
+    @pytest.mark.parametrize("ccp", [False, True])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_paranoid_all_subsets_search(self, schema, seed, ccp):
+        """Improvements among repairs suffice: validate the restriction
+        to maximal candidates against the all-subsets search."""
+        instance = random_instance_with_conflicts(schema, 7, 0.8, seed=seed)
+        if ccp:
+            priority = random_ccp_priority(schema, instance, seed=seed)
+        else:
+            priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+        for candidate in enumerate_repairs(schema, instance):
+            restricted = check_globally_optimal_brute_force(pri, candidate)
+            paranoid = check_globally_optimal_paranoid(pri, candidate)
+            assert restricted.is_optimal == paranoid.is_optimal
+
+    def test_hard_schema_small_instance(self):
+        """On S4 (coNP-complete) the brute force still answers."""
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        better = Fact("R", (1, "a", "x"))
+        worse = Fact("R", (1, "b", "x"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([better, worse]),
+            PriorityRelation([(better, worse)]),
+        )
+        assert check_globally_optimal_brute_force(
+            pri, schema.instance([better])
+        ).is_optimal
+        assert not check_globally_optimal_brute_force(
+            pri, schema.instance([worse])
+        ).is_optimal

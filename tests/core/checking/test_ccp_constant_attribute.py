@@ -1,0 +1,129 @@
+"""Unit tests for the ccp constant-attribute checker (Prop. 7.5)."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.ccp_constant_attribute import (
+    check_ccp_constant_attribute,
+    consistent_partitions,
+    enumerate_partition_repairs,
+)
+from repro.core.repairs import enumerate_repairs, is_repair
+from repro.workloads.generators import random_instance
+from repro.workloads.priorities import random_ccp_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+@pytest.fixture
+def schema():
+    # ∅ → 1 on a binary relation: attribute 1 must be constant.
+    return Schema.single_relation(["{} -> 1"], arity=2)
+
+
+class TestConsistentPartitions:
+    def test_groups_by_determined_attributes(self, schema):
+        instance = schema.instance(
+            [
+                Fact("R", ("a", 1)),
+                Fact("R", ("a", 2)),
+                Fact("R", ("b", 1)),
+            ]
+        )
+        partitions = consistent_partitions(schema, instance, "R")
+        assert sorted(len(p) for p in partitions) == [1, 2]
+
+    def test_derived_constant_attributes(self):
+        # ∅ → 1 and 1 → 2: attribute 2 is constant *derivatively*.
+        schema = Schema.single_relation(["{} -> 1", "1 -> 2"], arity=2)
+        instance = schema.instance(
+            [Fact("R", ("a", 1)), Fact("R", ("a", 2)), Fact("R", ("b", 1))]
+        )
+        partitions = consistent_partitions(schema, instance, "R")
+        assert sorted(len(p) for p in partitions) == [1, 1, 1]
+
+    def test_partition_repairs_are_repairs(self, schema):
+        instance = random_instance(
+            schema, 9, {"R": [3, 4]}, seed=5
+        )
+        classical = {r.facts for r in enumerate_repairs(schema, instance)}
+        partitioned = {
+            r.facts for r in enumerate_partition_repairs(schema, instance)
+        }
+        assert partitioned == classical
+
+    def test_multi_relation_cross_product(self):
+        schema = Schema.parse(
+            {"R": 1, "S": 1}, ["R: {} -> 1", "S: {} -> 1"]
+        )
+        instance = schema.instance(
+            [Fact("R", ("a",)), Fact("R", ("b",)), Fact("S", ("x",)),
+             Fact("S", ("y",)), Fact("S", ("z",))]
+        )
+        repairs = list(enumerate_partition_repairs(schema, instance))
+        assert len(repairs) == 6
+        for repair in repairs:
+            assert is_repair(schema, instance, repair)
+
+
+class TestChecker:
+    def test_simple_preference(self, schema):
+        good = [Fact("R", ("good", 1)), Fact("R", ("good", 2))]
+        bad = [Fact("R", ("bad", 1))]
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance(good + bad),
+            PriorityRelation([(good[0], bad[0])]),
+            ccp=True,
+        )
+        assert check_ccp_constant_attribute(
+            pri, schema.instance(good)
+        ).is_optimal
+        result = check_ccp_constant_attribute(pri, schema.instance(bad))
+        assert not result.is_optimal
+        assert_result_witness_valid(pri, schema.instance(bad), result)
+
+    def test_partial_domination_is_not_enough(self, schema):
+        """A partition beats another only if every lost fact is
+        dominated by some gained fact."""
+        a1, a2 = Fact("R", ("a", 1)), Fact("R", ("a", 2))
+        b1 = Fact("R", ("b", 1))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([a1, a2, b1]),
+            PriorityRelation([(b1, a1)]),  # nothing dominates a2
+            ccp=True,
+        )
+        assert check_ccp_constant_attribute(
+            pri, schema.instance([a1, a2])
+        ).is_optimal
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_with_brute_force(self, schema, seed):
+        instance = random_instance(schema, 8, {"R": [3, 5]}, seed=seed)
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.3, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_ccp_constant_attribute(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_multi_relation_agreement(self, seed):
+        schema = Schema.parse(
+            {"R": 2, "S": 1}, ["R: {} -> 1", "S: {} -> 1"]
+        )
+        instance = random_instance(
+            schema, 5, {"R": [2, 3], "S": [3]}, seed=seed
+        )
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.25, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_ccp_constant_attribute(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal

@@ -1,0 +1,110 @@
+"""Unit tests for the ccp primary-key checker (Lemma 7.3 / Figure 6)."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.ccp_primary_key import (
+    build_ccp_graph,
+    check_ccp_primary_key,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_ccp_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestExample72:
+    """Rebuilds Example 7.2 and Figure 6."""
+
+    @pytest.fixture
+    def setup(self, schema):
+        rows = [(0, 1), (0, 2), (0, "c"), (1, "a"), (1, "b"), (1, 3)]
+        facts = {row: Fact("R", row) for row in rows}
+        instance = schema.instance(facts.values())
+        # The example's priority chains (the copy of the text garbles
+        # the last element of the first chain; the instance pins it to
+        # R(1,a), the only remaining lib-1 fact):
+        #   R(0,c) > R(1,b) > R(1,a)   and   R(1,3) > R(0,2) > R(0,1).
+        # Both chains cross conflicts (e.g. R(0,c) and R(1,b) do not
+        # conflict), which is the point of the ccp setting.
+        edges = [
+            (facts[(0, "c")], facts[(1, "b")]),
+            (facts[(1, "b")], facts[(1, "a")]),
+            (facts[(1, 3)], facts[(0, 2)]),
+            (facts[(0, 2)], facts[(0, 1)]),
+        ]
+        pri = PrioritizingInstance(
+            schema, instance, PriorityRelation(edges), ccp=True
+        )
+        candidate = instance.subinstance([facts[(0, 2)], facts[(1, "b")]])
+        return facts, pri, candidate
+
+    def test_graph_structure(self, setup):
+        facts, pri, candidate = setup
+        graph = build_ccp_graph(pri, candidate)
+        assert graph.candidate_facts == candidate.facts
+        # Every outsider conflicts with the same-key candidate fact.
+        assert facts[(0, 1)] in graph.successors[facts[(0, 2)]]
+        assert facts[(0, "c")] in graph.successors[facts[(0, 2)]]
+        # Priority edges run back into the candidate.
+        assert facts[(0, 2)] in graph.successors[facts[(1, 3)]]
+        assert facts[(1, "b")] in graph.successors[facts[(0, "c")]]
+
+    def test_cycle_means_not_optimal(self, setup):
+        facts, pri, candidate = setup
+        result = check_ccp_primary_key(pri, candidate)
+        # The graph closes the 4-cycle
+        #   R(0,2) -> R(0,c) -> R(1,b) -> R(1,3) -> R(0,2)
+        # (conflict, priority, conflict, priority), so J is improvable:
+        # swapping in {R(0,c), R(1,3)} for {R(0,2), R(1,b)} improves
+        # both evicted facts.
+        assert not result.is_optimal
+        assert_result_witness_valid(pri, candidate, result)
+        brute = check_globally_optimal_brute_force(pri, candidate)
+        assert not brute.is_optimal
+
+
+class TestAgreementWithBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_relation(self, schema, seed):
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        priority = random_ccp_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_ccp_primary_key(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_multi_relation_cross_priorities(self, seed):
+        schema = Schema.parse(
+            {"R": 2, "S": 2}, ["R: 1 -> 2", "S: 1 -> 2"]
+        )
+        instance = random_instance_with_conflicts(schema, 5, 0.8, seed=seed)
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.2, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_ccp_primary_key(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_composite_key(self, seed):
+        schema = Schema.single_relation(["{1,2} -> 3"], arity=3)
+        instance = random_instance_with_conflicts(schema, 7, 0.8, seed=seed)
+        priority = random_ccp_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_ccp_primary_key(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal

@@ -1,0 +1,134 @@
+"""Unit tests for completion-optimal checking and the semantics chain."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import (
+    brute_force_completion_check,
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+    enumerate_completion_optimal_repairs,
+    greedy_completion_repair,
+)
+from repro.core.repairs import enumerate_repairs, is_repair
+from repro.exceptions import InvalidPriorityError
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestGreedy:
+    def test_greedy_output_is_repair(self, schema):
+        import random
+
+        for seed in range(5):
+            instance = random_instance_with_conflicts(schema, 12, 0.7, seed=seed)
+            priority = random_conflict_priority(schema, instance, seed=seed)
+            pri = PrioritizingInstance(schema, instance, priority)
+            repair = greedy_completion_repair(pri, random.Random(seed))
+            assert is_repair(schema, instance, repair)
+            assert check_completion_optimal(pri, repair).is_optimal
+
+    def test_greedy_respects_dominance(self, schema):
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        assert new in greedy_completion_repair(pri)
+
+    def test_ccp_rejected(self, schema):
+        a, b = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([(a, b)]), ccp=True
+        )
+        with pytest.raises(InvalidPriorityError):
+            greedy_completion_repair(pri)
+        with pytest.raises(InvalidPriorityError):
+            check_completion_optimal(pri, schema.instance([a, b]))
+
+
+class TestCheckAgainstEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_simulation_matches_greedy_enumeration(self, schema, seed):
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        completion_optimal = {
+            r.facts for r in enumerate_completion_optimal_repairs(pri)
+        }
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_completion_optimal(pri, candidate)
+            assert fast.is_optimal == (candidate.facts in completion_optimal)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simulation_matches_definitional_brute_force(self, schema, seed):
+        # Tiny instances: the definitional check enumerates completions.
+        instance = random_instance_with_conflicts(schema, 6, 0.8, seed=seed)
+        priority = random_conflict_priority(
+            schema, instance, edge_probability=0.5, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_completion_optimal(pri, candidate)
+            slow = brute_force_completion_check(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+
+
+class TestSemanticsChain:
+    """Staworko et al.: completion ⊆ global ⊆ Pareto, strictly somewhere."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_chain_on_random_instances(self, schema, seed):
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            completion = check_completion_optimal(pri, candidate).is_optimal
+            globally = check_globally_optimal(pri, candidate).is_optimal
+            pareto = check_pareto_optimal(pri, candidate).is_optimal
+            if completion:
+                assert globally
+            if globally:
+                assert pareto
+
+    def test_chain_strict_on_running_example(self, running):
+        # J3 separates Pareto from global.
+        pri = running.prioritizing
+        assert check_pareto_optimal(pri, running.j3).is_optimal
+        assert not check_globally_optimal(pri, running.j3).is_optimal
+
+    def test_global_strictly_above_completion(self):
+        """Proposition 10(iii) of Staworko et al. is false (Section 4.1):
+        under a single FD, a globally-optimal repair need not be
+        completion-optimal.
+
+        Witness: one block of the FD ``1 → 2`` with rhs-groups
+        ``X = {x1, x2}``, ``Y = {y}``, ``Z = {z}`` and priorities
+        ``y ≻ x1``, ``z ≻ x2``.  The repair ``X`` has no global
+        improvement (``Y`` fails to dominate ``x2``, ``Z`` fails
+        ``x1``, and ``Y ∪ Z`` is inconsistent), yet no greedy run can
+        start: ``x1`` is dominated while ``y`` remains, ``x2`` while
+        ``z`` remains, so every completion-optimal repair contains
+        ``y`` or ``z``.
+        """
+        schema3 = Schema.single_relation(["1 -> 2"], arity=3)
+        x1 = Fact("R", (1, "x", "a"))
+        x2 = Fact("R", (1, "x", "b"))
+        y = Fact("R", (1, "y", "a"))
+        z = Fact("R", (1, "z", "a"))
+        pri = PrioritizingInstance(
+            schema3,
+            schema3.instance([x1, x2, y, z]),
+            PriorityRelation([(y, x1), (z, x2)]),
+        )
+        candidate = schema3.instance([x1, x2])
+        assert check_globally_optimal(pri, candidate).is_optimal
+        assert not check_completion_optimal(pri, candidate).is_optimal
+        # Sanity: every completion-optimal repair indeed holds y or z.
+        for repair in enumerate_completion_optimal_repairs(pri):
+            assert y in repair or z in repair

@@ -1,0 +1,167 @@
+"""Unit tests for the dichotomy-guided dispatcher (Prop. 3.5 routing)."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import (
+    check_globally_optimal,
+    check_globally_optimal_brute_force,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.exceptions import IntractableSchemaError, NotASubinstanceError
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+from tests.conftest import assert_result_witness_valid
+
+
+class TestRouting:
+    def test_single_fd_route(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        result = check_globally_optimal(pri, schema.instance([a]))
+        assert result.method == "GRepCheck1FD"
+
+    def test_two_keys_route(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        result = check_globally_optimal(pri, schema.instance([a]))
+        assert result.method == "GRepCheck2Keys"
+
+    def test_hard_route_uses_brute_force(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        a = Fact("R", (1, "a", "x"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        result = check_globally_optimal(pri, schema.instance([a]))
+        assert result.method == "brute-force"
+
+    def test_hard_route_raises_when_disallowed(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        a = Fact("R", (1, "a", "x"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        with pytest.raises(IntractableSchemaError):
+            check_globally_optimal(
+                pri, schema.instance([a]), allow_brute_force=False
+            )
+
+    def test_ccp_primary_key_route(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a, b = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([a, b]),
+            PriorityRelation([(a, b)]),
+            ccp=True,
+        )
+        result = check_globally_optimal(pri, schema.instance([a, b]))
+        assert result.method == "ccp-primary-key"
+
+    def test_ccp_constant_attribute_route(self):
+        schema = Schema.single_relation(["{} -> 1"], arity=2)
+        a, b = Fact("R", ("x", 1)), Fact("R", ("x", 2))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([]), ccp=True
+        )
+        result = check_globally_optimal(pri, schema.instance([a, b]))
+        assert result.method == "ccp-constant-attribute"
+
+    def test_ccp_hard_schema_with_conflict_only_priority_reroutes(self):
+        # Two keys: ccp-hard, classically tractable.  A conflict-only
+        # priority flagged ccp still gets the classical algorithm.
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        a, b = Fact("R", (1, "x")), Fact("R", (1, "y"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([a, b]),
+            PriorityRelation([(a, b)]),
+            ccp=True,
+        )
+        result = check_globally_optimal(pri, schema.instance([a]))
+        assert result.method == "GRepCheck2Keys"
+        assert result.is_optimal
+
+    def test_ccp_hard_schema_with_cross_priority_brute_forces(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        a, b = Fact("R", (1, "x")), Fact("R", (2, "y"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([a, b]),
+            PriorityRelation([(a, b)]),  # non-conflicting pair
+            ccp=True,
+        )
+        result = check_globally_optimal(pri, schema.instance([a, b]))
+        assert result.method == "brute-force"
+
+    def test_foreign_candidate_raises(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        with pytest.raises(NotASubinstanceError):
+            check_globally_optimal(pri, schema.instance([Fact("R", (2, "b"))]))
+
+    def test_unknown_method_rejected(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        with pytest.raises(ValueError):
+            check_globally_optimal(pri, schema.instance([a]), method="magic")
+
+
+class TestMultiRelationDecomposition:
+    """Proposition 3.5: per-relation answers compose."""
+
+    @pytest.fixture
+    def schema(self):
+        return Schema.parse(
+            {"R": 2, "S": 2},
+            ["R: 1 -> 2", "S: 1 -> 2", "S: 2 -> 1"],
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_with_brute_force(self, schema, seed):
+        instance = random_instance_with_conflicts(schema, 6, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_globally_optimal(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)
+
+    def test_witness_lifted_to_full_signature(self, schema):
+        r_new, r_old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        s_fact = Fact("S", (1, "x"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([r_new, r_old, s_fact]),
+            PriorityRelation([(r_new, r_old)]),
+        )
+        candidate = schema.instance([r_old, s_fact])
+        result = check_globally_optimal(pri, candidate)
+        assert not result.is_optimal
+        assert result.improvement is not None
+        assert s_fact in result.improvement  # untouched relation kept
+        assert r_new in result.improvement
+        assert_result_witness_valid(pri, candidate, result)
+
+    def test_running_example_method(self, running):
+        result = check_globally_optimal(running.prioritizing, running.j2)
+        assert result.method == "per-relation"
+        assert result.is_optimal

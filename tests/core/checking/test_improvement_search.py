@@ -1,0 +1,84 @@
+"""Unit tests for the goal-directed improvement search."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.improvement_search import (
+    check_globally_optimal_search,
+    find_global_improvement,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_ccp_priority, random_conflict_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+class TestCompleteness:
+    """The search must agree with brute force on every schema kind."""
+
+    @pytest.mark.parametrize(
+        "fd_texts, arity",
+        [
+            (["1 -> 2"], 2),                  # tractable: single FD
+            (["1 -> 2", "2 -> 1"], 2),        # tractable: two keys
+            (["1 -> 2", "2 -> 3"], 3),        # hard: S4
+            (["1 -> 3", "2 -> 3"], 3),        # hard: S5
+            (["{} -> 1", "2 -> 3"], 3),       # hard: S6
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_with_brute_force(self, fd_texts, arity, seed):
+        schema = Schema.single_relation(fd_texts, arity=arity)
+        instance = random_instance_with_conflicts(schema, 7, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_globally_optimal_search(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_on_ccp_instances(self, seed):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        instance = random_instance_with_conflicts(schema, 6, 0.8, seed=seed)
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.2, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority, ccp=True)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_globally_optimal_search(pri, candidate)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+
+
+class TestWitnesses:
+    def test_found_improvement_is_valid(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        improvement = find_global_improvement(pri, schema.instance([old]))
+        assert improvement is not None
+        assert improvement.facts == frozenset({new})
+        assert find_global_improvement(pri, schema.instance([new])) is None
+
+    def test_scales_to_gadget_instances(self):
+        """The search decides a 175-fact hard-schema instance that is
+        far beyond the brute force (one conflict component)."""
+        from repro.hardness.hamiltonian import UndirectedGraph
+        from repro.hardness.hc_reduction import build_hamiltonian_gadget
+
+        gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(5))
+        result = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        assert not result.is_optimal
+        gadget2 = build_hamiltonian_gadget(UndirectedGraph.path(5))
+        result2 = check_globally_optimal_search(
+            gadget2.prioritizing, gadget2.repair
+        )
+        assert result2.is_optimal

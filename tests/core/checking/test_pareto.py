@@ -1,0 +1,71 @@
+"""Unit tests for Pareto-optimal repair checking."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import check_pareto_optimal
+from repro.core.improvements import is_pareto_improvement
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_ccp_priority, random_conflict_priority
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestBasics:
+    def test_preferred_fact_wins(self, schema):
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        assert check_pareto_optimal(pri, schema.instance([new])).is_optimal
+        result = check_pareto_optimal(pri, schema.instance([old]))
+        assert not result.is_optimal
+        assert result.improvement is not None
+        assert new in result.improvement
+
+    def test_empty_priority_every_repair_optimal(self, schema):
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert check_pareto_optimal(pri, schema.instance([a])).is_optimal
+        assert check_pareto_optimal(pri, schema.instance([b])).is_optimal
+
+    def test_inconsistent_candidate_rejected(self, schema):
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert not check_pareto_optimal(pri, schema.instance([a, b])).is_optimal
+
+    def test_global_implies_pareto_on_running_example(self, running):
+        from repro.core.checking import check_globally_optimal
+
+        pri = running.prioritizing
+        for candidate in [running.j1, running.j2, running.j3, running.j4]:
+            if check_globally_optimal(pri, candidate).is_optimal:
+                assert check_pareto_optimal(pri, candidate).is_optimal
+
+
+class TestAgreementWithDefinition:
+    @pytest.mark.parametrize("ccp", [False, True])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exhaustive_pareto_search(self, schema, seed, ccp):
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        if ccp:
+            priority = random_ccp_priority(schema, instance, seed=seed)
+        else:
+            priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+        repairs = list(enumerate_repairs(schema, instance))
+        for candidate in repairs:
+            exhaustive = any(
+                is_pareto_improvement(other, candidate, priority)
+                for other in repairs
+            )
+            fast = check_pareto_optimal(pri, candidate)
+            assert fast.is_optimal == (not exhaustive)

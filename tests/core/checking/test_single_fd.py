@@ -1,0 +1,178 @@
+"""Unit tests for ``GRepCheck1FD`` (Figure 2 / Section 4.1)."""
+
+import pytest
+
+from repro.core import FD, Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.single_fd import (
+    block_swap,
+    check_single_fd,
+    check_single_fd_literal,
+)
+from repro.core.classification import equivalent_single_fd
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+@pytest.fixture
+def witness(schema):
+    return equivalent_single_fd(schema.fds_for("R"))
+
+
+class TestBlockSwap:
+    def test_example_4_1(self, running):
+        """Replays Example 4.1: J[g1f1 <-> f1d3] and its inverse."""
+        book_schema = running.schema.restrict("BookLoc")
+        instance = running.prioritizing.instance.restrict_to_relation(
+            "BookLoc"
+        )
+        f = running.facts
+        fd = FD("BookLoc", {1}, {2})
+        j = instance.subinstance([f["g1f1"], f["g1f2"], f["f2p1"]])
+        j_prime = instance.subinstance([f["f1d3"], f["f2p1"]])
+        assert (
+            block_swap(instance, j, fd, f["g1f1"], f["f1d3"]) == j_prime
+        )
+        assert (
+            block_swap(instance, j_prime, fd, f["f1d3"], f["g1f1"]) == j
+        )
+        # The paper highlights that the swap moves whole blocks: both
+        # g1f1 and g1f2 leave, and both return on the way back.
+        assert f["g1f2"] not in block_swap(
+            instance, j, fd, f["g1f1"], f["f1d3"]
+        )
+
+    def test_swap_preserves_consistency(self, schema, witness):
+        instance = schema.instance(
+            [Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (2, "c"))]
+        )
+        j = instance.subinstance([Fact("R", (1, "a")), Fact("R", (2, "c"))])
+        swapped = block_swap(
+            instance, j, witness, Fact("R", (1, "a")), Fact("R", (1, "b"))
+        )
+        assert schema.is_consistent(swapped)
+
+
+class TestCheckSingleFD:
+    def test_prefers_better_block(self, schema, witness):
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([new, old]),
+            PriorityRelation([(new, old)]),
+        )
+        assert check_single_fd(pri, schema.instance([new]), witness).is_optimal
+        result = check_single_fd(pri, schema.instance([old]), witness)
+        assert not result.is_optimal
+        assert_result_witness_valid(pri, schema.instance([old]), result)
+
+    def test_incomparable_blocks_both_optimal(self, schema, witness):
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert check_single_fd(pri, schema.instance([a]), witness).is_optimal
+        assert check_single_fd(pri, schema.instance([b]), witness).is_optimal
+
+    def test_non_maximal_candidate_rejected(self, schema, witness):
+        a, b = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        result = check_single_fd(pri, schema.instance([a]), witness)
+        assert not result.is_optimal
+
+    def test_trivial_fd_only_repair_is_instance(self):
+        schema = Schema.single_relation(["{1,2} -> 1"], arity=2)
+        trivial_witness = equivalent_single_fd(schema.fds_for("R"))
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert check_single_fd(
+            pri, schema.instance([a, b]), trivial_witness
+        ).is_optimal
+        assert not check_single_fd(
+            pri, schema.instance([a]), trivial_witness
+        ).is_optimal
+
+    def test_block_with_multiple_facts(self, schema, witness):
+        """Swapping must move whole agreeing blocks, not single facts."""
+        # Ternary relation, FD 1 -> 2: blocks share attributes 1 and 2.
+        schema3 = Schema.single_relation(["1 -> 2"], arity=3)
+        witness3 = equivalent_single_fd(schema3.fds_for("R"))
+        old1 = Fact("R", (1, "old", "x"))
+        old2 = Fact("R", (1, "old", "y"))
+        new1 = Fact("R", (1, "new", "z"))
+        pri = PrioritizingInstance(
+            schema3,
+            schema3.instance([old1, old2, new1]),
+            PriorityRelation([(new1, old1), (new1, old2)]),
+        )
+        result = check_single_fd(
+            pri, schema3.instance([old1, old2]), witness3
+        )
+        assert not result.is_optimal
+        assert result.improvement.facts == frozenset({new1})
+
+    def test_improvement_requires_all_blocks_covered(self):
+        """A swap improving one removed fact but not its block-mate is
+        not a global improvement."""
+        schema3 = Schema.single_relation(["1 -> 2"], arity=3)
+        witness3 = equivalent_single_fd(schema3.fds_for("R"))
+        old1 = Fact("R", (1, "old", "x"))
+        old2 = Fact("R", (1, "old", "y"))
+        new1 = Fact("R", (1, "new", "z"))
+        # new1 beats old1 but nothing beats old2: J = {old1, old2} stays.
+        pri = PrioritizingInstance(
+            schema3,
+            schema3.instance([old1, old2, new1]),
+            PriorityRelation([(new1, old1)]),
+        )
+        assert check_single_fd(
+            pri, schema3.instance([old1, old2]), witness3
+        ).is_optimal
+
+
+class TestAgreementWithBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, schema, witness, seed):
+        instance = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_single_fd(pri, candidate, witness)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_literal_figure_2_loop_agrees(self, schema, witness, seed):
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            optimized = check_single_fd(pri, candidate, witness)
+            literal = check_single_fd_literal(pri, candidate, witness)
+            assert optimized.is_optimal == literal.is_optimal
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_saturated_witness_on_wider_relation(self, seed):
+        """A 3-ary relation where the witness is 1 -> {1,2} (saturated)."""
+        schema = Schema.single_relation(["1 -> 2"], arity=3)
+        witness = equivalent_single_fd(schema.fds_for("R"))
+        instance = random_instance_with_conflicts(schema, 8, 0.8, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_single_fd(pri, candidate, witness)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal

@@ -1,0 +1,182 @@
+"""Unit tests for ``GRepCheck2Keys`` (Figure 4 / Section 4.2)."""
+
+import pytest
+
+from repro.core import FD, Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.brute_force import check_globally_optimal_brute_force
+from repro.core.checking.two_keys import build_swap_graph, check_two_keys
+from repro.core.classification import equivalent_two_keys
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+from tests.conftest import assert_result_witness_valid
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+
+
+@pytest.fixture
+def keys(schema):
+    return equivalent_two_keys(schema.fds_for("R"))
+
+
+class TestSwapGraphFigure3:
+    """Rebuilds the exact graphs of Figure 3 from Example 4.3."""
+
+    @pytest.fixture
+    def setup(self, running):
+        f = running.facts
+        libloc = running.prioritizing.restrict_to_relation("LibLoc")
+        j = libloc.instance.subinstance([f["d1a"], f["f2b"], f["f3c"]])
+        return running, libloc, j
+
+    def test_g12_has_no_backward_edges(self, setup):
+        running, libloc, j = setup
+        g12 = build_swap_graph(libloc, j, frozenset({1}), frozenset({2}))
+        backward = [
+            (src, dst)
+            for src, dsts in g12.edges.items()
+            for dst in dsts
+            if src[0] == "R"
+        ]
+        assert backward == []
+        assert g12.is_acyclic()
+
+    def test_g21_has_the_two_paper_edges(self, setup):
+        running, libloc, j = setup
+        f = running.facts
+        g21 = build_swap_graph(libloc, j, frozenset({2}), frozenset({1}))
+        backward = {
+            (src[1], dst[1]): fact
+            for src, dsts in g21.edges.items()
+            for dst, fact in dsts.items()
+            if src[0] == "R"
+        }
+        # "The edge from lib2 to almaden is due to g2a > f2b" — in G21
+        # the right side holds first components (libs), the left side
+        # second components (locations).
+        assert backward[(("lib2",), ("almaden",))] == f["g2a"]
+        assert backward[(("lib1",), ("bascom",))] == f["e1b"]
+        assert len(backward) == 2
+        # The two backward edges close a cycle with the forward edges of
+        # d1a and f2b — exactly the Lemma 4.4 witness that this J (the
+        # LibLoc part of J3) is not globally optimal; the induced
+        # improvement is the J4 swap.
+        cycle = g21.find_cycle()
+        assert cycle is not None
+        improvement = g21.cycle_to_improvement(cycle, j)
+        assert improvement.facts == frozenset(
+            {f["e1b"], f["g2a"], f["f3c"]}
+        )
+
+
+class TestCheckTwoKeys:
+    def test_pareto_shortcut(self, schema, keys):
+        new, old = Fact("R", (1, "x")), Fact("R", (1, "y"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        result = check_two_keys(pri, schema.instance([old]), *keys)
+        assert not result.is_optimal
+        assert "Pareto" in result.reason
+
+    def test_cycle_improvement_without_pareto(self, schema, keys):
+        """A 2-cycle swap: two facts replaced jointly, neither alone.
+
+        J = {R(1,a), R(2,b)}; outsiders R(1,b), R(2,a) each conflict
+        with both J facts (one per key), so no single swap works, but
+        exchanging the pair is a global improvement when each outsider
+        beats the J-fact it shares its second attribute with.
+        """
+        j1, j2 = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        o1, o2 = Fact("R", (2, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([j1, j2, o1, o2]),
+            # o1 shares second attr with j1, o2 with j2.
+            PriorityRelation([(o1, j1), (o2, j2)]),
+        )
+        candidate = schema.instance([j1, j2])
+        result = check_two_keys(pri, candidate, *keys)
+        assert not result.is_optimal
+        assert "cycle" in result.reason
+        assert result.improvement.facts == frozenset({o1, o2})
+        assert_result_witness_valid(pri, candidate, result)
+
+    def test_optimal_when_graphs_acyclic(self, schema, keys):
+        j1, j2 = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        o1 = Fact("R", (2, "a"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([j1, j2, o1]),
+            PriorityRelation([(o1, j1)]),
+        )
+        # o1 conflicts with both j1 (attr 2) and j2 (attr 1) but only
+        # beats j1, so neither a Pareto swap nor a cycle exists.
+        assert check_two_keys(pri, schema.instance([j1, j2]), *keys).is_optimal
+
+    def test_running_example_libloc_candidates(self, running, keys):
+        libloc = running.prioritizing.restrict_to_relation("LibLoc")
+        keys_ll = equivalent_two_keys(
+            running.schema.fds_for("LibLoc")
+        )
+        f = running.facts
+        j3_part = libloc.instance.subinstance([f["d1a"], f["f2b"], f["f3c"]])
+        result = check_two_keys(libloc, j3_part, *keys_ll)
+        assert not result.is_optimal
+        j2_part = libloc.instance.subinstance([f["d1e"], f["g2a"], f["e3b"]])
+        assert check_two_keys(libloc, j2_part, *keys_ll).is_optimal
+
+
+class TestGeneralizedKeys:
+    """Two composite keys on a 4-ary relation."""
+
+    @pytest.fixture
+    def wide(self):
+        return Schema.single_relation(
+            ["{1,2} -> {3,4}", "{3,4} -> {1,2}"], arity=4
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_with_brute_force(self, wide, seed):
+        keys = equivalent_two_keys(wide.fds_for("R"))
+        assert keys is not None
+        instance = random_instance_with_conflicts(wide, 8, 0.8, seed=seed)
+        priority = random_conflict_priority(wide, instance, seed=seed)
+        pri = PrioritizingInstance(wide, instance, priority)
+        for candidate in enumerate_repairs(wide, instance):
+            fast = check_two_keys(pri, candidate, *keys)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)
+
+    def test_overlapping_keys(self):
+        schema = Schema.single_relation(
+            ["{1,2} -> 3", "{1,3} -> 2"], arity=3
+        )
+        keys = equivalent_two_keys(schema.fds_for("R"))
+        assert keys is not None
+        for seed in range(5):
+            instance = random_instance_with_conflicts(schema, 7, 0.8, seed=seed)
+            priority = random_conflict_priority(schema, instance, seed=seed)
+            pri = PrioritizingInstance(schema, instance, priority)
+            for candidate in enumerate_repairs(schema, instance):
+                fast = check_two_keys(pri, candidate, *keys)
+                slow = check_globally_optimal_brute_force(pri, candidate)
+                assert fast.is_optimal == slow.is_optimal
+
+
+class TestAgreementWithBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, schema, keys, seed):
+        instance = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        for candidate in enumerate_repairs(schema, instance):
+            fast = check_two_keys(pri, candidate, *keys)
+            slow = check_globally_optimal_brute_force(pri, candidate)
+            assert fast.is_optimal == slow.is_optimal
+            assert_result_witness_valid(pri, candidate, fast)

@@ -1,0 +1,57 @@
+"""Unit tests for the shared checker pre-checks."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking.validation import precheck
+from repro.exceptions import NotASubinstanceError
+
+F1 = Fact("R", (1, "a"))
+F2 = Fact("R", (1, "b"))
+LONER = Fact("R", (9, "z"))
+
+
+@pytest.fixture
+def pri():
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    instance = schema.instance([F1, F2, LONER])
+    return PrioritizingInstance(
+        schema, instance, PriorityRelation([(F1, F2)])
+    )
+
+
+def test_repair_passes(pri):
+    candidate = pri.schema.instance([F1, LONER])
+    assert precheck(pri, candidate, "global", "test") is None
+
+
+def test_foreign_facts_raise(pri):
+    candidate = pri.schema.instance([Fact("R", (8, "w"))])
+    with pytest.raises(NotASubinstanceError):
+        precheck(pri, candidate, "global", "test")
+
+
+def test_inconsistent_candidate_fails(pri):
+    candidate = pri.schema.instance([F1, F2])
+    result = precheck(pri, candidate, "global", "test")
+    assert result is not None
+    assert not result.is_optimal
+    assert result.improvement is None
+    assert "not consistent" in result.reason
+
+
+def test_non_maximal_candidate_fails_with_witness(pri):
+    candidate = pri.schema.instance([F1])
+    result = precheck(pri, candidate, "global", "test")
+    assert result is not None
+    assert not result.is_optimal
+    assert result.improvement is not None
+    assert LONER in result.improvement
+    assert "not maximal" in result.reason
+
+
+def test_result_metadata_propagates(pri):
+    candidate = pri.schema.instance([F1])
+    result = precheck(pri, candidate, "pareto", "my-method")
+    assert result.semantics == "pareto"
+    assert result.method == "my-method"

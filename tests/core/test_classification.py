@@ -1,0 +1,259 @@
+"""Unit tests for the dichotomy classifiers (Theorems 3.1/6.1, 7.1/7.6)."""
+
+import pytest
+
+from repro.core import FD, Schema
+from repro.core.classification import (
+    RelationClass,
+    classify_ccp_schema,
+    classify_relation,
+    classify_schema,
+    equivalent_constant_attribute,
+    equivalent_single_fd,
+    equivalent_single_key,
+    equivalent_two_keys,
+)
+from repro.core.fdset import FDSet
+
+
+def fds(texts, arity=3, relation="R"):
+    return FDSet(relation, arity, [FD.parse(t, relation=relation) for t in texts])
+
+
+class TestEquivalentSingleFD:
+    def test_literal_single_fd(self):
+        witness = equivalent_single_fd(fds(["1 -> 2"]))
+        assert witness is not None
+        assert witness.lhs == frozenset({1})
+
+    def test_redundant_set_collapses(self):
+        witness = equivalent_single_fd(fds(["1 -> 2", "1 -> 3", "1 -> {2,3}"]))
+        assert witness is not None
+        assert witness.lhs == frozenset({1})
+        assert witness.rhs == frozenset({1, 2, 3})
+
+    def test_empty_set_is_trivial_single_fd(self):
+        witness = equivalent_single_fd(FDSet("R", 3))
+        assert witness is not None
+        assert witness.is_trivial()
+
+    def test_all_trivial_set(self):
+        witness = equivalent_single_fd(fds(["{1,2} -> 1"]))
+        assert witness is not None
+        assert witness.is_trivial()
+
+    def test_chain_is_not_single(self):
+        assert equivalent_single_fd(fds(["1 -> 2", "2 -> 3"])) is None
+
+    def test_two_sources_not_single(self):
+        assert equivalent_single_fd(fds(["1 -> 3", "2 -> 3"])) is None
+
+    def test_witness_equivalence_validated(self):
+        """The returned witness must actually be equivalent."""
+        for texts in (["1 -> 2"], ["1 -> {2,3}", "1 -> 2"], ["{1,3} -> 2"]):
+            fdset = fds(texts)
+            witness = equivalent_single_fd(fdset)
+            assert witness is not None
+            assert fdset.equivalent_to_fds([witness])
+
+
+class TestEquivalentKeys:
+    def test_single_key(self):
+        witness = equivalent_single_key(fds(["1 -> {2,3}"]))
+        assert witness is not None
+        assert witness.lhs == frozenset({1})
+
+    def test_empty_set_has_trivial_key(self):
+        witness = equivalent_single_key(FDSet("R", 2))
+        assert witness is not None
+        assert witness.lhs == frozenset({1, 2})
+
+    def test_non_key_fd_has_no_key_witness(self):
+        assert equivalent_single_key(fds(["1 -> 2"])) is None
+
+    def test_two_keys_binary(self):
+        pair = equivalent_two_keys(fds(["1 -> 2", "2 -> 1"], arity=2))
+        assert pair is not None
+        assert {k.lhs for k in pair} == {frozenset({1}), frozenset({2})}
+
+    def test_example_3_3_t(self):
+        pair = equivalent_two_keys(
+            FDSet("T", 4, [FD("T", {1}, {2, 3, 4}), FD("T", {2, 3}, {1})])
+        )
+        assert pair is not None
+        assert {k.lhs for k in pair} == {frozenset({1}), frozenset({2, 3})}
+
+    def test_three_keys_not_two(self):
+        assert (
+            equivalent_two_keys(
+                fds(["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"])
+            )
+            is None
+        )
+
+    def test_single_key_degenerates_to_pair(self):
+        pair = equivalent_two_keys(fds(["1 -> {2,3}"]))
+        assert pair is not None
+        assert pair[0] == pair[1]
+
+
+class TestEquivalentConstantAttribute:
+    def test_direct(self):
+        witness = equivalent_constant_attribute(fds(["{} -> 1"]))
+        assert witness is not None
+        assert witness.rhs == frozenset({1})
+
+    def test_derived(self):
+        witness = equivalent_constant_attribute(fds(["{} -> 1", "1 -> 2"]))
+        assert witness is not None
+        assert witness.rhs == frozenset({1, 2})
+
+    def test_key_is_not_constant(self):
+        assert equivalent_constant_attribute(fds(["1 -> 2"])) is None
+
+
+class TestClassifySchema:
+    """The paper's worked classification examples."""
+
+    def test_running_example(self, running):
+        verdict = classify_schema(running.schema)
+        assert verdict.is_tractable
+        assert (
+            verdict.for_relation("BookLoc").kind is RelationClass.SINGLE_FD
+        )
+        assert verdict.for_relation("LibLoc").kind is RelationClass.TWO_KEYS
+
+    def test_example_3_3(self):
+        schema = Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> 2", "T: 1 -> {2,3,4}", "T: {2,3} -> 1"],
+        )
+        verdict = classify_schema(schema)
+        assert verdict.is_tractable
+        assert verdict.for_relation("R").kind is RelationClass.SINGLE_FD
+        assert verdict.for_relation("S").kind is RelationClass.SINGLE_FD
+        assert verdict.for_relation("T").kind is RelationClass.TWO_KEYS
+
+    @pytest.mark.parametrize("index", [1, 2, 3, 4, 5, 6])
+    def test_example_3_4_all_hard(self, index):
+        from repro.hardness.schemas import HARD_SCHEMAS
+
+        verdict = classify_schema(HARD_SCHEMAS[index])
+        assert verdict.is_conp_complete
+        assert len(verdict.hard_relations) == 1
+
+    def test_one_hard_relation_poisons_schema(self):
+        schema = Schema.parse(
+            {"R": 2, "S": 3}, ["R: 1 -> 2", "S: 1 -> 2", "S: 2 -> 3"]
+        )
+        verdict = classify_schema(schema)
+        assert not verdict.is_tractable
+        assert verdict.hard_relations == ("S",)
+
+    def test_describe_mentions_sides(self):
+        tractable = classify_schema(Schema.single_relation(["1 -> 2"]))
+        assert "PTIME" in tractable.describe()
+        hard = classify_schema(Schema.single_relation(["1 -> 2", "2 -> 3"]))
+        assert "coNP" in hard.describe()
+
+
+class TestClassifyCcpSchema:
+    """The Section 7.1 worked examples."""
+
+    def test_example_3_3_is_ccp_hard(self):
+        schema = Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> 2", "T: 1 -> {2,3,4}", "T: {2,3} -> 1"],
+        )
+        assert classify_ccp_schema(schema).is_conp_complete
+
+    def test_mixed_assignment_is_hard(self):
+        schema = Schema.parse(
+            {"R": 3, "S": 3}, ["R: 1 -> {2,3}", "S: {} -> 1"]
+        )
+        verdict = classify_ccp_schema(schema)
+        assert not verdict.is_tractable
+
+    def test_primary_key_assignment_variant(self):
+        # Section 7.1: replacing Δ with {R: 1 → {2,3}, S: {1,2} → 3}
+        # makes a primary-key assignment (T gets the trivial key).
+        schema = Schema.parse(
+            {"R": 3, "S": 3, "T": 4},
+            ["R: 1 -> {2,3}", "S: {1,2} -> 3"],
+        )
+        verdict = classify_ccp_schema(schema)
+        assert verdict.is_primary_key_assignment
+        assert verdict.is_tractable
+
+    def test_constant_attribute_assignment(self):
+        schema = Schema.parse(
+            {"R": 2, "S": 3}, ["R: {} -> 1", "S: {} -> {2,3}"]
+        )
+        verdict = classify_ccp_schema(schema)
+        assert verdict.is_constant_attribute_assignment
+
+    def test_empty_delta_is_both(self):
+        schema = Schema.parse({"R": 2}, [])
+        verdict = classify_ccp_schema(schema)
+        assert verdict.is_primary_key_assignment
+        assert verdict.is_constant_attribute_assignment
+
+    @pytest.mark.parametrize("letter", ["a", "b", "c", "d"])
+    def test_section_7_3_anchors_hard(self, letter):
+        from repro.hardness.schemas import CCP_HARD_SCHEMAS
+
+        assert classify_ccp_schema(CCP_HARD_SCHEMAS[letter]).is_conp_complete
+
+    def test_ccp_tractable_implies_classically_tractable(self):
+        """Section 7: the ccp-tractable class sits inside the classical
+        one (a primary key is a single FD; a constant-attribute
+        constraint is a single FD)."""
+        specs = [
+            ({"R": 2}, ["R: 1 -> 2"]),
+            ({"R": 3}, ["R: {1,2} -> 3"]),
+            ({"R": 2, "S": 2}, ["R: 1 -> 2", "S: 2 -> 1"]),
+            ({"R": 2}, ["R: {} -> 1"]),
+            ({"R": 3, "S": 2}, ["R: {} -> {1,2}", "S: {} -> 2"]),
+        ]
+        for relations, fd_texts in specs:
+            schema = Schema.parse(relations, fd_texts)
+            if classify_ccp_schema(schema).is_tractable:
+                assert classify_schema(schema).is_tractable
+
+
+class TestBruteForceEquivalenceValidation:
+    """Validate the Lemma 6.2 shortcut against exhaustive candidate
+    search on small arities."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_single_fd_detection_exhaustive(self, seed):
+        import itertools
+        import random
+
+        rng = random.Random(seed)
+        arity = rng.choice([2, 3])
+        universe = list(range(1, arity + 1))
+        fd_count = rng.randint(1, 3)
+        chosen = []
+        for _ in range(fd_count):
+            lhs = frozenset(
+                a for a in universe if rng.random() < 0.5
+            )
+            rhs = frozenset(
+                a for a in universe if rng.random() < 0.5
+            )
+            chosen.append(FD("R", lhs, rhs))
+        fdset = FDSet("R", arity, chosen)
+        # Exhaustive: try every possible single FD over the arity.
+        subsets = [
+            frozenset(s)
+            for size in range(arity + 1)
+            for s in itertools.combinations(universe, size)
+        ]
+        exhaustive = any(
+            fdset.equivalent_to_fds([FD("R", lhs, rhs)])
+            for lhs in subsets
+            for rhs in subsets
+        )
+        fast = equivalent_single_fd(fdset) is not None
+        assert fast == exhaustive

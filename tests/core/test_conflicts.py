@@ -1,0 +1,112 @@
+"""Unit tests for conflict detection and the conflict index."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.core.conflicts import (
+    ConflictIndex,
+    conflict_graph,
+    conflicting_pairs,
+    facts_conflicting_with,
+    has_conflict,
+    iter_conflicts,
+    naive_conflicting_pairs,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+
+
+def inst(schema, rows):
+    return schema.instance([Fact("R", tuple(row)) for row in rows])
+
+
+class TestConflictIndex:
+    def test_consistency(self, schema):
+        consistent = inst(schema, [(1, "a"), (2, "b")])
+        assert ConflictIndex(schema, consistent).is_consistent()
+        broken = inst(schema, [(1, "a"), (1, "b")])
+        assert not ConflictIndex(schema, broken).is_consistent()
+
+    def test_conflicts_of_member_fact(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b"), (2, "a"), (3, "c")])
+        index = ConflictIndex(schema, instance)
+        conflicts = index.conflicts_of(Fact("R", (1, "a")))
+        assert conflicts == frozenset(
+            {Fact("R", (1, "b")), Fact("R", (2, "a"))}
+        )
+
+    def test_conflicts_of_probe_fact_outside_instance(self, schema):
+        instance = inst(schema, [(1, "a")])
+        index = ConflictIndex(schema, instance)
+        probe = Fact("R", (1, "z"))
+        assert index.conflicts_of(probe) == frozenset({Fact("R", (1, "a"))})
+
+    def test_conflicts_with_anything(self, schema):
+        instance = inst(schema, [(1, "a")])
+        index = ConflictIndex(schema, instance)
+        assert index.conflicts_with_anything(Fact("R", (1, "z")))
+        assert not index.conflicts_with_anything(Fact("R", (9, "z")))
+
+    def test_trivial_fds_ignored(self):
+        schema = Schema.single_relation(["{1,2} -> 1"], arity=2)
+        instance = schema.instance([Fact("R", (1, "a")), Fact("R", (1, "b"))])
+        assert ConflictIndex(schema, instance).is_consistent()
+
+
+class TestEnumeration:
+    def test_iter_conflicts_labels_fd(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b")])
+        found = list(iter_conflicts(schema, instance))
+        assert len(found) == 1
+        fd, f, g = found[0]
+        assert fd.lhs == frozenset({1})
+        assert {f, g} == {Fact("R", (1, "a")), Fact("R", (1, "b"))}
+
+    def test_pair_conflicting_under_two_fds_counted_once(self, schema):
+        # Same first AND second attribute cannot happen for distinct
+        # facts of arity 2, so craft a 3-ary example instead.
+        schema3 = Schema.single_relation(["1 -> 3", "2 -> 3"], arity=3)
+        instance = schema3.instance(
+            [Fact("R", (1, 2, "x")), Fact("R", (1, 2, "y"))]
+        )
+        assert len(conflicting_pairs(schema3, instance)) == 1
+
+    def test_matches_naive_scan(self, schema):
+        from repro.workloads.generators import random_instance_with_conflicts
+
+        instance = random_instance_with_conflicts(schema, 25, 0.6, seed=7)
+        assert conflicting_pairs(schema, instance) == naive_conflicting_pairs(
+            schema, instance
+        )
+
+    def test_conflict_graph_has_all_vertices(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b"), (5, "q")])
+        graph = conflict_graph(schema, instance)
+        assert set(graph) == set(instance.facts)
+        assert graph[Fact("R", (5, "q"))] == frozenset()
+        assert Fact("R", (1, "b")) in graph[Fact("R", (1, "a"))]
+
+
+class TestHelpers:
+    def test_has_conflict(self, schema):
+        assert has_conflict(schema, inst(schema, [(1, "a"), (1, "b")]))
+        assert not has_conflict(schema, inst(schema, [(1, "a")]))
+
+    def test_facts_conflicting_with(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b")])
+        assert facts_conflicting_with(
+            schema, instance, Fact("R", (1, "a"))
+        ) == frozenset({Fact("R", (1, "b"))})
+
+    def test_running_example_conflicts(self, running):
+        # Example 2.2 names three specific conflicts.
+        pairs = conflicting_pairs(
+            running.schema, running.prioritizing.instance
+        )
+        f = running.facts
+        assert frozenset({f["g1f1"], f["f1d3"]}) in pairs
+        assert frozenset({f["d1e"], f["e1b"]}) in pairs
+        assert frozenset({f["d1a"], f["g2a"]}) in pairs

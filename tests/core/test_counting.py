@@ -1,0 +1,168 @@
+"""Unit tests for repair counting and cleaning-uniqueness analysis."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.counting import (
+    count_optimal_repairs,
+    count_repairs_fast,
+    has_unique_optimal_repair,
+    is_cleaning_unambiguous_under_total_priority,
+    optimal_repair_census,
+    unique_optimal_repair,
+)
+from repro.core.repairs import count_repairs, enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_conflict_priority,
+    total_conflict_priority,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestCountRepairsFast:
+    def test_single_block(self, schema):
+        inst = schema.instance(
+            [Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (1, "c"))]
+        )
+        assert count_repairs_fast(schema, inst) == 3
+
+    def test_blocks_multiply(self, schema):
+        inst = schema.instance(
+            [Fact("R", (i, letter)) for i in range(5) for letter in "ab"]
+        )
+        assert count_repairs_fast(schema, inst) == 32
+
+    def test_consistent_instance_has_one_repair(self, schema):
+        inst = schema.instance([Fact("R", (1, "a")), Fact("R", (2, "b"))])
+        assert count_repairs_fast(schema, inst) == 1
+
+    def test_blocks_with_duplicated_rhs_groups(self):
+        # Arity 3, FD 1 -> 2: facts sharing (lhs, rhs) do not multiply.
+        schema = Schema.single_relation(["1 -> 2"], arity=3)
+        inst = schema.instance(
+            [
+                Fact("R", (1, "a", "x")),
+                Fact("R", (1, "a", "y")),
+                Fact("R", (1, "b", "z")),
+            ]
+        )
+        assert count_repairs_fast(schema, inst) == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_enumerative_count_single_fd(self, schema, seed):
+        inst = random_instance_with_conflicts(schema, 12, 0.6, seed=seed)
+        assert count_repairs_fast(schema, inst) == count_repairs(schema, inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_enumerative_count_two_keys_fallback(self, seed):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        inst = random_instance_with_conflicts(schema, 10, 0.6, seed=seed)
+        assert count_repairs_fast(schema, inst) == count_repairs(schema, inst)
+
+    def test_multi_relation_mixed(self):
+        schema = Schema.parse(
+            {"R": 2, "S": 2}, ["R: 1 -> 2", "S: 1 -> 2", "S: 2 -> 1"]
+        )
+        inst = schema.instance(
+            [
+                Fact("R", (1, "a")),
+                Fact("R", (1, "b")),
+                Fact("S", (1, "x")),
+                Fact("S", (1, "y")),
+            ]
+        )
+        assert count_repairs_fast(schema, inst) == count_repairs(schema, inst)
+
+    def test_constant_attribute_assignment_is_fast_path(self):
+        # ∅ → 1 is a single FD, so the polynomial path applies.
+        schema = Schema.single_relation(["{} -> 1"], arity=2)
+        inst = schema.instance(
+            [Fact("R", (g, i)) for g in "abc" for i in range(3)]
+        )
+        assert count_repairs_fast(schema, inst) == 3
+
+
+class TestOptimalCounting:
+    def test_census_is_monotone_chain(self, schema):
+        for seed in range(6):
+            inst = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+            priority = random_conflict_priority(schema, inst, seed=seed)
+            pri = PrioritizingInstance(schema, inst, priority)
+            census = optimal_repair_census(pri)
+            assert (
+                1
+                <= census["completion"]
+                <= census["global"]
+                <= census["pareto"]
+                <= census["all"]
+            )
+
+    def test_count_matches_census(self, schema):
+        inst = random_instance_with_conflicts(schema, 8, 0.7, seed=3)
+        priority = random_conflict_priority(schema, inst, seed=3)
+        pri = PrioritizingInstance(schema, inst, priority)
+        census = optimal_repair_census(pri)
+        for semantics in ("global", "pareto", "completion"):
+            assert count_optimal_repairs(pri, semantics) == census[semantics]
+
+    def test_unknown_semantics(self, schema):
+        inst = schema.instance([Fact("R", (1, "a"))])
+        pri = PrioritizingInstance(schema, inst, PriorityRelation([]))
+        with pytest.raises(ValueError):
+            count_optimal_repairs(pri, "psychic")
+
+    def test_running_example_census(self, running):
+        census = optimal_repair_census(running.prioritizing)
+        assert census["all"] == 16
+        assert census["global"] == 3
+        assert census["pareto"] == 4  # the three optima plus J3
+
+
+class TestUniqueness:
+    def test_unique_when_one_winner(self, schema):
+        new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+        )
+        assert has_unique_optimal_repair(pri)
+        assert unique_optimal_repair(pri).facts == frozenset({new})
+
+    def test_not_unique_when_unordered(self, schema):
+        a, b = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([])
+        )
+        assert not has_unique_optimal_repair(pri)
+        assert unique_optimal_repair(pri) is None
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_total_priorities_give_unique_global_optimum(self, schema, seed):
+        """Empirical version of the sufficient condition: a completion
+        pins the cleaning down."""
+        inst = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+        priority = total_conflict_priority(schema, inst, seed=seed)
+        pri = PrioritizingInstance(schema, inst, priority)
+        assert is_cleaning_unambiguous_under_total_priority(pri)
+        assert count_optimal_repairs(pri, "global") == 1
+        assert count_optimal_repairs(pri, "completion") == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_total_priorities_on_two_keys_schema(self, seed):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        inst = random_instance_with_conflicts(schema, 8, 0.7, seed=seed)
+        priority = total_conflict_priority(schema, inst, seed=seed)
+        pri = PrioritizingInstance(schema, inst, priority)
+        assert count_optimal_repairs(pri, "global") == 1
+
+    def test_partial_priority_detected_as_not_total(self, schema):
+        inst = random_instance_with_conflicts(schema, 9, 0.8, seed=1)
+        priority = random_conflict_priority(
+            schema, inst, edge_probability=0.3, seed=1
+        )
+        pri = PrioritizingInstance(schema, inst, priority)
+        assert not is_cleaning_unambiguous_under_total_priority(pri)

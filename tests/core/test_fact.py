@@ -1,0 +1,75 @@
+"""Unit tests for facts."""
+
+import pytest
+
+from repro.core.fact import Fact, facts_agreeing_on
+from repro.exceptions import SchemaError
+
+
+class TestFact:
+    def test_one_based_indexing(self):
+        fact = Fact("R", ("a", "b", "c"))
+        assert fact[1] == "a"
+        assert fact[3] == "c"
+
+    def test_indexing_out_of_range(self):
+        fact = Fact("R", ("a",))
+        with pytest.raises(IndexError):
+            fact[0]
+        with pytest.raises(IndexError):
+            fact[2]
+
+    def test_values_normalized_to_tuple(self):
+        fact = Fact("R", ["a", "b"])
+        assert fact.values == ("a", "b")
+
+    def test_empty_fact_rejected(self):
+        with pytest.raises(SchemaError):
+            Fact("R", ())
+
+    def test_project_orders_by_attribute(self):
+        fact = Fact("R", ("a", "b", "c"))
+        assert fact.project({3, 1}) == ("a", "c")
+        assert fact.project(()) == ()
+
+    def test_agrees_with_on_subset(self):
+        f = Fact("R", ("a", "b", "c"))
+        g = Fact("R", ("a", "x", "c"))
+        assert f.agrees_with(g, {1, 3})
+        assert not f.agrees_with(g, {1, 2})
+        assert f.agrees_with(g, ())
+
+    def test_agreement_across_relations_is_false(self):
+        f = Fact("R", ("a",))
+        g = Fact("S", ("a",))
+        assert not f.agrees_with(g, {1})
+        assert not f.disagrees_with(g, {1})
+
+    def test_disagrees_with(self):
+        f = Fact("R", ("a", "b"))
+        g = Fact("R", ("a", "c"))
+        assert f.disagrees_with(g, {2})
+        assert not f.disagrees_with(g, {1})
+        assert not f.disagrees_with(g, ())
+
+    def test_replace(self):
+        fact = Fact("R", ("a", "b"))
+        assert fact.replace(2, "z") == Fact("R", ("a", "z"))
+        with pytest.raises(IndexError):
+            fact.replace(3, "z")
+
+    def test_hashable_and_equal(self):
+        assert Fact("R", (1, 2)) == Fact("R", (1, 2))
+        assert len({Fact("R", (1, 2)), Fact("R", (1, 2))}) == 1
+
+    def test_str(self):
+        assert str(Fact("R", ("a", 1))) == "R('a', 1)"
+
+
+class TestFactsAgreeingOn:
+    def test_selects_matching_block(self):
+        f1 = Fact("R", ("a", "b"))
+        f2 = Fact("R", ("a", "c"))
+        f3 = Fact("R", ("d", "b"))
+        block = facts_agreeing_on([f1, f2, f3], f1, frozenset({1}))
+        assert block == frozenset({f1, f2})

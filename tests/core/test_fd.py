@@ -1,0 +1,106 @@
+"""Unit tests for functional dependencies."""
+
+import pytest
+
+from repro.core.fact import Fact
+from repro.core.fd import FD, attr_set
+from repro.exceptions import InvalidFDError
+
+
+class TestAttrSet:
+    def test_int_becomes_singleton(self):
+        assert attr_set(3) == frozenset({3})
+
+    def test_iterable_deduplicates(self):
+        assert attr_set([1, 1, 2]) == frozenset({1, 2})
+
+
+class TestConstruction:
+    def test_int_shorthand(self):
+        fd = FD("R", 1, 2)
+        assert fd.lhs == frozenset({1})
+        assert fd.rhs == frozenset({2})
+
+    def test_zero_attribute_rejected(self):
+        with pytest.raises(InvalidFDError):
+            FD("R", {0}, {1})
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(InvalidFDError):
+            FD("", {1}, {2})
+
+    def test_empty_sides_allowed(self):
+        assert FD("R", (), {1}).is_constant_attribute()
+        assert FD("R", (), ()).is_trivial()
+
+    def test_validate_for_arity(self):
+        FD("R", {1}, {2}).validate_for_arity(2)
+        with pytest.raises(InvalidFDError):
+            FD("R", {1}, {3}).validate_for_arity(2)
+
+
+class TestParse:
+    def test_simple(self):
+        fd = FD.parse("R: 1 -> 2")
+        assert fd == FD("R", {1}, {2})
+
+    def test_sets(self):
+        fd = FD.parse("T: {2,3} -> {1,4}")
+        assert fd == FD("T", {2, 3}, {1, 4})
+
+    def test_empty_lhs(self):
+        assert FD.parse("S: {} -> 1") == FD("S", (), {1})
+
+    def test_relation_fallback(self):
+        assert FD.parse("1 -> 2", relation="Q") == FD("Q", {1}, {2})
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(InvalidFDError):
+            FD.parse("1 -> 2")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InvalidFDError):
+            FD.parse("not an fd")
+
+    def test_unicode_arrow(self):
+        assert FD.parse("R: 1 → 2") == FD("R", {1}, {2})
+
+
+class TestPredicates:
+    def test_trivial(self):
+        assert FD("R", {1, 2}, {2}).is_trivial()
+        assert not FD("R", {1}, {2}).is_trivial()
+
+    def test_key(self):
+        assert FD("R", {1}, {1, 2, 3}).is_key(3)
+        assert not FD("R", {1}, {2, 3}).is_key(3)
+
+    def test_as_key(self):
+        assert FD("R", {1}, {2}).as_key(3) == FD("R", {1}, {1, 2, 3})
+
+
+class TestConflicts:
+    def test_conflict_detection(self):
+        fd = FD("R", {1}, {2})
+        assert fd.is_conflict(Fact("R", (1, "a")), Fact("R", (1, "b")))
+        assert not fd.is_conflict(Fact("R", (1, "a")), Fact("R", (2, "b")))
+        assert not fd.is_conflict(Fact("R", (1, "a")), Fact("R", (1, "a")))
+
+    def test_conflict_requires_same_relation(self):
+        fd = FD("R", {1}, {2})
+        assert not fd.is_conflict(Fact("R", (1, "a")), Fact("S", (1, "b")))
+
+    def test_constant_attribute_conflict(self):
+        fd = FD("R", (), {1})
+        assert fd.is_conflict(Fact("R", ("a",)), Fact("R", ("b",)))
+
+    def test_trivial_fd_never_conflicts(self):
+        fd = FD("R", {1}, ())
+        assert not fd.is_conflict(Fact("R", ("a",)), Fact("R", ("b",)))
+
+
+class TestDisplay:
+    def test_str_shorthand(self):
+        assert str(FD("R", {1}, {2})) == "R: 1 -> 2"
+        assert str(FD("R", {1, 2}, {3})) == "R: {1,2} -> 3"
+        assert str(FD("R", (), {1})) == "R: {} -> 1"

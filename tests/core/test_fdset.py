@@ -1,0 +1,212 @@
+"""Unit tests for FD-set theory: closures, implication, determiners."""
+
+import pytest
+
+from repro.core.fd import FD
+from repro.core.fdset import FDSet
+from repro.exceptions import InvalidFDError
+
+
+def fds(texts, arity=3, relation="R"):
+    return FDSet(
+        relation, arity, [FD.parse(t, relation=relation) for t in texts]
+    )
+
+
+class TestConstruction:
+    def test_rejects_foreign_relation(self):
+        with pytest.raises(InvalidFDError):
+            FDSet("R", 2, [FD("S", {1}, {2})])
+
+    def test_rejects_out_of_range_attributes(self):
+        with pytest.raises(InvalidFDError):
+            FDSet("R", 2, [FD("R", {1}, {3})])
+
+    def test_set_protocol(self):
+        s = fds(["1 -> 2"])
+        assert len(s) == 1
+        assert FD("R", {1}, {2}) in s
+        assert bool(s)
+        assert not FDSet("R", 3)
+
+
+class TestClosure:
+    def test_example_from_paper(self):
+        # Section 2.2: Δ = {R: 1 → 2, R: 2 → 3}
+        s = fds(["1 -> 2", "2 -> 3"])
+        assert s.closure({1}) == frozenset({1, 2, 3})
+        assert s.closure({2}) == frozenset({2, 3})
+        assert s.closure({3}) == frozenset({3})
+
+    def test_running_example_closures(self):
+        # Example 2.2: ⟦BookLoc.{1}^Δ⟧ = {1,2}, ⟦BookLoc.{1,3}^Δ⟧ = {1,2,3}
+        s = fds(["1 -> 2"], arity=3, relation="BookLoc")
+        assert s.closure({1}) == frozenset({1, 2})
+        assert s.closure({1, 3}) == frozenset({1, 2, 3})
+
+    def test_empty_set_closure(self):
+        s = fds(["{} -> 1", "1 -> 2"])
+        assert s.closure(()) == frozenset({1, 2})
+
+    def test_closure_contains_input(self):
+        s = fds(["1 -> 2"])
+        assert frozenset({3}) <= s.closure({3})
+
+
+class TestImplication:
+    def test_paper_examples(self):
+        # Section 2.2: Δ+ contains 1→3, {1,2}→3, 3→3
+        s = fds(["1 -> 2", "2 -> 3"])
+        assert s.implies(FD("R", {1}, {3}))
+        assert s.implies(FD("R", {1, 2}, {3}))
+        assert s.implies(FD("R", {3}, {3}))
+        assert not s.implies(FD("R", {3}, {1}))
+
+    def test_example_2_2_composite(self):
+        # BookLoc: {1,3} → {1,2} is in Δ+ but not Δ
+        s = fds(["1 -> 2"], relation="BookLoc")
+        assert s.implies(FD("BookLoc", {1, 3}, {1, 2}))
+
+    def test_foreign_relation_never_implied(self):
+        s = fds(["1 -> 2"])
+        assert not s.implies(FD("S", {1}, {2}))
+
+    def test_implies_all_and_is_implied_by(self):
+        strong = fds(["1 -> {2,3}"])
+        weak = fds(["1 -> 2"])
+        assert weak.is_implied_by(strong)
+        assert not strong.is_implied_by(weak)
+
+
+class TestEquivalence:
+    def test_example_3_3_t_relation(self):
+        # ∆|T ≡ two keys
+        original = FDSet(
+            "T", 4, [FD("T", {1}, {2, 3, 4}), FD("T", {2, 3}, {1})]
+        )
+        keys = [FD("T", {1}, {1, 2, 3, 4}), FD("T", {2, 3}, {1, 2, 3, 4})]
+        assert original.equivalent_to_fds(keys)
+
+    def test_different_relations_not_equivalent(self):
+        a = FDSet("R", 2, [FD("R", {1}, {2})])
+        b = FDSet("S", 2, [FD("S", {1}, {2})])
+        assert not a.equivalent_to(b)
+
+    def test_trivial_sets_equivalent_to_empty(self):
+        trivial = fds(["{1,2} -> 1"])
+        assert trivial.equivalent_to_fds([])
+
+
+class TestKeys:
+    def test_minimal_keys_of_s1(self):
+        s = fds(["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"])
+        assert s.minimal_keys() == frozenset(
+            {frozenset({1, 2}), frozenset({1, 3}), frozenset({2, 3})}
+        )
+
+    def test_is_minimal_key(self):
+        s = fds(["1 -> {2,3}"])
+        assert s.is_minimal_key({1})
+        assert not s.is_minimal_key({1, 2})
+        assert not s.is_minimal_key({2})
+
+    def test_no_fds_means_full_key_only(self):
+        s = FDSet("R", 2)
+        assert s.minimal_keys() == frozenset({frozenset({1, 2})})
+
+
+class TestNormalization:
+    def test_saturated_fds(self):
+        s = fds(["1 -> 2", "2 -> 3"])
+        assert FD("R", {1}, {1, 2, 3}) in s.saturated_fds()
+
+    def test_minimal_cover_removes_redundancy(self):
+        s = fds(["1 -> 2", "2 -> 3", "1 -> 3"])
+        cover = s.minimal_cover()
+        assert cover.equivalent_to(s)
+        assert len(cover) == 2
+
+    def test_minimal_cover_trims_lhs(self):
+        s = fds(["1 -> 2", "{1,3} -> 2"])
+        cover = s.minimal_cover()
+        assert cover.equivalent_to(s)
+        assert all(fd.lhs == frozenset({1}) for fd in cover)
+
+    def test_trivial_detection(self):
+        assert fds(["{1,2} -> 1"]).is_trivial()
+        assert not fds(["1 -> 2"]).is_trivial()
+
+
+class TestConstantAttributes:
+    def test_constant_attribute_closure(self):
+        s = fds(["{} -> 1", "1 -> 2"])
+        assert s.constant_attributes() == frozenset({1, 2})
+
+    def test_equivalent_to_constant_attribute(self):
+        assert fds(["{} -> 1", "1 -> 2"]).is_equivalent_to_constant_attribute()
+        assert not fds(["1 -> 2"]).is_equivalent_to_constant_attribute()
+        assert FDSet("R", 3).is_equivalent_to_constant_attribute()
+
+
+class TestDeterminers:
+    """The Section 5.2 determiner notions on the paper's hard schemas."""
+
+    def test_nontrivial_determiner(self):
+        s = fds(["1 -> 2"])
+        assert s.is_nontrivial_determiner({1})
+        assert not s.is_nontrivial_determiner({2})
+        # closure({1,2}) = {1,2}: nothing outside itself is determined.
+        assert not s.is_nontrivial_determiner({1, 2})
+
+    def test_non_redundant_vs_minimal(self):
+        # For Δ = {1 → 2}: {1} is minimal and non-redundant; {1,3} is a
+        # nontrivial determiner but redundant ({1} already gives 2).
+        s = fds(["1 -> 2"])
+        assert s.is_minimal_determiner({1})
+        assert s.is_non_redundant_determiner({1})
+        assert s.is_nontrivial_determiner({1, 3})
+        assert not s.is_non_redundant_determiner({1, 3})
+        assert not s.is_minimal_determiner({1, 3})
+
+    def test_empty_set_determiner(self):
+        s = fds(["{} -> 1"])
+        assert s.is_minimal_determiner(())
+        assert s.is_non_redundant_determiner(())
+
+    def test_minimal_determiners_of_s4(self):
+        s = fds(["1 -> 2", "2 -> 3"])
+        assert s.minimal_determiners() == frozenset(
+            {frozenset({1}), frozenset({2})}
+        )
+
+    def test_non_redundant_determiners_of_s5(self):
+        s = fds(["1 -> 3", "2 -> 3"])
+        found = s.non_redundant_determiners()
+        assert frozenset({1}) in found
+        assert frozenset({2}) in found
+        # {1,2} gains only 3, already given by {1} alone: redundant.
+        assert frozenset({1, 2}) not in found
+
+
+class TestSetMutators:
+    def test_with_fds(self):
+        base = fds(["1 -> 2"])
+        extended = base.with_fds([FD("R", {2}, {3})])
+        assert len(extended) == 2
+        assert extended.implies(FD("R", {1}, {3}))
+        assert len(base) == 1  # original untouched
+
+    def test_without_fds(self):
+        base = fds(["1 -> 2", "2 -> 3"])
+        trimmed = base.without_fds([FD("R", {2}, {3})])
+        assert len(trimmed) == 1
+        assert not trimmed.implies(FD("R", {1}, {3}))
+
+    def test_left_hand_sides(self):
+        base = fds(["1 -> 2", "{1,3} -> 2"])
+        assert base.left_hand_sides() == frozenset(
+            {frozenset({1}), frozenset({1, 3})}
+        )
+
+    def test_all_attributes(self):
+        assert fds([], arity=3).all_attributes() == frozenset({1, 2, 3})

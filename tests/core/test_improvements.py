@@ -1,0 +1,128 @@
+"""Unit tests for global/Pareto improvements (Definition 2.4)."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.improvements import (
+    find_pareto_improvement,
+    has_pareto_improvement,
+    is_global_improvement,
+    is_pareto_improvement,
+)
+
+F_NEW = Fact("R", (1, "new"))
+F_OLD = Fact("R", (1, "old"))
+G_NEW = Fact("R", (2, "new"))
+G_OLD = Fact("R", (2, "old"))
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+@pytest.fixture
+def pri(schema):
+    instance = schema.instance([F_NEW, F_OLD, G_NEW, G_OLD])
+    return PrioritizingInstance(
+        schema,
+        instance,
+        PriorityRelation([(F_NEW, F_OLD), (G_NEW, G_OLD)]),
+    )
+
+
+class TestGlobalImprovement:
+    def test_every_removed_fact_needs_an_improver(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        better = schema.instance([F_NEW, G_NEW])
+        assert is_global_improvement(better, current, pri.priority)
+
+    def test_fails_when_one_removed_fact_unimproved(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        partial = schema.instance([F_NEW])  # G_OLD removed, nothing beats it
+        assert not is_global_improvement(partial, current, pri.priority)
+
+    def test_identity_is_not_an_improvement(self, schema, pri):
+        current = schema.instance([F_OLD])
+        assert not is_global_improvement(current, current, pri.priority)
+
+    def test_proper_superset_is_improvement(self, schema, pri):
+        current = schema.instance([F_OLD])
+        superset = schema.instance([F_OLD, G_OLD])
+        assert is_global_improvement(superset, current, pri.priority)
+
+    def test_strict_subset_never_improves(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        subset = schema.instance([F_OLD])
+        assert not is_global_improvement(subset, current, pri.priority)
+
+
+class TestParetoImprovement:
+    def test_single_witness_must_dominate_all(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        better = schema.instance([F_NEW, G_NEW])
+        # Global yes, but no single added fact beats both removed facts.
+        assert is_global_improvement(better, current, pri.priority)
+        assert not is_pareto_improvement(better, current, pri.priority)
+
+    def test_single_swap_is_pareto(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        swapped = schema.instance([F_NEW, G_OLD])
+        assert is_pareto_improvement(swapped, current, pri.priority)
+
+    def test_superset_is_vacuously_pareto(self, schema, pri):
+        current = schema.instance([F_OLD])
+        superset = schema.instance([F_OLD, G_NEW])
+        assert is_pareto_improvement(superset, current, pri.priority)
+
+    def test_pareto_implies_global(self, schema, pri):
+        current = schema.instance([F_OLD, G_OLD])
+        swapped = schema.instance([F_NEW, G_OLD])
+        assert is_global_improvement(swapped, current, pri.priority)
+
+
+class TestFindParetoImprovement:
+    def test_finds_single_swap(self, schema, pri):
+        current = schema.instance([F_OLD, G_NEW])
+        found = find_pareto_improvement(pri, current)
+        assert found is not None
+        assert F_NEW in found
+        assert F_OLD not in found
+        assert is_pareto_improvement(found, current, pri.priority)
+
+    def test_none_when_optimal(self, schema, pri):
+        best = schema.instance([F_NEW, G_NEW])
+        assert find_pareto_improvement(pri, best) is None
+        assert not has_pareto_improvement(pri, best)
+
+    def test_detects_non_maximality(self, schema, pri):
+        missing_group = schema.instance([F_NEW])
+        found = find_pareto_improvement(pri, missing_group)
+        assert found is not None
+        assert len(found) == 2
+
+    def test_completeness_against_brute_force(self):
+        """Single-swap search agrees with exhaustive Pareto search."""
+        import itertools
+        from repro.workloads.generators import random_instance_with_conflicts
+        from repro.workloads.priorities import random_conflict_priority
+
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        for seed in range(8):
+            instance = random_instance_with_conflicts(schema, 7, 0.8, seed=seed)
+            priority = random_conflict_priority(schema, instance, seed=seed)
+            pri = PrioritizingInstance(schema, instance, priority)
+            facts = sorted(instance.facts, key=str)
+            consistent = [
+                schema.instance(sub)
+                for size in range(len(facts) + 1)
+                for sub in itertools.combinations(facts, size)
+                if schema.is_consistent(schema.instance(sub))
+            ]
+            for candidate in consistent:
+                exhaustive = any(
+                    is_pareto_improvement(other, candidate, priority)
+                    for other in consistent
+                )
+                fast = has_pareto_improvement(pri, candidate)
+                assert fast == exhaustive, (seed, sorted(map(str, candidate)))

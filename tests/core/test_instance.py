@@ -1,0 +1,100 @@
+"""Unit tests for instances."""
+
+import pytest
+
+from repro.core import Fact, Instance, Schema, Signature
+from repro.core.signature import RelationSymbol
+from repro.exceptions import ArityError, NotASubinstanceError, UnknownRelationError
+
+
+@pytest.fixture
+def sig():
+    return Signature([RelationSymbol("R", 2), RelationSymbol("S", 1)])
+
+
+class TestConstruction:
+    def test_from_tuples(self, sig):
+        inst = Instance.from_tuples(sig, {"R": [(1, 2), (3, 4)], "S": [(5,)]})
+        assert len(inst) == 3
+
+    def test_arity_validated(self, sig):
+        with pytest.raises(ArityError):
+            Instance(sig, [Fact("R", (1,))])
+
+    def test_relation_validated(self, sig):
+        with pytest.raises(UnknownRelationError):
+            Instance(sig, [Fact("T", (1,))])
+
+    def test_duplicates_collapse(self, sig):
+        inst = Instance(sig, [Fact("R", (1, 2)), Fact("R", (1, 2))])
+        assert len(inst) == 1
+
+
+class TestSetProtocol:
+    def test_subset_and_operations(self, sig):
+        a, b = Fact("R", (1, 2)), Fact("R", (3, 4))
+        big = Instance(sig, [a, b])
+        small = Instance(sig, [a])
+        assert small <= big
+        assert small < big
+        assert (big - small).facts == frozenset({b})
+        assert (big & small).facts == frozenset({a})
+        assert (small | Instance(sig, [b])) == big
+
+    def test_membership_iteration_len_bool(self, sig):
+        a = Fact("R", (1, 2))
+        inst = Instance(sig, [a])
+        assert a in inst
+        assert list(inst) == [a]
+        assert len(inst) == 1
+        assert inst
+        assert not Instance(sig)
+
+    def test_equality_requires_same_signature(self, sig):
+        other_sig = Signature.single("R", 2)
+        a = Fact("R", (1, 2))
+        assert Instance(sig, [a]) != Instance(other_sig, [a])
+
+    def test_hashable(self, sig):
+        a = Fact("R", (1, 2))
+        assert hash(Instance(sig, [a])) == hash(Instance(sig, [a]))
+
+
+class TestViews:
+    def test_relation_view(self, sig):
+        a, s = Fact("R", (1, 2)), Fact("S", (9,))
+        inst = Instance(sig, [a, s])
+        assert inst.relation("R") == frozenset({a})
+        assert inst.relation_names_used() == frozenset({"R", "S"})
+
+    def test_relation_view_unknown(self, sig):
+        with pytest.raises(UnknownRelationError):
+            Instance(sig).relation("T")
+
+    def test_restrict_to_relation(self, sig):
+        a, s = Fact("R", (1, 2)), Fact("S", (9,))
+        restricted = Instance(sig, [a, s]).restrict_to_relation("R")
+        assert restricted.signature.relation_names() == frozenset({"R"})
+        assert restricted.facts == frozenset({a})
+
+    def test_subinstance_validation(self, sig):
+        a = Fact("R", (1, 2))
+        inst = Instance(sig, [a])
+        assert inst.subinstance([a]).facts == frozenset({a})
+        with pytest.raises(NotASubinstanceError):
+            inst.subinstance([Fact("R", (7, 7))])
+
+    def test_active_domain(self, sig):
+        inst = Instance(sig, [Fact("R", (1, "x")), Fact("S", (1,))])
+        assert inst.active_domain() == frozenset({1, "x"})
+
+
+class TestMutationsReturnNewInstances:
+    def test_with_without_replace(self, sig):
+        a, b, c = Fact("R", (1, 2)), Fact("R", (3, 4)), Fact("R", (5, 6))
+        inst = Instance(sig, [a, b])
+        assert inst.with_facts([c]).facts == frozenset({a, b, c})
+        assert inst.without_facts([b]).facts == frozenset({a})
+        assert inst.replace_facts([a], [c]).facts == frozenset({b, c})
+        # original untouched
+        assert inst.facts == frozenset({a, b})

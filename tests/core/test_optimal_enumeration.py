@@ -1,0 +1,112 @@
+"""Cross-validation of polynomial-delay optimal-repair enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import check_globally_optimal, check_pareto_optimal
+from repro.core.counting_optimal import (
+    count_globally_optimal_repairs,
+    enumerate_optimal_repairs_single_fd,
+)
+from repro.core.repairs import enumerate_repairs, is_repair
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+
+class TestAgainstFilteredEnumeration:
+    @pytest.mark.parametrize("semantics", ["global", "pareto"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_repair_sets(self, seed, semantics):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+        priority = random_conflict_priority(
+            schema, instance, edge_probability=0.6, seed=seed
+        )
+        pri = PrioritizingInstance(schema, instance, priority)
+        checker = (
+            check_globally_optimal
+            if semantics == "global"
+            else check_pareto_optimal
+        )
+        expected = {
+            repair.facts
+            for repair in enumerate_repairs(schema, instance)
+            if checker(pri, repair).is_optimal
+        }
+        produced = {
+            repair.facts
+            for repair in enumerate_optimal_repairs_single_fd(
+                pri, semantics=semantics
+            )
+        }
+        assert produced == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wide_relation(self, seed):
+        schema = Schema.single_relation(["1 -> 2"], arity=3)
+        instance = random_instance_with_conflicts(schema, 8, 0.8, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        expected = {
+            repair.facts
+            for repair in enumerate_repairs(schema, instance)
+            if check_globally_optimal(pri, repair).is_optimal
+        }
+        produced = {
+            repair.facts
+            for repair in enumerate_optimal_repairs_single_fd(pri)
+        }
+        assert produced == expected
+
+
+class TestStreamingBehaviour:
+    def test_first_repairs_arrive_without_full_materialization(self):
+        """Take 5 optimal repairs from an instance with ~10^9 of them."""
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        facts = [
+            Fact("R", (block, value))
+            for block in range(30)
+            for value in ("a", "b")
+        ]
+        pri = PrioritizingInstance(
+            schema, schema.instance(facts), PriorityRelation([])
+        )
+        assert count_globally_optimal_repairs(pri) == 2 ** 30
+        stream = enumerate_optimal_repairs_single_fd(pri)
+        first_five = list(itertools.islice(stream, 5))
+        assert len(first_five) == 5
+        for repair in first_five:
+            assert is_repair(schema, pri.instance, repair)
+            assert len(repair) == 30
+
+    def test_count_matches_stream_length_small(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = random_instance_with_conflicts(schema, 8, 0.7, seed=3)
+        priority = random_conflict_priority(schema, instance, seed=3)
+        pri = PrioritizingInstance(schema, instance, priority)
+        assert count_globally_optimal_repairs(pri) == sum(
+            1 for _ in enumerate_optimal_repairs_single_fd(pri)
+        )
+
+
+class TestRejections:
+    def test_two_keys_schema_rejected(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        with pytest.raises(ValueError):
+            list(enumerate_optimal_repairs_single_fd(pri))
+
+    def test_ccp_rejected(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a, b = Fact("R", (1, "a")), Fact("R", (2, "b"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a, b]), PriorityRelation([(a, b)]),
+            ccp=True,
+        )
+        with pytest.raises(ValueError):
+            list(enumerate_optimal_repairs_single_fd(pri))

@@ -1,0 +1,132 @@
+"""Unit tests for priority relations and prioritizing instances."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.exceptions import (
+    CrossConflictPriorityError,
+    CyclicPriorityError,
+    InvalidPriorityError,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+F1 = Fact("R", (1, "a"))
+F2 = Fact("R", (1, "b"))
+F3 = Fact("R", (1, "c"))
+G = Fact("R", (2, "x"))
+
+
+class TestPriorityRelation:
+    def test_prefers_and_neighbourhoods(self):
+        pri = PriorityRelation([(F1, F2), (F1, F3)])
+        assert pri.prefers(F1, F2)
+        assert not pri.prefers(F2, F1)
+        assert pri.preferred_over(F1) == frozenset({F2, F3})
+        assert pri.improvers_of(F2) == frozenset({F1})
+        assert pri.improvers_of(F1) == frozenset()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CyclicPriorityError):
+            PriorityRelation([(F1, F1)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CyclicPriorityError):
+            PriorityRelation([(F1, F2), (F2, F1)])
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(CyclicPriorityError) as info:
+            PriorityRelation([(F1, F2), (F2, F3), (F3, F1)])
+        assert len(info.value.cycle) == 3
+
+    def test_dag_accepted(self):
+        pri = PriorityRelation([(F1, F2), (F2, F3), (F1, F3)])
+        assert len(pri) == 3
+
+    def test_empty(self):
+        assert not PriorityRelation.empty()
+
+    def test_with_edges_revalidates(self):
+        pri = PriorityRelation([(F1, F2)])
+        with pytest.raises(CyclicPriorityError):
+            pri.with_edges([(F2, F1)])
+
+    def test_restrict_to(self):
+        pri = PriorityRelation([(F1, F2), (F2, F3)])
+        restricted = pri.restrict_to([F1, F2])
+        assert restricted.edges == frozenset({(F1, F2)})
+
+    def test_facts_mentioned(self):
+        pri = PriorityRelation([(F1, F2)])
+        assert pri.facts_mentioned() == frozenset({F1, F2})
+
+    def test_equality_and_hash(self):
+        assert PriorityRelation([(F1, F2)]) == PriorityRelation([(F1, F2)])
+        assert hash(PriorityRelation([])) == hash(PriorityRelation.empty())
+
+    def test_is_total_on_conflicts(self, schema):
+        instance = schema.instance([F1, F2, F3])
+        partial = PriorityRelation([(F1, F2)])
+        total = PriorityRelation([(F1, F2), (F2, F3), (F1, F3)])
+        assert not partial.is_total_on_conflicts(schema, instance)
+        assert total.is_total_on_conflicts(schema, instance)
+
+
+class TestPrioritizingInstance:
+    def test_priority_facts_must_be_in_instance(self, schema):
+        instance = schema.instance([F1])
+        with pytest.raises(InvalidPriorityError):
+            PrioritizingInstance(schema, instance, PriorityRelation([(F1, F2)]))
+
+    def test_classical_rejects_cross_conflict_edges(self, schema):
+        instance = schema.instance([F1, G])
+        with pytest.raises(CrossConflictPriorityError):
+            PrioritizingInstance(schema, instance, PriorityRelation([(F1, G)]))
+
+    def test_ccp_allows_cross_conflict_edges(self, schema):
+        instance = schema.instance([F1, G])
+        pri = PrioritizingInstance(
+            schema, instance, PriorityRelation([(F1, G)]), ccp=True
+        )
+        assert pri.is_ccp
+
+    def test_restrict_to_relation(self):
+        schema = Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: 1 -> 2"])
+        s1, s2 = Fact("S", (1, "a")), Fact("S", (1, "b"))
+        instance = schema.instance([F1, F2, s1, s2])
+        pri = PrioritizingInstance(
+            schema, instance, PriorityRelation([(F1, F2), (s1, s2)])
+        )
+        restricted = pri.restrict_to_relation("S")
+        assert restricted.instance.facts == frozenset({s1, s2})
+        assert restricted.priority.edges == frozenset({(s1, s2)})
+
+    def test_restrict_rejected_for_ccp(self, schema):
+        instance = schema.instance([F1, G])
+        pri = PrioritizingInstance(
+            schema, instance, PriorityRelation([(F1, G)]), ccp=True
+        )
+        with pytest.raises(InvalidPriorityError):
+            pri.restrict_to_relation("R")
+
+    def test_subinstance_validates(self, schema):
+        instance = schema.instance([F1, F2])
+        pri = PrioritizingInstance(schema, instance, PriorityRelation([]))
+        assert pri.subinstance([F1]).facts == frozenset({F1})
+
+    def test_running_example_priority_is_acyclic_and_conflict_only(self, running):
+        # Construction succeeded, so the Section 2.3 requirements hold;
+        # assert the exact edges of Example 2.3.
+        f = running.facts
+        edges = running.prioritizing.priority.edges
+        assert (f["g1f1"], f["f1d3"]) in edges
+        assert (f["e1b"], f["d1a"]) in edges
+        assert (f["e1b"], f["d1e"]) in edges
+        assert (f["g2a"], f["f2b"]) in edges
+        assert (f["g2a"], f["f3a"]) in edges
+        assert (f["g1f2"], f["f1d3"]) in edges
+        assert len(edges) == 6

@@ -1,0 +1,119 @@
+"""Unit tests for subset repairs and their enumeration."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.core.repairs import (
+    count_repairs,
+    enumerate_repairs,
+    greedy_repair,
+    is_consistent_subinstance,
+    is_repair,
+    naive_enumerate_repairs,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+def inst(schema, rows):
+    return schema.instance([Fact("R", tuple(r)) for r in rows])
+
+
+class TestPredicates:
+    def test_is_consistent_subinstance(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b")])
+        assert is_consistent_subinstance(
+            schema, instance, inst(schema, [(1, "a")])
+        )
+        assert not is_consistent_subinstance(schema, instance, instance)
+        outside = inst(schema, [(9, "z")])
+        assert not is_consistent_subinstance(schema, instance, outside)
+
+    def test_is_repair_requires_maximality(self, schema):
+        instance = inst(schema, [(1, "a"), (1, "b"), (2, "c")])
+        assert is_repair(schema, instance, inst(schema, [(1, "a"), (2, "c")]))
+        assert not is_repair(schema, instance, inst(schema, [(1, "a")]))
+        assert not is_repair(schema, instance, instance)
+
+    def test_consistent_instance_is_its_own_unique_repair(self, schema):
+        instance = inst(schema, [(1, "a"), (2, "b")])
+        repairs = list(enumerate_repairs(schema, instance))
+        assert repairs == [instance]
+
+
+class TestEnumeration:
+    def test_disjoint_pairs_multiply(self, schema):
+        # n independent conflicting pairs -> 2^n repairs.
+        instance = inst(
+            schema,
+            [(i, letter) for i in range(4) for letter in ("a", "b")],
+        )
+        assert count_repairs(schema, instance) == 16
+        repairs = list(enumerate_repairs(schema, instance))
+        assert len(repairs) == 16
+        assert len({r.facts for r in repairs}) == 16
+        for repair in repairs:
+            assert is_repair(schema, instance, repair)
+
+    def test_triangle_block(self, schema):
+        # Three facts sharing a key: one survivor each -> 3 repairs.
+        instance = inst(schema, [(1, "a"), (1, "b"), (1, "c")])
+        assert count_repairs(schema, instance) == 3
+
+    def test_matches_naive_enumeration(self, schema):
+        from repro.workloads.generators import random_instance_with_conflicts
+
+        for seed in range(5):
+            instance = random_instance_with_conflicts(
+                schema, 8, 0.7, seed=seed
+            )
+            fast = {r.facts for r in enumerate_repairs(schema, instance)}
+            naive = {r.facts for r in naive_enumerate_repairs(schema, instance)}
+            assert fast == naive
+
+    def test_two_keys_schema_enumeration(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        instance = schema.instance(
+            [Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (2, "a"))]
+        )
+        repairs = {r.facts for r in enumerate_repairs(schema, instance)}
+        expected = {
+            frozenset({Fact("R", (1, "a"))}),
+            frozenset({Fact("R", (1, "b")), Fact("R", (2, "a"))}),
+        }
+        assert repairs == expected
+
+    def test_multi_relation(self):
+        schema = Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: 1 -> 2"])
+        instance = schema.instance(
+            [
+                Fact("R", (1, "a")),
+                Fact("R", (1, "b")),
+                Fact("S", (1, "x")),
+                Fact("S", (1, "y")),
+            ]
+        )
+        assert count_repairs(schema, instance) == 4
+
+
+class TestGreedyRepair:
+    def test_always_produces_repair(self, schema):
+        from repro.workloads.generators import random_instance_with_conflicts
+
+        for seed in range(6):
+            instance = random_instance_with_conflicts(
+                schema, 15, 0.6, seed=seed
+            )
+            import random
+
+            repair = greedy_repair(schema, instance, random.Random(seed))
+            assert is_repair(schema, instance, repair)
+
+    def test_prefer_facts_survive(self, schema):
+        keep = Fact("R", (1, "keep"))
+        instance = schema.instance([keep, Fact("R", (1, "drop"))])
+        repair = greedy_repair(schema, instance, prefer=[keep])
+        assert keep in repair

@@ -1,0 +1,77 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.core import FD, Fact, Schema, Signature
+from repro.core.signature import RelationSymbol
+from repro.exceptions import InvalidFDError, UnknownRelationError
+
+
+class TestConstruction:
+    def test_fd_relation_must_exist(self):
+        sig = Signature.single("R", 2)
+        with pytest.raises(UnknownRelationError):
+            Schema(sig, [FD("S", {1}, {2})])
+
+    def test_fd_arity_validated(self):
+        sig = Signature.single("R", 2)
+        with pytest.raises(InvalidFDError):
+            Schema(sig, [FD("R", {1}, {3})])
+
+    def test_single_relation_infers_arity(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"])
+        assert schema.signature.arity("R") == 3
+
+    def test_single_relation_explicit_arity(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=5)
+        assert schema.signature.arity("R") == 5
+
+    def test_parse_multi_relation(self):
+        schema = Schema.parse({"R": 2, "S": 3}, ["R: 1 -> 2", "S: {1,2} -> 3"])
+        assert sorted(schema.relation_names()) == ["R", "S"]
+
+
+class TestRestriction:
+    def test_fds_for_partitions_delta(self):
+        schema = Schema.parse(
+            {"R": 2, "S": 2}, ["R: 1 -> 2", "S: 1 -> 2", "S: 2 -> 1"]
+        )
+        assert len(schema.fds_for("R")) == 1
+        assert len(schema.fds_for("S")) == 2
+
+    def test_fds_for_unknown_relation(self):
+        schema = Schema.single_relation(["1 -> 2"])
+        with pytest.raises(UnknownRelationError):
+            schema.fds_for("T")
+
+    def test_restrict_is_single_relation_schema(self):
+        schema = Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2", "S: 2 -> 1"])
+        restricted = schema.restrict("S")
+        assert restricted.relation_names() == frozenset({"S"})
+        assert len(restricted.fds) == 1
+
+    def test_per_relation_covers_all(self):
+        schema = Schema.parse({"R": 2, "S": 2}, ["R: 1 -> 2"])
+        names = [relation.name for relation, _ in schema.per_relation()]
+        assert sorted(names) == ["R", "S"]
+
+
+class TestConsistency:
+    def test_consistent_and_inconsistent(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        ok = schema.instance([Fact("R", (1, "a")), Fact("R", (2, "a"))])
+        bad = schema.instance([Fact("R", (1, "a")), Fact("R", (1, "b"))])
+        assert schema.is_consistent(ok)
+        assert not schema.is_consistent(bad)
+
+    def test_empty_instance_consistent(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        assert schema.is_consistent(schema.empty_instance())
+
+    def test_equality_and_hash(self):
+        a = Schema.single_relation(["1 -> 2"], arity=2)
+        b = Schema.single_relation(["1 -> 2"], arity=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        c = Schema.single_relation(["2 -> 1"], arity=2)
+        assert a != c

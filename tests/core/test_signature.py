@@ -1,0 +1,83 @@
+"""Unit tests for relation symbols and signatures."""
+
+import pytest
+
+from repro.core.signature import RelationSymbol, Signature
+from repro.exceptions import SchemaError, UnknownRelationError
+
+
+class TestRelationSymbol:
+    def test_attributes_are_one_based_positions(self):
+        symbol = RelationSymbol("R", 3)
+        assert symbol.attributes() == frozenset({1, 2, 3})
+
+    def test_attribute_names_must_match_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 3, ("a", "b"))
+
+    def test_attribute_name_lookup(self):
+        symbol = RelationSymbol("BookLoc", 3, ("isbn", "genre", "lib"))
+        assert symbol.attribute_name(1) == "isbn"
+        assert symbol.attribute_name(3) == "lib"
+
+    def test_attribute_name_defaults_to_position(self):
+        symbol = RelationSymbol("R", 2)
+        assert symbol.attribute_name(2) == "#2"
+
+    def test_attribute_name_out_of_range(self):
+        symbol = RelationSymbol("R", 2)
+        with pytest.raises(SchemaError):
+            symbol.attribute_name(3)
+        with pytest.raises(SchemaError):
+            symbol.attribute_name(0)
+
+    def test_arity_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 0)
+
+    def test_name_must_be_nonempty(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 2)
+
+    def test_str_includes_columns(self):
+        symbol = RelationSymbol("LibLoc", 2, ("lib", "loc"))
+        assert str(symbol) == "LibLoc(lib, loc)"
+
+    def test_equality_ignores_attribute_names(self):
+        assert RelationSymbol("R", 2, ("a", "b")) == RelationSymbol("R", 2)
+
+
+class TestSignature:
+    def test_lookup_and_contains(self):
+        sig = Signature([RelationSymbol("R", 2), RelationSymbol("S", 3)])
+        assert "R" in sig
+        assert sig["S"].arity == 3
+
+    def test_unknown_relation_raises(self):
+        sig = Signature.single("R", 2)
+        with pytest.raises(UnknownRelationError):
+            sig["T"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Signature([RelationSymbol("R", 2), RelationSymbol("R", 3)])
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(SchemaError):
+            Signature([])
+
+    def test_restrict_produces_single_relation_signature(self):
+        sig = Signature([RelationSymbol("R", 2), RelationSymbol("S", 3)])
+        restricted = sig.restrict("S")
+        assert restricted.relation_names() == frozenset({"S"})
+
+    def test_iteration_and_len(self):
+        sig = Signature([RelationSymbol("R", 2), RelationSymbol("S", 3)])
+        assert len(sig) == 2
+        assert {r.name for r in sig} == {"R", "S"}
+
+    def test_equality_and_hash(self):
+        sig1 = Signature([RelationSymbol("R", 2)])
+        sig2 = Signature.single("R", 2)
+        assert sig1 == sig2
+        assert hash(sig1) == hash(sig2)

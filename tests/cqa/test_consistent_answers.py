@@ -1,0 +1,101 @@
+"""Unit tests for (preferred) consistent query answering."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.cqa import Atom, ConjunctiveQuery, Var, consistent_answers, preferred_repairs
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+@pytest.fixture
+def pri(schema):
+    new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    free = Fact("R", (2, "solo"))
+    return PrioritizingInstance(
+        schema,
+        schema.instance([new, old, free]),
+        PriorityRelation([(new, old)]),
+    )
+
+
+QUERY = ConjunctiveQuery(
+    (Var("k"), Var("v")), (Atom("R", (Var("k"), Var("v"))),)
+)
+
+
+class TestPreferredRepairs:
+    def test_all_vs_global(self, pri):
+        all_repairs = list(preferred_repairs(pri, "all"))
+        global_repairs = list(preferred_repairs(pri, "global"))
+        assert len(all_repairs) == 2
+        assert len(global_repairs) == 1
+        assert Fact("R", (1, "new")) in global_repairs[0]
+
+    def test_semantics_nest(self, pri):
+        completion = {r.facts for r in preferred_repairs(pri, "completion")}
+        globally = {r.facts for r in preferred_repairs(pri, "global")}
+        pareto = {r.facts for r in preferred_repairs(pri, "pareto")}
+        all_repairs = {r.facts for r in preferred_repairs(pri, "all")}
+        assert completion <= globally <= pareto <= all_repairs
+
+    def test_unknown_semantics(self, pri):
+        with pytest.raises(ValueError):
+            list(preferred_repairs(pri, "psychic"))
+
+
+class TestConsistentAnswers:
+    def test_classical_cqa_conservative(self, pri):
+        answers = consistent_answers(QUERY, pri, semantics="all")
+        assert answers == frozenset({(2, "solo")})
+
+    def test_preferred_cqa_recovers_winner(self, pri):
+        answers = consistent_answers(QUERY, pri, semantics="global")
+        assert answers == frozenset({(1, "new"), (2, "solo")})
+
+    def test_answers_grow_along_the_chain(self, pri):
+        all_a = consistent_answers(QUERY, pri, "all")
+        pareto_a = consistent_answers(QUERY, pri, "pareto")
+        global_a = consistent_answers(QUERY, pri, "global")
+        completion_a = consistent_answers(QUERY, pri, "completion")
+        assert all_a <= pareto_a <= global_a <= completion_a
+
+    def test_boolean_query(self, pri):
+        q = ConjunctiveQuery((), (Atom("R", (1, "new")),))
+        assert consistent_answers(q, pri, "global") == frozenset({()})
+        assert consistent_answers(q, pri, "all") == frozenset()
+
+    def test_query_validated_against_schema(self, pri):
+        bad = ConjunctiveQuery((), (Atom("T", (Var("x"),)),))
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            consistent_answers(bad, pri)
+
+    def test_join_query_over_preferred_repairs(self):
+        schema = Schema.parse(
+            {"Emp": 2, "Dept": 2}, ["Emp: 1 -> 2", "Dept: 1 -> 2"]
+        )
+        e_new = Fact("Emp", ("alice", "sales"))
+        e_old = Fact("Emp", ("alice", "ops"))
+        d1 = Fact("Dept", ("sales", "bldg-1"))
+        d2 = Fact("Dept", ("ops", "bldg-2"))
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance([e_new, e_old, d1, d2]),
+            PriorityRelation([(e_new, e_old)]),
+        )
+        q = ConjunctiveQuery(
+            (Var("building"),),
+            (
+                Atom("Emp", ("alice", Var("dept"))),
+                Atom("Dept", (Var("dept"), Var("building"))),
+            ),
+        )
+        assert consistent_answers(q, pri, "all") == frozenset()
+        assert consistent_answers(q, pri, "global") == frozenset(
+            {("bldg-1",)}
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for conjunctive-query evaluation."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.cqa import Atom, ConjunctiveQuery, Var, evaluate, holds
+
+
+@pytest.fixture
+def schema():
+    return Schema.parse({"R": 2, "S": 2}, [])
+
+
+@pytest.fixture
+def instance(schema):
+    return schema.instance(
+        [
+            Fact("R", (1, "a")),
+            Fact("R", (2, "b")),
+            Fact("S", ("a", "x")),
+            Fact("S", ("b", "y")),
+        ]
+    )
+
+
+class TestSelection:
+    def test_constant_filter(self, instance):
+        q = ConjunctiveQuery((Var("v"),), (Atom("R", (1, Var("v"))),))
+        assert evaluate(q, instance) == frozenset({("a",)})
+
+    def test_full_scan(self, instance):
+        q = ConjunctiveQuery(
+            (Var("k"), Var("v")), (Atom("R", (Var("k"), Var("v"))),)
+        )
+        assert evaluate(q, instance) == frozenset({(1, "a"), (2, "b")})
+
+    def test_no_match(self, instance):
+        q = ConjunctiveQuery((Var("v"),), (Atom("R", (99, Var("v"))),))
+        assert evaluate(q, instance) == frozenset()
+
+
+class TestJoins:
+    def test_two_atom_join(self, instance):
+        q = ConjunctiveQuery(
+            (Var("k"), Var("out")),
+            (
+                Atom("R", (Var("k"), Var("mid"))),
+                Atom("S", (Var("mid"), Var("out"))),
+            ),
+        )
+        assert evaluate(q, instance) == frozenset({(1, "x"), (2, "y")})
+
+    def test_repeated_variable_within_atom(self, schema):
+        instance = schema.instance(
+            [Fact("R", (1, 1)), Fact("R", (1, 2))]
+        )
+        q = ConjunctiveQuery((Var("x"),), (Atom("R", (Var("x"), Var("x"))),))
+        assert evaluate(q, instance) == frozenset({(1,)})
+
+    def test_cartesian_product(self, instance):
+        q = ConjunctiveQuery(
+            (Var("a"), Var("b")),
+            (Atom("R", (Var("a"), Var("_1"))), Atom("R", (Var("b"), Var("_2")))),
+        )
+        assert len(evaluate(q, instance)) == 4
+
+
+class TestBoolean:
+    def test_holds(self, instance):
+        yes = ConjunctiveQuery((), (Atom("R", (1, "a")),))
+        no = ConjunctiveQuery((), (Atom("R", (1, "z")),))
+        assert holds(yes, instance)
+        assert not holds(no, instance)
+        assert evaluate(yes, instance) == frozenset({()})
+        assert evaluate(no, instance) == frozenset()

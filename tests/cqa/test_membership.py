@@ -1,0 +1,88 @@
+"""Unit tests for fact-level membership in preferred repairs."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.cqa import (
+    fact_in_every_preferred_repair,
+    fact_in_some_preferred_repair,
+    fact_survival_census,
+)
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+NEW = Fact("R", (1, "new"))
+OLD = Fact("R", (1, "old"))
+SOLO = Fact("R", (2, "solo"))
+TIED_A = Fact("R", (3, "a"))
+TIED_B = Fact("R", (3, "b"))
+
+
+@pytest.fixture
+def pri(schema):
+    instance = schema.instance([NEW, OLD, SOLO, TIED_A, TIED_B])
+    return PrioritizingInstance(
+        schema, instance, PriorityRelation([(NEW, OLD)])
+    )
+
+
+class TestMembership:
+    def test_certain_fact(self, pri):
+        assert fact_in_every_preferred_repair(pri, SOLO)
+        assert fact_in_every_preferred_repair(pri, NEW)
+
+    def test_possible_fact(self, pri):
+        assert fact_in_some_preferred_repair(pri, TIED_A)
+        assert not fact_in_every_preferred_repair(pri, TIED_A)
+
+    def test_doomed_fact(self, pri):
+        assert not fact_in_some_preferred_repair(pri, OLD)
+
+    def test_semantics_matters(self, pri):
+        # Under plain repairs (no preference), OLD is possible again.
+        assert fact_in_some_preferred_repair(pri, OLD, semantics="all")
+        assert not fact_in_every_preferred_repair(pri, NEW, semantics="all")
+
+    def test_foreign_fact_rejected(self, pri):
+        with pytest.raises(ReproError):
+            fact_in_some_preferred_repair(pri, Fact("R", (9, "x")))
+
+
+class TestSurvivalCensus:
+    def test_partition(self, pri):
+        census = fact_survival_census(pri)
+        assert census["certain"] == frozenset({NEW, SOLO})
+        assert census["possible"] == frozenset({TIED_A, TIED_B})
+        assert census["doomed"] == frozenset({OLD})
+
+    def test_partition_is_exact(self, pri):
+        census = fact_survival_census(pri)
+        union = census["certain"] | census["possible"] | census["doomed"]
+        assert union == pri.instance.facts
+        assert not census["certain"] & census["possible"]
+        assert not census["possible"] & census["doomed"]
+
+    def test_census_matches_pointwise_queries(self, pri):
+        census = fact_survival_census(pri)
+        for fact in pri.instance:
+            certain = fact_in_every_preferred_repair(pri, fact)
+            possible = fact_in_some_preferred_repair(pri, fact)
+            if certain:
+                assert fact in census["certain"]
+            elif possible:
+                assert fact in census["possible"]
+            else:
+                assert fact in census["doomed"]
+
+    def test_running_example_census(self, running):
+        census = fact_survival_census(running.prioritizing)
+        f = running.facts
+        # f1d3 loses to the g-tier everywhere; the g-tier always wins.
+        assert f["f1d3"] in census["doomed"]
+        assert f["g1f1"] in census["certain"]
+        assert f["g1f2"] in census["certain"]

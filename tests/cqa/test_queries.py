@@ -1,0 +1,59 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro.core import Schema
+from repro.cqa import Atom, ConjunctiveQuery, Var
+from repro.exceptions import QueryError
+
+
+class TestVar:
+    def test_identity_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert len({Var("x"), Var("x")}) == 1
+
+
+class TestAtom:
+    def test_variables(self):
+        atom = Atom("R", (Var("a"), "const", Var("b")))
+        assert atom.variables() == frozenset({Var("a"), Var("b")})
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+    def test_terms_normalized(self):
+        atom = Atom("R", [1, 2])
+        assert atom.terms == (1, 2)
+
+
+class TestConjunctiveQuery:
+    def test_safety_enforced(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((Var("x"),), (Atom("R", (Var("y"),)),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((), ())
+
+    def test_boolean_detection(self):
+        q = ConjunctiveQuery((), (Atom("R", (Var("x"),)),))
+        assert q.is_boolean()
+
+    def test_validate_against_schema(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        good = ConjunctiveQuery((), (Atom("R", (Var("x"), Var("y"))),))
+        good.validate_against(schema)
+        bad_arity = ConjunctiveQuery((), (Atom("R", (Var("x"),)),))
+        with pytest.raises(QueryError):
+            bad_arity.validate_against(schema)
+        bad_relation = ConjunctiveQuery((), (Atom("T", (Var("x"),)),))
+        with pytest.raises(QueryError):
+            bad_relation.validate_against(schema)
+
+    def test_repr_is_readable(self):
+        q = ConjunctiveQuery(
+            (Var("x"),), (Atom("R", (Var("x"), "c")),)
+        )
+        assert "q(?x)" in repr(q)

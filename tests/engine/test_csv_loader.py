@@ -1,0 +1,107 @@
+"""Unit tests for CSV ingestion."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.engine import Database, RepairManager, load_csv, load_tagged_sources
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(
+        ["1 -> 2"], relation="City", arity=2, attribute_names=("id", "city")
+    )
+
+
+@pytest.fixture
+def db(schema):
+    return Database(schema)
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadCsv:
+    def test_basic_load_with_header(self, db, tmp_path):
+        path = write(tmp_path, "a.csv", "id,city\nc1,almaden\nc2,bascom\n")
+        facts = load_csv(db, "City", path)
+        assert len(facts) == 2
+        assert Fact("City", ("c1", "almaden")) in db
+
+    def test_no_header(self, db, tmp_path):
+        path = write(tmp_path, "a.csv", "c1,almaden\n")
+        facts = load_csv(db, "City", path, has_header=False)
+        assert len(facts) == 1
+
+    def test_blank_lines_skipped(self, db, tmp_path):
+        path = write(tmp_path, "a.csv", "id,city\nc1,almaden\n\n  ,\n")
+        load_csv(db, "City", path)
+        assert len(db) == 1
+
+    def test_converters(self, tmp_path):
+        schema = Schema.single_relation(["1 -> 2"], relation="M", arity=2)
+        db = Database(schema)
+        path = write(tmp_path, "m.csv", "k,v\n1,2.5\n")
+        facts = load_csv(db, "M", path, converters=[int, float])
+        assert facts[0].values == (1, 2.5)
+
+    def test_converter_count_validated(self, db, tmp_path):
+        path = write(tmp_path, "a.csv", "id,city\nc1,almaden\n")
+        with pytest.raises(ReproError):
+            load_csv(db, "City", path, converters=[int])
+
+    def test_bad_conversion_reports_location(self, tmp_path):
+        schema = Schema.single_relation(["1 -> 2"], relation="M", arity=2)
+        db = Database(schema)
+        path = write(tmp_path, "m.csv", "k,v\noops,2\n")
+        with pytest.raises(ReproError, match="column 1"):
+            load_csv(db, "M", path, converters=[int, None])
+
+    def test_column_count_mismatch(self, db, tmp_path):
+        path = write(tmp_path, "a.csv", "id,city\nc1\n")
+        with pytest.raises(ReproError, match="expected 2 columns"):
+            load_csv(db, "City", path)
+
+    def test_delimiter(self, db, tmp_path):
+        path = write(tmp_path, "a.tsv", "id\tcity\nc1\talmaden\n")
+        load_csv(db, "City", path, delimiter="\t")
+        assert Fact("City", ("c1", "almaden")) in db
+
+
+class TestTaggedSources:
+    def test_trusted_feed_wins(self, db, tmp_path, schema):
+        trusted = write(
+            tmp_path, "crm.csv", "id,city\nc1,almaden\nc2,bascom\n"
+        )
+        scraped = write(
+            tmp_path, "web.csv", "id,city\nc1,edenvale\nc3,cambrian\n"
+        )
+        loaded = load_tagged_sources(db, "City", [trusted, scraped])
+        assert len(loaded) == 2
+        assert len(db.priority_edges()) == 1
+        cleaned = RepairManager.from_database(db).clean()
+        assert Fact("City", ("c1", "almaden")) in cleaned
+        assert Fact("City", ("c1", "edenvale")) not in cleaned
+        assert Fact("City", ("c3", "cambrian")) in cleaned
+
+    def test_same_feed_conflicts_stay_unordered(self, db, tmp_path):
+        messy = write(
+            tmp_path, "messy.csv", "id,city\nc1,almaden\nc1,bascom\n"
+        )
+        load_tagged_sources(db, "City", [messy])
+        assert len(db.conflicts()) == 1
+        assert len(db.priority_edges()) == 0
+
+    def test_fact_in_both_feeds_takes_best_rank(self, db, tmp_path):
+        first = write(tmp_path, "a.csv", "id,city\nc1,almaden\n")
+        second = write(
+            tmp_path, "b.csv", "id,city\nc1,almaden\nc1,bascom\n"
+        )
+        load_tagged_sources(db, "City", [first, second])
+        # (c1, almaden) ranks 0, (c1, bascom) ranks 1 -> one edge.
+        (edge,) = db.priority_edges()
+        assert edge[0] == Fact("City", ("c1", "almaden"))

@@ -1,0 +1,124 @@
+"""Unit tests for the mutable database engine."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.engine import Database
+from repro.exceptions import (
+    ArityError,
+    CrossConflictPriorityError,
+    CyclicPriorityError,
+    InvalidPriorityError,
+    UnknownRelationError,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], relation="City", arity=2)
+
+
+@pytest.fixture
+def db(schema):
+    return Database(schema)
+
+
+class TestDataManipulation:
+    def test_insert_and_contains(self, db):
+        fact = db.insert("City", ("paris", "france"))
+        assert fact in db
+        assert len(db) == 1
+
+    def test_insert_validates_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.insert("Town", ("x",))
+
+    def test_insert_validates_arity(self, db):
+        with pytest.raises(ArityError):
+            db.insert("City", ("paris",))
+
+    def test_insert_idempotent(self, db):
+        db.insert("City", ("paris", "france"))
+        db.insert("City", ("paris", "france"))
+        assert len(db) == 1
+
+    def test_insert_many(self, db):
+        facts = db.insert_many("City", [("a", 1), ("b", 2)])
+        assert len(facts) == 2
+        assert len(db) == 2
+
+    def test_delete_clears_priorities(self, db):
+        good = db.insert("City", ("paris", "france"))
+        bad = db.insert("City", ("paris", "texas"))
+        db.prefer(good, bad)
+        assert db.delete(bad)
+        assert not db.priority_edges()
+        assert not db.delete(bad)  # already gone
+
+    def test_facts_view(self, db):
+        a = db.insert("City", ("a", 1))
+        assert db.facts() == frozenset({a})
+        assert db.facts("City") == frozenset({a})
+        with pytest.raises(UnknownRelationError):
+            db.facts("Nope")
+
+
+class TestConsistencyTracking:
+    def test_conflicts_and_consistency(self, db):
+        db.insert("City", ("paris", "france"))
+        assert db.is_consistent()
+        db.insert("City", ("paris", "texas"))
+        assert not db.is_consistent()
+        assert len(db.conflicts()) == 1
+
+    def test_snapshot_is_immutable_copy(self, db):
+        db.insert("City", ("a", 1))
+        snap = db.snapshot()
+        db.insert("City", ("b", 2))
+        assert len(snap) == 1
+
+
+class TestPriorities:
+    def test_prefer_requires_inserted_facts(self, db):
+        fact = db.insert("City", ("a", 1))
+        with pytest.raises(InvalidPriorityError):
+            db.prefer(fact, Fact("City", ("b", 2)))
+
+    def test_seal_validates_acyclicity(self, db):
+        a = db.insert("City", ("x", 1))
+        b = db.insert("City", ("x", 2))
+        db.prefer(a, b)
+        db.prefer(b, a)
+        with pytest.raises(CyclicPriorityError):
+            db.seal()
+
+    def test_seal_validates_conflict_only(self, db):
+        a = db.insert("City", ("x", 1))
+        b = db.insert("City", ("y", 2))
+        db.prefer(a, b)
+        with pytest.raises(CrossConflictPriorityError):
+            db.seal()
+        assert db.seal(ccp=True).is_ccp
+
+    def test_priority_rule(self, db):
+        db.insert_many(
+            "City", [("paris", "france"), ("paris", "texas"), ("rome", "italy")]
+        )
+
+        def prefer_lexicographic(fact_a, fact_b):
+            return min(fact_a, fact_b, key=lambda f: str(f[2]))
+
+        added = db.apply_priority_rule(prefer_lexicographic)
+        assert added == 1
+        (edge,) = db.priority_edges()
+        assert edge[0][2] == "france"
+
+    def test_priority_rule_may_abstain(self, db):
+        db.insert_many("City", [("paris", "france"), ("paris", "texas")])
+        assert db.apply_priority_rule(lambda a, b: None) == 0
+
+    def test_priority_rule_must_return_member(self, db):
+        db.insert_many("City", [("paris", "france"), ("paris", "texas")])
+        rogue = Fact("City", ("rome", "italy"))
+        with pytest.raises(InvalidPriorityError):
+            db.apply_priority_rule(lambda a, b: rogue)

@@ -1,0 +1,73 @@
+"""Unit tests for the repair manager."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.core.repairs import is_repair
+from repro.engine import Database, RepairManager
+from repro.workloads.priorities import random_prioritizing_instance
+from repro.workloads.generators import random_instance_with_conflicts
+
+
+@pytest.fixture
+def manager():
+    schema = Schema.single_relation(["1 -> 2"], relation="City", arity=2)
+    db = Database(schema)
+    good = db.insert("City", ("paris", "france"))
+    bad = db.insert("City", ("paris", "texas"))
+    db.insert("City", ("rome", "italy"))
+    db.prefer(good, bad)
+    return RepairManager.from_database(db)
+
+
+class TestChecking:
+    def test_all_semantics_available(self, manager):
+        cleaned = manager.clean()
+        for semantics in ("global", "pareto", "completion"):
+            assert manager.check(cleaned, semantics=semantics).is_optimal
+
+    def test_unknown_semantics_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.check(manager.clean(), semantics="psychic")
+
+
+class TestEnumeration:
+    def test_repairs_are_repairs(self, manager):
+        pri = manager.prioritizing
+        repairs = list(manager.repairs())
+        assert len(repairs) == 2
+        for repair in repairs:
+            assert is_repair(pri.schema, pri.instance, repair)
+
+    def test_optimal_repairs_filtered(self, manager):
+        optimal = list(manager.optimal_repairs())
+        assert len(optimal) == 1
+        assert Fact("City", ("paris", "france")) in optimal[0]
+
+    def test_counting_and_uniqueness(self, manager):
+        assert manager.count_optimal_repairs() == 1
+        assert manager.has_unique_optimal_repair()
+
+    def test_non_unique_when_unordered(self):
+        schema = Schema.single_relation(["1 -> 2"], relation="City", arity=2)
+        db = Database(schema)
+        db.insert_many("City", [("paris", "france"), ("paris", "texas")])
+        manager = RepairManager.from_database(db)
+        assert manager.count_optimal_repairs() == 2
+        assert not manager.has_unique_optimal_repair()
+
+
+class TestCleaning:
+    def test_clean_optimal_under_all_semantics(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        for seed in range(6):
+            instance = random_instance_with_conflicts(schema, 12, 0.7, seed=seed)
+            pri = random_prioritizing_instance(schema, instance, seed=seed)
+            manager = RepairManager(pri)
+            cleaned = manager.clean(seed=seed)
+            assert manager.check(cleaned, "completion").is_optimal
+            assert manager.check(cleaned, "global").is_optimal
+            assert manager.check(cleaned, "pareto").is_optimal
+
+    def test_clean_deterministic_per_seed(self, manager):
+        assert manager.clean(seed=1) == manager.clean(seed=1)

@@ -1,0 +1,105 @@
+"""Unit tests for the priority-rule library."""
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.engine import (
+    Database,
+    RepairManager,
+    attribute_order,
+    chain,
+    newer_timestamp,
+    source_ranking,
+)
+
+
+class TestNewerTimestamp:
+    def test_prefers_larger(self):
+        rule = newer_timestamp(2)
+        a, b = Fact("R", ("k", 5)), Fact("R", ("k", 3))
+        assert rule(a, b) == a
+        assert rule(b, a) == a
+
+    def test_ties_abstain(self):
+        rule = newer_timestamp(2)
+        a, b = Fact("R", ("k", 5)), Fact("R", ("q", 5))
+        assert rule(a, b) is None
+
+    def test_incomparable_types_abstain(self):
+        rule = newer_timestamp(2)
+        a, b = Fact("R", ("k", 5)), Fact("R", ("k", "yesterday"))
+        assert rule(a, b) is None
+
+
+class TestSourceRanking:
+    def test_ranked_sources(self):
+        sources = {Fact("R", ("k", 1)): "crm", Fact("R", ("k", 2)): "web"}
+        rule = source_ranking(sources.get, ["crm", "web"])
+        a, b = list(sources)
+        assert rule(a, b) == a
+
+    def test_unknown_source_abstains(self):
+        rule = source_ranking(lambda fact: None, ["crm"])
+        assert rule(Fact("R", (1,)), Fact("R", (2,))) is None
+
+    def test_same_source_abstains(self):
+        rule = source_ranking(lambda fact: "crm", ["crm", "web"])
+        assert rule(Fact("R", (1,)), Fact("R", (2,))) is None
+
+
+class TestAttributeOrder:
+    def test_listed_values_ordered(self):
+        rule = attribute_order(1, ["active", "paused", "closed"])
+        active, closed = Fact("R", ("active",)), Fact("R", ("closed",))
+        assert rule(closed, active) == active
+
+    def test_unlisted_values_lose(self):
+        rule = attribute_order(1, ["active"])
+        active, weird = Fact("R", ("active",)), Fact("R", ("limbo",))
+        assert rule(weird, active) == active
+
+    def test_two_unlisted_tie(self):
+        rule = attribute_order(1, ["active"])
+        assert rule(Fact("R", ("x",)), Fact("R", ("y",))) is None
+
+
+class TestChain:
+    def test_first_decisive_wins(self):
+        by_time = newer_timestamp(2)
+        by_value = attribute_order(1, ["gold", "silver"])
+        rule = chain(by_time, by_value)
+        gold_old = Fact("R", ("gold", 1))
+        silver_new = Fact("R", ("silver", 9))
+        assert rule(gold_old, silver_new) == silver_new  # time decides
+        gold = Fact("R", ("gold", 5))
+        silver = Fact("R", ("silver", 5))
+        assert rule(gold, silver) == gold  # tie-broken by value
+
+    def test_all_abstain(self):
+        rule = chain(newer_timestamp(2))
+        a, b = Fact("R", ("k", 5)), Fact("R", ("q", 5))
+        assert rule(a, b) is None
+
+
+class TestEndToEndWithEngine:
+    def test_timestamped_cleaning(self):
+        schema = Schema.single_relation(
+            ["1 -> {2,3}"], relation="Status", arity=3,
+            attribute_names=("entity", "state", "at"),
+        )
+        db = Database(schema)
+        db.insert_many(
+            "Status",
+            [
+                ("e1", "booting", 1),
+                ("e1", "active", 2),
+                ("e1", "degraded", 3),
+                ("e2", "active", 1),
+            ],
+        )
+        added = db.apply_priority_rule(newer_timestamp(3))
+        assert added == 3  # all pairs within e1's block get ordered
+        cleaned = RepairManager.from_database(db).clean()
+        assert Fact("Status", ("e1", "degraded", 3)) in cleaned
+        assert Fact("Status", ("e2", "active", 1)) in cleaned
+        assert len(cleaned) == 2

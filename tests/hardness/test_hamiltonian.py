@@ -1,0 +1,95 @@
+"""Unit tests for graphs and the Held–Karp Hamiltonian-cycle solver."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.hardness.hamiltonian import (
+    UndirectedGraph,
+    find_hamiltonian_cycle,
+    has_hamiltonian_cycle,
+)
+
+
+class TestUndirectedGraph:
+    def test_edges_normalized(self):
+        g = UndirectedGraph(3, [(0, 1), (1, 0)])
+        assert len(g.edges) == 1
+        assert g.has_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReproError):
+            UndirectedGraph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            UndirectedGraph(2, [(0, 2)])
+
+    def test_neighbours_and_degree(self):
+        g = UndirectedGraph(4, [(0, 1), (0, 2)])
+        assert g.neighbours(0) == frozenset({1, 2})
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+
+    def test_builders(self):
+        assert len(UndirectedGraph.cycle(5).edges) == 5
+        assert len(UndirectedGraph.complete(4).edges) == 6
+        assert len(UndirectedGraph.path(4).edges) == 3
+        assert len(UndirectedGraph.cycle(2).edges) == 1
+
+
+class TestHamiltonianSolver:
+    def test_cycles_are_hamiltonian(self):
+        for n in (3, 4, 5, 6):
+            assert has_hamiltonian_cycle(UndirectedGraph.cycle(n))
+
+    def test_paths_are_not(self):
+        for n in (3, 4, 5):
+            assert not has_hamiltonian_cycle(UndirectedGraph.path(n))
+
+    def test_complete_graphs(self):
+        for n in (3, 4, 5):
+            assert has_hamiltonian_cycle(UndirectedGraph.complete(n))
+
+    def test_degenerate_n1(self):
+        assert not has_hamiltonian_cycle(UndirectedGraph(1))
+
+    def test_degenerate_n2_paper_semantics(self):
+        # The paper's Figure 5 treats two joined nodes as Hamiltonian.
+        assert has_hamiltonian_cycle(UndirectedGraph(2, [(0, 1)]))
+        assert not has_hamiltonian_cycle(UndirectedGraph(2))
+
+    def test_star_is_not_hamiltonian(self):
+        star = UndirectedGraph(5, [(0, i) for i in range(1, 5)])
+        assert not has_hamiltonian_cycle(star)
+
+    def test_found_cycle_is_valid(self):
+        g = UndirectedGraph(6, UndirectedGraph.cycle(6).edge_list() + [(0, 3)])
+        cycle = find_hamiltonian_cycle(g)
+        assert cycle is not None
+        assert sorted(cycle) == list(range(6))
+        for i in range(6):
+            assert g.has_edge(cycle[i], cycle[(i + 1) % 6])
+
+    def test_disconnected_graph(self):
+        g = UndirectedGraph(4, [(0, 1), (2, 3)])
+        assert not has_hamiltonian_cycle(g)
+
+    def test_agreement_with_exhaustive_search(self):
+        """Cross-check Held–Karp against permutation enumeration on all
+        graphs with 4 vertices."""
+        from itertools import permutations
+
+        from repro.workloads.graphs import all_graphs
+
+        def exhaustive(graph):
+            n = graph.node_count
+            for perm in permutations(range(n)):
+                if all(
+                    graph.has_edge(perm[i], perm[(i + 1) % n])
+                    for i in range(n)
+                ):
+                    return True
+            return False
+
+        for graph in all_graphs(4):
+            assert has_hamiltonian_cycle(graph) == exhaustive(graph)

@@ -1,0 +1,122 @@
+"""Unit tests for the Lemma 5.2 Hamiltonian-cycle gadget."""
+
+import pytest
+
+from repro.core.checking import (
+    check_globally_optimal_brute_force,
+    check_globally_optimal_search,
+)
+from repro.core.improvements import is_global_improvement
+from repro.core.repairs import is_repair
+from repro.hardness.hamiltonian import (
+    UndirectedGraph,
+    find_hamiltonian_cycle,
+    has_hamiltonian_cycle,
+)
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
+from repro.workloads.graphs import all_graphs, erdos_renyi
+
+
+class TestGadgetShape:
+    def test_sizes_are_polynomial(self):
+        graph = UndirectedGraph.cycle(4)
+        gadget = build_hamiltonian_gadget(graph)
+        n, m = 4, 4
+        assert len(gadget.prioritizing.instance) == n * (5 * n + 2 * m)
+        assert len(gadget.repair) == 3 * n * n
+
+    def test_j_is_a_repair(self):
+        for graph in (UndirectedGraph.cycle(3), UndirectedGraph.path(4)):
+            gadget = build_hamiltonian_gadget(graph)
+            assert is_repair(
+                gadget.schema, gadget.prioritizing.instance, gadget.repair
+            )
+
+    def test_priority_is_conflict_only_and_acyclic(self):
+        # Construction of the classical PrioritizingInstance validates
+        # both; reaching here without exceptions is the assertion.
+        build_hamiltonian_gadget(UndirectedGraph.complete(4))
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            build_hamiltonian_gadget(UndirectedGraph(1))
+
+
+class TestReductionCorrectness:
+    def test_paper_figure_5_graph(self):
+        """The worked two-node example of Figure 5."""
+        gadget = build_hamiltonian_gadget(UndirectedGraph(2, [(0, 1)]))
+        result = check_globally_optimal_brute_force(
+            gadget.prioritizing, gadget.repair
+        )
+        assert not result.is_optimal  # the graph IS Hamiltonian
+
+    def test_two_nodes_no_edge(self):
+        gadget = build_hamiltonian_gadget(UndirectedGraph(2))
+        result = check_globally_optimal_brute_force(
+            gadget.prioritizing, gadget.repair
+        )
+        assert result.is_optimal
+
+    def test_exhaustive_three_node_graphs(self):
+        """All 8 graphs on 3 vertices, checked with the complete
+        improvement search."""
+        for graph in all_graphs(3):
+            gadget = build_hamiltonian_gadget(graph)
+            result = check_globally_optimal_search(
+                gadget.prioritizing, gadget.repair
+            )
+            assert result.is_optimal != has_hamiltonian_cycle(graph), (
+                graph.edge_list()
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        graph = erdos_renyi(5, 0.45, seed=seed)
+        gadget = build_hamiltonian_gadget(graph)
+        result = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        assert result.is_optimal != has_hamiltonian_cycle(graph)
+
+
+class TestCycleImprovementRoundTrip:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            UndirectedGraph(2, [(0, 1)]),
+            UndirectedGraph.cycle(3),
+            UndirectedGraph.cycle(5),
+            UndirectedGraph.complete(4),
+        ],
+    )
+    def test_cycle_to_improvement_and_back(self, graph):
+        gadget = build_hamiltonian_gadget(graph)
+        cycle = find_hamiltonian_cycle(graph)
+        assert cycle is not None
+        improvement = gadget.improvement_from_cycle(cycle)
+        assert gadget.schema.is_consistent(improvement)
+        assert is_global_improvement(
+            improvement, gadget.repair, gadget.prioritizing.priority
+        )
+        assert gadget.cycle_from_improvement(improvement) == cycle
+
+    def test_improvement_from_non_permutation_rejected(self):
+        gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(3))
+        with pytest.raises(ValueError):
+            gadget.improvement_from_cycle([0, 0, 1])
+
+    def test_checker_witness_encodes_cycle(self):
+        """The improvement found by the search decodes to an actual
+        Hamiltonian cycle of the source graph."""
+        graph = UndirectedGraph.complete(4)
+        gadget = build_hamiltonian_gadget(graph)
+        result = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        assert result.improvement is not None
+        cycle = gadget.cycle_from_improvement(result.improvement)
+        n = graph.node_count
+        assert sorted(cycle) == list(range(n))
+        for i in range(n):
+            assert graph.has_edge(cycle[i], cycle[(i + 1) % n])

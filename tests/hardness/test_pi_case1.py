@@ -1,0 +1,163 @@
+"""Unit tests for the Case-1 fact transport Π (Lemmas 5.3–5.5)."""
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.core.checking import (
+    check_globally_optimal_brute_force,
+    check_globally_optimal_search,
+)
+from repro.core.fact import Fact
+from repro.core.schema import Schema
+from repro.exceptions import ReproError
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
+from repro.hardness.hamiltonian import UndirectedGraph
+from repro.hardness.pi_case1 import (
+    PiCase1,
+    designated_keys,
+    minimal_incomparable_keys,
+    transport_input,
+)
+from repro.hardness.schemas import S1
+
+TARGETS = [
+    # The smallest three-keys schema: S1 itself.
+    Schema.single_relation(
+        ["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"], arity=3
+    ),
+    # Arity 4, three composite keys.
+    Schema.single_relation(
+        ["{1,2} -> {3,4}", "{1,3} -> {2,4}", "{2,3} -> {1,4}"], arity=4
+    ),
+    # Arity 5, four keys, one reaching an otherwise-unconstrained
+    # attribute (exercises the "outside all designated keys" row).
+    Schema.single_relation(
+        [
+            "{1,2} -> {1,2,3,4,5}",
+            "{1,3} -> {1,2,3,4,5}",
+            "{2,3} -> {1,2,3,4,5}",
+            "{1,4} -> {1,2,3,4,5}",
+        ],
+        arity=5,
+    ),
+    # Keys given in non-key syntactic form (equivalence required).
+    Schema.single_relation(
+        ["{1,2} -> 3", "{2,3} -> 1", "{1,3} -> 2", "{1,2} -> {1,2,3}"],
+        arity=3,
+    ),
+]
+
+
+def s1_facts(domain=("x", "y", "z")):
+    return [Fact("R1", values) for values in product(domain, repeat=3)]
+
+
+class TestKeyDiscovery:
+    def test_minimal_incomparable_keys_of_s1(self):
+        keys = minimal_incomparable_keys(S1.fds_for("R1"))
+        assert keys is not None
+        assert len(keys) == 3
+
+    def test_non_key_schema_returns_none(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        assert minimal_incomparable_keys(schema.fds_for("R")) is None
+
+    def test_designated_keys_requires_three(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        with pytest.raises(ReproError):
+            designated_keys(schema.fds_for("R"))
+
+
+class TestPiProperties:
+    """Lemmas 5.3 and 5.4, verified exhaustively."""
+
+    @pytest.mark.parametrize("target", TARGETS, ids=range(len(TARGETS)))
+    def test_injectivity(self, target):
+        pi = PiCase1(target)
+        facts = s1_facts()
+        images = {pi.apply(fact) for fact in facts}
+        assert len(images) == len(facts)
+
+    @pytest.mark.parametrize("target", TARGETS, ids=range(len(TARGETS)))
+    def test_inverse(self, target):
+        pi = PiCase1(target)
+        for fact in s1_facts():
+            assert pi.invert(pi.apply(fact)) == fact
+
+    @pytest.mark.parametrize("target", TARGETS, ids=range(len(TARGETS)))
+    def test_pairwise_consistency_preservation(self, target):
+        pi = PiCase1(target)
+        facts = s1_facts()
+        for f, g in combinations(facts, 2):
+            source_ok = S1.is_consistent(S1.instance([f, g]))
+            image_ok = target.is_consistent(
+                target.instance([pi.apply(f), pi.apply(g)])
+            )
+            assert source_ok == image_ok, (f, g)
+
+    @pytest.mark.parametrize("target", TARGETS, ids=range(len(TARGETS)))
+    def test_setwise_consistency_preservation(self, target):
+        """Pairwise preservation lifts to sets (FD violations are
+        pairwise), spot-checked on random subsets."""
+        import random
+
+        rng = random.Random(0)
+        facts = s1_facts()
+        pi = PiCase1(target)
+        for _ in range(30):
+            subset = rng.sample(facts, rng.randint(2, 6))
+            source_ok = S1.is_consistent(S1.instance(subset))
+            image = target.instance([pi.apply(f) for f in subset])
+            assert source_ok == target.is_consistent(image)
+
+    def test_rejects_two_key_schema(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        with pytest.raises(ReproError):
+            PiCase1(schema)
+
+    def test_rejects_multi_relation_schema(self):
+        schema = Schema.parse(
+            {"R": 3, "S": 3},
+            [
+                "R: {1,2} -> 3",
+                "R: {1,3} -> 2",
+                "R: {2,3} -> 1",
+            ],
+        )
+        with pytest.raises(ReproError):
+            PiCase1(schema)
+
+
+class TestEndToEndTransport:
+    """Lemma 5.5: the reduction preserves the repair-checking answer."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            UndirectedGraph(2, [(0, 1)]),
+            UndirectedGraph(2),
+            UndirectedGraph.cycle(3),
+            UndirectedGraph.path(3),
+        ],
+    )
+    @pytest.mark.parametrize("target", TARGETS[1:3], ids=["arity4", "arity5"])
+    def test_gadget_transport_preserves_answer(self, graph, target):
+        gadget = build_hamiltonian_gadget(graph)
+        source_result = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        pi = PiCase1(target)
+        moved_pri, moved_repair = transport_input(
+            pi, gadget.prioritizing, gadget.repair
+        )
+        moved_result = check_globally_optimal_search(moved_pri, moved_repair)
+        assert source_result.is_optimal == moved_result.is_optimal
+
+    def test_transported_priority_is_conflict_only(self):
+        """Π preserves conflicts, so the image priority is again legal
+        for classical prioritizing instances (validated on build)."""
+        gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(3))
+        pi = PiCase1(TARGETS[1])
+        moved_pri, _ = transport_input(pi, gadget.prioritizing, gadget.repair)
+        assert not moved_pri.is_ccp  # constructed with validation on

@@ -1,0 +1,72 @@
+"""Unit tests for the catalog of hard anchor schemas."""
+
+from repro.core.classification import classify_ccp_schema, classify_schema
+from repro.core.schema import Schema
+from repro.hardness.schemas import (
+    CCP_HARD_SCHEMAS,
+    HARD_SCHEMAS,
+    S1,
+    S2,
+    S6,
+    SA,
+    SD,
+)
+
+
+class TestTheorem31Anchors:
+    def test_catalog_complete(self):
+        assert sorted(HARD_SCHEMAS) == [1, 2, 3, 4, 5, 6]
+
+    def test_all_single_ternary_relation(self):
+        for index, schema in HARD_SCHEMAS.items():
+            names = schema.relation_names()
+            assert len(names) == 1
+            (name,) = names
+            assert schema.signature.arity(name) == 3
+            assert name == f"R{index}"
+
+    def test_all_on_the_hard_side(self):
+        for schema in HARD_SCHEMAS.values():
+            assert classify_schema(schema).is_conp_complete
+
+    def test_s1_fds(self):
+        fds = S1.fds_for("R1")
+        assert len(fds) == 3
+        assert all(fd.is_key(3) or len(fd.rhs) == 1 for fd in fds)
+
+    def test_s2_is_two_non_keys_on_ternary(self):
+        # The same FDs on a *binary* relation are two keys (tractable);
+        # the spare third attribute is what makes S2 hard.
+        binary = classify_schema(
+            Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        )
+        assert binary.is_tractable
+        assert classify_schema(S2).is_conp_complete
+
+
+class TestTheorem71Anchors:
+    def test_catalog_complete(self):
+        assert sorted(CCP_HARD_SCHEMAS) == ["a", "b", "c", "d"]
+
+    def test_all_on_the_ccp_hard_side(self):
+        for schema in CCP_HARD_SCHEMAS.values():
+            assert classify_ccp_schema(schema).is_conp_complete
+
+    def test_sa_mixes_the_two_tractable_forms(self):
+        verdict = classify_ccp_schema(SA)
+        by_name = {v.relation: v for v in verdict.per_relation}
+        assert by_name["R"].key_witness is not None
+        assert by_name["S"].constant_witness is not None
+        assert not verdict.is_tractable
+
+    def test_sd_is_classically_tractable(self):
+        # Sd = two keys on a binary relation: tractable classically,
+        # hard under ccp — the separation the relaxation creates.
+        assert classify_schema(SD).is_tractable
+        assert classify_ccp_schema(SD).is_conp_complete
+
+    def test_sb_is_classically_tractable(self):
+        from repro.hardness.schemas import SB
+
+        assert classify_schema(SB).is_tractable
+        assert classify_ccp_schema(SB).is_conp_complete

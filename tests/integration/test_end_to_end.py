@@ -1,0 +1,155 @@
+"""Integration tests spanning multiple subsystems."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, Schema
+from repro.core.checking import check_globally_optimal
+from repro.core.classification import classify_ccp_schema, classify_schema
+from repro.core.repairs import enumerate_repairs
+from repro.cqa import Atom, ConjunctiveQuery, Var, consistent_answers
+from repro.engine import Database, RepairManager
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_prioritizing_instance
+
+
+class TestDirtyWarehousePipeline:
+    """Load → prioritize → classify → clean → query, end to end."""
+
+    @pytest.fixture
+    def db(self):
+        schema = Schema.parse(
+            {"Product": 2, "Warehouse": 2},
+            [
+                "Product: 1 -> 2",        # sku determines category
+                "Warehouse: 1 -> 2",      # warehouse determines region
+                "Warehouse: 2 -> 1",      # one warehouse per region
+            ],
+        )
+        db = Database(schema)
+        db.insert_many(
+            "Product",
+            [
+                ("sku1", "tools"),
+                ("sku1", "garden"),   # conflict on sku1
+                ("sku2", "kitchen"),
+            ],
+        )
+        db.insert_many(
+            "Warehouse",
+            [
+                ("w1", "north"),
+                ("w1", "south"),      # conflict on w1
+                ("w2", "south"),      # conflict on 'south'
+            ],
+        )
+        return db
+
+    def test_schema_is_tractable_and_uses_both_algorithms(self, db):
+        verdict = classify_schema(db.schema)
+        assert verdict.is_tractable
+        kinds = {v.kind.value for v in verdict.per_relation}
+        assert kinds == {"single-fd", "two-keys"}
+
+    def test_rule_based_cleaning(self, db):
+        preferred_values = {"tools", "north"}
+
+        def prefer_curated(a, b):
+            a_good = any(v in preferred_values for v in a.values)
+            b_good = any(v in preferred_values for v in b.values)
+            if a_good and not b_good:
+                return a
+            if b_good and not a_good:
+                return b
+            return None
+
+        db.apply_priority_rule(prefer_curated)
+        manager = RepairManager.from_database(db)
+        cleaned = manager.clean()
+        assert Fact("Product", ("sku1", "tools")) in cleaned
+        assert Fact("Warehouse", ("w1", "north")) in cleaned
+        result = manager.check(cleaned)
+        assert result.is_optimal
+        # The PTIME path ran, not the brute force.
+        assert result.method in {"per-relation", "GRepCheck1FD", "GRepCheck2Keys"}
+
+    def test_preferred_cqa_pipeline(self, db):
+        db.apply_priority_rule(
+            lambda a, b: a if "tools" in a.values else (
+                b if "tools" in b.values else None
+            )
+        )
+        pri = db.seal()
+        query = ConjunctiveQuery(
+            (Var("cat"),), (Atom("Product", ("sku1", Var("cat"))),)
+        )
+        assert consistent_answers(query, pri, "all") == frozenset()
+        assert consistent_answers(query, pri, "global") == frozenset(
+            {("tools",)}
+        )
+
+
+class TestDichotomyGuardrails:
+    def test_checker_refuses_hard_schema_without_opt_in(self):
+        from repro.exceptions import IntractableSchemaError
+
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        instance = random_instance_with_conflicts(schema, 6, 0.7, seed=0)
+        pri = random_prioritizing_instance(schema, instance, seed=0)
+        candidate = next(enumerate_repairs(schema, instance))
+        with pytest.raises(IntractableSchemaError):
+            check_globally_optimal(pri, candidate, allow_brute_force=False)
+        # Opting in answers anyway.
+        check_globally_optimal(pri, candidate, allow_brute_force=True)
+
+    def test_classifications_consistent_across_theorems(self):
+        """Random multi-relation schemas: ccp-tractable ⇒ classically
+        tractable (the ccp class is strictly smaller)."""
+        import random
+
+        from repro.core.fd import FD
+        from repro.core.signature import RelationSymbol, Signature
+
+        rng = random.Random(9)
+        for _ in range(150):
+            relation_count = rng.randint(1, 2)
+            relations = []
+            fds = []
+            for index in range(relation_count):
+                arity = rng.randint(1, 3)
+                name = f"R{index}"
+                relations.append(RelationSymbol(name, arity))
+                for _ in range(rng.randint(0, 2)):
+                    universe = range(1, arity + 1)
+                    lhs = frozenset(
+                        a for a in universe if rng.random() < 0.4
+                    )
+                    rhs = frozenset(
+                        a for a in universe if rng.random() < 0.5
+                    )
+                    fds.append(FD(name, lhs, rhs))
+            schema = Schema(Signature(relations), fds)
+            if classify_ccp_schema(schema).is_tractable:
+                assert classify_schema(schema).is_tractable
+
+
+class TestScenarioRegressionSuite:
+    """Freeze key numbers of the shipped scenarios."""
+
+    def test_running_example_repair_census(self, running):
+        repairs = list(
+            enumerate_repairs(running.schema, running.prioritizing.instance)
+        )
+        assert len(repairs) == 16
+        optimal = [
+            r
+            for r in repairs
+            if check_globally_optimal(running.prioritizing, r).is_optimal
+        ]
+        assert len(optimal) == 3
+
+    def test_source_scenario_priorities_resolve_everything(self):
+        from repro.workloads.scenarios import source_reliability_scenario
+
+        pri = source_reliability_scenario(record_count=16, overlap=0.5, seed=0)
+        manager = RepairManager(pri)
+        assert manager.has_unique_optimal_repair()

@@ -1,0 +1,109 @@
+"""Property-based agreement tests: every polynomial checker must agree
+with the brute-force baseline on arbitrary random inputs.
+
+These are the reproduction's strongest correctness evidence for the
+tractable side of both dichotomies: hypothesis drives instance shape,
+priority shape, and candidate choice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import (
+    check_globally_optimal,
+    check_globally_optimal_brute_force,
+    check_globally_optimal_search,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+from tests.conftest import assert_result_witness_valid
+
+SINGLE_FD = Schema.single_relation(["1 -> 2"], arity=2)
+SINGLE_FD_WIDE = Schema.single_relation(["1 -> 2"], arity=3)
+TWO_KEYS = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+CONSTANT = Schema.single_relation(["{} -> 1"], arity=2)
+HARD = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+
+
+def make_instance(schema, rows):
+    relation = next(iter(schema.signature)).name
+    arity = schema.signature.arity(relation)
+    facts = [Fact(relation, tuple(row[:arity])) for row in rows]
+    return schema.instance(facts)
+
+
+def rows(arity, alphabet_size=3, max_rows=7):
+    cell = st.integers(min_value=0, max_value=alphabet_size - 1)
+    return st.lists(
+        st.tuples(*([cell] * arity)), min_size=1, max_size=max_rows
+    )
+
+
+def check_all_repairs(schema, instance, seed, ccp=False):
+    if ccp:
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.2, seed=seed
+        )
+    else:
+        priority = random_conflict_priority(schema, instance, seed=seed)
+    pri = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+    for candidate in enumerate_repairs(schema, instance):
+        fast = check_globally_optimal(pri, candidate)
+        slow = check_globally_optimal_brute_force(pri, candidate)
+        assert fast.is_optimal == slow.is_optimal, (
+            sorted(map(str, instance)),
+            sorted(map(str, candidate)),
+            fast.method,
+        )
+        assert_result_witness_valid(pri, candidate, fast)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_single_fd_dispatcher_agrees(data, seed):
+    check_all_repairs(SINGLE_FD, make_instance(SINGLE_FD, data), seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(3), st.integers(min_value=0, max_value=10))
+def test_single_fd_wide_dispatcher_agrees(data, seed):
+    check_all_repairs(
+        SINGLE_FD_WIDE, make_instance(SINGLE_FD_WIDE, data), seed
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_two_keys_dispatcher_agrees(data, seed):
+    check_all_repairs(TWO_KEYS, make_instance(TWO_KEYS, data), seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_ccp_primary_key_agrees(data, seed):
+    check_all_repairs(
+        SINGLE_FD, make_instance(SINGLE_FD, data), seed, ccp=True
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_ccp_constant_attribute_agrees(data, seed):
+    check_all_repairs(CONSTANT, make_instance(CONSTANT, data), seed, ccp=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows(3, max_rows=6), st.integers(min_value=0, max_value=10))
+def test_improvement_search_agrees_on_hard_schema(data, seed):
+    instance = make_instance(HARD, data)
+    priority = random_conflict_priority(HARD, instance, seed=seed)
+    pri = PrioritizingInstance(HARD, instance, priority)
+    for candidate in enumerate_repairs(HARD, instance):
+        fast = check_globally_optimal_search(pri, candidate)
+        slow = check_globally_optimal_brute_force(pri, candidate)
+        assert fast.is_optimal == slow.is_optimal

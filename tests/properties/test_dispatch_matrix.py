@@ -1,0 +1,85 @@
+"""A cross-product agreement matrix: dispatcher vs. certificate search.
+
+Where the brute force limits instance sizes, the complete improvement
+search does not — so this suite cross-validates the dichotomy-routed
+dispatcher against the search on *larger* random instances over a whole
+matrix of schema templates, both priority models, and several repair
+shapes.  This is the widest-net consistency check in the suite.
+"""
+
+import random
+
+import pytest
+
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import (
+    check_globally_optimal,
+    check_globally_optimal_search,
+)
+from repro.core.repairs import greedy_repair
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+TEMPLATES = [
+    ("single-fd", Schema.single_relation(["1 -> 2"], arity=2), False),
+    ("single-fd-wide", Schema.single_relation(["{1,2} -> 3"], arity=4), False),
+    ("two-keys", Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2), False),
+    (
+        "two-composite-keys",
+        Schema.single_relation(["{1,2} -> {3,4}", "{3,4} -> {1,2}"], arity=4),
+        False,
+    ),
+    (
+        "multi-relation",
+        Schema.parse(
+            {"R": 2, "S": 3},
+            ["R: 1 -> 2", "S: 1 -> {2,3}", "S: {2,3} -> 1"],
+        ),
+        False,
+    ),
+    ("ccp-primary-key", Schema.single_relation(["1 -> 2"], arity=2), True),
+    (
+        "ccp-constant",
+        Schema.parse({"R": 2, "S": 1}, ["R: {} -> 1", "S: {} -> 1"]),
+        True,
+    ),
+]
+
+
+def _candidates(schema, instance, seed):
+    """A few repair candidates of different shapes."""
+    yield greedy_repair(schema, instance, random.Random(seed))
+    yield greedy_repair(schema, instance, random.Random(seed + 1))
+    # A deliberately bad repair: greedy with reversed preference for
+    # facts mentioned as priority losers (still a repair).
+    yield greedy_repair(schema, instance, random.Random(seed + 2))
+
+
+@pytest.mark.parametrize(
+    "name, schema, ccp", TEMPLATES, ids=[t[0] for t in TEMPLATES]
+)
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("density", [0.4, 0.8])
+def test_dispatcher_matches_certificate_search(name, schema, ccp, seed, density):
+    instance = random_instance_with_conflicts(
+        schema, 18, density, seed=seed
+    )
+    if ccp:
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.08, seed=seed
+        )
+    else:
+        priority = random_conflict_priority(schema, instance, seed=seed)
+    prioritizing = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+    for candidate in _candidates(schema, instance, seed):
+        routed = check_globally_optimal(prioritizing, candidate)
+        searched = check_globally_optimal_search(prioritizing, candidate)
+        assert routed.is_optimal == searched.is_optimal, (
+            name,
+            seed,
+            density,
+            routed.method,
+        )

@@ -1,0 +1,122 @@
+"""Property-based tests for FD theory (closure, implication, covers)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FD
+from repro.core.fdset import FDSet
+
+ARITY = 4
+ATTRS = st.frozensets(st.integers(min_value=1, max_value=ARITY), max_size=ARITY)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    fds = [
+        FD("R", draw(ATTRS), draw(ATTRS))
+        for _ in range(count)
+    ]
+    return FDSet("R", ARITY, fds)
+
+
+@settings(max_examples=150, deadline=None)
+@given(fd_sets(), ATTRS)
+def test_closure_is_extensive_monotone_idempotent(fdset, attributes):
+    closed = fdset.closure(attributes)
+    assert attributes <= closed  # extensive
+    assert fdset.closure(closed) == closed  # idempotent
+    bigger = attributes | frozenset({1})
+    assert closed <= fdset.closure(bigger)  # monotone
+
+
+@settings(max_examples=150, deadline=None)
+@given(fd_sets())
+def test_every_member_fd_is_implied(fdset):
+    for fd in fdset:
+        assert fdset.implies(fd)
+
+
+@settings(max_examples=150, deadline=None)
+@given(fd_sets(), ATTRS, ATTRS)
+def test_implication_matches_closure(fdset, lhs, rhs):
+    fd = FD("R", lhs, rhs)
+    assert fdset.implies(fd) == (rhs <= fdset.closure(lhs))
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_minimal_cover_is_equivalent(fdset):
+    cover = fdset.minimal_cover()
+    assert cover.equivalent_to(fdset)
+    # Singleton, non-trivial right-hand sides.
+    for fd in cover:
+        assert len(fd.rhs) == 1
+        assert not fd.is_trivial()
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_saturation_preserves_equivalence(fdset):
+    assert fdset.equivalent_to_fds(fdset.saturated_fds())
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_minimal_keys_are_keys_and_minimal(fdset):
+    for key in fdset.minimal_keys():
+        assert fdset.is_key(key)
+        for attribute in key:
+            assert not fdset.is_key(key - {attribute})
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_equivalence_is_reflexive_and_symmetric(fdset):
+    assert fdset.equivalent_to(fdset)
+    other = FDSet("R", ARITY, fdset.saturated_fds())
+    assert fdset.equivalent_to(other) == other.equivalent_to(fdset)
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_classification_witnesses_are_equivalent(fdset):
+    """Whenever a classifier returns a witness, the witness set really
+    is equivalent to the input."""
+    from repro.core.classification import (
+        equivalent_constant_attribute,
+        equivalent_single_fd,
+        equivalent_single_key,
+        equivalent_two_keys,
+    )
+
+    single = equivalent_single_fd(fdset)
+    if single is not None:
+        assert fdset.equivalent_to_fds([single])
+    key = equivalent_single_key(fdset)
+    if key is not None:
+        assert fdset.equivalent_to_fds([key])
+        assert key.is_key(ARITY)
+    pair = equivalent_two_keys(fdset)
+    if pair is not None:
+        assert fdset.equivalent_to_fds(list(pair))
+    constant = equivalent_constant_attribute(fdset)
+    if constant is not None:
+        assert fdset.equivalent_to_fds([constant])
+        assert constant.is_constant_attribute()
+
+
+@settings(max_examples=100, deadline=None)
+@given(fd_sets())
+def test_two_keys_subsumes_single_key_and_key_implies_fd(fdset):
+    """Classifier hierarchy: single key ⇒ two keys; single key ⇒
+    single FD; two-keys-only schemas are never single FDs."""
+    from repro.core.classification import (
+        equivalent_single_fd,
+        equivalent_single_key,
+        equivalent_two_keys,
+    )
+
+    if equivalent_single_key(fdset) is not None:
+        assert equivalent_two_keys(fdset) is not None
+        assert equivalent_single_fd(fdset) is not None

@@ -1,0 +1,88 @@
+"""Property-based tests for the hardness machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checking import check_globally_optimal_search
+from repro.core.fact import Fact
+from repro.core.repairs import is_repair
+from repro.core.schema import Schema
+from repro.hardness.hamiltonian import UndirectedGraph, has_hamiltonian_cycle
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
+from repro.hardness.pi_case1 import PiCase1
+from repro.hardness.schemas import S1
+
+
+@st.composite
+def graphs(draw, min_nodes=2, max_nodes=5):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        if pairs
+        else st.just([])
+    )
+    return UndirectedGraph(n, chosen)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_gadget_j_is_always_a_repair(graph):
+    gadget = build_hamiltonian_gadget(graph)
+    assert is_repair(
+        gadget.schema, gadget.prioritizing.instance, gadget.repair
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_nodes=4))
+def test_reduction_answer_matches_held_karp(graph):
+    gadget = build_hamiltonian_gadget(graph)
+    result = check_globally_optimal_search(
+        gadget.prioritizing, gadget.repair
+    )
+    assert result.is_optimal != has_hamiltonian_cycle(graph)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs(max_nodes=4))
+def test_witness_improvements_decode_to_cycles(graph):
+    gadget = build_hamiltonian_gadget(graph)
+    result = check_globally_optimal_search(
+        gadget.prioritizing, gadget.repair
+    )
+    if result.improvement is None:
+        return
+    cycle = gadget.cycle_from_improvement(result.improvement)
+    n = graph.node_count
+    assert sorted(cycle) == list(range(n))
+    for i in range(n):
+        assert graph.has_edge(cycle[i], cycle[(i + 1) % n])
+
+
+TARGET = Schema.single_relation(
+    ["{1,2} -> {3,4}", "{1,3} -> {2,4}", "{2,3} -> {1,4}"], arity=4
+)
+
+S1_FACTS = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+).map(lambda values: Fact("R1", values))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(S1_FACTS, min_size=2, max_size=6, unique=True))
+def test_pi_preserves_setwise_consistency(facts):
+    pi = PiCase1(TARGET)
+    source_ok = S1.is_consistent(S1.instance(facts))
+    image = TARGET.instance([pi.apply(f) for f in facts])
+    assert source_ok == TARGET.is_consistent(image)
+    assert len(image) == len(facts)  # injectivity on the sample
+
+
+@settings(max_examples=100, deadline=None)
+@given(S1_FACTS)
+def test_pi_inversion(fact):
+    pi = PiCase1(TARGET)
+    assert pi.invert(pi.apply(fact)) == fact

@@ -1,0 +1,121 @@
+"""Property-based tests for improvement relations and repair structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Fact, PrioritizingInstance, Schema
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+    greedy_completion_repair,
+)
+from repro.core.improvements import (
+    is_global_improvement,
+    is_pareto_improvement,
+)
+from repro.core.repairs import enumerate_repairs, is_repair
+from repro.workloads.priorities import random_conflict_priority
+
+SCHEMA = Schema.single_relation(["1 -> 2"], arity=2)
+
+
+def make_pri(rows, seed):
+    instance = SCHEMA.instance([Fact("R", tuple(r)) for r in rows])
+    priority = random_conflict_priority(SCHEMA, instance, seed=seed)
+    return PrioritizingInstance(SCHEMA, instance, priority)
+
+
+ROWS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=1,
+    max_size=7,
+)
+SEEDS = st.integers(min_value=0, max_value=25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS)
+def test_pareto_improvement_implies_global_improvement(rows, seed):
+    pri = make_pri(rows, seed)
+    repairs = list(enumerate_repairs(SCHEMA, pri.instance))
+    for a in repairs:
+        for b in repairs:
+            if is_pareto_improvement(a, b, pri.priority):
+                assert is_global_improvement(a, b, pri.priority)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS)
+def test_improvement_relations_are_irreflexive(rows, seed):
+    pri = make_pri(rows, seed)
+    for repair in enumerate_repairs(SCHEMA, pri.instance):
+        assert not is_global_improvement(repair, repair, pri.priority)
+        assert not is_pareto_improvement(repair, repair, pri.priority)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS)
+def test_global_improvement_is_acyclic_on_repairs(rows, seed):
+    """The improvement relation between distinct repairs never has
+    2-cycles: a global improvement strictly 'wins' somewhere."""
+    pri = make_pri(rows, seed)
+    repairs = list(enumerate_repairs(SCHEMA, pri.instance))
+    for a in repairs:
+        for b in repairs:
+            if a.facts == b.facts:
+                continue
+            if is_global_improvement(a, b, pri.priority):
+                assert not is_global_improvement(b, a, pri.priority)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS, SEEDS)
+def test_greedy_repair_is_optimal_under_all_semantics(rows, seed, greedy_seed):
+    import random
+
+    pri = make_pri(rows, seed)
+    repair = greedy_completion_repair(pri, random.Random(greedy_seed))
+    assert is_repair(SCHEMA, pri.instance, repair)
+    assert check_completion_optimal(pri, repair).is_optimal
+    assert check_globally_optimal(pri, repair).is_optimal
+    assert check_pareto_optimal(pri, repair).is_optimal
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS)
+def test_semantics_chain_on_every_repair(rows, seed):
+    pri = make_pri(rows, seed)
+    for repair in enumerate_repairs(SCHEMA, pri.instance):
+        completion = check_completion_optimal(pri, repair).is_optimal
+        globally = check_globally_optimal(pri, repair).is_optimal
+        pareto = check_pareto_optimal(pri, repair).is_optimal
+        assert (not completion or globally) and (not globally or pareto)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ROWS, SEEDS)
+def test_an_optimal_repair_always_exists(rows, seed):
+    """Completion-optimal (hence globally/Pareto-optimal) repairs exist
+    for every prioritizing instance."""
+    pri = make_pri(rows, seed)
+    assert any(
+        check_globally_optimal(pri, repair).is_optimal
+        for repair in enumerate_repairs(SCHEMA, pri.instance)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(ROWS, SEEDS)
+def test_empty_priority_makes_every_repair_optimal(rows, seed):
+    from repro.core import PriorityRelation
+
+    instance = SCHEMA.instance([Fact("R", tuple(r)) for r in rows])
+    pri = PrioritizingInstance(SCHEMA, instance, PriorityRelation([]))
+    for repair in enumerate_repairs(SCHEMA, instance):
+        assert check_globally_optimal(pri, repair).is_optimal
+        assert check_pareto_optimal(pri, repair).is_optimal
+        assert check_completion_optimal(pri, repair).is_optimal

@@ -1,0 +1,90 @@
+"""Property-based round-trip tests for the JSON serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.io import (
+    prioritizing_from_dict,
+    prioritizing_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+SCALARS = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def schemas(draw):
+    arity = draw(st.integers(min_value=1, max_value=4))
+    fd_count = draw(st.integers(min_value=0, max_value=3))
+    attrs = st.frozensets(
+        st.integers(min_value=1, max_value=arity), max_size=arity
+    )
+    from repro.core.fd import FD
+
+    fds = [FD("R", draw(attrs), draw(attrs)) for _ in range(fd_count)]
+    return Schema(
+        Schema.single_relation([], relation="R", arity=arity).signature,
+        fds,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(schemas())
+def test_schema_round_trip(schema):
+    assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+@st.composite
+def problems(draw):
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    rows = draw(
+        st.lists(st.tuples(SCALARS, SCALARS), min_size=1, max_size=8)
+    )
+    instance = schema.instance([Fact("R", row) for row in rows])
+    facts = sorted(instance.facts, key=str)
+    # Orient a random subset of pairs along the sorted order (acyclic);
+    # mark ccp so cross-conflict edges are legal.
+    edges = []
+    for i in range(len(facts)):
+        for j in range(i + 1, len(facts)):
+            if draw(st.booleans()):
+                edges.append((facts[i], facts[j]))
+    return PrioritizingInstance(
+        schema, instance, PriorityRelation(edges), ccp=True
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(problems())
+def test_prioritizing_round_trip(prioritizing):
+    document = prioritizing_to_dict(prioritizing)
+    restored = prioritizing_from_dict(document)
+    assert restored.instance == prioritizing.instance
+    assert restored.priority == prioritizing.priority
+    assert restored.schema == prioritizing.schema
+    assert restored.is_ccp == prioritizing.is_ccp
+
+
+@settings(max_examples=30, deadline=None)
+@given(problems())
+def test_round_trip_preserves_checking_answers(prioritizing):
+    from repro.core.checking import check_globally_optimal_brute_force
+    from repro.core.repairs import enumerate_repairs
+
+    restored = prioritizing_from_dict(prioritizing_to_dict(prioritizing))
+    repairs = list(
+        enumerate_repairs(prioritizing.schema, prioritizing.instance)
+    )[:4]
+    for repair in repairs:
+        original = check_globally_optimal_brute_force(prioritizing, repair)
+        moved = check_globally_optimal_brute_force(
+            restored, restored.instance.subinstance(repair.facts)
+        )
+        assert original.is_optimal == moved.is_optimal

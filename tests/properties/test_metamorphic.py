@@ -1,0 +1,122 @@
+"""Metamorphic tests: renaming constants must change nothing.
+
+The paper's domain ``Const`` is uninterpreted — every algorithm may
+depend only on equality of constants, never on their identity or
+ordering.  These tests apply a bijective renaming to all constants of a
+problem and assert that classification, checking verdicts, repair
+counts, and survival censuses are carried over exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Fact, Instance, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.counting import count_repairs_fast
+from repro.core.counting_optimal import count_globally_optimal_repairs
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_conflict_priority
+
+
+def renaming_for(instance, seed):
+    """A random bijection over the instance's active domain."""
+    rng = random.Random(seed)
+    domain = sorted(instance.active_domain(), key=str)
+    shuffled = domain[:]
+    rng.shuffle(shuffled)
+    mapping = dict(zip(domain, shuffled))
+
+    def rename_fact(fact):
+        return Fact(fact.relation, tuple(mapping[v] for v in fact.values))
+
+    return rename_fact
+
+
+def rename_problem(prioritizing, rename_fact):
+    schema = prioritizing.schema
+    instance = Instance(
+        schema.signature,
+        (rename_fact(f) for f in prioritizing.instance),
+    )
+    priority = PriorityRelation(
+        (rename_fact(b), rename_fact(w))
+        for b, w in prioritizing.priority.edges
+    )
+    return PrioritizingInstance(
+        schema, instance, priority, ccp=prioritizing.is_ccp
+    )
+
+
+@pytest.fixture(params=range(6))
+def problem(request):
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    instance = random_instance_with_conflicts(
+        schema, 9, 0.7, seed=request.param
+    )
+    priority = random_conflict_priority(schema, instance, seed=request.param)
+    return PrioritizingInstance(schema, instance, priority)
+
+
+class TestRenamingInvariance:
+    def test_checker_verdicts_carry_over(self, problem):
+        rename_fact = renaming_for(problem.instance, seed=99)
+        renamed = rename_problem(problem, rename_fact)
+        for repair in enumerate_repairs(problem.schema, problem.instance):
+            renamed_repair = renamed.instance.subinstance(
+                rename_fact(f) for f in repair
+            )
+            for checker in (
+                check_globally_optimal,
+                check_pareto_optimal,
+                check_completion_optimal,
+            ):
+                original = checker(problem, repair)
+                moved = checker(renamed, renamed_repair)
+                assert original.is_optimal == moved.is_optimal
+
+    def test_counts_carry_over(self, problem):
+        rename_fact = renaming_for(problem.instance, seed=7)
+        renamed = rename_problem(problem, rename_fact)
+        assert count_repairs_fast(
+            problem.schema, problem.instance
+        ) == count_repairs_fast(renamed.schema, renamed.instance)
+        assert count_globally_optimal_repairs(
+            problem
+        ) == count_globally_optimal_repairs(renamed)
+
+    def test_survival_census_carries_over(self, problem):
+        from repro.cqa import fact_survival_census
+
+        rename_fact = renaming_for(problem.instance, seed=13)
+        renamed = rename_problem(problem, rename_fact)
+        original = fact_survival_census(problem)
+        moved = fact_survival_census(renamed)
+        for label in ("certain", "possible", "doomed"):
+            assert {
+                rename_fact(f) for f in original[label]
+            } == moved[label]
+
+
+class TestGadgetRenamingInvariance:
+    def test_gadget_answer_survives_renaming(self):
+        from repro.core.checking import check_globally_optimal_search
+        from repro.hardness.hamiltonian import UndirectedGraph
+        from repro.hardness.hc_reduction import build_hamiltonian_gadget
+
+        gadget = build_hamiltonian_gadget(UndirectedGraph.cycle(3))
+        rename_fact = renaming_for(gadget.prioritizing.instance, seed=5)
+        renamed = rename_problem(gadget.prioritizing, rename_fact)
+        renamed_repair = renamed.instance.subinstance(
+            rename_fact(f) for f in gadget.repair
+        )
+        original = check_globally_optimal_search(
+            gadget.prioritizing, gadget.repair
+        )
+        moved = check_globally_optimal_search(renamed, renamed_repair)
+        assert original.is_optimal == moved.is_optimal == False

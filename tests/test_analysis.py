@@ -1,0 +1,153 @@
+"""Unit tests for the analysis utilities."""
+
+import pytest
+
+from repro.analysis import (
+    ScalingPoint,
+    fit_power_law,
+    instance_statistics,
+    measure_scaling,
+    priority_statistics,
+)
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    total_conflict_priority,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestInstanceStatistics:
+    def test_simple_profile(self, schema):
+        inst = schema.instance(
+            [
+                Fact("R", (1, "a")),
+                Fact("R", (1, "b")),
+                Fact("R", (1, "c")),
+                Fact("R", (2, "x")),
+            ]
+        )
+        stats = instance_statistics(schema, inst)
+        assert stats.fact_count == 4
+        assert stats.conflict_count == 3  # the triangle block
+        assert stats.conflicting_fact_count == 3
+        assert stats.component_count == 1
+        assert stats.largest_component == 3
+        assert stats.conflict_rate == 0.75
+
+    def test_consistent_instance(self, schema):
+        inst = schema.instance([Fact("R", (1, "a"))])
+        stats = instance_statistics(schema, inst)
+        assert stats.conflict_count == 0
+        assert stats.largest_component == 0
+        assert stats.conflict_rate == 0.0
+
+    def test_empty_instance(self, schema):
+        stats = instance_statistics(schema, schema.empty_instance())
+        assert stats.conflict_rate == 0.0
+
+
+class TestPriorityStatistics:
+    def test_total_priority_fully_oriented(self, schema):
+        inst = random_instance_with_conflicts(schema, 12, 0.7, seed=1)
+        pri = PrioritizingInstance(
+            schema, inst, total_conflict_priority(schema, inst, seed=1)
+        )
+        stats = priority_statistics(pri)
+        assert stats["orientation_rate"] == 1.0
+        assert stats["cross_conflict_edges"] == 0.0
+
+    def test_ccp_priority_counts_cross_edges(self, schema):
+        inst = random_instance_with_conflicts(schema, 12, 0.7, seed=2)
+        pri = PrioritizingInstance(
+            schema,
+            inst,
+            random_ccp_priority(schema, inst, cross_probability=0.4, seed=2),
+            ccp=True,
+        )
+        stats = priority_statistics(pri)
+        assert stats["cross_conflict_edges"] > 0
+
+    def test_empty_priority(self, schema):
+        inst = schema.instance([Fact("R", (1, "a"))])
+        pri = PrioritizingInstance(schema, inst, PriorityRelation([]))
+        stats = priority_statistics(pri)
+        assert stats["edge_count"] == 0.0
+        assert stats["orientation_rate"] == 1.0  # vacuous
+
+
+class TestPowerLawFit:
+    def test_exact_quadratic(self):
+        points = [ScalingPoint(n, 3e-6 * n ** 2) for n in (10, 20, 40, 80)]
+        fit = fit_power_law(points)
+        assert abs(fit.exponent - 2.0) < 1e-6
+        assert fit.r_squared > 0.999
+
+    def test_exact_linear(self):
+        points = [ScalingPoint(n, 1e-5 * n) for n in (16, 32, 64)]
+        fit = fit_power_law(points)
+        assert abs(fit.exponent - 1.0) < 1e-6
+
+    def test_prediction(self):
+        points = [ScalingPoint(n, 2e-6 * n ** 3) for n in (8, 16, 32)]
+        fit = fit_power_law(points)
+        assert fit.predict(64) == pytest.approx(2e-6 * 64 ** 3, rel=1e-3)
+
+    def test_exponential_series_fits_badly_or_steeply(self):
+        points = [ScalingPoint(n, 1e-6 * 2 ** n) for n in (8, 12, 16, 20)]
+        fit = fit_power_law(points)
+        # On this range the best power-law exponent is huge — the
+        # signature of a non-polynomial series.
+        assert fit.exponent > 6
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([ScalingPoint(10, 1.0)])
+
+
+class TestMeasureScaling:
+    def test_measures_the_run_callable(self):
+        calls = []
+
+        def make_input(size):
+            return list(range(size))
+
+        def run(payload):
+            calls.append(len(payload))
+            return sum(payload)
+
+        points = measure_scaling(make_input, run, sizes=[5, 10], repeats=2)
+        assert [p.size for p in points] == [5, 10]
+        assert all(p.seconds >= 0 for p in points)
+        assert calls.count(5) == 2 and calls.count(10) == 2
+
+
+class TestEndToEndScalingLaw:
+    def test_ptime_checker_fits_a_small_exponent(self, schema):
+        """GRepCheck1FD's measured exponent stays comfortably small —
+        the empirical face of 'polynomial time'."""
+        from repro.core.checking import check_globally_optimal
+        from repro.core.repairs import greedy_repair
+        from repro.workloads.priorities import random_conflict_priority
+        import random
+
+        def make_input(size):
+            inst = random_instance_with_conflicts(schema, size, 0.6, seed=size)
+            priority = random_conflict_priority(schema, inst, seed=size)
+            pri = PrioritizingInstance(schema, inst, priority)
+            candidate = greedy_repair(schema, inst, random.Random(size))
+            return pri, candidate
+
+        points = measure_scaling(
+            make_input,
+            lambda payload: check_globally_optimal(payload[0], payload[1]),
+            sizes=[40, 80, 160, 320],
+            repeats=2,
+        )
+        fit = fit_power_law(points)
+        assert fit.exponent < 3.5

@@ -1,0 +1,56 @@
+"""Unit tests for the paper-schema catalog."""
+
+import pytest
+
+from repro.catalog import PAPER_SCHEMAS, entries, get
+from repro.core.classification import classify_ccp_schema, classify_schema
+
+
+class TestCatalogIntegrity:
+    def test_expected_members(self):
+        names = set(PAPER_SCHEMAS)
+        assert {"running-example", "example-3.3"} <= names
+        assert {f"s{i}" for i in range(1, 7)} <= names
+        assert {"sa", "sb", "sc", "sd"} <= names
+
+    def test_entries_iterates_everything(self):
+        assert len(list(entries())) == len(PAPER_SCHEMAS)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("not-a-schema")
+
+
+class TestClassificationsNeverDrift:
+    """The catalog's recorded classifications must match the
+    classifiers — for every entry and both dichotomies."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCHEMAS))
+    def test_classical_side(self, name):
+        entry = get(name)
+        assert (
+            classify_schema(entry.schema).is_tractable
+            == entry.classical_tractable
+        ), name
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SCHEMAS))
+    def test_ccp_side(self, name):
+        entry = get(name)
+        assert (
+            classify_ccp_schema(entry.schema).is_tractable
+            == entry.ccp_tractable
+        ), name
+
+    def test_ccp_class_inside_classical_class(self):
+        for entry in entries():
+            if entry.ccp_tractable:
+                assert entry.classical_tractable, entry.name
+
+    def test_the_separating_schemas_exist(self):
+        # Classically tractable but ccp-hard: the relaxation's cost.
+        separators = [
+            entry
+            for entry in entries()
+            if entry.classical_tractable and not entry.ccp_tractable
+        ]
+        assert any(entry.name == "sd" for entry in separators)

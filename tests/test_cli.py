@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_schema_spec
+from repro.exceptions import ReproError
+
+
+class TestSchemaSpecParser:
+    def test_single_relation_with_implicit_prefix(self):
+        schema = parse_schema_spec("R:3; 1 -> 2; 2 -> 3")
+        assert schema.signature.arity("R") == 3
+        assert len(schema.fds) == 2
+
+    def test_multi_relation(self):
+        schema = parse_schema_spec("R:2, S:2; R: 1 -> 2; S: {} -> 1")
+        assert sorted(schema.relation_names()) == ["R", "S"]
+
+    def test_no_fds(self):
+        schema = parse_schema_spec("R:2")
+        assert len(schema.fds) == 0
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema_spec("  ")
+
+
+class TestCommands:
+    def test_classify_tractable(self, capsys):
+        assert main(["classify", "R:2; 1 -> 2"]) == 0
+        out = capsys.readouterr().out
+        assert "PTIME" in out
+
+    def test_classify_hard(self, capsys):
+        assert main(["classify", "R:3; 1 -> 2; 2 -> 3"]) == 0
+        out = capsys.readouterr().out
+        assert "coNP-complete" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "J3: globally-optimal=False pareto-optimal=True" in out
+
+    def test_gadget_hamiltonian(self, capsys):
+        code = main(
+            ["gadget", "--nodes", "3", "--edges", "0,1", "1,2", "0,2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction agrees: True" in out
+        assert "extracted cycle" in out
+
+    def test_gadget_non_hamiltonian(self, capsys):
+        assert main(["gadget", "--nodes", "3", "--edges", "0,1", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "Held-Karp says Hamiltonian: False" in out
+        assert "J globally-optimal: True" in out
+
+    def test_hard_schemas(self, capsys):
+        assert main(["hard-schemas"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(": tractable=False") == 6
+        assert out.count("ccp-tractable=False") == 4

@@ -1,0 +1,62 @@
+"""Unit tests for the clean/explain/stats CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_prioritizing_instance
+from repro.workloads.scenarios import running_example, source_reliability_scenario
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    save_prioritizing_instance(
+        source_reliability_scenario(record_count=8, overlap=0.5, seed=2), path
+    )
+    return path
+
+
+class TestClean:
+    def test_cleans_and_certifies(self, problem_file, capsys):
+        assert main(["clean", str(problem_file)]) == 0
+        out = capsys.readouterr().out
+        assert "certified globally-optimal: True" in out
+
+    def test_writes_output_file(self, problem_file, tmp_path, capsys):
+        out_path = tmp_path / "cleaned.json"
+        assert main(["clean", str(problem_file), "--out", str(out_path)]) == 0
+        entries = json.loads(out_path.read_text())
+        assert entries
+        assert all(
+            set(entry) == {"relation", "values"} for entry in entries
+        )
+
+    def test_running_example_problem(self, tmp_path, capsys):
+        path = tmp_path / "running.json"
+        save_prioritizing_instance(running_example().prioritizing, path)
+        assert main(["clean", str(path)]) == 0
+
+
+class TestExplain:
+    def test_tractable(self, capsys):
+        assert main(["explain", "R:2; 1 -> 2; 2 -> 1"]) == 0
+        out = capsys.readouterr().out
+        assert "GRepCheck2Keys" in out
+        assert "coNP-complete" in out  # the ccp side of two keys
+
+    def test_hard(self, capsys):
+        assert main(["explain", "R:3; 1 -> 3; 2 -> 3"]) == 0
+        out = capsys.readouterr().out
+        assert "Case 5" in out
+        assert "S5" in out
+
+
+class TestStats:
+    def test_profiles_problem(self, problem_file, capsys):
+        assert main(["stats", str(problem_file)]) == 0
+        out = capsys.readouterr().out
+        assert "facts:" in out
+        assert "conflicting pairs:" in out
+        assert "orientation rate:" in out

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in every public module."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES + ["repro"])
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0

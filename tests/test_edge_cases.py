@@ -1,0 +1,190 @@
+"""Edge-case and failure-injection tests across subsystems.
+
+Targets the corners the module-level suites leave implicit: degenerate
+inputs (empty instances, empty priorities, singleton relations), error
+messages, `repr`/`str` behaviour, and a few invariants that only bind
+across modules.
+"""
+
+import pytest
+
+from repro.core import (
+    FD,
+    Fact,
+    Instance,
+    PrioritizingInstance,
+    PriorityRelation,
+    Schema,
+    Signature,
+)
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.repairs import enumerate_repairs, is_repair
+from repro.core.signature import RelationSymbol
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_instance_is_its_own_optimal_repair(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        pri = PrioritizingInstance(
+            schema, schema.empty_instance(), PriorityRelation([])
+        )
+        empty = schema.empty_instance()
+        assert check_globally_optimal(pri, empty).is_optimal
+        assert check_pareto_optimal(pri, empty).is_optimal
+        assert check_completion_optimal(pri, empty).is_optimal
+
+    def test_empty_instance_has_one_repair(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        repairs = list(enumerate_repairs(schema, schema.empty_instance()))
+        assert len(repairs) == 1
+        assert len(repairs[0]) == 0
+
+    def test_singleton_fact_instance(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        fact = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([fact]), PriorityRelation([])
+        )
+        assert check_globally_optimal(pri, schema.instance([fact])).is_optimal
+        assert not check_globally_optimal(
+            pri, schema.empty_instance()
+        ).is_optimal
+
+    def test_unary_relation_with_constant_constraint(self):
+        schema = Schema.single_relation(["{} -> 1"], relation="U", arity=1)
+        a, b = Fact("U", ("x",)), Fact("U", ("y",))
+        instance = schema.instance([a, b])
+        assert not schema.is_consistent(instance)
+        repairs = {r.facts for r in enumerate_repairs(schema, instance)}
+        assert repairs == {frozenset({a}), frozenset({b})}
+
+    def test_schema_with_no_fds_has_unique_repair(self):
+        schema = Schema.single_relation([], relation="R", arity=2)
+        instance = schema.instance([Fact("R", (i, i)) for i in range(5)])
+        repairs = list(enumerate_repairs(schema, instance))
+        assert repairs == [instance]
+
+
+class TestCandidateEqualsInstance:
+    def test_consistent_instance_is_optimal_as_itself(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = schema.instance([Fact("R", (i, "v")) for i in range(4)])
+        pri = PrioritizingInstance(schema, instance, PriorityRelation([]))
+        assert check_globally_optimal(pri, instance).is_optimal
+
+    def test_inconsistent_instance_is_not_a_repair_of_itself(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = schema.instance(
+            [Fact("R", (1, "a")), Fact("R", (1, "b"))]
+        )
+        pri = PrioritizingInstance(schema, instance, PriorityRelation([]))
+        assert not check_globally_optimal(pri, instance).is_optimal
+
+
+class TestReprsAndStrs:
+    """Smoke the human-facing renderings (they feed error messages)."""
+
+    def test_core_reprs(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = schema.instance([Fact("R", (1, "a"))])
+        pri = PrioritizingInstance(schema, instance, PriorityRelation([]))
+        assert "Instance(1 facts" in repr(instance)
+        assert "PriorityRelation(0 edges)" in repr(pri.priority)
+        assert "classical" in repr(pri)
+        assert "Signature" in repr(schema.signature)
+        assert "FDSet" in repr(schema.fds_for("R"))
+        assert "Schema" in repr(schema)
+
+    def test_large_instance_repr_truncates(self):
+        schema = Schema.single_relation([], relation="R", arity=1)
+        instance = schema.instance([Fact("R", (i,)) for i in range(20)])
+        assert "..." in repr(instance)
+
+    def test_check_result_str(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        fact = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([fact]), PriorityRelation([])
+        )
+        result = check_globally_optimal(pri, schema.instance([fact]))
+        assert "optimal" in str(result)
+        assert bool(result)
+
+
+class TestPriorityOnDisjointRelations:
+    def test_multi_relation_empty_priority(self):
+        schema = Schema.parse(
+            {"A": 1, "B": 1}, ["A: {} -> 1", "B: {} -> 1"]
+        )
+        instance = schema.instance(
+            [Fact("A", ("x",)), Fact("A", ("y",)), Fact("B", ("z",))]
+        )
+        pri = PrioritizingInstance(schema, instance, PriorityRelation([]))
+        repairs = list(enumerate_repairs(schema, instance))
+        assert len(repairs) == 2
+        for repair in repairs:
+            assert check_globally_optimal(pri, repair).is_optimal
+
+
+class TestWitnessInvariants:
+    """Every negative answer across every checker yields a witness that
+    is itself optimal-or-improvable — iterating improvements terminates
+    (the improvement relation is acyclic on repairs)."""
+
+    def test_improvement_chains_terminate(self):
+        from repro.workloads.generators import random_instance_with_conflicts
+        from repro.workloads.priorities import random_conflict_priority
+
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        for seed in range(5):
+            instance = random_instance_with_conflicts(
+                schema, 10, 0.7, seed=seed
+            )
+            priority = random_conflict_priority(schema, instance, seed=seed)
+            pri = PrioritizingInstance(schema, instance, priority)
+            candidate = next(enumerate_repairs(schema, instance))
+            steps = 0
+            while True:
+                result = check_globally_optimal(pri, candidate)
+                if result.is_optimal:
+                    break
+                assert result.improvement is not None
+                candidate = result.improvement
+                # Witnesses may be non-maximal mid-chain; extend them.
+                if not is_repair(schema, instance, candidate):
+                    from repro.core.repairs import greedy_repair
+                    import random as _random
+
+                    candidate = greedy_repair(
+                        schema,
+                        instance,
+                        _random.Random(seed),
+                        prefer=list(candidate.facts),
+                    )
+                steps += 1
+                assert steps < 100
+            assert check_globally_optimal(pri, candidate).is_optimal
+
+
+class TestMixedValueTypes:
+    def test_heterogeneous_constants(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        facts = [
+            Fact("R", (1, "a")),
+            Fact("R", ("1", "b")),   # string "1" differs from int 1
+            Fact("R", (None, True)),
+            Fact("R", (2.5, "t")),
+        ]
+        instance = schema.instance(facts)
+        assert schema.is_consistent(instance)
+
+    def test_equality_is_type_sensitive(self):
+        # bool is an int subtype in Python: 1 == True.  Document the
+        # behaviour: facts with 1 and True in the same position DO
+        # agree (Python equality is the paper's constant equality).
+        fd = FD("R", {1}, {2})
+        assert fd.is_conflict(Fact("R", (1, "a")), Fact("R", (True, "b")))

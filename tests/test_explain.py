@@ -1,0 +1,99 @@
+"""Unit tests for the explanation renderer."""
+
+import pytest
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import check_globally_optimal
+from repro.explain import (
+    explain_ccp_classification,
+    explain_check,
+    explain_classification,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+@pytest.fixture
+def pri(schema):
+    new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    return PrioritizingInstance(
+        schema, schema.instance([new, old]), PriorityRelation([(new, old)])
+    )
+
+
+class TestExplainCheck:
+    def test_positive_result(self, schema, pri):
+        candidate = schema.instance([Fact("R", (1, "new"))])
+        result = check_globally_optimal(pri, candidate)
+        text = explain_check(pri, candidate, result)
+        assert "IS a global-optimal repair" in text
+        assert "GRepCheck1FD" in text
+
+    def test_negative_result_names_the_swap(self, schema, pri):
+        candidate = schema.instance([Fact("R", (1, "old"))])
+        result = check_globally_optimal(pri, candidate)
+        text = explain_check(pri, candidate, result)
+        assert "is NOT" in text
+        assert "evict R(1, 'old')" in text
+        assert "add R(1, 'new')" in text
+        assert "outranked by the incoming R(1, 'new')" in text
+
+    def test_inconsistent_candidate(self, schema, pri):
+        candidate = schema.instance(
+            [Fact("R", (1, "new")), Fact("R", (1, "old"))]
+        )
+        result = check_globally_optimal(pri, candidate)
+        text = explain_check(pri, candidate, result)
+        assert "not consistent" in text
+
+    def test_running_example_j3_explanation(self, running):
+        result = check_globally_optimal(running.prioritizing, running.j3)
+        text = explain_check(running.prioritizing, running.j3, result)
+        assert "is NOT" in text
+        assert "evict" in text and "add" in text
+
+
+class TestExplainClassification:
+    def test_tractable_schema_names_algorithms(self, running):
+        text = explain_classification(running.schema)
+        assert "polynomial" in text
+        assert "GRepCheck1FD" in text
+        assert "GRepCheck2Keys" in text
+
+    def test_hard_schema_names_case_and_anchor(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        text = explain_classification(schema)
+        assert "coNP-complete" in text
+        assert "Case 4" in text
+        assert "S4" in text
+
+    def test_three_keys_case_1(self):
+        schema = Schema.single_relation(
+            ["{1,2} -> 3", "{1,3} -> 2", "{2,3} -> 1"], arity=3
+        )
+        text = explain_classification(schema)
+        assert "Case 1" in text
+        assert "S1" in text
+
+
+class TestExplainCcp:
+    def test_primary_key_assignment(self, schema):
+        text = explain_ccp_classification(schema)
+        assert "primary-key assignment" in text
+        assert "Lemma 7.3" in text
+
+    def test_constant_attribute_assignment(self):
+        schema = Schema.single_relation(["{} -> 1"], arity=2)
+        text = explain_ccp_classification(schema)
+        assert "constant-attribute assignment" in text
+
+    def test_hard_mix(self):
+        schema = Schema.parse(
+            {"R": 2, "S": 2}, ["R: 1 -> 2", "S: {} -> 1"]
+        )
+        text = explain_ccp_classification(schema)
+        assert "coNP-complete" in text
+        assert "neither" in text

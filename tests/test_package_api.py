@@ -1,0 +1,68 @@
+"""Public API surface tests: everything advertised must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.checking",
+    "repro.cqa",
+    "repro.engine",
+    "repro.hardness",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package_name}.{name} missing"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_readme_works():
+    """The README's quickstart snippet, executed verbatim."""
+    from repro import (
+        Fact,
+        PrioritizingInstance,
+        PriorityRelation,
+        Schema,
+        check_globally_optimal,
+        classify_schema,
+    )
+
+    schema = Schema.single_relation(
+        ["1 -> 2"], relation="Customer", arity=2
+    )
+    curated = Fact("Customer", ("c7", "almaden"))
+    scraped = Fact("Customer", ("c7", "bascom"))
+    instance = schema.instance([curated, scraped])
+    pri = PrioritizingInstance(
+        schema, instance, PriorityRelation([(curated, scraped)])
+    )
+    assert classify_schema(schema).is_tractable
+    result = check_globally_optimal(pri, schema.instance([curated]))
+    assert result.is_optimal and result.method == "GRepCheck1FD"
+
+
+def test_top_level_convenience_exports():
+    from repro import (
+        count_repairs_fast,
+        explain_classification,
+        has_unique_optimal_repair,
+        optimal_repair_census,
+    )
+
+    assert callable(count_repairs_fast)
+    assert callable(explain_classification)
+    assert callable(has_unique_optimal_repair)
+    assert callable(optimal_repair_census)

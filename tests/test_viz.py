@@ -1,0 +1,94 @@
+"""Unit tests for the DOT renderings."""
+
+import pytest
+
+from repro.core.checking import build_ccp_graph, build_swap_graph
+from repro.viz import (
+    ccp_graph_to_dot,
+    conflict_graph_to_dot,
+    swap_graph_to_dot,
+)
+from repro.workloads.scenarios import running_example
+
+
+@pytest.fixture
+def figure_3_graphs(running):
+    f = running.facts
+    libloc = running.prioritizing.restrict_to_relation("LibLoc")
+    j = libloc.instance.subinstance([f["d1a"], f["f2b"], f["f3c"]])
+    g12 = build_swap_graph(libloc, j, frozenset({1}), frozenset({2}))
+    g21 = build_swap_graph(libloc, j, frozenset({2}), frozenset({1}))
+    return g12, g21
+
+
+class TestSwapGraphDot:
+    def test_renders_figure_3(self, figure_3_graphs):
+        g12, g21 = figure_3_graphs
+        dot12 = swap_graph_to_dot(g12, name="G12")
+        dot21 = swap_graph_to_dot(g21, name="G21")
+        assert dot12.startswith("digraph G12 {")
+        assert dot12.endswith("}")
+        assert "lib1" in dot12 and "almaden" in dot12
+        # G12 has no backward (dashed) edges; G21 has two.
+        assert "dashed" not in dot12
+        assert dot21.count("dashed") == 2
+
+    def test_forward_edges_match_candidate_size(self, figure_3_graphs):
+        g12, _ = figure_3_graphs
+        dot = swap_graph_to_dot(g12)
+        assert dot.count("style=solid") == 3
+
+
+class TestCcpGraphDot:
+    def test_renders_example_7_2(self, running):
+        from repro.core import (
+            Fact,
+            PrioritizingInstance,
+            PriorityRelation,
+            Schema,
+        )
+
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        rows = [(0, 1), (0, 2), (0, "c"), (1, "a"), (1, "b"), (1, 3)]
+        facts = {row: Fact("R", row) for row in rows}
+        pri = PrioritizingInstance(
+            schema,
+            schema.instance(facts.values()),
+            PriorityRelation(
+                [
+                    (facts[(0, "c")], facts[(1, "b")]),
+                    (facts[(1, 3)], facts[(0, 2)]),
+                ]
+            ),
+            ccp=True,
+        )
+        candidate = pri.instance.subinstance(
+            [facts[(0, 2)], facts[(1, "b")]]
+        )
+        graph = build_ccp_graph(pri, candidate)
+        dot = ccp_graph_to_dot(graph)
+        assert dot.startswith("digraph GJI {")
+        assert "shape=box" in dot and "shape=ellipse" in dot
+        assert "dashed" in dot  # priority edges present
+
+
+class TestConflictGraphDot:
+    def test_renders_running_example(self, running):
+        dot = conflict_graph_to_dot(
+            running.schema, running.prioritizing.instance
+        )
+        assert dot.startswith("graph Conflicts {")
+        # 13 fact nodes, undirected edges as --.
+        assert dot.count(";") >= 13
+        assert "--" in dot
+
+    def test_edges_deduplicated(self, running):
+        from repro.core.conflicts import conflicting_pairs
+
+        dot = conflict_graph_to_dot(
+            running.schema, running.prioritizing.instance
+        )
+        pairs = conflicting_pairs(
+            running.schema, running.prioritizing.instance
+        )
+        assert dot.count("--") == len(pairs)

@@ -1,0 +1,67 @@
+"""Unit tests for the consortium workload."""
+
+import pytest
+
+from repro.core.checking import check_globally_optimal
+from repro.core.classification import classify_schema
+from repro.engine import RepairManager
+from repro.workloads.consortium import consortium_scenario, consortium_schema
+from repro.workloads.scenarios import running_example
+
+
+class TestSchema:
+    def test_matches_running_example_schema(self):
+        assert consortium_schema() == running_example().schema
+
+    def test_is_tractable(self):
+        assert classify_schema(consortium_schema()).is_tractable
+
+
+class TestScenario:
+    def test_deterministic(self):
+        a = consortium_scenario(book_count=20, seed=5)
+        b = consortium_scenario(book_count=20, seed=5)
+        assert a.instance == b.instance
+        assert a.priority == b.priority
+
+    def test_clash_rates_drive_conflicts(self):
+        calm = consortium_scenario(
+            book_count=40, genre_clash_rate=0.0, location_clash_rate=0.0, seed=1
+        )
+        stormy = consortium_scenario(
+            book_count=40, genre_clash_rate=0.9, location_clash_rate=0.9, seed=1
+        )
+        assert len(calm.priority) == 0
+        assert len(stormy.priority) > 10
+
+    def test_priority_is_conflict_only_and_acyclic(self):
+        # Classical PrioritizingInstance construction validates both.
+        consortium_scenario(book_count=30, seed=2)
+
+    def test_catalog_tier_survives_cleaning(self):
+        pri = consortium_scenario(book_count=25, library_count=6, seed=3)
+        manager = RepairManager(pri)
+        cleaned = manager.clean()
+        assert manager.check(cleaned).is_optimal
+        # Every priority edge's winner is a catalog fact and survives
+        # unless it lost to another catalog fact (impossible: edges run
+        # catalog -> crowd only, so winners never conflict with winners
+        # of other edges... they may conflict within the catalog tier
+        # itself, so just check the cleaned instance is consistent and
+        # every crowd loser with a surviving winner is out).
+        for better, worse in pri.priority.edges:
+            if better in cleaned:
+                assert worse not in cleaned
+
+    @pytest.mark.parametrize("size", [10, 40])
+    def test_checking_uses_ptime_path(self, size):
+        pri = consortium_scenario(book_count=size, seed=4)
+        manager = RepairManager(pri)
+        cleaned = manager.clean()
+        result = check_globally_optimal(pri, cleaned)
+        assert result.is_optimal
+        assert result.method in {
+            "per-relation",
+            "GRepCheck1FD",
+            "GRepCheck2Keys",
+        }

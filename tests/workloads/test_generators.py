@@ -1,0 +1,61 @@
+"""Unit tests for the synthetic instance generators."""
+
+import pytest
+
+from repro.core import Schema
+from repro.core.conflicts import conflicting_pairs
+from repro.workloads.generators import (
+    domain_sizes_for_density,
+    random_instance,
+    random_instance_with_conflicts,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+class TestRandomInstance:
+    def test_respects_fact_budget(self, schema):
+        inst = random_instance(schema, 20, seed=0)
+        assert 0 < len(inst) <= 20
+
+    def test_deterministic_given_seed(self, schema):
+        assert random_instance(schema, 15, seed=5) == random_instance(
+            schema, 15, seed=5
+        )
+        assert random_instance(schema, 15, seed=5) != random_instance(
+            schema, 15, seed=6
+        )
+
+    def test_domain_sizes_validated(self, schema):
+        with pytest.raises(ValueError):
+            random_instance(schema, 5, {"R": [3]}, seed=0)
+
+    def test_multi_relation(self):
+        schema = Schema.parse({"R": 2, "S": 3}, ["R: 1 -> 2"])
+        inst = random_instance(schema, 10, seed=1)
+        assert inst.relation_names_used() == frozenset({"R", "S"})
+
+
+class TestDensityControl:
+    def test_density_bounds_validated(self, schema):
+        with pytest.raises(ValueError):
+            domain_sizes_for_density(schema, 10, 1.5)
+
+    def test_zero_density_yields_few_conflicts(self, schema):
+        sparse = random_instance_with_conflicts(schema, 30, 0.0, seed=2)
+        dense = random_instance_with_conflicts(schema, 30, 0.95, seed=2)
+        sparse_conflicts = len(conflicting_pairs(schema, sparse))
+        dense_conflicts = len(conflicting_pairs(schema, dense))
+        assert dense_conflicts > sparse_conflicts
+
+    def test_high_density_is_inconsistent(self, schema):
+        dense = random_instance_with_conflicts(schema, 30, 0.9, seed=3)
+        assert not schema.is_consistent(dense)
+
+    def test_lhs_attributes_narrowed(self, schema):
+        sizes = domain_sizes_for_density(schema, 20, 0.8)
+        narrow, wide = sizes["R"]
+        assert narrow < wide

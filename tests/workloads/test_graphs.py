@@ -1,0 +1,50 @@
+"""Unit tests for the random graph generators."""
+
+import pytest
+
+from repro.hardness.hamiltonian import has_hamiltonian_cycle
+from repro.workloads.graphs import (
+    all_graphs,
+    erdos_renyi,
+    hamiltonian_graph,
+    non_hamiltonian_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_probability_extremes(self):
+        empty = erdos_renyi(6, 0.0, seed=0)
+        full = erdos_renyi(6, 1.0, seed=0)
+        assert len(empty.edges) == 0
+        assert len(full.edges) == 15
+
+    def test_deterministic(self):
+        assert erdos_renyi(8, 0.4, seed=3).edges == erdos_renyi(
+            8, 0.4, seed=3
+        ).edges
+
+
+class TestGuaranteedFamilies:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hamiltonian_graph_is_hamiltonian(self, seed):
+        assert has_hamiltonian_cycle(hamiltonian_graph(6, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_non_hamiltonian_graph_is_not(self, seed):
+        assert not has_hamiltonian_cycle(non_hamiltonian_graph(7, seed=seed))
+
+    def test_small_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_graph(1)
+        with pytest.raises(ValueError):
+            non_hamiltonian_graph(2)
+
+
+class TestAllGraphs:
+    def test_counts(self):
+        assert sum(1 for _ in all_graphs(3)) == 8
+        assert sum(1 for _ in all_graphs(4)) == 64
+
+    def test_distinct(self):
+        edge_sets = [g.edges for g in all_graphs(3)]
+        assert len(set(edge_sets)) == 8

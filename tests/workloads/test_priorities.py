@@ -1,0 +1,98 @@
+"""Unit tests for the priority generators."""
+
+import pytest
+
+from repro.core import PrioritizingInstance, Schema
+from repro.core.conflicts import conflicting_pairs
+from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import (
+    layered_priority,
+    random_ccp_priority,
+    random_conflict_priority,
+    random_prioritizing_instance,
+    total_conflict_priority,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.single_relation(["1 -> 2"], arity=2)
+
+
+@pytest.fixture
+def instance(schema):
+    return random_instance_with_conflicts(schema, 20, 0.7, seed=1)
+
+
+class TestConflictPriorities:
+    def test_edges_only_between_conflicting_facts(self, schema, instance):
+        priority = random_conflict_priority(schema, instance, seed=2)
+        pairs = conflicting_pairs(schema, instance)
+        for better, worse in priority.edges:
+            assert frozenset({better, worse}) in pairs
+
+    def test_validates_as_classical(self, schema, instance):
+        priority = random_conflict_priority(schema, instance, seed=2)
+        PrioritizingInstance(schema, instance, priority)  # must not raise
+
+    def test_total_orients_every_pair(self, schema, instance):
+        priority = total_conflict_priority(schema, instance, seed=3)
+        assert priority.is_total_on_conflicts(schema, instance)
+
+    def test_probability_zero_is_empty(self, schema, instance):
+        priority = random_conflict_priority(
+            schema, instance, edge_probability=0.0, seed=4
+        )
+        assert not priority
+
+    def test_deterministic(self, schema, instance):
+        assert random_conflict_priority(
+            schema, instance, seed=7
+        ) == random_conflict_priority(schema, instance, seed=7)
+
+
+class TestCcpPriorities:
+    def test_contains_cross_conflict_edges(self, schema, instance):
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.5, seed=5
+        )
+        pairs = conflicting_pairs(schema, instance)
+        cross = [
+            (b, w)
+            for b, w in priority.edges
+            if frozenset({b, w}) not in pairs
+        ]
+        assert cross  # with p=0.5 on a 20-fact instance this is certain
+
+    def test_validates_as_ccp(self, schema, instance):
+        priority = random_ccp_priority(schema, instance, seed=5)
+        PrioritizingInstance(schema, instance, priority, ccp=True)
+
+
+class TestLayeredPriority:
+    def test_edges_point_to_lower_tiers(self, schema, instance):
+        priority = layered_priority(schema, instance, tier_count=3, seed=6)
+        # Acyclicity is validated on construction; additionally check
+        # conflict-only in the classical mode.
+        pairs = conflicting_pairs(schema, instance)
+        for better, worse in priority.edges:
+            assert frozenset({better, worse}) in pairs
+
+    def test_ccp_mode_relates_non_conflicting(self, schema, instance):
+        priority = layered_priority(
+            schema, instance, tier_count=3, seed=6, ccp=True
+        )
+        pairs = conflicting_pairs(schema, instance)
+        assert any(
+            frozenset({b, w}) not in pairs for b, w in priority.edges
+        )
+
+
+class TestBundles:
+    def test_random_prioritizing_instance(self, schema, instance):
+        pri = random_prioritizing_instance(schema, instance, seed=8)
+        assert not pri.is_ccp
+        pri_ccp = random_prioritizing_instance(
+            schema, instance, seed=8, ccp=True
+        )
+        assert pri_ccp.is_ccp

@@ -1,0 +1,99 @@
+"""Unit tests for the running example and motivating scenarios."""
+
+import pytest
+
+from repro.core import Fact
+from repro.core.checking import (
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.core.improvements import is_global_improvement, is_pareto_improvement
+from repro.core.repairs import is_repair
+from repro.workloads.scenarios import (
+    running_example,
+    source_reliability_scenario,
+    timestamp_scenario,
+)
+
+
+class TestRunningExample:
+    """Every claim of Examples 2.1–2.5, mechanically."""
+
+    def test_figure_1_shape(self, running):
+        instance = running.prioritizing.instance
+        assert len(instance.relation("BookLoc")) == 5
+        assert len(instance.relation("LibLoc")) == 8
+
+    def test_instance_is_inconsistent(self, running):
+        assert not running.schema.is_consistent(
+            running.prioritizing.instance
+        )
+
+    def test_all_four_are_repairs(self, running):
+        instance = running.prioritizing.instance
+        for candidate in (running.j1, running.j2, running.j3, running.j4):
+            assert is_repair(running.schema, instance, candidate)
+
+    def test_j2_improves_j1(self, running):
+        priority = running.prioritizing.priority
+        assert is_pareto_improvement(running.j2, running.j1, priority)
+        assert is_global_improvement(running.j2, running.j1, priority)
+
+    def test_j2_is_globally_optimal(self, running):
+        assert check_globally_optimal(
+            running.prioritizing, running.j2
+        ).is_optimal
+
+    def test_j3_separates_the_semantics(self, running):
+        assert check_pareto_optimal(running.prioritizing, running.j3).is_optimal
+        assert not check_globally_optimal(
+            running.prioritizing, running.j3
+        ).is_optimal
+
+    def test_j4_global_but_not_pareto_improvement_of_j3(self, running):
+        priority = running.prioritizing.priority
+        assert is_global_improvement(running.j4, running.j3, priority)
+        assert not is_pareto_improvement(running.j4, running.j3, priority)
+
+    def test_j3_is_the_unique_pareto_not_global_repair(self, running):
+        from repro.core.repairs import enumerate_repairs
+
+        found = []
+        for repair in enumerate_repairs(
+            running.schema, running.prioritizing.instance
+        ):
+            pareto = check_pareto_optimal(running.prioritizing, repair)
+            globally = check_globally_optimal(running.prioritizing, repair)
+            if pareto.is_optimal and not globally.is_optimal:
+                found.append(repair)
+        assert found == [running.j3]
+
+
+class TestSourceReliability:
+    def test_curated_facts_always_win(self):
+        pri = source_reliability_scenario(record_count=10, overlap=0.6, seed=3)
+        from repro.engine import RepairManager
+
+        cleaned = RepairManager(pri).clean()
+        # Every conflicting id resolves to the curated city.
+        for better, worse in pri.priority.edges:
+            assert better in cleaned
+            assert worse not in cleaned
+
+    def test_overlap_controls_conflicts(self):
+        none = source_reliability_scenario(record_count=10, overlap=0.0, seed=3)
+        full = source_reliability_scenario(record_count=10, overlap=1.0, seed=3)
+        assert len(none.priority) == 0
+        assert len(full.priority) == 10
+
+
+class TestTimestamps:
+    def test_newest_version_is_unique_optimum(self):
+        pri = timestamp_scenario(entity_count=6, versions_per_entity=3, seed=4)
+        from repro.engine import RepairManager
+
+        manager = RepairManager(pri)
+        assert manager.has_unique_optimal_repair()
+        cleaned = manager.clean()
+        assert len(cleaned) == 6  # one (newest) state per entity
+        assert manager.check(cleaned).is_optimal

@@ -1,0 +1,101 @@
+"""Unit tests for the semantics-separating workload."""
+
+import pytest
+
+from repro.core import PrioritizingInstance, PriorityRelation
+from repro.core.counting import optimal_repair_census
+from repro.core.counting_optimal import (
+    count_completion_optimal_repairs_single_fd,
+    count_globally_optimal_repairs,
+    count_pareto_optimal_repairs,
+)
+from repro.workloads.separations import (
+    global_not_completion_block,
+    pareto_not_global_block,
+    separation_instance,
+    separation_schema,
+)
+
+
+def block_prioritizing(builder):
+    schema = separation_schema()
+    facts, edges = builder("b0")
+    return PrioritizingInstance(
+        schema, schema.instance(facts), PriorityRelation(edges)
+    )
+
+
+class TestSingleBlocks:
+    def test_pareto_not_global_block_counts(self):
+        pri = block_prioritizing(pareto_not_global_block)
+        census = optimal_repair_census(pri)
+        assert census["completion"] == 1
+        assert census["global"] == 1
+        assert census["pareto"] == 2
+
+    def test_global_not_completion_block_counts(self):
+        pri = block_prioritizing(global_not_completion_block)
+        census = optimal_repair_census(pri)
+        assert census["completion"] == 2
+        assert census["global"] == 3
+        assert census["pareto"] == 3
+
+
+class TestSeparationInstance:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_counts_against_enumeration(self, k):
+        pri = separation_instance(k)
+        census = optimal_repair_census(pri)
+        assert census["completion"] == 2 ** k
+        assert census["global"] == 3 ** k
+        assert census["pareto"] == 6 ** k
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_polynomial_counters_match_formulas(self, k):
+        pri = separation_instance(k)
+        assert count_completion_optimal_repairs_single_fd(pri) == 2 ** k
+        assert count_globally_optimal_repairs(pri) == 3 ** k
+        assert count_pareto_optimal_repairs(pri) == 6 ** k
+
+    def test_counts_at_scale(self):
+        """k = 40: ~10^19 globally-optimal repairs, counted instantly."""
+        pri = separation_instance(40)
+        assert count_globally_optimal_repairs(pri) == 3 ** 40
+        assert count_completion_optimal_repairs_single_fd(pri) == 2 ** 40
+        assert count_pareto_optimal_repairs(pri) == 6 ** 40
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            separation_instance(0)
+
+
+class TestCompletionCounterValidation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_enumeration_on_random_instances(self, seed):
+        from repro.core import Schema
+        from repro.core.checking import check_completion_optimal
+        from repro.core.repairs import enumerate_repairs
+        from repro.workloads.generators import random_instance_with_conflicts
+        from repro.workloads.priorities import random_conflict_priority
+
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        instance = random_instance_with_conflicts(schema, 9, 0.7, seed=seed)
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        expected = sum(
+            1
+            for repair in enumerate_repairs(schema, instance)
+            if check_completion_optimal(pri, repair).is_optimal
+        )
+        assert count_completion_optimal_repairs_single_fd(pri) == expected
+
+    def test_rejects_non_single_fd(self):
+        from repro.core import Fact, Schema
+
+        schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        with pytest.raises(ValueError):
+            count_completion_optimal_repairs_single_fd(pri)
