@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-tables examples all clean
+.PHONY: install test bench bench-tables service-bench examples all clean
 
 install:
 	pip install -e .
@@ -14,6 +14,10 @@ bench:
 # The experiment report tables of EXPERIMENTS.md (fast: timing disabled).
 bench-tables:
 	pytest benchmarks/ -q -s --benchmark-disable
+
+# Service-layer throughput: workers x cache temperature (jobs/sec table).
+service-bench:
+	pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
 
 examples:
 	for script in examples/*.py; do \

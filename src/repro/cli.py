@@ -19,6 +19,12 @@ Subcommands
     Prose classification of a schema under both theorems.
 ``repro stats problem.json``
     Profile a problem's conflict and priority structure.
+``repro serve-batch jobs.json --out results.jsonl --workers 4``
+    Run a batch of repair-check jobs through the
+    :class:`~repro.service.RepairService` (worker pool, result cache,
+    budgeted degradation on coNP-hard schemas) and write JSONL results
+    plus a metrics summary.  Job files are JSON or CSV (see
+    :mod:`repro.service.batch_io` for the formats).
 
 Schema syntax: ``<Rel>:<arity>[, <Rel>:<arity> ...]; <fd>; <fd>; ...``
 with FDs in the paper's shorthand, e.g. ``R: {1,2} -> 3``.
@@ -196,6 +202,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.io import load_prioritizing_instance
+    from repro.service import (
+        RepairService,
+        ServiceConfig,
+        load_batch_file,
+        write_metrics_json,
+        write_results_jsonl,
+    )
+
+    prioritizing = None
+    if args.problem:
+        prioritizing = load_prioritizing_instance(args.problem)
+    prioritizing, jobs = load_batch_file(args.jobs, prioritizing)
+    service = RepairService(
+        ServiceConfig(
+            workers=args.workers,
+            executor=args.executor,
+            cache_size=args.cache_size,
+            default_timeout=args.timeout,
+            default_node_budget=args.budget,
+        )
+    )
+    report = service.run_batch(jobs)
+    counts = report.status_counts
+    print(
+        f"ran {len(report.results)} job(s) on {args.workers} "
+        f"{args.executor} worker(s): "
+        + ", ".join(
+            f"{counts.get(status, 0)} {status}"
+            for status in ("ok", "degraded", "timeout", "error")
+        )
+    )
+    print(
+        f"cache: {report.cache_hits} result(s) served from cache "
+        f"(hit rate {report.cache_stats['hit_rate']:.2f} over the "
+        f"service lifetime)"
+    )
+    if args.out:
+        write_results_jsonl(report, args.out)
+        print(f"wrote results to {args.out}")
+    if args.metrics_out:
+        write_metrics_json(report, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    print(service.metrics.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -250,6 +304,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("problem", help="path to a repro.io problem JSON")
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = subparsers.add_parser(
+        "serve-batch",
+        help="run a batch of repair-check jobs through the service layer",
+    )
+    serve.add_argument(
+        "jobs", help="job file: .json (may embed the problem) or CSV rows"
+    )
+    serve.add_argument(
+        "--problem",
+        help="repro.io problem JSON (overrides the job file's problem; "
+        "required for CSV job files)",
+    )
+    serve.add_argument("--out", help="write per-job JSONL results here")
+    serve.add_argument(
+        "--metrics-out", help="write the metrics snapshot JSON here"
+    )
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="thread",
+    )
+    serve.add_argument("--cache-size", type=int, default=2048)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-job wall-clock timeout in seconds",
+    )
+    serve.add_argument(
+        "--budget",
+        type=int,
+        default=100000,
+        help="default improvement-search node budget for coNP-hard jobs",
+    )
+    serve.set_defaults(handler=_cmd_serve_batch)
     return parser
 
 

@@ -86,6 +86,20 @@ def check_globally_optimal(
     >>> result.is_optimal, result.method
     (True, 'GRepCheck1FD')
     """
+    if method not in ("auto", "search", "brute-force", "paranoid"):
+        raise ValueError(f"unknown method {method!r}")
+
+    # The candidate-⊆-instance precondition is a malformed input for
+    # *every* method, so it is validated here, once, before dispatching
+    # (the individual checkers re-validate defensively via precheck, but
+    # hoisting keeps the four methods' error behaviour identical).
+    extra = candidate.facts - prioritizing.instance.facts
+    if extra:
+        raise NotASubinstanceError(
+            f"candidate repair contains {len(extra)} fact(s) outside the "
+            f"instance, e.g. {next(iter(extra))}"
+        )
+
     if method == "brute-force":
         return check_globally_optimal_brute_force(prioritizing, candidate)
     if method == "paranoid":
@@ -96,15 +110,6 @@ def check_globally_optimal(
         )
 
         return check_globally_optimal_search(prioritizing, candidate)
-    if method != "auto":
-        raise ValueError(f"unknown method {method!r}")
-
-    extra = candidate.facts - prioritizing.instance.facts
-    if extra:
-        raise NotASubinstanceError(
-            f"candidate repair contains {len(extra)} fact(s) outside the "
-            f"instance, e.g. {next(iter(extra))}"
-        )
 
     if prioritizing.is_ccp:
         return _dispatch_ccp(prioritizing, candidate, allow_brute_force)

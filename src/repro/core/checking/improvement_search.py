@@ -36,6 +36,7 @@ it must be unless P = NP).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.core.checking.result import CheckResult
@@ -44,14 +45,27 @@ from repro.core.conflicts import ConflictIndex
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
+from repro.exceptions import SearchBudgetExceededError
 
 __all__ = ["find_global_improvement", "check_globally_optimal_search"]
 
 _METHOD = "improvement-search"
 
+#: How many search nodes to expand between wall-clock deadline checks.
+_DEADLINE_STRIDE = 64
+
 
 class _Searcher:
-    def __init__(self, prioritizing: PrioritizingInstance, candidate: Instance):
+    def __init__(
+        self,
+        prioritizing: PrioritizingInstance,
+        candidate: Instance,
+        node_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        self.node_budget = node_budget
+        self.deadline = deadline
+        self.nodes_explored = 0
         self.priority = prioritizing.priority
         self.candidate_facts = candidate.facts
         self.outsiders = prioritizing.instance.facts - candidate.facts
@@ -83,10 +97,27 @@ class _Searcher:
                 return result
         return None
 
+    def _charge_node(self) -> None:
+        self.nodes_explored += 1
+        if (
+            self.node_budget is not None
+            and self.nodes_explored > self.node_budget
+        ):
+            raise SearchBudgetExceededError(
+                "nodes", self.nodes_explored, self.node_budget
+            )
+        if (
+            self.deadline is not None
+            and self.nodes_explored % _DEADLINE_STRIDE == 0
+            and time.monotonic() > self.deadline
+        ):
+            raise SearchBudgetExceededError("deadline", self.nodes_explored)
+
     def _extend(self, added: FrozenSet[Fact]) -> Optional[FrozenSet[Fact]]:
         if added in self.visited:
             return None
         self.visited.add(added)
+        self._charge_node()
         removed: Set[Fact] = set()
         for outsider in added:
             removed |= self.evicts[outsider]
@@ -114,7 +145,10 @@ class _Searcher:
 
 
 def find_global_improvement(
-    prioritizing: PrioritizingInstance, candidate: Instance
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Optional[Instance]:
     """A global improvement of the repair ``candidate``, or None.
 
@@ -122,8 +156,14 @@ def find_global_improvement(
     :func:`~repro.core.checking.validation.precheck` first, or use
     :func:`check_globally_optimal_search`).  Complete for every schema
     and for both classical and ccp priorities.
+
+    ``node_budget`` bounds the number of search nodes expanded and
+    ``deadline`` (a :func:`time.monotonic` timestamp) bounds wall-clock
+    time; exhausting either raises
+    :class:`~repro.exceptions.SearchBudgetExceededError`.  With both
+    left at None the search is unbounded (and complete).
     """
-    searcher = _Searcher(prioritizing, candidate)
+    searcher = _Searcher(prioritizing, candidate, node_budget, deadline)
     added = searcher.search()
     if added is None:
         return None
@@ -134,7 +174,10 @@ def find_global_improvement(
 
 
 def check_globally_optimal_search(
-    prioritizing: PrioritizingInstance, candidate: Instance
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> CheckResult:
     """Globally-optimal repair checking via the improvement search.
 
@@ -143,11 +186,21 @@ def check_globally_optimal_search(
     explores partial certificates instead of whole repairs, which makes
     it the practical checker for hard schemas whose improvements are
     small or highly structured.
+
+    With a ``node_budget`` or ``deadline`` the search becomes the
+    *budgeted* checker the batch service degrades to on the coNP-hard
+    side: it either decides the question within the budget or raises
+    :class:`~repro.exceptions.SearchBudgetExceededError` — it never
+    silently returns a wrong answer.  Budget exhaustion is a
+    deterministic function of the input and the budget (the deadline, of
+    course, is not).
     """
     failure = precheck(prioritizing, candidate, "global", _METHOD)
     if failure is not None:
         return failure
-    improvement = find_global_improvement(prioritizing, candidate)
+    improvement = find_global_improvement(
+        prioritizing, candidate, node_budget, deadline
+    )
     if improvement is not None:
         return CheckResult(
             is_optimal=False,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -50,6 +51,8 @@ __all__ = [
     "classify_relation",
     "classify_schema",
     "classify_ccp_schema",
+    "classification_cache_info",
+    "clear_classification_caches",
 ]
 
 
@@ -243,6 +246,14 @@ def classify_relation(fdset: FDSet) -> RelationVerdict:
     return RelationVerdict(fdset.relation, RelationClass.HARD)
 
 
+@lru_cache(maxsize=4096)
+def _classify_schema_cached(schema: Schema) -> ClassificationVerdict:
+    verdicts = tuple(
+        classify_relation(fdset) for _, fdset in schema.per_relation()
+    )
+    return ClassificationVerdict(verdicts)
+
+
 def classify_schema(schema: Schema) -> ClassificationVerdict:
     """Classify a schema per Theorems 3.1 and 6.1.
 
@@ -251,6 +262,11 @@ def classify_schema(schema: Schema) -> ClassificationVerdict:
     ``O(|Δ|R|²)`` candidate pairs are validated, each validation being a
     set of polynomial implication tests.
 
+    Verdicts are memoized per schema (schemas are immutable and
+    hashable), so repeated checking calls over a shared schema — the
+    batch-service workload — classify once; see
+    :func:`classification_cache_info`.
+
     Examples
     --------
     >>> classify_schema(Schema.single_relation(["1 -> 2", "2 -> 3"])).is_tractable
@@ -258,10 +274,7 @@ def classify_schema(schema: Schema) -> ClassificationVerdict:
     >>> classify_schema(Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)).is_tractable
     True
     """
-    verdicts = tuple(
-        classify_relation(fdset) for _, fdset in schema.per_relation()
-    )
-    return ClassificationVerdict(verdicts)
+    return _classify_schema_cached(schema)
 
 
 # -- ccp classification (Theorem 7.1) ------------------------------------------------
@@ -339,8 +352,23 @@ class CcpVerdict:
         )
 
 
+@lru_cache(maxsize=4096)
+def _classify_ccp_schema_cached(schema: Schema) -> CcpVerdict:
+    verdicts = tuple(
+        CcpRelationVerdict(
+            relation.name,
+            equivalent_single_key(fdset),
+            equivalent_constant_attribute(fdset),
+        )
+        for relation, fdset in schema.per_relation()
+    )
+    return CcpVerdict(verdicts)
+
+
 def classify_ccp_schema(schema: Schema) -> CcpVerdict:
     """Classify a schema per Theorems 7.1 and 7.6 (ccp setting).
+
+    Memoized per schema, like :func:`classify_schema`.
 
     Examples
     --------
@@ -354,12 +382,24 @@ def classify_ccp_schema(schema: Schema) -> CcpVerdict:
     ... ).is_tractable
     False
     """
-    verdicts = tuple(
-        CcpRelationVerdict(
-            relation.name,
-            equivalent_single_key(fdset),
-            equivalent_constant_attribute(fdset),
-        )
-        for relation, fdset in schema.per_relation()
-    )
-    return CcpVerdict(verdicts)
+    return _classify_ccp_schema_cached(schema)
+
+
+def classification_cache_info() -> Dict[str, object]:
+    """The ``cache_info()`` of both classifier memo tables.
+
+    Returns ``{"classical": CacheInfo, "ccp": CacheInfo}`` — the
+    service's metrics snapshot includes these so cache effectiveness on
+    shared-schema traffic is observable.
+    """
+    return {
+        "classical": _classify_schema_cached.cache_info(),
+        "ccp": _classify_ccp_schema_cached.cache_info(),
+    }
+
+
+def clear_classification_caches() -> None:
+    """Drop both classifier memo tables (tests and benchmarks use this
+    to measure cold-cache behaviour)."""
+    _classify_schema_cached.cache_clear()
+    _classify_ccp_schema_cached.cache_clear()

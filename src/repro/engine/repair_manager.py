@@ -95,8 +95,41 @@ class RepairManager:
                 yield repair
 
     def count_optimal_repairs(self, semantics: str = "global") -> int:
-        """How many optimal repairs exist under the given semantics."""
+        """How many optimal repairs exist under the given semantics.
+
+        When every ``Δ|R`` is equivalent to a single FD and the
+        priorities are classical, the count is computed by the
+        polynomial per-block argument of
+        :mod:`repro.core.counting_optimal` instead of enumerating every
+        repair and re-checking each one; otherwise the enumeration
+        fallback runs.  Both paths return the same number (asserted by
+        the regression tests).
+        """
+        if self._has_single_fd_fast_count(semantics):
+            from repro.core.counting_optimal import (
+                count_globally_optimal_repairs,
+                count_pareto_optimal_repairs,
+            )
+
+            counter = (
+                count_globally_optimal_repairs
+                if semantics == "global"
+                else count_pareto_optimal_repairs
+            )
+            return counter(self._prioritizing)
         return sum(1 for _ in self.optimal_repairs(semantics=semantics))
+
+    def _has_single_fd_fast_count(self, semantics: str) -> bool:
+        """Whether the dedicated polynomial counting path applies."""
+        if self._prioritizing.is_ccp or semantics not in ("global", "pareto"):
+            return False
+        from repro.core.classification import equivalent_single_fd
+
+        schema = self._prioritizing.schema
+        return all(
+            equivalent_single_fd(schema.fds_for(relation.name)) is not None
+            for relation in schema.signature
+        )
 
     def has_unique_optimal_repair(self, semantics: str = "global") -> bool:
         """Whether the priorities define an *unambiguous* cleaning.

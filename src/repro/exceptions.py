@@ -19,6 +19,8 @@ __all__ = [
     "InconsistentInstanceError",
     "NotASubinstanceError",
     "IntractableSchemaError",
+    "SearchBudgetExceededError",
+    "TransientWorkerError",
     "QueryError",
 ]
 
@@ -92,6 +94,43 @@ class IntractableSchemaError(ReproError):
     Raised by the dispatching checkers when the schema falls on the hard
     side of the dichotomy and the caller did not allow the exponential
     brute-force fallback.
+    """
+
+
+class SearchBudgetExceededError(ReproError):
+    """The budgeted improvement search ran out of nodes or wall-clock.
+
+    Raised by :func:`repro.core.checking.improvement_search.
+    check_globally_optimal_search` when a ``node_budget`` or ``deadline``
+    was given and exhausted before the search could decide the question.
+    The exception reports how far the search got; callers such as the
+    batch service translate it into an explicit ``degraded`` or
+    ``timeout`` job status instead of an answer.
+    """
+
+    def __init__(self, kind: str, nodes_explored: int, budget=None) -> None:
+        if kind == "deadline":
+            message = (
+                f"improvement search hit its deadline after exploring "
+                f"{nodes_explored} node(s)"
+            )
+        else:
+            message = (
+                f"improvement search exhausted its node budget "
+                f"({budget}) after exploring {nodes_explored} node(s)"
+            )
+        super().__init__(message)
+        self.kind = kind
+        self.nodes_explored = nodes_explored
+        self.budget = budget
+
+
+class TransientWorkerError(ReproError):
+    """A repair-check worker failed in a retryable way.
+
+    The batch service retries jobs that raise this (or an ``OSError``)
+    with bounded exponential backoff; any other failure is reported as a
+    permanent job error.  Custom runners raise it to signal "try again".
     """
 
 

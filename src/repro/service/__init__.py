@@ -1,0 +1,63 @@
+"""The batch repair-checking service layer.
+
+Everything the repo's entry points need to serve repair-checking
+traffic at batch granularity:
+
+* :class:`~repro.service.service.RepairService` — the front-end: a
+  priority-ordered batch of jobs in, results + observability out, with
+  a worker pool, per-job timeouts, bounded retry, an LRU result cache
+  keyed by canonical fingerprints, and graceful degradation (budgeted
+  improvement search) on the coNP-hard side of the dichotomies;
+* :mod:`~repro.service.fingerprint` — canonical fingerprints of
+  schemas, instances, priorities, and whole check requests;
+* :mod:`~repro.service.cache` / :mod:`~repro.service.metrics` — the
+  supporting LRU cache and counters/histograms/event-log registry;
+* :mod:`~repro.service.batch_io` — JSON/CSV job files and JSONL
+  results for the ``repro serve-batch`` CLI.
+"""
+
+from repro.service.batch_io import (
+    candidate_from_spec,
+    load_batch_file,
+    load_problem_from_csv_spec,
+    write_metrics_json,
+    write_results_jsonl,
+)
+from repro.service.cache import LRUCache
+from repro.service.fingerprint import (
+    fingerprint_check_request,
+    fingerprint_instance,
+    fingerprint_prioritizing,
+    fingerprint_priority,
+    fingerprint_schema,
+)
+from repro.service.jobs import JOB_STATUSES, BatchReport, JobResult, RepairJob
+from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
+from repro.service.policy import Outcome, execute_check, needs_degradation
+from repro.service.service import RepairService, ServiceConfig
+
+__all__ = [
+    "RepairService",
+    "ServiceConfig",
+    "RepairJob",
+    "JobResult",
+    "BatchReport",
+    "JOB_STATUSES",
+    "Outcome",
+    "execute_check",
+    "needs_degradation",
+    "LRUCache",
+    "MetricsRegistry",
+    "Counter",
+    "LatencyHistogram",
+    "fingerprint_schema",
+    "fingerprint_instance",
+    "fingerprint_priority",
+    "fingerprint_prioritizing",
+    "fingerprint_check_request",
+    "load_batch_file",
+    "load_problem_from_csv_spec",
+    "candidate_from_spec",
+    "write_results_jsonl",
+    "write_metrics_json",
+]

@@ -1,0 +1,122 @@
+"""A thread-safe LRU result cache keyed by canonical fingerprints.
+
+The service's unit of reuse is one *check request* (prioritizing
+instance + candidate + semantics + method + budget), keyed by
+:func:`~repro.service.fingerprint.fingerprint_check_request`.  The cache
+is a plain bounded LRU: batch traffic over shared schemas and
+overlapping instances exhibits heavy repetition (the motivating
+workloads re-check the same candidates while priorities are curated),
+and recency is the right eviction signal for that shape.
+
+Hit/miss/eviction counts are tracked on the cache itself so the metrics
+snapshot can report reuse rates without wrapping every call site.
+
+Examples
+--------
+>>> cache = LRUCache(capacity=2)
+>>> cache.put("a", 1); cache.put("b", 2)
+>>> cache.get("a")
+1
+>>> cache.put("c", 3)      # evicts "b", the least recently used
+>>> cache.get("b") is None
+True
+>>> cache.stats()["evictions"]
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded, thread-safe, least-recently-used mapping.
+
+    ``capacity=0`` disables storage entirely (every lookup misses);
+    benchmarks use that to measure cold-path throughput.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of entries retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value (marking it most recently used), or
+        ``default``; every call counts as a hit or a miss."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+            return default
+
+    def peek(self, key: str) -> bool:
+        """Whether ``key`` is cached, without touching recency or stats."""
+        with self._lock:
+            return key in self._data
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry on
+        overflow."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, or 0.0 before the first lookup."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """A snapshot of size and hit/miss/eviction counts."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "capacity": self._capacity,
+                "size": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({len(self)}/{self._capacity} entries, "
+            f"{self._hits} hits, {self._misses} misses)"
+        )

@@ -1,0 +1,153 @@
+"""Canonical fingerprints for schemas, instances, and check requests.
+
+The batch service reuses results across jobs whenever two jobs ask the
+same question; "the same question" is decided structurally, not by
+object identity, so every cacheable object gets a *canonical
+fingerprint*: a SHA-256 digest of a deterministic text rendering that is
+independent of construction order, iteration order, and process (no
+``hash()`` randomization, no ``id()``).
+
+The renderings mirror the library's equality semantics:
+
+* a :class:`~repro.core.signature.RelationSymbol` fingerprints by name
+  and arity only — attribute *names* are cosmetic (``compare=False`` on
+  the dataclass field) and must not split cache entries;
+* a :class:`~repro.core.schema.Schema` adds its FDs, each as sorted
+  attribute positions;
+* an :class:`~repro.core.instance.Instance` renders its facts in sorted
+  order with type-tagged values (so ``1`` and ``"1"`` — distinct facts —
+  fingerprint differently);
+* a :class:`~repro.core.priority.PrioritizingInstance` combines schema,
+  instance, sorted priority edges, and the ccp flag.
+
+Fingerprints of the immutable core objects are memoized (keyed on the
+objects themselves, which hash structurally), so a batch of thousands of
+jobs over one shared instance canonicalizes it once.
+
+Examples
+--------
+>>> from repro.core import Schema
+>>> a = Schema.single_relation(["1 -> 2"], arity=2)
+>>> b = Schema.single_relation(["1 -> 2"], arity=2)
+>>> fingerprint_schema(a) == fingerprint_schema(b)
+True
+>>> fingerprint_schema(a) == fingerprint_schema(
+...     Schema.single_relation(["2 -> 1"], arity=2)
+... )
+False
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Any, Optional
+
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+
+__all__ = [
+    "fingerprint_schema",
+    "fingerprint_instance",
+    "fingerprint_priority",
+    "fingerprint_prioritizing",
+    "fingerprint_check_request",
+]
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical_value(value: Any) -> str:
+    """A type-tagged rendering of one fact constant.
+
+    ``repr`` alone would conflate values whose reprs collide across
+    types (``True`` vs ``1`` hash-compare equal but ``"1"`` vs ``1`` do
+    not repr-collide; tagging makes the rendering injective for all the
+    scalar types the IO layer supports, and deterministic for any value
+    with a stable ``repr``).
+    """
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _canonical_fact(fact: Fact) -> str:
+    values = ",".join(_canonical_value(value) for value in fact.values)
+    return f"{fact.relation}({values})"
+
+
+@lru_cache(maxsize=1024)
+def fingerprint_schema(schema: Schema) -> str:
+    """The canonical fingerprint of a schema (signature + FDs)."""
+    relations = sorted(
+        f"{relation.name}/{relation.arity}" for relation in schema.signature
+    )
+    fds = sorted(
+        "{}:{}->{}".format(
+            fd.relation,
+            ",".join(map(str, sorted(fd.lhs))),
+            ",".join(map(str, sorted(fd.rhs))),
+        )
+        for fd in schema.fds
+    )
+    return _digest("schema|" + ";".join(relations) + "|" + ";".join(fds))
+
+
+@lru_cache(maxsize=8192)
+def fingerprint_instance(instance: Instance) -> str:
+    """The canonical fingerprint of an instance (its fact set)."""
+    facts = sorted(_canonical_fact(fact) for fact in instance.facts)
+    return _digest("instance|" + ";".join(facts))
+
+
+@lru_cache(maxsize=8192)
+def fingerprint_priority(priority: PriorityRelation) -> str:
+    """The canonical fingerprint of a priority relation (its edge set)."""
+    edges = sorted(
+        _canonical_fact(better) + ">" + _canonical_fact(worse)
+        for better, worse in priority.edges
+    )
+    return _digest("priority|" + ";".join(edges))
+
+
+def fingerprint_prioritizing(prioritizing: PrioritizingInstance) -> str:
+    """The canonical fingerprint of a prioritizing instance.
+
+    Combines the schema, instance, and priority fingerprints with the
+    ccp flag (the flag changes which dichotomy applies, so it must split
+    cache entries even when the edges happen to be conflict-only).
+    """
+    return _digest(
+        "prioritizing|"
+        + fingerprint_schema(prioritizing.schema)
+        + "|"
+        + fingerprint_instance(prioritizing.instance)
+        + "|"
+        + fingerprint_priority(prioritizing.priority)
+        + "|ccp=" + str(prioritizing.is_ccp)
+    )
+
+
+def fingerprint_check_request(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    semantics: str = "global",
+    method: str = "auto",
+    node_budget: Optional[int] = None,
+) -> str:
+    """The cache key of one repair-check request.
+
+    Includes everything the answer depends on: the full prioritizing
+    instance, the candidate, the semantics, the method, and the node
+    budget (a budgeted run can return ``degraded`` where a larger budget
+    returns an answer, so budgets must not share entries).
+    """
+    return _digest(
+        "check|"
+        + fingerprint_prioritizing(prioritizing)
+        + "|"
+        + fingerprint_instance(candidate)
+        + f"|{semantics}|{method}|budget={node_budget}"
+    )

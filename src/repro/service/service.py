@@ -1,0 +1,524 @@
+"""`RepairService`: parallel, cached, observable batch repair checking.
+
+The front-end the rest of the repo talks to.  A batch of
+:class:`~repro.service.jobs.RepairJob` goes in; a
+:class:`~repro.service.jobs.BatchReport` comes out, with one
+:class:`~repro.service.jobs.JobResult` per job **in submission order**.
+
+Pipeline per batch:
+
+1. **Schedule** — jobs are ordered by descending ``priority`` (ties by
+   submission order).
+2. **Cache** — each job's canonical fingerprint is looked up in the LRU
+   result cache; hits (including duplicates *within* the batch) never
+   reach a worker.
+3. **Execute** — misses run on a ``concurrent.futures`` pool
+   (``"thread"``, ``"process"``, or in-line ``"serial"``), through the
+   degradation policy of :mod:`repro.service.policy`: tractable
+   questions use the paper's polynomial checkers, coNP-hard questions
+   use the budgeted improvement search and report ``degraded`` /
+   ``timeout`` instead of hanging.
+4. **Retry** — a worker raising
+   :class:`~repro.exceptions.TransientWorkerError` (or ``OSError``) is
+   retried with capped exponential backoff, up to
+   ``ServiceConfig.max_retries`` times; permanent failures become
+   ``status="error"`` results, never exceptions out of the batch.
+5. **Observe** — counters, per-algorithm latency histograms, and a
+   structured event log accumulate in a
+   :class:`~repro.service.metrics.MetricsRegistry`.
+
+Determinism contract: for any fixed batch and ``node_budget``, the
+``verdict()`` of every result is identical across worker counts,
+executor kinds, and cache temperatures (property-tested in
+``tests/properties/test_service_properties.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.classification import classification_cache_info
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.exceptions import TransientWorkerError
+from repro.service.cache import LRUCache
+from repro.service.fingerprint import fingerprint_check_request
+from repro.service.jobs import BatchReport, JobResult, RepairJob
+from repro.service.metrics import MetricsRegistry
+from repro.service.policy import Outcome, execute_check
+
+__all__ = ["ServiceConfig", "RepairService"]
+
+#: Exceptions the retry loop treats as transient worker failures.
+TRANSIENT_EXCEPTIONS = (TransientWorkerError, OSError)
+
+#: Statuses whose outcomes are deterministic and therefore cacheable.
+#: ``timeout`` depends on the wall clock and ``error`` may reflect a
+#: worker failure, so neither is ever cached.
+_CACHEABLE_STATUSES = frozenset({"ok", "degraded"})
+
+
+def _default_runner(job: RepairJob, node_budget, timeout) -> Outcome:
+    """Execute one job through the degradation policy (worker side)."""
+    return execute_check(
+        job.prioritizing,
+        job.candidate,
+        semantics=job.semantics,
+        method=job.method,
+        node_budget=node_budget,
+        timeout=timeout,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`RepairService`.
+
+    Attributes
+    ----------
+    workers:
+        Pool size for ``"thread"`` / ``"process"`` executors.
+    executor:
+        ``"serial"`` (run in the calling thread; the reference
+        behaviour), ``"thread"`` (default; shares the in-process caches,
+        overlaps well with cache hits), or ``"process"`` (true
+        parallelism for CPU-bound batches; jobs must be picklable and
+        the runner is fixed to the default policy).
+    cache_size:
+        Result-cache capacity (0 disables result caching).
+    default_timeout:
+        Per-job wall-clock seconds when the job does not set one
+        (None = no timeout).
+    default_node_budget:
+        Improvement-search node budget for coNP-hard jobs when the job
+        does not set one (None = unbounded, not recommended for a
+        service).
+    max_retries:
+        How many times a transiently-failing job is re-attempted.
+    backoff_base / backoff_cap:
+        Exponential backoff: attempt ``k`` sleeps
+        ``min(backoff_base * 2**k, backoff_cap)`` seconds.
+    """
+
+    workers: int = 1
+    executor: str = "thread"
+    cache_size: int = 2048
+    default_timeout: Optional[float] = None
+    default_node_budget: Optional[int] = 100_000
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"executor must be serial/thread/process, got {self.executor!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+class RepairService:
+    """A batch repair-checking service over the paper's checkers.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ServiceConfig` (defaults are sensible for tests and
+        small batches).
+    metrics / cache:
+        Injectable for sharing across services or asserting in tests.
+    runner:
+        The per-job execution function ``(job, node_budget, timeout) ->
+        Outcome``; tests inject flaky runners to exercise the retry
+        path.  Ignored by the ``"process"`` executor (workers always run
+        the default policy there, since a closure cannot be shipped).
+    sleep:
+        The backoff sleep function (injectable so retry tests run
+        instantly).
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, Schema
+    >>> from repro.core.priority import PrioritizingInstance
+    >>> from repro.service.jobs import RepairJob
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+    ... )
+    >>> service = RepairService(ServiceConfig(executor="serial"))
+    >>> report = service.run_batch(
+    ...     [RepairJob("j1", pri, schema.instance([f]))]
+    ... )
+    >>> report.results[0].status, report.results[0].is_optimal
+    ('ok', True)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[LRUCache] = None,
+        runner: Optional[Callable[..., Outcome]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = cache if cache is not None else LRUCache(
+            self.config.cache_size
+        )
+        self._runner = runner or _default_runner
+        self._sleep = sleep
+
+    # -- single-job convenience ----------------------------------------------------
+
+    def check(
+        self,
+        prioritizing: PrioritizingInstance,
+        candidate: Instance,
+        semantics: str = "global",
+        **job_fields,
+    ) -> JobResult:
+        """Check one candidate through the full service pipeline."""
+        job = RepairJob(
+            job_id="single",
+            prioritizing=prioritizing,
+            candidate=candidate,
+            semantics=semantics,
+            **job_fields,
+        )
+        return self.run_batch([job]).results[0]
+
+    # -- batch execution ------------------------------------------------------------
+
+    def run_batch(self, jobs: Sequence[RepairJob]) -> BatchReport:
+        """Run a batch; results come back in submission order."""
+        batch_start = time.monotonic()
+        ordered = sorted(
+            enumerate(jobs), key=lambda pair: (-pair[1].priority, pair[0])
+        )
+        results: Dict[int, JobResult] = {}
+        pending: List[Tuple[int, RepairJob, str]] = []
+        first_by_key: Dict[str, int] = {}
+        duplicates: List[Tuple[int, RepairJob, str]] = []
+
+        for position, job in ordered:
+            key = self._cache_key(job)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.counter("cache.hits").increment()
+                results[position] = self._reissue(cached, job, key)
+                continue
+            if key in first_by_key:
+                # An in-batch duplicate: resolved after the first
+                # occurrence executes, without spending a worker on it.
+                duplicates.append((position, job, key))
+            else:
+                self.metrics.counter("cache.misses").increment()
+                first_by_key[key] = position
+                pending.append((position, job, key))
+
+        if pending:
+            if self.config.executor == "serial" or self.config.workers == 1:
+                for position, job, key in pending:
+                    results[position] = self._finish(
+                        job, key, *self._attempt_with_retry(job)
+                    )
+            else:
+                self._run_pool(pending, results)
+
+        # Within-batch duplicates reuse the first occurrence's result
+        # (a cache hit in every sense that matters: no work was done).
+        for position, job, key in duplicates:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.counter("cache.hits").increment()
+                results[position] = self._reissue(cached, job, key)
+            else:
+                first = results[first_by_key[key]]
+                results[position] = self._reissue(
+                    first.to_dict(), job, key, from_cache=first.status
+                    in _CACHEABLE_STATUSES
+                )
+
+        ordered_results = [results[position] for position in range(len(jobs))]
+        for result in ordered_results:
+            self.metrics.counter(f"jobs.{result.status}").increment()
+        self.metrics.record_event(
+            "batch",
+            jobs=len(jobs),
+            duration=time.monotonic() - batch_start,
+        )
+        return BatchReport(
+            results=ordered_results,
+            metrics=self._metrics_snapshot(),
+            cache_stats=self.cache.stats(),
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _cache_key(self, job: RepairJob) -> str:
+        return fingerprint_check_request(
+            job.prioritizing,
+            job.candidate,
+            semantics=job.semantics,
+            method=job.method,
+            node_budget=self._budget_for(job),
+        )
+
+    def _budget_for(self, job: RepairJob) -> Optional[int]:
+        if job.node_budget is not None:
+            return job.node_budget
+        return self.config.default_node_budget
+
+    def _timeout_for(self, job: RepairJob) -> Optional[float]:
+        if job.timeout is not None:
+            return job.timeout
+        return self.config.default_timeout
+
+    def _reissue(
+        self,
+        cached: Dict,
+        job: RepairJob,
+        key: str,
+        from_cache: bool = True,
+    ) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            status=cached["status"],
+            is_optimal=cached["is_optimal"],
+            semantics=cached["semantics"],
+            method=cached["method"],
+            reason=cached["reason"],
+            cache_hit=from_cache,
+            attempts=0,
+            duration=0.0,
+            fingerprint=key,
+        )
+
+    def _attempt_with_retry(self, job: RepairJob) -> Tuple[Outcome, int, float]:
+        """Run one job with bounded retry; never raises.
+
+        Returns ``(outcome, attempts, duration)``.
+        """
+        budget = self._budget_for(job)
+        timeout = self._timeout_for(job)
+        start = time.monotonic()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = self._runner(job, budget, timeout)
+                return outcome, attempts, time.monotonic() - start
+            except TRANSIENT_EXCEPTIONS as exc:
+                if attempts > self.config.max_retries:
+                    outcome = Outcome(
+                        status="error",
+                        is_optimal=None,
+                        semantics=job.semantics,
+                        method="none",
+                        reason=(
+                            f"transient failure persisted after "
+                            f"{attempts} attempt(s): {exc}"
+                        ),
+                    )
+                    return outcome, attempts, time.monotonic() - start
+                delay = min(
+                    self.config.backoff_base * (2 ** (attempts - 1)),
+                    self.config.backoff_cap,
+                )
+                self.metrics.counter("jobs.retries").increment()
+                self.metrics.record_event(
+                    "retry",
+                    job_id=job.job_id,
+                    attempt=attempts,
+                    delay=delay,
+                    error=str(exc),
+                )
+                self._sleep(delay)
+            except Exception as exc:  # noqa: BLE001 - worker crash becomes a result
+                outcome = Outcome(
+                    status="error",
+                    is_optimal=None,
+                    semantics=job.semantics,
+                    method="none",
+                    reason=f"worker failed: {type(exc).__name__}: {exc}",
+                )
+                return outcome, attempts, time.monotonic() - start
+
+    def _finish(
+        self, job: RepairJob, key: str, outcome: Outcome, attempts: int,
+        duration: float,
+    ) -> JobResult:
+        result = JobResult(
+            job_id=job.job_id,
+            status=outcome.status,
+            is_optimal=outcome.is_optimal,
+            semantics=outcome.semantics,
+            method=outcome.method,
+            reason=outcome.reason,
+            cache_hit=False,
+            attempts=attempts,
+            duration=duration,
+            fingerprint=key,
+        )
+        if outcome.status in _CACHEABLE_STATUSES:
+            self.cache.put(key, result.to_dict())
+        self.metrics.histogram(f"latency.{outcome.method}").observe(duration)
+        if outcome.status == "degraded":
+            self.metrics.counter("jobs.degraded_routed").increment()
+        self.metrics.record_event(
+            "job",
+            job_id=job.job_id,
+            status=outcome.status,
+            method=outcome.method,
+            duration=duration,
+            attempts=attempts,
+        )
+        return result
+
+    def _run_pool(
+        self,
+        pending: List[Tuple[int, RepairJob, str]],
+        results: Dict[int, JobResult],
+    ) -> None:
+        if self.config.executor == "process":
+            pool_cls = ProcessPoolExecutor
+            submit_fn = _process_attempt
+        else:
+            pool_cls = ThreadPoolExecutor
+            submit_fn = None  # bound method used below
+        with pool_cls(max_workers=self.config.workers) as pool:
+            futures: Dict[Future, Tuple[int, RepairJob, str]] = {}
+            for position, job, key in pending:
+                if submit_fn is None:
+                    future = pool.submit(self._attempt_with_retry, job)
+                else:
+                    future = pool.submit(
+                        submit_fn,
+                        job,
+                        self._budget_for(job),
+                        self._timeout_for(job),
+                        self.config.max_retries,
+                        self.config.backoff_base,
+                        self.config.backoff_cap,
+                    )
+                futures[future] = (position, job, key)
+            for future, (position, job, key) in futures.items():
+                timeout = self._timeout_for(job)
+                try:
+                    # The in-worker deadline is the primary timeout (it
+                    # cancels the search cooperatively); this wait is a
+                    # backstop with slack for queueing behind other jobs.
+                    wait_for = (
+                        None
+                        if timeout is None
+                        else timeout * (len(pending) + 1) + 1.0
+                    )
+                    outcome, attempts, duration = future.result(wait_for)
+                except FutureTimeoutError:
+                    self.metrics.counter("jobs.pool_timeouts").increment()
+                    results[position] = self._finish(
+                        job,
+                        key,
+                        Outcome(
+                            status="timeout",
+                            is_optimal=None,
+                            semantics=job.semantics,
+                            method="none",
+                            reason="job exceeded its wall-clock timeout "
+                            "(abandoned by the coordinator)",
+                        ),
+                        attempts=1,
+                        duration=wait_for or 0.0,
+                    )
+                    continue
+                except Exception as exc:  # pool-level failure (e.g. broken pool)
+                    results[position] = self._finish(
+                        job,
+                        key,
+                        Outcome(
+                            status="error",
+                            is_optimal=None,
+                            semantics=job.semantics,
+                            method="none",
+                            reason=f"executor failed: {type(exc).__name__}: {exc}",
+                        ),
+                        attempts=1,
+                        duration=0.0,
+                    )
+                    continue
+                results[position] = self._finish(
+                    job, key, outcome, attempts, duration
+                )
+
+    def _metrics_snapshot(self) -> Dict:
+        snapshot = self.metrics.snapshot()
+        info = classification_cache_info()
+        snapshot["classification_cache"] = {
+            name: {
+                "hits": cache_info.hits,
+                "misses": cache_info.misses,
+                "size": cache_info.currsize,
+            }
+            for name, cache_info in info.items()
+        }
+        snapshot["result_cache"] = self.cache.stats()
+        return snapshot
+
+
+def _process_attempt(
+    job: RepairJob,
+    node_budget: Optional[int],
+    timeout: Optional[float],
+    max_retries: int,
+    backoff_base: float,
+    backoff_cap: float,
+) -> Tuple[Outcome, int, float]:
+    """The process-pool worker: default policy plus in-worker retry.
+
+    Module-level (picklable); mirrors ``_attempt_with_retry`` without
+    the injectable runner/sleep (closures cannot cross the process
+    boundary).
+    """
+    start = time.monotonic()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            outcome = _default_runner(job, node_budget, timeout)
+            return outcome, attempts, time.monotonic() - start
+        except TRANSIENT_EXCEPTIONS as exc:
+            if attempts > max_retries:
+                outcome = Outcome(
+                    status="error",
+                    is_optimal=None,
+                    semantics=job.semantics,
+                    method="none",
+                    reason=(
+                        f"transient failure persisted after "
+                        f"{attempts} attempt(s): {exc}"
+                    ),
+                )
+                return outcome, attempts, time.monotonic() - start
+            time.sleep(min(backoff_base * (2 ** (attempts - 1)), backoff_cap))
+        except Exception as exc:  # noqa: BLE001
+            outcome = Outcome(
+                status="error",
+                is_optimal=None,
+                semantics=job.semantics,
+                method="none",
+                reason=f"worker failed: {type(exc).__name__}: {exc}",
+            )
+            return outcome, attempts, time.monotonic() - start

@@ -165,3 +165,53 @@ class TestMultiRelationDecomposition:
         result = check_globally_optimal(running.prioritizing, running.j2)
         assert result.method == "per-relation"
         assert result.is_optimal
+
+
+class TestCandidateValidationUniform:
+    """Every method must reject a non-subinstance candidate identically.
+
+    The dispatcher validates the candidate once, up front, so the
+    failure mode cannot depend on which checker would have run.
+    """
+
+    @pytest.fixture
+    def bad_candidate_setup(self):
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        a = Fact("R", (1, "a"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        alien = schema.instance([Fact("R", (2, "b"))])
+        return pri, alien
+
+    @pytest.mark.parametrize(
+        "method", ["auto", "search", "brute-force", "paranoid"]
+    )
+    def test_every_method_raises_not_a_subinstance(
+        self, bad_candidate_setup, method
+    ):
+        pri, alien = bad_candidate_setup
+        with pytest.raises(NotASubinstanceError):
+            check_globally_optimal(pri, alien, method=method)
+
+    @pytest.mark.parametrize(
+        "method", ["auto", "search", "brute-force", "paranoid"]
+    )
+    def test_hard_schema_every_method_raises(self, method):
+        # On a coNP-hard schema too: validation precedes any
+        # tractability decision or brute-force refusal.
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        a = Fact("R", (1, "a", "x"))
+        pri = PrioritizingInstance(
+            schema, schema.instance([a]), PriorityRelation([])
+        )
+        alien = schema.instance([Fact("R", (9, "z", "q"))])
+        with pytest.raises(NotASubinstanceError):
+            check_globally_optimal(pri, alien, method=method)
+
+    def test_unknown_method_rejected_before_validation(
+        self, bad_candidate_setup
+    ):
+        pri, alien = bad_candidate_setup
+        with pytest.raises(ValueError, match="magic"):
+            check_globally_optimal(pri, alien, method="magic")

@@ -82,3 +82,63 @@ class TestWitnesses:
             gadget2.prioritizing, gadget2.repair
         )
         assert result2.is_optimal
+
+
+class TestBudgets:
+    """Node budgets and deadlines bound the search explicitly.
+
+    Exhaustion raises (the service layer turns it into a
+    degraded/timeout status); it never returns a wrong answer.
+    """
+
+    def hard_input(self, n_facts=40, seed=1):
+        import random
+
+        from repro.core.repairs import greedy_repair
+
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        instance = random_instance_with_conflicts(
+            schema, n_facts, 0.7, seed=seed
+        )
+        priority = random_conflict_priority(schema, instance, seed=seed)
+        pri = PrioritizingInstance(schema, instance, priority)
+        return pri, greedy_repair(schema, instance, random.Random(seed))
+
+    def test_tiny_node_budget_raises(self):
+        from repro.exceptions import SearchBudgetExceededError
+
+        pri, candidate = self.hard_input()
+        with pytest.raises(SearchBudgetExceededError) as excinfo:
+            check_globally_optimal_search(pri, candidate, node_budget=1)
+        assert excinfo.value.kind == "nodes"
+        assert excinfo.value.budget == 1
+        assert excinfo.value.nodes_explored == 2
+
+    def test_generous_budget_same_answer_as_unbounded(self):
+        pri, candidate = self.hard_input()
+        bounded = check_globally_optimal_search(
+            pri, candidate, node_budget=10**6
+        )
+        unbounded = check_globally_optimal_search(pri, candidate)
+        assert bounded.is_optimal == unbounded.is_optimal
+
+    def test_expired_deadline_raises(self):
+        import time
+
+        from repro.exceptions import SearchBudgetExceededError
+
+        # Big enough to guarantee >64 explored nodes (the deadline is
+        # checked every 64 nodes).
+        pri, candidate = self.hard_input(n_facts=160, seed=0)
+        with pytest.raises(SearchBudgetExceededError) as excinfo:
+            check_globally_optimal_search(
+                pri, candidate, deadline=time.monotonic() - 1.0
+            )
+        assert excinfo.value.kind == "deadline"
+
+    def test_zero_budget_raises_before_deciding(self):
+        from repro.exceptions import SearchBudgetExceededError
+
+        pri, candidate = self.hard_input()
+        with pytest.raises(SearchBudgetExceededError):
+            find_global_improvement(pri, candidate, node_budget=0)

@@ -257,3 +257,40 @@ class TestBruteForceEquivalenceValidation:
         )
         fast = equivalent_single_fd(fdset) is not None
         assert fast == exhaustive
+
+
+class TestMemoization:
+    """Classification verdicts are memoized per (hashable) schema."""
+
+    def test_repeat_calls_hit_the_cache(self):
+        from repro.core.classification import (
+            classification_cache_info,
+            classify_ccp_schema,
+            classify_schema,
+            clear_classification_caches,
+        )
+
+        clear_classification_caches()
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        first = classify_schema(schema)
+        before = classification_cache_info()["classical"].hits
+        second = classify_schema(schema)
+        after = classification_cache_info()["classical"].hits
+        assert after == before + 1
+        assert first is second  # the memo returns the same object
+
+        classify_ccp_schema(schema)
+        classify_ccp_schema(schema)
+        assert classification_cache_info()["ccp"].hits >= 1
+
+    def test_distinct_schemas_classified_independently(self):
+        from repro.core.classification import (
+            classify_schema,
+            clear_classification_caches,
+        )
+
+        clear_classification_caches()
+        tractable = Schema.single_relation(["1 -> 2"], arity=2)
+        hard = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        assert classify_schema(tractable).is_tractable
+        assert not classify_schema(hard).is_tractable

@@ -71,3 +71,45 @@ class TestCleaning:
 
     def test_clean_deterministic_per_seed(self, manager):
         assert manager.clean(seed=1) == manager.clean(seed=1)
+
+
+class TestCountingFastPath:
+    """`count_optimal_repairs` must agree between the polynomial
+    per-block counting path and the enumeration fallback."""
+
+    def enumeration_count(self, manager, semantics):
+        return sum(1 for _ in manager.optimal_repairs(semantics=semantics))
+
+    @pytest.mark.parametrize("semantics", ["global", "pareto"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fast_path_matches_enumeration(self, semantics, seed):
+        schema = Schema.single_relation(["1 -> 2"], relation="City", arity=2)
+        instance = random_instance_with_conflicts(schema, 8, 0.6, seed=seed)
+        prioritizing = random_prioritizing_instance(
+            schema, instance, seed=seed
+        )
+        manager = RepairManager(prioritizing)
+        assert manager._has_single_fd_fast_count(semantics)
+        assert manager.count_optimal_repairs(
+            semantics=semantics
+        ) == self.enumeration_count(manager, semantics)
+
+    def test_fast_path_used_on_fixture(self, manager):
+        assert manager._has_single_fd_fast_count("global")
+
+    def test_fallback_on_hard_schema(self):
+        schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+        instance = random_instance_with_conflicts(schema, 6, 0.5, seed=7)
+        prioritizing = random_prioritizing_instance(
+            schema, instance, seed=7
+        )
+        manager = RepairManager(prioritizing)
+        assert not manager._has_single_fd_fast_count("global")
+        assert manager.count_optimal_repairs() == self.enumeration_count(
+            manager, "global"
+        )
+
+    def test_fallback_on_ccp_and_completion(self, manager):
+        # completion semantics always enumerates; the count still lands.
+        assert not manager._has_single_fd_fast_count("completion")
+        assert manager.count_optimal_repairs(semantics="completion") >= 1

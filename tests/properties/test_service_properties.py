@@ -1,0 +1,120 @@
+"""Property-based determinism tests for the service layer.
+
+The service's contract is that batching, caching, worker pools, and
+priority scheduling are *transparent*: for any batch, every job's
+verdict is identical to a direct checker call, and identical across
+cache temperatures and worker counts.  Degraded outcomes (budget
+exhaustion on the coNP-hard side) must be deterministic for a fixed
+node budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PrioritizingInstance, Schema
+from repro.core.checking import check_globally_optimal
+from repro.core.repairs import enumerate_repairs
+from repro.service import RepairJob, RepairService, ServiceConfig
+from repro.workloads.priorities import random_conflict_priority
+
+from tests.properties.test_checker_agreement import make_instance, rows
+
+SINGLE_FD = Schema.single_relation(["1 -> 2"], arity=2)
+TWO_KEYS = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+HARD = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+
+
+def service(**config_fields):
+    config_fields.setdefault("executor", "serial")
+    return RepairService(
+        ServiceConfig(**config_fields), sleep=lambda _seconds: None
+    )
+
+
+def jobs_for(schema, instance, seed, **job_fields):
+    priority = random_conflict_priority(schema, instance, seed=seed)
+    pri = PrioritizingInstance(schema, instance, priority)
+    return pri, [
+        RepairJob(f"job-{index}", pri, candidate, **job_fields)
+        for index, candidate in enumerate(
+            enumerate_repairs(schema, instance)
+        )
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_batch_results_match_direct_checker(data, seed):
+    pri, jobs = jobs_for(SINGLE_FD, make_instance(SINGLE_FD, data), seed)
+    report = service().run_batch(jobs)
+    for job, result in zip(jobs, report.results):
+        direct = check_globally_optimal(pri, job.candidate)
+        assert result.status == "ok"
+        assert result.is_optimal == direct.is_optimal
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_warm_cache_preserves_verdicts(data, seed):
+    _, jobs = jobs_for(TWO_KEYS, make_instance(TWO_KEYS, data), seed)
+    svc = service()
+    cold = svc.run_batch(jobs)
+    warm = svc.run_batch(jobs)
+    assert [result.verdict() for result in warm.results] == [
+        result.verdict() for result in cold.results
+    ]
+    assert warm.cache_hits == len(jobs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows(2, max_rows=6), st.integers(min_value=0, max_value=10))
+def test_worker_count_and_executor_invariant(data, seed):
+    _, jobs = jobs_for(SINGLE_FD, make_instance(SINGLE_FD, data), seed)
+    reference = service().run_batch(jobs)
+    for workers in (2, 4):
+        threaded = RepairService(
+            ServiceConfig(executor="thread", workers=workers)
+        ).run_batch(jobs)
+        assert [result.verdict() for result in threaded.results] == [
+            result.verdict() for result in reference.results
+        ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows(3, max_rows=6), st.integers(min_value=0, max_value=10))
+def test_hard_schema_verdicts_match_direct_checker(data, seed):
+    """On the coNP-hard side (generous budget) the service's budgeted
+    search must agree with the dispatcher's brute force."""
+    pri, jobs = jobs_for(
+        HARD, make_instance(HARD, data), seed, node_budget=10**6
+    )
+    report = service().run_batch(jobs)
+    for job, result in zip(jobs, report.results):
+        direct = check_globally_optimal(pri, job.candidate)
+        assert result.status == "ok"
+        assert result.method == "improvement-search"
+        assert result.is_optimal == direct.is_optimal
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows(3, max_rows=6),
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=0, max_value=8),
+)
+def test_degraded_status_deterministic_for_fixed_budget(data, seed, budget):
+    """For a fixed node budget, ok-vs-degraded (and the verdict) is a
+    pure function of the input — across runs and cache temperatures."""
+    _, jobs = jobs_for(
+        HARD, make_instance(HARD, data), seed, node_budget=budget
+    )
+    first = service().run_batch(jobs)
+    second = service().run_batch(jobs)  # cold again: fresh service
+    warm_service = service()
+    warm_service.run_batch(jobs)
+    warm = warm_service.run_batch(jobs)
+    verdicts = [result.verdict() for result in first.results]
+    assert [result.verdict() for result in second.results] == verdicts
+    assert [result.verdict() for result in warm.results] == verdicts
+    for result in first.results:
+        assert result.status in ("ok", "degraded")

@@ -1,0 +1,93 @@
+"""Unit tests for the thread-safe LRU result cache."""
+
+import threading
+
+from repro.service.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(capacity=4)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert cache.hit_rate == 2 / 3
+
+    def test_peek_does_not_count(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.peek("a") is True
+        assert cache.peek("b") is False
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+    def test_clear(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.stats()["size"] == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.peek("b") is False
+        assert cache.peek("a") is True
+        assert cache.peek("c") is True
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert cache.stats()["size"] == 0
+
+    def test_update_existing_key_no_eviction(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("a") == 10
+        assert cache.peek("b") is True
+        assert cache.stats()["evictions"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get(self):
+        cache = LRUCache(capacity=64)
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(200):
+                    key = f"k{(offset + i) % 100}"
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t * 37,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.stats()["size"] <= 64

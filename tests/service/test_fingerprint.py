@@ -1,0 +1,88 @@
+"""Unit tests for canonical fingerprinting (`repro.service.fingerprint`)."""
+
+from repro.core import Fact, PriorityRelation, Schema
+from repro.service.fingerprint import (
+    fingerprint_check_request,
+    fingerprint_instance,
+    fingerprint_prioritizing,
+    fingerprint_priority,
+    fingerprint_schema,
+)
+
+from tests.conftest import make_pri
+
+
+def _facts(n):
+    return [Fact("R", (i // 2, "ab"[i % 2])) for i in range(n)]
+
+
+class TestSchemaFingerprint:
+    def test_stable_and_hex(self, single_fd_schema):
+        fp = fingerprint_schema(single_fd_schema)
+        assert fp == fingerprint_schema(single_fd_schema)
+        assert len(fp) == 64
+        int(fp, 16)  # valid hex digest
+
+    def test_fd_order_irrelevant(self):
+        a = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+        b = Schema.single_relation(["2 -> 1", "1 -> 2"], arity=2)
+        assert fingerprint_schema(a) == fingerprint_schema(b)
+
+    def test_distinct_schemas_distinct(self, single_fd_schema, hard_schema):
+        assert fingerprint_schema(single_fd_schema) != fingerprint_schema(
+            hard_schema
+        )
+
+
+class TestInstanceFingerprint:
+    def test_fact_order_irrelevant(self, single_fd_schema):
+        facts = _facts(6)
+        a = single_fd_schema.instance(facts)
+        b = single_fd_schema.instance(list(reversed(facts)))
+        assert fingerprint_instance(a) == fingerprint_instance(b)
+
+    def test_value_types_distinguished(self, single_fd_schema):
+        # 1 and "1" must not collide, even though repr-ing naively could.
+        a = single_fd_schema.instance([Fact("R", (1, "a"))])
+        b = single_fd_schema.instance([Fact("R", ("1", "a"))])
+        assert fingerprint_instance(a) != fingerprint_instance(b)
+
+
+class TestPriorityFingerprint:
+    def test_edge_order_irrelevant(self):
+        f, g, h = _facts(3)
+        a = PriorityRelation([(f, g), (g, h)])
+        b = PriorityRelation([(g, h), (f, g)])
+        assert fingerprint_priority(a) == fingerprint_priority(b)
+
+    def test_edge_direction_matters(self):
+        f, g = _facts(2)
+        a = PriorityRelation([(f, g)])
+        b = PriorityRelation([(g, f)])
+        assert fingerprint_priority(a) != fingerprint_priority(b)
+
+
+class TestPrioritizingFingerprint:
+    def test_ccp_flag_included(self, single_fd_schema):
+        f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        classical = make_pri(single_fd_schema, [f, g], [(f, g)])
+        ccp = make_pri(single_fd_schema, [f, g], [(f, g)], ccp=True)
+        assert fingerprint_prioritizing(classical) != fingerprint_prioritizing(
+            ccp
+        )
+
+
+class TestCheckRequestFingerprint:
+    def test_all_knobs_in_key(self, single_fd_schema):
+        f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        pri = make_pri(single_fd_schema, [f, g], [(f, g)])
+        cand = single_fd_schema.instance([f])
+        base = fingerprint_check_request(pri, cand)
+        assert base == fingerprint_check_request(pri, cand)
+        variants = [
+            fingerprint_check_request(pri, single_fd_schema.instance([g])),
+            fingerprint_check_request(pri, cand, semantics="pareto"),
+            fingerprint_check_request(pri, cand, method="brute-force"),
+            fingerprint_check_request(pri, cand, node_budget=7),
+        ]
+        assert len({base, *variants}) == len(variants) + 1

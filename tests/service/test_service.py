@@ -1,0 +1,415 @@
+"""Unit tests for `RepairService` — scheduling, caching, retry, degradation."""
+
+import pytest
+
+from repro.core import Fact
+from repro.core.checking import check_globally_optimal
+from repro.exceptions import TransientWorkerError
+from repro.service import (
+    LRUCache,
+    MetricsRegistry,
+    RepairJob,
+    RepairService,
+    ServiceConfig,
+)
+from repro.service.policy import execute_check
+
+from tests.service.conftest import hard_problem
+
+
+def serial_service(**config_fields):
+    config_fields.setdefault("executor", "serial")
+    return RepairService(
+        ServiceConfig(**config_fields), sleep=lambda _seconds: None
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+
+    def test_rejects_bad_executor(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(executor="fiber")
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_retries=-1)
+
+
+class TestBasicBatch:
+    def test_results_in_submission_order(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        jobs = [
+            RepairJob("first", prioritizing, optimal),
+            RepairJob("second", prioritizing, non_optimal),
+        ]
+        report = serial_service().run_batch(jobs)
+        assert [result.job_id for result in report.results] == [
+            "first",
+            "second",
+        ]
+        assert report.by_id("first").is_optimal is True
+        assert report.by_id("second").is_optimal is False
+        assert report.status_counts == {"ok": 2}
+        assert report.ok
+
+    def test_agrees_with_direct_checker(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        service = serial_service()
+        for candidate in (optimal, non_optimal):
+            direct = check_globally_optimal(prioritizing, candidate)
+            result = service.check(prioritizing, candidate)
+            assert result.status == "ok"
+            assert result.is_optimal == direct.is_optimal
+
+    def test_semantics_pass_through(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        service = serial_service()
+        for semantics in ("global", "pareto", "completion"):
+            result = service.check(prioritizing, optimal, semantics=semantics)
+            assert result.status == "ok"
+            assert result.semantics == semantics
+
+    def test_unknown_semantics_is_job_error(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        result = serial_service().check(
+            prioritizing, optimal, semantics="majority"
+        )
+        assert result.status == "error"
+        assert "majority" in result.reason
+
+    def test_bad_candidate_is_job_error_not_exception(
+        self, simple_problem, single_fd_schema
+    ):
+        prioritizing, _, _ = simple_problem
+        alien = single_fd_schema.instance([Fact("R", (99, "zz"))])
+        report = serial_service().run_batch(
+            [RepairJob("bad", prioritizing, alien)]
+        )
+        result = report.results[0]
+        assert result.status == "error"
+        assert "NotASubinstanceError" in result.reason
+        assert not report.ok
+
+
+class TestPriorityScheduling:
+    def test_higher_priority_runs_first(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        order = []
+
+        def recording_runner(job, node_budget, timeout):
+            order.append(job.job_id)
+            return execute_check(
+                job.prioritizing, job.candidate, job.semantics, job.method,
+                node_budget, timeout,
+            )
+
+        service = RepairService(
+            ServiceConfig(executor="serial"), runner=recording_runner
+        )
+        jobs = [
+            RepairJob("low", prioritizing, optimal, priority=0),
+            RepairJob("high", prioritizing, non_optimal, priority=10),
+            RepairJob("mid", prioritizing, optimal, priority=5),
+        ]
+        report = service.run_batch(jobs)
+        # "low" and "mid" share a fingerprint, so only the first-executed
+        # of the two reaches the runner; "high" must come first.
+        assert order[0] == "high"
+        assert order == ["high", "mid"]
+        # Results still in submission order.
+        assert [result.job_id for result in report.results] == [
+            "low",
+            "high",
+            "mid",
+        ]
+
+
+class TestCaching:
+    def test_warm_cache_hits(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        service = serial_service()
+        jobs = [
+            RepairJob("a", prioritizing, optimal),
+            RepairJob("b", prioritizing, non_optimal),
+        ]
+        cold = service.run_batch(jobs)
+        assert cold.cache_hits == 0
+        warm = service.run_batch(jobs)
+        assert warm.cache_hits == 2
+        assert [result.verdict() for result in warm.results] == [
+            result.verdict() for result in cold.results
+        ]
+        warmer = service.run_batch(jobs)
+        assert warmer.cache_hits == 2
+        # 4 hits / 6 lookups: repeated fingerprints clear the 50% bar.
+        assert warmer.cache_stats["hit_rate"] > 0.5
+
+    def test_in_batch_duplicates_deduplicated(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        calls = []
+
+        def counting_runner(job, node_budget, timeout):
+            calls.append(job.job_id)
+            return execute_check(
+                job.prioritizing, job.candidate, job.semantics, job.method,
+                node_budget, timeout,
+            )
+
+        service = RepairService(
+            ServiceConfig(executor="serial"), runner=counting_runner
+        )
+        jobs = [
+            RepairJob(f"dup-{index}", prioritizing, optimal)
+            for index in range(5)
+        ]
+        report = service.run_batch(jobs)
+        assert len(calls) == 1
+        assert report.cache_hits == 4
+        assert {result.is_optimal for result in report.results} == {True}
+
+    def test_cache_disabled(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        service = serial_service(cache_size=0)
+        service.check(prioritizing, optimal)
+        result = service.check(prioritizing, optimal)
+        assert result.cache_hit is False
+
+    def test_error_results_not_cached(self, simple_problem, single_fd_schema):
+        prioritizing, _, _ = simple_problem
+        alien = single_fd_schema.instance([Fact("R", (99, "zz"))])
+        service = serial_service()
+        first = service.check(prioritizing, alien)
+        second = service.check(prioritizing, alien)
+        assert first.status == second.status == "error"
+        assert second.cache_hit is False
+
+    def test_budget_is_part_of_cache_key(self):
+        prioritizing, candidate = hard_problem()
+        service = serial_service()
+        degraded = service.check(prioritizing, candidate, node_budget=1)
+        decided = service.check(prioritizing, candidate, node_budget=10**6)
+        assert degraded.status == "degraded"
+        assert decided.status == "ok"
+        assert degraded.fingerprint != decided.fingerprint
+
+
+class TestRetry:
+    def flaky_runner(self, failures_before_success):
+        attempts = {}
+
+        def runner(job, node_budget, timeout):
+            attempts[job.job_id] = attempts.get(job.job_id, 0) + 1
+            if attempts[job.job_id] <= failures_before_success:
+                raise TransientWorkerError(
+                    f"flaky attempt {attempts[job.job_id]}"
+                )
+            return execute_check(
+                job.prioritizing, job.candidate, job.semantics, job.method,
+                node_budget, timeout,
+            )
+
+        return runner
+
+    def test_transient_failure_retried_to_success(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        sleeps = []
+        service = RepairService(
+            ServiceConfig(
+                executor="serial",
+                max_retries=2,
+                backoff_base=0.05,
+                backoff_cap=1.0,
+            ),
+            runner=self.flaky_runner(failures_before_success=2),
+            sleep=sleeps.append,
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "ok"
+        assert result.attempts == 3
+        assert sleeps == [0.05, 0.1]  # capped exponential backoff
+        assert service.metrics.counter("jobs.retries").value == 2
+
+    def test_retries_exhausted_becomes_error(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        service = RepairService(
+            ServiceConfig(executor="serial", max_retries=1),
+            runner=self.flaky_runner(failures_before_success=5),
+            sleep=lambda _seconds: None,
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "error"
+        assert result.attempts == 2
+        assert "transient failure persisted" in result.reason
+
+    def test_backoff_capped(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        sleeps = []
+        service = RepairService(
+            ServiceConfig(
+                executor="serial",
+                max_retries=4,
+                backoff_base=0.5,
+                backoff_cap=1.0,
+            ),
+            runner=self.flaky_runner(failures_before_success=4),
+            sleep=sleeps.append,
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "ok"
+        assert sleeps == [0.5, 1.0, 1.0, 1.0]
+
+    def test_non_transient_crash_not_retried(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        calls = []
+
+        def crashing_runner(job, node_budget, timeout):
+            calls.append(job.job_id)
+            raise RuntimeError("boom")
+
+        service = RepairService(
+            ServiceConfig(executor="serial", max_retries=3),
+            runner=crashing_runner,
+            sleep=lambda _seconds: None,
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "error"
+        assert result.attempts == 1
+        assert len(calls) == 1
+        assert "RuntimeError: boom" in result.reason
+
+
+class TestDegradation:
+    def test_hard_schema_auto_routes_to_search(self):
+        prioritizing, candidate = hard_problem()
+        result = serial_service().check(prioritizing, candidate)
+        assert result.status == "ok"
+        assert result.method == "improvement-search"
+        # The budgeted search agrees with the unbounded brute force.
+        direct = check_globally_optimal(prioritizing, candidate)
+        assert result.is_optimal == direct.is_optimal
+
+    def test_tiny_budget_degrades_not_hangs(self):
+        prioritizing, candidate = hard_problem()
+        result = serial_service().check(
+            prioritizing, candidate, node_budget=2
+        )
+        assert result.status == "degraded"
+        assert result.is_optimal is None
+        assert "node budget" in result.reason
+
+    def test_degraded_deterministic_and_cacheable(self):
+        prioritizing, candidate = hard_problem()
+        service = serial_service()
+        first = service.check(prioritizing, candidate, node_budget=2)
+        second = service.check(prioritizing, candidate, node_budget=2)
+        assert first.verdict() == second.verdict()
+        assert second.cache_hit is True
+
+    def test_expired_deadline_times_out(self, deep_hard_problem):
+        prioritizing, candidate = deep_hard_problem
+        result = serial_service().check(
+            prioritizing, candidate, timeout=0.0
+        )
+        assert result.status == "timeout"
+        assert result.is_optimal is None
+
+    def test_timeouts_never_cached(self, deep_hard_problem):
+        prioritizing, candidate = deep_hard_problem
+        service = serial_service()
+        first = service.check(prioritizing, candidate, timeout=0.0)
+        assert first.status == "timeout"
+        assert service.cache.stats()["size"] == 0
+
+    def test_tractable_schema_never_degrades(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        result = serial_service().check(
+            prioritizing, optimal, node_budget=1
+        )
+        assert result.status == "ok"
+        assert result.method == "GRepCheck1FD"
+
+
+class TestExecutors:
+    def batch(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        hard_pri, hard_cand = hard_problem()
+        return [
+            RepairJob("opt", prioritizing, optimal),
+            RepairJob("non", prioritizing, non_optimal),
+            RepairJob("pareto", prioritizing, optimal, semantics="pareto"),
+            RepairJob("hard", hard_pri, hard_cand),
+            RepairJob("deg", hard_pri, hard_cand, node_budget=2),
+        ]
+
+    def test_thread_pool_matches_serial(self, simple_problem):
+        jobs = self.batch(simple_problem)
+        serial = serial_service().run_batch(jobs)
+        threaded = RepairService(
+            ServiceConfig(executor="thread", workers=4)
+        ).run_batch(jobs)
+        assert [result.verdict() for result in threaded.results] == [
+            result.verdict() for result in serial.results
+        ]
+
+    def test_process_pool_matches_serial(self, simple_problem):
+        jobs = self.batch(simple_problem)
+        serial = serial_service().run_batch(jobs)
+        processed = RepairService(
+            ServiceConfig(executor="process", workers=2)
+        ).run_batch(jobs)
+        assert [result.verdict() for result in processed.results] == [
+            result.verdict() for result in serial.results
+        ]
+
+
+class TestObservability:
+    def test_metrics_accumulate(self, simple_problem):
+        prioritizing, optimal, non_optimal = simple_problem
+        metrics = MetricsRegistry()
+        service = RepairService(
+            ServiceConfig(executor="serial"), metrics=metrics
+        )
+        report = service.run_batch(
+            [
+                RepairJob("a", prioritizing, optimal),
+                RepairJob("b", prioritizing, non_optimal),
+                RepairJob("a2", prioritizing, optimal),
+            ]
+        )
+        counters = report.metrics["counters"]
+        assert counters["jobs.ok"] == 3
+        assert counters["cache.misses"] == 2
+        assert counters["cache.hits"] == 1
+        histogram = report.metrics["histograms"]["latency.GRepCheck1FD"]
+        assert histogram["count"] == 2
+        kinds = [event["kind"] for event in report.metrics["events"]]
+        assert kinds.count("job") == 2
+        assert kinds[-1] == "batch"
+
+    def test_snapshot_includes_both_cache_layers(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        report = serial_service().run_batch(
+            [RepairJob("a", prioritizing, optimal)]
+        )
+        assert "classification_cache" in report.metrics
+        assert set(report.metrics["classification_cache"]) == {
+            "classical",
+            "ccp",
+        }
+        assert report.metrics["result_cache"]["capacity"] == 2048
+
+    def test_shared_cache_across_services(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        shared = LRUCache(capacity=16)
+        first = RepairService(
+            ServiceConfig(executor="serial"), cache=shared
+        )
+        second = RepairService(
+            ServiceConfig(executor="serial"), cache=shared
+        )
+        first.check(prioritizing, optimal)
+        result = second.check(prioritizing, optimal)
+        assert result.cache_hit is True
