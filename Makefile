@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-tables service-bench examples all clean
+.PHONY: install test bench bench-tables service-bench perf examples all clean
 
 install:
 	pip install -e .
@@ -18,6 +18,12 @@ bench-tables:
 # Service-layer throughput: workers x cache temperature (jobs/sec table).
 service-bench:
 	pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
+
+# Core fast-path speedups vs the retained literal baselines; writes
+# BENCH_core.json and fails on regression vs the committed numbers.
+# QUICK=1 runs the smallest workload only (CI smoke).
+perf:
+	PYTHONPATH=src python benchmarks/bench_core_fastpaths.py $(if $(QUICK),--quick)
 
 examples:
 	for script in examples/*.py; do \

@@ -39,7 +39,10 @@ from repro.core.checking.improvement_search import (
     check_globally_optimal_search,
     find_global_improvement,
 )
-from repro.core.checking.pareto import check_pareto_optimal
+from repro.core.checking.pareto import (
+    check_pareto_optimal,
+    check_pareto_optimal_literal,
+)
 from repro.core.checking.result import CheckResult
 from repro.core.checking.single_fd import (
     block_swap,
@@ -50,12 +53,14 @@ from repro.core.checking.two_keys import (
     SwapGraph,
     build_swap_graph,
     check_two_keys,
+    check_two_keys_literal,
 )
 
 __all__ = [
     "CheckResult",
     "check_globally_optimal",
     "check_pareto_optimal",
+    "check_pareto_optimal_literal",
     "check_completion_optimal",
     "check_globally_optimal_brute_force",
     "check_globally_optimal_paranoid",
@@ -65,6 +70,7 @@ __all__ = [
     "check_single_fd_literal",
     "block_swap",
     "check_two_keys",
+    "check_two_keys_literal",
     "build_swap_graph",
     "SwapGraph",
     "check_ccp_primary_key",

@@ -43,7 +43,9 @@ def consistent_partitions(
     Facts are grouped by their projection onto ``⟦R.∅^Δ⟧``; each group is
     one maximal consistent subset of ``R^I``.
     """
-    determined = schema.fds_for(relation_name).constant_attributes()
+    determined = tuple(
+        sorted(schema.fds_for(relation_name).constant_attributes())
+    )
     groups: Dict[Tuple, List[Fact]] = {}
     for fact in instance.relation(relation_name):
         groups.setdefault(fact.project(determined), []).append(fact)

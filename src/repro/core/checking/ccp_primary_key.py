@@ -26,7 +26,6 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck
-from repro.core.conflicts import ConflictIndex
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
@@ -98,11 +97,11 @@ def build_ccp_graph(
     instance = prioritizing.instance
     priority = prioritizing.priority
     outsiders = instance.facts - candidate.facts
-    candidate_index = ConflictIndex(prioritizing.schema, candidate)
+    index = prioritizing.conflict_index
     successors: Dict[Fact, Set[Fact]] = {fact: set() for fact in instance}
     for outsider in outsiders:
         # Conflict edges f -> g run from the candidate side.
-        for blocked in candidate_index.conflicts_of(outsider):
+        for blocked in index.conflicts_of_in(outsider, candidate.facts):
             successors[blocked].add(outsider)
         # Priority edges g -> f run back; only edges into J matter.
         for dominated in priority.preferred_over(outsider):

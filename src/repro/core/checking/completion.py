@@ -37,7 +37,6 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 from repro.core.checking.brute_force import check_globally_optimal_brute_force
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck
-from repro.core.conflicts import conflict_graph, conflicting_pairs
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
@@ -89,7 +88,7 @@ def check_completion_optimal(
     failure = precheck(prioritizing, candidate, "completion", _METHOD)
     if failure is not None:
         return failure
-    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    adjacency = prioritizing.conflict_index.adjacency()
     priority = prioritizing.priority
     remaining: Set[Fact] = set(prioritizing.instance.facts)
     to_pick: Set[Fact] = set(candidate.facts)
@@ -132,7 +131,7 @@ def greedy_completion_repair(
     """One greedy run: a (randomly chosen) completion-optimal repair."""
     _reject_ccp(prioritizing)
     rng = rng or random.Random(0)
-    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    adjacency = prioritizing.conflict_index.adjacency()
     priority = prioritizing.priority
     remaining: Set[Fact] = set(prioritizing.instance.facts)
     chosen: Set[Fact] = set()
@@ -161,7 +160,7 @@ def enumerate_completion_optimal_repairs(
     (the committed *set* determines the state, so we memoize on it).
     """
     _reject_ccp(prioritizing)
-    adjacency = conflict_graph(prioritizing.schema, prioritizing.instance)
+    adjacency = prioritizing.conflict_index.adjacency()
     priority = prioritizing.priority
     seen_states: Set[FrozenSet[Fact]] = set()
     results: Set[FrozenSet[Fact]] = set()
@@ -192,7 +191,10 @@ def _orientations_of_unordered_conflicts(
     prioritizing: PrioritizingInstance,
 ) -> Iterator[PriorityRelation]:
     """Every completion of ``≻``: acyclic extensions total on conflicts."""
-    pairs = conflicting_pairs(prioritizing.schema, prioritizing.instance)
+    pairs = frozenset(
+        frozenset({f, g})
+        for _, f, g in prioritizing.conflict_index.iter_conflicts()
+    )
     priority = prioritizing.priority
     unordered: List[Tuple[Fact, Fact]] = []
     for pair in sorted(pairs, key=str):

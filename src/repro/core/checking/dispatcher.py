@@ -39,7 +39,6 @@ from repro.core.classification import (
     classify_ccp_schema,
     classify_schema,
 )
-from repro.core.conflicts import ConflictIndex
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import IntractableSchemaError, NotASubinstanceError
@@ -178,7 +177,10 @@ def _lift_improvement(
     if result.improvement is None:
         return None
     kept = candidate.facts - candidate.relation(relation_name)
-    return Instance(
+    # Both fact sets come from instances already validated against this
+    # signature (the restriction shares its relation symbol), so the
+    # trusted path applies.
+    return Instance._from_validated(
         candidate.signature, kept | result.improvement.facts
     )
 
@@ -218,7 +220,7 @@ def _dispatch_ccp(
 
 def _is_conflict_only(prioritizing: PrioritizingInstance) -> bool:
     """Whether every priority edge relates conflicting facts."""
-    index = ConflictIndex(prioritizing.schema, prioritizing.instance)
+    index = prioritizing.conflict_index
     return all(
         worse in index.conflicts_of(better)
         for better, worse in prioritizing.priority.edges

@@ -41,7 +41,6 @@ from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck
-from repro.core.conflicts import ConflictIndex
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
@@ -69,19 +68,17 @@ class _Searcher:
         self.priority = prioritizing.priority
         self.candidate_facts = candidate.facts
         self.outsiders = prioritizing.instance.facts - candidate.facts
-        index = ConflictIndex(prioritizing.schema, candidate)
+        # One shared index over I answers both restricted views; nothing
+        # is rebuilt per candidate or per search.
+        index = prioritizing.conflict_index
         # Conflicts of each outsider inside the candidate, precomputed.
         self.evicts: Dict[Fact, FrozenSet[Fact]] = {
-            outsider: index.conflicts_of(outsider)
+            outsider: index.conflicts_of_in(outsider, self.candidate_facts)
             for outsider in self.outsiders
         }
         # Conflicts among outsiders, for consistency of `added`.
-        outsider_index = ConflictIndex(
-            prioritizing.schema,
-            prioritizing.instance.subinstance(self.outsiders),
-        )
         self.outsider_conflicts: Dict[Fact, FrozenSet[Fact]] = {
-            outsider: outsider_index.conflicts_of(outsider)
+            outsider: index.conflicts_of_in(outsider, self.outsiders)
             for outsider in self.outsiders
         }
         self.visited: Set[FrozenSet[Fact]] = set()

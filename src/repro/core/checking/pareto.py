@@ -10,12 +10,15 @@ The algorithm is the single-swap search of
 from __future__ import annotations
 
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck
-from repro.core.improvements import find_pareto_improvement
+from repro.core.checking.validation import precheck, precheck_fresh
+from repro.core.improvements import (
+    find_pareto_improvement,
+    find_pareto_improvement_fresh,
+)
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 
-__all__ = ["check_pareto_optimal"]
+__all__ = ["check_pareto_optimal", "check_pareto_optimal_literal"]
 
 _METHOD = "single-swap"
 
@@ -56,3 +59,33 @@ def check_pareto_optimal(
             reason="a single-swap Pareto improvement exists",
         )
     return CheckResult(is_optimal=True, semantics="pareto", method=_METHOD)
+
+
+def check_pareto_optimal_literal(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """The pre-fast-path Pareto check, rebuilding indexes per call.
+
+    Semantically identical to :func:`check_pareto_optimal` but uses
+    :func:`precheck_fresh` and
+    :func:`~repro.core.improvements.find_pareto_improvement_fresh`, both
+    of which build throwaway conflict indexes on every invocation.
+    Retained as the ablation baseline for the perf harness.
+    """
+    failure = precheck_fresh(
+        prioritizing, candidate, "pareto", _METHOD + "-literal"
+    )
+    if failure is not None:
+        return failure
+    improvement = find_pareto_improvement_fresh(prioritizing, candidate)
+    if improvement is not None:
+        return CheckResult(
+            is_optimal=False,
+            semantics="pareto",
+            method=_METHOD + "-literal",
+            improvement=improvement,
+            reason="a single-swap Pareto improvement exists",
+        )
+    return CheckResult(
+        is_optimal=True, semantics="pareto", method=_METHOD + "-literal"
+    )

@@ -26,10 +26,13 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck
+from repro.core.checking.validation import precheck, precheck_fresh
 from repro.core.fact import Fact
 from repro.core.fd import FD
-from repro.core.improvements import is_global_improvement
+from repro.core.improvements import (
+    is_global_improvement,
+    is_global_improvement_sets,
+)
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 
@@ -53,7 +56,7 @@ def block_swap(
     agreeing with ``fact_in`` on ``lhs ∪ rhs`` and adds all facts of
     ``instance`` agreeing with ``fact_out`` on ``lhs ∪ rhs``.
     """
-    span = fd.lhs | fd.rhs
+    span = fd.span_sorted
     removed = [
         fact for fact in candidate if fact.agrees_with(fact_in, span)
     ]
@@ -64,18 +67,15 @@ def block_swap(
 
 
 def _blocks(
-    instance: Instance, candidate: Instance, fd: FD
+    instance: Instance, fd: FD
 ) -> Dict[Tuple, Dict[Tuple, List[Fact]]]:
-    """Group the facts of ``instance`` by (lhs-value, rhs-value).
-
-    Returns ``{lhs_value: {rhs_value: facts}}`` restricted to lhs-groups
-    that contain at least one candidate fact (other groups admit no swap
-    with ``f ∈ J``).
-    """
+    """Group the facts of ``instance`` by (lhs-value, rhs-value)."""
+    lhs_sorted = fd.lhs_sorted
+    rhs_sorted = fd.rhs_sorted
     grouped: Dict[Tuple, Dict[Tuple, List[Fact]]] = {}
     for fact in instance:
-        lhs_value = fact.project(fd.lhs)
-        rhs_value = fact.project(fd.rhs)
+        lhs_value = fact.project(lhs_sorted)
+        rhs_value = fact.project(rhs_sorted)
         grouped.setdefault(lhs_value, {}).setdefault(rhs_value, []).append(
             fact
         )
@@ -102,7 +102,12 @@ def check_single_fd(
 
     For each lhs-group containing candidate facts, and each rhs-value of
     that group other than the candidate's, the corresponding block swap
-    is tested for being a global improvement.
+    is tested for being a global improvement.  The test runs directly on
+    the ``(added, removed)`` fact sets of the swap — the facts entering
+    a swap are always in a different rhs-block than the kept one, hence
+    outside the consistent candidate, so the symmetric difference is
+    known without building the swap instance; the witness ``Instance``
+    is materialized only for the swap that succeeds.
     """
     failure = precheck(prioritizing, candidate, "global", _METHOD)
     if failure is not None:
@@ -113,23 +118,24 @@ def check_single_fd(
         return CheckResult(is_optimal=True, semantics="global", method=_METHOD)
     instance = prioritizing.instance
     priority = prioritizing.priority
-    for lhs_value, by_rhs in _blocks(instance, candidate, fd).items():
+    candidate_facts = candidate.facts
+    for lhs_value, by_rhs in _blocks(instance, fd).items():
         kept_blocks = [
             (rhs_value, facts)
             for rhs_value, facts in by_rhs.items()
-            if any(fact in candidate for fact in facts)
+            if any(fact in candidate_facts for fact in facts)
         ]
         if not kept_blocks:
             continue
         # J is consistent, so exactly one rhs-block per lhs-group holds
         # candidate facts.
         (kept_rhs, kept_facts), = kept_blocks
-        removed = [fact for fact in kept_facts if fact in candidate]
+        removed = [fact for fact in kept_facts if fact in candidate_facts]
         for rhs_value, added in by_rhs.items():
             if rhs_value == kept_rhs:
                 continue
-            swap = candidate.replace_facts(removed, added)
-            if is_global_improvement(swap, candidate, priority):
+            if is_global_improvement_sets(added, removed, priority):
+                swap = candidate.replace_facts(removed, added)
                 return CheckResult(
                     is_optimal=False,
                     semantics="global",
@@ -152,9 +158,13 @@ def check_single_fd_literal(
 
     Loops over all conflicting pairs ``f ∈ J``, ``g ∈ I \\ J`` and tests
     whether ``J[f ↔ g]`` is a global improvement of ``J``.  Kept for
-    fidelity testing and for the block-vs-pair ablation benchmark.
+    fidelity testing and for the block-vs-pair ablation benchmark; uses
+    the per-call :func:`precheck_fresh` so its cost profile matches the
+    pre-fast-path implementation end to end.
     """
-    failure = precheck(prioritizing, candidate, "global", _METHOD + "-literal")
+    failure = precheck_fresh(
+        prioritizing, candidate, "global", _METHOD + "-literal"
+    )
     if failure is not None:
         return failure
     instance = prioritizing.instance

@@ -33,14 +33,22 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck
+from repro.core.checking.validation import precheck, precheck_fresh
 from repro.core.fact import Fact
 from repro.core.fd import FD
-from repro.core.improvements import find_pareto_improvement
+from repro.core.improvements import (
+    find_pareto_improvement,
+    find_pareto_improvement_fresh,
+)
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 
-__all__ = ["check_two_keys", "build_swap_graph", "SwapGraph"]
+__all__ = [
+    "check_two_keys",
+    "check_two_keys_literal",
+    "build_swap_graph",
+    "SwapGraph",
+]
 
 _METHOD = "GRepCheck2Keys"
 
@@ -139,26 +147,30 @@ def build_swap_graph(
     ``first`` and ``second`` are the two key left-hand sides; the left
     side of the graph carries ``first``-projections.
     """
+    first_sorted = tuple(sorted(first))
+    second_sorted = tuple(sorted(second))
     edges: Dict[_Node, Dict[_Node, Fact]] = {}
     # Forward edges: one per candidate fact.  Because `first` is a key
     # and the candidate is consistent, left nodes identify candidate
     # facts uniquely (and symmetrically for right nodes).
     second_value_to_fact: Dict[Tuple, Fact] = {}
     for fact in candidate:
-        left: _Node = ("L", fact.project(first))
-        right: _Node = ("R", fact.project(second))
+        second_value = fact.project(second_sorted)
+        left: _Node = ("L", fact.project(first_sorted))
+        right: _Node = ("R", second_value)
         edges.setdefault(left, {})[right] = fact
         edges.setdefault(right, {})
-        second_value_to_fact[fact.project(second)] = fact
+        second_value_to_fact[second_value] = fact
     # Backward edges: outsiders preferred to the candidate fact sharing
     # their `second` projection.
     priority = prioritizing.priority
     for outsider in prioritizing.instance.facts - candidate.facts:
-        blocked = second_value_to_fact.get(outsider.project(second))
+        second_value = outsider.project(second_sorted)
+        blocked = second_value_to_fact.get(second_value)
         if blocked is None or not priority.prefers(outsider, blocked):
             continue
-        right = ("R", outsider.project(second))
-        left = ("L", outsider.project(first))
+        right = ("R", second_value)
+        left = ("L", outsider.project(first_sorted))
         edges.setdefault(right, {})[left] = outsider
         edges.setdefault(left, {})
     return SwapGraph(first=first, second=second, edges=edges)
@@ -211,3 +223,91 @@ def check_two_keys(
                 reason=f"the swap graph {label} has a cycle (Lemma 4.4)",
             )
     return CheckResult(is_optimal=True, semantics="global", method=_METHOD)
+
+
+def _build_swap_graph_fresh(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    first: FrozenSet[int],
+    second: FrozenSet[int],
+) -> SwapGraph:
+    """Swap-graph construction with per-use projection, no caching.
+
+    The pre-fast-path builder: every projection recomputes
+    ``sorted(...)`` and slices the value tuple by hand, as
+    ``Fact.project`` did before the per-fact cache.  Retained for the
+    ablation benchmark so the measured baseline excludes the projection
+    fast path as well.
+    """
+
+    def project(fact: Fact, attributes: FrozenSet[int]) -> Tuple:
+        return tuple(fact.values[p - 1] for p in sorted(attributes))
+
+    edges: Dict[_Node, Dict[_Node, Fact]] = {}
+    second_value_to_fact: Dict[Tuple, Fact] = {}
+    for fact in candidate:
+        second_value = project(fact, second)
+        left: _Node = ("L", project(fact, first))
+        right: _Node = ("R", second_value)
+        edges.setdefault(left, {})[right] = fact
+        edges.setdefault(right, {})
+        second_value_to_fact[second_value] = fact
+    priority = prioritizing.priority
+    for outsider in prioritizing.instance.facts - candidate.facts:
+        second_value = project(outsider, second)
+        blocked = second_value_to_fact.get(second_value)
+        if blocked is None or not priority.prefers(outsider, blocked):
+            continue
+        right = ("R", second_value)
+        left = ("L", project(outsider, first))
+        edges.setdefault(right, {})[left] = outsider
+        edges.setdefault(left, {})
+    return SwapGraph(first=first, second=second, edges=edges)
+
+
+def check_two_keys_literal(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    key1: FD,
+    key2: FD,
+) -> CheckResult:
+    """``GRepCheck2Keys`` with the pre-fast-path cost profile.
+
+    Semantically identical to :func:`check_two_keys` but rebuilds every
+    index per call: :func:`precheck_fresh` for the repair pre-checks,
+    :func:`~repro.core.improvements.find_pareto_improvement_fresh` for
+    step 1, and a swap-graph builder that re-sorts and re-slices every
+    projection.  Retained as the ablation baseline for the perf harness.
+    """
+    failure = precheck_fresh(
+        prioritizing, candidate, "global", _METHOD + "-literal"
+    )
+    if failure is not None:
+        return failure
+    pareto = find_pareto_improvement_fresh(prioritizing, candidate)
+    if pareto is not None:
+        return CheckResult(
+            is_optimal=False,
+            semantics="global",
+            method=_METHOD + "-literal",
+            improvement=pareto,
+            reason="a Pareto improvement exists",
+        )
+    for first, second, label in (
+        (key1.lhs, key2.lhs, "G12"),
+        (key2.lhs, key1.lhs, "G21"),
+    ):
+        graph = _build_swap_graph_fresh(prioritizing, candidate, first, second)
+        cycle = graph.find_cycle()
+        if cycle is not None:
+            improvement = graph.cycle_to_improvement(cycle, candidate)
+            return CheckResult(
+                is_optimal=False,
+                semantics="global",
+                method=_METHOD + "-literal",
+                improvement=improvement,
+                reason=f"the swap graph {label} has a cycle (Lemma 4.4)",
+            )
+    return CheckResult(
+        is_optimal=True, semantics="global", method=_METHOD + "-literal"
+    )

@@ -26,7 +26,7 @@ from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import NotASubinstanceError
 
-__all__ = ["precheck"]
+__all__ = ["precheck", "precheck_fresh"]
 
 
 def precheck(
@@ -49,22 +49,75 @@ def precheck(
         malformed input rather than a "no" answer.
     """
     instance = prioritizing.instance
-    extra = candidate.facts - instance.facts
+    members = candidate.facts
+    extra = members - instance.facts
     if extra:
         raise NotASubinstanceError(
             f"candidate repair contains {len(extra)} fact(s) outside the "
             f"instance, e.g. {next(iter(extra))}"
         )
-    index = ConflictIndex(prioritizing.schema, candidate)
-    if not index.is_consistent():
+    # One shared index over I answers both pre-checks for every
+    # candidate via membership filtering; nothing is rebuilt per call.
+    index = prioritizing.conflict_index
+    if not index.is_consistent_subset(members):
         return CheckResult(
             is_optimal=False,
             semantics=semantics,
             method=method,
             reason="candidate is not consistent, hence not a repair",
         )
-    for outsider in instance.facts - candidate.facts:
-        if not index.conflicts_with_anything(outsider):
+    for outsider in instance.facts - members:
+        if not index.conflicts_with_anything_in(outsider, members):
+            return CheckResult(
+                is_optimal=False,
+                semantics=semantics,
+                method=method,
+                improvement=candidate.with_facts([outsider]),
+                reason=(
+                    f"candidate is not maximal: {outsider} can be added "
+                    f"without breaking consistency"
+                ),
+            )
+    return None
+
+
+def precheck_fresh(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    semantics: str,
+    method: str,
+) -> Optional[CheckResult]:
+    """The pre-fast-path pre-checks, rebuilding indexes per call.
+
+    Semantically identical to :func:`precheck` but builds a throwaway
+    :class:`ConflictIndex` over the candidate (and another over ``I``
+    for the maximality scan) on every invocation, exactly as the
+    checkers did before the shared-index fast path.  Retained as the
+    cost baseline the ``*_literal`` checkers and the perf harness
+    (``benchmarks/bench_core_fastpaths.py``) measure against.
+    """
+    instance = prioritizing.instance
+    members = candidate.facts
+    extra = members - instance.facts
+    if extra:
+        raise NotASubinstanceError(
+            f"candidate repair contains {len(extra)} fact(s) outside the "
+            f"instance, e.g. {next(iter(extra))}"
+        )
+    candidate_index = ConflictIndex(prioritizing.schema, candidate)
+    if not candidate_index.is_consistent():
+        return CheckResult(
+            is_optimal=False,
+            semantics=semantics,
+            method=method,
+            reason="candidate is not consistent, hence not a repair",
+        )
+    instance_index = ConflictIndex(prioritizing.schema, instance)
+    for outsider in instance.facts - members:
+        if not any(
+            conflicting in members
+            for conflicting in instance_index.conflicts_of(outsider)
+        ):
             return CheckResult(
                 is_optimal=False,
                 semantics=semantics,

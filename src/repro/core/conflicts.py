@@ -17,7 +17,17 @@ naive quadratic fallback used for ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.fact import Fact
 from repro.core.fd import FD
@@ -48,6 +58,16 @@ class ConflictIndex:
     * :meth:`conflicts_of` looks only inside the groups of one fact,
     * :meth:`iter_conflicts` enumerates conflicts group by group.
 
+    An index built once over the full instance ``I`` also answers the
+    same questions *restricted to any candidate subinstance* ``J ⊆ I``
+    via membership filtering (:meth:`conflicts_of_in`,
+    :meth:`conflicts_with_anything_in`, :meth:`is_consistent_subset`) —
+    conflicts are intra-``I`` pairs, so the conflicts of a fact inside
+    ``J`` are exactly its conflicts inside ``I`` that belong to ``J``.
+    The checking algorithms probe many candidates against one instance;
+    reusing a single index this way removes the per-candidate rebuild
+    that used to dominate their runtime.
+
     Examples
     --------
     >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
@@ -55,13 +75,16 @@ class ConflictIndex:
     >>> index = ConflictIndex(schema, inst)
     >>> index.is_consistent()
     False
+    >>> index.is_consistent_subset({Fact("R", (1, "a"))})
+    True
     """
 
-    __slots__ = ("_schema", "_instance", "_groups")
+    __slots__ = ("_schema", "_instance", "_groups", "_adjacency")
 
     def __init__(self, schema: Schema, instance: Instance) -> None:
         self._schema = schema
         self._instance = instance
+        self._adjacency: Optional[Dict[Fact, FrozenSet[Fact]]] = None
         groups: Dict[_Key, List[Fact]] = {}
         for relation, fdset in schema.per_relation():
             facts = instance.relation(relation.name)
@@ -70,8 +93,9 @@ class ConflictIndex:
             for fd in fdset:
                 if fd.is_trivial():
                     continue
+                lhs_sorted = fd.lhs_sorted
                 for fact in facts:
-                    key = (fd, fact.project(fd.lhs))
+                    key = (fd, fact.project(lhs_sorted))
                     groups.setdefault(key, []).append(fact)
         self._groups = groups
 
@@ -90,9 +114,30 @@ class ConflictIndex:
         for (fd, _), group in self._groups.items():
             if len(group) < 2:
                 continue
-            rhs_values = {fact.project(fd.rhs) for fact in group}
+            rhs_values = {fact.project(fd.rhs_sorted) for fact in group}
             if len(rhs_values) > 1:
                 return False
+        return True
+
+    def is_consistent_subset(self, members: AbstractSet[Fact]) -> bool:
+        """Whether the subinstance ``members ⊆ I`` satisfies every FD.
+
+        Filters each group down to ``members`` and checks its RHS values
+        are uniform — no per-candidate index build needed.
+        """
+        for (fd, _), group in self._groups.items():
+            if len(group) < 2:
+                continue
+            rhs_sorted = fd.rhs_sorted
+            seen = None
+            for fact in group:
+                if fact not in members:
+                    continue
+                value = fact.project(rhs_sorted)
+                if seen is None:
+                    seen = value
+                elif value != seen:
+                    return False
         return True
 
     def iter_conflicts(self) -> Iterator[Tuple[FD, Fact, Fact]]:
@@ -106,7 +151,7 @@ class ConflictIndex:
                 continue
             by_rhs: Dict[Tuple[object, ...], List[Fact]] = {}
             for fact in group:
-                by_rhs.setdefault(fact.project(fd.rhs), []).append(fact)
+                by_rhs.setdefault(fact.project(fd.rhs_sorted), []).append(fact)
             if len(by_rhs) < 2:
                 continue
             subgroups = list(by_rhs.values())
@@ -129,9 +174,37 @@ class ConflictIndex:
         for fd in fdset:
             if fd.is_trivial():
                 continue
-            key = (fd, fact.project(fd.lhs))
+            key = (fd, fact.project(fd.lhs_sorted))
+            rhs_sorted = fd.rhs_sorted
             for candidate in self._groups.get(key, ()):
-                if candidate != fact and candidate.disagrees_with(fact, fd.rhs):
+                if candidate != fact and candidate.disagrees_with(
+                    fact, rhs_sorted
+                ):
+                    result.add(candidate)
+        return frozenset(result)
+
+    def conflicts_of_in(
+        self, fact: Fact, members: AbstractSet[Fact]
+    ) -> FrozenSet[Fact]:
+        """The conflicts of ``fact`` that belong to ``members ⊆ I``.
+
+        This is :meth:`conflicts_of` computed against the subinstance
+        ``members`` of the indexed instance, answered by membership
+        filtering instead of building a fresh index over the candidate.
+        """
+        result: Set[Fact] = set()
+        fdset = self._schema.fds_for(fact.relation)
+        for fd in fdset:
+            if fd.is_trivial():
+                continue
+            key = (fd, fact.project(fd.lhs_sorted))
+            rhs_sorted = fd.rhs_sorted
+            for candidate in self._groups.get(key, ()):
+                if (
+                    candidate in members
+                    and candidate != fact
+                    and candidate.disagrees_with(fact, rhs_sorted)
+                ):
                     result.add(candidate)
         return frozenset(result)
 
@@ -141,11 +214,55 @@ class ConflictIndex:
         for fd in fdset:
             if fd.is_trivial():
                 continue
-            key = (fd, fact.project(fd.lhs))
+            key = (fd, fact.project(fd.lhs_sorted))
+            rhs_sorted = fd.rhs_sorted
             for candidate in self._groups.get(key, ()):
-                if candidate != fact and candidate.disagrees_with(fact, fd.rhs):
+                if candidate != fact and candidate.disagrees_with(
+                    fact, rhs_sorted
+                ):
                     return True
         return False
+
+    def conflicts_with_anything_in(
+        self, fact: Fact, members: AbstractSet[Fact]
+    ) -> bool:
+        """Whether ``fact`` conflicts with at least one fact of
+        ``members ⊆ I`` (the maximality probe of the pre-checks)."""
+        fdset = self._schema.fds_for(fact.relation)
+        for fd in fdset:
+            if fd.is_trivial():
+                continue
+            key = (fd, fact.project(fd.lhs_sorted))
+            rhs_sorted = fd.rhs_sorted
+            for candidate in self._groups.get(key, ()):
+                if (
+                    candidate in members
+                    and candidate != fact
+                    and candidate.disagrees_with(fact, rhs_sorted)
+                ):
+                    return True
+        return False
+
+    def adjacency(self) -> Dict[Fact, FrozenSet[Fact]]:
+        """The conflict graph over the indexed instance, computed once.
+
+        Same contract as :func:`conflict_graph` (isolated facts map to
+        an empty set); cached on the index because the completion
+        checkers and repair enumerators walk it repeatedly.
+        """
+        adjacency = self._adjacency
+        if adjacency is None:
+            neighbours: Dict[Fact, Set[Fact]] = {
+                fact: set() for fact in self._instance
+            }
+            for _, f, g in self.iter_conflicts():
+                neighbours[f].add(g)
+                neighbours[g].add(f)
+            adjacency = {
+                fact: frozenset(neigh) for fact, neigh in neighbours.items()
+            }
+            self._adjacency = adjacency
+        return adjacency
 
 
 def has_conflict(schema: Schema, instance: Instance) -> bool:
@@ -180,11 +297,7 @@ def conflict_graph(
     Isolated facts (conflicting with nothing) map to an empty set, so the
     mapping's key set is exactly the instance.
     """
-    adjacency: Dict[Fact, Set[Fact]] = {fact: set() for fact in instance}
-    for _, f, g in iter_conflicts(schema, instance):
-        adjacency[f].add(g)
-        adjacency[g].add(f)
-    return {fact: frozenset(neigh) for fact, neigh in adjacency.items()}
+    return ConflictIndex(schema, instance).adjacency()
 
 
 def facts_conflicting_with(

@@ -64,10 +64,12 @@ def _single_fd_block_count(
         return None
     if witness.is_trivial():
         return 1
+    lhs_sorted = witness.lhs_sorted
+    rhs_sorted = witness.rhs_sorted
     groups: Dict[Tuple, set] = {}
     for fact in instance.relation(relation_name):
-        groups.setdefault(fact.project(witness.lhs), set()).add(
-            fact.project(witness.rhs)
+        groups.setdefault(fact.project(lhs_sorted), set()).add(
+            fact.project(rhs_sorted)
         )
     count = 1
     for rhs_values in groups.values():

@@ -56,10 +56,12 @@ def _blocks_of_relation(
     prioritizing: PrioritizingInstance, relation_name: str, witness
 ) -> Dict[Tuple, _Block]:
     """``{A-value: {B-value: facts}}`` for one relation."""
+    lhs_sorted = witness.lhs_sorted
+    rhs_sorted = witness.rhs_sorted
     blocks: Dict[Tuple, _Block] = {}
     for fact in prioritizing.instance.relation(relation_name):
-        lhs_value = fact.project(witness.lhs)
-        rhs_value = fact.project(witness.rhs)
+        lhs_value = fact.project(lhs_sorted)
+        rhs_value = fact.project(rhs_sorted)
         blocks.setdefault(lhs_value, {}).setdefault(rhs_value, []).append(
             fact
         )

@@ -68,8 +68,36 @@ class Fact:
         This is the paper's ``f[A]`` notation (Section 4.2): the tuple of
         components of ``f`` in the positions of ``A`` in a fixed
         (ascending) order.
+
+        When ``attributes`` is already a strictly increasing tuple (e.g.
+        the precomputed ``lhs_sorted`` / ``rhs_sorted`` of an
+        :class:`~repro.core.fd.FD`), it is trusted as-is and the
+        normalizing ``sorted(set(...))`` pass is skipped; any other
+        iterable is normalized first.  Projections are memoized per fact,
+        keyed by the sorted position tuple, because the conflict index
+        and the checkers project the same facts on the same attribute
+        sets over and over.
         """
-        return tuple(self[position] for position in sorted(set(attributes)))
+        if type(attributes) is tuple:
+            positions = attributes
+        else:
+            positions = tuple(sorted(set(attributes)))
+        try:
+            cache = self._projections
+        except AttributeError:
+            cache = {}
+            object.__setattr__(self, "_projections", cache)
+        value = cache.get(positions)
+        if value is None:
+            values = self.values
+            if positions and not 1 <= positions[0] <= positions[-1] <= len(values):
+                raise IndexError(
+                    f"fact {self}: attributes {positions} out of range "
+                    f"1..{len(values)}"
+                )
+            value = tuple(values[position - 1] for position in positions)
+            cache[positions] = value
+        return value
 
     def agrees_with(self, other: "Fact", attributes: Iterable[int]) -> bool:
         """Whether this fact and ``other`` have equal values on ``attributes``.
@@ -79,7 +107,17 @@ class Fact:
         """
         if self.relation != other.relation:
             return False
-        return all(self[position] == other[position] for position in attributes)
+        mine = self.values
+        theirs = other.values
+        for position in attributes:
+            if position < 1:
+                raise IndexError(
+                    f"fact {self}: attribute {position} out of range "
+                    f"1..{len(mine)}"
+                )
+            if mine[position - 1] != theirs[position - 1]:
+                return False
+        return True
 
     def disagrees_with(self, other: "Fact", attributes: Iterable[int]) -> bool:
         """Whether the facts differ on at least one attribute in ``attributes``.
@@ -90,7 +128,17 @@ class Fact:
         """
         if self.relation != other.relation:
             return False
-        return any(self[position] != other[position] for position in attributes)
+        mine = self.values
+        theirs = other.values
+        for position in attributes:
+            if position < 1:
+                raise IndexError(
+                    f"fact {self}: attribute {position} out of range "
+                    f"1..{len(mine)}"
+                )
+            if mine[position - 1] != theirs[position - 1]:
+                return True
+        return False
 
     def replace(self, position: int, value: Any) -> "Fact":
         """A copy of this fact with attribute ``position`` set to ``value``."""
@@ -109,13 +157,18 @@ class Fact:
 
 
 def facts_agreeing_on(
-    facts: Iterable[Fact], reference: Fact, attributes: FrozenSet[int]
+    facts: Iterable[Fact], reference: Fact, attributes: Iterable[int]
 ) -> FrozenSet[Fact]:
     """All facts in ``facts`` that agree with ``reference`` on ``attributes``.
 
     A convenience used by the block-swap operation ``J[f ↔ g]`` of
     Section 4.1.
     """
+    positions = (
+        attributes
+        if type(attributes) is tuple
+        else tuple(sorted(set(attributes)))
+    )
     return frozenset(
-        fact for fact in facts if fact.agrees_with(reference, attributes)
+        fact for fact in facts if fact.agrees_with(reference, positions)
     )

@@ -64,6 +64,12 @@ class FD:
     ``rhs`` (yielding a trivial FD such as the ``S: ∅ → ∅`` of
     Example 3.3).
 
+    The derived attributes ``lhs_sorted``, ``rhs_sorted`` and
+    ``span_sorted`` (``lhs ∪ rhs``) hold the same positions as strictly
+    increasing tuples, in the trusted form :meth:`Fact.project` consumes
+    without re-sorting; they carry no extra information and do not
+    participate in equality or hashing.
+
     Examples
     --------
     >>> fd = FD("R", {1}, {2, 3})
@@ -99,6 +105,16 @@ class FD:
                     f"FD over {self.relation!r}: attribute positions are "
                     f"1-based, got {position}"
                 )
+        # Sorted-tuple forms of the attribute sets, precomputed once so
+        # the projection hot paths (conflict indexing, block grouping,
+        # swap graphs) never re-run sorted(set(...)) per fact.  Plain
+        # attributes rather than dataclass fields: equality, hashing and
+        # repr stay determined by (relation, lhs, rhs) alone.
+        object.__setattr__(self, "lhs_sorted", tuple(sorted(self.lhs)))
+        object.__setattr__(self, "rhs_sorted", tuple(sorted(self.rhs)))
+        object.__setattr__(
+            self, "span_sorted", tuple(sorted(self.lhs | self.rhs))
+        )
 
     @classmethod
     def parse(cls, text: str, relation: str = "") -> "FD":
@@ -165,9 +181,9 @@ class FD:
         """
         if fact1.relation != self.relation or fact2.relation != self.relation:
             return False
-        return fact1.agrees_with(fact2, self.lhs) and fact1.disagrees_with(
-            fact2, self.rhs
-        )
+        return fact1.agrees_with(
+            fact2, self.lhs_sorted
+        ) and fact1.disagrees_with(fact2, self.rhs_sorted)
 
     def __str__(self) -> str:
         def fmt(attrs: AttributeSet) -> str:

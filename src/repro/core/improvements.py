@@ -12,6 +12,14 @@ Every Pareto improvement is a global improvement.  A consistent
 subinstance is a globally-optimal (resp. Pareto-optimal) repair iff it has
 no global (resp. Pareto) improvement.
 
+Both conditions depend only on the symmetric difference ``(added,
+removed)`` between the two subinstances, so the module exposes them in
+two forms: the :class:`Instance`-level predicates of Definition 2.4 and
+the set-level :func:`is_global_improvement_sets` /
+:func:`is_pareto_improvement_sets` the checkers use to evaluate
+candidate swaps *without materializing a witness instance* — the full
+``Instance`` is only built for the swap that actually succeeds.
+
 The module also implements the key polynomial-time subroutine shared by
 all the tractable checkers: :func:`find_pareto_improvement`, based on the
 *single-swap characterization* — if any Pareto improvement exists, then
@@ -21,18 +29,43 @@ one of the form ``(J \\ C_g) ∪ {g}`` exists, where ``g ∈ I \\ J`` and
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set
+from typing import AbstractSet, Collection, FrozenSet, Iterable, Optional, Set
 
 from repro.core.conflicts import ConflictIndex
+from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 
 __all__ = [
     "is_global_improvement",
+    "is_global_improvement_sets",
     "is_pareto_improvement",
+    "is_pareto_improvement_sets",
     "find_pareto_improvement",
+    "find_pareto_improvement_fresh",
     "has_pareto_improvement",
 ]
+
+
+def is_global_improvement_sets(
+    added: Collection[Fact],
+    removed: Collection[Fact],
+    priority: PriorityRelation,
+) -> bool:
+    """The global-improvement condition on a symmetric difference.
+
+    ``added`` is ``J' \\ J`` and ``removed`` is ``J \\ J'`` for a
+    candidate ``J' = (J \\ removed) ∪ added``; both must be disjoint
+    from each other for the test to mean what Definition 2.4 says.
+    This is the allocation-free form the checkers evaluate per probed
+    swap, materializing an :class:`Instance` only on success.
+    """
+    if not added and not removed:
+        return False  # J' = J is never an improvement
+    for lost in removed:
+        if priority.improvers_of(lost).isdisjoint(added):
+            return False
+    return True
 
 
 def is_global_improvement(
@@ -49,15 +82,29 @@ def is_global_improvement(
     consistent by construction, so re-validating here would double the
     cost for nothing).
     """
-    if candidate.facts == current.facts:
-        return False
     added = candidate.facts - current.facts
     removed = current.facts - candidate.facts
-    for lost in removed:
-        improvers = priority.improvers_of(lost)
-        if improvers.isdisjoint(added):
-            return False
-    return True
+    return is_global_improvement_sets(added, removed, priority)
+
+
+def is_pareto_improvement_sets(
+    added: AbstractSet[Fact],
+    removed: AbstractSet[Fact],
+    priority: PriorityRelation,
+) -> bool:
+    """The Pareto-improvement condition on a symmetric difference.
+
+    Requires a witness in ``added`` preferred to every fact of
+    ``removed``; vacuous when ``removed`` is empty, so any proper
+    consistent superset Pareto-improves.
+    """
+    if not added:
+        return False
+    if not removed:
+        return True  # proper superset: vacuously Pareto-improving
+    return any(
+        removed <= priority.preferred_over(witness) for witness in added
+    )
 
 
 def is_pareto_improvement(
@@ -74,18 +121,13 @@ def is_pareto_improvement(
     """
     added = candidate.facts - current.facts
     removed = current.facts - candidate.facts
-    if not added:
-        return False
-    if not removed:
-        return True  # proper superset: vacuously Pareto-improving
-    return any(
-        removed <= priority.preferred_over(witness) for witness in added
-    )
+    return is_pareto_improvement_sets(added, removed, priority)
 
 
 def find_pareto_improvement(
     prioritizing: PrioritizingInstance,
     repair_candidate: Instance,
+    index: Optional[ConflictIndex] = None,
 ) -> Optional[Instance]:
     """A Pareto improvement of ``repair_candidate``, or None if optimal.
 
@@ -102,8 +144,36 @@ def find_pareto_improvement(
     This argument does not use the conflicting-facts restriction on ≻,
     so the routine is sound and complete for ccp-instances too.
 
-    The check runs in ``O(|I| · cost(conflict lookup))`` — polynomial, as
-    promised by Staworko et al. and quoted in Section 3 of the paper.
+    ``C_g`` is answered by the shared :class:`ConflictIndex` over ``I``
+    (``prioritizing.conflict_index``, or an explicitly passed ``index``)
+    restricted to ``J`` by membership filtering — no per-candidate index
+    build.  The check runs in ``O(|I| · cost(conflict lookup))`` —
+    polynomial, as promised by Staworko et al. and quoted in Section 3
+    of the paper.
+    """
+    instance = prioritizing.instance
+    priority = prioritizing.priority
+    if index is None:
+        index = prioritizing.conflict_index
+    members = repair_candidate.facts
+    for outsider in instance.facts - members:
+        blockers = index.conflicts_of_in(outsider, members)
+        if blockers <= priority.preferred_over(outsider):
+            return repair_candidate.replace_facts(blockers, (outsider,))
+    return None
+
+
+def find_pareto_improvement_fresh(
+    prioritizing: PrioritizingInstance,
+    repair_candidate: Instance,
+) -> Optional[Instance]:
+    """Ablation baseline: the single-swap search with a per-call index.
+
+    Semantically identical to :func:`find_pareto_improvement`, but
+    rebuilds a :class:`ConflictIndex` over the candidate on every call —
+    the pre-fast-path behaviour, retained so the perf-regression harness
+    (``benchmarks/bench_core_fastpaths.py``) can measure what the shared
+    index buys.
     """
     schema = prioritizing.schema
     instance = prioritizing.instance

@@ -6,6 +6,17 @@ finite set of facts; ``J ⊆ I`` (subinstance) is plain set inclusion.  The
 :class:`~repro.core.fact.Fact` objects that additionally knows its
 signature, validates arities, and offers per-relation views.
 
+Construction validates every fact against the signature exactly once.
+Derived instances (set operations, :meth:`Instance.replace_facts`,
+:meth:`Instance.subinstance`, per-relation restrictions) are built
+through the trusted :meth:`Instance._from_validated` path, which skips
+the O(|I|) re-validation scan for facts that are already known to
+conform — the checking algorithms derive thousands of candidate
+subinstances from one validated instance, and re-scanning each one
+dominated their runtime.  The per-relation grouping is likewise built
+lazily, on first use, so the short-lived instances on the checking hot
+path never pay for it.
+
 All repair-theoretic operations (conflicts, repairs, improvements) live in
 their own modules and take instances as inputs; this module is purely the
 data substrate.
@@ -13,6 +24,7 @@ data substrate.
 
 from __future__ import annotations
 
+import heapq
 from typing import (
     AbstractSet,
     Any,
@@ -31,6 +43,16 @@ from repro.core.signature import Signature
 from repro.exceptions import ArityError, NotASubinstanceError, UnknownRelationError
 
 __all__ = ["Instance"]
+
+
+def _validate_facts(signature: Signature, facts: Iterable[Fact]) -> None:
+    """Raise unless every fact names a known relation with the right arity."""
+    for fact in facts:
+        if fact.relation not in signature:
+            raise UnknownRelationError(fact.relation)
+        expected = signature.arity(fact.relation)
+        if fact.arity != expected:
+            raise ArityError(fact.relation, expected, fact.arity)
 
 
 class Instance:
@@ -60,24 +82,32 @@ class Instance:
     __slots__ = ("_signature", "_facts", "_by_relation")
 
     def __init__(self, signature: Signature, facts: Iterable[Fact] = ()) -> None:
-        validated = []
-        for fact in facts:
-            if fact.relation not in signature:
-                raise UnknownRelationError(fact.relation)
-            expected = signature.arity(fact.relation)
-            if fact.arity != expected:
-                raise ArityError(fact.relation, expected, fact.arity)
-            validated.append(fact)
+        fact_set = facts if isinstance(facts, frozenset) else frozenset(facts)
+        _validate_facts(signature, fact_set)
         self._signature = signature
-        self._facts: FrozenSet[Fact] = frozenset(validated)
-        by_relation: Dict[str, set] = {}
-        for fact in self._facts:
-            by_relation.setdefault(fact.relation, set()).add(fact)
-        self._by_relation: Dict[str, FrozenSet[Fact]] = {
-            name: frozenset(group) for name, group in by_relation.items()
-        }
+        self._facts: FrozenSet[Fact] = fact_set
+        self._by_relation: Optional[Dict[str, FrozenSet[Fact]]] = None
 
     # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def _from_validated(
+        cls, signature: Signature, facts: Iterable[Fact]
+    ) -> "Instance":
+        """Trusted constructor: ``facts`` are already signature-valid.
+
+        Used internally for instances derived from validated ones (set
+        operations, swaps, subinstances), where re-running the arity and
+        relation-name scan would be pure overhead.  Callers must
+        guarantee every fact already conforms to ``signature``.
+        """
+        instance = cls.__new__(cls)
+        instance._signature = signature
+        instance._facts = (
+            facts if isinstance(facts, frozenset) else frozenset(facts)
+        )
+        instance._by_relation = None
+        return instance
 
     @classmethod
     def from_tuples(
@@ -103,18 +133,34 @@ class Instance:
 
     def with_facts(self, facts: Iterable[Fact]) -> "Instance":
         """A new instance additionally containing ``facts``."""
-        return Instance(self._signature, self._facts | frozenset(facts))
+        additions = frozenset(facts) - self._facts
+        _validate_facts(self._signature, additions)
+        return Instance._from_validated(
+            self._signature, self._facts | additions
+        )
 
     def without_facts(self, facts: Iterable[Fact]) -> "Instance":
         """A new instance with ``facts`` removed (missing facts ignored)."""
-        return Instance(self._signature, self._facts - frozenset(facts))
+        return Instance._from_validated(
+            self._signature, self._facts - frozenset(facts)
+        )
 
     def replace_facts(
         self, removed: Iterable[Fact], added: Iterable[Fact]
     ) -> "Instance":
-        """A new instance with ``removed`` taken out and ``added`` put in."""
-        return Instance(
-            self._signature, (self._facts - frozenset(removed)) | frozenset(added)
+        """A new instance with ``removed`` taken out and ``added`` put in.
+
+        Only genuinely new facts (``added`` minus the current fact set)
+        are validated; the rest are already known to conform, which
+        makes this the O(|removed| + |added|) swap primitive the
+        checkers lean on.
+        """
+        added_set = added if isinstance(added, frozenset) else frozenset(added)
+        new_facts = added_set - self._facts
+        if new_facts:
+            _validate_facts(self._signature, new_facts)
+        return Instance._from_validated(
+            self._signature, (self._facts - frozenset(removed)) | added_set
         )
 
     # -- set protocol ----------------------------------------------------------
@@ -159,32 +205,58 @@ class Instance:
         return self._facts < other._facts
 
     def __or__(self, other: "Instance") -> "Instance":
+        if (
+            self._signature is other._signature
+            or self._signature == other._signature
+        ):
+            return Instance._from_validated(
+                self._signature, self._facts | other._facts
+            )
         return Instance(self._signature, self._facts | other._facts)
 
     def __sub__(self, other: "Instance") -> "Instance":
-        return Instance(self._signature, self._facts - other._facts)
+        return Instance._from_validated(
+            self._signature, self._facts - other._facts
+        )
 
     def __and__(self, other: "Instance") -> "Instance":
-        return Instance(self._signature, self._facts & other._facts)
+        return Instance._from_validated(
+            self._signature, self._facts & other._facts
+        )
 
     # -- views -----------------------------------------------------------------
+
+    def _relation_map(self) -> Dict[str, FrozenSet[Fact]]:
+        """The facts grouped by relation, built lazily on first use."""
+        by_relation = self._by_relation
+        if by_relation is None:
+            grouped: Dict[str, set] = {}
+            for fact in self._facts:
+                grouped.setdefault(fact.relation, set()).add(fact)
+            by_relation = {
+                name: frozenset(group) for name, group in grouped.items()
+            }
+            self._by_relation = by_relation
+        return by_relation
 
     def relation(self, name: str) -> FrozenSet[Fact]:
         """The facts of relation ``name`` (empty for unused relations)."""
         if name not in self._signature:
             raise UnknownRelationError(name)
-        return self._by_relation.get(name, frozenset())
+        return self._relation_map().get(name, frozenset())
 
     def relation_names_used(self) -> FrozenSet[str]:
         """The relation names that actually hold at least one fact."""
-        return frozenset(self._by_relation)
+        return frozenset(self._relation_map())
 
     def restrict_to_relation(self, name: str) -> "Instance":
         """The instance over the one-relation signature ``{name}``.
 
         This is the per-relation decomposition used by Proposition 3.5.
         """
-        return Instance(self._signature.restrict(name), self.relation(name))
+        return Instance._from_validated(
+            self._signature.restrict(name), self.relation(name)
+        )
 
     def subinstance(self, facts: Iterable[Fact]) -> "Instance":
         """A subinstance with exactly ``facts``, validated to be ⊆ self."""
@@ -195,7 +267,7 @@ class Instance:
                 f"{len(extra)} fact(s) are not part of the instance, "
                 f"e.g. {next(iter(extra))}"
             )
-        return Instance(self._signature, chosen)
+        return Instance._from_validated(self._signature, chosen)
 
     def active_domain(self) -> FrozenSet[Any]:
         """All constants appearing anywhere in the instance."""
@@ -204,6 +276,8 @@ class Instance:
         )
 
     def __repr__(self) -> str:
-        preview = ", ".join(str(f) for f in sorted(self._facts, key=str)[:6])
+        preview = ", ".join(
+            str(f) for f in heapq.nsmallest(6, self._facts, key=str)
+        )
         suffix = ", ..." if len(self._facts) > 6 else ""
         return f"Instance({len(self._facts)} facts: {preview}{suffix})"

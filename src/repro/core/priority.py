@@ -68,7 +68,14 @@ class PriorityRelation:
     __slots__ = ("_edges", "_successors", "_predecessors")
 
     def __init__(self, edges: Iterable[Tuple[Fact, Fact]] = ()) -> None:
-        edge_set: FrozenSet[Tuple[Fact, Fact]] = frozenset(edges)
+        self._init_adjacency(frozenset(edges))
+        cycle = self._find_cycle()
+        if cycle is not None:
+            raise CyclicPriorityError(cycle)
+
+    def _init_adjacency(
+        self, edge_set: FrozenSet[Tuple[Fact, Fact]]
+    ) -> None:
         successors: Dict[Fact, Set[Fact]] = {}
         predecessors: Dict[Fact, Set[Fact]] = {}
         for better, worse in edge_set:
@@ -81,9 +88,21 @@ class PriorityRelation:
         self._predecessors = {
             fact: frozenset(ins) for fact, ins in predecessors.items()
         }
-        cycle = self._find_cycle()
-        if cycle is not None:
-            raise CyclicPriorityError(cycle)
+
+    @classmethod
+    def _from_acyclic(
+        cls, edges: Iterable[Tuple[Fact, Fact]]
+    ) -> "PriorityRelation":
+        """Trusted constructor: the caller guarantees ``edges`` is acyclic.
+
+        Skips the DFS cycle scan; used where acyclicity is preserved by
+        construction — restrictions of an acyclic relation (every
+        subgraph of a DAG is a DAG) and edges emitted along a known
+        topological order.
+        """
+        relation = cls.__new__(cls)
+        relation._init_adjacency(frozenset(edges))
+        return relation
 
     def _find_cycle(self) -> Optional[List[Fact]]:
         """An iterative DFS cycle finder; returns a witness cycle or None."""
@@ -134,18 +153,31 @@ class PriorityRelation:
         return cls()
 
     def with_edges(
-        self, edges: Iterable[Tuple[Fact, Fact]]
+        self,
+        edges: Iterable[Tuple[Fact, Fact]],
+        assume_acyclic: bool = False,
     ) -> "PriorityRelation":
-        """A new relation with ``edges`` added (re-validates acyclicity)."""
-        return PriorityRelation(self._edges | frozenset(edges))
+        """A new relation with ``edges`` added.
+
+        Re-validates acyclicity by default; pass ``assume_acyclic=True``
+        to skip the scan when the combined relation is acyclic by
+        construction (e.g. the added edges follow a topological order of
+        the existing relation, as the workload generators guarantee).
+        """
+        combined = self._edges | frozenset(edges)
+        if assume_acyclic:
+            return PriorityRelation._from_acyclic(combined)
+        return PriorityRelation(combined)
 
     def restrict_to(self, facts: Iterable[Fact]) -> "PriorityRelation":
         """The restriction of ``≻`` to pairs inside ``facts``.
 
-        Used by the per-relation decomposition of Proposition 3.5.
+        Used by the per-relation decomposition of Proposition 3.5.  A
+        restriction of an acyclic relation is acyclic, so no cycle
+        re-validation is needed.
         """
-        keep = frozenset(facts)
-        return PriorityRelation(
+        keep = facts if isinstance(facts, frozenset) else frozenset(facts)
+        return PriorityRelation._from_acyclic(
             (f, g) for f, g in self._edges if f in keep and g in keep
         )
 
@@ -187,17 +219,23 @@ class PriorityRelation:
         return frozenset(self._successors) | frozenset(self._predecessors)
 
     def is_total_on_conflicts(
-        self, schema: Schema, instance: Instance
+        self,
+        schema: Schema,
+        instance: Instance,
+        index: Optional[ConflictIndex] = None,
     ) -> bool:
         """Whether every conflicting pair of ``instance`` is ≻-comparable.
 
         Total priorities are the *completions* of Staworko et al.'s
-        completion-optimal semantics.
+        completion-optimal semantics.  Pass a prebuilt ``index`` over
+        ``instance`` (e.g. :attr:`PrioritizingInstance.conflict_index`)
+        to avoid rebuilding one per call.
         """
-        from repro.core.conflicts import iter_conflicts
-
-        for _, f, g in iter_conflicts(schema, instance):
-            if not (self.prefers(f, g) or self.prefers(g, f)):
+        if index is None:
+            index = ConflictIndex(schema, instance)
+        edges = self._edges
+        for _, f, g in index.iter_conflicts():
+            if (f, g) not in edges and (g, f) not in edges:
                 return False
         return True
 
@@ -232,7 +270,7 @@ class PrioritizingInstance:
     True
     """
 
-    __slots__ = ("_schema", "_instance", "_priority", "_ccp")
+    __slots__ = ("_schema", "_instance", "_priority", "_ccp", "_conflict_index")
 
     def __init__(
         self,
@@ -248,6 +286,7 @@ class PrioritizingInstance:
                 f"priority mentions {len(missing)} fact(s) outside the "
                 f"instance, e.g. {next(iter(missing))}"
             )
+        index: Optional[ConflictIndex] = None
         if not ccp:
             index = ConflictIndex(schema, instance)
             for better, worse in priority.edges:
@@ -261,6 +300,49 @@ class PrioritizingInstance:
         self._instance = instance
         self._priority = priority
         self._ccp = ccp
+        # The index built for the classical-priority validation above is
+        # kept (not discarded): every checker needs exactly this index
+        # over I, and conflict_index hands it out.
+        self._conflict_index = index
+
+    @classmethod
+    def _from_validated(
+        cls,
+        schema: Schema,
+        instance: Instance,
+        priority: PriorityRelation,
+        ccp: bool = False,
+        conflict_index: Optional[ConflictIndex] = None,
+    ) -> "PrioritizingInstance":
+        """Trusted constructor: the caller guarantees the invariants.
+
+        Skips the membership and conflicting-facts validation; used for
+        restrictions of an already-validated prioritizing instance,
+        where the invariants hold by construction.
+        """
+        prioritizing = cls.__new__(cls)
+        prioritizing._schema = schema
+        prioritizing._instance = instance
+        prioritizing._priority = priority
+        prioritizing._ccp = ccp
+        prioritizing._conflict_index = conflict_index
+        return prioritizing
+
+    @property
+    def conflict_index(self) -> ConflictIndex:
+        """A :class:`ConflictIndex` over the full instance ``I``, cached.
+
+        Classical instances reuse the index their constructor built for
+        the conflicting-facts validation; ccp instances (and trusted
+        restrictions) build it lazily on first use.  All checkers share
+        this one index — per-candidate questions go through its
+        membership-filtered views.
+        """
+        index = self._conflict_index
+        if index is None:
+            index = ConflictIndex(self._schema, self._instance)
+            self._conflict_index = index
+        return index
 
     @property
     def schema(self) -> Schema:
@@ -299,7 +381,11 @@ class PrioritizingInstance:
                 "ccp-instances"
             )
         restricted_instance = self._instance.restrict_to_relation(name)
-        return PrioritizingInstance(
+        # Conflicts are intra-relation, so the restricted priority's
+        # edges still relate conflicting facts of the restricted
+        # instance; all invariants hold by construction and the trusted
+        # path skips re-validating them.
+        return PrioritizingInstance._from_validated(
             self._schema.restrict(name),
             restricted_instance,
             self._priority.restrict_to(restricted_instance.facts),

@@ -1,0 +1,267 @@
+"""Property-based equivalence of the fast paths and their baselines.
+
+The perf work (trusted ``Instance`` constructors, cached projections,
+the shared ``ConflictIndex``, block-level swaps, the set-based
+improvement tests) must never change an answer — only its cost.  These
+suites pin that down against three kinds of ground truth:
+
+* the retained ``*_literal`` checkers (the pre-fast-path algorithms);
+* ``naive_conflicting_pairs`` (the quadratic conflict scan);
+* a *fresh-Instance control*: instances rebuilt from scratch through
+  the fully validating constructor, never through ``_from_validated``.
+
+Coverage spans both sides of the dichotomy (single-FD / two-keys
+tractable schemas and the hard ``1→2, 2→3`` schema) and both priority
+regimes (classical and ccp).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core.checking import (
+    check_pareto_optimal,
+    check_pareto_optimal_literal,
+    check_single_fd,
+    check_single_fd_literal,
+    check_two_keys,
+    check_two_keys_literal,
+)
+from repro.core.classification import equivalent_single_fd, equivalent_two_keys
+from repro.core.conflicts import ConflictIndex, naive_conflicting_pairs
+from repro.core.improvements import (
+    find_pareto_improvement,
+    find_pareto_improvement_fresh,
+    is_pareto_improvement,
+)
+from repro.core.repairs import enumerate_repairs
+from repro.workloads.priorities import (
+    random_ccp_priority,
+    random_conflict_priority,
+)
+
+from tests.conftest import assert_result_witness_valid
+
+SINGLE_FD = Schema.single_relation(["1 -> 2"], arity=2)
+SINGLE_FD_WIDE = Schema.single_relation(["1 -> 2"], arity=3)
+TWO_KEYS = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+HARD = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+
+SINGLE_FD_WITNESS = equivalent_single_fd(SINGLE_FD.fds_for("R"))
+KEY1, KEY2 = equivalent_two_keys(TWO_KEYS.fds_for("R"))
+
+
+def make_instance(schema, rows):
+    relation = next(iter(schema.signature)).name
+    arity = schema.signature.arity(relation)
+    facts = [Fact(relation, tuple(row[:arity])) for row in rows]
+    return schema.instance(facts)
+
+
+def rows(arity, alphabet_size=3, max_rows=7):
+    cell = st.integers(min_value=0, max_value=alphabet_size - 1)
+    return st.lists(
+        st.tuples(*([cell] * arity)), min_size=1, max_size=max_rows
+    )
+
+
+def prioritize(schema, instance, seed, ccp=False):
+    if ccp:
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.2, seed=seed
+        )
+    else:
+        priority = random_conflict_priority(schema, instance, seed=seed)
+    return PrioritizingInstance(schema, instance, priority, ccp=ccp)
+
+
+def candidates_of(schema, instance, seed):
+    """All repairs plus a few arbitrary (possibly non-repair) subsets.
+
+    The non-repair subsets exercise the consistency / maximality
+    pre-checks, where the fast path and the literal path use different
+    index machinery.
+    """
+    yield from enumerate_repairs(schema, instance)
+    rng = random.Random(seed)
+    facts = sorted(instance.facts, key=str)
+    for _ in range(3):
+        chosen = [fact for fact in facts if rng.random() < 0.5]
+        yield instance.subinstance(chosen)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_single_fd_fast_equals_literal(data, seed):
+    instance = make_instance(SINGLE_FD, data)
+    pri = prioritize(SINGLE_FD, instance, seed)
+    for candidate in candidates_of(SINGLE_FD, instance, seed):
+        fast = check_single_fd(pri, candidate, SINGLE_FD_WITNESS)
+        literal = check_single_fd_literal(pri, candidate, SINGLE_FD_WITNESS)
+        assert fast.is_optimal == literal.is_optimal, (
+            sorted(map(str, instance)),
+            sorted(map(str, candidate)),
+        )
+        assert_result_witness_valid(pri, candidate, fast)
+        assert_result_witness_valid(pri, candidate, literal)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(3), st.integers(min_value=0, max_value=10))
+def test_single_fd_wide_fast_equals_literal(data, seed):
+    witness = equivalent_single_fd(SINGLE_FD_WIDE.fds_for("R"))
+    instance = make_instance(SINGLE_FD_WIDE, data)
+    pri = prioritize(SINGLE_FD_WIDE, instance, seed)
+    for candidate in candidates_of(SINGLE_FD_WIDE, instance, seed):
+        fast = check_single_fd(pri, candidate, witness)
+        literal = check_single_fd_literal(pri, candidate, witness)
+        assert fast.is_optimal == literal.is_optimal
+        assert_result_witness_valid(pri, candidate, fast)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_two_keys_fast_equals_literal(data, seed):
+    instance = make_instance(TWO_KEYS, data)
+    pri = prioritize(TWO_KEYS, instance, seed)
+    for candidate in candidates_of(TWO_KEYS, instance, seed):
+        fast = check_two_keys(pri, candidate, KEY1, KEY2)
+        literal = check_two_keys_literal(pri, candidate, KEY1, KEY2)
+        assert fast.is_optimal == literal.is_optimal, (
+            sorted(map(str, instance)),
+            sorted(map(str, candidate)),
+        )
+        assert_result_witness_valid(pri, candidate, fast)
+        assert_result_witness_valid(pri, candidate, literal)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows(3, max_rows=6),
+    st.integers(min_value=0, max_value=10),
+    st.booleans(),
+)
+def test_pareto_fast_equals_literal_on_hard_schema(data, seed, ccp):
+    # Pareto checking is polynomial on every schema, so the hard side of
+    # the dichotomy is fair game here — with both priority regimes.
+    instance = make_instance(HARD, data)
+    pri = prioritize(HARD, instance, seed, ccp=ccp)
+    for candidate in candidates_of(HARD, instance, seed):
+        fast = check_pareto_optimal(pri, candidate)
+        literal = check_pareto_optimal_literal(pri, candidate)
+        assert fast.is_optimal == literal.is_optimal
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10), st.booleans())
+def test_find_pareto_improvement_shared_index_equals_fresh(data, seed, ccp):
+    instance = make_instance(TWO_KEYS, data)
+    pri = prioritize(TWO_KEYS, instance, seed, ccp=ccp)
+    for candidate in enumerate_repairs(TWO_KEYS, instance):
+        shared = find_pareto_improvement(pri, candidate)
+        fresh = find_pareto_improvement_fresh(pri, candidate)
+        assert (shared is None) == (fresh is None)
+        for witness in (shared, fresh):
+            if witness is not None:
+                assert TWO_KEYS.is_consistent(witness)
+                assert witness.facts <= instance.facts
+                assert is_pareto_improvement(
+                    witness, candidate, pri.priority
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(3, max_rows=8), st.integers(min_value=0, max_value=10))
+def test_conflict_index_subset_queries_match_naive(data, seed):
+    instance = make_instance(HARD, data)
+    index = ConflictIndex(HARD, instance)
+    naive_pairs = naive_conflicting_pairs(HARD, instance)
+    rng = random.Random(seed)
+    members = frozenset(
+        fact for fact in instance.facts if rng.random() < 0.6
+    )
+    expected_consistent = not any(
+        pair <= members for pair in naive_pairs
+    )
+    assert index.is_consistent_subset(members) == expected_consistent
+    for fact in instance:
+        expected_conflicts = frozenset(
+            other
+            for pair in naive_pairs
+            if fact in pair
+            for other in pair - {fact}
+            if other in members
+        )
+        assert index.conflicts_of_in(fact, members) == expected_conflicts
+        assert index.conflicts_with_anything_in(fact, members) == bool(
+            expected_conflicts
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(3, max_rows=8), st.integers(min_value=0, max_value=10))
+def test_trusted_instance_ops_equal_fresh_control(data, seed):
+    instance = make_instance(HARD, data)
+    rng = random.Random(seed)
+    facts = sorted(instance.facts, key=str)
+    kept = [fact for fact in facts if rng.random() < 0.5]
+    dropped = [fact for fact in facts if fact not in set(kept)]
+
+    def control(fact_set):
+        # The fresh-Instance control: full validation, no trusted path.
+        return HARD.instance(list(fact_set))
+
+    derived = {
+        "subinstance": instance.subinstance(kept),
+        "without": instance.without_facts(dropped),
+        "replace": instance.replace_facts(dropped, dropped[:1]),
+        "intersection": instance & control(kept),
+        "union": control(kept) | control(dropped),
+        "restrict": instance.restrict_to_relation("R"),
+    }
+    expected = {
+        "subinstance": control(kept),
+        "without": control(kept),
+        "replace": control(kept + dropped[:1]),
+        "intersection": control(kept),
+        "union": instance,
+        "restrict": instance,
+    }
+    for name, fast in derived.items():
+        assert fast == expected[name], name
+        assert fast.facts == expected[name].facts, name
+        assert fast.relation("R") == expected[name].relation("R"), name
+        assert len(fast) == len(expected[name]), name
+    # Trusted results still round-trip through repr without error.
+    for fast in derived.values():
+        repr(fast)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows(2), st.integers(min_value=0, max_value=10))
+def test_restrict_to_trusted_equals_fresh_priority(data, seed):
+    instance = make_instance(TWO_KEYS, data)
+    priority = random_conflict_priority(TWO_KEYS, instance, seed=seed)
+    rng = random.Random(seed)
+    kept = frozenset(
+        fact for fact in instance.facts if rng.random() < 0.6
+    )
+    restricted = priority.restrict_to(kept)
+    fresh = PriorityRelation(
+        [
+            (better, worse)
+            for better, worse in priority.edges
+            if better in kept and worse in kept
+        ]
+    )
+    assert restricted.edges == fresh.edges
+    extra = [
+        (better, worse)
+        for better, worse in priority.edges
+        if better not in kept or worse not in kept
+    ]
+    grown = restricted.with_edges(extra, assume_acyclic=True)
+    validated = restricted.with_edges(extra)
+    assert grown.edges == validated.edges == priority.edges
