@@ -1,12 +1,32 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-tables service-bench perf examples all clean
+.PHONY: install test lint typecheck bench bench-tables service-bench perf \
+	examples all clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Project-invariant lint (rules RL001-RL006, docs/lint_rules.md) plus
+# ruff style checks when ruff is installed (CI always installs it).
+lint:
+	PYTHONPATH=src python -m repro.devtools.lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping style checks (CI runs them)"; \
+	fi
+
+# mypy --strict over the core data model; skipped gracefully when mypy
+# is not installed locally (CI always installs it).
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict src/repro/core/; \
+	else \
+		echo "mypy not installed; skipping typecheck (CI runs it)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -28,11 +48,11 @@ perf:
 examples:
 	for script in examples/*.py; do \
 		echo "== $$script =="; \
-		python $$script > /dev/null || exit 1; \
+		PYTHONPATH=src python $$script > /dev/null || exit 1; \
 	done
 	@echo "all examples ran cleanly"
 
-all: test bench-tables examples
+all: lint test bench-tables examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,9 +9,8 @@ PTIME checker beats the brute force by widening margins.
 import pytest
 
 from repro.core.checking import check_globally_optimal
-from repro.core.classification import equivalent_single_fd
-from repro.core.schema import Schema
 from repro.core.repairs import count_repairs
+from repro.core.schema import Schema
 
 from conftest import make_checking_input, print_series
 

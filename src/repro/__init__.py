@@ -24,13 +24,6 @@ False
 True
 """
 
-from repro.core.fact import Fact
-from repro.core.fd import FD
-from repro.core.fdset import FDSet
-from repro.core.instance import Instance
-from repro.core.priority import PrioritizingInstance, PriorityRelation
-from repro.core.schema import Schema
-from repro.core.signature import RelationSymbol, Signature
 from repro.core.checking import (
     CheckResult,
     check_completion_optimal,
@@ -49,6 +42,13 @@ from repro.core.counting import (
     has_unique_optimal_repair,
     optimal_repair_census,
 )
+from repro.core.fact import Fact
+from repro.core.fd import FD
+from repro.core.fdset import FDSet
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.core.signature import RelationSymbol, Signature
 from repro.exceptions import ReproError
 from repro.explain import (
     explain_ccp_classification,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.core.schema import Schema
 
+from repro.exceptions import UsageError
 __all__ = [
     "InstanceStatistics",
     "instance_statistics",
@@ -201,7 +202,7 @@ def fit_power_law(points: Sequence[ScalingPoint]) -> PowerLawFit:
     2.0
     """
     if len(points) < 2:
-        raise ValueError("need at least two points to fit a power law")
+        raise UsageError("need at least two points to fit a power law")
     sizes = np.array([p.size for p in points], dtype=float)
     seconds = np.array([max(p.seconds, 1e-9) for p in points], dtype=float)
     log_sizes = np.log(sizes)

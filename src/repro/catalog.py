@@ -13,9 +13,10 @@ classifiers, so the catalog can never silently drift).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator
 
 from repro.core.schema import Schema
+from repro.exceptions import MissingEntryError
 from repro.hardness.schemas import CCP_HARD_SCHEMAS, HARD_SCHEMAS
 
 __all__ = ["CatalogEntry", "PAPER_SCHEMAS", "entries", "get"]
@@ -142,4 +143,4 @@ def get(name: str) -> CatalogEntry:
         return PAPER_SCHEMAS[name]
     except KeyError:
         known = ", ".join(sorted(PAPER_SCHEMAS))
-        raise KeyError(f"unknown catalog schema {name!r}; known: {known}")
+        raise MissingEntryError(f"unknown catalog schema {name!r}; known: {known}")

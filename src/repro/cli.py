@@ -25,6 +25,10 @@ Subcommands
     budgeted degradation on coNP-hard schemas) and write JSONL results
     plus a metrics summary.  Job files are JSON or CSV (see
     :mod:`repro.service.batch_io` for the formats).
+``repro lint --format json src``
+    Run the project-invariant AST linter (rules RL001-RL006; see
+    :mod:`repro.devtools.lint` and ``docs/lint_rules.md``); all
+    arguments are forwarded to ``python -m repro.devtools.lint``.
 
 Schema syntax: ``<Rel>:<arity>[, <Rel>:<arity> ...]; <fd>; <fd>; ...``
 with FDs in the paper's shorthand, e.g. ``R: {1,2} -> 3``.
@@ -40,6 +44,7 @@ from typing import List, Optional
 from repro.core.classification import classify_ccp_schema, classify_schema
 from repro.core.schema import Schema
 
+from repro.exceptions import UsageError
 __all__ = ["main", "parse_schema_spec"]
 
 
@@ -54,7 +59,7 @@ def parse_schema_spec(spec: str) -> Schema:
     """
     parts = [part.strip() for part in spec.split(";") if part.strip()]
     if not parts:
-        raise ValueError("empty schema specification")
+        raise UsageError("empty schema specification")
     relations = {}
     for decl in parts[0].split(","):
         name, _, arity_text = decl.partition(":")
@@ -250,6 +255,12 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -341,13 +352,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="default improvement-search node budget for coNP-hard jobs",
     )
     serve.set_defaults(handler=_cmd_serve_batch)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-invariant AST linter (rules RL001-RL006)",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments passed through to repro.devtools.lint "
+        "(use 'repro lint --help' to list them)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # Forwarded before argparse sees the flags: argparse.REMAINDER only
+    # captures from the first positional on, which would reject leading
+    # options like `repro lint --format json`.
+    if arguments and arguments[0] == "lint":
+        from repro.devtools.lint import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     return args.handler(args)
 
 

@@ -23,7 +23,6 @@ tests to validate the repair-restricted search itself).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Optional
 
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from itertools import product
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.core.checking.brute_force import check_globally_optimal_brute_force
 from repro.core.checking.result import CheckResult
@@ -207,7 +207,10 @@ def _orientations_of_unordered_conflicts(
         for (f, g), direction in zip(unordered, choices):
             oriented.add((f, g) if direction == 0 else (g, f))
         try:
-            yield PriorityRelation(oriented)
+            # The validating constructor is the point here: its cycle
+            # scan is what filters the non-acyclic orientations out of
+            # the completion enumeration.
+            yield PriorityRelation(oriented)  # repro-lint: ignore[RL001]
         except CyclicPriorityError:
             continue
 
@@ -227,11 +230,15 @@ def brute_force_completion_check(
     if failure is not None:
         return failure
     for completion in _orientations_of_unordered_conflicts(prioritizing):
-        completed = PrioritizingInstance(
+        # Every completion orients *conflicting* pairs of the already-
+        # validated base priority, so the classical invariant holds by
+        # construction and the shared conflict index carries over.
+        completed = PrioritizingInstance._from_validated(
             prioritizing.schema,
             prioritizing.instance,
             completion,
             ccp=False,
+            conflict_index=prioritizing.conflict_index,
         )
         if check_globally_optimal_brute_force(completed, candidate):
             return CheckResult(

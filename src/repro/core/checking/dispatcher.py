@@ -41,7 +41,11 @@ from repro.core.classification import (
 )
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
-from repro.exceptions import IntractableSchemaError, NotASubinstanceError
+from repro.exceptions import (
+    IntractableSchemaError,
+    NotASubinstanceError,
+    UsageError,
+)
 
 __all__ = ["check_globally_optimal"]
 
@@ -86,7 +90,7 @@ def check_globally_optimal(
     (True, 'GRepCheck1FD')
     """
     if method not in ("auto", "search", "brute-force", "paranoid"):
-        raise ValueError(f"unknown method {method!r}")
+        raise UsageError(f"unknown method {method!r}")
 
     # The candidate-⊆-instance precondition is a malformed input for
     # *every* method, so it is validated here, once, before dispatching
@@ -200,11 +204,15 @@ def _dispatch_ccp(
     # conflict-only, in which case the classical dichotomy applies (the
     # optimality semantics is identical; only the allowed inputs differ).
     if _is_conflict_only(prioritizing):
-        classical = PrioritizingInstance(
+        # _is_conflict_only just established the classical invariant
+        # edge by edge, so the trusted path applies; the conflict index
+        # is over the same (schema, I) and is reused as-is.
+        classical = PrioritizingInstance._from_validated(
             prioritizing.schema,
             prioritizing.instance,
             prioritizing.priority,
             ccp=False,
+            conflict_index=prioritizing.conflict_index,
         )
         return _dispatch_classical(classical, candidate, allow_brute_force)
 

@@ -37,7 +37,7 @@ it must be unless P = NP).
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck

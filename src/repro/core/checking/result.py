@@ -12,7 +12,7 @@ actual data cleaning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.instance import Instance

@@ -23,7 +23,7 @@ fidelity tests and the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.checking.result import CheckResult
 from repro.core.checking.validation import precheck, precheck_fresh

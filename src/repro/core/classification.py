@@ -28,16 +28,17 @@ polynomial-time algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from functools import lru_cache
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.fd import FD, AttributeSet
 from repro.core.fdset import FDSet
 from repro.core.schema import Schema
 
+from repro.exceptions import MissingEntryError
 __all__ = [
     "RelationClass",
     "RelationVerdict",
@@ -205,7 +206,7 @@ class ClassificationVerdict:
         for verdict in self.per_relation:
             if verdict.relation == name:
                 return verdict
-        raise KeyError(name)
+        raise MissingEntryError(name)
 
     def describe(self) -> str:
         """A one-paragraph human-readable summary."""

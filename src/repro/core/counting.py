@@ -37,6 +37,7 @@ from repro.core.repairs import count_repairs as _count_repairs_enumerative
 from repro.core.repairs import enumerate_repairs
 from repro.core.schema import Schema
 
+from repro.exceptions import UsageError
 __all__ = [
     "count_repairs_fast",
     "count_optimal_repairs",
@@ -128,7 +129,7 @@ def _iter_optimal(
     try:
         checker = _CHECKERS[semantics]
     except KeyError:
-        raise ValueError(f"unknown semantics {semantics!r}") from None
+        raise UsageError(f"unknown semantics {semantics!r}") from None
     for repair in enumerate_repairs(
         prioritizing.schema, prioritizing.instance
     ):

@@ -32,14 +32,16 @@ Relations not equivalent to a single FD fall back to enumeration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.checking import check_globally_optimal, check_pareto_optimal
 from repro.core.classification import equivalent_single_fd
 from repro.core.fact import Fact
+from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.core.repairs import enumerate_repairs
 
+from repro.exceptions import UsageError
 __all__ = [
     "count_globally_optimal_repairs",
     "count_pareto_optimal_repairs",
@@ -121,7 +123,7 @@ def eligible_groups_per_block(
         else _group_dominates_pareto
     )
     if semantics not in ("global", "pareto"):
-        raise ValueError(f"unsupported semantics {semantics!r}")
+        raise UsageError(f"unsupported semantics {semantics!r}")
     counts: List[int] = []
     for block in _blocks_of_relation(
         prioritizing, relation_name, witness
@@ -173,7 +175,7 @@ def _count_optimal(
     prioritizing: PrioritizingInstance, semantics: str
 ) -> int:
     if prioritizing.is_ccp:
-        raise ValueError(
+        raise UsageError(
             "the per-block counting argument needs conflict-only "
             "priorities; use repro.core.counting.count_optimal_repairs "
             "for ccp instances"
@@ -245,11 +247,11 @@ def enumerate_optimal_repairs_single_fd(
     [["R(1, 'new')"]]
     """
     if prioritizing.is_ccp:
-        raise ValueError(
+        raise UsageError(
             "per-block enumeration needs conflict-only priorities"
         )
     if semantics not in ("global", "pareto"):
-        raise ValueError(f"unsupported semantics {semantics!r}")
+        raise UsageError(f"unsupported semantics {semantics!r}")
     dominates = (
         _group_dominates_globally
         if semantics == "global"
@@ -261,7 +263,7 @@ def enumerate_optimal_repairs_single_fd(
             prioritizing.schema.fds_for(relation.name)
         )
         if witness is None:
-            raise ValueError(
+            raise UsageError(
                 f"Δ|{relation.name} is not equivalent to a single FD; "
                 f"use enumeration-based preferred_repairs instead"
             )
@@ -285,7 +287,7 @@ def enumerate_optimal_repairs_single_fd(
             ]
             block_choices.append(eligible)
 
-    def product(level: int, chosen: List[Fact]):
+    def product(level: int, chosen: List[Fact]) -> Iterator[Instance]:
         if level == len(block_choices):
             yield prioritizing.instance.subinstance(chosen)
             return
@@ -312,7 +314,7 @@ def count_completion_optimal_repairs_single_fd(
     a single FD or the instance is ccp.
     """
     if prioritizing.is_ccp:
-        raise ValueError(
+        raise UsageError(
             "completion-optimal semantics is defined for conflict-only "
             "priorities"
         )
@@ -327,7 +329,7 @@ def count_completion_optimal_repairs_single_fd(
             prioritizing.schema.fds_for(relation.name)
         )
         if witness is None:
-            raise ValueError(
+            raise UsageError(
                 f"Δ|{relation.name} is not equivalent to a single FD"
             )
         if witness.is_trivial():
@@ -382,15 +384,15 @@ def fast_fact_survival_census(
     if prioritizing.is_ccp:
         return None
     if semantics not in ("global", "pareto"):
-        raise ValueError(f"unsupported semantics {semantics!r}")
+        raise UsageError(f"unsupported semantics {semantics!r}")
     dominates = (
         _group_dominates_globally
         if semantics == "global"
         else _group_dominates_pareto
     )
-    certain: set = set()
-    possible: set = set()
-    doomed: set = set()
+    certain: Set[Fact] = set()
+    possible: Set[Fact] = set()
+    doomed: Set[Fact] = set()
     for relation in prioritizing.schema.signature:
         witness = equivalent_single_fd(
             prioritizing.schema.fds_for(relation.name)

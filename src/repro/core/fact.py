@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Iterable, Tuple
 
-from repro.exceptions import SchemaError
+from repro.exceptions import AttributePositionError, SchemaError
 
 __all__ = ["Fact", "facts_agreeing_on"]
 
@@ -57,7 +57,7 @@ class Fact:
     def __getitem__(self, position: int) -> Any:
         """The value in attribute ``position`` (1-based, as in the paper)."""
         if not 1 <= position <= len(self.values):
-            raise IndexError(
+            raise AttributePositionError(
                 f"fact {self}: attribute {position} out of range 1..{len(self.values)}"
             )
         return self.values[position - 1]
@@ -91,7 +91,7 @@ class Fact:
         if value is None:
             values = self.values
             if positions and not 1 <= positions[0] <= positions[-1] <= len(values):
-                raise IndexError(
+                raise AttributePositionError(
                     f"fact {self}: attributes {positions} out of range "
                     f"1..{len(values)}"
                 )
@@ -111,7 +111,7 @@ class Fact:
         theirs = other.values
         for position in attributes:
             if position < 1:
-                raise IndexError(
+                raise AttributePositionError(
                     f"fact {self}: attribute {position} out of range "
                     f"1..{len(mine)}"
                 )
@@ -132,7 +132,7 @@ class Fact:
         theirs = other.values
         for position in attributes:
             if position < 1:
-                raise IndexError(
+                raise AttributePositionError(
                     f"fact {self}: attribute {position} out of range "
                     f"1..{len(mine)}"
                 )
@@ -143,7 +143,7 @@ class Fact:
     def replace(self, position: int, value: Any) -> "Fact":
         """A copy of this fact with attribute ``position`` set to ``value``."""
         if not 1 <= position <= len(self.values):
-            raise IndexError(
+            raise AttributePositionError(
                 f"fact {self}: attribute {position} out of range 1..{len(self.values)}"
             )
         new_values = (

@@ -21,7 +21,7 @@ lives in :class:`repro.core.schema.Schema`.
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from repro.core.fd import FD, AttributeSet, attr_set
 from repro.exceptions import InvalidFDError

@@ -29,7 +29,7 @@ one of the form ``(J \\ C_g) ∪ {g}`` exists, where ``g ∈ I \\ J`` and
 
 from __future__ import annotations
 
-from typing import AbstractSet, Collection, FrozenSet, Iterable, Optional, Set
+from typing import AbstractSet, Collection, Optional, Set
 
 from repro.core.conflicts import ConflictIndex
 from repro.core.fact import Fact

@@ -35,6 +35,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -230,7 +231,7 @@ class Instance:
         """The facts grouped by relation, built lazily on first use."""
         by_relation = self._by_relation
         if by_relation is None:
-            grouped: Dict[str, set] = {}
+            grouped: Dict[str, Set[Fact]] = {}
             for fact in self._facts:
                 grouped.setdefault(fact.relation, set()).add(fact)
             by_relation = {

@@ -123,7 +123,12 @@ class Signature:
         self._relations: Dict[str, RelationSymbol] = by_name
 
     @classmethod
-    def single(cls, name: str, arity: int, attribute_names=None) -> "Signature":
+    def single(
+        cls,
+        name: str,
+        arity: int,
+        attribute_names: Optional[Tuple[str, ...]] = None,
+    ) -> "Signature":
         """Convenience constructor for a one-relation signature."""
         return cls([RelationSymbol(name, arity, attribute_names)])
 
@@ -163,5 +168,10 @@ class Signature:
         return Signature([self[name]])
 
     def __repr__(self) -> str:
-        inner = ", ".join(str(r) for r in self)
+        # Sorted by relation name: equal signatures must repr equally
+        # regardless of construction order (the dict preserves insertion
+        # order, which is not part of the value).
+        inner = ", ".join(
+            str(self._relations[name]) for name in sorted(self._relations)
+        )
         return f"Signature({{{inner}}})"

@@ -38,6 +38,7 @@ from repro.core.repairs import enumerate_repairs
 from repro.cqa.evaluation import evaluate
 from repro.cqa.queries import ConjunctiveQuery
 
+from repro.exceptions import UsageError
 __all__ = ["consistent_answers", "preferred_repairs"]
 
 
@@ -59,7 +60,7 @@ def preferred_repairs(
             if check_completion_optimal(prioritizing, repair).is_optimal:
                 yield repair
         else:
-            raise ValueError(f"unknown semantics {semantics!r}")
+            raise UsageError(f"unknown semantics {semantics!r}")
 
 
 def consistent_answers(

@@ -15,7 +15,7 @@ as a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, List, Sequence, Tuple
+from typing import Any, FrozenSet, Sequence, Tuple
 
 from repro.core.schema import Schema
 from repro.exceptions import QueryError

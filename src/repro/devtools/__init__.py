@@ -1,0 +1,7 @@
+"""Developer tooling for the :mod:`repro` repository.
+
+Nothing in this package is part of the library's runtime API; it ships
+with the source tree so CI and contributors run the exact same checks.
+Currently it holds :mod:`repro.devtools.lint`, the project-invariant
+AST linter behind ``repro lint`` / ``make lint``.
+"""

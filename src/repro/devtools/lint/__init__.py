@@ -1,0 +1,42 @@
+"""``repro lint`` — AST enforcement of the engine's own invariants.
+
+The checking fast paths (PR 2) and the batch service's result cache
+(PR 1) rest on properties the type system cannot express: trusted
+construction on hot paths, uniform candidate validation, canonical
+(iteration-order-free) renderings, stateless defaults, one exception
+hierarchy, and monotonic-only timing.  This package machine-checks
+them: a pluggable rule registry (RL001-RL006), inline suppressions
+(``# repro-lint: ignore[RLxxx]``), a committed content-addressed
+baseline, and a CLI (``repro lint`` / ``python -m repro.devtools.lint``)
+wired into ``make lint`` and CI.
+
+Public surface
+--------------
+:func:`lint_paths` runs the engine programmatically; :class:`LintConfig`
+and :class:`LintReport` carry its input/output; :class:`Finding` is one
+violation; :func:`all_rules` lists the registry; :func:`main` is the
+CLI.  Per-rule documentation lives in ``docs/lint_rules.md`` and in the
+rule modules' docstrings.
+"""
+
+from repro.devtools.lint.cli import main
+from repro.devtools.lint.engine import (
+    FileContext,
+    LintConfig,
+    LintReport,
+    lint_paths,
+)
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, all_rules, register
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "main",
+    "register",
+]

@@ -1,0 +1,66 @@
+"""Small AST utilities shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "call_name",
+    "terminal_name",
+    "build_parent_map",
+    "walk_functions",
+]
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The terminal name a call is made through.
+
+    ``f(...)`` gives ``"f"``, ``mod.f(...)`` gives ``"f"``,
+    ``a.b.c(...)`` gives ``"c"``; anything else (lambdas, subscripted
+    callables) gives None.
+    """
+    return terminal_name(node.func)
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def build_parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """A child -> parent map over the whole tree under ``root``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Every function/method in the module with its qualname parts.
+
+    Yields ``(node, ("Class", "method"))``-style pairs, outermost scope
+    first, covering nested functions as well.
+    """
+
+    def visit(
+        node: ast.AST, prefix: Tuple[str, ...]
+    ) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + (child.name,)
+                yield child, qualname
+                yield from visit(child, qualname)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, prefix + (child.name,))
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, ())

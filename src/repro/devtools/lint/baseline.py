@@ -1,0 +1,95 @@
+"""The committed finding baseline.
+
+New rules can land with outstanding findings without blocking CI: the
+baseline file records the accepted debt as a multiset of content-based
+finding keys (rule code + path + hash of the violating line).  The
+engine subtracts baselined findings from its report; anything *new*
+still fails the build, and fixing a baselined violation never breaks
+anything (leftover entries are simply unused — ``--write-baseline``
+refreshes the file).
+
+Keys hash the violating line's text rather than its number, so
+unrelated edits that shift lines do not resurrect baselined findings,
+while any edit to the violating line itself does (the debt must be
+re-acknowledged or fixed).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.devtools.lint.findings import Finding
+from repro.exceptions import UsageError
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> "Counter[str]":
+    """The baseline multiset at ``path`` (raises on malformed files)."""
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise UsageError(f"malformed baseline file {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _VERSION
+        or not isinstance(document.get("entries"), dict)
+    ):
+        raise UsageError(
+            f"malformed baseline file {path}: expected "
+            f'{{"version": {_VERSION}, "entries": {{key: count}}}}'
+        )
+    entries: "Counter[str]" = Counter()
+    for key, count in document["entries"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise UsageError(
+                f"malformed baseline entry in {path}: {key!r}: {count!r}"
+            )
+        entries[key] = count
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline capturing ``findings``; returns the entry count."""
+    entries: "Counter[str]" = Counter(
+        finding.baseline_key() for finding in findings
+    )
+    document = {
+        "version": _VERSION,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return sum(entries.values())
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: "Counter[str]"
+) -> Tuple[List[Finding], int]:
+    """Subtract baselined findings; returns (kept, suppressed_count).
+
+    Duplicate keys are consumed multiset-style: a baseline entry with
+    count 2 absorbs at most two identical findings.
+    """
+    remaining = Counter(baseline)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

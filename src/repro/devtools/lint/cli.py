@@ -1,0 +1,195 @@
+"""The ``repro lint`` command-line front end.
+
+Usage (also reachable as ``python -m repro.devtools.lint``)::
+
+    repro lint [paths...] [--format text|json] [--select RL001,...]
+               [--ignore RL003,...] [--root DIR]
+               [--baseline FILE] [--no-baseline] [--write-baseline]
+               [--list-rules]
+
+Exit codes: 0 — clean; 1 — findings reported; 2 — usage error.
+Default paths: ``src`` under the root.  The report order is
+deterministic (path, line, column, code) and the JSON format is stable
+for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.devtools.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    write_baseline,
+)
+from repro.devtools.lint.engine import LintConfig, LintReport, lint_paths
+from repro.devtools.lint.registry import all_rules
+from repro.exceptions import ReproError
+
+__all__ = ["build_parser", "main", "run"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _parse_codes(text: Optional[str]) -> Optional[Tuple[str, ...]]:
+    if text is None:
+        return None
+    codes = tuple(
+        part.strip().upper() for part in text.split(",") if part.strip()
+    )
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST lint for the repro engine's correctness and determinism "
+            "invariants (rules RL001-RL006; see docs/lint_rules.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src under --root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport, stream) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=stream)
+    summary = (
+        f"{len(report.findings)} finding(s) in "
+        f"{report.files_checked} file(s)"
+    )
+    extras = []
+    if report.suppressed_inline:
+        extras.append(f"{report.suppressed_inline} inline-suppressed")
+    if report.suppressed_baseline:
+        extras.append(f"{report.suppressed_baseline} baselined")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    print(summary, file=stream)
+
+
+def _render_json(report: LintReport, stream) -> None:
+    document = {
+        "version": 1,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "files_checked": report.files_checked,
+        "suppressed_inline": report.suppressed_inline,
+        "suppressed_baseline": report.suppressed_baseline,
+        "ok": report.ok,
+    }
+    print(json.dumps(document, indent=2, sort_keys=True), file=stream)
+
+
+def _list_rules(stream) -> None:
+    for rule in all_rules():
+        scopes = ", ".join(rule.scopes)
+        print(f"{rule.code}  {rule.name}  [{scopes}]", file=stream)
+        print(f"       {rule.summary}", file=stream)
+
+
+def run(argv: Optional[List[str]] = None, stream=None) -> int:
+    """Parse ``argv``, run the lint, render the report; returns exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_CLEAN
+
+    if args.list_rules:
+        _list_rules(stream)
+        return EXIT_CLEAN
+
+    root = (args.root or Path.cwd()).resolve()
+    paths = [Path(p) for p in args.paths] or [root / "src"]
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+
+    try:
+        config = LintConfig(
+            root=root,
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore) or (),
+            baseline_path=baseline_path,
+            use_baseline=not (args.no_baseline or args.write_baseline),
+        )
+        report = lint_paths(paths, config)
+    except (ReproError, OSError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, report.findings)
+        print(
+            f"wrote {count} finding(s) to {baseline_path}",
+            file=stream,
+        )
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        _render_json(report, stream)
+    else:
+        _render_text(report, stream)
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point."""
+    return run(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

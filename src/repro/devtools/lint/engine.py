@@ -1,0 +1,167 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+The engine is a pure function from (paths, configuration) to a sorted
+finding list — no global state, no caching — so ``repro lint`` is fully
+deterministic: the same tree always produces byte-identical reports,
+which is itself one of the invariants the linter exists to defend
+(RL003).
+
+Pipeline per file: read -> parse (a syntax error becomes an ``RL000``
+finding rather than a crash) -> run every registered rule whose scope
+matches the root-relative path -> drop findings suppressed inline
+(``# repro-lint: ignore[...]``) -> subtract the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.baseline import apply_baseline, load_baseline
+from repro.devtools.lint.findings import Finding, finding_sort_key
+from repro.devtools.lint.registry import Rule, all_rules
+from repro.devtools.lint.suppress import parse_suppressions
+from repro.exceptions import UsageError
+
+__all__ = ["FileContext", "LintConfig", "LintReport", "lint_paths"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", "build", "dist", ".venv"}
+)
+
+#: The parse-failure pseudo-rule code.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule gets to see about one file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    lines: Tuple[str, ...]
+    tree: ast.Module
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One lint run's configuration (CLI flags map 1:1 onto this)."""
+
+    root: Path
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    baseline_path: Optional[Path] = None
+    use_baseline: bool = True
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_inline: int = 0
+    suppressed_baseline: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing (exit code 0)."""
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise UsageError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if _SKIP_DIRS.intersection(candidate.parts):
+                continue
+            yield candidate
+
+
+def _relative_posix(path: Path, root: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _load_context(path: Path, root: Path) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse one file; on a syntax error return an RL000 finding instead."""
+    rel_path = _relative_posix(path, root)
+    source = path.read_text(encoding="utf-8")
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        return None, Finding(
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            path=rel_path,
+            line=line,
+            column=(exc.offset or 1) - 1,
+            snippet=snippet,
+        )
+    return FileContext(path, rel_path, source, lines, tree), None
+
+
+def _selected_rules(config: LintConfig) -> Tuple[Rule, ...]:
+    rules = all_rules()
+    known = {rule.code for rule in rules} | {PARSE_ERROR_CODE}
+    requested = tuple(config.select or ()) + tuple(config.ignore)
+    for code in requested:
+        if code not in known:
+            raise UsageError(
+                f"unknown lint rule {code!r}; known: {', '.join(sorted(known))}"
+            )
+    if config.select is not None:
+        rules = tuple(r for r in rules if r.code in config.select)
+    return tuple(r for r in rules if r.code not in config.ignore)
+
+
+def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintReport:
+    """Lint every Python file under ``paths`` per ``config``."""
+    rules = _selected_rules(config)
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        ctx, parse_failure = _load_context(path, config.root)
+        if parse_failure is not None:
+            if PARSE_ERROR_CODE not in config.ignore and (
+                config.select is None or PARSE_ERROR_CODE in config.select
+            ):
+                raw.append(parse_failure)
+            continue
+        assert ctx is not None
+        table = parse_suppressions(ctx.lines)
+        for rule in rules:
+            if not rule.applies_to(ctx.rel_path):
+                continue
+            for finding in rule.check(ctx):
+                if table.is_suppressed(finding.code, finding.line):
+                    report.suppressed_inline += 1
+                else:
+                    raw.append(finding)
+    raw.sort(key=finding_sort_key)
+    if config.use_baseline and config.baseline_path is not None \
+            and config.baseline_path.exists():
+        baseline = load_baseline(config.baseline_path)
+        kept, absorbed = apply_baseline(raw, baseline)
+        report.findings = kept
+        report.suppressed_baseline = absorbed
+    else:
+        report.findings = raw
+    return report

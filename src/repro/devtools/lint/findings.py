@@ -1,0 +1,71 @@
+"""The finding data model shared by the engine, rules, and CLI.
+
+A :class:`Finding` is one rule violation at one source location.  The
+``snippet`` field (the stripped source line) is part of the identity
+used by the baseline file, so findings survive unrelated line-number
+churn: moving a violation ten lines down does not un-baseline it, while
+editing the violating line does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding", "finding_sort_key"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    code:
+        The rule identifier (``"RL001"`` ... ``"RL006"``, or ``"RL000"``
+        for files the engine could not parse).
+    message:
+        A one-line human-readable description of the violation.
+    path:
+        The file's path relative to the lint root, in POSIX form.
+    line / column:
+        1-based line and 0-based column of the flagged node.
+    snippet:
+        The stripped source text of the flagged line (baseline identity).
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+    snippet: str
+
+    def baseline_key(self) -> str:
+        """The content-addressed identity used by the baseline file."""
+        digest = hashlib.sha256(self.snippet.encode("utf-8")).hexdigest()
+        return f"{self.code}:{self.path}:{digest[:16]}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready rendering (``repro lint --format json``)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        """The one-line text rendering (``path:line:col: CODE message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.code} {self.message}"
+        )
+
+
+def finding_sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    """The deterministic report order: path, line, column, code."""
+    return (finding.path, finding.line, finding.column, finding.code)

@@ -1,0 +1,108 @@
+"""The pluggable rule registry.
+
+A rule is a class with a unique ``code`` (``RLxxx``), a ``name``, a
+``summary``, a ``rationale`` tying it to the paper/engine construct it
+protects, a ``scopes`` tuple of root-relative path prefixes it applies
+to, and a ``check(ctx)`` generator yielding
+:class:`~repro.devtools.lint.findings.Finding` objects.  Decorating the
+class with :func:`register` adds one shared instance to the registry;
+the engine runs every registered rule whose scope matches the file.
+
+Rules are stateless: ``check`` receives the full
+:class:`~repro.devtools.lint.engine.FileContext` and must not retain
+anything between files, so the engine may lint files in any order (and
+the report stays deterministic regardless).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple, Type
+
+from repro.devtools.lint.findings import Finding
+from repro.exceptions import MissingEntryError, UsageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.engine import FileContext
+
+__all__ = ["Rule", "register", "all_rules", "rule_by_code"]
+
+
+class Rule:
+    """Base class for lint rules; subclass and :func:`register`."""
+
+    #: Unique rule identifier, e.g. ``"RL001"``.
+    code: str = ""
+    #: Short kebab-case name, e.g. ``"trusted-constructors"``.
+    name: str = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+    #: What invariant of the reproduction the rule protects, and why.
+    rationale: str = ""
+    #: Root-relative POSIX path prefixes the rule applies to.
+    scopes: Tuple[str, ...] = ("src/",)
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether the rule runs on ``rel_path`` (prefix scoping)."""
+        return rel_path.startswith(self.scopes)
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(ctx.lines):
+            snippet = ctx.lines[line - 1].strip()
+        return Finding(
+            code=self.code,
+            message=message,
+            path=ctx.rel_path,
+            line=line,
+            column=column,
+            snippet=snippet,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``rule_cls`` to the registry."""
+    rule = rule_cls()
+    if not rule.code or not rule.name:
+        raise UsageError(
+            f"lint rule {rule_cls.__name__} must define code and name"
+        )
+    if rule.code in _REGISTRY:
+        raise UsageError(f"duplicate lint rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, in code order."""
+    # Import for the registration side effect; delayed so the registry
+    # module stays importable from the rule modules themselves.
+    from repro.devtools.lint import rules as _rules  # noqa: F401
+
+    return tuple(
+        _REGISTRY[code] for code in sorted(_REGISTRY)
+    )
+
+
+def rule_by_code(code: str) -> Rule:
+    """The registered rule for ``code`` (raises for unknown codes)."""
+    all_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MissingEntryError(
+            f"unknown lint rule {code!r}; known: {known}"
+        ) from None

@@ -1,0 +1,26 @@
+"""The project-invariant rule set.
+
+Importing this package registers every rule; the engine triggers the
+import via :func:`repro.devtools.lint.registry.all_rules`.  Each rule
+module documents the invariant it machine-checks and the paper/engine
+construct the invariant protects (see also ``docs/lint_rules.md`` and
+DESIGN.md §9).
+"""
+
+from repro.devtools.lint.rules import (  # noqa: F401
+    rl001_trusted_constructors,
+    rl002_dispatch_validation,
+    rl003_deterministic_output,
+    rl004_mutable_defaults,
+    rl005_exception_hierarchy,
+    rl006_monotonic_time,
+)
+
+__all__ = [
+    "rl001_trusted_constructors",
+    "rl002_dispatch_validation",
+    "rl003_deterministic_output",
+    "rl004_mutable_defaults",
+    "rl005_exception_hierarchy",
+    "rl006_monotonic_time",
+]

@@ -1,0 +1,68 @@
+"""RL001 — trusted constructors only on the checking hot path.
+
+PR 2's fast paths rest on a contract the type system cannot see: code
+under ``src/repro/core/checking/`` derives thousands of instances and
+priority restrictions per check, and every one of them is built from
+facts/edges that are *already validated*.  The trusted constructors
+(``Instance._from_validated``, ``PriorityRelation._from_acyclic``,
+``PrioritizingInstance._from_validated``) skip the O(n) re-validation
+scans; calling the public validating constructors there silently
+reintroduces the quadratic blow-up the fast paths removed — and, worse,
+hides *where* validation is assumed versus established.
+
+The rule flags any direct ``Instance(...)``, ``PriorityRelation(...)``,
+or ``PrioritizingInstance(...)`` call inside the checking package.  The
+rare legitimate uses — e.g. relying on the validating constructor's
+cycle detection to *filter* candidate orientations — carry an inline
+``# repro-lint: ignore[RL001]`` with a comment justifying them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.asthelpers import call_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["TrustedConstructorsRule"]
+
+_VALIDATING = frozenset(
+    {"Instance", "PriorityRelation", "PrioritizingInstance"}
+)
+
+_TRUSTED = {
+    "Instance": "Instance._from_validated",
+    "PriorityRelation": "PriorityRelation._from_acyclic",
+    "PrioritizingInstance": "PrioritizingInstance._from_validated",
+}
+
+
+@register
+class TrustedConstructorsRule(Rule):
+    code = "RL001"
+    name = "trusted-constructors"
+    summary = (
+        "checking/ must build core objects via the trusted "
+        "_from_validated/_from_acyclic constructors"
+    )
+    rationale = (
+        "The PR 2 fast paths (DESIGN.md §8) make re-validation on derived "
+        "instances pure overhead; a validating constructor on the hot "
+        "path silently restores the O(|I|) scans per derived candidate."
+    )
+    scopes = ("src/repro/core/checking/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _VALIDATING:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"fresh {name}(...) on the checking hot path; use "
+                    f"{_TRUSTED[name]} (or justify with an inline ignore)",
+                )

@@ -1,0 +1,192 @@
+"""RL003 — no unsorted set/dict iteration feeding rendered output.
+
+The service cache (PR 1) keys results on canonical fingerprints, the
+IO layer promises byte-stable serializations, and ``__repr__`` output
+lands in logs, doctests, and experiment reports.  All three break
+silently when a set or dict is iterated in arbitrary order on the way
+to text: two structurally equal objects render differently, cache keys
+stop deduplicating (or worse, *collide across processes only
+sometimes*), and the coNP-hard-schema verdict cache of Theorem 3.1 can
+serve a result computed for a different question.  Livshits–Kimelfeld–
+Roy and Kimelfeld–Livshits–Peterfreund both hinge on canonical,
+order-independent representations of repairs; this rule machine-checks
+the code-level shadow of that property.
+
+The rule inspects *rendering functions* — ``__repr__`` and anything
+whose name marks it as serialization/fingerprinting (``fingerprint*``,
+``*canonical*``, ``serialize*``, ``to_dict``/``to_json``/``to_csv``/
+``to_dot``, ``render*``, ``describe*``, ``snapshot*``) — and flags
+iteration over *order-unstable expressions* unless the iteration is
+wrapped in an order-restoring or order-insensitive consumer
+(``sorted``, ``heapq.nsmallest``/``nlargest``, ``min``/``max``/``sum``/
+``len``/``any``/``all``, or conversion back into ``set``/``frozenset``).
+
+Order-unstable expressions are detected structurally: set literals and
+comprehensions, ``set(...)``/``frozenset(...)`` calls, dict-view calls
+(``.keys()``/``.values()``/``.items()``) on a plain name or attribute,
+set-typed *attribute* names from the core data model (``facts``,
+``edges``, ``fds``, ``conflicts`` and their private variants — bare
+locals with those names are routinely already-sorted lists and are not
+matched), and bare ``self`` iteration inside ``__repr__`` (a container
+wrapper's own iteration order is part of what must be pinned down).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.lint.asthelpers import (
+    build_parent_map,
+    call_name,
+    terminal_name,
+)
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["DeterministicOutputRule"]
+
+_SENSITIVE = re.compile(
+    r"^__repr__$|fingerprint|canonical|serialize|^to_dict$|^to_json|"
+    r"^to_csv|_to_dot$|^to_dot$|^render|^describe|^snapshot"
+)
+
+#: Attribute/name identifiers that denote set-typed core containers.
+_SET_NAMES = frozenset({"facts", "edges", "fds", "conflicts"})
+
+#: Calls that restore or erase ordering around an iteration.
+_ORDER_SAFE_CALLS = frozenset(
+    {
+        "sorted",
+        "nsmallest",
+        "nlargest",
+        "min",
+        "max",
+        "sum",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+    }
+)
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+def _is_unstable(expr: ast.AST, in_repr: bool) -> Optional[str]:
+    """Why ``expr`` iterates in no stable order, or None if it is fine."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension"
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name in ("set", "frozenset"):
+            return f"a {name}(...) call"
+        if (
+            name in _DICT_VIEWS
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, (ast.Name, ast.Attribute))
+        ):
+            return f"a dict .{name}() view"
+        return None
+    if in_repr and isinstance(expr, ast.Name) and expr.id == "self":
+        return "the container's own (unpinned) iteration order"
+    # Only attribute access is matched against the set-typed names of
+    # the core data model (instance.facts, priority.edges, ...); a bare
+    # local with such a name is routinely an already-sorted list.
+    if isinstance(expr, ast.Attribute):
+        name = terminal_name(expr)
+        if name is None:
+            return None
+        if name.lstrip("_") in _SET_NAMES or name.endswith(("_set", "_sets")):
+            return f"the set-typed {name!r}"
+    return None
+
+
+def _consumer_call(
+    node: ast.AST, parents: "dict[ast.AST, ast.AST]"
+) -> Optional[str]:
+    """The name of the call directly consuming ``node``, if any."""
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return call_name(parent)
+    return None
+
+
+def _iteration_sites(
+    func: ast.AST, parents: "dict[ast.AST, ast.AST]"
+) -> Iterator[Tuple[ast.AST, ast.AST, Optional[str]]]:
+    """(anchor, iterable, consumer) triples for every iteration in ``func``.
+
+    ``consumer`` is the name of the call the iteration's result flows
+    straight into (``sorted``, ``.join``, ...), when detectable.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, ast.For):
+            yield node, node.iter, None
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            consumer = _consumer_call(node, parents)
+            for comp in node.generators:
+                yield node, comp.iter, consumer
+        elif isinstance(node, ast.DictComp):
+            consumer = _consumer_call(node, parents)
+            for comp in node.generators:
+                yield node, comp.iter, consumer
+        elif isinstance(node, ast.Starred):
+            yield node, node.value, _consumer_call(node, parents)
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name == "join" and len(node.args) == 1:
+                arg = node.args[0]
+                if not isinstance(
+                    arg, (ast.ListComp, ast.GeneratorExp, ast.SetComp)
+                ):
+                    yield node, arg, None
+            elif name in ("list", "tuple") and len(node.args) == 1:
+                yield node, node.args[0], _consumer_call(node, parents)
+
+
+@register
+class DeterministicOutputRule(Rule):
+    code = "RL003"
+    name = "deterministic-output"
+    summary = (
+        "repr/serialization/fingerprint functions must not iterate "
+        "sets or dict views in arbitrary order"
+    )
+    rationale = (
+        "Cache fingerprints (PR 1) and serialized artifacts must be "
+        "canonical: iteration-order leaks split or corrupt cache "
+        "entries for structurally equal inputs."
+    )
+    scopes = ("src/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        parents = build_parent_map(ctx.tree)
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _SENSITIVE.search(func.name):
+                continue
+            in_repr = func.name == "__repr__"
+            seen: List[Tuple[int, int]] = []
+            for anchor, iterable, consumer in _iteration_sites(func, parents):
+                if consumer in _ORDER_SAFE_CALLS:
+                    continue
+                reason = _is_unstable(iterable, in_repr)
+                if reason is None:
+                    continue
+                spot = (
+                    getattr(anchor, "lineno", 0),
+                    getattr(anchor, "col_offset", 0),
+                )
+                if spot in seen:
+                    continue
+                seen.append(spot)
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"{func.name}() iterates {reason} without sorted(); "
+                    f"output order is not canonical",
+                )

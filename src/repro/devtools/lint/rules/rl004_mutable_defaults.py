@@ -1,0 +1,87 @@
+"""RL004 — no mutable default argument values.
+
+A mutable default (``def f(xs=[])``) is evaluated once at definition
+time and shared across calls — state leaks between invocations, which
+in this codebase means leaks between *jobs* of a service batch and
+between *candidates* of a checking sweep.  Both the repair checkers
+and the batch service are advertised as deterministic functions of
+their inputs (same batch, same verdicts — DESIGN.md §7); call-coupled
+hidden state is precisely what would falsify that promise, so the rule
+bans it everywhere under ``src/``.
+
+Immutable defaults (``()``, ``frozenset()``, constants) are fine, as is
+the ``None``-then-allocate idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.asthelpers import call_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["MutableDefaultsRule"]
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+    }
+)
+
+
+def _mutability(default: ast.AST) -> Optional[str]:
+    """A description of why ``default`` is mutable, or None."""
+    if isinstance(default, (ast.List, ast.ListComp)):
+        return "a list"
+    if isinstance(default, (ast.Dict, ast.DictComp)):
+        return "a dict"
+    if isinstance(default, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(default, ast.Call):
+        name = call_name(default)
+        if name in _MUTABLE_CALLS:
+            return f"a {name}()"
+    return None
+
+
+@register
+class MutableDefaultsRule(Rule):
+    code = "RL004"
+    name = "mutable-defaults"
+    summary = "no mutable default argument values anywhere in src/"
+    rationale = (
+        "Checkers and service jobs must be pure functions of their "
+        "inputs (same batch, same verdicts); defaults shared across "
+        "calls smuggle state between jobs."
+    )
+    scopes = ("src/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            label = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                reason = _mutability(default)
+                if reason is not None:
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"{label}() takes {reason} as a default argument "
+                        f"value; use None and allocate per call",
+                    )

@@ -1,0 +1,96 @@
+"""RL005 — raise through the :mod:`repro.exceptions` hierarchy.
+
+The library promises that every failure it originates is catchable as
+:class:`repro.exceptions.ReproError` — the batch service's worker loop
+leans on it to classify outcomes (``TransientWorkerError`` retries,
+other ``ReproError``s are permanent job errors), and API consumers are
+documented to need exactly one ``except`` clause.  A bare builtin
+``ValueError`` raised deep inside a checker escapes that contract.
+
+The rule flags ``raise`` statements whose exception is a builtin from
+the disallowed list.  Bad-argument and missing-name sites should use
+:class:`~repro.exceptions.UsageError` and
+:class:`~repro.exceptions.MissingEntryError`, which double-derive from
+``ValueError``/``KeyError`` so callers using the builtin idioms keep
+working.  ``NotImplementedError`` (abstract hooks) and
+``AssertionError`` (internal invariants) stay allowed, as do bare
+re-raises and raising a caught exception object.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.asthelpers import call_name, terminal_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["ExceptionHierarchyRule"]
+
+_DISALLOWED = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "AttributeError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+        "NameError",
+    }
+)
+
+_REPLACEMENTS = {
+    "ValueError": "UsageError",
+    "TypeError": "UsageError",
+    "KeyError": "MissingEntryError",
+    "IndexError": "AttributePositionError",
+    "LookupError": "MissingEntryError",
+}
+
+
+@register
+class ExceptionHierarchyRule(Rule):
+    code = "RL005"
+    name = "exception-hierarchy"
+    summary = (
+        "raised exceptions must derive from repro.exceptions.ReproError "
+        "(NotImplementedError/AssertionError excepted)"
+    )
+    rationale = (
+        "The service retry/verdict classifier and the documented "
+        "'except ReproError' contract require every library-originated "
+        "failure to live in one hierarchy."
+    )
+    scopes = ("src/repro/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = (
+                call_name(exc) if isinstance(exc, ast.Call)
+                else terminal_name(exc)
+            )
+            if name in _DISALLOWED:
+                hint = _REPLACEMENTS.get(name)
+                advice = (
+                    f"; raise repro.exceptions.{hint} (a {name} subclass)"
+                    if hint
+                    else "; raise a repro.exceptions subclass"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raises builtin {name} outside the ReproError "
+                    f"hierarchy{advice}",
+                )

@@ -1,0 +1,70 @@
+"""RL006 — monotonic clocks only in core/service timing logic.
+
+Deadlines and latency measurements in the improvement search
+(``node_budget``/``deadline`` plumbing) and the batch service (job
+timeouts, retry backoff accounting, metrics histograms) must use
+:func:`time.monotonic` (or ``perf_counter``): ``time.time()`` is
+wall-clock and jumps under NTP slew, DST, or manual adjustment.  A
+backwards jump mid-search would un-expire a deadline on a coNP-hard
+schema — the budgeted degradation of DESIGN.md §7 would then block
+instead of returning ``timeout`` — and a forwards jump spuriously
+degrades answerable jobs.  Verdicts must not depend on the wall clock.
+
+The rule flags ``time.time()`` calls and ``from time import time``
+under ``src/repro/core/`` and ``src/repro/service/``.  Code that
+genuinely needs a wall-clock *timestamp* (for display only, never
+arithmetic) can suppress inline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["MonotonicTimeRule"]
+
+
+@register
+class MonotonicTimeRule(Rule):
+    code = "RL006"
+    name = "monotonic-time"
+    summary = (
+        "core/service timing must use time.monotonic(), never "
+        "wall-clock time.time()"
+    )
+    rationale = (
+        "Deadline plumbing decides degraded/timeout statuses on "
+        "coNP-hard schemas; wall-clock jumps would make those verdicts "
+        "clock-dependent."
+    )
+    scopes = ("src/repro/core/", "src/repro/service/")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "time"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "wall-clock time.time() in core/service timing; "
+                        "use time.monotonic()",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and any(
+                    alias.name == "time" for alias in node.names
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing wall-clock time() from time; use "
+                        "time.monotonic()",
+                    )

@@ -1,0 +1,71 @@
+"""Inline suppression comments.
+
+Two forms are honoured, mirroring the usual linter idioms:
+
+``# repro-lint: ignore[RL003]``
+    Suppresses the listed rule(s) for findings anchored on that physical
+    line.  Several codes may be listed (``ignore[RL003,RL004]``) and
+    ``ignore[*]`` suppresses every rule on the line.  The comment must
+    sit on the line the finding points at (for multi-line statements,
+    the line of the flagged node).
+
+``# repro-lint: skip-file``
+    Anywhere in the file: excludes the whole file from linting.
+
+Suppressions are deliberate, visible exemptions — each one should carry
+a neighbouring comment explaining why the invariant does not apply (see
+``docs/lint_rules.md``).  For pre-existing findings that should not
+block CI while they are burned down, use the baseline file instead
+(:mod:`repro.devtools.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+__all__ = ["SuppressionTable", "parse_suppressions"]
+
+_IGNORE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]+)\]")
+_SKIP_FILE = re.compile(r"#\s*repro-lint:\s*skip-file\b")
+
+
+class SuppressionTable:
+    """Per-file map of line number -> suppressed rule codes."""
+
+    __slots__ = ("_by_line", "skip_file")
+
+    def __init__(
+        self, by_line: Dict[int, FrozenSet[str]], skip_file: bool
+    ) -> None:
+        self._by_line = by_line
+        self.skip_file = skip_file
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether ``code`` is suppressed for findings on ``line``."""
+        if self.skip_file:
+            return True
+        codes = self._by_line.get(line)
+        if codes is None:
+            return False
+        return code in codes or "*" in codes
+
+
+def parse_suppressions(lines: Sequence[str]) -> SuppressionTable:
+    """Scan source lines for suppression comments."""
+    by_line: Dict[int, FrozenSet[str]] = {}
+    skip_file = False
+    for number, text in enumerate(lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        if _SKIP_FILE.search(text):
+            skip_file = True
+        match = _IGNORE.search(text)
+        if match:
+            codes = frozenset(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if codes:
+                by_line[number] = by_line.get(number, frozenset()) | codes
+    return SuppressionTable(by_line, skip_file)

@@ -18,7 +18,7 @@ on the tractable side of the applicable dichotomy.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator
 
 from repro.core.checking import (
     CheckResult,
@@ -32,6 +32,7 @@ from repro.core.priority import PrioritizingInstance
 from repro.core.repairs import enumerate_repairs
 from repro.engine.database import Database
 
+from repro.exceptions import UsageError
 __all__ = ["RepairManager"]
 
 
@@ -78,7 +79,7 @@ class RepairManager:
             return check_pareto_optimal(self._prioritizing, candidate)
         if semantics == "completion":
             return check_completion_optimal(self._prioritizing, candidate)
-        raise ValueError(f"unknown semantics {semantics!r}")
+        raise UsageError(f"unknown semantics {semantics!r}")
 
     # -- enumeration ---------------------------------------------------------------
 

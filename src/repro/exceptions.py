@@ -7,8 +7,13 @@ still distinguishing the individual failure modes when they need to.
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Optional
+
 __all__ = [
     "ReproError",
+    "UsageError",
+    "MissingEntryError",
+    "AttributePositionError",
     "SchemaError",
     "UnknownRelationError",
     "ArityError",
@@ -27,6 +32,32 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class UsageError(ReproError, ValueError):
+    """An argument value is outside a function's documented domain.
+
+    Derives from both :class:`ReproError` (so ``except ReproError``
+    catches every library failure) and :class:`ValueError` (so callers
+    treating bad arguments the builtin way keep working).
+    """
+
+
+class MissingEntryError(ReproError, KeyError):
+    """A name is absent from a registry, catalog, or report.
+
+    Derives from both :class:`ReproError` and :class:`KeyError`; note
+    the :class:`KeyError` quirk that ``str()`` shows the repr of the
+    message.
+    """
+
+
+class AttributePositionError(ReproError, IndexError):
+    """An attribute position is outside a fact's ``1..arity`` range.
+
+    Derives from both :class:`ReproError` and :class:`IndexError` (the
+    paper's 1-based ``f[A]`` notation is still positional indexing).
+    """
 
 
 class SchemaError(ReproError):
@@ -65,7 +96,7 @@ class InvalidPriorityError(ReproError):
 class CyclicPriorityError(InvalidPriorityError):
     """The priority relation contains a cycle (it must be acyclic)."""
 
-    def __init__(self, cycle) -> None:
+    def __init__(self, cycle: Iterable[Any]) -> None:
         super().__init__(f"priority relation has a cycle: {list(cycle)!r}")
         self.cycle = tuple(cycle)
 
@@ -108,7 +139,9 @@ class SearchBudgetExceededError(ReproError):
     ``timeout`` job status instead of an answer.
     """
 
-    def __init__(self, kind: str, nodes_explored: int, budget=None) -> None:
+    def __init__(
+        self, kind: str, nodes_explored: int, budget: Optional[int] = None
+    ) -> None:
         if kind == "deadline":
             message = (
                 f"improvement search hit its deadline after exploring "

@@ -38,7 +38,7 @@ empirical brute-force blowup measurements to exhibit the hardness side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Optional
 
 from repro.core.classification import classify_relation
 from repro.core.fd import AttributeSet

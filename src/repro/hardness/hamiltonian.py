@@ -20,7 +20,7 @@ of the vertices with an edge between ``v_π(i)`` and ``v_π(i+1)`` for all
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 

@@ -36,12 +36,13 @@ integers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
+from repro.exceptions import UsageError
 from repro.hardness.hamiltonian import UndirectedGraph
 from repro.hardness.schemas import S1
 
@@ -102,7 +103,7 @@ class HamiltonianGadget:
         """
         n = self.graph.node_count
         if sorted(cycle) != list(range(n)):
-            raise ValueError(f"{cycle!r} is not a permutation of 0..{n - 1}")
+            raise UsageError(f"{cycle!r} is not a permutation of 0..{n - 1}")
         removed: List[Fact] = []
         added: List[Fact] = []
         for i in range(n):
@@ -132,13 +133,13 @@ class HamiltonianGadget:
             if isinstance(first, int) and second == third:
                 j = int(str(second)[1:])
                 if chosen[first] is not None:
-                    raise ValueError(
+                    raise UsageError(
                         f"two diagonal facts at index {first}; not a "
                         f"well-formed improvement"
                     )
                 chosen[first] = j
         if any(j is None for j in chosen):
-            raise ValueError("improvement has no diagonal fact at some index")
+            raise UsageError("improvement has no diagonal fact at some index")
         return [int(j) for j in chosen]  # type: ignore[arg-type]
 
 
@@ -158,7 +159,7 @@ def build_hamiltonian_gadget(graph: UndirectedGraph) -> HamiltonianGadget:
     """
     n = graph.node_count
     if n < 2:
-        raise ValueError(
+        raise UsageError(
             "the Lemma 5.2 gadget needs at least two vertices (with n = 1 "
             "the paper's q-facts for index i and i-1 coincide)"
         )

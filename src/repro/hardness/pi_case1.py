@@ -45,7 +45,7 @@ none of the three                          the triple ``⟨c_1, c_2, c_3⟩``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.fact import Fact
 from repro.core.fd import FD, AttributeSet

@@ -13,7 +13,7 @@ objects, using the paper's own relation names.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core.schema import Schema
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, IO, List, Union
+from typing import Any, Dict, List, Union
 
 from repro.core.fact import Fact
 from repro.core.fd import FD

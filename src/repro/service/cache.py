@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Any, Dict
+
+from repro.exceptions import UsageError
 
 __all__ = ["LRUCache"]
 
@@ -42,7 +44,7 @@ class LRUCache:
 
     def __init__(self, capacity: int = 2048) -> None:
         if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
+            raise UsageError(f"capacity must be >= 0, got {capacity}")
         self._capacity = capacity
         self._data: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()

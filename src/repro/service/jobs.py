@@ -28,6 +28,8 @@ from typing import Any, Dict, List, Optional
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 
+from repro.exceptions import MissingEntryError
+
 __all__ = [
     "JOB_STATUSES",
     "RepairJob",
@@ -160,4 +162,4 @@ class BatchReport:
         for result in self.results:
             if result.job_id == job_id:
                 return result
-        raise KeyError(job_id)
+        raise MissingEntryError(job_id)

@@ -38,6 +38,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.exceptions import UsageError
+
 __all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
 
 #: Default histogram bucket upper bounds, in seconds (exponential; the
@@ -69,7 +71,7 @@ class Counter:
     def increment(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative)."""
         if amount < 0:
-            raise ValueError("counters are monotone; cannot decrement")
+            raise UsageError("counters are monotone; cannot decrement")
         with self._lock:
             self._value += amount
 
@@ -130,7 +132,7 @@ class LatencyHistogram:
         (the recorded maximum for the overflow bucket).
         """
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
+            raise UsageError(f"quantile must be in [0, 1], got {q}")
         total = self.count
         if total == 0:
             return 0.0

@@ -48,7 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.classification import classification_cache_info
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
-from repro.exceptions import TransientWorkerError
+from repro.exceptions import TransientWorkerError, UsageError
 from repro.service.cache import LRUCache
 from repro.service.fingerprint import fingerprint_check_request
 from repro.service.jobs import BatchReport, JobResult, RepairJob
@@ -119,13 +119,13 @@ class ServiceConfig:
 
     def __post_init__(self) -> None:
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise UsageError(f"workers must be >= 1, got {self.workers}")
         if self.executor not in ("serial", "thread", "process"):
-            raise ValueError(
+            raise UsageError(
                 f"executor must be serial/thread/process, got {self.executor!r}"
             )
         if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
+            raise UsageError("max_retries must be >= 0")
 
 
 class RepairService:

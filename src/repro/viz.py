@@ -12,7 +12,7 @@ output can be pasted into any DOT viewer).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.core.checking.ccp_primary_key import CcpGraph
 from repro.core.checking.two_keys import SwapGraph

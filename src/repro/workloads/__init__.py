@@ -8,6 +8,7 @@ paper's own motivations: conflicting sources of differing reliability
 and timestamped fact versions.
 """
 
+from repro.workloads.consortium import consortium_scenario, consortium_schema
 from repro.workloads.generators import (
     domain_sizes_for_density,
     random_instance,
@@ -26,16 +27,15 @@ from repro.workloads.priorities import (
     random_prioritizing_instance,
     total_conflict_priority,
 )
-from repro.workloads.consortium import consortium_scenario, consortium_schema
-from repro.workloads.separations import (
-    separation_instance,
-    separation_schema,
-)
 from repro.workloads.scenarios import (
     RunningExample,
     running_example,
     source_reliability_scenario,
     timestamp_scenario,
+)
+from repro.workloads.separations import (
+    separation_instance,
+    separation_schema,
 )
 
 __all__ = [

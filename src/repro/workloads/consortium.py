@@ -15,7 +15,7 @@ tables.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.conflicts import iter_conflicts
 from repro.core.fact import Fact

@@ -13,11 +13,13 @@ All generators take an explicit seed and are deterministic given it.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.schema import Schema
+
+from repro.exceptions import UsageError
 
 __all__ = [
     "random_instance",
@@ -64,7 +66,7 @@ def random_instance(
             else [max(facts_per_relation, 2)] * relation.arity
         )
         if len(sizes) != relation.arity:
-            raise ValueError(
+            raise UsageError(
                 f"domain_sizes[{relation.name!r}] must have "
                 f"{relation.arity} entries, got {len(sizes)}"
             )
@@ -92,7 +94,7 @@ def domain_sizes_for_density(
     attributes wide (so colliding facts disagree on the RHS).
     """
     if not 0.0 <= density <= 1.0:
-        raise ValueError(f"density must be in [0, 1], got {density}")
+        raise UsageError(f"density must be in [0, 1], got {density}")
     sizes: Dict[str, List[int]] = {}
     for relation, fdset in schema.per_relation():
         lhs_attributes = {

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Tuple
 
+from repro.exceptions import UsageError
 from repro.hardness.hamiltonian import UndirectedGraph
 
 __all__ = [
@@ -46,7 +47,7 @@ def hamiltonian_graph(
 ) -> UndirectedGraph:
     """A graph guaranteed Hamiltonian: a hidden random cycle plus noise."""
     if node_count < 2:
-        raise ValueError("need at least two vertices")
+        raise UsageError("need at least two vertices")
     rng = random.Random(seed)
     order = list(range(node_count))
     rng.shuffle(order)
@@ -68,7 +69,7 @@ def non_hamiltonian_graph(node_count: int, seed: int = 0) -> UndirectedGraph:
     cycle would have to pass through the cut vertex twice.
     """
     if node_count < 3:
-        raise ValueError("need at least three vertices for a cut vertex")
+        raise UsageError("need at least three vertices for a cut vertex")
     rng = random.Random(seed)
     cut = 0
     left = list(range(1, node_count // 2 + 1))

@@ -20,7 +20,7 @@ random global order on the facts and only emits edges along it.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.conflicts import conflicting_pairs
 from repro.core.fact import Fact

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.conflicts import iter_conflicts
 from repro.core.fact import Fact
@@ -23,6 +23,8 @@ from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
 from repro.core.signature import RelationSymbol, Signature
+
+from repro.exceptions import MissingEntryError
 
 __all__ = [
     "RunningExample",
@@ -151,7 +153,7 @@ def _name_of(facts: Dict[str, Fact], fact: Fact) -> str:
     for name, candidate in facts.items():
         if candidate == fact:
             return name
-    raise KeyError(fact)
+    raise MissingEntryError(fact)
 
 
 def source_reliability_scenario(

@@ -31,6 +31,8 @@ from repro.core.fact import Fact
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
 
+from repro.exceptions import UsageError
+
 __all__ = [
     "separation_schema",
     "pareto_not_global_block",
@@ -83,7 +85,7 @@ def separation_instance(block_count: int) -> PrioritizingInstance:
     16
     """
     if block_count < 1:
-        raise ValueError("need at least one block")
+        raise UsageError("need at least one block")
     schema = separation_schema()
     facts: List[Fact] = []
     edges: List[Tuple[Fact, Fact]] = []

@@ -13,7 +13,6 @@ from repro.core import (
     Schema,
 )
 from repro.core.improvements import is_global_improvement
-from repro.core.repairs import is_repair
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FD, Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
 from repro.core.checking.brute_force import check_globally_optimal_brute_force
 from repro.core.checking.two_keys import build_swap_graph, check_two_keys
 from repro.core.classification import equivalent_two_keys

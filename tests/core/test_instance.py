@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Fact, Instance, Schema, Signature
+from repro.core import Fact, Instance, Signature
 from repro.core.signature import RelationSymbol
 from repro.exceptions import ArityError, NotASubinstanceError, UnknownRelationError
 

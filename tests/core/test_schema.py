@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import FD, Fact, Schema, Signature
-from repro.core.signature import RelationSymbol
 from repro.exceptions import InvalidFDError, UnknownRelationError
 
 

@@ -1,0 +1,12 @@
+"""RL001 fixture: validating constructors on the checking hot path."""
+
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+
+
+def derive(prioritizing, kept, edges):
+    candidate = Instance(prioritizing.schema.signature, kept)
+    priority = PriorityRelation(edges)
+    return PrioritizingInstance(
+        prioritizing.schema, candidate, priority
+    )

@@ -1,0 +1,13 @@
+"""RL001 near-miss: trusted constructors and lowercase helpers only."""
+
+from repro.core.instance import Instance
+from repro.core.priority import PriorityRelation
+
+
+def derive(prioritizing, kept, edges):
+    candidate = Instance._from_validated(
+        prioritizing.schema.signature, kept
+    )
+    priority = PriorityRelation._from_acyclic(edges)
+    sibling = prioritizing.schema.instance(kept)
+    return candidate, priority, sibling

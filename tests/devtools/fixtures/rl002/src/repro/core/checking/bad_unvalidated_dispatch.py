@@ -1,0 +1,6 @@
+"""RL002 fixture: a public checker that trusts ``candidate`` blindly."""
+
+
+def check_by_guessing(prioritizing, candidate):
+    kept = candidate.facts() & prioritizing.instance.facts()
+    return len(kept) == len(candidate.facts())

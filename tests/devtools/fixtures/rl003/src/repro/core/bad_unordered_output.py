@@ -1,0 +1,16 @@
+"""RL003 fixture: unordered iteration feeding serialized output."""
+
+
+class Report:
+    def __init__(self, facts):
+        self.facts = set(facts)
+
+    def __repr__(self):
+        body = ", ".join(str(fact) for fact in self.facts)
+        return f"Report({body})"
+
+    def fingerprint(self):
+        parts = []
+        for fact in self.facts:
+            parts.append(str(fact))
+        return "|".join(parts)

@@ -1,0 +1,17 @@
+"""RL003 near-miss set: sorted iteration, and sets outside output paths."""
+
+
+class Report:
+    def __init__(self, facts):
+        self.facts = set(facts)
+
+    def __repr__(self):
+        body = ", ".join(str(fact) for fact in sorted(self.facts))
+        return f"Report({body})"
+
+    def fingerprint(self):
+        return "|".join(str(fact) for fact in sorted(self.facts))
+
+    def total_weight(self):
+        # Not an output path, and sum() is order-insensitive anyway.
+        return sum(fact.weight for fact in self.facts)

@@ -1,0 +1,15 @@
+"""RL004 fixture: mutable default argument values."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(item, *, counts={}):
+    counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+def dedupe(items, seen=set()):
+    return [item for item in items if item not in seen]

@@ -1,0 +1,16 @@
+"""RL004 near-miss set: immutable defaults and the None idiom."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def label(item, prefixes=("a", "b")):
+    return [prefix + item for prefix in prefixes]
+
+
+def pick(items, allowed=frozenset({"x", "y"})):
+    return [item for item in items if item in allowed]

@@ -1,0 +1,13 @@
+"""RL005 fixture: raising bare builtin exceptions from library code."""
+
+
+def pick(mapping, name):
+    if name not in mapping:
+        raise KeyError(name)
+    return mapping[name]
+
+
+def scale(value, factor):
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return value * factor

@@ -1,0 +1,26 @@
+"""RL005 near-miss set: domain exceptions, re-raises, and stubs."""
+
+from repro.exceptions import MissingEntryError, UsageError
+
+
+def pick(mapping, name):
+    if name not in mapping:
+        raise MissingEntryError(name)
+    return mapping[name]
+
+
+def scale(value, factor):
+    if factor <= 0:
+        raise UsageError(f"factor must be positive, got {factor}")
+    return value * factor
+
+
+def forward(callback):
+    try:
+        return callback()
+    except Exception as error:
+        raise error
+
+
+def unimplemented():
+    raise NotImplementedError("subclasses must override")

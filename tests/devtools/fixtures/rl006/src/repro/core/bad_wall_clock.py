@@ -1,0 +1,13 @@
+"""RL006 fixture: wall-clock time in deadline logic."""
+
+import time
+
+from time import time as now
+
+
+def remaining(deadline):
+    return deadline - time.time()
+
+
+def elapsed(start):
+    return now() - start

@@ -1,0 +1,11 @@
+"""RL006 near-miss: monotonic clocks inside core code."""
+
+import time
+
+
+def remaining(deadline):
+    return deadline - time.monotonic()
+
+
+def stamp():
+    return time.perf_counter()

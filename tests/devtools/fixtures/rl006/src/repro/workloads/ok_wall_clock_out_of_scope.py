@@ -1,0 +1,7 @@
+"""RL006 scope near-miss: wall-clock time outside core/service is fine."""
+
+import time
+
+
+def report_generated_at():
+    return time.time()

@@ -1,0 +1,89 @@
+"""Regression tests for the violations the linter flagged and we fixed.
+
+Each test pins the *behavioural* consequence of one finding: the lint
+rule keeps the pattern out of the tree, these tests keep the semantics
+from regressing even if the rule is ever relaxed.
+"""
+
+import pytest
+
+from repro.core.fact import Fact
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.schema import Schema
+from repro.core.signature import RelationSymbol, Signature
+from repro.exceptions import (
+    AttributePositionError,
+    MissingEntryError,
+    ReproError,
+    UsageError,
+)
+
+
+class TestSignatureReprDeterminism:
+    """RL003 finding: Signature.__repr__ leaked dict insertion order."""
+
+    def test_equal_signatures_repr_equally(self):
+        forward = Signature(
+            [RelationSymbol("R", 2), RelationSymbol("S", 1)]
+        )
+        backward = Signature(
+            [RelationSymbol("S", 1), RelationSymbol("R", 2)]
+        )
+        assert forward == backward
+        assert repr(forward) == repr(backward)
+
+    def test_repr_is_name_sorted(self):
+        sig = Signature(
+            [RelationSymbol("Zeta", 1), RelationSymbol("Alpha", 1)]
+        )
+        rendered = repr(sig)
+        assert rendered.index("Alpha") < rendered.index("Zeta")
+
+
+class TestDualInheritanceExceptions:
+    """RL005 sweep: new domain exceptions stay builtin-compatible."""
+
+    def test_usage_error_is_value_error(self):
+        assert issubclass(UsageError, ReproError)
+        assert issubclass(UsageError, ValueError)
+
+    def test_missing_entry_error_is_key_error(self):
+        assert issubclass(MissingEntryError, ReproError)
+        assert issubclass(MissingEntryError, KeyError)
+
+    def test_attribute_position_error_is_index_error(self):
+        assert issubclass(AttributePositionError, ReproError)
+        assert issubclass(AttributePositionError, IndexError)
+
+    def test_fact_position_raises_in_both_hierarchies(self):
+        fact = Fact("R", ("a", "b"))
+        with pytest.raises(IndexError):
+            fact[3]
+        with pytest.raises(ReproError):
+            fact[3]
+
+    def test_catalog_unknown_name_raises_in_both_hierarchies(self):
+        from repro import catalog
+
+        with pytest.raises(KeyError):
+            catalog.get("no-such-schema")
+        with pytest.raises(ReproError):
+            catalog.get("no-such-schema")
+
+    def test_dispatcher_unknown_method_raises_in_both_hierarchies(self):
+        from repro.core.checking.dispatcher import check_globally_optimal
+
+        schema = Schema.single_relation(["1 -> 2"], arity=2)
+        f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+        prioritizing = PrioritizingInstance(
+            schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+        )
+        candidate = schema.instance([f])
+        with pytest.raises(ValueError):
+            check_globally_optimal(
+                prioritizing, candidate, method="not-a-method"
+            )
+        with pytest.raises(ReproError):
+            check_globally_optimal(
+                prioritizing, candidate, method="not-a-method"
+            )

@@ -1,0 +1,171 @@
+"""CLI tests: exit codes, JSON format, baseline workflow, integration."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.devtools.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    run,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_lint(*argv):
+    stream = io.StringIO()
+    code = run(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+def fixture_args(rule_dir):
+    root = FIXTURES / rule_dir
+    return [str(root / "src"), "--root", str(root), "--no-baseline"]
+
+
+class TestExitCodes:
+    def test_violations_exit_nonzero(self):
+        code, _ = run_lint(*fixture_args("rl005"))
+        assert code == EXIT_FINDINGS
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        clean = tmp_path / "src" / "repro"
+        clean.mkdir(parents=True)
+        (clean / "mod.py").write_text("VALUE = 1\n")
+        code, output = run_lint(
+            str(tmp_path / "src"), "--root", str(tmp_path)
+        )
+        assert code == EXIT_CLEAN
+        assert "0 finding(s) in 1 file(s)" in output
+
+    def test_unknown_rule_exits_two(self):
+        code, _ = run_lint(*fixture_args("rl005"), "--select", "RL999")
+        assert code == EXIT_USAGE
+
+    def test_unknown_flag_exits_two(self, capsys):
+        code, _ = run_lint("--definitely-not-a-flag")
+        capsys.readouterr()
+        assert code == EXIT_USAGE
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code, _ = run_lint(
+            str(tmp_path / "nope"), "--root", str(tmp_path)
+        )
+        capsys.readouterr()
+        assert code == EXIT_USAGE
+
+
+class TestJsonFormat:
+    def test_json_document_shape(self):
+        code, output = run_lint(*fixture_args("rl005"), "--format", "json")
+        assert code == EXIT_FINDINGS
+        document = json.loads(output)
+        assert document["version"] == 1
+        assert document["ok"] is False
+        assert document["files_checked"] >= 2
+        codes = {f["code"] for f in document["findings"]}
+        assert codes == {"RL005"}
+        for finding in document["findings"]:
+            assert set(finding) == {
+                "code", "message", "path", "line", "column", "snippet",
+            }
+
+    def test_json_is_deterministic(self):
+        _, first = run_lint(*fixture_args("rl005"), "--format", "json")
+        _, second = run_lint(*fixture_args("rl005"), "--format", "json")
+        assert first == second
+
+
+class TestFlags:
+    def test_select_other_rule_silences_fixture(self):
+        code, output = run_lint(
+            *fixture_args("rl005"), "--select", "RL001", "--format", "json"
+        )
+        assert code == EXIT_CLEAN
+        assert json.loads(output)["findings"] == []
+
+    def test_ignore_silences_fixture(self):
+        code, _ = run_lint(*fixture_args("rl005"), "--ignore", "RL005")
+        assert code == EXIT_CLEAN
+
+    def test_list_rules(self):
+        code, output = run_lint("--list-rules")
+        assert code == EXIT_CLEAN
+        for expected in ("RL001", "RL006", "trusted-constructors"):
+            assert expected in output
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_clean(self, tmp_path):
+        module_dir = tmp_path / "src" / "repro"
+        module_dir.mkdir(parents=True)
+        (module_dir / "mod.py").write_text(
+            "def fail(reason):\n    raise ValueError(reason)\n"
+        )
+        baseline = tmp_path / ".repro-lint-baseline.json"
+
+        code, output = run_lint(
+            str(tmp_path / "src"), "--root", str(tmp_path),
+            "--write-baseline",
+        )
+        assert code == EXIT_CLEAN
+        assert "wrote 1 finding(s)" in output
+        assert baseline.exists()
+
+        code, output = run_lint(
+            str(tmp_path / "src"), "--root", str(tmp_path)
+        )
+        assert code == EXIT_CLEAN
+        assert "1 baselined" in output
+
+        # --no-baseline surfaces the accepted debt again.
+        code, _ = run_lint(
+            str(tmp_path / "src"), "--root", str(tmp_path), "--no-baseline"
+        )
+        assert code == EXIT_FINDINGS
+
+
+class TestReproCliIntegration:
+    def test_repro_cli_forwards_lint(self, capsys):
+        from repro.cli import main
+
+        code = main(["lint", "--list-rules"])
+        output = capsys.readouterr().out
+        assert code == EXIT_CLEAN
+        assert "RL001" in output
+
+    def test_repro_cli_lint_reports_fixture_findings(self, capsys):
+        from repro.cli import main
+
+        root = FIXTURES / "rl004"
+        code = main(
+            [
+                "lint",
+                str(root / "src"),
+                "--root",
+                str(root),
+                "--no-baseline",
+                "--format",
+                "json",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == EXIT_FINDINGS
+        document = json.loads(output)
+        assert {f["code"] for f in document["findings"]} == {"RL004"}
+
+    def test_module_entry_point_help(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "--help"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(Path(__file__).resolve().parents[2]),
+        )
+        assert result.returncode == 0
+        assert "--write-baseline" in result.stdout

@@ -1,0 +1,244 @@
+"""Engine-level tests: suppressions, baseline, selection, determinism."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.engine import (
+    PARSE_ERROR_CODE,
+    LintConfig,
+    lint_paths,
+)
+from repro.devtools.lint.findings import Finding, finding_sort_key
+from repro.devtools.lint.registry import all_rules, rule_by_code
+from repro.devtools.lint.suppress import parse_suppressions
+from repro.exceptions import ReproError, UsageError
+
+RL005_BODY = (
+    '"""Module under test."""\n'
+    "\n"
+    "\n"
+    "def fail(reason):\n"
+    '    raise ValueError(reason){suffix}\n'
+)
+
+
+def make_tree(tmp_path: Path, suffix: str = "") -> Path:
+    """A minimal lintable tree with one RL005 violation."""
+    module_dir = tmp_path / "src" / "repro"
+    module_dir.mkdir(parents=True)
+    module = module_dir / "mod.py"
+    module.write_text(RL005_BODY.format(suffix=suffix))
+    return tmp_path
+
+
+def lint_tree(root: Path, **overrides):
+    config = LintConfig(root=root, **overrides)
+    return lint_paths([root / "src"], config)
+
+
+class TestSuppressions:
+    def test_violation_fires_without_suppression(self, tmp_path):
+        report = lint_tree(make_tree(tmp_path))
+        assert [f.code for f in report.findings] == ["RL005"]
+        assert report.suppressed_inline == 0
+
+    def test_inline_ignore_silences_same_line(self, tmp_path):
+        root = make_tree(tmp_path, suffix="  # repro-lint: ignore[RL005]")
+        report = lint_tree(root)
+        assert report.ok
+        assert report.suppressed_inline == 1
+
+    def test_inline_ignore_star_silences_all_rules(self, tmp_path):
+        root = make_tree(tmp_path, suffix="  # repro-lint: ignore[*]")
+        report = lint_tree(root)
+        assert report.ok
+        assert report.suppressed_inline == 1
+
+    def test_ignore_for_other_rule_does_not_apply(self, tmp_path):
+        root = make_tree(tmp_path, suffix="  # repro-lint: ignore[RL001]")
+        report = lint_tree(root)
+        assert [f.code for f in report.findings] == ["RL005"]
+
+    def test_skip_file_pragma_suppresses_everything(self, tmp_path):
+        root = make_tree(tmp_path)
+        module = root / "src" / "repro" / "mod.py"
+        module.write_text("# repro-lint: skip-file\n" + module.read_text())
+        report = lint_tree(root)
+        assert report.ok
+        assert report.suppressed_inline == 1
+
+    def test_parse_suppressions_table(self):
+        table = parse_suppressions(
+            (
+                "x = 1",
+                "y = 2  # repro-lint: ignore[RL001,RL002]",
+            )
+        )
+        assert table.is_suppressed("RL001", 2)
+        assert table.is_suppressed("RL002", 2)
+        assert not table.is_suppressed("RL003", 2)
+        assert not table.is_suppressed("RL001", 1)
+
+
+class TestBaseline:
+    def test_write_then_apply_roundtrip(self, tmp_path):
+        root = make_tree(tmp_path)
+        report = lint_tree(root)
+        baseline_path = root / "baseline.json"
+        assert write_baseline(baseline_path, report.findings) == 1
+
+        rerun = lint_tree(root, baseline_path=baseline_path)
+        assert rerun.ok
+        assert rerun.suppressed_baseline == 1
+
+    def test_baseline_is_line_shift_tolerant(self, tmp_path):
+        root = make_tree(tmp_path)
+        baseline_path = root / "baseline.json"
+        write_baseline(baseline_path, lint_tree(root).findings)
+
+        module = root / "src" / "repro" / "mod.py"
+        module.write_text('"""Shifted."""\n\n\n' + module.read_text())
+        rerun = lint_tree(root, baseline_path=baseline_path)
+        assert rerun.ok, "baseline keys must survive unrelated line shifts"
+
+    def test_editing_the_violating_line_invalidates_the_entry(self, tmp_path):
+        root = make_tree(tmp_path)
+        baseline_path = root / "baseline.json"
+        write_baseline(baseline_path, lint_tree(root).findings)
+
+        module = root / "src" / "repro" / "mod.py"
+        module.write_text(
+            module.read_text().replace(
+                "raise ValueError(reason)",
+                'raise ValueError(reason or "unspecified")',
+            )
+        )
+        rerun = lint_tree(root, baseline_path=baseline_path)
+        assert [f.code for f in rerun.findings] == ["RL005"]
+
+    def test_use_baseline_false_reports_everything(self, tmp_path):
+        root = make_tree(tmp_path)
+        baseline_path = root / "baseline.json"
+        write_baseline(baseline_path, lint_tree(root).findings)
+        rerun = lint_tree(
+            root, baseline_path=baseline_path, use_baseline=False
+        )
+        assert [f.code for f in rerun.findings] == ["RL005"]
+
+    def test_multiset_semantics(self):
+        finding = Finding(
+            code="RL005",
+            message="m",
+            path="src/repro/mod.py",
+            line=5,
+            column=4,
+            snippet="raise ValueError(reason)",
+        )
+        twice = [finding, finding]
+        from collections import Counter
+
+        baseline = Counter({finding.baseline_key(): 1})
+        kept, absorbed = apply_baseline(twice, baseline)
+        assert absorbed == 1
+        assert kept == [finding]
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(UsageError):
+            load_baseline(bad)
+        bad.write_text("not json at all")
+        with pytest.raises(UsageError):
+            load_baseline(bad)
+
+
+class TestSelection:
+    def test_select_limits_to_listed_rules(self, tmp_path):
+        root = make_tree(tmp_path)
+        report = lint_tree(root, select=("RL001",))
+        assert report.ok, "RL005 violation must be invisible to --select RL001"
+
+    def test_ignore_drops_listed_rules(self, tmp_path):
+        root = make_tree(tmp_path)
+        report = lint_tree(root, ignore=("RL005",))
+        assert report.ok
+
+    def test_unknown_code_is_a_usage_error(self, tmp_path):
+        root = make_tree(tmp_path)
+        with pytest.raises(UsageError):
+            lint_tree(root, select=("RL999",))
+        with pytest.raises(UsageError):
+            lint_tree(root, ignore=("bogus",))
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        config = LintConfig(root=tmp_path)
+        with pytest.raises(UsageError):
+            lint_paths([tmp_path / "does-not-exist"], config)
+
+
+class TestEngineBehaviour:
+    def test_syntax_error_becomes_rl000_finding(self, tmp_path):
+        root = make_tree(tmp_path)
+        broken = root / "src" / "repro" / "broken.py"
+        broken.write_text("def half(:\n")
+        report = lint_tree(root)
+        codes = sorted(f.code for f in report.findings)
+        assert codes == [PARSE_ERROR_CODE, "RL005"]
+
+    def test_report_is_deterministic_and_sorted(self, tmp_path):
+        root = make_tree(tmp_path)
+        extra = root / "src" / "repro" / "another.py"
+        extra.write_text(
+            "def f(x, cache={}):\n"
+            "    raise ValueError(x)\n"
+        )
+        first = lint_tree(root)
+        second = lint_tree(root)
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+        keys = [finding_sort_key(f) for f in first.findings]
+        assert keys == sorted(keys)
+        assert len(first.findings) == 3  # RL004 + RL005 x2
+
+    def test_usage_error_is_a_repro_error(self):
+        assert issubclass(UsageError, ReproError)
+        assert issubclass(UsageError, ValueError)
+
+
+class TestRegistry:
+    def test_all_six_rules_registered_in_order(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        ]
+
+    def test_rules_carry_docs_and_scopes(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.summary
+            assert rule.rationale
+            assert rule.scopes
+            assert all(scope.startswith("src/") for scope in rule.scopes)
+
+    def test_rule_by_code(self):
+        assert rule_by_code("RL004").name == "mutable-defaults"
+        with pytest.raises(ReproError):
+            rule_by_code("RL999")
+
+    def test_scoping_uses_relative_paths(self):
+        rule = rule_by_code("RL001")
+        assert rule.applies_to("src/repro/core/checking/dispatcher.py")
+        assert not rule.applies_to("src/repro/service/service.py")

@@ -1,0 +1,81 @@
+"""Fixture-driven tests for the six RL rules.
+
+Each rule has a fixture tree under ``fixtures/<rule>/src/repro/...``
+shaped so the rule's path scoping applies when the fixture directory is
+used as the lint root: one ``bad_*`` module that must fire and one or
+more ``ok_*`` modules (near-misses) that must stay silent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.engine import LintConfig, lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint_fixture(rule_dir: str, **overrides):
+    root = FIXTURES / rule_dir
+    config = LintConfig(root=root, use_baseline=False, **overrides)
+    return lint_paths([root / "src"], config)
+
+
+def findings_by_file(report, code):
+    """Map fixture file stem -> count of ``code`` findings in it."""
+    counts = {}
+    for finding in report.findings:
+        if finding.code == code:
+            stem = Path(finding.path).stem
+            counts[stem] = counts.get(stem, 0) + 1
+    return counts
+
+
+CASES = [
+    # (fixture dir, code, expected firings in the bad file)
+    ("rl001", "RL001", 3),  # Instance, PriorityRelation, PrioritizingInstance
+    ("rl002", "RL002", 1),  # the one unvalidated public checker
+    ("rl003", "RL003", 2),  # unsorted join in __repr__ + for-loop in fingerprint
+    ("rl004", "RL004", 3),  # list, dict (kw-only), set() defaults
+    ("rl005", "RL005", 2),  # raise KeyError + raise ValueError
+    ("rl006", "RL006", 2),  # time.time() call + from-import of time
+]
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", CASES)
+def test_bad_fixture_fires(rule_dir, code, expected):
+    report = lint_fixture(rule_dir)
+    counts = findings_by_file(report, code)
+    bad = {stem: n for stem, n in counts.items() if stem.startswith("bad_")}
+    assert sum(bad.values()) == expected, report.findings
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", CASES)
+def test_ok_fixture_stays_silent(rule_dir, code, expected):
+    report = lint_fixture(rule_dir)
+    counts = findings_by_file(report, code)
+    near_misses = {s: n for s, n in counts.items() if s.startswith("ok_")}
+    assert near_misses == {}, report.findings
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", CASES)
+def test_no_cross_rule_noise(rule_dir, code, expected):
+    """Fixtures are minimal: no rule other than the target one fires."""
+    report = lint_fixture(rule_dir)
+    other = [f for f in report.findings if f.code != code]
+    assert other == []
+
+
+def test_rl006_scope_excludes_workloads():
+    """time.time() outside core/service is out of RL006's scope."""
+    report = lint_fixture("rl006")
+    assert all("workloads" not in f.path for f in report.findings)
+
+
+def test_findings_carry_positions_and_snippets():
+    report = lint_fixture("rl005")
+    assert report.findings, "rl005 fixture must fire"
+    for finding in report.findings:
+        assert finding.line >= 1
+        assert finding.snippet.strip()
+        assert finding.path.startswith("src/repro/")

@@ -1,0 +1,27 @@
+"""The repository's own source tree must lint clean.
+
+This is the enforcement test behind ``make lint``: every invariant the
+rules encode (trusted constructors on the checking hot path, validated
+dispatch, deterministic output, no mutable defaults, the ReproError
+hierarchy, monotonic deadlines) holds over ``src/`` right now, with no
+baseline debt — only explicitly justified inline suppressions.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint.engine import LintConfig, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    config = LintConfig(root=REPO_ROOT, use_baseline=False)
+    report = lint_paths([REPO_ROOT / "src"], config)
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"repro lint found new violations:\n{rendered}"
+    assert report.files_checked > 50
+
+
+def test_no_baseline_debt_is_committed():
+    """The tree is clean outright; a committed baseline would hide debt."""
+    assert not (REPO_ROOT / ".repro-lint-baseline.json").exists()

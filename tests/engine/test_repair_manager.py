@@ -5,8 +5,8 @@ import pytest
 from repro.core import Fact, Schema
 from repro.core.repairs import is_repair
 from repro.engine import Database, RepairManager
-from repro.workloads.priorities import random_prioritizing_instance
 from repro.workloads.generators import random_instance_with_conflicts
+from repro.workloads.priorities import random_prioritizing_instance
 
 
 @pytest.fixture

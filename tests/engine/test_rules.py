@@ -1,6 +1,5 @@
 """Unit tests for the priority-rule library."""
 
-import pytest
 
 from repro.core import Fact, Schema
 from repro.engine import (

@@ -67,7 +67,6 @@ class TestGeneralSchemas:
     def test_every_hard_random_schema_gets_a_case(self):
         """Total coverage: every schema on the hard side is assigned
         one of the seven cases without error."""
-        import itertools
         import random
 
         from repro.core.fd import FD

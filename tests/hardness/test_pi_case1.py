@@ -11,8 +11,8 @@ from repro.core.checking import (
 from repro.core.fact import Fact
 from repro.core.schema import Schema
 from repro.exceptions import ReproError
-from repro.hardness.hc_reduction import build_hamiltonian_gadget
 from repro.hardness.hamiltonian import UndirectedGraph
+from repro.hardness.hc_reduction import build_hamiltonian_gadget
 from repro.hardness.pi_case1 import (
     PiCase1,
     designated_keys,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Fact, PrioritizingInstance, Schema
+from repro.core import Fact, Schema
 from repro.core.checking import check_globally_optimal
 from repro.core.classification import classify_ccp_schema, classify_schema
 from repro.core.repairs import enumerate_repairs

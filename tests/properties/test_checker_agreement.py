@@ -9,7 +9,7 @@ priority shape, and candidate choice.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Fact, PrioritizingInstance, PriorityRelation, Schema
+from repro.core import Fact, PrioritizingInstance, Schema
 from repro.core.checking import (
     check_globally_optimal,
     check_globally_optimal_brute_force,

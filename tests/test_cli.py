@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import main, parse_schema_spec
-from repro.exceptions import ReproError
 
 
 class TestSchemaSpecParser:

@@ -6,7 +6,6 @@ messages, `repr`/`str` behaviour, and a few invariants that only bind
 across modules.
 """
 
-import pytest
 
 from repro.core import (
     FD,
@@ -23,7 +22,6 @@ from repro.core.checking import (
     check_pareto_optimal,
 )
 from repro.core.repairs import enumerate_repairs, is_repair
-from repro.core.signature import RelationSymbol
 
 
 class TestEmptyAndDegenerate:

@@ -1,8 +1,6 @@
 """Unit tests for the running example and motivating scenarios."""
 
-import pytest
 
-from repro.core import Fact
 from repro.core.checking import (
     check_globally_optimal,
     check_pareto_optimal,
