@@ -1,7 +1,7 @@
 # Convenience targets for the repro repository.
 
 .PHONY: install test lint typecheck bench bench-tables service-bench perf \
-	examples all clean
+	chaos examples all clean
 
 install:
 	pip install -e .
@@ -9,7 +9,7 @@ install:
 test:
 	pytest tests/
 
-# Project-invariant lint (rules RL001-RL006, docs/lint_rules.md) plus
+# Project-invariant lint (rules RL001-RL007, docs/lint_rules.md) plus
 # ruff style checks when ruff is installed (CI always installs it).
 lint:
 	PYTHONPATH=src python -m repro.devtools.lint
@@ -38,6 +38,16 @@ bench-tables:
 # Service-layer throughput: workers x cache temperature (jobs/sec table).
 service-bench:
 	pytest benchmarks/bench_service_throughput.py -q -s --benchmark-disable
+
+# Resilience drills: the deterministic fault-injection suite (verdict
+# identity under injected crashes/transients/slowdowns across serial,
+# thread, and process executors) plus the kill-and-resume journal tests.
+chaos:
+	PYTHONPATH=src python -m pytest \
+		tests/service/test_chaos.py \
+		tests/service/test_resilience.py \
+		tests/service/test_journal.py \
+		tests/service/test_serve_batch_resume.py -q
 
 # Core fast-path speedups vs the retained literal baselines; writes
 # BENCH_core.json and fails on regression vs the committed numbers.

@@ -24,9 +24,15 @@ Subcommands
     :class:`~repro.service.RepairService` (worker pool, result cache,
     budgeted degradation on coNP-hard schemas) and write JSONL results
     plus a metrics summary.  Job files are JSON or CSV (see
-    :mod:`repro.service.batch_io` for the formats).
+    :mod:`repro.service.batch_io` for the formats).  ``--journal
+    run.wal`` appends every finished deterministic result to a
+    crash-safe write-ahead journal; after an interruption (Ctrl-C or a
+    hard kill), re-running with ``--resume`` replays the journaled
+    results and recomputes only the rest.  ``--chaos
+    "seed=3,transient=0.3,crash=0.1"`` injects a deterministic fault
+    schedule (see :mod:`repro.service.faults`) for resilience drills.
 ``repro lint --format json src``
-    Run the project-invariant AST linter (rules RL001-RL006; see
+    Run the project-invariant AST linter (rules RL001-RL007; see
     :mod:`repro.devtools.lint` and ``docs/lint_rules.md``); all
     arguments are forwarded to ``python -m repro.devtools.lint``.
 
@@ -208,29 +214,82 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    import contextlib
+    import signal
+    import threading
+
     from repro.io import load_prioritizing_instance
     from repro.service import (
+        JournalWriter,
         RepairService,
         ServiceConfig,
         load_batch_file,
+        parse_fault_spec,
+        read_journal,
         write_metrics_json,
         write_results_jsonl,
     )
+
+    if args.resume and not args.journal:
+        raise UsageError("--resume requires --journal")
 
     prioritizing = None
     if args.problem:
         prioritizing = load_prioritizing_instance(args.problem)
     prioritizing, jobs = load_batch_file(args.jobs, prioritizing)
-    service = RepairService(
-        ServiceConfig(
-            workers=args.workers,
-            executor=args.executor,
-            cache_size=args.cache_size,
-            default_timeout=args.timeout,
-            default_node_budget=args.budget,
+
+    runner = None
+    if args.chaos:
+        from repro.service import FaultyRunner
+
+        runner = FaultyRunner(plan=parse_fault_spec(args.chaos))
+
+    completed = None
+    if args.resume:
+        completed, corrupt = read_journal(args.journal)
+        print(
+            f"resume: replaying {len(completed)} journaled result(s) "
+            f"from {args.journal}"
+            + (f" ({corrupt} corrupt/torn line(s) skipped)" if corrupt else "")
         )
-    )
-    report = service.run_batch(jobs)
+
+    cancel = threading.Event()
+
+    def _request_shutdown(signum, _frame):
+        # First signal: drain gracefully (unstarted jobs become error
+        # results, the journal keeps every finished one).  A second
+        # signal falls through to the default handler.
+        cancel.set()
+        signal.signal(signum, signal.SIG_DFL)
+        print(
+            f"received {signal.Signals(signum).name}: finishing in-flight "
+            "jobs and flushing the journal (signal again to force quit)",
+            file=sys.stderr,
+        )
+
+    with contextlib.ExitStack() as stack:
+        journal = None
+        if args.journal:
+            journal = stack.enter_context(JournalWriter(args.journal))
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous = signal.signal(signum, _request_shutdown)
+            stack.callback(signal.signal, signum, previous)
+        service = RepairService(
+            ServiceConfig(
+                workers=args.workers,
+                executor=args.executor,
+                cache_size=args.cache_size,
+                default_timeout=args.timeout,
+                default_node_budget=args.budget,
+                max_pool_restarts=args.max_pool_restarts,
+                breaker_threshold=args.breaker_threshold,
+                breaker_reset_seconds=args.breaker_reset,
+            ),
+            runner=runner,
+            result_sink=journal.append if journal is not None else None,
+            cancel=cancel,
+        )
+        report = service.run_batch(jobs, completed=completed)
     counts = report.status_counts
     print(
         f"ran {len(report.results)} job(s) on {args.workers} "
@@ -245,6 +304,16 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         f"(hit rate {report.cache_stats['hit_rate']:.2f} over the "
         f"service lifetime)"
     )
+    counters = report.metrics.get("counters", {})
+    print(
+        "resilience: "
+        f"{counters.get('journal.replayed', 0)} replayed, "
+        f"{counters.get('journal.appended', 0)} journaled, "
+        f"{counters.get('breaker.open', 0)} breaker open(s), "
+        f"{counters.get('breaker.fast_fails', 0)} fast-fail(s), "
+        f"{counters.get('pool.restarts', 0)} pool restart(s), "
+        f"{counters.get('jobs.cancelled', 0)} cancelled"
+    )
     if args.out:
         write_results_jsonl(report, args.out)
         print(f"wrote results to {args.out}")
@@ -252,6 +321,14 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         write_metrics_json(report, args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}")
     print(service.metrics.render())
+    if cancel.is_set():
+        if args.journal:
+            print(
+                "interrupted: journal flushed; re-run with --resume to "
+                "finish the remaining jobs",
+                file=sys.stderr,
+            )
+        return 130
     return 0 if report.ok else 1
 
 
@@ -351,11 +428,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=100000,
         help="default improvement-search node budget for coNP-hard jobs",
     )
+    serve.add_argument(
+        "--journal",
+        help="append finished results to this crash-safe write-ahead "
+        "journal (fsync per result; survives Ctrl-C and kill -9)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed results from --journal and recompute "
+        "only the rest",
+    )
+    serve.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject a deterministic fault schedule, e.g. "
+        '"seed=3,transient=0.3,crash=0.1,slow=0.2,slow-ms=20,'
+        'max-faults=2" (see repro.service.faults)',
+    )
+    serve.add_argument(
+        "--max-pool-restarts",
+        type=int,
+        default=2,
+        help="pool rebuilds allowed per batch after worker deaths",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive worker failures that open a problem's "
+        "circuit breaker (0 disables)",
+    )
+    serve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="seconds an open circuit waits before a half-open probe",
+    )
     serve.set_defaults(handler=_cmd_serve_batch)
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the project-invariant AST linter (rules RL001-RL006)",
+        help="run the project-invariant AST linter (rules RL001-RL007)",
         add_help=False,
     )
     lint.add_argument(

@@ -23,6 +23,7 @@ from typing import Iterable, List, Tuple
 
 from repro.devtools.lint.findings import Finding
 from repro.exceptions import UsageError
+from repro.io import atomic_write_text
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",
@@ -62,7 +63,12 @@ def load_baseline(path: Path) -> "Counter[str]":
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
-    """Write the baseline capturing ``findings``; returns the entry count."""
+    """Write the baseline capturing ``findings``; returns the entry count.
+
+    Crash-atomic (same-directory temp + rename): an interrupted
+    ``--write-baseline`` never leaves a torn baseline that the next lint
+    run would reject as malformed.
+    """
     entries: "Counter[str]" = Counter(
         finding.baseline_key() for finding in findings
     )
@@ -70,7 +76,7 @@ def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
         "version": _VERSION,
         "entries": {key: entries[key] for key in sorted(entries)},
     }
-    path.write_text(json.dumps(document, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(document, indent=2) + "\n")
     return sum(entries.values())
 
 

@@ -14,6 +14,7 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl004_mutable_defaults,
     rl005_exception_hierarchy,
     rl006_monotonic_time,
+    rl007_supervision_boundary,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "rl004_mutable_defaults",
     "rl005_exception_hierarchy",
     "rl006_monotonic_time",
+    "rl007_supervision_boundary",
 ]

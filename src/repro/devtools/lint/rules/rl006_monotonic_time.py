@@ -10,10 +10,12 @@ schema — the budgeted degradation of DESIGN.md §7 would then block
 instead of returning ``timeout`` — and a forwards jump spuriously
 degrades answerable jobs.  Verdicts must not depend on the wall clock.
 
-The rule flags ``time.time()`` calls and ``from time import time``
-under ``src/repro/core/`` and ``src/repro/service/``.  Code that
-genuinely needs a wall-clock *timestamp* (for display only, never
-arithmetic) can suppress inline with a justification.
+The rule flags ``time.time()`` calls, ``from time import time``, and
+``datetime.now()`` / ``datetime.utcnow()`` calls (also wall-clock, with
+the extra trap that naive datetimes silently mix timezones) under
+``src/repro/core/`` and ``src/repro/service/``.  Code that genuinely
+needs a wall-clock *timestamp* (for display only, never arithmetic) can
+suppress inline with a justification.
 """
 
 from __future__ import annotations
@@ -42,6 +44,19 @@ class MonotonicTimeRule(Rule):
     )
     scopes = ("src/repro/core/", "src/repro/service/")
 
+    @staticmethod
+    def _is_datetime_receiver(value: ast.expr) -> bool:
+        """Whether ``value`` spells the ``datetime`` class or module
+        (``datetime`` or ``datetime.datetime``)."""
+        if isinstance(value, ast.Name):
+            return value.id == "datetime"
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "datetime"
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "datetime"
+        )
+
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
@@ -57,6 +72,17 @@ class MonotonicTimeRule(Rule):
                         node,
                         "wall-clock time.time() in core/service timing; "
                         "use time.monotonic()",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("now", "utcnow")
+                    and self._is_datetime_receiver(func.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock datetime.{func.attr}() in "
+                        "core/service timing; use time.monotonic()",
                     )
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "time" and any(

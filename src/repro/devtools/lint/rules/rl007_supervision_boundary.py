@@ -1,0 +1,88 @@
+"""RL007 — no bare ``except Exception`` in the service layer.
+
+The batch service's contract ("``run_batch`` never raises; every job
+gets a result") is implemented by exactly two *documented supervision
+boundaries* — the retry loop's catch-all and the pool-collection
+catch-all in :mod:`repro.service.service` — which convert arbitrary
+worker failures into ``status="error"`` results.  Every *other*
+``except Exception:`` (or bare ``except:``, or ``except
+BaseException:``) in ``src/repro/service/`` is a bug factory: it can
+swallow a real defect (a typo'd attribute, a broken invariant) and
+disguise it as an infrastructure error, which then feeds the circuit
+breaker and poisons the error accounting the resilience layer depends
+on.  Handlers must name the exceptions they expect
+(:class:`~repro.exceptions.TransientWorkerError`, ``OSError``, pool
+exceptions, ...).
+
+The sanctioned supervision boundaries carry an inline
+``# repro-lint: ignore[RL007]`` with a comment naming them; adding a
+new catch-all requires the same explicit acknowledgement in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["SupervisionBoundaryRule"]
+
+#: Exception names whose blanket capture the rule rejects.
+_BLANKET_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _blanket_name(node: ast.expr) -> bool:
+    """Whether ``node`` names Exception/BaseException (bare or dotted)."""
+    if isinstance(node, ast.Name):
+        return node.id in _BLANKET_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BLANKET_NAMES
+    return False
+
+
+@register
+class SupervisionBoundaryRule(Rule):
+    code = "RL007"
+    name = "supervision-boundary"
+    summary = (
+        "service code must not blanket-catch Exception outside the "
+        "documented supervision boundaries"
+    )
+    rationale = (
+        "run_batch's never-raises contract is implemented by two "
+        "audited catch-alls; any other blanket handler can disguise a "
+        "real defect as an infrastructure error and mis-train the "
+        "circuit breaker."
+    )
+    scopes = ("src/repro/service/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except: in service code; name the expected "
+                    "exceptions (supervision boundaries suppress inline)",
+                )
+            elif _blanket_name(node.type):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "blanket except Exception in service code; name the "
+                    "expected exceptions (supervision boundaries "
+                    "suppress inline)",
+                )
+            elif isinstance(node.type, ast.Tuple) and any(
+                _blanket_name(element) for element in node.type.elts
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exception tuple includes Exception/BaseException; "
+                    "name the expected exceptions",
+                )

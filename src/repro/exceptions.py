@@ -26,6 +26,8 @@ __all__ = [
     "IntractableSchemaError",
     "SearchBudgetExceededError",
     "TransientWorkerError",
+    "WorkerCrashError",
+    "JournalCorruptError",
     "QueryError",
 ]
 
@@ -164,6 +166,28 @@ class TransientWorkerError(ReproError):
     The batch service retries jobs that raise this (or an ``OSError``)
     with bounded exponential backoff; any other failure is reported as a
     permanent job error.  Custom runners raise it to signal "try again".
+    """
+
+
+class WorkerCrashError(TransientWorkerError):
+    """A worker died (or simulated dying) mid-job.
+
+    In a process pool a dead worker surfaces as a broken pool, which the
+    supervised executor absorbs by rebuilding the pool and re-dispatching
+    the lost jobs.  In thread/serial execution there is no process to
+    kill, so the fault-injection harness (:mod:`repro.service.faults`)
+    raises this instead; deriving from :class:`TransientWorkerError`
+    makes the retry loop play the role the pool supervisor plays for
+    real crashes.
+    """
+
+
+class JournalCorruptError(ReproError):
+    """A result-journal file is structurally unreadable.
+
+    Individual torn or corrupt lines are *skipped* during replay (a
+    crash mid-append legitimately tears the final line); this error is
+    reserved for journals that cannot be read at all.
     """
 
 

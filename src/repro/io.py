@@ -32,7 +32,10 @@ save time.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
@@ -45,6 +48,7 @@ from repro.core.signature import RelationSymbol, Signature
 from repro.exceptions import ReproError
 
 __all__ = [
+    "atomic_write_text",
     "schema_to_dict",
     "schema_from_dict",
     "instance_to_list",
@@ -58,6 +62,36 @@ __all__ = [
 ]
 
 _SCALARS = (str, int, float, bool, type(None))
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` crash-atomically.
+
+    The text lands in a temporary file in the *same directory* (so the
+    final rename never crosses a filesystem), is flushed and fsync-ed,
+    and then ``os.replace``-s the destination.  Readers therefore see
+    either the complete old contents or the complete new contents —
+    never a torn file — no matter where a crash lands.
+    """
+    target = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=target.parent or Path("."),
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise
 
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:

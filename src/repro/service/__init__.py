@@ -13,7 +13,14 @@ traffic at batch granularity:
 * :mod:`~repro.service.cache` / :mod:`~repro.service.metrics` — the
   supporting LRU cache and counters/histograms/event-log registry;
 * :mod:`~repro.service.batch_io` — JSON/CSV job files and JSONL
-  results for the ``repro serve-batch`` CLI.
+  results for the ``repro serve-batch`` CLI;
+* :mod:`~repro.service.resilience` /
+  :mod:`~repro.service.journal` /
+  :mod:`~repro.service.faults` — the fault-tolerance layer: seeded
+  retry jitter, the per-problem circuit breaker, supervised-pool
+  bookkeeping, the crash-safe write-ahead result journal behind
+  ``serve-batch --journal/--resume``, and the deterministic
+  fault-injection harness that tests all of it.
 """
 
 from repro.service.batch_io import (
@@ -24,6 +31,12 @@ from repro.service.batch_io import (
     write_results_jsonl,
 )
 from repro.service.cache import LRUCache
+from repro.service.faults import (
+    FaultPlan,
+    FaultyRunner,
+    SkewedClock,
+    parse_fault_spec,
+)
 from repro.service.fingerprint import (
     fingerprint_check_request,
     fingerprint_instance,
@@ -32,8 +45,19 @@ from repro.service.fingerprint import (
     fingerprint_schema,
 )
 from repro.service.jobs import JOB_STATUSES, BatchReport, JobResult, RepairJob
+from repro.service.journal import (
+    JOURNALED_STATUSES,
+    JournalWriter,
+    read_journal,
+)
 from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
 from repro.service.policy import Outcome, execute_check, needs_degradation
+from repro.service.resilience import (
+    CircuitBreaker,
+    PoolSupervisor,
+    RetryPolicy,
+    unit_interval,
+)
 from repro.service.service import RepairService, ServiceConfig
 
 __all__ = [
@@ -60,4 +84,15 @@ __all__ = [
     "candidate_from_spec",
     "write_results_jsonl",
     "write_metrics_json",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "PoolSupervisor",
+    "unit_interval",
+    "JournalWriter",
+    "read_journal",
+    "JOURNALED_STATUSES",
+    "FaultPlan",
+    "FaultyRunner",
+    "SkewedClock",
+    "parse_fault_spec",
 ]

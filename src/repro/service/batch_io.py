@@ -52,6 +52,7 @@ from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import ReproError
 from repro.io import (
+    atomic_write_text,
     instance_to_list,
     load_prioritizing_instance,
     prioritizing_from_dict,
@@ -279,12 +280,19 @@ def load_batch_file(
 
 
 def write_results_jsonl(report: BatchReport, path: Union[str, Path]) -> None:
-    """Write one JSON object per job result, in submission order."""
+    """Write one JSON object per job result, in submission order.
+
+    Crash-atomic: the file is either the previous contents or the full
+    new batch, never a torn prefix (same-directory temp + rename).
+    """
     lines = [json.dumps(result.to_dict()) for result in report.results]
-    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
 
 
 def write_metrics_json(report: BatchReport, path: Union[str, Path]) -> None:
     """Write the batch's metrics snapshot (counters, histograms, cache
-    and classification-cache statistics; events are included last)."""
-    Path(path).write_text(json.dumps(report.metrics, indent=2, default=str))
+    and classification-cache statistics; events are included last).
+
+    Crash-atomic, like :func:`write_results_jsonl`.
+    """
+    atomic_write_text(path, json.dumps(report.metrics, indent=2, default=str))

@@ -1,0 +1,253 @@
+"""Deterministic fault injection (the chaos harness).
+
+A :class:`FaultPlan` is a *seeded, reproducible* schedule of
+infrastructure faults: for every ``(job_id, attempt)`` pair it decides —
+by hashing, never by mutable RNG state — whether that execution attempt
+suffers a transient error, a worker crash, or a slowdown.  Because the
+decision is a pure function of ``(seed, job_id, attempt)``, the same
+plan injects the same faults regardless of executor kind, worker count,
+scheduling order, or how many times the batch is re-run; and because
+faults stop after ``max_faults_per_job`` attempts, every job is
+*eventually allowed to complete*, which is exactly the hypothesis of the
+service's determinism contract (``tests/service/test_chaos.py``).
+
+The plan plugs into the service through the existing seams:
+
+* :class:`FaultyRunner` wraps any runner (default: the real degradation
+  policy) and is picklable, so it rides into process-pool workers.  A
+  scheduled *crash* really kills the worker process there
+  (``os._exit``), exercising the supervised executor; under thread or
+  serial execution — where there is no worker process to kill — it
+  raises :class:`~repro.exceptions.WorkerCrashError` instead, and the
+  retry loop plays the supervisor's role.
+* :class:`SkewedClock` wraps the service's injectable ``clock`` seam
+  with deterministic forward skew (monotonicity is preserved — verdicts
+  must never depend on the clock, skewed or not).
+
+Examples
+--------
+>>> plan = FaultPlan(seed=7, transient_rate=1.0, max_faults_per_job=2)
+>>> plan.action("job-1", 1)
+'transient'
+>>> plan.action("job-1", 3)  # beyond max_faults_per_job: clean
+'none'
+>>> plan.action("job-1", 1) == plan.action("job-1", 1)  # reproducible
+True
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import TransientWorkerError, UsageError, WorkerCrashError
+from repro.service.resilience import unit_interval
+
+__all__ = ["FaultPlan", "FaultyRunner", "SkewedClock", "parse_fault_spec"]
+
+#: The actions a plan can schedule for one execution attempt.
+FAULT_ACTIONS = ("crash", "transient", "slow", "none")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible schedule of injected faults.
+
+    Rates partition the unit interval: a hash of ``(seed, job_id,
+    attempt)`` lands in the crash, transient, slow, or fault-free
+    region.  ``crash_rate + transient_rate + slow_rate`` must not
+    exceed 1.
+
+    Attributes
+    ----------
+    seed:
+        The schedule seed; two plans with equal fields inject byte-
+        identical fault sequences.
+    transient_rate / crash_rate / slow_rate:
+        Probabilities (over the hash) of each fault kind per attempt.
+    slow_seconds:
+        How long an injected slowdown sleeps.
+    max_faults_per_job:
+        Attempts beyond this index are never faulted, guaranteeing that
+        every job eventually runs clean (the determinism contract's
+        hypothesis).  The retry/supervision budget must cover it.
+    clock_skew:
+        Maximum deterministic forward skew (seconds) added per clock
+        reading by :meth:`clock` — exercises the breaker/duration paths'
+        independence from clock quality.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    crash_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.0
+    max_faults_per_job: int = 2
+    clock_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "crash_rate", "slow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise UsageError(f"{name} must be in [0, 1], got {rate}")
+        if self.transient_rate + self.crash_rate + self.slow_rate > 1.0 + 1e-9:
+            raise UsageError("fault rates must sum to <= 1")
+        if self.slow_seconds < 0 or self.clock_skew < 0:
+            raise UsageError("slow_seconds/clock_skew must be >= 0")
+        if self.max_faults_per_job < 0:
+            raise UsageError("max_faults_per_job must be >= 0")
+
+    def action(self, job_id: str, attempt: int) -> str:
+        """The scheduled fault for the ``attempt``-th run of ``job_id``.
+
+        1-based global attempt index (across retries and pool rebuilds);
+        one of ``"crash"``, ``"transient"``, ``"slow"``, ``"none"``.
+        """
+        if attempt > self.max_faults_per_job:
+            return "none"
+        sample = unit_interval(self.seed, "fault", job_id, attempt)
+        if sample < self.crash_rate:
+            return "crash"
+        if sample < self.crash_rate + self.transient_rate:
+            return "transient"
+        if sample < self.crash_rate + self.transient_rate + self.slow_rate:
+            return "slow"
+        return "none"
+
+    def faults_for(self, job_id: str) -> tuple:
+        """The full fault prefix scheduled for ``job_id`` (for asserts)."""
+        return tuple(
+            self.action(job_id, attempt)
+            for attempt in range(1, self.max_faults_per_job + 1)
+        )
+
+    def clock(self, base: Callable[[], float] = time.monotonic) -> "SkewedClock":
+        """A deterministically skewed clock driven by this plan's seed."""
+        return SkewedClock(base=base, seed=self.seed, max_skew=self.clock_skew)
+
+
+class SkewedClock:
+    """A monotonic clock with deterministic forward skew.
+
+    Each reading adds ``unit_interval(seed, tick) * max_skew`` to an
+    accumulated offset, so time runs fast in a reproducible pattern but
+    never backwards — matching what the RL006 invariant already
+    guarantees about real monotonic clocks.
+    """
+
+    def __init__(
+        self,
+        base: Callable[[], float] = time.monotonic,
+        seed: int = 0,
+        max_skew: float = 0.0,
+    ) -> None:
+        if max_skew < 0:
+            raise UsageError(f"max_skew must be >= 0, got {max_skew}")
+        self._base = base
+        self._seed = seed
+        self._max_skew = max_skew
+        self._offset = 0.0
+        self._ticks = 0
+
+    def __call__(self) -> float:
+        self._ticks += 1
+        self._offset += self._max_skew * unit_interval(
+            self._seed, "clock", self._ticks
+        )
+        return self._base() + self._offset
+
+
+@dataclass
+class FaultyRunner:
+    """A picklable runner wrapper that executes a :class:`FaultPlan`.
+
+    Wraps ``inner`` (default: the real degradation policy) and consults
+    the plan before every attempt.  Crashes are real where possible:
+    when the runner finds itself in a different process than the one
+    that built it (i.e. inside a process-pool worker) it calls
+    ``os._exit``, killing the worker and breaking the pool; in-process
+    execution raises :class:`WorkerCrashError` instead.
+
+    The optional ``sleep`` seam exists so unit tests can count injected
+    slowdowns without waiting for them; it must stay picklable for
+    process-pool use (the default ``time.sleep`` is).
+    """
+
+    plan: FaultPlan
+    inner: Optional[Callable] = None
+    sleep: Callable[[float], None] = time.sleep
+    origin_pid: int = field(default_factory=os.getpid)
+
+    def __call__(self, job, node_budget, timeout, attempt: int = 1):
+        action = self.plan.action(job.job_id, attempt)
+        if action == "crash":
+            if os.getpid() != self.origin_pid:
+                # A real worker process: die for real. The supervised
+                # executor must absorb the broken pool.
+                os._exit(17)
+            raise WorkerCrashError(
+                f"injected worker crash (job {job.job_id}, attempt {attempt})"
+            )
+        if action == "transient":
+            raise TransientWorkerError(
+                f"injected transient fault (job {job.job_id}, "
+                f"attempt {attempt})"
+            )
+        if action == "slow":
+            self.sleep(self.plan.slow_seconds)
+        if self.inner is not None:
+            return self.inner(job, node_budget, timeout)
+        from repro.service.policy import execute_check
+
+        return execute_check(
+            job.prioritizing,
+            job.candidate,
+            semantics=job.semantics,
+            method=job.method,
+            node_budget=node_budget,
+            timeout=timeout,
+        )
+
+
+#: ``parse_fault_spec`` field spellings -> FaultPlan constructor fields.
+_SPEC_FIELDS = {
+    "seed": ("seed", int),
+    "transient": ("transient_rate", float),
+    "crash": ("crash_rate", float),
+    "slow": ("slow_rate", float),
+    "slow-ms": ("slow_seconds", lambda text: float(text) / 1000.0),
+    "max-faults": ("max_faults_per_job", int),
+    "skew-ms": ("clock_skew", lambda text: float(text) / 1000.0),
+}
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the CLI chaos spec into a :class:`FaultPlan`.
+
+    Comma-separated ``key=value`` pairs, e.g.
+    ``"seed=3,transient=0.4,crash=0.1,slow=0.2,slow-ms=20,max-faults=2"``.
+    Unknown keys raise :class:`~repro.exceptions.UsageError`.
+    """
+    fields = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, separator, text = token.partition("=")
+        name = name.strip()
+        if not separator or name not in _SPEC_FIELDS:
+            known = ", ".join(sorted(_SPEC_FIELDS))
+            raise UsageError(
+                f"bad chaos spec token {token!r}; expected key=value with "
+                f"key in: {known}"
+            )
+        target, convert = _SPEC_FIELDS[name]
+        try:
+            fields[target] = convert(text.strip())
+        except ValueError as exc:
+            raise UsageError(
+                f"bad chaos spec value in {token!r}: {exc}"
+            ) from exc
+    return FaultPlan(**fields)

@@ -1,0 +1,174 @@
+"""The crash-safe write-ahead result journal for ``repro serve-batch``.
+
+Long hard-side batches are exactly the runs where a crash mid-batch
+loses the most work, so every finished deterministic result is appended
+to an on-disk journal *before* the batch continues.  The format is
+line-oriented and self-verifying::
+
+    <sha256-hex-of-payload> <payload-json>\\n
+
+where the payload is ``{"fingerprint": <request fingerprint>,
+"result": <JobResult.to_dict()>}`` with sorted keys.  Appends are
+flushed and ``fsync``-ed one line at a time, so after a crash — clean
+SIGINT or a hard ``kill -9`` — the journal holds every completed result
+plus at most one torn final line, which the per-line checksum detects
+and :func:`read_journal` skips.
+
+Replay is keyed by the **canonical request fingerprint**
+(:mod:`repro.service.fingerprint`), not by job id: a resumed run may
+reorder, rename, or deduplicate jobs and still reuse every result whose
+question was already answered.
+
+Only deterministic statuses (``ok``, ``degraded`` — the same set the
+result cache accepts) are journaled: a ``timeout`` or worker ``error``
+from the interrupted run should be *recomputed* on resume, not
+replayed.
+
+Examples
+--------
+>>> import tempfile, pathlib
+>>> from repro.service.jobs import JobResult
+>>> path = pathlib.Path(tempfile.mkdtemp()) / "journal.jsonl"
+>>> with JournalWriter(path) as journal:
+...     _ = journal.append(JobResult(
+...         job_id="j1", status="ok", is_optimal=True,
+...         semantics="global", method="GRepCheck1FD", fingerprint="abc",
+...     ))
+>>> replayed, corrupt = read_journal(path)
+>>> replayed["abc"]["status"], corrupt
+('ok', 0)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.exceptions import JournalCorruptError, UsageError
+from repro.service.jobs import JobResult
+
+__all__ = ["JOURNALED_STATUSES", "JournalWriter", "read_journal"]
+
+#: Statuses durable enough to replay: deterministic for fixed inputs
+#: and budget (mirrors the result cache's cacheability rule).
+JOURNALED_STATUSES = frozenset({"ok", "degraded"})
+
+
+def _checksum(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class JournalWriter:
+    """Appends fsync-durable, checksummed result lines to a journal.
+
+    Opening is append-mode, so resuming a run keeps extending the same
+    file.  Safe to use as a context manager; :meth:`close` is
+    idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[Any] = open(  # noqa: SIM115 - long-lived handle
+            self.path, "a", encoding="utf-8"
+        )
+        self.appended = 0
+        self._heal_torn_tail()
+
+    def _heal_torn_tail(self) -> None:
+        """Start appends on a fresh line after a torn final line.
+
+        A hard kill can leave the file ending mid-line (no newline).
+        Appending straight onto that tail would corrupt the *new* record
+        too, so seal the torn line with a newline first; the checksum
+        check quarantines it on replay either way.
+        """
+        with open(self.path, "rb") as probe:
+            probe.seek(0, os.SEEK_END)
+            if probe.tell() == 0:
+                return
+            probe.seek(-1, os.SEEK_END)
+            torn = probe.read(1) != b"\n"
+        if torn:
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def append(self, result: JobResult) -> bool:
+        """Durably append one result; returns whether it was journaled.
+
+        Non-deterministic statuses and results without a fingerprint are
+        skipped (returns False).  The line hits the disk (write + flush
+        + ``os.fsync``) before this returns — a crash at any later point
+        cannot lose it.
+        """
+        if self._handle is None:
+            raise UsageError("journal is closed")
+        if result.status not in JOURNALED_STATUSES or not result.fingerprint:
+            return False
+        payload = json.dumps(
+            {"fingerprint": result.fingerprint, "result": result.to_dict()},
+            sort_keys=True,
+        )
+        self._handle.write(f"{_checksum(payload)} {payload}\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.appended += 1
+        return True
+
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[Dict[str, Dict], int]:
+    """Replay a journal: ``(fingerprint -> result dict, skipped lines)``.
+
+    Lines failing their checksum, failing to parse, or missing the
+    expected shape are *skipped and counted*, not fatal: a hard kill
+    legitimately tears the final line, and a resume must still replay
+    everything before it.  Later lines win on duplicate fingerprints
+    (they were computed later).  A missing file is an empty journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}, 0
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise JournalCorruptError(f"cannot read journal {path}: {exc}") from exc
+    replayed: Dict[str, Dict] = {}
+    skipped = 0
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        checksum, separator, payload = line.partition(" ")
+        if not separator or _checksum(payload) != checksum:
+            skipped += 1
+            continue
+        try:
+            document = json.loads(payload)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if (
+            not isinstance(document, dict)
+            or not isinstance(document.get("fingerprint"), str)
+            or not isinstance(document.get("result"), dict)
+            or document["result"].get("status") not in JOURNALED_STATUSES
+        ):
+            skipped += 1
+            continue
+        replayed[document["fingerprint"]] = document["result"]
+    return replayed, skipped

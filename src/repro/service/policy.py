@@ -53,13 +53,22 @@ DEGRADED_METHOD = "improvement-search"
 
 @dataclass(frozen=True)
 class Outcome:
-    """What executing one check produced (no scheduling metadata)."""
+    """What executing one check produced (no scheduling metadata).
+
+    ``worker_failure`` distinguishes infrastructure-level ``error``
+    outcomes (a worker crashed, retries exhausted, the pool broke) from
+    deterministic job errors (malformed input): only the former say
+    anything about the health of the problem's workers, so only they
+    feed the per-problem circuit breaker in
+    :mod:`repro.service.resilience`.
+    """
 
     status: str
     is_optimal: Optional[bool]
     semantics: str
     method: str
     reason: str = ""
+    worker_failure: bool = False
 
 
 def needs_degradation(prioritizing: PrioritizingInstance) -> bool:

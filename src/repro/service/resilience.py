@@ -1,0 +1,291 @@
+"""Fault-tolerance primitives for the batch service.
+
+Three building blocks keep :meth:`~repro.service.service.RepairService.
+run_batch` inside its "never exceptions out of the batch" contract even
+when the infrastructure under it misbehaves:
+
+* :class:`RetryPolicy` — the *one* implementation of the retry backoff
+  schedule.  Full jitter (``uniform(0, min(backoff_base * 2**k,
+  backoff_cap))``) decorrelates retry storms across workers, and the
+  jitter is **seeded and deterministic**: the delay for ``(key,
+  attempt)`` is a pure function of the policy's seed, so the serial
+  retry loop and the in-worker process-pool copy produce bit-identical
+  attempt/delay sequences (property-tested in
+  ``tests/service/test_resilience.py``).
+* :class:`CircuitBreaker` — a per-problem closed → open → half-open
+  breaker over an **injectable monotonic clock**.  A problem whose jobs
+  keep failing at the worker level is fast-failed as ``status="error"``
+  instead of burning the full retry + backoff budget on every remaining
+  job; after ``reset_seconds`` one half-open probe decides whether the
+  problem has recovered.
+* :class:`PoolSupervisor` — bookkeeping for the supervised executor:
+  bounded pool-resurrection budget, restart metrics, and the per-job
+  dispatch counter (``attempt_base``) that re-dispatched jobs carry so
+  retry accounting and fault schedules survive a pool rebuild.
+
+Determinism notes: nothing in this module reads the wall clock or the
+global RNG.  Jitter and fault decisions hash ``(seed, key, attempt)``
+through SHA-256, so they are identical across processes, platforms, and
+``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import UsageError
+
+__all__ = [
+    "unit_interval",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "PoolSupervisor",
+    "runner_accepts_attempt",
+    "call_runner",
+]
+
+
+def unit_interval(seed: int, *parts: Any) -> float:
+    """A deterministic sample from ``[0, 1)`` keyed by ``(seed, *parts)``.
+
+    SHA-256 based: independent of ``PYTHONHASHSEED``, process, and
+    platform, so every component that needs "randomness" (retry jitter,
+    fault schedules) stays reproducible.
+    """
+    text = "|".join([str(seed), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+class RetryPolicy:
+    """Deterministic full-jitter exponential backoff.
+
+    The ``attempt``-th failure (1-based) of the job keyed ``key`` sleeps
+    ``unit_interval(seed, key, attempt) * min(base * 2**(attempt-1),
+    cap)`` seconds.  Full jitter keeps concurrent retries from
+    synchronizing into waves, while seeding keeps every schedule
+    reproducible — and identical between the coordinator-side retry loop
+    and the process-pool worker copy.
+    """
+
+    __slots__ = ("base", "cap", "seed")
+
+    def __init__(self, base: float, cap: float, seed: int = 0) -> None:
+        if base < 0 or cap < 0:
+            raise UsageError(
+                f"backoff base/cap must be >= 0, got {base}/{cap}"
+            )
+        self.base = base
+        self.cap = cap
+        self.seed = seed
+
+    def bound(self, attempt: int) -> float:
+        """The un-jittered cap for the ``attempt``-th failure (1-based)."""
+        return min(self.base * (2 ** (attempt - 1)), self.cap)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """The jittered sleep after the ``attempt``-th failure of ``key``."""
+        return self.bound(attempt) * unit_interval(self.seed, key, attempt)
+
+
+#: Circuit-breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass
+class BreakerState:
+    """Mutable per-problem breaker bookkeeping."""
+
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+
+
+class CircuitBreaker:
+    """A per-key closed → open → half-open circuit breaker.
+
+    ``threshold`` consecutive *worker-level* failures on one key open
+    the circuit: further :meth:`allow` calls return False (callers
+    fast-fail the job) until ``reset_seconds`` have elapsed on the
+    injected monotonic ``clock``, at which point exactly one probe is
+    let through (half-open).  A successful probe closes the circuit; a
+    failed one re-opens it and restarts the reset timer.
+
+    ``threshold=0`` disables the breaker entirely (every ``allow`` is
+    True, nothing is recorded).
+
+    The clock is injectable so breaker behaviour is deterministic under
+    test and under the chaos harness's skewed clocks; production uses
+    ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        reset_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        if threshold < 0:
+            raise UsageError(f"breaker threshold must be >= 0, got {threshold}")
+        if reset_seconds < 0:
+            raise UsageError(
+                f"breaker reset_seconds must be >= 0, got {reset_seconds}"
+            )
+        self.threshold = threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._metrics = metrics
+        self._states: Dict[str, BreakerState] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the breaker is active (``threshold > 0``)."""
+        return self.threshold > 0
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).increment()
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        if self._metrics is not None:
+            self._metrics.record_event(kind, **fields)
+
+    def state_of(self, key: str) -> str:
+        """The current state for ``key`` (``closed`` if never seen)."""
+        with self._lock:
+            entry = self._states.get(key)
+            return entry.state if entry is not None else CLOSED
+
+    def allow(self, key: str) -> bool:
+        """Whether a job for ``key`` may execute right now.
+
+        Transitions open → half-open (admitting the single probe) when
+        the reset timeout has elapsed.
+        """
+        if not self.enabled:
+            return True
+        with self._lock:
+            entry = self._states.get(key)
+            if entry is None or entry.state == CLOSED:
+                return True
+            if entry.state == OPEN:
+                if self._clock() - entry.opened_at >= self.reset_seconds:
+                    entry.state = HALF_OPEN
+                    self._count("breaker.half_open")
+                    self._event("breaker_half_open", key=key)
+                    return True
+                return False
+            # HALF_OPEN: one probe is already in flight.
+            return False
+
+    def record(self, key: str, failure: bool) -> None:
+        """Record one executed job's outcome for ``key``.
+
+        Only *worker-level* failures should be recorded as failures;
+        deterministic job errors (malformed input) say nothing about the
+        health of the problem's workers.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            entry = self._states.setdefault(key, BreakerState())
+            if not failure:
+                if entry.state != CLOSED:
+                    self._count("breaker.close")
+                    self._event("breaker_close", key=key)
+                entry.state = CLOSED
+                entry.consecutive_failures = 0
+                return
+            entry.consecutive_failures += 1
+            tripped = (
+                entry.state == HALF_OPEN
+                or entry.consecutive_failures >= self.threshold
+            )
+            if tripped and entry.state != OPEN:
+                entry.state = OPEN
+                entry.opened_at = self._clock()
+                self._count("breaker.open")
+                self._event(
+                    "breaker_open",
+                    key=key,
+                    consecutive_failures=entry.consecutive_failures,
+                )
+
+
+class PoolSupervisor:
+    """Restart accounting for the supervised pool executor.
+
+    Tracks how many times the pool may still be rebuilt after a worker
+    death, and emits the ``pool.restarts`` / ``pool.lost_jobs`` metrics
+    the acceptance contract exposes.
+    """
+
+    def __init__(self, max_restarts: int, metrics: Optional[Any] = None) -> None:
+        if max_restarts < 0:
+            raise UsageError(
+                f"max_pool_restarts must be >= 0, got {max_restarts}"
+            )
+        self.max_restarts = max_restarts
+        self.restarts = 0
+        self._metrics = metrics
+
+    def can_restart(self) -> bool:
+        """Whether the resurrection budget allows another rebuild."""
+        return self.restarts < self.max_restarts
+
+    def record_restart(self, lost_jobs: int) -> None:
+        """Record one pool rebuild that re-dispatches ``lost_jobs`` jobs."""
+        self.restarts += 1
+        if self._metrics is not None:
+            self._metrics.counter("pool.restarts").increment()
+            self._metrics.counter("pool.lost_jobs").increment(lost_jobs)
+            self._metrics.record_event(
+                "pool_restart", restart=self.restarts, lost_jobs=lost_jobs
+            )
+
+
+def runner_accepts_attempt(runner: Callable[..., Any]) -> bool:
+    """Whether ``runner`` takes the optional 4th ``attempt`` argument.
+
+    The runner seam is historically ``(job, node_budget, timeout)``;
+    fault-aware runners (the chaos harness) additionally receive the
+    global 1-based attempt index so fault schedules stay keyed by
+    ``(job_id, attempt)`` across retries *and* pool rebuilds.  Inspected
+    once per service, not per call.
+    """
+    try:
+        signature = inspect.signature(runner)
+    except (TypeError, ValueError):  # builtins without signatures
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind == inspect.Parameter.VAR_POSITIONAL:
+            return True
+    return positional >= 4
+
+
+def call_runner(
+    runner: Callable[..., Any],
+    takes_attempt: bool,
+    job: Any,
+    node_budget: Optional[int],
+    timeout: Optional[float],
+    attempt: int,
+) -> Any:
+    """Invoke ``runner`` with or without the attempt index."""
+    if takes_attempt:
+        return runner(job, node_budget, timeout, attempt)
+    return runner(job, node_budget, timeout)

@@ -9,51 +9,85 @@ Pipeline per batch:
 
 1. **Schedule** — jobs are ordered by descending ``priority`` (ties by
    submission order).
-2. **Cache** — each job's canonical fingerprint is looked up in the LRU
-   result cache; hits (including duplicates *within* the batch) never
-   reach a worker.
+2. **Replay / cache** — each job's canonical fingerprint is looked up
+   first in the caller-supplied ``completed`` map (journal replay on a
+   resumed run) and then in the LRU result cache; hits (including
+   duplicates *within* the batch) never reach a worker.
 3. **Execute** — misses run on a ``concurrent.futures`` pool
    (``"thread"``, ``"process"``, or in-line ``"serial"``), through the
    degradation policy of :mod:`repro.service.policy`: tractable
    questions use the paper's polynomial checkers, coNP-hard questions
    use the budgeted improvement search and report ``degraded`` /
-   ``timeout`` instead of hanging.
+   ``timeout`` instead of hanging.  The pool is **supervised**: a dead
+   worker (``BrokenProcessPool``) triggers a bounded number of pool
+   rebuilds that re-dispatch the lost jobs; when the resurrection
+   budget runs out the lost jobs become ``status="error"`` results —
+   never an exception out of ``run_batch``.
 4. **Retry** — a worker raising
    :class:`~repro.exceptions.TransientWorkerError` (or ``OSError``) is
-   retried with capped exponential backoff, up to
+   retried with capped exponential backoff under deterministic seeded
+   full jitter (:class:`~repro.service.resilience.RetryPolicy`), up to
    ``ServiceConfig.max_retries`` times; permanent failures become
-   ``status="error"`` results, never exceptions out of the batch.
+   ``status="error"`` results.  A per-problem
+   :class:`~repro.service.resilience.CircuitBreaker` fast-fails jobs of
+   a problem whose workers keep dying instead of burning the full
+   retry budget on every remaining job.
 5. **Observe** — counters, per-algorithm latency histograms, and a
    structured event log accumulate in a
-   :class:`~repro.service.metrics.MetricsRegistry`.
+   :class:`~repro.service.metrics.MetricsRegistry`; every freshly
+   computed result is also offered to the optional ``result_sink``
+   (the write-ahead journal of :mod:`repro.service.journal`).
 
 Determinism contract: for any fixed batch and ``node_budget``, the
 ``verdict()`` of every result is identical across worker counts,
-executor kinds, and cache temperatures (property-tested in
-``tests/properties/test_service_properties.py``).
+executor kinds, cache temperatures, and any injected fault schedule
+that eventually lets a job complete (property-tested in
+``tests/properties/test_service_properties.py`` and
+``tests/service/test_chaos.py``).
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     TimeoutError as FutureTimeoutError,
 )
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.classification import classification_cache_info
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import TransientWorkerError, UsageError
 from repro.service.cache import LRUCache
-from repro.service.fingerprint import fingerprint_check_request
+from repro.service.fingerprint import (
+    fingerprint_check_request,
+    fingerprint_prioritizing,
+)
 from repro.service.jobs import BatchReport, JobResult, RepairJob
 from repro.service.metrics import MetricsRegistry
 from repro.service.policy import Outcome, execute_check
+from repro.service.resilience import (
+    CircuitBreaker,
+    PoolSupervisor,
+    RetryPolicy,
+    call_runner,
+    runner_accepts_attempt,
+)
 
 __all__ = ["ServiceConfig", "RepairService"]
 
@@ -64,6 +98,24 @@ TRANSIENT_EXCEPTIONS = (TransientWorkerError, OSError)
 #: ``timeout`` depends on the wall clock and ``error`` may reflect a
 #: worker failure, so neither is ever cached.
 _CACHEABLE_STATUSES = frozenset({"ok", "degraded"})
+
+#: Counters pre-registered at service construction so every metrics
+#: snapshot (and ``write_metrics_json`` output) reports them, zero or
+#: not — dashboards and the serve-batch summary line rely on presence.
+_WELL_KNOWN_COUNTERS = (
+    "breaker.open",
+    "breaker.close",
+    "breaker.fast_fails",
+    "pool.restarts",
+    "pool.lost_jobs",
+    "journal.replayed",
+    "journal.appended",
+    "jobs.cancelled",
+)
+
+#: A per-job execution unit in the pool path:
+#: (submission position, job, cache key, prior dispatch count).
+_PoolItem = Tuple[int, RepairJob, str, int]
 
 
 def _default_runner(job: RepairJob, node_budget, timeout) -> Outcome:
@@ -91,7 +143,7 @@ class ServiceConfig:
         behaviour), ``"thread"`` (default; shares the in-process caches,
         overlaps well with cache hits), or ``"process"`` (true
         parallelism for CPU-bound batches; jobs must be picklable and
-        the runner is fixed to the default policy).
+        non-picklable runners fall back to the default policy).
     cache_size:
         Result-cache capacity (0 disables result caching).
     default_timeout:
@@ -104,8 +156,28 @@ class ServiceConfig:
     max_retries:
         How many times a transiently-failing job is re-attempted.
     backoff_base / backoff_cap:
-        Exponential backoff: attempt ``k`` sleeps
-        ``min(backoff_base * 2**k, backoff_cap)`` seconds.
+        Exponential backoff: the ``k``-th failed attempt sleeps a
+        seeded full-jitter fraction of
+        ``min(backoff_base * 2**(k-1), backoff_cap)`` seconds; there is
+        no sleep after the final failed attempt.
+    backoff_seed:
+        Seed for the deterministic jitter (the delay for a given job
+        and attempt is a pure function of this seed).
+    max_pool_restarts:
+        How many times a broken worker pool may be rebuilt per batch
+        before the jobs lost to it are reported as ``error`` results.
+    breaker_threshold:
+        Consecutive worker-level failures on one problem that open its
+        circuit (further jobs fast-fail as ``error`` without running);
+        0 disables the breaker.  Note that with the breaker enabled an
+        ``error``-storming problem may fast-fail jobs that a breaker-
+        free run would have executed — the breaker trades that sliver
+        of determinism for not burning the retry budget on every job of
+        a dead problem.  Deterministic job errors (malformed input)
+        never trip it.
+    breaker_reset_seconds:
+        How long an open circuit waits before admitting one half-open
+        probe.
     """
 
     workers: int = 1
@@ -116,6 +188,10 @@ class ServiceConfig:
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_cap: float = 1.0
+    backoff_seed: int = 0
+    max_pool_restarts: int = 2
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -126,6 +202,12 @@ class ServiceConfig:
             )
         if self.max_retries < 0:
             raise UsageError("max_retries must be >= 0")
+        if self.max_pool_restarts < 0:
+            raise UsageError("max_pool_restarts must be >= 0")
+        if self.breaker_threshold < 0:
+            raise UsageError("breaker_threshold must be >= 0")
+        if self.breaker_reset_seconds < 0:
+            raise UsageError("breaker_reset_seconds must be >= 0")
 
 
 class RepairService:
@@ -140,12 +222,30 @@ class RepairService:
         Injectable for sharing across services or asserting in tests.
     runner:
         The per-job execution function ``(job, node_budget, timeout) ->
-        Outcome``; tests inject flaky runners to exercise the retry
-        path.  Ignored by the ``"process"`` executor (workers always run
-        the default policy there, since a closure cannot be shipped).
+        Outcome`` — fault-aware runners may take a 4th ``attempt``
+        argument (the global 1-based attempt index, stable across
+        retries and pool rebuilds); tests and the chaos harness inject
+        flaky runners to exercise the retry and supervision paths.  The
+        ``"process"`` executor ships the runner to workers when it is
+        picklable and falls back to the default policy otherwise.
     sleep:
         The backoff sleep function (injectable so retry tests run
         instantly).
+    clock:
+        The monotonic clock used for durations and the circuit breaker
+        (injectable for deterministic breaker tests and the chaos
+        harness's skewed clocks).
+    result_sink:
+        Called with every freshly *computed* :class:`JobResult` (cache
+        hits and journal replays excluded); the write-ahead journal
+        plugs in here.  A truthy return value counts as a durable
+        append (``journal.appended``); ``OSError`` from the sink is
+        absorbed into ``journal.errors`` rather than failing the batch.
+    cancel:
+        An optional ``threading.Event``; once set, jobs that have not
+        started yet finish as ``error`` results (``jobs.cancelled``)
+        instead of executing, letting a signal handler drain a batch
+        promptly while keeping the one-result-per-job contract.
 
     Examples
     --------
@@ -172,6 +272,9 @@ class RepairService:
         cache: Optional[LRUCache] = None,
         runner: Optional[Callable[..., Outcome]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        result_sink: Optional[Callable[[JobResult], object]] = None,
+        cancel: Optional[object] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
@@ -179,7 +282,24 @@ class RepairService:
             self.config.cache_size
         )
         self._runner = runner or _default_runner
+        self._runner_takes_attempt = runner_accepts_attempt(self._runner)
         self._sleep = sleep
+        self._clock = clock
+        self._result_sink = result_sink
+        self._cancel = cancel
+        self._retry = RetryPolicy(
+            self.config.backoff_base,
+            self.config.backoff_cap,
+            self.config.backoff_seed,
+        )
+        self._breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            self.config.breaker_reset_seconds,
+            clock=clock,
+            metrics=self.metrics,
+        )
+        for name in _WELL_KNOWN_COUNTERS:
+            self.metrics.counter(name)
 
     # -- single-job convenience ----------------------------------------------------
 
@@ -202,9 +322,18 @@ class RepairService:
 
     # -- batch execution ------------------------------------------------------------
 
-    def run_batch(self, jobs: Sequence[RepairJob]) -> BatchReport:
-        """Run a batch; results come back in submission order."""
-        batch_start = time.monotonic()
+    def run_batch(
+        self,
+        jobs: Sequence[RepairJob],
+        completed: Optional[Mapping[str, Dict]] = None,
+    ) -> BatchReport:
+        """Run a batch; results come back in submission order.
+
+        ``completed`` maps request fingerprints to already-known result
+        dicts (a replayed journal): matching jobs are served without
+        recomputation and counted under ``journal.replayed``.
+        """
+        batch_start = self._clock()
         ordered = sorted(
             enumerate(jobs), key=lambda pair: (-pair[1].priority, pair[0])
         )
@@ -220,6 +349,19 @@ class RepairService:
                 self.metrics.counter("cache.hits").increment()
                 results[position] = self._reissue(cached, job, key)
                 continue
+            if completed is not None:
+                record = completed.get(key)
+                if (
+                    record is not None
+                    and record.get("status") in _CACHEABLE_STATUSES
+                ):
+                    # A resumed run: the journal already answered this
+                    # question.  Warm the cache so in-batch duplicates
+                    # (and later batches) count as plain cache hits.
+                    self.metrics.counter("journal.replayed").increment()
+                    self.cache.put(key, dict(record))
+                    results[position] = self._reissue(record, job, key)
+                    continue
             if key in first_by_key:
                 # An in-batch duplicate: resolved after the first
                 # occurrence executes, without spending a worker on it.
@@ -231,10 +373,7 @@ class RepairService:
 
         if pending:
             if self.config.executor == "serial" or self.config.workers == 1:
-                for position, job, key in pending:
-                    results[position] = self._finish(
-                        job, key, *self._attempt_with_retry(job)
-                    )
+                self._run_serial(pending, results)
             else:
                 self._run_pool(pending, results)
 
@@ -258,7 +397,7 @@ class RepairService:
         self.metrics.record_event(
             "batch",
             jobs=len(jobs),
-            duration=time.monotonic() - batch_start,
+            duration=self._clock() - batch_start,
         )
         return BatchReport(
             results=ordered_results,
@@ -277,6 +416,10 @@ class RepairService:
             node_budget=self._budget_for(job),
         )
 
+    def _problem_key(self, job: RepairJob) -> str:
+        """The circuit-breaker key: the job's prioritizing instance."""
+        return fingerprint_prioritizing(job.prioritizing)
+
     def _budget_for(self, job: RepairJob) -> Optional[int]:
         if job.node_budget is not None:
             return job.node_budget
@@ -287,9 +430,42 @@ class RepairService:
             return job.timeout
         return self.config.default_timeout
 
+    def _cancelled_requested(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
+
+    def _cancelled_outcome(self, job: RepairJob) -> Outcome:
+        self.metrics.counter("jobs.cancelled").increment()
+        return Outcome(
+            status="error",
+            is_optimal=None,
+            semantics=job.semantics,
+            method="none",
+            reason="batch cancelled before this job ran "
+            "(shutdown signal received)",
+        )
+
+    def _fast_fail_outcome(self, job: RepairJob, problem_key: str) -> Outcome:
+        self.metrics.counter("breaker.fast_fails").increment()
+        self.metrics.record_event(
+            "breaker_fast_fail", job_id=job.job_id, key=problem_key
+        )
+        return Outcome(
+            status="error",
+            is_optimal=None,
+            semantics=job.semantics,
+            method="none",
+            reason=(
+                f"circuit breaker open for this problem "
+                f"({problem_key[:12]}…): consecutive worker failures "
+                f"reached the threshold "
+                f"({self.config.breaker_threshold})"
+            ),
+            worker_failure=True,
+        )
+
     def _reissue(
         self,
-        cached: Dict,
+        cached: Mapping,
         job: RepairJob,
         key: str,
         from_cache: bool = True,
@@ -307,20 +483,61 @@ class RepairService:
             fingerprint=key,
         )
 
-    def _attempt_with_retry(self, job: RepairJob) -> Tuple[Outcome, int, float]:
+    def _run_serial(
+        self,
+        pending: List[Tuple[int, RepairJob, str]],
+        results: Dict[int, JobResult],
+    ) -> None:
+        """The serial executor: run each job in line, breaker-guarded."""
+        for position, job, key in pending:
+            if self._cancelled_requested():
+                results[position] = self._finish(
+                    job, key, self._cancelled_outcome(job), 0, 0.0
+                )
+                continue
+            problem_key = self._problem_key(job)
+            if not self._breaker.allow(problem_key):
+                results[position] = self._finish(
+                    job, key, self._fast_fail_outcome(job, problem_key),
+                    0, 0.0,
+                )
+                continue
+            outcome, attempts, duration = self._attempt_with_retry(job)
+            self._breaker.record(
+                problem_key,
+                failure=outcome.status == "error" and outcome.worker_failure,
+            )
+            results[position] = self._finish(
+                job, key, outcome, attempts, duration
+            )
+
+    def _attempt_with_retry(
+        self, job: RepairJob, attempt_base: int = 0
+    ) -> Tuple[Outcome, int, float]:
         """Run one job with bounded retry; never raises.
 
-        Returns ``(outcome, attempts, duration)``.
+        ``attempt_base`` counts dispatches already consumed elsewhere
+        (pool rebuilds), so the global attempt index — which keys both
+        the jitter schedule and any fault plan — keeps increasing across
+        supervision boundaries.  Returns ``(outcome, attempts,
+        duration)``.
         """
         budget = self._budget_for(job)
         timeout = self._timeout_for(job)
-        start = time.monotonic()
-        attempts = 0
+        start = self._clock()
+        attempts = attempt_base
         while True:
             attempts += 1
             try:
-                outcome = self._runner(job, budget, timeout)
-                return outcome, attempts, time.monotonic() - start
+                outcome = call_runner(
+                    self._runner,
+                    self._runner_takes_attempt,
+                    job,
+                    budget,
+                    timeout,
+                    attempts,
+                )
+                return outcome, attempts, self._clock() - start
             except TRANSIENT_EXCEPTIONS as exc:
                 if attempts > self.config.max_retries:
                     outcome = Outcome(
@@ -332,12 +549,10 @@ class RepairService:
                             f"transient failure persisted after "
                             f"{attempts} attempt(s): {exc}"
                         ),
+                        worker_failure=True,
                     )
-                    return outcome, attempts, time.monotonic() - start
-                delay = min(
-                    self.config.backoff_base * (2 ** (attempts - 1)),
-                    self.config.backoff_cap,
-                )
+                    return outcome, attempts, self._clock() - start
+                delay = self._retry.delay(job.job_id, attempts)
                 self.metrics.counter("jobs.retries").increment()
                 self.metrics.record_event(
                     "retry",
@@ -347,15 +562,18 @@ class RepairService:
                     error=str(exc),
                 )
                 self._sleep(delay)
-            except Exception as exc:  # noqa: BLE001 - worker crash becomes a result
+            # The documented supervision boundary: an arbitrary worker
+            # crash must become a result, never escape the batch.
+            except Exception as exc:  # noqa: BLE001  # repro-lint: ignore[RL007]
                 outcome = Outcome(
                     status="error",
                     is_optimal=None,
                     semantics=job.semantics,
                     method="none",
                     reason=f"worker failed: {type(exc).__name__}: {exc}",
+                    worker_failure=True,
                 )
-                return outcome, attempts, time.monotonic() - start
+                return outcome, attempts, self._clock() - start
 
     def _finish(
         self, job: RepairJob, key: str, outcome: Outcome, attempts: int,
@@ -375,6 +593,17 @@ class RepairService:
         )
         if outcome.status in _CACHEABLE_STATUSES:
             self.cache.put(key, result.to_dict())
+        if self._result_sink is not None:
+            try:
+                if self._result_sink(result):
+                    self.metrics.counter("journal.appended").increment()
+            except OSError as exc:
+                # A failing sink (disk full, journal unlinked) must not
+                # take the batch down; the results are still returned.
+                self.metrics.counter("journal.errors").increment()
+                self.metrics.record_event(
+                    "journal_error", job_id=job.job_id, error=str(exc)
+                )
         self.metrics.histogram(f"latency.{outcome.method}").observe(duration)
         if outcome.status == "degraded":
             self.metrics.counter("jobs.degraded_routed").increment()
@@ -388,34 +617,130 @@ class RepairService:
         )
         return result
 
+    def _process_pool_runner(self) -> Optional[Callable[..., Outcome]]:
+        """The runner to ship to process workers (None = default policy).
+
+        Closures cannot cross the process boundary; picklable runners
+        (module-level functions, picklable callables like the chaos
+        harness's ``FaultyRunner``) ride along, everything else falls
+        back to the default policy exactly as before.
+        """
+        if self._runner is _default_runner:
+            return None
+        try:
+            pickle.dumps(self._runner)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
+        return self._runner
+
     def _run_pool(
         self,
         pending: List[Tuple[int, RepairJob, str]],
         results: Dict[int, JobResult],
     ) -> None:
-        if self.config.executor == "process":
-            pool_cls = ProcessPoolExecutor
-            submit_fn = _process_attempt
-        else:
-            pool_cls = ThreadPoolExecutor
-            submit_fn = None  # bound method used below
-        with pool_cls(max_workers=self.config.workers) as pool:
-            futures: Dict[Future, Tuple[int, RepairJob, str]] = {}
-            for position, job, key in pending:
-                if submit_fn is None:
-                    future = pool.submit(self._attempt_with_retry, job)
-                else:
-                    future = pool.submit(
-                        submit_fn,
-                        job,
-                        self._budget_for(job),
-                        self._timeout_for(job),
-                        self.config.max_retries,
-                        self.config.backoff_base,
-                        self.config.backoff_cap,
+        """The supervised pool executor.
+
+        Submits every pending job to a worker pool and collects results;
+        when the pool breaks (a worker process died), the jobs lost with
+        it are re-dispatched to a rebuilt pool, up to
+        ``max_pool_restarts`` rebuilds per batch.  Jobs still lost when
+        the resurrection budget runs out become ``error`` results.
+        """
+        supervisor = PoolSupervisor(
+            self.config.max_pool_restarts, metrics=self.metrics
+        )
+        remaining: List[_PoolItem] = [
+            (position, job, key, 0) for position, job, key in pending
+        ]
+        while remaining:
+            lost = self._pool_round(remaining, results)
+            if not lost:
+                return
+            if not supervisor.can_restart():
+                for position, job, key, attempt_base in lost:
+                    outcome = Outcome(
+                        status="error",
+                        is_optimal=None,
+                        semantics=job.semantics,
+                        method="none",
+                        reason=(
+                            "worker process died and the pool-restart "
+                            f"budget ({self.config.max_pool_restarts}) "
+                            "is exhausted"
+                        ),
+                        worker_failure=True,
                     )
-                futures[future] = (position, job, key)
-            for future, (position, job, key) in futures.items():
+                    self._breaker.record(self._problem_key(job), failure=True)
+                    results[position] = self._finish(
+                        job, key, outcome, attempt_base + 1, 0.0
+                    )
+                return
+            supervisor.record_restart(len(lost))
+            # Each lost dispatch consumed one global attempt: fault
+            # schedules and retry accounting must see it.
+            remaining = [
+                (position, job, key, attempt_base + 1)
+                for position, job, key, attempt_base in lost
+            ]
+
+    def _pool_round(
+        self,
+        items: List[_PoolItem],
+        results: Dict[int, JobResult],
+    ) -> List[_PoolItem]:
+        """One submit-and-collect round; returns the jobs lost to a
+        broken pool (empty when the round fully resolved)."""
+        pool_runner = (
+            self._process_pool_runner()
+            if self.config.executor == "process"
+            else None
+        )
+        lost: List[_PoolItem] = []
+        with self._make_pool() as pool:
+            futures: Dict[Future, _PoolItem] = {}
+            for item in items:
+                position, job, key, attempt_base = item
+                if self._cancelled_requested():
+                    results[position] = self._finish(
+                        job, key, self._cancelled_outcome(job), 0, 0.0
+                    )
+                    continue
+                problem_key = self._problem_key(job)
+                if not self._breaker.allow(problem_key):
+                    results[position] = self._finish(
+                        job, key, self._fast_fail_outcome(job, problem_key),
+                        0, 0.0,
+                    )
+                    continue
+                try:
+                    if self.config.executor == "process":
+                        future = pool.submit(
+                            _process_attempt,
+                            job,
+                            self._budget_for(job),
+                            self._timeout_for(job),
+                            self.config.max_retries,
+                            self.config.backoff_base,
+                            self.config.backoff_cap,
+                            self.config.backoff_seed,
+                            attempt_base,
+                            pool_runner,
+                        )
+                    else:
+                        future = pool.submit(
+                            self._attempt_with_retry, job, attempt_base
+                        )
+                except BrokenExecutor:
+                    lost.append(item)
+                    continue
+                futures[future] = item
+            for future, item in futures.items():
+                position, job, key, attempt_base = item
+                if self._cancelled_requested() and future.cancel():
+                    results[position] = self._finish(
+                        job, key, self._cancelled_outcome(job), 0, 0.0
+                    )
+                    continue
                 timeout = self._timeout_for(job)
                 try:
                     # The in-worker deadline is the primary timeout (it
@@ -424,7 +749,7 @@ class RepairService:
                     wait_for = (
                         None
                         if timeout is None
-                        else timeout * (len(pending) + 1) + 1.0
+                        else timeout * (len(items) + 1) + 1.0
                     )
                     outcome, attempts, duration = future.result(wait_for)
                 except FutureTimeoutError:
@@ -444,7 +769,19 @@ class RepairService:
                         duration=wait_for or 0.0,
                     )
                     continue
-                except Exception as exc:  # pool-level failure (e.g. broken pool)
+                except BrokenExecutor:
+                    # The worker serving (or queued to serve) this job
+                    # died: hand it to the supervisor for re-dispatch.
+                    lost.append(item)
+                    continue
+                except CancelledError:
+                    results[position] = self._finish(
+                        job, key, self._cancelled_outcome(job), 0, 0.0
+                    )
+                    continue
+                # The documented supervision boundary: any pool-level
+                # failure becomes a result, never escapes the batch.
+                except Exception as exc:  # noqa: BLE001  # repro-lint: ignore[RL007]
                     results[position] = self._finish(
                         job,
                         key,
@@ -453,15 +790,28 @@ class RepairService:
                             is_optimal=None,
                             semantics=job.semantics,
                             method="none",
-                            reason=f"executor failed: {type(exc).__name__}: {exc}",
+                            reason=f"executor failed: "
+                            f"{type(exc).__name__}: {exc}",
+                            worker_failure=True,
                         ),
                         attempts=1,
                         duration=0.0,
                     )
                     continue
+                self._breaker.record(
+                    self._problem_key(job),
+                    failure=outcome.status == "error"
+                    and outcome.worker_failure,
+                )
                 results[position] = self._finish(
                     job, key, outcome, attempts, duration
                 )
+        return lost
+
+    def _make_pool(self):
+        if self.config.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.config.workers)
+        return ThreadPoolExecutor(max_workers=self.config.workers)
 
     def _metrics_snapshot(self) -> Dict:
         snapshot = self.metrics.snapshot()
@@ -485,19 +835,31 @@ def _process_attempt(
     max_retries: int,
     backoff_base: float,
     backoff_cap: float,
+    backoff_seed: int = 0,
+    attempt_base: int = 0,
+    runner: Optional[Callable[..., Outcome]] = None,
 ) -> Tuple[Outcome, int, float]:
-    """The process-pool worker: default policy plus in-worker retry.
+    """The process-pool worker: runner plus in-worker retry.
 
-    Module-level (picklable); mirrors ``_attempt_with_retry`` without
-    the injectable runner/sleep (closures cannot cross the process
-    boundary).
+    Module-level (picklable); mirrors ``_attempt_with_retry`` through
+    the shared :class:`~repro.service.resilience.RetryPolicy`, so both
+    loops produce identical attempt/delay sequences for the same seed
+    (property-tested).  ``runner`` must be picklable (None runs the
+    default policy — closures cannot cross the process boundary), and
+    ``attempt_base`` carries the dispatches consumed by earlier pool
+    incarnations of this job.
     """
+    policy = RetryPolicy(backoff_base, backoff_cap, backoff_seed)
+    run = runner if runner is not None else _default_runner
+    takes_attempt = runner_accepts_attempt(run)
     start = time.monotonic()
-    attempts = 0
+    attempts = attempt_base
     while True:
         attempts += 1
         try:
-            outcome = _default_runner(job, node_budget, timeout)
+            outcome = call_runner(
+                run, takes_attempt, job, node_budget, timeout, attempts
+            )
             return outcome, attempts, time.monotonic() - start
         except TRANSIENT_EXCEPTIONS as exc:
             if attempts > max_retries:
@@ -510,15 +872,18 @@ def _process_attempt(
                         f"transient failure persisted after "
                         f"{attempts} attempt(s): {exc}"
                     ),
+                    worker_failure=True,
                 )
                 return outcome, attempts, time.monotonic() - start
-            time.sleep(min(backoff_base * (2 ** (attempts - 1)), backoff_cap))
-        except Exception as exc:  # noqa: BLE001
+            time.sleep(policy.delay(job.job_id, attempts))
+        # The documented supervision boundary (worker-process copy).
+        except Exception as exc:  # noqa: BLE001  # repro-lint: ignore[RL007]
             outcome = Outcome(
                 status="error",
                 is_optimal=None,
                 semantics=job.semantics,
                 method="none",
                 reason=f"worker failed: {type(exc).__name__}: {exc}",
+                worker_failure=True,
             )
             return outcome, attempts, time.monotonic() - start

@@ -1,5 +1,6 @@
 """RL006 fixture: wall-clock time in deadline logic."""
 
+import datetime
 import time
 
 from time import time as now
@@ -11,3 +12,11 @@ def remaining(deadline):
 
 def elapsed(start):
     return now() - start
+
+
+def stamped_deadline(seconds):
+    return datetime.datetime.now().timestamp() + seconds
+
+
+def utc_started():
+    return datetime.datetime.utcnow()

@@ -9,3 +9,13 @@ def remaining(deadline):
 
 def stamp():
     return time.perf_counter()
+
+
+class _Scheduler:
+    def now(self):
+        return time.monotonic()
+
+
+def next_tick(scheduler: _Scheduler):
+    # A .now() on a non-datetime receiver is not wall-clock usage.
+    return scheduler.now() + 1.0

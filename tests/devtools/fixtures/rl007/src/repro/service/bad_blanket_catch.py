@@ -1,0 +1,15 @@
+"""RL007 fixture: blanket exception handlers outside a boundary."""
+
+
+def swallow_everything(job):
+    try:
+        return job.run()
+    except Exception:
+        return None
+
+
+def swallow_bare(job):
+    try:
+        return job.run()
+    except:  # noqa: E722
+        return None

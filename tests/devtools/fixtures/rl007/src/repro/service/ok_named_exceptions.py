@@ -1,0 +1,27 @@
+"""RL007 near-miss: named handlers and an acknowledged boundary."""
+
+
+class TransientWorkerError(RuntimeError):
+    pass
+
+
+def retry_once(job):
+    try:
+        return job.run()
+    except (TransientWorkerError, OSError):
+        return job.run()
+
+
+def keyed(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None
+
+
+def supervision_boundary(job):
+    try:
+        return job.run()
+    # The documented supervision boundary: explicitly acknowledged.
+    except Exception:  # repro-lint: ignore[RL007]
+        return None

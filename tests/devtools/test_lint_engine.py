@@ -214,7 +214,7 @@ class TestEngineBehaviour:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered_in_order(self):
+    def test_all_rules_registered_in_order(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [
             "RL001",
@@ -223,6 +223,7 @@ class TestRegistry:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         ]
 
     def test_rules_carry_docs_and_scopes(self):

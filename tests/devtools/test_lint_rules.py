@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the six RL rules.
+"""Fixture-driven tests for the RL rules.
 
 Each rule has a fixture tree under ``fixtures/<rule>/src/repro/...``
 shaped so the rule's path scoping applies when the fixture directory is
@@ -38,7 +38,8 @@ CASES = [
     ("rl003", "RL003", 2),  # unsorted join in __repr__ + for-loop in fingerprint
     ("rl004", "RL004", 3),  # list, dict (kw-only), set() defaults
     ("rl005", "RL005", 2),  # raise KeyError + raise ValueError
-    ("rl006", "RL006", 2),  # time.time() call + from-import of time
+    ("rl006", "RL006", 4),  # time.time(), from-import, datetime.now/utcnow
+    ("rl007", "RL007", 2),  # except Exception + bare except
 ]
 
 

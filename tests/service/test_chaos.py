@@ -1,0 +1,304 @@
+"""The deterministic fault-injection (chaos) suite.
+
+The service's determinism contract under fire: for any fault schedule
+that eventually lets each job complete (``max_faults_per_job`` bounds
+the faults, the retry/supervision budget covers them), ``run_batch``
+
+* never raises,
+* returns one result per job in submission order, and
+* produces ``verdict()``s bit-identical to a fault-free serial run —
+  across executor kinds, worker counts, cache temperatures, and seeds.
+
+Worker crashes are real where the executor allows it: under the
+process executor the injected crash calls ``os._exit`` inside the
+worker, breaking the pool and exercising the supervised re-dispatch
+path; under serial/thread execution it raises
+:class:`~repro.exceptions.WorkerCrashError` and the retry loop plays
+the supervisor.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import UsageError
+from repro.service import (
+    FaultPlan,
+    FaultyRunner,
+    RepairJob,
+    RepairService,
+    ServiceConfig,
+    SkewedClock,
+    parse_fault_spec,
+)
+
+from tests.service.conftest import hard_problem
+
+#: Fault schedules the determinism matrix runs under.  Every plan keeps
+#: ``max_faults_per_job`` at 2, so ``max_retries=4`` always lets a job
+#: finish.
+PLANS = [
+    FaultPlan(seed=1, transient_rate=0.6),
+    FaultPlan(seed=2, transient_rate=0.3, crash_rate=0.3),
+    FaultPlan(seed=3, crash_rate=0.5, slow_rate=0.3, slow_seconds=0.001),
+    FaultPlan(seed=4, transient_rate=0.9, max_faults_per_job=2),
+]
+
+
+def chaos_config(executor, workers=1, **overrides):
+    defaults = dict(
+        executor=executor,
+        workers=workers,
+        max_retries=4,
+        backoff_base=0.0001,
+        backoff_cap=0.0005,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def make_jobs(simple_problem):
+    """A small mixed batch: ok, not-optimal, an error job, duplicates.
+
+    Distinct node budgets keep most fingerprints distinct so every job
+    actually executes; the final job is a deliberate in-batch duplicate.
+    """
+    prioritizing, optimal, non_optimal = simple_problem
+    jobs = [
+        RepairJob("ok-1", prioritizing, optimal, node_budget=1001),
+        RepairJob("no-1", prioritizing, non_optimal, node_budget=1002),
+        RepairJob("ok-2", prioritizing, optimal, node_budget=1003,
+                  priority=5),
+        RepairJob("err-1", prioritizing, optimal, semantics="bogus",
+                  node_budget=1004),
+        RepairJob("no-2", prioritizing, non_optimal, node_budget=1005),
+        RepairJob("dup-of-ok-1", prioritizing, optimal, node_budget=1001),
+    ]
+    return jobs
+
+
+def run_verdicts(jobs, config, runner=None, clock=None):
+    service = RepairService(
+        config,
+        runner=runner,
+        sleep=lambda _seconds: None,
+        **({"clock": clock} if clock is not None else {}),
+    )
+    report = service.run_batch(jobs)
+    assert len(report.results) == len(jobs)
+    assert [r.job_id for r in report.results] == [j.job_id for j in jobs]
+    return [r.verdict() for r in report.results], service
+
+
+class TestFaultPlan:
+    def test_action_deterministic(self):
+        plan = FaultPlan(seed=9, transient_rate=0.4, crash_rate=0.3)
+        first = [plan.action("j", k) for k in range(1, 6)]
+        again = [plan.action("j", k) for k in range(1, 6)]
+        assert first == again
+
+    def test_faults_stop_after_cap(self):
+        plan = FaultPlan(seed=0, transient_rate=1.0, max_faults_per_job=2)
+        assert plan.faults_for("j") == ("transient", "transient")
+        assert plan.action("j", 3) == "none"
+
+    def test_rates_partition(self):
+        plan = FaultPlan(seed=5, crash_rate=1.0)
+        assert plan.action("anything", 1) == "crash"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(transient_rate=1.5),
+            dict(crash_rate=-0.1),
+            dict(transient_rate=0.6, crash_rate=0.6),
+            dict(slow_seconds=-1.0),
+            dict(max_faults_per_job=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(UsageError):
+            FaultPlan(**kwargs)
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        plan = parse_fault_spec(
+            "seed=3,transient=0.4,crash=0.1,slow=0.2,slow-ms=20,"
+            "max-faults=3,skew-ms=5"
+        )
+        assert plan == FaultPlan(
+            seed=3,
+            transient_rate=0.4,
+            crash_rate=0.1,
+            slow_rate=0.2,
+            slow_seconds=0.02,
+            max_faults_per_job=3,
+            clock_skew=0.005,
+        )
+
+    def test_empty_spec_is_default_plan(self):
+        assert parse_fault_spec("") == FaultPlan()
+
+    @pytest.mark.parametrize("spec", ["bogus=1", "seed", "seed=x"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(UsageError):
+            parse_fault_spec(spec)
+
+
+class TestSkewedClock:
+    def test_monotone_and_deterministic(self):
+        readings = []
+        clock = SkewedClock(base=lambda: 100.0, seed=3, max_skew=0.5)
+        readings = [clock() for _ in range(20)]
+        assert readings == sorted(readings)
+        again = SkewedClock(base=lambda: 100.0, seed=3, max_skew=0.5)
+        assert readings == [again() for _ in range(20)]
+
+
+class TestChaosDeterminism:
+    """Verdicts under faults == verdicts without faults."""
+
+    def reference(self, jobs):
+        verdicts, _ = run_verdicts(jobs, chaos_config("serial"))
+        return verdicts
+
+    @pytest.mark.parametrize("plan", PLANS, ids=lambda p: f"seed{p.seed}")
+    def test_serial_with_faults(self, simple_problem, plan):
+        jobs = make_jobs(simple_problem)
+        sleeps = []
+        runner = FaultyRunner(plan=plan, sleep=lambda s: sleeps.append(s))
+        verdicts, service = run_verdicts(
+            jobs, chaos_config("serial"), runner=runner
+        )
+        assert verdicts == self.reference(jobs)
+        # The plan really did inject something on these seeds.
+        injected = any(
+            plan.faults_for(job.job_id) != ("none",) * plan.max_faults_per_job
+            for job in jobs
+        )
+        assert injected
+
+    @pytest.mark.parametrize("plan", PLANS, ids=lambda p: f"seed{p.seed}")
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_thread_pool_with_faults(self, simple_problem, plan, workers):
+        jobs = make_jobs(simple_problem)
+        runner = FaultyRunner(plan=plan, sleep=lambda _s: None)
+        verdicts, _ = run_verdicts(
+            jobs, chaos_config("thread", workers=workers), runner=runner
+        )
+        assert verdicts == self.reference(jobs)
+
+    def test_warm_cache_with_faults(self, simple_problem):
+        jobs = make_jobs(simple_problem)
+        plan = PLANS[1]
+        service = RepairService(
+            chaos_config("serial"),
+            runner=FaultyRunner(plan=plan, sleep=lambda _s: None),
+            sleep=lambda _s: None,
+        )
+        cold = [r.verdict() for r in service.run_batch(jobs).results]
+        warm = [r.verdict() for r in service.run_batch(jobs).results]
+        assert cold == warm == self.reference(jobs)
+
+    def test_skewed_clock_does_not_change_verdicts(self, simple_problem):
+        jobs = make_jobs(simple_problem)
+        plan = FaultPlan(seed=6, transient_rate=0.5, clock_skew=2.0)
+        verdicts, _ = run_verdicts(
+            jobs,
+            chaos_config("serial"),
+            runner=FaultyRunner(plan=plan, sleep=lambda _s: None),
+            clock=plan.clock(),
+        )
+        assert verdicts == self.reference(jobs)
+
+    def test_hard_problem_faulted_matches_reference(self):
+        prioritizing, candidate = hard_problem(n_facts=24, seed=3)
+        jobs = [
+            RepairJob("hard-1", prioritizing, candidate, node_budget=2000),
+            RepairJob("hard-2", prioritizing, candidate, node_budget=4000),
+        ]
+        reference, _ = run_verdicts(jobs, chaos_config("serial"))
+        plan = FaultPlan(seed=2, transient_rate=0.5, crash_rate=0.4)
+        verdicts, _ = run_verdicts(
+            jobs,
+            chaos_config("thread", workers=2),
+            runner=FaultyRunner(plan=plan, sleep=lambda _s: None),
+        )
+        assert verdicts == reference
+
+
+@pytest.mark.slow
+class TestProcessChaos:
+    """Real worker deaths: ``os._exit`` inside process-pool workers."""
+
+    def test_process_pool_with_crashes_matches_reference(
+        self, simple_problem
+    ):
+        jobs = make_jobs(simple_problem)
+        reference, _ = run_verdicts(jobs, chaos_config("serial"))
+        plan = FaultPlan(seed=2, crash_rate=0.5, max_faults_per_job=1)
+        config = chaos_config(
+            "process",
+            workers=2,
+            max_pool_restarts=len(jobs) * plan.max_faults_per_job + 1,
+        )
+        verdicts, service = run_verdicts(
+            jobs, config, runner=FaultyRunner(plan=plan)
+        )
+        assert verdicts == reference
+        crashes = sum(
+            plan.faults_for(job.job_id).count("crash") for job in jobs
+        )
+        assert crashes > 0  # the seed really kills workers
+        assert service.metrics.counter("pool.restarts").value >= 1
+
+
+class TestSupervisedPoolContract:
+    """A dead worker yields error results, never an exception."""
+
+    @pytest.mark.slow
+    def test_worker_os_exit_becomes_error_results(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        jobs = [
+            RepairJob(f"doomed-{k}", prioritizing, optimal,
+                      node_budget=1000 + k)
+            for k in range(3)
+        ]
+        service = RepairService(
+            ServiceConfig(
+                executor="process", workers=2, max_pool_restarts=1,
+                breaker_threshold=0,
+            ),
+            runner=_always_exit_runner,
+        )
+        report = service.run_batch(jobs)  # must not raise
+        assert [r.job_id for r in report.results] == [
+            j.job_id for j in jobs
+        ]
+        assert all(r.status == "error" for r in report.results)
+        assert any(
+            "pool-restart budget" in r.reason for r in report.results
+        )
+        assert service.metrics.counter("pool.restarts").value == 1
+        assert service.metrics.counter("pool.lost_jobs").value >= 1
+
+    def test_thread_crashes_stay_in_process_and_retry(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        plan = FaultPlan(seed=0, crash_rate=1.0, max_faults_per_job=1)
+        runner = FaultyRunner(plan=plan)
+        service = RepairService(
+            chaos_config("thread", workers=2),
+            runner=runner,
+            sleep=lambda _s: None,
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "ok"
+        assert result.attempts == 2  # crash at attempt 1, clean at 2
+
+
+def _always_exit_runner(job, node_budget, timeout):
+    """A picklable runner that kills its worker process outright."""
+    os._exit(3)

@@ -1,0 +1,276 @@
+"""Tests for the write-ahead result journal and the atomic writers.
+
+The journal's crash-safety contract: every appended line is durable and
+self-verifying; a torn or corrupted tail is skipped on read, never
+fatal; only deterministic statuses replay; and replaying into
+``run_batch`` serves journaled jobs without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import UsageError
+from repro.io import atomic_write_text
+from repro.service import (
+    JOURNALED_STATUSES,
+    JournalWriter,
+    RepairJob,
+    RepairService,
+    ServiceConfig,
+    read_journal,
+)
+from repro.service.jobs import JobResult
+
+
+def make_result(fingerprint="fp-1", status="ok", job_id="j1"):
+    return JobResult(
+        job_id=job_id,
+        status=status,
+        is_optimal=True if status == "ok" else None,
+        semantics="global",
+        method="GRepCheck1FD",
+        fingerprint=fingerprint,
+    )
+
+
+class TestJournalWriter:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            assert journal.append(make_result("fp-1", "ok"))
+            assert journal.append(make_result("fp-2", "degraded", "j2"))
+            assert journal.appended == 2
+        replayed, skipped = read_journal(path)
+        assert skipped == 0
+        assert set(replayed) == {"fp-1", "fp-2"}
+        assert replayed["fp-1"]["status"] == "ok"
+        assert replayed["fp-2"]["status"] == "degraded"
+
+    @pytest.mark.parametrize("status", ["timeout", "error"])
+    def test_non_deterministic_statuses_not_journaled(self, tmp_path, status):
+        assert status not in JOURNALED_STATUSES
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            assert not journal.append(make_result("fp-1", status))
+            assert journal.appended == 0
+        assert read_journal(path) == ({}, 0)
+
+    def test_missing_fingerprint_not_journaled(self, tmp_path):
+        with JournalWriter(tmp_path / "run.wal") as journal:
+            assert not journal.append(make_result(fingerprint=""))
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JournalWriter(tmp_path / "run.wal")
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(UsageError):
+            journal.append(make_result())
+
+    def test_reopen_after_torn_tail_heals_and_appends(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-1"))
+        with open(path, "a") as handle:
+            handle.write('deadbeef {"torn":')  # hard kill mid-append
+        with JournalWriter(path) as journal:
+            assert journal.append(make_result("fp-2", job_id="j2"))
+        replayed, skipped = read_journal(path)
+        assert set(replayed) == {"fp-1", "fp-2"}  # new record intact
+        assert skipped == 1  # the quarantined torn line
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-1"))
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-2", job_id="j2"))
+        replayed, _ = read_journal(path)
+        assert set(replayed) == {"fp-1", "fp-2"}
+
+
+class TestReadJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.wal") == ({}, 0)
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-1"))
+            journal.append(make_result("fp-2", job_id="j2"))
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # tear the last line
+        replayed, skipped = read_journal(path)
+        assert set(replayed) == {"fp-1"}
+        assert skipped == 1
+
+    def test_corrupted_line_skipped(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-1"))
+        lines = path.read_text().splitlines()
+        flipped = lines[0].replace("fp-1", "fp-X")  # checksum now wrong
+        path.write_text(
+            "\n".join([flipped, "no-separator-line", "", lines[0]]) + "\n"
+        )
+        replayed, skipped = read_journal(path)
+        assert set(replayed) == {"fp-1"}
+        assert skipped == 2  # flipped payload + junk line (blank is free)
+
+    def test_wrong_shape_skipped(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "run.wal"
+        bad_payloads = [
+            json.dumps(["not", "a", "dict"]),
+            json.dumps({"fingerprint": 7, "result": {}}),
+            json.dumps({"fingerprint": "fp", "result": {"status": "error"}}),
+        ]
+        path.write_text(
+            "".join(
+                f"{hashlib.sha256(p.encode()).hexdigest()} {p}\n"
+                for p in bad_payloads
+            )
+        )
+        replayed, skipped = read_journal(path)
+        assert replayed == {}
+        assert skipped == 3
+
+    def test_last_line_wins_on_duplicate_fingerprints(self, tmp_path):
+        path = tmp_path / "run.wal"
+        with JournalWriter(path) as journal:
+            journal.append(make_result("fp-1", "ok"))
+            journal.append(make_result("fp-1", "degraded"))
+        replayed, _ = read_journal(path)
+        assert replayed["fp-1"]["status"] == "degraded"
+
+
+class TestServiceReplay:
+    def test_replayed_jobs_skip_recomputation(self, simple_problem, tmp_path):
+        prioritizing, optimal, non_optimal = simple_problem
+        path = tmp_path / "run.wal"
+        jobs = [
+            RepairJob("j1", prioritizing, optimal),
+            RepairJob("j2", prioritizing, non_optimal),
+        ]
+
+        first = RepairService(
+            ServiceConfig(executor="serial"),
+            result_sink=JournalWriter(path).append,
+        )
+        baseline = first.run_batch(jobs)
+        assert first.metrics.counter("journal.appended").value == 2
+
+        completed, skipped = read_journal(path)
+        assert skipped == 0
+
+        calls = []
+
+        def counting_runner(job, node_budget, timeout):
+            calls.append(job.job_id)
+            from repro.service.policy import execute_check
+
+            return execute_check(
+                job.prioritizing, job.candidate, job.semantics, job.method,
+                node_budget, timeout,
+            )
+
+        resumed = RepairService(
+            ServiceConfig(executor="serial"), runner=counting_runner
+        )
+        report = resumed.run_batch(jobs, completed=completed)
+        assert calls == []  # nothing recomputed
+        assert resumed.metrics.counter("journal.replayed").value == 2
+        assert [r.verdict() for r in report.results] == [
+            r.verdict() for r in baseline.results
+        ]
+        assert all(r.cache_hit for r in report.results)
+
+    def test_partial_journal_recomputes_the_rest(
+        self, simple_problem, tmp_path
+    ):
+        prioritizing, optimal, non_optimal = simple_problem
+        path = tmp_path / "run.wal"
+        jobs = [
+            RepairJob("j1", prioritizing, optimal),
+            RepairJob("j2", prioritizing, non_optimal),
+        ]
+        first = RepairService(
+            ServiceConfig(executor="serial"),
+            result_sink=JournalWriter(path).append,
+        )
+        first.run_batch(jobs[:1])
+
+        completed, _ = read_journal(path)
+        resumed = RepairService(ServiceConfig(executor="serial"))
+        report = resumed.run_batch(jobs, completed=completed)
+        assert resumed.metrics.counter("journal.replayed").value == 1
+        assert [r.status for r in report.results] == ["ok", "ok"]
+        assert report.results[0].cache_hit
+        assert not report.results[1].cache_hit
+
+    def test_replay_warms_cache_for_in_batch_duplicates(
+        self, simple_problem, tmp_path
+    ):
+        prioritizing, optimal, _ = simple_problem
+        path = tmp_path / "run.wal"
+        job = RepairJob("j1", prioritizing, optimal)
+        first = RepairService(
+            ServiceConfig(executor="serial"),
+            result_sink=JournalWriter(path).append,
+        )
+        first.run_batch([job])
+        completed, _ = read_journal(path)
+        resumed = RepairService(ServiceConfig(executor="serial"))
+        report = resumed.run_batch(
+            [job, RepairJob("j1-dup", prioritizing, optimal)],
+            completed=completed,
+        )
+        assert all(r.cache_hit for r in report.results)
+        assert resumed.metrics.counter("journal.replayed").value == 1
+
+    def test_sink_oserror_absorbed(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+
+        def failing_sink(result):
+            raise OSError("disk full")
+
+        service = RepairService(
+            ServiceConfig(executor="serial"), result_sink=failing_sink
+        )
+        result = service.check(prioritizing, optimal)
+        assert result.status == "ok"
+        assert service.metrics.counter("journal.errors").value == 1
+        assert service.metrics.counter("journal.appended").value == 0
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failure_leaves_target_intact_and_no_litter(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.io as io_module
+
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "original")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(io_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        monkeypatch.undo()
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]

@@ -1,0 +1,178 @@
+"""Kill-and-resume drills for ``repro serve-batch --journal/--resume``.
+
+Real subprocesses, real signals: a serve-batch run (slowed by the chaos
+harness so the parent can interrupt mid-batch) is stopped with SIGINT
+(graceful drain) or SIGKILL (hard death, no cleanup), and a ``--resume``
+run must replay exactly the journaled results, recompute only the rest,
+and produce the same final JSONL as a never-interrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import Fact, PriorityRelation, Schema
+from repro.core.priority import PrioritizingInstance
+from repro.io import prioritizing_to_dict
+from repro.service import read_journal
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Every first attempt sleeps 60 ms: slow enough for the parent to
+#: interrupt mid-batch, fast enough for CI.
+CHAOS = "seed=1,slow=1.0,slow-ms=60,max-faults=1"
+
+N_JOBS = 24
+
+
+def write_jobs_file(path: Path) -> None:
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    prioritizing = PrioritizingInstance(
+        schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+    )
+    jobs = [
+        {
+            "id": f"j{index:02d}",
+            # Alternate candidates; distinct budgets keep every
+            # fingerprint distinct so each job really executes.
+            "candidate": [index % 2],
+            "budget": 10_000 + index,
+        }
+        for index in range(N_JOBS)
+    ]
+    path.write_text(
+        json.dumps(
+            {"problem": prioritizing_to_dict(prioritizing), "jobs": jobs}
+        )
+    )
+
+
+def serve_batch(jobs_file: Path, out: Path, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve-batch",
+            str(jobs_file),
+            "--executor",
+            "serial",
+            "--chaos",
+            CHAOS,
+            "--out",
+            str(out),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_journal_lines(path: Path, minimum: int, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        replayed, _ = read_journal(path)
+        if len(replayed) >= minimum:
+            return replayed
+        time.sleep(0.02)
+    raise AssertionError(
+        f"journal never reached {minimum} entries within {timeout}s"
+    )
+
+
+def verdict_projection(results_path: Path):
+    """The deterministic slice of each result line (no durations)."""
+    rows = []
+    for line in results_path.read_text().splitlines():
+        record = json.loads(line)
+        rows.append(
+            {
+                key: record[key]
+                for key in (
+                    "job_id", "status", "is_optimal", "semantics",
+                    "method", "reason",
+                )
+            }
+        )
+    return rows
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kill_signal", [signal.SIGINT, signal.SIGKILL])
+def test_kill_and_resume_recomputes_only_unjournaled(tmp_path, kill_signal):
+    jobs_file = tmp_path / "jobs.json"
+    write_jobs_file(jobs_file)
+    wal = tmp_path / "run.wal"
+
+    # --- the run that dies mid-batch -----------------------------------
+    interrupted = serve_batch(
+        jobs_file, tmp_path / "interrupted.jsonl", "--journal", str(wal)
+    )
+    try:
+        wait_for_journal_lines(wal, minimum=3)
+        interrupted.send_signal(kill_signal)
+        stdout, stderr = interrupted.communicate(timeout=60)
+    finally:
+        if interrupted.poll() is None:
+            interrupted.kill()
+            interrupted.communicate()
+
+    journaled, torn = read_journal(wal)
+    assert 3 <= len(journaled) < N_JOBS  # died mid-batch, journal survived
+    if kill_signal == signal.SIGINT:
+        assert interrupted.returncode == 130
+        assert "re-run with --resume" in stderr
+    else:
+        assert interrupted.returncode == -signal.SIGKILL
+
+    if kill_signal == signal.SIGKILL:
+        # A hard kill can tear the final line; simulate the worst case
+        # explicitly so resume always faces a torn tail here.
+        with open(wal, "a") as handle:
+            handle.write("deadbeef {\"torn\":")
+
+    # --- resume ---------------------------------------------------------
+    resumed_out = tmp_path / "resumed.jsonl"
+    metrics_out = tmp_path / "metrics.json"
+    resume = serve_batch(
+        jobs_file,
+        resumed_out,
+        "--journal",
+        str(wal),
+        "--resume",
+        "--metrics-out",
+        str(metrics_out),
+    )
+    stdout, stderr = resume.communicate(timeout=120)
+    assert resume.returncode == 0, stderr
+    assert f"replaying {len(journaled)} journaled result(s)" in stdout
+
+    counters = json.loads(metrics_out.read_text())["counters"]
+    assert counters["journal.replayed"] == len(journaled)
+    # Only the unjournaled jobs were recomputed...
+    assert counters["cache.misses"] == N_JOBS - len(journaled)
+    # ...and they were journaled in turn: the journal now covers the batch.
+    final_journal, _ = read_journal(wal)
+    assert len(final_journal) == N_JOBS
+
+    # --- equality with a never-interrupted run --------------------------
+    reference_out = tmp_path / "reference.jsonl"
+    reference = serve_batch(jobs_file, reference_out)
+    _, ref_stderr = reference.communicate(timeout=120)
+    assert reference.returncode == 0, ref_stderr
+    assert verdict_projection(resumed_out) == verdict_projection(
+        reference_out
+    )

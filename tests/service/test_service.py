@@ -10,6 +10,7 @@ from repro.service import (
     MetricsRegistry,
     RepairJob,
     RepairService,
+    RetryPolicy,
     ServiceConfig,
 )
 from repro.service.policy import execute_check
@@ -196,6 +197,76 @@ class TestCaching:
         assert degraded.fingerprint != decided.fingerprint
 
 
+class TestNonCacheableDuplicates:
+    """In-batch duplicates of results the cache refuses.
+
+    A ``timeout``/``error`` first occurrence is never cached, but its
+    in-batch duplicates must still reuse it (one execution per distinct
+    question per batch) — flagged ``cache_hit=False``, since nothing
+    durable backs the reuse.  A ``degraded`` first occurrence *is*
+    cached, so its duplicates are ordinary cache hits.
+    """
+
+    def test_timeout_duplicates_reuse_without_cache_flag(
+        self, deep_hard_problem
+    ):
+        prioritizing, candidate = deep_hard_problem
+        service = serial_service()
+        jobs = [
+            RepairJob(f"t{k}", prioritizing, candidate, timeout=0.0)
+            for k in range(3)
+        ]
+        report = service.run_batch(jobs)
+        assert [r.status for r in report.results] == ["timeout"] * 3
+        first, *duplicates = report.results
+        assert first.cache_hit is False
+        assert all(dup.cache_hit is False for dup in duplicates)
+        # One execution: only the first occurrence carries attempts.
+        assert first.attempts == 1
+        assert all(dup.attempts == 0 for dup in duplicates)
+        assert service.cache.stats()["size"] == 0
+        assert {r.verdict()["job_id"] for r in report.results} == {
+            "t0", "t1", "t2"
+        }
+
+    def test_error_duplicates_reuse_without_cache_flag(self, simple_problem):
+        prioritizing, optimal, _ = simple_problem
+        calls = []
+
+        def counting_runner(job, node_budget, timeout):
+            calls.append(job.job_id)
+            return execute_check(
+                job.prioritizing, job.candidate, "bogus", job.method,
+                node_budget, timeout,
+            )
+
+        service = RepairService(
+            ServiceConfig(executor="serial"), runner=counting_runner
+        )
+        jobs = [
+            RepairJob(f"e{k}", prioritizing, optimal) for k in range(3)
+        ]
+        report = service.run_batch(jobs)
+        assert [r.status for r in report.results] == ["error"] * 3
+        assert len(calls) == 1
+        assert all(r.cache_hit is False for r in report.results)
+        assert service.cache.stats()["size"] == 0
+
+    def test_degraded_duplicates_served_from_cache(self):
+        prioritizing, candidate = hard_problem()
+        service = serial_service()
+        jobs = [
+            RepairJob(f"d{k}", prioritizing, candidate, node_budget=2)
+            for k in range(3)
+        ]
+        report = service.run_batch(jobs)
+        assert [r.status for r in report.results] == ["degraded"] * 3
+        first, *duplicates = report.results
+        assert first.cache_hit is False
+        assert all(dup.cache_hit is True for dup in duplicates)
+        assert service.cache.stats()["size"] == 1
+
+
 class TestRetry:
     def flaky_runner(self, failures_before_success):
         attempts = {}
@@ -229,7 +300,15 @@ class TestRetry:
         result = service.check(prioritizing, optimal)
         assert result.status == "ok"
         assert result.attempts == 3
-        assert sleeps == [0.05, 0.1]  # capped exponential backoff
+        # Seeded full jitter: each delay is a deterministic fraction of
+        # the capped exponential bound, and there is one sleep per
+        # failed non-final attempt.
+        policy = RetryPolicy(0.05, 1.0, seed=0)
+        assert sleeps == [policy.delay("single", 1), policy.delay("single", 2)]
+        assert all(
+            0.0 <= got < policy.bound(k)
+            for k, got in enumerate(sleeps, start=1)
+        )
         assert service.metrics.counter("jobs.retries").value == 2
 
     def test_retries_exhausted_becomes_error(self, simple_problem):
@@ -259,7 +338,10 @@ class TestRetry:
         )
         result = service.check(prioritizing, optimal)
         assert result.status == "ok"
-        assert sleeps == [0.5, 1.0, 1.0, 1.0]
+        policy = RetryPolicy(0.5, 1.0, seed=0)
+        assert sleeps == [policy.delay("single", k) for k in range(1, 5)]
+        # The un-jittered bounds still follow the capped exponential.
+        assert [policy.bound(k) for k in range(1, 5)] == [0.5, 1.0, 1.0, 1.0]
 
     def test_non_transient_crash_not_retried(self, simple_problem):
         prioritizing, optimal, _ = simple_problem
