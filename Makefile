@@ -1,7 +1,7 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test lint typecheck bench bench-tables service-bench perf \
-	chaos examples all clean
+.PHONY: install test lint typecheck coverage bench bench-tables \
+	service-bench perf chaos examples all clean
 
 install:
 	pip install -e .
@@ -26,6 +26,19 @@ typecheck:
 		mypy --strict src/repro/core/; \
 	else \
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
+	fi
+
+# Line+branch coverage of the checking engine and the daemon, gated at
+# the fail_under threshold in pyproject.toml ([tool.coverage.report]).
+# Skipped gracefully when pytest-cov is not installed (CI installs it
+# and enforces the gate on every push).
+coverage:
+	@if PYTHONPATH=src python -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src python -m pytest tests/ -q \
+			--cov=repro.core --cov=repro.server \
+			--cov-report=term-missing; \
+	else \
+		echo "pytest-cov not installed; skipping coverage (CI runs it)"; \
 	fi
 
 bench:

@@ -31,6 +31,15 @@ Subcommands
     results and recomputes only the rest.  ``--chaos
     "seed=3,transient=0.3,crash=0.1"`` injects a deterministic fault
     schedule (see :mod:`repro.service.faults`) for resilience drills.
+``repro serve --socket /tmp/repro.sock`` / ``repro serve --port 7464``
+    Run the persistent async repair-checking daemon: one warm
+    :class:`~repro.service.RepairService` behind a unix or TCP socket
+    speaking newline-delimited JSON (``check``, ``classify``, ``ping``,
+    ``stats``, ``drain`` — see :mod:`repro.server.protocol`).
+    Admission control rejects work beyond ``--max-inflight`` +
+    ``--queue-limit`` with explicit ``overloaded`` errors; SIGINT or
+    SIGTERM drains gracefully (in-flight checks finish, the
+    ``--journal`` is flushed, a final metrics snapshot is printed).
 ``repro lint --format json src``
     Run the project-invariant AST linter (rules RL001-RL007; see
     :mod:`repro.devtools.lint` and ``docs/lint_rules.md``); all
@@ -332,6 +341,67 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.server import RepairServer, ServerConfig
+    from repro.service import (
+        JournalWriter,
+        RepairService,
+        ServiceConfig,
+        parse_fault_spec,
+    )
+
+    runner = None
+    if args.chaos:
+        from repro.service import FaultyRunner
+
+        runner = FaultyRunner(plan=parse_fault_spec(args.chaos))
+
+    with contextlib.ExitStack() as stack:
+        journal = None
+        if args.journal:
+            journal = stack.enter_context(JournalWriter(args.journal))
+        service = RepairService(
+            ServiceConfig(
+                cache_size=args.cache_size,
+                default_timeout=args.timeout,
+                default_node_budget=args.budget,
+                breaker_threshold=args.breaker_threshold,
+                breaker_reset_seconds=args.breaker_reset,
+            ),
+            runner=runner,
+            result_sink=journal.append if journal is not None else None,
+        )
+        server = RepairServer(
+            service,
+            ServerConfig(
+                socket_path=args.socket,
+                host=args.host,
+                port=args.port,
+                max_inflight=args.max_inflight,
+                queue_limit=args.queue_limit,
+            ),
+        )
+
+        def _announce(address):
+            print(f"repro serve: listening on {address}", flush=True)
+
+        stats = server.run(on_ready=_announce)
+    counters = stats["counters"]
+    print(
+        "repro serve: drained cleanly — "
+        f"{counters.get('server.accepted', 0)} accepted, "
+        f"{counters.get('server.rejected_overload', 0)} rejected "
+        f"(overload), "
+        f"{counters.get('server.bad_requests', 0)} bad request(s), "
+        f"{counters.get('server.connections', 0)} connection(s) over "
+        f"{stats['uptime']:.1f}s"
+    )
+    print(service.metrics.render())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import main as lint_main
 
@@ -466,6 +536,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an open circuit waits before a half-open probe",
     )
     serve.set_defaults(handler=_cmd_serve_batch)
+
+    daemon = subparsers.add_parser(
+        "serve",
+        help="run the persistent async repair-checking daemon",
+        description="Keep one warm RepairService behind a socket "
+        "speaking newline-delimited JSON (ops: check, classify, ping, "
+        "stats, drain; see repro.server.protocol).  Drains gracefully "
+        "on SIGINT/SIGTERM: in-flight jobs finish, the journal is "
+        "flushed, and a final metrics snapshot is printed.",
+    )
+    transport = daemon.add_mutually_exclusive_group(required=True)
+    transport.add_argument(
+        "--socket", help="listen on this unix-domain socket path"
+    )
+    transport.add_argument(
+        "--port",
+        type=int,
+        help="listen on this TCP port (0 picks an ephemeral port, "
+        "announced on stdout)",
+    )
+    daemon.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (with --port; default 127.0.0.1)",
+    )
+    daemon.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="repair checks executing concurrently (worker threads)",
+    )
+    daemon.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="admitted checks allowed to wait for a worker; beyond "
+        "max-inflight + queue-limit, checks are rejected as overloaded",
+    )
+    daemon.add_argument("--cache-size", type=int, default=2048)
+    daemon.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-check wall-clock timeout in seconds "
+        "(requests may override per check)",
+    )
+    daemon.add_argument(
+        "--budget",
+        type=int,
+        default=100000,
+        help="default improvement-search node budget for coNP-hard "
+        "checks (requests may override per check)",
+    )
+    daemon.add_argument(
+        "--journal",
+        help="append finished deterministic results to this crash-safe "
+        "write-ahead journal",
+    )
+    daemon.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject a deterministic fault schedule (see "
+        "repro.service.faults); used by the resilience drills",
+    )
+    daemon.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive worker failures that open a problem's "
+        "circuit breaker (0 disables)",
+    )
+    daemon.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="seconds an open circuit waits before a half-open probe",
+    )
+    daemon.set_defaults(handler=_cmd_serve)
 
     lint = subparsers.add_parser(
         "lint",

@@ -9,9 +9,11 @@ in polynomial time for every schema (their Corollary 4).
 
 Their key characterization is operational: the completion-optimal repairs
 are exactly the possible outputs of the *greedy* procedure that
-repeatedly picks a remaining fact not ≻-dominated by any other remaining
-fact, commits it, and discards the facts conflicting with it.  This
-module implements:
+repeatedly picks a remaining fact not dominated by any remaining fact
+under the orientations **every** completion must contain — the raw
+≻-edges plus the conflicting pairs whose orientation acyclicity forces
+transitively (see :func:`_forced_dominators`) — commits it, and discards
+the facts conflicting with it.  This module implements:
 
 * :func:`check_completion_optimal` — the polynomial test, by a forced
   simulation of the greedy on ``J`` (correct because picking any eligible
@@ -52,6 +54,48 @@ __all__ = [
 _METHOD = "greedy-simulation"
 
 
+def _forced_dominators(
+    prioritizing: PrioritizingInstance,
+) -> "dict[Fact, FrozenSet[Fact]]":
+    """For each fact, the facts every completion must prefer to it.
+
+    A completion ``≻'`` orients every conflicting pair while keeping the
+    whole relation acyclic.  If ``g ≻⁺ f`` (a directed ≻-path, possibly
+    through other facts) and ``g`` conflicts ``f``, then orienting
+    ``f ≻' g`` would close the cycle ``f ≻' g ≻ ... ≻ f`` — so **every**
+    completion has ``g ≻' f``.  Conversely, a conflicting pair with no
+    connecting ≻-path can be oriented either way.  Raw edges alone miss
+    the transitively forced orientations, which is exactly the trap the
+    oracle conformance suite caught: domination during the greedy must
+    use these forced dominators, not just ``priority.improvers_of``.
+
+    Non-conflicting closure ancestors do *not* dominate: completions
+    only add edges between conflicting facts, so they never become
+    direct ≻'-edges.
+    """
+    adjacency: "dict[Fact, Set[Fact]]" = {}
+    for better, worse in prioritizing.priority.edges:
+        adjacency.setdefault(better, set()).add(worse)
+    conflicts = prioritizing.conflict_index.adjacency()
+    dominators: "dict[Fact, Set[Fact]]" = {
+        fact: set() for fact in prioritizing.instance.facts
+    }
+    for ancestor in adjacency:
+        # Forward DFS: every fact reachable from `ancestor` along ≻
+        # edges that also conflicts with it is forced below it.
+        stack = list(adjacency[ancestor])
+        seen: Set[Fact] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in conflicts[ancestor]:
+                dominators[node].add(ancestor)
+            stack.extend(adjacency.get(node, ()))
+    return {fact: frozenset(doms) for fact, doms in dominators.items()}
+
+
 def _reject_ccp(prioritizing: PrioritizingInstance) -> None:
     if prioritizing.is_ccp:
         raise InvalidPriorityError(
@@ -66,11 +110,14 @@ def check_completion_optimal(
     """Decide whether ``candidate`` is a completion-optimal repair.
 
     Polynomial for every schema: simulates the greedy procedure, at each
-    step committing an arbitrary eligible fact of ``candidate`` (eligible
-    = not ≻-dominated by any remaining fact).  The simulation is complete
-    because eligibility of the remaining ``candidate``-facts is monotone
-    under commits — committing one removes only its conflict neighbours,
-    none of which belong to the conflict-free ``candidate``.
+    step committing an arbitrary eligible fact of ``candidate``
+    (eligible = not dominated by any remaining *forced dominator*, see
+    :func:`_forced_dominators` — raw ≻-edges plus the orientations that
+    acyclicity forces transitively).  The simulation is complete because
+    eligibility is monotone under commits: the blocking set only ever
+    shrinks as facts leave ``remaining``, and committing a
+    ``candidate``-fact removes only its conflict neighbours, none of
+    which belong to the conflict-free ``candidate``.
 
     Examples
     --------
@@ -89,7 +136,7 @@ def check_completion_optimal(
     if failure is not None:
         return failure
     adjacency = prioritizing.conflict_index.adjacency()
-    priority = prioritizing.priority
+    dominators = _forced_dominators(prioritizing)
     remaining: Set[Fact] = set(prioritizing.instance.facts)
     to_pick: Set[Fact] = set(candidate.facts)
     while to_pick:
@@ -97,15 +144,13 @@ def check_completion_optimal(
             (
                 fact
                 for fact in to_pick
-                if priority.improvers_of(fact).isdisjoint(remaining)
+                if dominators[fact].isdisjoint(remaining)
             ),
             None,
         )
         if pick is None:
             blocked = next(iter(to_pick))
-            dominator = next(
-                iter(priority.improvers_of(blocked) & remaining)
-            )
+            dominator = next(iter(dominators[blocked] & remaining))
             return CheckResult(
                 is_optimal=False,
                 semantics="completion",
@@ -132,14 +177,14 @@ def greedy_completion_repair(
     _reject_ccp(prioritizing)
     rng = rng or random.Random(0)
     adjacency = prioritizing.conflict_index.adjacency()
-    priority = prioritizing.priority
+    dominators = _forced_dominators(prioritizing)
     remaining: Set[Fact] = set(prioritizing.instance.facts)
     chosen: Set[Fact] = set()
     while remaining:
         eligible = [
             fact
             for fact in remaining
-            if priority.improvers_of(fact).isdisjoint(remaining)
+            if dominators[fact].isdisjoint(remaining)
         ]
         # An acyclic relation restricted to a non-empty finite set always
         # has a maximal element, so `eligible` is never empty.
@@ -161,7 +206,7 @@ def enumerate_completion_optimal_repairs(
     """
     _reject_ccp(prioritizing)
     adjacency = prioritizing.conflict_index.adjacency()
-    priority = prioritizing.priority
+    dominators = _forced_dominators(prioritizing)
     seen_states: Set[FrozenSet[Fact]] = set()
     results: Set[FrozenSet[Fact]] = set()
 
@@ -175,7 +220,7 @@ def enumerate_completion_optimal_repairs(
         eligible = [
             fact
             for fact in remaining
-            if priority.improvers_of(fact).isdisjoint(remaining)
+            if dominators[fact].isdisjoint(remaining)
         ]
         for pick in eligible:
             explore(

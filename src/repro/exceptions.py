@@ -29,6 +29,7 @@ __all__ = [
     "WorkerCrashError",
     "JournalCorruptError",
     "QueryError",
+    "ProtocolError",
 ]
 
 
@@ -193,3 +194,14 @@ class JournalCorruptError(ReproError):
 
 class QueryError(ReproError):
     """A conjunctive query is malformed (unsafe variables, bad arity...)."""
+
+
+class ProtocolError(ReproError):
+    """A wire request to the repair-checking daemon is malformed.
+
+    Raised by :mod:`repro.server.protocol` while decoding a
+    newline-delimited JSON request (unparseable JSON, unknown ``op``,
+    missing or ill-typed fields, oversized line).  The daemon translates
+    it into a structured ``bad-request`` error response on the same
+    connection rather than dropping the client.
+    """

@@ -1,0 +1,54 @@
+"""``repro.server`` — the persistent async repair-checking daemon.
+
+The batch service (:mod:`repro.service`) answers "check these N
+candidates" as one process-lifetime invocation; this package keeps that
+service *warm* behind a socket so interactive and streaming callers
+amortize start-up, classification, and cache temperature across
+requests:
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON wire
+  protocol (``check`` / ``classify`` / ``ping`` / ``stats`` /
+  ``drain``), transport-free;
+* :mod:`repro.server.admission` — bounded in-flight admission control
+  with explicit ``overloaded`` rejections;
+* :mod:`repro.server.daemon` — the asyncio server: pipelined
+  connections, a worker-thread pool calling
+  :meth:`~repro.service.RepairService.run_job`, graceful drain on
+  SIGINT/SIGTERM;
+* :mod:`repro.server.client` — a small blocking client for scripts and
+  tests.
+
+Start one with ``repro serve --socket /tmp/repro.sock`` (see the CLI)
+or embed it: ``RepairServer(service, ServerConfig(port=0)).run()``.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.client import RepairClient
+from repro.server.daemon import RepairServer, ServerConfig
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    Request,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = [
+    "AdmissionController",
+    "RepairClient",
+    "RepairServer",
+    "ServerConfig",
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "Request",
+    "parse_request",
+    "encode_response",
+    "ok_response",
+    "error_response",
+]

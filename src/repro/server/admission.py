@@ -1,0 +1,110 @@
+"""Admission control: bounded in-flight work, explicit rejections.
+
+A long-lived daemon must not buffer unboundedly: every accepted ``check``
+occupies a worker thread (while executing) or memory (while queued), so
+under overload the correct behaviour is to *reject loudly* — the client
+gets an ``overloaded`` response immediately and can back off or try a
+replica — never to hang or to queue without limit.
+
+:class:`AdmissionController` enforces two bounds as one capacity:
+
+* ``max_inflight`` — how many admitted jobs may *execute* concurrently
+  (the daemon pairs this with its executor concurrency);
+* ``queue_limit`` — how many more may be *admitted and waiting* for an
+  execution slot.
+
+A job is admitted while ``admitted < max_inflight + queue_limit`` and
+rejected otherwise.  The controller is deliberately synchronous and
+lock-based (no asyncio types), so it can be unit-tested without an
+event loop and shared by any future transport; counters land in the
+service's :class:`~repro.service.metrics.MetricsRegistry` under
+``server.accepted`` / ``server.rejected_overload``, with the live level
+on the ``server.inflight`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.exceptions import UsageError
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting admission control over one daemon's ``check`` traffic.
+
+    Thread-safe; :meth:`try_admit` either takes a slot (count it with a
+    matching :meth:`release`, typically in a ``finally``) or refuses
+    without blocking.  There is no blocking acquire on purpose: waiting
+    is the event loop's job (bounded by ``queue_limit`` admitted-but-
+    not-yet-running jobs), and an unbounded blocking path is exactly
+    the failure mode this class exists to prevent.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_limit: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise UsageError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if queue_limit < 0:
+            raise UsageError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self._admitted = 0
+        self._lock = threading.Lock()
+        self._metrics = metrics or MetricsRegistry()
+        # Pre-register so every stats snapshot reports the pair, zero or
+        # not (the serve summary line and dashboards rely on presence).
+        self._metrics.counter("server.accepted")
+        self._metrics.counter("server.rejected_overload")
+        self._metrics.gauge("server.inflight")
+
+    @property
+    def capacity(self) -> int:
+        """Total admitted jobs allowed at once (executing + queued)."""
+        return self.max_inflight + self.queue_limit
+
+    @property
+    def admitted(self) -> int:
+        """How many admitted jobs have not been released yet."""
+        with self._lock:
+            return self._admitted
+
+    def try_admit(self) -> bool:
+        """Take one slot if any is free; never blocks.
+
+        Returns True when the job may proceed (pair with
+        :meth:`release`), False when the daemon is at capacity — the
+        caller must answer ``overloaded`` instead of queueing.
+        """
+        with self._lock:
+            if self._admitted >= self.capacity:
+                self._metrics.counter("server.rejected_overload").increment()
+                return False
+            self._admitted += 1
+        self._metrics.counter("server.accepted").increment()
+        self._metrics.gauge("server.inflight").increment()
+        return True
+
+    def release(self) -> None:
+        """Give back one admitted slot."""
+        with self._lock:
+            if self._admitted <= 0:
+                raise UsageError("release() without a matching try_admit()")
+            self._admitted -= 1
+        self._metrics.gauge("server.inflight").decrement()
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController({self.admitted}/{self.capacity} admitted, "
+            f"max_inflight={self.max_inflight}, "
+            f"queue_limit={self.queue_limit})"
+        )

@@ -1,0 +1,137 @@
+"""A small blocking client for the ``repro serve`` daemon.
+
+The daemon speaks newline-delimited JSON (:mod:`repro.server.protocol`);
+this client wraps one socket in just enough convenience to use from
+scripts and tests without an event loop::
+
+    from repro.server import RepairClient
+
+    with RepairClient(socket_path="/tmp/repro.sock") as client:
+        client.ping()
+        response = client.check(problem_document, candidate=[0, 2])
+        print(response["result"]["is_optimal"])
+
+:meth:`send` / :meth:`recv` are exposed separately so callers can
+pipeline — send many ``check`` lines, then collect responses and match
+them back by ``id`` (responses to slow checks arrive late).  The typed
+helpers (:meth:`check`, :meth:`classify`, ...) do one round trip and
+return the raw response envelope; they do **not** raise on ``ok: false``
+— overload and drain rejections are expected operating conditions the
+caller handles, not exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ProtocolError, UsageError
+
+__all__ = ["RepairClient"]
+
+
+class RepairClient:
+    """One connection to a running repair-checking daemon.
+
+    Exactly one of ``socket_path`` and ``port`` must be given, matching
+    how the daemon was started.  ``timeout`` bounds every socket
+    operation; a daemon that stops responding surfaces as
+    ``socket.timeout`` rather than a hang.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise UsageError("exactly one of socket_path and port must be given")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- transport -------------------------------------------------------------------
+
+    def send(self, document: Dict[str, Any]) -> None:
+        """Write one request line without waiting for the response."""
+        self._sock.sendall((json.dumps(document) + "\n").encode("utf-8"))
+
+    def recv(self) -> Dict[str, Any]:
+        """Read the next response line (whichever request it answers)."""
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("connection closed by the daemon")
+        return json.loads(line)
+
+    def request(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip."""
+        self.send(document)
+        return self.recv()
+
+    # -- typed operations --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; the response carries the protocol version."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's live metrics snapshot."""
+        return self.request({"op": "stats"})
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the daemon to finish in-flight work and shut down."""
+        return self.request({"op": "drain"})
+
+    def classify(
+        self,
+        schema_spec: Optional[str] = None,
+        schema: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Classify a schema under both dichotomy theorems."""
+        document: Dict[str, Any] = {"op": "classify"}
+        if schema_spec is not None:
+            document["schema_spec"] = schema_spec
+        if schema is not None:
+            document["schema"] = schema
+        return self.request(document)
+
+    def check(
+        self,
+        problem: Dict[str, Any],
+        candidate: List[Any],
+        request_id: Optional[Any] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Run one repair check; ``options`` forwards ``semantics``,
+        ``method``, ``timeout``, ``budget``, and ``job_id``."""
+        document: Dict[str, Any] = {
+            "op": "check",
+            "problem": problem,
+            "candidate": candidate,
+        }
+        if request_id is not None:
+            document["id"] = request_id
+        document.update(options)
+        return self.request(document)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RepairClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

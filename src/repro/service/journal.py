@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -66,7 +67,9 @@ class JournalWriter:
 
     Opening is append-mode, so resuming a run keeps extending the same
     file.  Safe to use as a context manager; :meth:`close` is
-    idempotent.
+    idempotent.  Appends are serialized under a lock, so one journal can
+    back concurrent submitters (the async daemon journals from many
+    executor threads at once) without interleaving lines.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -75,6 +78,7 @@ class JournalWriter:
             self.path, "a", encoding="utf-8"
         )
         self.appended = 0
+        self._lock = threading.Lock()
         self._heal_torn_tail()
 
     def _heal_torn_tail(self) -> None:
@@ -103,27 +107,29 @@ class JournalWriter:
         + ``os.fsync``) before this returns — a crash at any later point
         cannot lose it.
         """
-        if self._handle is None:
-            raise UsageError("journal is closed")
         if result.status not in JOURNALED_STATUSES or not result.fingerprint:
             return False
         payload = json.dumps(
             {"fingerprint": result.fingerprint, "result": result.to_dict()},
             sort_keys=True,
         )
-        self._handle.write(f"{_checksum(payload)} {payload}\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self.appended += 1
+        with self._lock:
+            if self._handle is None:
+                raise UsageError("journal is closed")
+            self._handle.write(f"{_checksum(payload)} {payload}\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self.appended += 1
         return True
 
     def close(self) -> None:
         """Flush and close the journal (idempotent)."""
-        if self._handle is not None:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JournalWriter":
         return self

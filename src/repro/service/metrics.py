@@ -6,6 +6,9 @@ primitives that cover the workload:
 
 * :class:`Counter` — monotone counts (jobs by status, cache hits,
   retries);
+* :class:`Gauge` — up/down levels (active connections, in-flight
+  jobs), with a high-water mark so a snapshot taken after the load
+  subsided still shows how busy the process got;
 * :class:`LatencyHistogram` — fixed exponential buckets over seconds,
   one histogram per deciding algorithm.  ``CheckResult.method`` already
   names the algorithm that decided each question (``GRepCheck1FD``,
@@ -40,7 +43,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import UsageError
 
-__all__ = ["Counter", "LatencyHistogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "MetricsRegistry"]
 
 #: Default histogram bucket upper bounds, in seconds (exponential; the
 #: final +inf bucket is implicit).
@@ -82,6 +85,55 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self._value})"
+
+
+class Gauge:
+    """A level that moves both ways, with a high-water mark.
+
+    Counters are monotone by contract, so quantities like "connections
+    open right now" need their own primitive; the retained maximum lets
+    dashboards report peak concurrency even from a post-drain snapshot.
+    """
+
+    __slots__ = ("_value", "_high_water", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._high_water = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        """Raise the level by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise UsageError("increment takes a non-negative amount")
+        with self._lock:
+            self._value += amount
+            self._high_water = max(self._high_water, self._value)
+
+    def decrement(self, amount: int = 1) -> None:
+        """Lower the level by ``amount`` (never below zero)."""
+        if amount < 0:
+            raise UsageError("decrement takes a non-negative amount")
+        with self._lock:
+            self._value = max(0, self._value - amount)
+
+    @property
+    def value(self) -> int:
+        """The current level."""
+        return self._value
+
+    @property
+    def high_water(self) -> int:
+        """The highest level ever reached."""
+        return self._high_water
+
+    def snapshot(self) -> Dict[str, int]:
+        """A JSON-ready ``{"value", "high_water"}`` pair."""
+        with self._lock:
+            return {"value": self._value, "high_water": self._high_water}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self._value}, high_water={self._high_water})"
 
 
 class LatencyHistogram:
@@ -174,6 +226,7 @@ class MetricsRegistry:
 
     def __init__(self, event_capacity: int = 10000) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
         self._events: List[Dict[str, Any]] = []
         self._event_capacity = event_capacity
@@ -187,6 +240,13 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter()
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
 
     def histogram(self, name: str) -> LatencyHistogram:
         """The histogram called ``name`` (created on first use)."""
@@ -231,6 +291,10 @@ class MetricsRegistry:
                 name: counter.value
                 for name, counter in sorted(self._counters.items())
             }
+            gauges = {
+                name: gauge.snapshot()
+                for name, gauge in sorted(self._gauges.items())
+            }
             histograms = {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self._histograms.items())
@@ -238,6 +302,7 @@ class MetricsRegistry:
             events = list(self._events)
         return {
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
             "events": events,
         }
@@ -248,6 +313,12 @@ class MetricsRegistry:
         lines = ["counters:"]
         for name, value in snapshot["counters"].items():
             lines.append(f"  {name:<32} {value}")
+        if snapshot["gauges"]:
+            lines.append("gauges (current / high water):")
+            for name, data in snapshot["gauges"].items():
+                lines.append(
+                    f"  {name:<32} {data['value']} / {data['high_water']}"
+                )
         if snapshot["histograms"]:
             lines.append("latency (seconds):")
             lines.append(

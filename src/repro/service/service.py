@@ -320,6 +320,36 @@ class RepairService:
         )
         return self.run_batch([job]).results[0]
 
+    # -- single-job reentrant submission -------------------------------------------
+
+    def run_job(self, job: RepairJob) -> JobResult:
+        """Run one job through the cache → breaker → retry pipeline.
+
+        The single-request front door the async daemon drives: unlike
+        :meth:`run_batch` it holds no batch-wide state, so any number of
+        threads may call it concurrently against one warm service — the
+        result cache, circuit breaker, retry policy, metrics registry,
+        and journal sink are all individually thread-safe.  Each call
+        lands in the same ``jobs.*`` counters and ``latency.*``
+        histograms as a batch job, and freshly computed deterministic
+        results feed the same cache and result sink.
+
+        Two concurrent calls asking the same question may both compute
+        it (there is no cross-request duplicate barrier — that is batch
+        bookkeeping); both produce the identical verdict and the second
+        write to the cache is a no-op refresh.
+        """
+        key = self._cache_key(job)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("cache.hits").increment()
+            result = self._reissue(cached, job, key)
+        else:
+            self.metrics.counter("cache.misses").increment()
+            result = self._execute_one(job, key)
+        self.metrics.counter(f"jobs.{result.status}").increment()
+        return result
+
     # -- batch execution ------------------------------------------------------------
 
     def run_batch(
@@ -490,26 +520,29 @@ class RepairService:
     ) -> None:
         """The serial executor: run each job in line, breaker-guarded."""
         for position, job, key in pending:
-            if self._cancelled_requested():
-                results[position] = self._finish(
-                    job, key, self._cancelled_outcome(job), 0, 0.0
-                )
-                continue
-            problem_key = self._problem_key(job)
-            if not self._breaker.allow(problem_key):
-                results[position] = self._finish(
-                    job, key, self._fast_fail_outcome(job, problem_key),
-                    0, 0.0,
-                )
-                continue
-            outcome, attempts, duration = self._attempt_with_retry(job)
-            self._breaker.record(
-                problem_key,
-                failure=outcome.status == "error" and outcome.worker_failure,
+            results[position] = self._execute_one(job, key)
+
+    def _execute_one(self, job: RepairJob, key: str) -> JobResult:
+        """Cancel/breaker-guarded execution of one cache-missed job.
+
+        The shared in-line execution path: both the serial batch
+        executor and the reentrant :meth:`run_job` route through it, so
+        single-request and batch traffic keep identical cancel, breaker,
+        retry, and finish semantics.
+        """
+        if self._cancelled_requested():
+            return self._finish(job, key, self._cancelled_outcome(job), 0, 0.0)
+        problem_key = self._problem_key(job)
+        if not self._breaker.allow(problem_key):
+            return self._finish(
+                job, key, self._fast_fail_outcome(job, problem_key), 0, 0.0
             )
-            results[position] = self._finish(
-                job, key, outcome, attempts, duration
-            )
+        outcome, attempts, duration = self._attempt_with_retry(job)
+        self._breaker.record(
+            problem_key,
+            failure=outcome.status == "error" and outcome.worker_failure,
+        )
+        return self._finish(job, key, outcome, attempts, duration)
 
     def _attempt_with_retry(
         self, job: RepairJob, attempt_base: int = 0

@@ -1,0 +1,26 @@
+"""``repro.testing`` — ground-truth oracles for conformance testing.
+
+Independent, deliberately naive reimplementations of the paper's
+definitions, used by the test suite to cross-check the production
+checkers.  Nothing here imports from :mod:`repro.core.checking` or
+:mod:`repro.core.improvements` — an oracle that shared code with the
+implementation under test would inherit its bugs.
+"""
+
+from repro.testing.oracle import (
+    ORACLE_MAX_FACTS,
+    oracle_check,
+    oracle_consistent,
+    oracle_is_global_improvement,
+    oracle_is_pareto_improvement,
+    oracle_optimal_repairs,
+)
+
+__all__ = [
+    "ORACLE_MAX_FACTS",
+    "oracle_check",
+    "oracle_consistent",
+    "oracle_is_global_improvement",
+    "oracle_is_pareto_improvement",
+    "oracle_optimal_repairs",
+]

@@ -1,0 +1,288 @@
+"""A brute-force optimal-repair oracle, straight from the definitions.
+
+The production checkers (``check_single_fd``, ``check_two_keys``, the
+improvement search, the dispatcher) earn their polynomial bounds through
+non-obvious characterizations — block swaps, swap graphs, the
+single-swap lemma.  This module is their ground truth: repair checking
+by *exhaustive subset enumeration*, transcribed from Definitions 2.2–2.4
+of the paper with no cleverness at all.
+
+* Consistency is tested by scanning every pair of same-relation facts
+  against every FD (Definition 2.1: two facts violate ``X → Y`` when
+  they agree on ``X`` and disagree on ``Y``).
+* Improvements are evaluated on raw priority *edges* (Definition 2.4),
+  not via the adjacency maps of :class:`~repro.core.priority.
+  PriorityRelation` — the oracle trusts nothing precomputed.
+* ``J`` is a globally-/Pareto-optimal repair iff **no** consistent
+  subset of ``I`` improves it; the oracle literally tries all ``2^|I|``
+  subsets.  Completion-optimality enumerates every acyclic orientation
+  of the unordered conflicting pairs and asks whether some completion
+  makes ``J`` globally optimal.
+
+Everything is exponential (completion doubly so) and guarded by
+:data:`ORACLE_MAX_FACTS`; the conformance suite keeps instances tiny.
+Deliberately, nothing here imports from :mod:`repro.core.checking` or
+:mod:`repro.core.improvements`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Set,
+    Tuple,
+)
+
+from repro.core.fact import Fact
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance
+from repro.core.schema import Schema
+from repro.exceptions import NotASubinstanceError, UsageError
+
+__all__ = [
+    "ORACLE_MAX_FACTS",
+    "oracle_check",
+    "oracle_consistent",
+    "oracle_is_global_improvement",
+    "oracle_is_pareto_improvement",
+    "oracle_optimal_repairs",
+]
+
+#: Hard cap on instance size: ``oracle_check`` enumerates ``2^n``
+#: subsets (and completion-optimality multiplies by orientations), so
+#: anything bigger is a test-suite bug, not a use case.
+ORACLE_MAX_FACTS = 12
+
+_Edges = FrozenSet[Tuple[Fact, Fact]]
+
+
+def oracle_consistent(schema: Schema, facts: Iterable[Fact]) -> bool:
+    """Definition 2.1 verbatim: no pair of facts violates any FD.
+
+    Two facts of relation ``R`` violate ``R : X → Y`` when they agree on
+    every attribute of ``X`` and disagree on some attribute of ``Y``
+    (1-based positions, read directly off ``fact.values``).
+    """
+    fact_list = list(facts)
+    for fd in schema.fds:
+        group = [f for f in fact_list if f.relation == fd.relation]
+        lhs = sorted(fd.lhs)
+        rhs = sorted(fd.rhs)
+        for f, g in combinations(group, 2):
+            agree_lhs = all(f.values[a - 1] == g.values[a - 1] for a in lhs)
+            differ_rhs = any(f.values[a - 1] != g.values[a - 1] for a in rhs)
+            if agree_lhs and differ_rhs:
+                return False
+    return True
+
+
+def oracle_is_global_improvement(
+    other: AbstractSet[Fact],
+    candidate: AbstractSet[Fact],
+    edges: _Edges,
+) -> bool:
+    """Definition 2.4: ``other ≠ candidate`` and every lost fact is
+    ≻-dominated by some gained fact (checked against the raw edges)."""
+    added = frozenset(other) - frozenset(candidate)
+    removed = frozenset(candidate) - frozenset(other)
+    if not added and not removed:
+        return False
+    for lost in removed:
+        if not any(
+            (better, lost) in edges for better in added
+        ):
+            return False
+    return True
+
+
+def oracle_is_pareto_improvement(
+    other: AbstractSet[Fact],
+    candidate: AbstractSet[Fact],
+    edges: _Edges,
+) -> bool:
+    """Definition 2.4: some gained fact ≻-dominates *every* lost fact
+    (vacuously satisfied by proper consistent supersets)."""
+    added = frozenset(other) - frozenset(candidate)
+    removed = frozenset(candidate) - frozenset(other)
+    if not added:
+        return False
+    return any(
+        all((witness, lost) in edges for lost in removed)
+        for witness in added
+    )
+
+
+def _subsets(facts: Tuple[Fact, ...]) -> Iterable[FrozenSet[Fact]]:
+    for mask in range(1 << len(facts)):
+        yield frozenset(
+            fact for bit, fact in enumerate(facts) if mask >> bit & 1
+        )
+
+
+def _candidate_facts(
+    prioritizing: PrioritizingInstance, candidate
+) -> FrozenSet[Fact]:
+    facts = frozenset(
+        candidate.facts if isinstance(candidate, Instance) else candidate
+    )
+    instance_facts = frozenset(prioritizing.instance.facts)
+    if not facts <= instance_facts:
+        stray = next(iter(facts - instance_facts))
+        raise NotASubinstanceError(
+            f"candidate fact {stray} is not in the instance"
+        )
+    if len(instance_facts) > ORACLE_MAX_FACTS:
+        raise UsageError(
+            f"oracle enumerates 2^n subsets; {len(instance_facts)} facts "
+            f"exceeds the cap of {ORACLE_MAX_FACTS}"
+        )
+    return facts
+
+
+def _conflicting_pairs(
+    schema: Schema, facts: Tuple[Fact, ...]
+) -> List[Tuple[Fact, Fact]]:
+    """All conflicting pairs, found by testing 2-fact sets for
+    consistency (FD violations are binary, so this is exactly the
+    conflict graph)."""
+    return [
+        (f, g)
+        for f, g in combinations(facts, 2)
+        if not oracle_consistent(schema, (f, g))
+    ]
+
+
+def _is_acyclic(edges: Set[Tuple[Fact, Fact]]) -> bool:
+    adjacency: Dict[Fact, Set[Fact]] = {}
+    for better, worse in edges:
+        adjacency.setdefault(better, set()).add(worse)
+    state: Dict[Fact, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(node: Fact) -> bool:
+        state[node] = 1
+        for successor in adjacency.get(node, ()):
+            mark = state.get(successor)
+            if mark == 1:
+                return False
+            if mark is None and not visit(successor):
+                return False
+        state[node] = 2
+        return True
+
+    return all(
+        visit(node) for node in list(adjacency) if node not in state
+    )
+
+
+def _globally_optimal_under(
+    schema: Schema,
+    facts: Tuple[Fact, ...],
+    candidate: FrozenSet[Fact],
+    edges: _Edges,
+) -> bool:
+    """No consistent subset of ``I`` globally improves ``candidate``."""
+    return not any(
+        oracle_consistent(schema, subset)
+        and oracle_is_global_improvement(subset, candidate, edges)
+        for subset in _subsets(facts)
+    )
+
+
+def oracle_check(
+    prioritizing: PrioritizingInstance,
+    candidate,
+    semantics: str = "global",
+) -> bool:
+    """Whether ``candidate`` is an optimal repair, by sheer enumeration.
+
+    ``candidate`` may be an :class:`Instance` or any iterable of facts;
+    it must be a subset of the instance (:class:`NotASubinstanceError`
+    otherwise, matching the production checkers).  An inconsistent
+    candidate is never optimal; a non-maximal one is ruled out by its
+    proper consistent supersets, which improve it under both Definition
+    2.4 conditions — no separate maximality test is needed or wanted.
+
+    ``semantics`` is ``"global"``, ``"pareto"``, or ``"completion"``
+    (the last enumerates every completion of ``≻`` — each acyclic
+    orientation of the still-unordered conflicting pairs — and asks
+    whether the candidate is globally optimal under at least one).
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, PrioritizingInstance, Schema
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f, g]), PriorityRelation([(f, g)])
+    ... )
+    >>> oracle_check(pri, [f]), oracle_check(pri, [g])
+    (True, False)
+    """
+    if semantics not in ("global", "pareto", "completion"):
+        raise UsageError(f"unknown semantics {semantics!r}")
+    candidate_facts = _candidate_facts(prioritizing, candidate)
+    schema = prioritizing.schema
+    facts = tuple(sorted(prioritizing.instance.facts, key=str))
+    edges = frozenset(prioritizing.priority.edges)
+    if not oracle_consistent(schema, candidate_facts):
+        return False
+    if semantics == "completion":
+        return _oracle_completion(schema, facts, candidate_facts, edges)
+    improves = (
+        oracle_is_global_improvement
+        if semantics == "global"
+        else oracle_is_pareto_improvement
+    )
+    return not any(
+        oracle_consistent(schema, subset)
+        and improves(subset, candidate_facts, edges)
+        for subset in _subsets(facts)
+    )
+
+
+def _oracle_completion(
+    schema: Schema,
+    facts: Tuple[Fact, ...],
+    candidate: FrozenSet[Fact],
+    edges: _Edges,
+) -> bool:
+    unordered = [
+        (f, g)
+        for f, g in _conflicting_pairs(schema, facts)
+        if (f, g) not in edges and (g, f) not in edges
+    ]
+    for orientation in product((0, 1), repeat=len(unordered)):
+        completed = set(edges)
+        for (f, g), direction in zip(unordered, orientation):
+            completed.add((f, g) if direction == 0 else (g, f))
+        if not _is_acyclic(completed):
+            continue
+        if _globally_optimal_under(
+            schema, facts, candidate, frozenset(completed)
+        ):
+            return True
+    return False
+
+
+def oracle_optimal_repairs(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+) -> List[FrozenSet[Fact]]:
+    """Every optimal repair of the instance, as fact sets (sorted for
+    deterministic comparison).  Doubly exponential; tiny instances only.
+    """
+    facts = tuple(sorted(prioritizing.instance.facts, key=str))
+    return sorted(
+        (
+            subset
+            for subset in _subsets(facts)
+            if oracle_consistent(prioritizing.schema, subset)
+            and oracle_check(prioritizing, subset, semantics)
+        ),
+        key=lambda subset: sorted(map(str, subset)),
+    )

@@ -1,36 +1,39 @@
-"""Shared fixtures and assertion helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The builders and assertion helpers live in :mod:`tests.helpers`; this
+conftest wraps the fixture-shaped ones and re-exports ``make_pri`` /
+``assert_result_witness_valid`` under their historical import path.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    FD,
-    Fact,
-    Instance,
-    PrioritizingInstance,
-    PriorityRelation,
-    Schema,
+from repro.core import Schema
+
+from tests import helpers
+from tests.helpers import (  # noqa: F401  (re-exported for the suite)
+    assert_result_witness_valid,
+    make_pri,
 )
-from repro.core.improvements import is_global_improvement
 
 
 @pytest.fixture
 def single_fd_schema() -> Schema:
     """A binary relation with the key FD ``1 → 2``."""
-    return Schema.single_relation(["1 -> 2"], arity=2)
+    return helpers.single_fd_schema()
 
 
 @pytest.fixture
 def two_keys_schema() -> Schema:
     """A binary relation with keys ``1 → 2`` and ``2 → 1``."""
-    return Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+    return helpers.two_keys_schema()
 
 
 @pytest.fixture
 def hard_schema() -> Schema:
     """The chain schema ``{1 → 2, 2 → 3}`` (= S4, coNP-complete)."""
-    return Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
+    return helpers.hard_schema()
 
 
 @pytest.fixture
@@ -39,37 +42,3 @@ def running():
     from repro.workloads.scenarios import running_example
 
     return running_example()
-
-
-def assert_result_witness_valid(
-    prioritizing: PrioritizingInstance,
-    candidate: Instance,
-    result,
-) -> None:
-    """Validate a negative CheckResult's improvement witness.
-
-    Every checker that reports ``is_optimal=False`` with a witness must
-    hand back a consistent subinstance of ``I`` that globally improves
-    the candidate — this makes the algorithms self-certifying.
-    """
-    if result.is_optimal or result.improvement is None:
-        return
-    improvement = result.improvement
-    assert improvement.facts <= prioritizing.instance.facts
-    assert prioritizing.schema.is_consistent(improvement)
-    assert is_global_improvement(
-        improvement, candidate, prioritizing.priority
-    )
-
-
-def make_pri(
-    schema: Schema,
-    facts,
-    edges,
-    ccp: bool = False,
-) -> PrioritizingInstance:
-    """Shorthand prioritizing-instance builder for tests."""
-    instance = schema.instance(facts)
-    return PrioritizingInstance(
-        schema, instance, PriorityRelation(edges), ccp=ccp
-    )

@@ -9,7 +9,7 @@ priority shape, and candidate choice.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Fact, PrioritizingInstance, Schema
+from repro.core import PrioritizingInstance, Schema
 from repro.core.checking import (
     check_globally_optimal,
     check_globally_optimal_brute_force,
@@ -21,27 +21,17 @@ from repro.workloads.priorities import (
     random_conflict_priority,
 )
 
-from tests.conftest import assert_result_witness_valid
+from tests.helpers import (
+    assert_result_witness_valid,
+    make_instance,
+    rows,
+)
 
 SINGLE_FD = Schema.single_relation(["1 -> 2"], arity=2)
 SINGLE_FD_WIDE = Schema.single_relation(["1 -> 2"], arity=3)
 TWO_KEYS = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
 CONSTANT = Schema.single_relation(["{} -> 1"], arity=2)
 HARD = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
-
-
-def make_instance(schema, rows):
-    relation = next(iter(schema.signature)).name
-    arity = schema.signature.arity(relation)
-    facts = [Fact(relation, tuple(row[:arity])) for row in rows]
-    return schema.instance(facts)
-
-
-def rows(arity, alphabet_size=3, max_rows=7):
-    cell = st.integers(min_value=0, max_value=alphabet_size - 1)
-    return st.lists(
-        st.tuples(*([cell] * arity)), min_size=1, max_size=max_rows
-    )
 
 
 def check_all_repairs(schema, instance, seed, ccp=False):

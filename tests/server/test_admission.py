@@ -1,0 +1,79 @@
+"""Unit tests for the daemon's admission controller."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import UsageError
+from repro.server.admission import AdmissionController
+from repro.service.metrics import MetricsRegistry
+
+
+def test_capacity_is_inflight_plus_queue():
+    controller = AdmissionController(max_inflight=2, queue_limit=3)
+    assert controller.capacity == 5
+    assert controller.admitted == 0
+
+
+def test_admits_up_to_capacity_then_rejects():
+    controller = AdmissionController(max_inflight=1, queue_limit=1)
+    assert controller.try_admit()
+    assert controller.try_admit()
+    assert not controller.try_admit()  # at capacity: reject, don't block
+    controller.release()
+    assert controller.try_admit()  # a release frees a slot
+
+
+def test_metrics_track_accept_reject_and_inflight():
+    metrics = MetricsRegistry()
+    controller = AdmissionController(
+        max_inflight=1, queue_limit=0, metrics=metrics
+    )
+    # Pre-registered at zero so stats always report the pair.
+    assert metrics.counter("server.accepted").value == 0
+    assert metrics.counter("server.rejected_overload").value == 0
+    assert controller.try_admit()
+    assert not controller.try_admit()
+    assert metrics.counter("server.accepted").value == 1
+    assert metrics.counter("server.rejected_overload").value == 1
+    assert metrics.gauge("server.inflight").value == 1
+    controller.release()
+    assert metrics.gauge("server.inflight").value == 0
+
+
+def test_unbalanced_release_raises():
+    controller = AdmissionController(max_inflight=1)
+    with pytest.raises(UsageError):
+        controller.release()
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"max_inflight": 0}, {"max_inflight": 1, "queue_limit": -1}]
+)
+def test_bad_bounds_rejected(kwargs):
+    with pytest.raises(UsageError):
+        AdmissionController(**kwargs)
+
+
+def test_concurrent_hammering_never_exceeds_capacity():
+    controller = AdmissionController(max_inflight=4, queue_limit=4)
+    high_water = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(200):
+            if controller.try_admit():
+                with lock:
+                    high_water.append(controller.admitted)
+                controller.release()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert high_water  # some admissions happened
+    assert max(high_water) <= controller.capacity
+    assert controller.admitted == 0  # every admit was released

@@ -1,17 +1,18 @@
-"""Shared fixtures for the service-layer tests."""
+"""Shared fixtures for the service-layer tests.
+
+The underlying builders live in :mod:`tests.helpers`; ``hard_problem``
+is re-exported here because several service suites import it by this
+path.
+"""
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.core import Fact, PrioritizingInstance, Schema
-from repro.core.repairs import greedy_repair
-from repro.workloads.generators import random_instance_with_conflicts
-from repro.workloads.priorities import random_conflict_priority
-
-from tests.conftest import make_pri
+from tests.helpers import (  # noqa: F401  (re-exported for the suite)
+    hard_problem,
+    simple_problem_bundle,
+)
 
 
 @pytest.fixture
@@ -20,25 +21,7 @@ def simple_problem(single_fd_schema):
 
     Returns ``(prioritizing, optimal_candidate, non_optimal_candidate)``.
     """
-    f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
-    prioritizing = make_pri(single_fd_schema, [f, g], [(f, g)])
-    return (
-        prioritizing,
-        single_fd_schema.instance([f]),
-        single_fd_schema.instance([g]),
-    )
-
-
-def hard_problem(n_facts: int = 40, conflict_rate: float = 0.7, seed: int = 1):
-    """A coNP-hard-schema problem plus a greedy-repair candidate."""
-    schema = Schema.single_relation(["1 -> 2", "2 -> 3"], arity=3)
-    instance = random_instance_with_conflicts(
-        schema, n_facts, conflict_rate, seed=seed
-    )
-    priority = random_conflict_priority(schema, instance, seed=seed)
-    prioritizing = PrioritizingInstance(schema, instance, priority)
-    candidate = greedy_repair(schema, instance, random.Random(seed))
-    return prioritizing, candidate
+    return simple_problem_bundle(single_fd_schema)
 
 
 @pytest.fixture

@@ -10,7 +10,6 @@ and produce the same final JSONL as a never-interrupted run.
 from __future__ import annotations
 
 import json
-import os
 import signal
 import subprocess
 import sys
@@ -24,7 +23,7 @@ from repro.core.priority import PrioritizingInstance
 from repro.io import prioritizing_to_dict
 from repro.service import read_journal
 
-REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+from tests.helpers import subprocess_env, verdict_projection
 
 #: Every first attempt sleeps 60 ms: slow enough for the parent to
 #: interrupt mid-batch, fast enough for CI.
@@ -57,8 +56,6 @@ def write_jobs_file(path: Path) -> None:
 
 
 def serve_batch(jobs_file: Path, out: Path, *extra: str) -> subprocess.Popen:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_SRC)
     return subprocess.Popen(
         [
             sys.executable,
@@ -74,7 +71,7 @@ def serve_batch(jobs_file: Path, out: Path, *extra: str) -> subprocess.Popen:
             str(out),
             *extra,
         ],
-        env=env,
+        env=subprocess_env(),
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -91,23 +88,6 @@ def wait_for_journal_lines(path: Path, minimum: int, timeout: float = 30.0):
     raise AssertionError(
         f"journal never reached {minimum} entries within {timeout}s"
     )
-
-
-def verdict_projection(results_path: Path):
-    """The deterministic slice of each result line (no durations)."""
-    rows = []
-    for line in results_path.read_text().splitlines():
-        record = json.loads(line)
-        rows.append(
-            {
-                key: record[key]
-                for key in (
-                    "job_id", "status", "is_optimal", "semantics",
-                    "method", "reason",
-                )
-            }
-        )
-    return rows
 
 
 @pytest.mark.slow
