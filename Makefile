@@ -1,7 +1,7 @@
 # Convenience targets for the repro repository.
 
 .PHONY: install test lint typecheck coverage bench bench-tables \
-	service-bench perf chaos examples all clean
+	service-bench perf perf-compute chaos examples all clean
 
 install:
 	pip install -e .
@@ -9,7 +9,7 @@ install:
 test:
 	pytest tests/
 
-# Project-invariant lint (rules RL001-RL007, docs/lint_rules.md) plus
+# Project-invariant lint (rules RL001-RL008, docs/lint_rules.md) plus
 # ruff style checks when ruff is installed (CI always installs it).
 lint:
 	PYTHONPATH=src python -m repro.devtools.lint
@@ -28,14 +28,14 @@ typecheck:
 		echo "mypy not installed; skipping typecheck (CI runs it)"; \
 	fi
 
-# Line+branch coverage of the checking engine and the daemon, gated at
-# the fail_under threshold in pyproject.toml ([tool.coverage.report]).
-# Skipped gracefully when pytest-cov is not installed (CI installs it
-# and enforces the gate on every push).
+# Line+branch coverage of the checking engine, the daemon, and the
+# compute layer, gated at the fail_under threshold in pyproject.toml
+# ([tool.coverage.report]).  Skipped gracefully when pytest-cov is not
+# installed (CI installs it and enforces the gate on every push).
 coverage:
 	@if PYTHONPATH=src python -c "import pytest_cov" 2>/dev/null; then \
 		PYTHONPATH=src python -m pytest tests/ -q \
-			--cov=repro.core --cov=repro.server \
+			--cov=repro.core --cov=repro.server --cov=repro.compute \
 			--cov-report=term-missing; \
 	else \
 		echo "pytest-cov not installed; skipping coverage (CI runs it)"; \
@@ -67,6 +67,12 @@ chaos:
 # QUICK=1 runs the smallest workload only (CI smoke).
 perf:
 	PYTHONPATH=src python benchmarks/bench_core_fastpaths.py $(if $(QUICK),--quick)
+
+# Compute-layer fast paths (optimal-repair construction and entailment
+# counting) vs their enumeration baselines; writes BENCH_compute.json
+# and fails on regression vs the committed numbers.
+perf-compute:
+	PYTHONPATH=src python benchmarks/bench_compute.py $(if $(QUICK),--quick)
 
 examples:
 	for script in examples/*.py; do \

@@ -1,0 +1,377 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the compute-layer fast paths.
+
+Times the compute subsystem's polynomial paths against their
+enumeration baselines, on the random generator workloads:
+
+* ``construct``  — ``compute_optimal_repair`` (one greedy
+  forced-orientation run) vs finding an optimal repair by enumerating
+  preferred repairs (the pre-compute-layer recipe);
+* ``count_entailing`` — ``count_repairs_entailing`` (per-block product
+  decomposition) vs the walk-every-preferred-repair tally;
+* ``count_repairs`` — ``count_repairs_fast`` (single-FD block product)
+  vs the demoted enumerative counter.
+
+Instances stay moderate because every baseline is exponential in the
+block structure — that asymmetry is what the fast paths remove and
+what this harness certifies.  Results land in ``BENCH_compute.json``
+as a machine-readable trajectory point.
+
+Regression guard: speedup ratios (baseline / optimized, same run, same
+machine) are compared against the committed ``BENCH_compute.json``.
+The run fails when an entry's speedup drops below ``(1 - tolerance)``
+of the committed value (default tolerance 25%), or when the overall
+geometric-mean speedup falls under ``--min-geomean``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compute.py [--quick]
+
+or simply ``make perf-compute`` / ``make perf-compute QUICK=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.compute import (  # noqa: E402
+    compute_optimal_repair,
+    count_repairs_entailing,
+)
+from repro.core.checking import check_globally_optimal  # noqa: E402
+from repro.core.counting import count_repairs_fast  # noqa: E402
+from repro.core.priority import PrioritizingInstance  # noqa: E402
+from repro.core.repairs import (  # noqa: E402
+    _count_repairs_enumerative,
+    enumerate_repairs,
+)
+from repro.core.schema import Schema  # noqa: E402
+from repro.cqa.consistent_answers import preferred_repairs  # noqa: E402
+from repro.cqa.evaluation import holds  # noqa: E402
+from repro.cqa.queries import Atom, ConjunctiveQuery  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    random_instance_with_conflicts,
+)
+from repro.workloads.priorities import random_conflict_priority  # noqa: E402
+
+DENSITY = 0.7
+SEED = 7
+
+
+def make_problem(size: int) -> PrioritizingInstance:
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    instance = random_instance_with_conflicts(
+        schema, size, DENSITY, seed=SEED
+    )
+    priority = random_conflict_priority(schema, instance, seed=SEED)
+    return PrioritizingInstance(schema, instance, priority)
+
+
+def construct_by_enumeration(prioritizing: PrioritizingInstance):
+    """The pre-compute-layer recipe: check every repair, keep an optimum.
+
+    Deliberately a full scan rather than first-hit-wins:
+    ``enumerate_repairs`` order varies with the process hash seed, so an
+    early exit would make the baseline's workload (and the regression
+    guard's ratios) depend on where an optimum happens to land.
+    """
+    optimal = [
+        repair
+        for repair in enumerate_repairs(
+            prioritizing.schema, prioritizing.instance
+        )
+        if check_globally_optimal(prioritizing, repair).is_optimal
+    ]
+    assert optimal, "every instance has an optimal repair"
+    return min(optimal, key=lambda repair: sorted(map(str, repair)))
+
+
+def count_by_enumeration(query, prioritizing, semantics):
+    """The enumeration tally the block product replaces."""
+    entailing = 0
+    total = 0
+    for repair in preferred_repairs(prioritizing, semantics=semantics):
+        total += 1
+        if holds(query, repair):
+            entailing += 1
+    return entailing, total
+
+
+def workload_construct(size):
+    prioritizing = make_problem(size)
+    optimized = lambda: [  # noqa: E731
+        compute_optimal_repair(
+            prioritizing, "global", rng=random.Random(SEED)
+        ).repair
+        for _ in range(CONSTRUCT_BATCH)
+    ]
+    baseline = lambda: [  # noqa: E731
+        construct_by_enumeration(prioritizing)
+        for _ in range(CONSTRUCT_BATCH)
+    ]
+
+    def agree():
+        constructed = compute_optimal_repair(
+            prioritizing, "global", rng=random.Random(SEED)
+        ).repair
+        return check_globally_optimal(prioritizing, constructed).is_optimal
+
+    return prioritizing, optimized, baseline, agree
+
+
+def workload_count_entailing(size):
+    prioritizing = make_problem(size)
+    fact = sorted(prioritizing.instance.facts, key=str)[0]
+    query = ConjunctiveQuery((), (Atom(fact.relation, fact.values),))
+    optimized = lambda: [  # noqa: E731
+        count_repairs_entailing(query, prioritizing, "global")
+        for _ in range(ENTAIL_BATCH)
+    ]
+    baseline = lambda: [  # noqa: E731
+        count_by_enumeration(query, prioritizing, "global")
+        for _ in range(ENTAIL_BATCH)
+    ]
+
+    def agree():
+        fast = count_repairs_entailing(query, prioritizing, "global")
+        return (fast.entailing, fast.total) == count_by_enumeration(
+            query, prioritizing, "global"
+        )
+
+    return prioritizing, optimized, baseline, agree
+
+
+#: Inner iterations per timed call.  The optimized sides are
+#: sub-millisecond, so a single call is timer noise, which would trip
+#: the regression guard spuriously; batching amortizes the jitter
+#: identically on both sides of every ratio.
+CONSTRUCT_BATCH = 100
+ENTAIL_BATCH = 20
+COUNT_BATCH = 200
+
+
+def workload_count_repairs(size):
+    prioritizing = make_problem(size)
+    schema, instance = prioritizing.schema, prioritizing.instance
+    optimized = lambda: [  # noqa: E731
+        count_repairs_fast(schema, instance) for _ in range(COUNT_BATCH)
+    ]
+    baseline = lambda: [  # noqa: E731
+        _count_repairs_enumerative(schema, instance)
+        for _ in range(COUNT_BATCH)
+    ]
+
+    def agree():
+        return count_repairs_fast(schema, instance) == (
+            _count_repairs_enumerative(schema, instance)
+        )
+
+    return prioritizing, optimized, baseline, agree
+
+
+WORKLOADS: Dict[str, Callable] = {
+    "construct": workload_construct,
+    "count_entailing": workload_count_entailing,
+    "count_repairs": workload_count_repairs,
+}
+
+
+def timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_entry(workload: str, size: int, repeats: int):
+    """Time both sides *interleaved* and take the median per-pair ratio.
+
+    Timing one side to completion and then the other makes the speedup
+    hostage to CPU contention that spans one side but not the other; a
+    back-to-back pair shares its noise, so the per-pair ratio is stable
+    and the median discards the worst-hit pairs.
+    """
+    prioritizing, optimized, baseline, agree = WORKLOADS[workload](size)
+    agreement = bool(agree())  # warmup + correctness cross-check
+    gc.collect()
+    gc.disable()  # a collection inside one side of a pair skews its ratio
+    try:
+        pairs = [
+            (timed(optimized), timed(baseline)) for _ in range(repeats)
+        ]
+    finally:
+        gc.enable()
+    ratios = sorted(b / o for o, b in pairs)
+    speedup = ratios[len(ratios) // 2]
+    return {
+        "workload": workload,
+        "size": size,
+        "density": DENSITY,
+        "seed": SEED,
+        "instance_facts": len(prioritizing.instance),
+        "optimized_s": min(o for o, _ in pairs),
+        "baseline_s": min(b for _, b in pairs),
+        "speedup": speedup,
+        "agree": agreement,
+    }
+
+
+def geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def entry_key(entry: dict) -> Tuple:
+    return (entry["workload"], entry["size"], entry["density"], entry["seed"])
+
+
+def compare_to_committed(
+    entries: List[dict], committed: dict, tolerance: float
+) -> List[str]:
+    """Regression messages for entries slower than the committed run."""
+    failures = []
+    committed_by_key = {
+        entry_key(e): e for e in committed.get("entries", [])
+    }
+    for entry in entries:
+        old = committed_by_key.get(entry_key(entry))
+        if old is None:
+            continue
+        floor = (1.0 - tolerance) * old["speedup"]
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{entry['workload']} @ size {entry['size']}: speedup "
+                f"{entry['speedup']:.2f}x fell below {floor:.2f}x "
+                f"(committed {old['speedup']:.2f}x, tolerance "
+                f"{tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smallest size only, fewer repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_compute.json",
+        help="where to write the results (default: repo BENCH_compute.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed results to regress against (default: the "
+        "pre-existing --output file, when present)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the regression comparison (first-run bootstrap)",
+    )
+    parser.add_argument(
+        "--min-geomean",
+        type=float,
+        default=2.0,
+        help="fail when the overall geometric-mean speedup is below this",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed per-entry speedup drop vs the committed run",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [12] if args.quick else [12, 16, 20]
+    repeats = 3 if args.quick else 5
+
+    baseline_path = args.baseline or args.output
+    committed = None
+    if not args.no_compare and baseline_path.exists():
+        committed = json.loads(baseline_path.read_text())
+
+    entries = []
+    for workload in WORKLOADS:
+        for size in sizes:
+            entry = run_entry(workload, size, repeats)
+            entries.append(entry)
+            print(
+                f"{workload:>16} size={size:<4} "
+                f"optimized={1e3 * entry['optimized_s']:8.2f} ms  "
+                f"baseline={1e3 * entry['baseline_s']:8.2f} ms  "
+                f"speedup={entry['speedup']:6.2f}x  "
+                f"agree={entry['agree']}"
+            )
+
+    per_workload = {
+        workload: geomean(
+            [e["speedup"] for e in entries if e["workload"] == workload]
+        )
+        for workload in WORKLOADS
+    }
+    overall = geomean([e["speedup"] for e in entries])
+    report = {
+        "version": 1,
+        "generated_by": "benchmarks/bench_compute.py",
+        "quick": args.quick,
+        "config": {
+            "sizes": sizes,
+            "density": DENSITY,
+            "seed": SEED,
+            "repeats": repeats,
+        },
+        "entries": entries,
+        "geomean_speedup_per_workload": per_workload,
+        "geomean_speedup": overall,
+        "python": sys.version.split()[0],
+    }
+
+    failures = []
+    if not all(e["agree"] for e in entries):
+        failures.append(
+            "a fast path disagreed with its enumeration baseline"
+        )
+    if overall < args.min_geomean:
+        failures.append(
+            f"overall geomean speedup {overall:.2f}x is below the "
+            f"{args.min_geomean:.2f}x floor"
+        )
+    if committed is not None:
+        failures.extend(
+            compare_to_committed(
+                entries, committed, args.regression_tolerance
+            )
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nper-workload geomean speedups:")
+    for workload, value in per_workload.items():
+        print(f"  {workload:>16}: {value:6.2f}x")
+    print(f"overall geomean speedup: {overall:.2f}x")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from repro.core.checking import (
     check_globally_optimal_brute_force,
     check_globally_optimal_search,
 )
-from repro.core.repairs import count_repairs
+from repro.core.repairs import _count_repairs_enumerative as count_repairs
 from repro.core.schema import Schema
 
 from conftest import make_checking_input, print_series

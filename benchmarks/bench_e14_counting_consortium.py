@@ -10,7 +10,7 @@ reports the optimal-repair census as the priority gets more decisive.
 import pytest
 
 from repro.core.counting import count_repairs_fast, optimal_repair_census
-from repro.core.repairs import count_repairs
+from repro.core.repairs import _count_repairs_enumerative as count_repairs
 from repro.engine import RepairManager
 from repro.workloads.consortium import consortium_scenario, consortium_schema
 

@@ -9,7 +9,7 @@ PTIME checker beats the brute force by widening margins.
 import pytest
 
 from repro.core.checking import check_globally_optimal
-from repro.core.repairs import count_repairs
+from repro.core.repairs import _count_repairs_enumerative as count_repairs
 from repro.core.schema import Schema
 
 from conftest import make_checking_input, print_series

@@ -15,6 +15,12 @@ Subcommands
 ``repro clean problem.json --out cleaned.json``
     Load a JSON cleaning problem (see :mod:`repro.io`), produce a
     preferred repair, certify it, and optionally write the result.
+``repro repair problem.json --semantics pareto --out repair.json``
+    Construct an optimal repair directly through
+    :func:`repro.compute.compute_optimal_repair`: exact greedy
+    construction on the tractable side, the anytime improvement climb
+    (``--budget`` / ``--timeout``) on the coNP-hard side, certified by
+    the corresponding checker before printing.
 ``repro explain "R:3; 1 -> 2; 2 -> 3"``
     Prose classification of a schema under both theorems.
 ``repro stats problem.json``
@@ -34,14 +40,15 @@ Subcommands
 ``repro serve --socket /tmp/repro.sock`` / ``repro serve --port 7464``
     Run the persistent async repair-checking daemon: one warm
     :class:`~repro.service.RepairService` behind a unix or TCP socket
-    speaking newline-delimited JSON (``check``, ``classify``, ``ping``,
-    ``stats``, ``drain`` — see :mod:`repro.server.protocol`).
+    speaking newline-delimited JSON (``check``, ``repair``, ``count``,
+    ``classify``, ``ping``, ``stats``, ``drain`` — see
+    :mod:`repro.server.protocol`).
     Admission control rejects work beyond ``--max-inflight`` +
     ``--queue-limit`` with explicit ``overloaded`` errors; SIGINT or
     SIGTERM drains gracefully (in-flight checks finish, the
     ``--journal`` is flushed, a final metrics snapshot is printed).
 ``repro lint --format json src``
-    Run the project-invariant AST linter (rules RL001-RL007; see
+    Run the project-invariant AST linter (rules RL001-RL008; see
     :mod:`repro.devtools.lint` and ``docs/lint_rules.md``); all
     arguments are forwarded to ``python -m repro.devtools.lint``.
 
@@ -189,6 +196,66 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.out}")
     return 0 if result.is_optimal else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    import json
+    import random
+
+    from repro.compute import compute_optimal_repair
+    from repro.core.checking import (
+        check_completion_optimal,
+        check_globally_optimal,
+        check_pareto_optimal,
+    )
+    from repro.exceptions import ReproError
+    from repro.io import instance_to_list, load_prioritizing_instance
+
+    prioritizing = load_prioritizing_instance(args.problem)
+    try:
+        computed = compute_optimal_repair(
+            prioritizing,
+            semantics=args.semantics,
+            rng=random.Random(args.seed),
+            node_budget=args.budget,
+            deadline=None,
+        )
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"loaded {len(prioritizing.instance)} facts, "
+        f"{len(prioritizing.priority)} priorities "
+        f"(ccp={prioritizing.is_ccp})"
+    )
+    print(
+        f"computed {args.semantics}-optimal repair: status={computed.status} "
+        f"method={computed.method} rounds={computed.rounds}"
+    )
+    if computed.reason:
+        print(f"  {computed.reason}")
+    print(f"repair keeps {len(computed.repair)} facts")
+    certified = None
+    if computed.status == "ok":
+        checker = {
+            "global": check_globally_optimal,
+            "pareto": check_pareto_optimal,
+            "completion": check_completion_optimal,
+        }[args.semantics]
+        try:
+            certified = checker(prioritizing, computed.repair).is_optimal
+        except UsageError as exc:
+            print(f"certification unavailable: {exc}")
+        else:
+            print(f"certified {args.semantics}-optimal: {certified}")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(instance_to_list(computed.repair), indent=2)
+        )
+        print(f"wrote {args.out}")
+    if computed.status != "ok":
+        return 2
+    return 0 if certified in (True, None) else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -451,6 +518,32 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--seed", type=int, default=0)
     clean.set_defaults(handler=_cmd_clean)
 
+    repair = subparsers.add_parser(
+        "repair",
+        help="construct an optimal repair for a JSON problem file",
+        description="Construct a globally-/Pareto-/completion-optimal "
+        "repair directly (repro.compute): exact greedy construction "
+        "whenever the priority is classical, the budgeted anytime "
+        "improvement climb on hard ccp inputs (best-so-far repair with "
+        "status=degraded when the budget runs out).",
+    )
+    repair.add_argument("problem", help="path to a repro.io problem JSON")
+    repair.add_argument(
+        "--semantics",
+        choices=["global", "pareto", "completion"],
+        default="global",
+    )
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="improvement-round budget for the anytime climb on hard "
+        "ccp inputs (None = unbounded)",
+    )
+    repair.add_argument("--out", help="write the repair's facts here")
+    repair.set_defaults(handler=_cmd_repair)
+
     explain = subparsers.add_parser(
         "explain", help="prose classification under both theorems"
     )
@@ -541,8 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the persistent async repair-checking daemon",
         description="Keep one warm RepairService behind a socket "
-        "speaking newline-delimited JSON (ops: check, classify, ping, "
-        "stats, drain; see repro.server.protocol).  Drains gracefully "
+        "speaking newline-delimited JSON (ops: check, repair, count, "
+        "classify, ping, stats, drain; see repro.server.protocol).  "
+        "Drains gracefully "
         "on SIGINT/SIGTERM: in-flight jobs finish, the journal is "
         "flushed, and a final metrics snapshot is printed.",
     )
@@ -617,7 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="run the project-invariant AST linter (rules RL001-RL007)",
+        help="run the project-invariant AST linter (rules RL001-RL008)",
         add_help=False,
     )
     lint.add_argument(

@@ -1,0 +1,254 @@
+"""Constructing optimal repairs (the dichotomies' companion problem).
+
+Checking whether a *given* repair is optimal and *finding* one are
+different problems with different frontiers: Livshits–Kimelfeld–Roy
+(arXiv:1712.07705) show that an optimal repair can be constructed in
+polynomial time in settings well beyond the checking dichotomy's
+tractable side.  The engine of this module is that asymmetry:
+
+* **Classical priorities** (the paper's Section 2.3 setting).  One run
+  of the greedy procedure with forced orientations
+  (:func:`repro.core.checking.completion.greedy_completion_repair`)
+  outputs a completion-optimal repair, and by the semantics chain
+  ``completion ⊆ global ⊆ pareto`` that repair is also globally- and
+  Pareto-optimal.  This works for *every* schema — including the
+  coNP-hard-to-check ones of Theorem 3.1 — so the classical side of
+  :func:`compute_optimal_repair` is polynomial for all three semantics.
+* **ccp priorities** (Section 7).  Preference edges may cross conflict
+  boundaries, the greedy characterization no longer applies, and this
+  module falls back to an *anytime improvement climb*: start from any
+  repair, repeatedly ask the exact searchers for an improvement, and
+  extend each improvement witness back into a repair.  The climb is
+  budgeted exactly like
+  :func:`~repro.core.checking.improvement_search.check_globally_optimal_search`
+  (``node_budget`` per climb round, a monotonic ``deadline`` overall)
+  and always returns its best-so-far repair, downgrading the status to
+  ``degraded`` or ``timeout`` instead of failing.
+
+The witness-extension step is the load-bearing lemma: if ``J'``
+globally (or Pareto) improves ``J`` and ``J'' ⊇ J'`` is a repair, then
+``J''`` still improves ``J`` — lost facts only shrink
+(``J \\ J'' ⊆ J \\ J'``) while gained facts only grow.  Extending with
+:func:`~repro.core.repairs.greedy_repair` and the witness facts first
+(they are mutually consistent, so all of them are kept) therefore turns
+any improvement witness into a strictly better *repair*.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set
+
+from repro.core.checking.completion import greedy_completion_repair
+from repro.core.checking.improvement_search import find_global_improvement
+from repro.core.improvements import find_pareto_improvement
+from repro.core.instance import Instance
+from repro.core.priority import PrioritizingInstance, PriorityRelation
+from repro.core.repairs import greedy_repair
+from repro.core.schema import Schema
+from repro.exceptions import SearchBudgetExceededError, UsageError
+
+__all__ = [
+    "SEMANTICS",
+    "ComputedRepair",
+    "compute_optimal_repair",
+    "find_optimal_repair",
+]
+
+#: The closed vocabulary of preference semantics the constructors accept.
+SEMANTICS = ("global", "pareto", "completion")
+
+#: Method label for the classical one-shot greedy construction.
+GREEDY_METHOD = "greedy-forced-orientations"
+
+#: Method label for the ccp anytime improvement climb.
+ANYTIME_METHOD = "anytime-improvement-climb"
+
+
+def _require_semantics(semantics: str) -> None:
+    """Reject semantics outside the closed vocabulary up front."""
+    if semantics not in SEMANTICS:
+        raise UsageError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}"
+        )
+
+
+@dataclass(frozen=True)
+class ComputedRepair:
+    """A constructed repair plus the claim the constructor makes for it.
+
+    ``repair`` is always a genuine repair (maximal consistent
+    subinstance).  ``status`` qualifies the optimality claim:
+
+    * ``"ok"`` — the repair is optimal under ``semantics``;
+    * ``"degraded"`` — the climb ran out of node budget (or detected an
+      improvement cycle); the repair is the best one found;
+    * ``"timeout"`` — the climb hit its wall-clock deadline; the repair
+      is the best one found.
+    """
+
+    repair: Instance
+    status: str
+    semantics: str
+    method: str
+    reason: str = ""
+    rounds: int = 1
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the optimality claim is unconditional."""
+        return self.status == "ok"
+
+
+def compute_optimal_repair(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+    rng: Optional[random.Random] = None,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> ComputedRepair:
+    """Construct an optimal repair of ``prioritizing`` under ``semantics``.
+
+    For classical priorities this is one polynomial greedy run for every
+    schema and every semantics; distinct ``rng`` streams reach distinct
+    optimal repairs.  For ccp priorities under ``"global"`` or
+    ``"pareto"`` the anytime climb applies, with ``node_budget``
+    bounding each improvement search round and ``deadline`` (a
+    :func:`time.monotonic` timestamp) bounding the whole climb;
+    ``"completion"`` semantics rejects ccp instances
+    (:class:`~repro.exceptions.InvalidPriorityError`), matching the
+    checkers.
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, Schema
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([new, old]),
+    ...     PriorityRelation([(new, old)]),
+    ... )
+    >>> result = compute_optimal_repair(pri, "global")
+    >>> (result.status, sorted(map(str, result.repair)))
+    ('ok', ["R(1, 'new')"])
+    """
+    _require_semantics(semantics)
+    rng = rng or random.Random(0)
+    if not prioritizing.is_ccp or semantics == "completion":
+        # `greedy_completion_repair` rejects ccp itself, so the
+        # completion/ccp combination raises InvalidPriorityError here.
+        repair = greedy_completion_repair(prioritizing, rng)
+        return ComputedRepair(
+            repair=repair,
+            status="ok",
+            semantics=semantics,
+            method=GREEDY_METHOD,
+            reason=(
+                "classical priority: a greedy forced-orientation run is "
+                "completion-optimal, hence globally- and Pareto-optimal"
+            ),
+        )
+    return _anytime_climb(prioritizing, semantics, rng, node_budget, deadline)
+
+
+def _extend_witness(
+    prioritizing: PrioritizingInstance,
+    witness: Instance,
+    candidate: Instance,
+    rng: random.Random,
+) -> Instance:
+    """Grow an improvement witness into a repair that still improves.
+
+    Witness facts go first in the greedy preference order (mutually
+    consistent, so all survive), then the candidate's facts (so the
+    extension discards as little as possible), then everything else.
+    """
+    prefer = sorted(witness.facts, key=str) + sorted(candidate.facts, key=str)
+    return greedy_repair(
+        prioritizing.schema, prioritizing.instance, rng, prefer=prefer
+    )
+
+
+def _anytime_climb(
+    prioritizing: PrioritizingInstance,
+    semantics: str,
+    rng: random.Random,
+    node_budget: Optional[int],
+    deadline: Optional[float],
+) -> ComputedRepair:
+    """Improvement climbing for ccp priorities (global/pareto)."""
+    candidate = greedy_repair(prioritizing.schema, prioritizing.instance, rng)
+    seen: Set[FrozenSet] = {frozenset(candidate.facts)}
+    rounds = 0
+    while True:
+        rounds += 1
+        if deadline is not None and time.monotonic() > deadline:
+            return ComputedRepair(
+                candidate, "timeout", semantics, ANYTIME_METHOD,
+                reason="the climb hit its deadline; best-so-far repair",
+                rounds=rounds,
+            )
+        try:
+            if semantics == "global":
+                witness = find_global_improvement(
+                    prioritizing, candidate,
+                    node_budget=node_budget, deadline=deadline,
+                )
+            else:
+                witness = find_pareto_improvement(prioritizing, candidate)
+                if node_budget is not None and rounds > node_budget:
+                    raise SearchBudgetExceededError("nodes", rounds, node_budget)
+        except SearchBudgetExceededError as exc:
+            status = "timeout" if exc.kind == "deadline" else "degraded"
+            return ComputedRepair(
+                candidate, status, semantics, ANYTIME_METHOD,
+                reason=str(exc), rounds=rounds,
+            )
+        if witness is None:
+            return ComputedRepair(
+                candidate, "ok", semantics, ANYTIME_METHOD, rounds=rounds
+            )
+        better = _extend_witness(prioritizing, witness, candidate, rng)
+        key = frozenset(better.facts)
+        if key in seen:
+            # The improvement relation is not a partial order on ccp
+            # instances; a revisit means the climb is orbiting.
+            return ComputedRepair(
+                candidate, "degraded", semantics, ANYTIME_METHOD,
+                reason="improvement cycle detected; best-so-far repair",
+                rounds=rounds,
+            )
+        seen.add(key)
+        candidate = better
+
+
+def find_optimal_repair(
+    schema: Schema,
+    instance: Instance,
+    priority: PriorityRelation,
+    semantics: str = "global",
+    ccp: bool = False,
+    seed: int = 0,
+    node_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> ComputedRepair:
+    """Construct an optimal repair from the raw ``(schema, I, ≻)`` triple.
+
+    The loose-argument companion of :func:`compute_optimal_repair`:
+    validates the triple by building the
+    :class:`~repro.core.priority.PrioritizingInstance` (so cyclic or
+    cross-conflict priorities raise the usual library errors) and seeds
+    the greedy tie-breaking RNG with ``seed`` — equal seeds give equal
+    repairs, distinct seeds explore distinct optima.
+    """
+    _require_semantics(semantics)
+    prioritizing = PrioritizingInstance(schema, instance, priority, ccp=ccp)
+    return compute_optimal_repair(
+        prioritizing,
+        semantics,
+        rng=random.Random(seed),
+        node_budget=node_budget,
+        deadline=deadline,
+    )

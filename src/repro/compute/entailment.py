@@ -1,0 +1,174 @@
+"""Counting the preferred repairs that entail a conjunctive query.
+
+Calautti, Pieris and Livshits ("Counting Database Repairs Entailing a
+Query", arXiv:2112.09617) study the problem behind this module: given
+an inconsistent instance, how many of its repairs satisfy a boolean
+query?  The fraction of entailing repairs is a natural confidence score
+for a query answer — strictly finer-grained than the all-or-nothing
+certain-answer semantics of :mod:`repro.cqa`.
+
+Two evaluation paths, mirroring :mod:`repro.core.counting`:
+
+* **Block-product fast path** — for classical priorities over schemas
+  whose every ``Δ|R`` is equivalent to a single FD, and a single
+  ground (variable-free) atom, the count factorizes per FD-block
+  (:func:`repro.core.counting_optimal.count_optimal_repairs_with_fact`)
+  and is polynomial.
+* **Enumeration** — every other combination walks
+  :func:`repro.cqa.preferred_repairs` and evaluates the query on each
+  repair; exact but exponential, with an optional ``max_repairs`` cap
+  that degrades the result to a lower bound instead of hanging.
+
+A query *entails* in a repair when it has at least one answer there
+(for boolean queries: when it holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.counting_optimal import count_optimal_repairs_with_fact
+from repro.core.fact import Fact
+from repro.core.priority import PrioritizingInstance
+from repro.cqa.consistent_answers import preferred_repairs
+from repro.cqa.evaluation import holds
+from repro.cqa.queries import ConjunctiveQuery
+from repro.exceptions import UsageError
+
+__all__ = ["EntailmentCount", "count_repairs_entailing"]
+
+#: Semantics the counter accepts (the preferred-repair chain).
+COUNT_SEMANTICS = ("global", "pareto", "completion", "all")
+
+#: Method label for the per-block product decomposition.
+BLOCK_METHOD = "block-product"
+
+#: Method label for the enumeration fallback.
+ENUMERATION_METHOD = "enumeration"
+
+
+def _require_semantics(semantics: str) -> None:
+    if semantics not in COUNT_SEMANTICS:
+        raise UsageError(
+            f"unknown semantics {semantics!r}; "
+            f"expected one of {COUNT_SEMANTICS}"
+        )
+
+
+@dataclass(frozen=True)
+class EntailmentCount:
+    """How many preferred repairs entail the query.
+
+    ``exact`` is False only when an enumeration cap (``max_repairs``)
+    stopped the count early — then ``entailing`` and ``total`` are the
+    tallies over the repairs actually examined, and ``status`` is
+    ``"degraded"``.
+    """
+
+    entailing: int
+    total: int
+    semantics: str
+    method: str
+    exact: bool = True
+    reason: str = ""
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` for exact counts, ``"degraded"`` for capped ones."""
+        return "ok" if self.exact else "degraded"
+
+    @property
+    def fraction(self) -> float:
+        """The entailing share — 0.0 when there are no repairs at all."""
+        if self.total == 0:
+            return 0.0
+        return self.entailing / self.total
+
+
+def _ground_atom_fact(query: ConjunctiveQuery) -> Optional[Fact]:
+    """The query's single ground atom as a fact, or None.
+
+    The block-product path applies only to a one-atom variable-free
+    body (safety then forces an empty head, so the query is boolean).
+    """
+    if len(query.body) != 1 or query.head:
+        return None
+    atom = query.body[0]
+    if atom.variables():
+        return None
+    return Fact(atom.relation, atom.terms)
+
+
+def count_repairs_entailing(
+    query: ConjunctiveQuery,
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+    max_repairs: Optional[int] = None,
+) -> EntailmentCount:
+    """Count the ``semantics``-preferred repairs in which ``query`` holds.
+
+    ``semantics`` is ``"global"``, ``"pareto"``, ``"completion"``, or
+    ``"all"`` (plain subset repairs).  ``max_repairs`` caps how many
+    preferred repairs the enumeration fallback examines; hitting the
+    cap returns a degraded (``exact=False``) partial count rather than
+    running forever on astronomically repaired instances.
+
+    Examples
+    --------
+    >>> from repro.core import Fact, PriorityRelation, PrioritizingInstance, Schema
+    >>> from repro.cqa import Atom, ConjunctiveQuery
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> new, old = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([new, old]),
+    ...     PriorityRelation([(new, old)]),
+    ... )
+    >>> q = ConjunctiveQuery((), (Atom("R", (1, "new")),))
+    >>> result = count_repairs_entailing(q, pri, "global")
+    >>> (result.entailing, result.total, result.fraction)
+    (1, 1, 1.0)
+    """
+    _require_semantics(semantics)
+    query.validate_against(prioritizing.schema)
+    fact = _ground_atom_fact(query)
+    if (
+        fact is not None
+        and semantics in ("global", "pareto")
+        and not prioritizing.is_ccp
+    ):
+        counts = count_optimal_repairs_with_fact(
+            prioritizing, fact, semantics
+        )
+        if counts is not None:
+            entailing, total = counts
+            return EntailmentCount(
+                entailing=entailing,
+                total=total,
+                semantics=semantics,
+                method=BLOCK_METHOD,
+            )
+    entailing = 0
+    total = 0
+    for repair in preferred_repairs(prioritizing, semantics=semantics):
+        if max_repairs is not None and total >= max_repairs:
+            return EntailmentCount(
+                entailing=entailing,
+                total=total,
+                semantics=semantics,
+                method=ENUMERATION_METHOD,
+                exact=False,
+                reason=(
+                    f"stopped after examining {total} preferred repairs "
+                    f"(max_repairs={max_repairs})"
+                ),
+            )
+        total += 1
+        if holds(query, repair):
+            entailing += 1
+    return EntailmentCount(
+        entailing=entailing,
+        total=total,
+        semantics=semantics,
+        method=ENUMERATION_METHOD,
+    )

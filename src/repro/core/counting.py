@@ -33,8 +33,7 @@ from repro.core.checking import (
 from repro.core.classification import equivalent_single_fd
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
-from repro.core.repairs import count_repairs as _count_repairs_enumerative
-from repro.core.repairs import enumerate_repairs
+from repro.core.repairs import _count_repairs_enumerative, enumerate_repairs
 from repro.core.schema import Schema
 
 from repro.exceptions import UsageError

@@ -45,6 +45,7 @@ from repro.exceptions import UsageError
 __all__ = [
     "count_globally_optimal_repairs",
     "count_pareto_optimal_repairs",
+    "count_optimal_repairs_with_fact",
     "eligible_groups_per_block",
     "fast_fact_survival_census",
     "enumerate_optimal_repairs_single_fd",
@@ -357,6 +358,79 @@ def count_completion_optimal_repairs_single_fd(
                 )
             )
     return total
+
+
+def count_optimal_repairs_with_fact(
+    prioritizing: PrioritizingInstance,
+    fact: Fact,
+    semantics: str = "global",
+) -> Optional[Tuple[int, int]]:
+    """``(optimal repairs containing fact, total optimal repairs)``.
+
+    The counting companion of :func:`fast_fact_survival_census` and the
+    polynomial engine behind single-atom query-entailment counting
+    (:func:`repro.compute.count_repairs_entailing`): an optimal repair
+    contains ``fact`` iff its block picks the fact's whole rhs-group, so
+    the entailing count is the fact's group eligibility times the
+    product of eligible-group counts over every *other* block.
+
+    Returns None when some relation lacks a single-FD witness or the
+    instance is ccp (callers fall back to enumeration).  ``semantics``
+    is ``"global"`` or ``"pareto"``.
+    """
+    if prioritizing.is_ccp:
+        return None
+    if semantics not in ("global", "pareto"):
+        raise UsageError(f"unsupported semantics {semantics!r}")
+    dominates = (
+        _group_dominates_globally
+        if semantics == "global"
+        else _group_dominates_pareto
+    )
+    present = fact in prioritizing.instance.facts
+    total = 1
+    containing = 1
+    for relation in prioritizing.schema.signature:
+        witness = equivalent_single_fd(
+            prioritizing.schema.fds_for(relation.name)
+        )
+        if witness is None:
+            return None
+        if witness.is_trivial():
+            continue  # the whole relation belongs to every repair
+        fact_in_relation = present and fact.relation == relation.name
+        for lhs_value, block in _blocks_of_relation(
+            prioritizing, relation.name, witness
+        ).items():
+            groups = list(block.values())
+            eligible_flags = [
+                not any(
+                    dominates(prioritizing, other, chosen)
+                    for other in groups
+                    if other is not chosen
+                )
+                for chosen in groups
+            ]
+            eligible_count = sum(eligible_flags)
+            total *= eligible_count
+            if (
+                fact_in_relation
+                and fact.project(witness.lhs_sorted) == lhs_value
+            ):
+                own_group = block[fact.project(witness.rhs_sorted)]
+                own_eligible = eligible_flags[
+                    next(
+                        position
+                        for position, group in enumerate(groups)
+                        if group is own_group
+                    )
+                ]
+                containing *= 1 if own_eligible else 0
+            else:
+                containing *= eligible_count
+    if not present:
+        containing = 0
+    return (containing, total)
 
 
 def fast_fact_survival_census(

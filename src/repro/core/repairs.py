@@ -15,9 +15,14 @@ module provides:
 * :func:`enumerate_repairs` — exhaustive enumeration via per-component
   Bron–Kerbosch with pivoting (exponential in general; used by the
   brute-force baselines and on small instances);
-* :func:`count_repairs` and :func:`greedy_repair` helpers;
+* :func:`greedy_repair` — seeded greedy construction;
 * :func:`naive_enumerate_repairs` — subset filtering, the ablation
   baseline for the enumeration benchmark.
+
+Counting lives in :func:`repro.core.counting.count_repairs_fast`; the
+enumerative counter kept here (:func:`_count_repairs_enumerative`) is
+its internal fallback and ablation baseline, cross-checked against the
+definitional :func:`repro.testing.oracle.oracle_count_repairs`.
 """
 
 from __future__ import annotations
@@ -35,7 +40,6 @@ __all__ = [
     "is_consistent_subinstance",
     "is_repair",
     "enumerate_repairs",
-    "count_repairs",
     "greedy_repair",
     "naive_enumerate_repairs",
 ]
@@ -164,8 +168,13 @@ def enumerate_repairs(
     yield from product(0, set(core))
 
 
-def count_repairs(schema: Schema, instance: Instance) -> int:
-    """The number of repairs of ``instance`` (product over components)."""
+def _count_repairs_enumerative(schema: Schema, instance: Instance) -> int:
+    """The number of repairs of ``instance`` (product over components).
+
+    Exponential in the worst case; demoted from the public API in favour
+    of :func:`repro.core.counting.count_repairs_fast`, which keeps this
+    as its fallback for relations with no single-FD witness.
+    """
     adjacency = conflict_graph(schema, instance)
     total = 1
     for component in _conflict_components(adjacency):
@@ -196,8 +205,21 @@ def greedy_repair(
     order.sort(key=str)
     rng.shuffle(order)
     if prefer is not None:
-        preferred = [f for f in prefer if f in instance.facts]
-        rest = [f for f in order if f not in set(preferred)]
+        # Unordered `prefer` collections are canonicalized by sorting so
+        # the output never depends on set iteration order (and hence on
+        # PYTHONHASHSEED); sequences keep their caller-chosen order,
+        # which the compute layer relies on for witness extension.
+        if isinstance(prefer, (set, frozenset)):
+            candidates = sorted(prefer, key=str)
+        else:
+            candidates = list(prefer)
+        preferred = []
+        taken: Set[Fact] = set()
+        for fact in candidates:
+            if fact in instance.facts and fact not in taken:
+                preferred.append(fact)
+                taken.add(fact)
+        rest = [f for f in order if f not in taken]
         order = preferred + rest
     chosen: Set[Fact] = set()
     # Rebuilding a conflict index per insertion would be quadratic; keep

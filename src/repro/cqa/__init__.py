@@ -7,23 +7,38 @@ all / Pareto-optimal / globally-optimal / completion-optimal repairs
 (:mod:`repro.cqa.consistent_answers`).
 """
 
-from repro.cqa.consistent_answers import consistent_answers, preferred_repairs
+from repro.cqa.consistent_answers import (
+    AnswerCensus,
+    answer_census,
+    consistent_answers,
+    preferred_repairs,
+)
 from repro.cqa.evaluation import evaluate, holds
 from repro.cqa.membership import (
     fact_in_every_preferred_repair,
     fact_in_some_preferred_repair,
     fact_survival_census,
 )
-from repro.cqa.queries import Atom, ConjunctiveQuery, Var
+from repro.cqa.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Var,
+    query_from_dict,
+    query_to_dict,
+)
 
 __all__ = [
+    "AnswerCensus",
     "Atom",
     "ConjunctiveQuery",
     "Var",
+    "answer_census",
     "evaluate",
     "holds",
     "consistent_answers",
     "preferred_repairs",
+    "query_from_dict",
+    "query_to_dict",
     "fact_in_every_preferred_repair",
     "fact_in_some_preferred_repair",
     "fact_survival_census",

@@ -25,7 +25,8 @@ along the same chain, which the tests assert.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterator, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, Mapping, Tuple
 
 from repro.core.checking import (
     check_completion_optimal,
@@ -39,7 +40,7 @@ from repro.cqa.evaluation import evaluate
 from repro.cqa.queries import ConjunctiveQuery
 
 from repro.exceptions import UsageError
-__all__ = ["consistent_answers", "preferred_repairs"]
+__all__ = ["AnswerCensus", "answer_census", "consistent_answers", "preferred_repairs"]
 
 
 def preferred_repairs(
@@ -96,3 +97,79 @@ def consistent_answers(
         if answers is not None and not answers:
             break  # the intersection can only shrink
     return frozenset() if answers is None else answers
+
+
+@dataclass(frozen=True)
+class AnswerCensus:
+    """Per-answer entailment counts over the preferred repairs.
+
+    ``counts`` maps each answer tuple that appears in *some* preferred
+    repair to the number of preferred repairs producing it; ``total``
+    is the number of preferred repairs.  The certain (consistent)
+    answers are exactly the tuples with ``count == total``, so this is
+    the strictly-finer-grained refinement of
+    :func:`consistent_answers`: instead of membership in the
+    intersection, every answer carries the fraction of preferred
+    repairs that support it.
+    """
+
+    counts: Mapping[Tuple[Any, ...], int]
+    total: int
+    semantics: str
+
+    def fraction(self, answer: Tuple[Any, ...]) -> float:
+        """The share of preferred repairs producing ``answer``."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(tuple(answer), 0) / self.total
+
+    def certain(self) -> FrozenSet[Tuple[Any, ...]]:
+        """Answers in every preferred repair (= the consistent answers)."""
+        if self.total == 0:
+            return frozenset()
+        return frozenset(
+            answer
+            for answer, count in self.counts.items()
+            if count == self.total
+        )
+
+    def possible(self) -> FrozenSet[Tuple[Any, ...]]:
+        """Answers in at least one preferred repair."""
+        return frozenset(self.counts)
+
+
+def answer_census(
+    query: ConjunctiveQuery,
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+) -> AnswerCensus:
+    """Tally each answer's support across the preferred repairs.
+
+    Runs the same enumeration as :func:`consistent_answers` but keeps
+    the full per-answer tallies instead of intersecting, so callers can
+    report entailment counts and fractions (a boolean query's census
+    is keyed by the empty tuple).
+
+    Examples
+    --------
+    >>> from repro.core import Schema, Fact, PriorityRelation
+    >>> from repro.core import PrioritizingInstance
+    >>> from repro.cqa.queries import Atom, ConjunctiveQuery, Var
+    >>> schema = Schema.single_relation(["1 -> 2"], arity=2)
+    >>> f, g = Fact("R", (1, "new")), Fact("R", (1, "old"))
+    >>> pri = PrioritizingInstance(
+    ...     schema, schema.instance([f, g]), PriorityRelation([])
+    ... )
+    >>> q = ConjunctiveQuery((Var("v"),), (Atom("R", (1, Var("v"))),))
+    >>> census = answer_census(q, pri, semantics="all")
+    >>> census.total, census.fraction(("new",))
+    (2, 0.5)
+    """
+    query.validate_against(prioritizing.schema)
+    counts: Dict[Tuple[Any, ...], int] = {}
+    total = 0
+    for repair in preferred_repairs(prioritizing, semantics=semantics):
+        total += 1
+        for answer in evaluate(query, repair):
+            counts[answer] = counts.get(answer, 0) + 1
+    return AnswerCensus(counts=counts, total=total, semantics=semantics)

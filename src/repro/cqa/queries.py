@@ -15,12 +15,18 @@ as a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.core.schema import Schema
 from repro.exceptions import QueryError
 
-__all__ = ["Var", "Atom", "ConjunctiveQuery"]
+__all__ = [
+    "Var",
+    "Atom",
+    "ConjunctiveQuery",
+    "query_from_dict",
+    "query_to_dict",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -123,3 +129,93 @@ class ConjunctiveQuery:
         head = ", ".join(repr(v) for v in self.head)
         body = ", ".join(repr(a) for a in self.body)
         return f"q({head}) :- {body}"
+
+
+def _term_to_wire(term: Any) -> Dict[str, Any]:
+    if isinstance(term, Var):
+        return {"var": term.name}
+    return {"const": term}
+
+
+def _term_from_wire(document: Any) -> Any:
+    if not isinstance(document, dict) or len(document) != 1:
+        raise QueryError(
+            f"a query term must be {{'var': name}} or {{'const': value}}, "
+            f"got {document!r}"
+        )
+    if "var" in document:
+        name = document["var"]
+        if not isinstance(name, str) or not name:
+            raise QueryError(f"variable name must be a non-empty string, got {name!r}")
+        return Var(name)
+    if "const" in document:
+        value = document["const"]
+        if isinstance(value, (dict, list)):
+            raise QueryError(f"constants must be scalars, got {value!r}")
+        return value
+    raise QueryError(
+        f"a query term must be {{'var': name}} or {{'const': value}}, "
+        f"got {document!r}"
+    )
+
+
+def query_to_dict(query: ConjunctiveQuery) -> Dict[str, Any]:
+    """The JSON-serializable wire form of a conjunctive query.
+
+    Examples
+    --------
+    >>> q = ConjunctiveQuery((Var("x"),), (Atom("R", (Var("x"), 1)),))
+    >>> query_to_dict(q)
+    {'head': ['x'], 'body': [{'relation': 'R', 'terms': [{'var': 'x'}, {'const': 1}]}]}
+    """
+    return {
+        "head": [var.name for var in query.head],
+        "body": [
+            {
+                "relation": atom.relation,
+                "terms": [_term_to_wire(term) for term in atom.terms],
+            }
+            for atom in query.body
+        ],
+    }
+
+
+def query_from_dict(document: Any) -> ConjunctiveQuery:
+    """Parse the wire form back into a validated query.
+
+    Raises :class:`~repro.exceptions.QueryError` on any structural
+    defect — the daemon maps that to a ``bad-request`` response.
+    """
+    if not isinstance(document, dict):
+        raise QueryError(f"a query must be an object, got {type(document).__name__}")
+    unknown = set(document) - {"head", "body"}
+    if unknown:
+        raise QueryError(f"unknown query keys: {sorted(unknown)!r}")
+    head_spec = document.get("head", [])
+    body_spec = document.get("body")
+    if not isinstance(head_spec, list):
+        raise QueryError("query 'head' must be a list of variable names")
+    if not isinstance(body_spec, list) or not body_spec:
+        raise QueryError("query 'body' must be a non-empty list of atoms")
+    head: List[Var] = []
+    for name in head_spec:
+        if not isinstance(name, str) or not name:
+            raise QueryError(
+                f"head entries must be non-empty variable names, got {name!r}"
+            )
+        head.append(Var(name))
+    body: List[Atom] = []
+    for atom_spec in body_spec:
+        if not isinstance(atom_spec, dict):
+            raise QueryError(f"each atom must be an object, got {atom_spec!r}")
+        unknown = set(atom_spec) - {"relation", "terms"}
+        if unknown:
+            raise QueryError(f"unknown atom keys: {sorted(unknown)!r}")
+        relation = atom_spec.get("relation")
+        terms = atom_spec.get("terms")
+        if not isinstance(relation, str) or not relation:
+            raise QueryError(f"atom 'relation' must be a name, got {relation!r}")
+        if not isinstance(terms, list) or not terms:
+            raise QueryError("atom 'terms' must be a non-empty list")
+        body.append(Atom(relation, [_term_from_wire(term) for term in terms]))
+    return ConjunctiveQuery(head, body)

@@ -15,6 +15,7 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl005_exception_hierarchy,
     rl006_monotonic_time,
     rl007_supervision_boundary,
+    rl008_compute_semantics,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "rl005_exception_hierarchy",
     "rl006_monotonic_time",
     "rl007_supervision_boundary",
+    "rl008_compute_semantics",
 ]

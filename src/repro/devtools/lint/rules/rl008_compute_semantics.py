@@ -1,0 +1,94 @@
+"""RL008 — compute entry points validate ``semantics`` before work.
+
+The compute layer (``repro.compute``) is the construction counterpart
+of the checking dispatchers: ``compute_optimal_repair`` and
+``count_repairs_entailing`` branch on a ``semantics`` string, and the
+service layer caches their payloads under keys that include that
+string.  An entry point that falls through an unrecognized semantics to
+a default branch would silently construct the *wrong kind* of repair
+(or count the wrong repair set) and the cache would replay the wrong
+payload forever — the compute analogue of the cache-poisoning failure
+RL002 guards against on the checking side.
+
+The rule checks every public module-level function in
+``src/repro/compute/`` that takes a ``semantics`` parameter and
+requires its body to validate before use, by any of the accepted
+means:
+
+* calling the module's ``_require_semantics`` validator,
+* raising ``UsageError`` itself (a hand-rolled vocabulary check), or
+* delegating to another compute entry point (``compute_*``,
+  ``count_*``, or ``find_*`` — which then validates).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.asthelpers import call_name, terminal_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+__all__ = ["ComputeSemanticsRule"]
+
+_VALIDATOR_CALLS = frozenset({"_require_semantics"})
+
+_DELEGATE_PREFIXES = ("compute_", "count_", "find_")
+
+
+def _validates(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is None:
+                continue
+            if name in _VALIDATOR_CALLS:
+                return True
+            if name.startswith(_DELEGATE_PREFIXES):
+                return True
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            raised = (
+                call_name(exc) if isinstance(exc, ast.Call)
+                else terminal_name(exc)
+            )
+            if raised == "UsageError":
+                return True
+    return False
+
+
+@register
+class ComputeSemanticsRule(Rule):
+    code = "RL008"
+    name = "compute-semantics-validation"
+    summary = (
+        "public compute entry points must validate their semantics "
+        "argument (_require_semantics or UsageError) before use"
+    )
+    rationale = (
+        "Compute payloads are cached under keys that include the "
+        "semantics string; an entry point that defaults instead of "
+        "rejecting an unknown semantics caches the wrong repair or "
+        "count and replays it forever."
+    )
+    scopes = ("src/repro/compute/",)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+            if "semantics" not in names:
+                continue
+            if not _validates(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"compute entry point {node.name}() uses its "
+                    f"semantics argument without validation (call "
+                    f"_require_semantics or raise UsageError)",
+                )

@@ -121,6 +121,40 @@ class RepairClient:
         document.update(options)
         return self.request(document)
 
+    def repair(
+        self,
+        problem: Dict[str, Any],
+        request_id: Optional[Any] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Construct one optimal repair; ``options`` forwards
+        ``semantics``, ``seed``, ``timeout``, ``budget``, and
+        ``job_id``."""
+        document: Dict[str, Any] = {"op": "repair", "problem": problem}
+        if request_id is not None:
+            document["id"] = request_id
+        document.update(options)
+        return self.request(document)
+
+    def count(
+        self,
+        problem: Dict[str, Any],
+        query: Dict[str, Any],
+        request_id: Optional[Any] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """Count the preferred repairs entailing ``query``; ``options``
+        forwards ``semantics``, ``max_repairs``, and ``job_id``."""
+        document: Dict[str, Any] = {
+            "op": "count",
+            "problem": problem,
+            "query": query,
+        }
+        if request_id is not None:
+            document["id"] = request_id
+        document.update(options)
+        return self.request(document)
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:

@@ -12,17 +12,19 @@ Architecture (one asyncio event loop, jobs on a bounded thread pool):
 * **accept** — ``asyncio.start_server`` / ``start_unix_server``; each
   connection runs a readline loop over the newline-delimited JSON
   protocol of :mod:`repro.server.protocol`.
-* **admit** — every ``check`` passes the
+* **admit** — every job-bearing request (``check``, ``repair``,
+  ``count``) passes the
   :class:`~repro.server.admission.AdmissionController` *before* any
   parsing or queueing.  At capacity the client gets an ``overloaded``
   error immediately; nothing is buffered, nothing hangs.
-* **execute** — admitted checks run on a dedicated
+* **execute** — admitted jobs run on a dedicated
   ``ThreadPoolExecutor`` of ``max_inflight`` threads, each calling the
-  reentrant :meth:`~repro.service.RepairService.run_job`; the admission
-  capacity bounds the executor's queue, so queue depth is
-  ``queue_limit`` at most.  Per-request ``timeout`` / ``budget`` fields
-  plumb straight into the node-budget/deadline machinery of the
-  improvement search.
+  reentrant :meth:`~repro.service.RepairService.run_job` (checks) or
+  :meth:`~repro.service.RepairService.run_compute` (repair
+  construction and entailment counting); the admission capacity bounds
+  the executor's queue, so queue depth is ``queue_limit`` at most.
+  Per-request ``timeout`` / ``budget`` fields plumb straight into the
+  node-budget/deadline machinery of the improvement search.
 * **observe** — server counters (``server.accepted``,
   ``server.rejected_overload``, ...), the ``server.active_connections``
   gauge, and the ``server.request`` latency histogram land in the *same*
@@ -66,10 +68,15 @@ from repro.server.protocol import (
     ok_response,
     parse_request,
 )
-from repro.service import RepairService, RepairJob
+from repro.cqa.queries import query_from_dict
+from repro.service import ComputeJob, RepairService, RepairJob
 from repro.service.cache import LRUCache
 
 __all__ = ["ServerConfig", "RepairServer"]
+
+#: Operations that carry a job and run on the worker pool (everything
+#: else is a cheap control op answered inline on the event loop).
+_POOLED_OPS = ("check", "repair", "count")
 
 #: Counters pre-registered at server construction so every stats
 #: snapshot reports them, zero or not.
@@ -313,7 +320,7 @@ class RepairServer:
                         error_response(None, "bad-request", str(exc)),
                     )
                     continue
-                if request.op == "check":
+                if request.op in _POOLED_OPS:
                     # Admission happens *now*, on the event loop, so an
                     # overloaded daemon answers before queueing anything.
                     task = asyncio.create_task(
@@ -360,7 +367,7 @@ class RepairServer:
                 # The client hung up mid-response; nothing to salvage.
                 pass
 
-    # -- the check path ---------------------------------------------------------------
+    # -- the pooled job path (check / repair / count) ----------------------------------
 
     async def _run_check(
         self,
@@ -396,7 +403,7 @@ class RepairServer:
         start = time.monotonic()
         try:
             result = await loop.run_in_executor(
-                self._pool, self._execute_check_sync, request
+                self._pool, self._execute_sync, request
             )
             response = ok_response(
                 request.request_id, result=result.to_dict()
@@ -428,22 +435,32 @@ class RepairServer:
             )
         await self._send(writer, write_lock, response)
 
+    def _execute_sync(self, request: Request) -> Any:
+        """Dispatch one pooled request to its sync executor (worker
+        thread; may raise ReproError on malformed documents)."""
+        if request.op == "repair":
+            return self._execute_repair_sync(request)
+        if request.op == "count":
+            return self._execute_count_sync(request)
+        return self._execute_check_sync(request)
+
+    def _job_id_for(self, request: Request) -> str:
+        job_id = request.payload.get("job_id")
+        if job_id is not None:
+            return job_id
+        if request.request_id is not None:
+            return str(request.request_id)
+        return "request"
+
     def _execute_check_sync(self, request: Request) -> Any:
-        """Build and run one job (worker thread; may raise ReproError)."""
+        """Build and run one check job (worker thread)."""
         from repro.service.batch_io import candidate_from_spec
 
         payload = request.payload
         prioritizing = self._problem_for(payload["problem"])
         candidate = candidate_from_spec(prioritizing, payload["candidate"])
-        job_id = payload.get("job_id")
-        if job_id is None:
-            job_id = (
-                str(request.request_id)
-                if request.request_id is not None
-                else "request"
-            )
         job = RepairJob(
-            job_id=job_id,
+            job_id=self._job_id_for(request),
             prioritizing=prioritizing,
             candidate=candidate,
             semantics=payload.get("semantics", "global"),
@@ -452,6 +469,36 @@ class RepairServer:
             node_budget=payload.get("budget"),
         )
         return self.service.run_job(job)
+
+    def _execute_repair_sync(self, request: Request) -> Any:
+        """Build and run one repair-construction job (worker thread)."""
+        payload = request.payload
+        prioritizing = self._problem_for(payload["problem"])
+        job = ComputeJob(
+            job_id=self._job_id_for(request),
+            prioritizing=prioritizing,
+            kind="repair",
+            semantics=payload.get("semantics", "global"),
+            seed=payload.get("seed", 0),
+            timeout=payload.get("timeout"),
+            node_budget=payload.get("budget"),
+        )
+        return self.service.run_compute(job)
+
+    def _execute_count_sync(self, request: Request) -> Any:
+        """Build and run one entailment-count job (worker thread)."""
+        payload = request.payload
+        prioritizing = self._problem_for(payload["problem"])
+        query = query_from_dict(payload["query"])
+        job = ComputeJob(
+            job_id=self._job_id_for(request),
+            prioritizing=prioritizing,
+            kind="count",
+            semantics=payload.get("semantics", "global"),
+            query=query,
+            max_repairs=payload.get("max_repairs"),
+        )
+        return self.service.run_compute(job)
 
     def _problem_for(self, document: Dict[str, Any]) -> PrioritizingInstance:
         """Parse (and memoize) a prioritizing-instance document.

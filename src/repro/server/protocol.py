@@ -20,6 +20,18 @@ Request shapes (``id`` is optional everywhere and echoed verbatim)::
      "semantics": "global",            // optional; also: method,
      "timeout": 5.0, "budget": 100000, // job_id
     }
+    {"op": "repair", "id": "r2",       // construct an optimal repair
+     "problem": {...},
+     "semantics": "pareto",            // optional; also: seed, timeout,
+     "budget": 1000, "job_id": "j7",   // budget
+    }
+    {"op": "count", "id": "r3",        // count entailing repairs
+     "problem": {...},
+     "query": {"head": [], "body": [{"relation": "R",
+               "terms": [{"const": 1}, {"var": "x"}]}]},
+     "semantics": "global",            // optional; also: job_id,
+     "max_repairs": 10000,             // max_repairs
+    }
 
 Success responses are ``{"id": ..., "ok": true, ...payload}``; failures
 are ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``
@@ -63,13 +75,19 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Every operation the daemon understands.
-OPS = ("check", "classify", "ping", "stats", "drain")
+OPS = ("check", "repair", "count", "classify", "ping", "stats", "drain")
 
 #: Every ``error.code`` a response may carry.
 ERROR_CODES = ("bad-request", "overloaded", "draining", "internal")
 
 #: ``check`` fields forwarded into the job beyond problem/candidate.
 _CHECK_OPTIONAL_FIELDS = ("semantics", "method", "timeout", "budget", "job_id")
+
+#: ``repair`` fields forwarded into the compute job beyond the problem.
+_REPAIR_OPTIONAL_FIELDS = ("semantics", "seed", "timeout", "budget", "job_id")
+
+#: ``count`` fields forwarded into the compute job beyond problem/query.
+_COUNT_OPTIONAL_FIELDS = ("semantics", "max_repairs", "job_id")
 
 
 @dataclass(frozen=True)
@@ -88,6 +106,8 @@ class Request:
 
 _ALLOWED_KEYS = {
     "check": {"op", "id", "problem", "candidate", *_CHECK_OPTIONAL_FIELDS},
+    "repair": {"op", "id", "problem", *_REPAIR_OPTIONAL_FIELDS},
+    "count": {"op", "id", "problem", "query", *_COUNT_OPTIONAL_FIELDS},
     "classify": {"op", "id", "schema", "schema_spec"},
     "ping": {"op", "id"},
     "stats": {"op", "id"},
@@ -164,6 +184,54 @@ def _validate_payload(request: Request) -> None:
             ):
                 raise ProtocolError(
                     f"check field {name!r} has the wrong type "
+                    f"({type(value).__name__})"
+                )
+    elif request.op == "repair":
+        problem = payload.get("problem")
+        if not isinstance(problem, dict):
+            raise ProtocolError(
+                "repair needs a 'problem' object (a repro.io prioritizing "
+                "document)"
+            )
+        for name, kinds in (
+            ("semantics", str),
+            ("job_id", str),
+            ("seed", int),
+            ("timeout", (int, float)),
+            ("budget", int),
+        ):
+            value = payload.get(name)
+            if value is not None and (
+                not isinstance(value, kinds) or isinstance(value, bool)
+            ):
+                raise ProtocolError(
+                    f"repair field {name!r} has the wrong type "
+                    f"({type(value).__name__})"
+                )
+    elif request.op == "count":
+        problem = payload.get("problem")
+        if not isinstance(problem, dict):
+            raise ProtocolError(
+                "count needs a 'problem' object (a repro.io prioritizing "
+                "document)"
+            )
+        query = payload.get("query")
+        if not isinstance(query, dict):
+            raise ProtocolError(
+                "count needs a 'query' object (a conjunctive-query "
+                "document with 'head' and 'body')"
+            )
+        for name, kinds in (
+            ("semantics", str),
+            ("job_id", str),
+            ("max_repairs", int),
+        ):
+            value = payload.get(name)
+            if value is not None and (
+                not isinstance(value, kinds) or isinstance(value, bool)
+            ):
+                raise ProtocolError(
+                    f"count field {name!r} has the wrong type "
                     f"({type(value).__name__})"
                 )
     elif request.op == "classify":

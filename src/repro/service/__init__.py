@@ -39,19 +39,35 @@ from repro.service.faults import (
 )
 from repro.service.fingerprint import (
     fingerprint_check_request,
+    fingerprint_compute_request,
     fingerprint_instance,
     fingerprint_prioritizing,
     fingerprint_priority,
     fingerprint_schema,
 )
-from repro.service.jobs import JOB_STATUSES, BatchReport, JobResult, RepairJob
+from repro.service.jobs import (
+    COMPUTE_KINDS,
+    JOB_STATUSES,
+    BatchReport,
+    ComputeJob,
+    ComputeResult,
+    JobResult,
+    RepairJob,
+)
 from repro.service.journal import (
     JOURNALED_STATUSES,
     JournalWriter,
     read_journal,
 )
 from repro.service.metrics import Counter, LatencyHistogram, MetricsRegistry
-from repro.service.policy import Outcome, execute_check, needs_degradation
+from repro.service.policy import (
+    ComputeOutcome,
+    Outcome,
+    execute_check,
+    execute_count,
+    execute_repair,
+    needs_degradation,
+)
 from repro.service.resilience import (
     CircuitBreaker,
     PoolSupervisor,
@@ -65,10 +81,16 @@ __all__ = [
     "ServiceConfig",
     "RepairJob",
     "JobResult",
+    "ComputeJob",
+    "ComputeResult",
     "BatchReport",
     "JOB_STATUSES",
+    "COMPUTE_KINDS",
     "Outcome",
+    "ComputeOutcome",
     "execute_check",
+    "execute_count",
+    "execute_repair",
     "needs_degradation",
     "LRUCache",
     "MetricsRegistry",
@@ -79,6 +101,7 @@ __all__ = [
     "fingerprint_priority",
     "fingerprint_prioritizing",
     "fingerprint_check_request",
+    "fingerprint_compute_request",
     "load_batch_file",
     "load_problem_from_csv_spec",
     "candidate_from_spec",

@@ -40,6 +40,7 @@ False
 from __future__ import annotations
 
 import hashlib
+import json
 from functools import lru_cache
 from typing import Any, Optional
 
@@ -47,6 +48,7 @@ from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
+from repro.cqa.queries import ConjunctiveQuery, query_to_dict
 
 __all__ = [
     "fingerprint_schema",
@@ -54,6 +56,7 @@ __all__ = [
     "fingerprint_priority",
     "fingerprint_prioritizing",
     "fingerprint_check_request",
+    "fingerprint_compute_request",
 ]
 
 
@@ -150,4 +153,36 @@ def fingerprint_check_request(
         + "|"
         + fingerprint_instance(candidate)
         + f"|{semantics}|{method}|budget={node_budget}"
+    )
+
+
+def fingerprint_compute_request(
+    prioritizing: PrioritizingInstance,
+    kind: str,
+    semantics: str = "global",
+    seed: int = 0,
+    node_budget: Optional[int] = None,
+    query: Optional[ConjunctiveQuery] = None,
+    max_repairs: Optional[int] = None,
+) -> str:
+    """The cache key of one compute request (repair or count).
+
+    Includes everything the payload depends on: the seed drives the
+    construction's tie-breaking (different seeds may legitimately build
+    different optimal repairs), the node budget bounds the anytime
+    climb, and the enumeration cap changes when a count degrades —
+    none of them may share cache entries.  The query renders through
+    its canonical wire form (term order is structural, so equal
+    queries render identically).
+    """
+    query_rendering = (
+        "none"
+        if query is None
+        else json.dumps(query_to_dict(query), sort_keys=True)
+    )
+    return _digest(
+        "compute|"
+        + fingerprint_prioritizing(prioritizing)
+        + f"|{kind}|{semantics}|seed={seed}|budget={node_budget}"
+        + f"|cap={max_repairs}|query={query_rendering}"
     )

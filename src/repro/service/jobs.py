@@ -18,6 +18,15 @@ than a bare boolean:
 Results are comparable to direct checker calls through ``verdict()``,
 which strips the operational fields (durations, attempts, cache flags)
 down to what correctness tests should compare.
+
+The compute pipeline (``repro.compute`` driven through the service) has
+its own pair: a :class:`ComputeJob` asks the service to *construct* an
+optimal repair (``kind="repair"``) or *count* the preferred repairs
+entailing a query (``kind="count"``), and a :class:`ComputeResult`
+carries the answer in a ``payload`` dict.  Compute results share the
+check results' status vocabulary and journal contract (``status``,
+``fingerprint``, ``to_dict()``), so the write-ahead journal and the
+resume path treat both uniformly.
 """
 
 from __future__ import annotations
@@ -27,18 +36,25 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
+from repro.cqa.queries import ConjunctiveQuery
 
-from repro.exceptions import MissingEntryError
+from repro.exceptions import MissingEntryError, UsageError
 
 __all__ = [
     "JOB_STATUSES",
+    "COMPUTE_KINDS",
     "RepairJob",
     "JobResult",
+    "ComputeJob",
+    "ComputeResult",
     "BatchReport",
 ]
 
 #: Every status a job can finish with.
 JOB_STATUSES = ("ok", "degraded", "timeout", "error")
+
+#: The compute operations the service can run.
+COMPUTE_KINDS = ("repair", "count")
 
 
 @dataclass(frozen=True)
@@ -122,6 +138,113 @@ class JobResult:
             "is_optimal": self.is_optimal,
             "semantics": self.semantics,
             "method": self.method,
+            "reason": self.reason,
+            "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "duration": self.duration,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class ComputeJob:
+    """One compute request: construct an optimal repair or count.
+
+    Parameters
+    ----------
+    job_id:
+        Caller-chosen identifier, echoed on the result.
+    prioritizing:
+        The (possibly ccp) prioritizing instance to compute over.
+    kind:
+        ``"repair"`` — construct an optimal repair under ``semantics``;
+        ``"count"`` — count the preferred repairs entailing ``query``.
+    semantics:
+        ``"global"``, ``"pareto"``, or ``"completion"`` for repair jobs;
+        count jobs additionally accept ``"all"``.
+    seed:
+        Seed for the construction's tie-breaking RNG (part of the cache
+        key: different seeds may construct different optimal repairs).
+    timeout:
+        Per-job wall-clock budget in seconds (None = service default).
+    node_budget:
+        Round budget for the anytime climb on the coNP-hard side
+        (None = service default; part of the cache key).
+    query:
+        The query whose entailment count is wanted (count jobs only).
+    max_repairs:
+        Enumeration cap for count jobs that fall off the block-product
+        fast path (None = unbounded).
+    """
+
+    job_id: str
+    prioritizing: PrioritizingInstance
+    kind: str = "repair"
+    semantics: str = "global"
+    seed: int = 0
+    priority: int = 0
+    timeout: Optional[float] = None
+    node_budget: Optional[int] = None
+    query: Optional[ConjunctiveQuery] = None
+    max_repairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in COMPUTE_KINDS:
+            raise UsageError(
+                f"kind must be one of {COMPUTE_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "count" and self.query is None:
+            raise UsageError("a count job needs a query")
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """The service's answer to one :class:`ComputeJob`.
+
+    ``payload`` carries the kind-specific answer: for ``repair`` jobs
+    the constructed repair as a serialized fact list plus the number of
+    improvement rounds; for ``count`` jobs the entailing/total counts
+    and the entailment fraction.  The journal-facing surface
+    (``status`` in the journaled vocabulary, a truthy ``fingerprint``,
+    ``to_dict()``) matches :class:`JobResult`, so compute results ride
+    the same write-ahead journal and resume machinery.
+    """
+
+    job_id: str
+    kind: str
+    status: str
+    semantics: str
+    method: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+    cache_hit: bool = False
+    attempts: int = 1
+    duration: float = 0.0
+    fingerprint: str = ""
+
+    def verdict(self) -> Dict[str, Any]:
+        """The correctness-relevant projection of this result."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "semantics": self.semantics,
+            "payload": self.payload,
+        }
+
+    def as_cached(self) -> "ComputeResult":
+        """A copy marked as served from the result cache."""
+        return replace(self, cache_hit=True, attempts=0, duration=0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready rendering (one JSONL line per job)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "semantics": self.semantics,
+            "method": self.method,
+            "payload": self.payload,
             "reason": self.reason,
             "cache_hit": self.cache_hit,
             "attempts": self.attempts,

@@ -29,10 +29,12 @@ Routing recap (mirrors the dispatcher):
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
+from repro.compute import compute_optimal_repair, count_repairs_entailing
 from repro.core.checking import (
     check_completion_optimal,
     check_globally_optimal,
@@ -43,9 +45,18 @@ from repro.core.checking.dispatcher import _is_conflict_only
 from repro.core.classification import classify_ccp_schema, classify_schema
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
+from repro.cqa.queries import ConjunctiveQuery
 from repro.exceptions import ReproError, SearchBudgetExceededError
+from repro.io import instance_to_list
 
-__all__ = ["Outcome", "needs_degradation", "execute_check"]
+__all__ = [
+    "Outcome",
+    "ComputeOutcome",
+    "needs_degradation",
+    "execute_check",
+    "execute_repair",
+    "execute_count",
+]
 
 #: Method label reported when the degradation policy could not decide.
 DEGRADED_METHOD = "improvement-search"
@@ -67,6 +78,23 @@ class Outcome:
     is_optimal: Optional[bool]
     semantics: str
     method: str
+    reason: str = ""
+    worker_failure: bool = False
+
+
+@dataclass(frozen=True)
+class ComputeOutcome:
+    """What executing one compute job produced (no scheduling metadata).
+
+    The compute analogue of :class:`Outcome`: ``payload`` carries the
+    kind-specific answer (a serialized repair, or entailment counts),
+    and ``worker_failure`` plays the same circuit-breaker role.
+    """
+
+    status: str
+    semantics: str
+    method: str
+    payload: Dict[str, Any] = field(default_factory=dict)
     reason: str = ""
     worker_failure: bool = False
 
@@ -155,4 +183,91 @@ def execute_check(
         semantics=result.semantics,
         method=result.method,
         reason=result.reason,
+    )
+
+
+def execute_repair(
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+    seed: int = 0,
+    node_budget: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> ComputeOutcome:
+    """Construct one optimal repair under the degradation policy.
+
+    Mirrors :func:`execute_check`'s contract: classical priorities (and
+    completion semantics) are answered exactly by the greedy
+    construction; ccp global/pareto questions run the anytime
+    improvement climb, which reports ``degraded`` with its best-so-far
+    repair when the round budget runs out and ``timeout`` when the
+    deadline does.  Malformed input is a deterministic ``error``.
+    """
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    try:
+        computed = compute_optimal_repair(
+            prioritizing,
+            semantics=semantics,
+            rng=random.Random(seed),
+            node_budget=node_budget,
+            deadline=deadline,
+        )
+    except (ReproError, ValueError) as exc:
+        return ComputeOutcome(
+            status="error",
+            semantics=semantics,
+            method="none",
+            reason=f"{type(exc).__name__}: {exc}",
+        )
+    return ComputeOutcome(
+        status=computed.status,
+        semantics=computed.semantics,
+        method=computed.method,
+        payload={
+            "repair": instance_to_list(computed.repair),
+            "rounds": computed.rounds,
+        },
+        reason=computed.reason,
+    )
+
+
+def execute_count(
+    query: ConjunctiveQuery,
+    prioritizing: PrioritizingInstance,
+    semantics: str = "global",
+    max_repairs: Optional[int] = None,
+) -> ComputeOutcome:
+    """Count the preferred repairs entailing ``query``.
+
+    Routes through :func:`repro.compute.count_repairs_entailing`: the
+    per-block product decomposition answers ground-atom counts on
+    classical single-key relations in polynomial time, everything else
+    enumerates (capped by ``max_repairs``, reported as ``degraded``
+    when the cap is hit).  Malformed input (an unknown relation, a bad
+    semantics) is a deterministic ``error``.
+    """
+    try:
+        count = count_repairs_entailing(
+            query,
+            prioritizing,
+            semantics=semantics,
+            max_repairs=max_repairs,
+        )
+    except (ReproError, ValueError) as exc:
+        return ComputeOutcome(
+            status="error",
+            semantics=semantics,
+            method="none",
+            reason=f"{type(exc).__name__}: {exc}",
+        )
+    return ComputeOutcome(
+        status=count.status,
+        semantics=count.semantics,
+        method=count.method,
+        payload={
+            "entailing": count.entailing,
+            "total": count.total,
+            "fraction": count.fraction,
+            "exact": count.exact,
+        },
+        reason=count.reason,
     )

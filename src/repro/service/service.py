@@ -76,11 +76,24 @@ from repro.exceptions import TransientWorkerError, UsageError
 from repro.service.cache import LRUCache
 from repro.service.fingerprint import (
     fingerprint_check_request,
+    fingerprint_compute_request,
     fingerprint_prioritizing,
 )
-from repro.service.jobs import BatchReport, JobResult, RepairJob
+from repro.service.jobs import (
+    BatchReport,
+    ComputeJob,
+    ComputeResult,
+    JobResult,
+    RepairJob,
+)
 from repro.service.metrics import MetricsRegistry
-from repro.service.policy import Outcome, execute_check
+from repro.service.policy import (
+    ComputeOutcome,
+    Outcome,
+    execute_check,
+    execute_count,
+    execute_repair,
+)
 from repro.service.resilience import (
     CircuitBreaker,
     PoolSupervisor,
@@ -125,6 +138,26 @@ def _default_runner(job: RepairJob, node_budget, timeout) -> Outcome:
         job.candidate,
         semantics=job.semantics,
         method=job.method,
+        node_budget=node_budget,
+        timeout=timeout,
+    )
+
+
+def _default_compute_runner(
+    job: ComputeJob, node_budget, timeout
+) -> ComputeOutcome:
+    """Execute one compute job through the degradation policy."""
+    if job.kind == "count":
+        return execute_count(
+            job.query,
+            job.prioritizing,
+            semantics=job.semantics,
+            max_repairs=job.max_repairs,
+        )
+    return execute_repair(
+        job.prioritizing,
+        semantics=job.semantics,
+        seed=job.seed,
         node_budget=node_budget,
         timeout=timeout,
     )
@@ -275,6 +308,7 @@ class RepairService:
         clock: Callable[[], float] = time.monotonic,
         result_sink: Optional[Callable[[JobResult], object]] = None,
         cancel: Optional[object] = None,
+        compute_runner: Optional[Callable[..., ComputeOutcome]] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
@@ -282,6 +316,7 @@ class RepairService:
             self.config.cache_size
         )
         self._runner = runner or _default_runner
+        self._compute_runner = compute_runner or _default_compute_runner
         self._runner_takes_attempt = runner_accepts_attempt(self._runner)
         self._sleep = sleep
         self._clock = clock
@@ -347,6 +382,28 @@ class RepairService:
         else:
             self.metrics.counter("cache.misses").increment()
             result = self._execute_one(job, key)
+        self.metrics.counter(f"jobs.{result.status}").increment()
+        return result
+
+    def run_compute(self, job: ComputeJob) -> ComputeResult:
+        """Run one compute job through the full service pipeline.
+
+        The compute analogue of :meth:`run_job`: same cache (compute
+        fingerprints live in a disjoint namespace from check
+        fingerprints), same circuit breaker and retry policy, same
+        result sink and metrics — so a daemon can serve ``repair`` and
+        ``count`` requests with the exact operational guarantees of
+        ``check`` requests.  Reentrant for the same reasons
+        :meth:`run_job` is.
+        """
+        key = self._compute_cache_key(job)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.counter("cache.hits").increment()
+            result = self._reissue_compute(cached, job, key)
+        else:
+            self.metrics.counter("cache.misses").increment()
+            result = self._execute_compute(job, key)
         self.metrics.counter(f"jobs.{result.status}").increment()
         return result
 
@@ -633,6 +690,171 @@ class RepairService:
             except OSError as exc:
                 # A failing sink (disk full, journal unlinked) must not
                 # take the batch down; the results are still returned.
+                self.metrics.counter("journal.errors").increment()
+                self.metrics.record_event(
+                    "journal_error", job_id=job.job_id, error=str(exc)
+                )
+        self.metrics.histogram(f"latency.{outcome.method}").observe(duration)
+        if outcome.status == "degraded":
+            self.metrics.counter("jobs.degraded_routed").increment()
+        self.metrics.record_event(
+            "job",
+            job_id=job.job_id,
+            status=outcome.status,
+            method=outcome.method,
+            duration=duration,
+            attempts=attempts,
+        )
+        return result
+
+    # -- compute internals ----------------------------------------------------------
+
+    def _compute_cache_key(self, job: ComputeJob) -> str:
+        return fingerprint_compute_request(
+            job.prioritizing,
+            job.kind,
+            semantics=job.semantics,
+            seed=job.seed,
+            node_budget=self._budget_for(job),
+            query=job.query,
+            max_repairs=job.max_repairs,
+        )
+
+    def _reissue_compute(
+        self,
+        cached: Mapping,
+        job: ComputeJob,
+        key: str,
+        from_cache: bool = True,
+    ) -> ComputeResult:
+        return ComputeResult(
+            job_id=job.job_id,
+            kind=cached["kind"],
+            status=cached["status"],
+            semantics=cached["semantics"],
+            method=cached["method"],
+            payload=dict(cached["payload"]),
+            reason=cached["reason"],
+            cache_hit=from_cache,
+            attempts=0,
+            duration=0.0,
+            fingerprint=key,
+        )
+
+    def _execute_compute(self, job: ComputeJob, key: str) -> ComputeResult:
+        """Cancel/breaker-guarded execution of one compute cache miss."""
+        if self._cancelled_requested():
+            self.metrics.counter("jobs.cancelled").increment()
+            outcome = ComputeOutcome(
+                status="error",
+                semantics=job.semantics,
+                method="none",
+                reason="batch cancelled before this job ran "
+                "(shutdown signal received)",
+            )
+            return self._finish_compute(job, key, outcome, 0, 0.0)
+        problem_key = self._problem_key(job)
+        if not self._breaker.allow(problem_key):
+            self.metrics.counter("breaker.fast_fails").increment()
+            self.metrics.record_event(
+                "breaker_fast_fail", job_id=job.job_id, key=problem_key
+            )
+            outcome = ComputeOutcome(
+                status="error",
+                semantics=job.semantics,
+                method="none",
+                reason=(
+                    f"circuit breaker open for this problem "
+                    f"({problem_key[:12]}…): consecutive worker failures "
+                    f"reached the threshold "
+                    f"({self.config.breaker_threshold})"
+                ),
+                worker_failure=True,
+            )
+            return self._finish_compute(job, key, outcome, 0, 0.0)
+        outcome, attempts, duration = self._compute_attempt_with_retry(job)
+        self._breaker.record(
+            problem_key,
+            failure=outcome.status == "error" and outcome.worker_failure,
+        )
+        return self._finish_compute(job, key, outcome, attempts, duration)
+
+    def _compute_attempt_with_retry(
+        self, job: ComputeJob
+    ) -> Tuple[ComputeOutcome, int, float]:
+        """Run one compute job with bounded retry; never raises."""
+        budget = self._budget_for(job)
+        timeout = self._timeout_for(job)
+        start = self._clock()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = self._compute_runner(job, budget, timeout)
+                return outcome, attempts, self._clock() - start
+            except TRANSIENT_EXCEPTIONS as exc:
+                if attempts > self.config.max_retries:
+                    outcome = ComputeOutcome(
+                        status="error",
+                        semantics=job.semantics,
+                        method="none",
+                        reason=(
+                            f"transient failure persisted after "
+                            f"{attempts} attempt(s): {exc}"
+                        ),
+                        worker_failure=True,
+                    )
+                    return outcome, attempts, self._clock() - start
+                delay = self._retry.delay(job.job_id, attempts)
+                self.metrics.counter("jobs.retries").increment()
+                self.metrics.record_event(
+                    "retry",
+                    job_id=job.job_id,
+                    attempt=attempts,
+                    delay=delay,
+                    error=str(exc),
+                )
+                self._sleep(delay)
+            # The documented supervision boundary: a worker crash must
+            # become a result, never escape the request.
+            except Exception as exc:  # noqa: BLE001  # repro-lint: ignore[RL007]
+                outcome = ComputeOutcome(
+                    status="error",
+                    semantics=job.semantics,
+                    method="none",
+                    reason=f"worker failed: {type(exc).__name__}: {exc}",
+                    worker_failure=True,
+                )
+                return outcome, attempts, self._clock() - start
+
+    def _finish_compute(
+        self,
+        job: ComputeJob,
+        key: str,
+        outcome: ComputeOutcome,
+        attempts: int,
+        duration: float,
+    ) -> ComputeResult:
+        result = ComputeResult(
+            job_id=job.job_id,
+            kind=job.kind,
+            status=outcome.status,
+            semantics=outcome.semantics,
+            method=outcome.method,
+            payload=outcome.payload,
+            reason=outcome.reason,
+            cache_hit=False,
+            attempts=attempts,
+            duration=duration,
+            fingerprint=key,
+        )
+        if outcome.status in _CACHEABLE_STATUSES:
+            self.cache.put(key, result.to_dict())
+        if self._result_sink is not None:
+            try:
+                if self._result_sink(result):
+                    self.metrics.counter("journal.appended").increment()
+            except OSError as exc:
                 self.metrics.counter("journal.errors").increment()
                 self.metrics.record_event(
                     "journal_error", job_id=job.job_id, error=str(exc)

@@ -11,16 +11,22 @@ from repro.testing.oracle import (
     ORACLE_MAX_FACTS,
     oracle_check,
     oracle_consistent,
+    oracle_count_repairs,
+    oracle_entailment_count,
     oracle_is_global_improvement,
     oracle_is_pareto_improvement,
     oracle_optimal_repairs,
+    oracle_repairs,
 )
 
 __all__ = [
     "ORACLE_MAX_FACTS",
     "oracle_check",
     "oracle_consistent",
+    "oracle_count_repairs",
+    "oracle_entailment_count",
     "oracle_is_global_improvement",
     "oracle_is_pareto_improvement",
     "oracle_optimal_repairs",
+    "oracle_repairs",
 ]

@@ -42,15 +42,19 @@ from repro.core.fact import Fact
 from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance
 from repro.core.schema import Schema
+from repro.cqa.queries import Var
 from repro.exceptions import NotASubinstanceError, UsageError
 
 __all__ = [
     "ORACLE_MAX_FACTS",
     "oracle_check",
     "oracle_consistent",
+    "oracle_count_repairs",
+    "oracle_entailment_count",
     "oracle_is_global_improvement",
     "oracle_is_pareto_improvement",
     "oracle_optimal_repairs",
+    "oracle_repairs",
 ]
 
 #: Hard cap on instance size: ``oracle_check`` enumerates ``2^n``
@@ -286,3 +290,97 @@ def oracle_optimal_repairs(
         ),
         key=lambda subset: sorted(map(str, subset)),
     )
+
+
+def oracle_repairs(
+    schema: Schema, facts: Iterable[Fact]
+) -> List[FrozenSet[Fact]]:
+    """Every (subset) repair, straight from Definition 2.2: the maximal
+    consistent subsets, found by comparing all consistent subsets
+    pairwise.  Exponential; tiny instances only."""
+    fact_tuple = tuple(sorted(set(facts), key=str))
+    if len(fact_tuple) > ORACLE_MAX_FACTS:
+        raise UsageError(
+            f"oracle enumerates 2^n subsets; {len(fact_tuple)} facts "
+            f"exceeds the cap of {ORACLE_MAX_FACTS}"
+        )
+    consistent = [
+        subset
+        for subset in _subsets(fact_tuple)
+        if oracle_consistent(schema, subset)
+    ]
+    return sorted(
+        (
+            subset
+            for subset in consistent
+            if not any(subset < other for other in consistent)
+        ),
+        key=lambda subset: sorted(map(str, subset)),
+    )
+
+
+def oracle_count_repairs(schema: Schema, facts: Iterable[Fact]) -> int:
+    """The number of repairs, by definitional enumeration.
+
+    The ground truth behind :func:`repro.core.counting.
+    count_repairs_fast` and the demoted enumerative counter — both must
+    agree with this on every generated instance.
+    """
+    return len(oracle_repairs(schema, facts))
+
+
+def _oracle_holds(query, facts: AbstractSet[Fact]) -> bool:
+    """Definitional boolean-query evaluation: try every way of matching
+    the body atoms against the facts, re-derived here rather than
+    imported from :mod:`repro.cqa.evaluation`."""
+    body = query.body
+
+    def match(atom_index: int, substitution: Dict) -> bool:
+        if atom_index == len(body):
+            return True
+        atom = body[atom_index]
+        for fact in facts:
+            if (
+                fact.relation != atom.relation
+                or len(fact.values) != len(atom.terms)
+            ):
+                continue
+            extended = dict(substitution)
+            consistent_match = True
+            for term, value in zip(atom.terms, fact.values):
+                if isinstance(term, Var):
+                    if term in extended and extended[term] != value:
+                        consistent_match = False
+                        break
+                    extended[term] = value
+                elif term != value:
+                    consistent_match = False
+                    break
+            if consistent_match and match(atom_index + 1, extended):
+                return True
+        return False
+
+    return match(0, {})
+
+
+def oracle_entailment_count(
+    prioritizing: PrioritizingInstance,
+    query,
+    semantics: str = "global",
+) -> Tuple[int, int]:
+    """``(repairs entailing the query, total repairs)`` by enumeration.
+
+    ``semantics`` selects the repair set: ``"all"`` uses every subset
+    repair, the other three use :func:`oracle_optimal_repairs`.  The
+    ground truth for :func:`repro.compute.count_repairs_entailing`.
+    """
+    if semantics == "all":
+        repairs = oracle_repairs(
+            prioritizing.schema, prioritizing.instance.facts
+        )
+    elif semantics in ("global", "pareto", "completion"):
+        repairs = oracle_optimal_repairs(prioritizing, semantics)
+    else:
+        raise UsageError(f"unknown semantics {semantics!r}")
+    entailing = sum(1 for repair in repairs if _oracle_holds(query, repair))
+    return entailing, len(repairs)

@@ -1,0 +1,199 @@
+"""Construction conformance: computed repairs must satisfy the checkers.
+
+:func:`repro.compute.compute_optimal_repair` *constructs* an optimal
+repair; these tests close the loop by driving every constructed repair
+through the corresponding ``check_*`` dispatcher AND demanding
+membership in the oracle's exhaustively-enumerated optimum set.  Each
+semantics accumulates at least :data:`CASES_PER_SEMANTICS` counted
+generated cases across the tractable and coNP-hard-to-check schemas
+(the construction is polynomial for classical priorities on *every*
+schema — that asymmetry is the point of the compute layer).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core import Fact, PrioritizingInstance, PriorityRelation
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.compute import compute_optimal_repair, find_optimal_repair
+from repro.compute.construct import GREEDY_METHOD
+from repro.core.repairs import is_repair
+from repro.exceptions import CyclicPriorityError
+from repro.testing import oracle_optimal_repairs
+from repro.workloads.priorities import random_ccp_priority
+
+from tests.helpers import hard_schema, single_fd_schema, two_keys_schema
+
+#: Every semantics must survive at least this many generated cases.
+CASES_PER_SEMANTICS = 200
+
+MAX_FACTS = 5
+ALPHABET = 3
+
+CHECKERS = {
+    "global": check_globally_optimal,
+    "pareto": check_pareto_optimal,
+    "completion": check_completion_optimal,
+}
+
+
+def _random_problem(rng, schema, arity, ccp=False):
+    n = rng.randint(1, MAX_FACTS)
+    facts = list(
+        {
+            Fact("R", tuple(rng.randint(0, ALPHABET - 1) for _ in range(arity)))
+            for _ in range(n)
+        }
+    )
+    instance = schema.instance(facts)
+    if ccp:
+        priority = random_ccp_priority(
+            schema, instance, cross_probability=0.25, seed=rng.randint(0, 10**6)
+        )
+        return PrioritizingInstance(schema, instance, priority, ccp=True)
+    conflicts = [
+        (f, g)
+        for f, g in itertools.combinations(facts, 2)
+        if not schema.is_consistent(schema.instance([f, g]))
+    ]
+    edges = []
+    for f, g in conflicts:
+        roll = rng.random()
+        if roll < 0.4:
+            edges.append((f, g))
+        elif roll < 0.8:
+            edges.append((g, f))
+    try:
+        return PrioritizingInstance(schema, instance, PriorityRelation(edges))
+    except CyclicPriorityError:
+        return None
+
+
+def _conform_construct(semantics, schema_builder, arity, seed, ccp=False,
+                       quota=CASES_PER_SEMANTICS):
+    """Construct repairs until the quota is met; verify each exactly."""
+    rng = random.Random(seed)
+    schema = schema_builder()
+    checker = CHECKERS[semantics]
+    cases = 0
+    trials = 0
+    while cases < quota:
+        trials += 1
+        assert trials < 20 * quota, "generator failed to reach the quota"
+        prioritizing = _random_problem(rng, schema, arity, ccp=ccp)
+        if prioritizing is None:
+            continue
+        computed = compute_optimal_repair(
+            prioritizing,
+            semantics=semantics,
+            rng=random.Random(rng.randint(0, 10**6)),
+        )
+        context = (
+            sorted(map(str, prioritizing.instance)),
+            sorted(
+                (str(a), str(b)) for a, b in prioritizing.priority.edges
+            ),
+            sorted(map(str, computed.repair)),
+            semantics,
+            computed.status,
+        )
+        assert is_repair(
+            schema, prioritizing.instance, computed.repair
+        ), context
+        if computed.status != "ok":
+            # The anytime climb may degrade on ccp inputs; an exact
+            # answer is only guaranteed for classical priorities.
+            assert ccp, context
+            continue
+        assert checker(prioritizing, computed.repair).is_optimal, context
+        optimal = set(oracle_optimal_repairs(prioritizing, semantics))
+        assert frozenset(computed.repair.facts) in optimal, context
+        cases += 1
+    assert cases >= quota
+    return cases
+
+
+# -- ≥200 counted cases per semantics, classical priorities ---------------------------
+
+
+def test_global_construction_conforms():
+    cases = _conform_construct(
+        "global", single_fd_schema, 2, seed=11, quota=CASES_PER_SEMANTICS // 2
+    )
+    cases += _conform_construct(
+        "global", hard_schema, 3, seed=12, quota=CASES_PER_SEMANTICS // 2
+    )
+    assert cases >= CASES_PER_SEMANTICS
+
+
+def test_pareto_construction_conforms():
+    cases = _conform_construct(
+        "pareto", single_fd_schema, 2, seed=21, quota=CASES_PER_SEMANTICS // 2
+    )
+    cases += _conform_construct(
+        "pareto", hard_schema, 3, seed=22, quota=CASES_PER_SEMANTICS // 2
+    )
+    assert cases >= CASES_PER_SEMANTICS
+
+
+def test_completion_construction_conforms():
+    cases = _conform_construct(
+        "completion", two_keys_schema, 2, seed=31,
+        quota=CASES_PER_SEMANTICS // 2,
+    )
+    cases += _conform_construct(
+        "completion", hard_schema, 3, seed=32,
+        quota=CASES_PER_SEMANTICS // 2,
+    )
+    assert cases >= CASES_PER_SEMANTICS
+
+
+# -- ccp priorities: the anytime climb must still be exact when it says ok ------------
+
+
+def test_global_construction_conforms_on_ccp():
+    _conform_construct(
+        "global", single_fd_schema, 2, seed=41, ccp=True, quota=50
+    )
+
+
+def test_pareto_construction_conforms_on_ccp():
+    _conform_construct(
+        "pareto", single_fd_schema, 2, seed=51, ccp=True, quota=50
+    )
+
+
+# -- the classical fast path is one greedy call even on hard-to-check schemas ---------
+
+
+def test_classical_hard_schema_uses_greedy_method():
+    rng = random.Random(61)
+    schema = hard_schema()
+    found = 0
+    while found < 20:
+        prioritizing = _random_problem(rng, schema, 3)
+        if prioritizing is None:
+            continue
+        computed = compute_optimal_repair(prioritizing, semantics="global")
+        assert computed.status == "ok"
+        assert computed.method == GREEDY_METHOD
+        assert computed.rounds == 1
+        found += 1
+
+
+def test_find_optimal_repair_wraps_construction():
+    schema = single_fd_schema()
+    f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    instance = schema.instance([f, g])
+    computed = find_optimal_repair(
+        schema, instance, PriorityRelation([(f, g)]), semantics="global",
+        seed=7,
+    )
+    assert computed.status == "ok"
+    assert frozenset(computed.repair.facts) == frozenset({f})

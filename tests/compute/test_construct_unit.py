@@ -1,0 +1,120 @@
+"""Unit tests for the construct layer's edges: budgets, errors, claims."""
+
+from __future__ import annotations
+
+import random
+import time
+
+from pytest import raises
+
+from repro.compute import compute_optimal_repair, find_optimal_repair
+from repro.compute.construct import ANYTIME_METHOD, ComputedRepair, SEMANTICS
+from repro.core import Fact, PriorityRelation, PrioritizingInstance
+from repro.core.repairs import is_repair
+from repro.exceptions import InvalidPriorityError, UsageError
+from tests.helpers import single_fd_schema
+
+
+def _ccp_problem():
+    """Two blocks with cross-conflict preference edges between them."""
+    schema = single_fd_schema()
+    f1, f2 = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    g1, g2 = Fact("R", (2, "a")), Fact("R", (2, "b"))
+    instance = schema.instance([f1, f2, g1, g2])
+    priority = PriorityRelation([(f1, g2), (g1, f2)])
+    return PrioritizingInstance(schema, instance, priority, ccp=True)
+
+
+def _classical_problem():
+    schema = single_fd_schema()
+    f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    instance = schema.instance([f, g])
+    return PrioritizingInstance(schema, instance, PriorityRelation([(f, g)]))
+
+
+def test_unknown_semantics_rejected_up_front():
+    prioritizing = _classical_problem()
+    with raises(UsageError):
+        compute_optimal_repair(prioritizing, "majority")
+    with raises(UsageError):
+        find_optimal_repair(
+            prioritizing.schema,
+            prioritizing.instance,
+            prioritizing.priority,
+            semantics="majority",
+        )
+    assert SEMANTICS == ("global", "pareto", "completion")
+
+
+def test_completion_semantics_rejects_ccp():
+    """Matching the checkers: completion-optimality is undefined for ccp."""
+    with raises(InvalidPriorityError):
+        compute_optimal_repair(_ccp_problem(), "completion")
+
+
+def test_expired_deadline_still_returns_a_repair():
+    prioritizing = _ccp_problem()
+    computed = compute_optimal_repair(
+        prioritizing, "global", deadline=time.monotonic() - 1.0
+    )
+    assert computed.status == "timeout"
+    assert computed.method == ANYTIME_METHOD
+    assert not computed.is_exact
+    assert is_repair(
+        prioritizing.schema, prioritizing.instance, computed.repair
+    )
+
+
+def test_exhausted_node_budget_degrades_with_best_so_far():
+    prioritizing = _ccp_problem()
+    computed = compute_optimal_repair(
+        prioritizing, "pareto", node_budget=0
+    )
+    assert computed.status == "degraded"
+    assert computed.method == ANYTIME_METHOD
+    assert not computed.is_exact
+    assert is_repair(
+        prioritizing.schema, prioritizing.instance, computed.repair
+    )
+
+
+def test_equal_seeds_give_equal_repairs():
+    prioritizing = _ccp_problem()
+    for semantics in ("global", "pareto"):
+        first = compute_optimal_repair(
+            prioritizing, semantics, rng=random.Random(9)
+        )
+        second = compute_optimal_repair(
+            prioritizing, semantics, rng=random.Random(9)
+        )
+        assert frozenset(first.repair.facts) == frozenset(second.repair.facts)
+        assert (first.status, first.rounds) == (second.status, second.rounds)
+
+
+def test_find_optimal_repair_seed_determinism():
+    prioritizing = _classical_problem()
+    runs = [
+        find_optimal_repair(
+            prioritizing.schema,
+            prioritizing.instance,
+            prioritizing.priority,
+            semantics="pareto",
+            seed=3,
+        )
+        for _ in range(2)
+    ]
+    assert frozenset(runs[0].repair.facts) == frozenset(runs[1].repair.facts)
+
+
+def test_is_exact_tracks_status():
+    prioritizing = _classical_problem()
+    computed = compute_optimal_repair(prioritizing, "global")
+    assert computed.status == "ok"
+    assert computed.is_exact
+    degraded = ComputedRepair(
+        repair=computed.repair,
+        status="degraded",
+        semantics="global",
+        method=ANYTIME_METHOD,
+    )
+    assert not degraded.is_exact

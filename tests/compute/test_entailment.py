@@ -1,0 +1,210 @@
+"""Entailment counting: both methods must match the definitional oracle.
+
+:func:`repro.compute.count_repairs_entailing` has a block-product fast
+path (classical priorities, single-FD schema, ground single-atom query)
+and an enumeration fallback (everything else).  These tests force each
+method on generated problems and demand exact agreement with
+:func:`repro.testing.oracle_entailment_count`, plus the degradation,
+validation, and census contracts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from pytest import raises
+
+from repro.compute import count_repairs_entailing
+from repro.compute.entailment import (
+    BLOCK_METHOD,
+    ENUMERATION_METHOD,
+    EntailmentCount,
+)
+from repro.core import Fact, PriorityRelation, PrioritizingInstance
+from repro.cqa import Atom, ConjunctiveQuery, Var, answer_census
+from repro.exceptions import QueryError, UsageError
+from repro.testing import oracle_entailment_count
+from repro.workloads.priorities import random_ccp_priority
+
+from tests.compute.test_construct_conformance import _random_problem
+from tests.helpers import hard_schema, single_fd_schema
+
+CASES = 120
+MAX_FACTS = 5
+ALPHABET = 3
+
+
+def _ground_query(rng, prioritizing):
+    """A boolean one-ground-atom query over a fact that may or may not
+    be present (half the time an instance fact, half a fresh tuple)."""
+    facts = sorted(prioritizing.instance.facts, key=str)
+    if facts and rng.random() < 0.5:
+        fact = rng.choice(facts)
+        return ConjunctiveQuery((), (Atom(fact.relation, fact.values),))
+    arity = len(facts[0].values) if facts else 2
+    values = tuple(rng.randint(0, ALPHABET - 1) for _ in range(arity))
+    return ConjunctiveQuery((), (Atom("R", values),))
+
+
+def _agree(result, prioritizing, query, semantics):
+    expected = oracle_entailment_count(prioritizing, query, semantics)
+    context = (
+        sorted(map(str, prioritizing.instance)),
+        str(query),
+        semantics,
+        result,
+        expected,
+    )
+    assert result.exact, context
+    assert (result.entailing, result.total) == expected, context
+
+
+def test_block_product_fast_path_agrees_with_oracle():
+    """Classical single-FD problems + ground atoms take the fast path."""
+    rng = random.Random(101)
+    schema = single_fd_schema()
+    fast = 0
+    trials = 0
+    while fast < CASES:
+        trials += 1
+        assert trials < 20 * CASES
+        prioritizing = _random_problem(rng, schema, 2)
+        if prioritizing is None:
+            continue
+        query = _ground_query(rng, prioritizing)
+        semantics = rng.choice(("global", "pareto"))
+        result = count_repairs_entailing(query, prioritizing, semantics)
+        assert result.method == BLOCK_METHOD
+        _agree(result, prioritizing, query, semantics)
+        fast += 1
+
+
+def test_enumeration_fallback_agrees_with_oracle_on_ccp():
+    """ccp priorities disable the product decomposition."""
+    rng = random.Random(202)
+    schema = single_fd_schema()
+    for _ in range(60):
+        prioritizing = _random_problem(rng, schema, 2, ccp=True)
+        query = _ground_query(rng, prioritizing)
+        semantics = rng.choice(("global", "pareto"))
+        result = count_repairs_entailing(query, prioritizing, semantics)
+        assert result.method == ENUMERATION_METHOD
+        _agree(result, prioritizing, query, semantics)
+
+
+def test_enumeration_fallback_agrees_for_completion_and_all():
+    """completion/all semantics never qualify for the fast path."""
+    rng = random.Random(303)
+    schema = single_fd_schema()
+    done = 0
+    while done < 60:
+        prioritizing = _random_problem(rng, schema, 2)
+        if prioritizing is None:
+            continue
+        query = _ground_query(rng, prioritizing)
+        semantics = rng.choice(("completion", "all"))
+        result = count_repairs_entailing(query, prioritizing, semantics)
+        assert result.method == ENUMERATION_METHOD
+        _agree(result, prioritizing, query, semantics)
+        done += 1
+
+
+def test_non_ground_queries_enumerate_and_agree():
+    """A variable (or a two-atom body) forces enumeration."""
+    rng = random.Random(404)
+    schema = hard_schema()
+    done = 0
+    while done < 40:
+        prioritizing = _random_problem(rng, schema, 3)
+        if prioritizing is None:
+            continue
+        value = rng.randint(0, ALPHABET - 1)
+        query = ConjunctiveQuery(
+            (), (Atom("R", (value, Var("x"), Var("y"))),)
+        )
+        semantics = rng.choice(("global", "pareto", "completion", "all"))
+        result = count_repairs_entailing(query, prioritizing, semantics)
+        assert result.method == ENUMERATION_METHOD
+        _agree(result, prioritizing, query, semantics)
+        done += 1
+
+
+def _many_repair_problem():
+    """Three independent conflicting pairs, no priorities: 8 repairs."""
+    schema = single_fd_schema()
+    facts = [Fact("R", (key, value)) for key in (1, 2, 3) for value in "ab"]
+    instance = schema.instance(facts)
+    return PrioritizingInstance(schema, instance, PriorityRelation([]))
+
+
+def test_max_repairs_cap_degrades_instead_of_hanging():
+    prioritizing = _many_repair_problem()
+    query = ConjunctiveQuery((), (Atom("R", (1, "a")),))
+    capped = count_repairs_entailing(
+        query, prioritizing, "all", max_repairs=3
+    )
+    assert capped.method == ENUMERATION_METHOD
+    assert not capped.exact
+    assert capped.status == "degraded"
+    assert capped.total == 3
+    assert 0 <= capped.entailing <= capped.total
+    assert "max_repairs=3" in capped.reason
+
+
+def test_generous_cap_stays_exact():
+    prioritizing = _many_repair_problem()
+    query = ConjunctiveQuery((), (Atom("R", (1, "a")),))
+    result = count_repairs_entailing(
+        query, prioritizing, "all", max_repairs=100
+    )
+    assert result.exact
+    assert result.status == "ok"
+    assert (result.entailing, result.total) == (4, 8)
+    assert result.fraction == 0.5
+
+
+def test_unknown_semantics_is_a_usage_error():
+    prioritizing = _many_repair_problem()
+    query = ConjunctiveQuery((), (Atom("R", (1, "a")),))
+    with raises(UsageError):
+        count_repairs_entailing(query, prioritizing, "majority")
+
+
+def test_query_is_validated_against_the_schema():
+    prioritizing = _many_repair_problem()
+    bad_relation = ConjunctiveQuery((), (Atom("S", (1, "a")),))
+    with raises(QueryError):
+        count_repairs_entailing(bad_relation, prioritizing, "global")
+    bad_arity = ConjunctiveQuery((), (Atom("R", (1, "a", "extra")),))
+    with raises(QueryError):
+        count_repairs_entailing(bad_arity, prioritizing, "global")
+
+
+def test_entailment_count_accessors():
+    empty = EntailmentCount(0, 0, "global", ENUMERATION_METHOD)
+    assert empty.fraction == 0.0
+    assert empty.status == "ok"
+    partial = EntailmentCount(
+        2, 5, "all", ENUMERATION_METHOD, exact=False, reason="capped"
+    )
+    assert partial.fraction == 0.4
+    assert partial.status == "degraded"
+
+
+def test_boolean_census_matches_entailment_count():
+    """answer_census on a boolean query is the same tally, keyed by ()."""
+    rng = random.Random(505)
+    schema = single_fd_schema()
+    done = 0
+    while done < 30:
+        prioritizing = _random_problem(rng, schema, 2)
+        if prioritizing is None:
+            continue
+        query = _ground_query(rng, prioritizing)
+        semantics = rng.choice(("global", "pareto", "all"))
+        count = count_repairs_entailing(query, prioritizing, semantics)
+        census = answer_census(query, prioritizing, semantics)
+        assert census.total == count.total
+        assert census.counts.get((), 0) == count.entailing
+        assert census.fraction(()) == count.fraction
+        done += 1

@@ -11,7 +11,7 @@ from repro.core.counting import (
     optimal_repair_census,
     unique_optimal_repair,
 )
-from repro.core.repairs import count_repairs
+from repro.core.repairs import _count_repairs_enumerative as count_repairs
 from repro.workloads.generators import random_instance_with_conflicts
 from repro.workloads.priorities import (
     random_conflict_priority,

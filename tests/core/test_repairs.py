@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Fact, Schema
 from repro.core.repairs import (
-    count_repairs,
+    _count_repairs_enumerative as count_repairs,
     enumerate_repairs,
     greedy_repair,
     is_consistent_subinstance,

@@ -1,0 +1,13 @@
+"""RL008 fixture: compute entry points that default on bad semantics."""
+
+
+def compute_something(prioritizing, semantics="global"):
+    if semantics == "pareto":
+        return "pareto-repair"
+    return "global-repair"
+
+
+def count_something(query, prioritizing, semantics="global"):
+    if semantics == "all":
+        return 7
+    return 3

@@ -1,0 +1,33 @@
+"""RL008 near-miss set: validation, delegation, and private helpers."""
+
+from repro.exceptions import UsageError
+
+_SEMANTICS = ("global", "pareto", "completion")
+
+
+def _require_semantics(semantics):
+    if semantics not in _SEMANTICS:
+        raise UsageError(f"unknown semantics {semantics!r}")
+
+
+def compute_with_validator(prioritizing, semantics="global"):
+    _require_semantics(semantics)
+    return _kernel(prioritizing, semantics)
+
+
+def compute_with_manual_guard(prioritizing, semantics="global"):
+    if semantics not in _SEMANTICS:
+        raise UsageError(f"unknown semantics {semantics!r}")
+    return _kernel(prioritizing, semantics)
+
+
+def find_by_delegation(prioritizing, semantics="global"):
+    return compute_with_validator(prioritizing, semantics)
+
+
+def compute_without_semantics(prioritizing):
+    return _kernel(prioritizing, "global")
+
+
+def _kernel(prioritizing, semantics):
+    return (prioritizing, semantics)

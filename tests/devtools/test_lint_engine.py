@@ -224,6 +224,7 @@ class TestRegistry:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ]
 
     def test_rules_carry_docs_and_scopes(self):

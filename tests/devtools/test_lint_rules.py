@@ -40,6 +40,7 @@ CASES = [
     ("rl005", "RL005", 2),  # raise KeyError + raise ValueError
     ("rl006", "RL006", 4),  # time.time(), from-import, datetime.now/utcnow
     ("rl007", "RL007", 2),  # except Exception + bare except
+    ("rl008", "RL008", 2),  # unvalidated compute_* and count_* semantics
 ]
 
 

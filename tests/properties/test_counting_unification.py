@@ -1,0 +1,74 @@
+"""The three repair counters are one function (satellite unification).
+
+``count_repairs_fast`` is the single public entry point; the demoted
+``_count_repairs_enumerative`` survives only as its fallback, and
+``oracle_count_repairs`` is the definitional ground truth.  On every
+generated instance all three must agree exactly — across a single-FD
+schema (block-product regime), a two-key schema, and a hard multi-FD
+schema (enumerative regime).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import Fact
+from repro.core.counting import count_repairs_fast
+from repro.core.repairs import _count_repairs_enumerative, enumerate_repairs
+from repro.testing import oracle_count_repairs
+from tests.helpers import hard_schema, single_fd_schema, two_keys_schema
+
+CASES_PER_SCHEMA = 150
+MAX_FACTS = 6
+ALPHABET = 3
+
+
+def _random_instance(rng, schema, arity):
+    n = rng.randint(0, MAX_FACTS)
+    facts = {
+        Fact("R", tuple(rng.randint(0, ALPHABET - 1) for _ in range(arity)))
+        for _ in range(n)
+    }
+    return schema.instance(sorted(facts, key=str))
+
+
+def _cross_check(schema_builder, arity, seed):
+    rng = random.Random(seed)
+    schema = schema_builder()
+    for _ in range(CASES_PER_SCHEMA):
+        instance = _random_instance(rng, schema, arity)
+        fast = count_repairs_fast(schema, instance)
+        enumerative = _count_repairs_enumerative(schema, instance)
+        oracle = oracle_count_repairs(schema, instance.facts)
+        context = (sorted(map(str, instance)), fast, enumerative, oracle)
+        assert fast == enumerative == oracle, context
+
+
+def test_single_fd_counters_agree():
+    _cross_check(single_fd_schema, 2, seed=71)
+
+
+def test_two_keys_counters_agree():
+    _cross_check(two_keys_schema, 2, seed=72)
+
+
+def test_hard_schema_counters_agree():
+    _cross_check(hard_schema, 3, seed=73)
+
+
+def test_counters_match_explicit_enumeration():
+    """Spot-check against literally materializing the repair set."""
+    rng = random.Random(74)
+    schema = hard_schema()
+    for _ in range(40):
+        instance = _random_instance(rng, schema, 3)
+        repairs = list(enumerate_repairs(schema, instance))
+        assert count_repairs_fast(schema, instance) == len(repairs)
+
+
+def test_empty_instance_has_exactly_one_repair():
+    schema = single_fd_schema()
+    instance = schema.instance([])
+    assert count_repairs_fast(schema, instance) == 1
+    assert _count_repairs_enumerative(schema, instance) == 1
+    assert oracle_count_repairs(schema, instance.facts) == 1

@@ -1,0 +1,104 @@
+"""Subprocess e2e: ``repair`` and ``count`` through a real ``repro serve``.
+
+Boots the daemon exactly as an operator would, drives the two compute
+ops over real sockets with :class:`RepairClient`, exercises the strict
+bad-request layer on the wire, and drains cleanly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cqa import Atom, ConjunctiveQuery, query_to_dict
+from repro.server import RepairClient
+
+from tests.server.test_e2e import (
+    boot_daemon,
+    serve_problem,
+    shut_down,
+    wait_for_port,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def _query_document(key, value):
+    return query_to_dict(ConjunctiveQuery((), (Atom("R", (key, value)),)))
+
+
+def test_repair_and_count_ops_end_to_end():
+    process = boot_daemon()
+    try:
+        port = wait_for_port(process)
+        _, problem = serve_problem()
+        with RepairClient(port=port, timeout=60) as client:
+            # repair: the preferred facts of both blocks plus the loner.
+            repaired = client.repair(
+                problem, request_id="r1", semantics="global", seed=0
+            )
+            assert repaired["ok"], repaired
+            result = repaired["result"]
+            assert result["kind"] == "repair"
+            assert result["status"] == "ok"
+            kept = {
+                (entry["relation"], tuple(entry["values"]))
+                for entry in result["payload"]["repair"]
+            }
+            assert kept == {
+                ("R", (0, "a")),
+                ("R", (1, "a")),
+                ("R", (2, "a")),
+            }
+
+            # count: R(0, 'a') is in the unique globally optimal repair.
+            counted = client.count(
+                problem, _query_document(0, "a"), request_id="c1",
+                semantics="global",
+            )
+            assert counted["ok"], counted
+            assert counted["result"]["kind"] == "count"
+            assert counted["result"]["payload"]["entailing"] == 1
+            assert counted["result"]["payload"]["total"] == 1
+
+            # The dominated fact R(0, 'b') is in no optimal repair.
+            dominated = client.count(
+                problem, _query_document(0, "b"), request_id="c2",
+                semantics="global",
+            )
+            assert dominated["result"]["payload"]["entailing"] == 0
+            assert dominated["result"]["payload"]["total"] == 1
+
+            # Strict validation on the wire: unknown key, bool-typed
+            # int, malformed query document.
+            unknown_key = client.request(
+                {"op": "repair", "id": "b1", "problem": problem, "budjet": 9}
+            )
+            assert unknown_key["ok"] is False
+            assert unknown_key["error"]["code"] == "bad-request"
+
+            bool_seed = client.request(
+                {"op": "repair", "id": "b2", "problem": problem, "seed": True}
+            )
+            assert bool_seed["ok"] is False
+            assert bool_seed["error"]["code"] == "bad-request"
+
+            bad_query = client.request(
+                {
+                    "op": "count",
+                    "id": "b3",
+                    "problem": problem,
+                    "query": {"bogus": 1},
+                }
+            )
+            assert bad_query["ok"] is False
+            assert bad_query["error"]["code"] == "bad-request"
+
+            stats = client.stats()["stats"]
+            assert stats["counters"]["server.bad_requests"] == 3
+            response = client.drain()
+            assert response["draining"] is True
+        stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        assert "drained cleanly" in stdout
+    finally:
+        shut_down(process)

@@ -1,0 +1,229 @@
+"""The daemon's ``repair`` and ``count`` ops, protocol to socket.
+
+Three validation layers, each tested here: the wire protocol rejects
+malformed envelopes (unknown keys, wrong types) before admission;
+document parsing failures (bad problem or query bodies) become
+``bad-request`` responses; semantic errors inside the compute layer
+(unknown semantics, ccp + completion) come back as ``ok`` responses
+whose *result* carries ``status="error"`` — the same error taxonomy as
+the ``check`` op.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Fact, PriorityRelation, PrioritizingInstance
+from repro.cqa import Atom, ConjunctiveQuery, query_to_dict
+from repro.exceptions import ProtocolError
+from repro.io import prioritizing_to_dict
+from repro.server.protocol import OPS, parse_request
+
+from tests.helpers import single_fd_schema
+from tests.server.test_daemon import serve
+
+PROBLEM = {"schema": {}, "facts": []}  # shape-checked only at this layer
+
+
+# -- protocol layer ------------------------------------------------------------------
+
+
+def test_repair_and_count_are_vocabulary_ops():
+    assert "repair" in OPS
+    assert "count" in OPS
+
+
+def test_parse_repair_keeps_payload_fields():
+    request = parse_request(
+        json.dumps(
+            {
+                "op": "repair",
+                "id": "r1",
+                "problem": PROBLEM,
+                "semantics": "pareto",
+                "seed": 3,
+                "budget": 500,
+                "timeout": 1.5,
+                "job_id": "alpha",
+            }
+        )
+    )
+    assert request.op == "repair"
+    assert request.payload["semantics"] == "pareto"
+    assert request.payload["seed"] == 3
+    assert request.payload["budget"] == 500
+
+
+def test_parse_count_keeps_payload_fields():
+    request = parse_request(
+        json.dumps(
+            {
+                "op": "count",
+                "id": "c1",
+                "problem": PROBLEM,
+                "query": {"body": []},
+                "semantics": "all",
+                "max_repairs": 64,
+            }
+        )
+    )
+    assert request.op == "count"
+    assert request.payload["query"] == {"body": []}
+    assert request.payload["max_repairs"] == 64
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        '{"op": "repair"}',  # missing problem
+        '{"op": "repair", "problem": []}',  # problem not an object
+        '{"op": "repair", "problem": {}, "candidate": [0]}',  # check-only key
+        '{"op": "repair", "problem": {}, "budjet": 9}',  # typo key
+        '{"op": "repair", "problem": {}, "seed": true}',  # bool is not int
+        '{"op": "repair", "problem": {}, "seed": "0"}',
+        '{"op": "repair", "problem": {}, "semantics": 1}',
+        '{"op": "repair", "problem": {}, "timeout": "fast"}',
+        '{"op": "repair", "problem": {}, "budget": 1.5}',
+        '{"op": "count", "problem": {}}',  # missing query
+        '{"op": "count", "problem": {}, "query": "Q"}',  # query not an object
+        '{"op": "count", "problem": {}, "query": {}, "max_repairs": true}',
+        '{"op": "count", "problem": {}, "query": {}, "seed": 1}',  # repair-only
+        '{"op": "count", "problem": {}, "query": {}, "job_id": 3}',
+    ],
+)
+def test_malformed_compute_requests_raise_protocol_error(line):
+    with pytest.raises(ProtocolError):
+        parse_request(line)
+
+
+# -- in-process daemon round trips ---------------------------------------------------
+
+
+def _problem_document():
+    schema = single_fd_schema()
+    f, g = Fact("R", (1, "a")), Fact("R", (1, "b"))
+    instance = schema.instance([f, g])
+    prioritizing = PrioritizingInstance(
+        schema, instance, PriorityRelation([(f, g)])
+    )
+    return prioritizing_to_dict(prioritizing)
+
+
+def _query_document():
+    return query_to_dict(ConjunctiveQuery((), (Atom("R", (1, "a")),)))
+
+
+def test_repair_op_end_to_end():
+    async def scenario(server, client):
+        response = await client.request(
+            {
+                "op": "repair",
+                "id": 1,
+                "problem": _problem_document(),
+                "semantics": "global",
+                "seed": 0,
+            }
+        )
+        assert response["ok"], response
+        result = response["result"]
+        assert result["kind"] == "repair"
+        assert result["status"] == "ok"
+        kept = {
+            (entry["relation"], tuple(entry["values"]))
+            for entry in result["payload"]["repair"]
+        }
+        assert kept == {("R", (1, "a"))}
+        # Same request again: served from the result cache.
+        again = await client.request(
+            {
+                "op": "repair",
+                "id": 2,
+                "problem": _problem_document(),
+                "semantics": "global",
+                "seed": 0,
+            }
+        )
+        assert again["result"]["cache_hit"] is True
+
+    serve(scenario)
+
+
+def test_count_op_end_to_end():
+    async def scenario(server, client):
+        response = await client.request(
+            {
+                "op": "count",
+                "id": "c1",
+                "problem": _problem_document(),
+                "query": _query_document(),
+                "semantics": "global",
+            }
+        )
+        assert response["ok"], response
+        result = response["result"]
+        assert result["kind"] == "count"
+        assert result["status"] == "ok"
+        assert result["payload"]["entailing"] == 1
+        assert result["payload"]["total"] == 1
+        assert result["payload"]["fraction"] == 1.0
+
+    serve(scenario)
+
+
+def test_bad_query_document_is_a_bad_request():
+    async def scenario(server, client):
+        response = await client.request(
+            {
+                "op": "count",
+                "id": "c1",
+                "problem": _problem_document(),
+                "query": {"bogus": 1},
+            }
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-request"
+
+    serve(scenario)
+
+
+def test_bad_problem_document_is_a_bad_request():
+    async def scenario(server, client):
+        response = await client.request(
+            {"op": "repair", "id": 9, "problem": {"nope": True}}
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-request"
+
+    serve(scenario)
+
+
+def test_semantic_errors_become_error_results_not_bad_requests():
+    async def scenario(server, client):
+        response = await client.request(
+            {
+                "op": "repair",
+                "id": 3,
+                "problem": _problem_document(),
+                "semantics": "majority",
+            }
+        )
+        assert response["ok"], response
+        assert response["result"]["status"] == "error"
+        assert "UsageError" in response["result"]["reason"]
+
+    serve(scenario)
+
+
+def test_compute_ops_rejected_while_draining():
+    async def scenario(server, client):
+        acked = await client.request({"op": "drain", "id": "bye"})
+        assert acked["draining"] is True
+        response = await client.request(
+            {"op": "repair", "id": 4, "problem": _problem_document()}
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "draining"
+
+    serve(scenario)

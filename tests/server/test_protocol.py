@@ -109,5 +109,5 @@ def test_encode_response_is_one_terminated_utf8_line():
 def test_op_vocabulary_is_stable():
     # The client, daemon, and docs all quote these; renames are wire
     # breaks and must bump PROTOCOL_VERSION.
-    assert OPS == ("check", "classify", "ping", "stats", "drain")
+    assert OPS == ("check", "repair", "count", "classify", "ping", "stats", "drain")
     assert PROTOCOL_VERSION == 1
