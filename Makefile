@@ -1,7 +1,7 @@
 # Convenience targets for the repro repository.
 
 .PHONY: install test lint typecheck coverage bench bench-tables \
-	service-bench perf perf-compute chaos examples all clean
+	service-bench perf perf-large perf-compute chaos examples all clean
 
 install:
 	pip install -e .
@@ -62,11 +62,19 @@ chaos:
 		tests/service/test_journal.py \
 		tests/service/test_serve_batch_resume.py -q
 
-# Core fast-path speedups vs the retained literal baselines; writes
-# BENCH_core.json and fails on regression vs the committed numbers.
-# QUICK=1 runs the smallest workload only (CI smoke).
+# Core fast-path speedups vs the retained literal baselines, plus the
+# large-tier bitset-vs-object comparison; writes BENCH_core.json and
+# fails on regression vs the committed numbers.  QUICK=1 runs the
+# smallest workload per tier only (CI smoke).
 perf:
 	PYTHONPATH=src python benchmarks/bench_core_fastpaths.py $(if $(QUICK),--quick)
+
+# Large tier only (10^4-10^5 facts, columnar bitset backend vs the
+# object backend on the same checkers); merges its entries into
+# BENCH_core.json without touching the fast-path tier, and fails when
+# the bitset geomean speedup drops below 3x.
+perf-large:
+	PYTHONPATH=src python benchmarks/bench_core_fastpaths.py --tier large $(if $(QUICK),--quick)
 
 # Compute-layer fast paths (optimal-repair construction and entailment
 # counting) vs their enumeration baselines; writes BENCH_compute.json

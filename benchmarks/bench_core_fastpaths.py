@@ -21,6 +21,17 @@ production.  Results land in ``BENCH_core.json`` as a machine-readable
 trajectory point (per-checker latency, speedup, instance sizes,
 geometric means).
 
+A second **large tier** (10^4–10^5 facts) compares the columnar bitset
+backend against the object backend on the *same* optimized checkers
+(``backend="bitset"`` vs ``backend="object"``, DESIGN.md §13), gated
+by ``--min-large-geomean`` (default 3x).  Every entry records its
+``tier``, both backend names, and — for bitset entries — the one-off
+interning/layout-compilation time separately from the steady-state
+per-check latency it amortizes into.  Entries are merged into the
+committed ``BENCH_core.json`` by key, so ``make perf-large`` refreshes
+the large tier without discarding the fast-path numbers (and vice
+versa).
+
 Regression guard: speedup ratios (baseline / optimized, same run, same
 machine) are compared against the committed ``BENCH_core.json``.  The
 run fails when an entry's speedup drops below ``(1 - tolerance)`` of
@@ -138,6 +149,51 @@ WORKLOADS: Dict[str, Callable] = {
 }
 
 
+def workload_single_fd_large(size, n_candidates):
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    fd = equivalent_single_fd(schema.fds_for("R"))
+    prioritizing, candidates = make_input(schema, size, n_candidates)
+    optimized = lambda c: check_single_fd(  # noqa: E731
+        prioritizing, c, fd, backend="bitset"
+    )
+    baseline = lambda c: check_single_fd(  # noqa: E731
+        prioritizing, c, fd, backend="object"
+    )
+    return prioritizing, candidates, optimized, baseline
+
+
+def workload_two_keys_large(size, n_candidates):
+    schema = Schema.single_relation(["1 -> 2", "2 -> 1"], arity=2)
+    key1, key2 = equivalent_two_keys(schema.fds_for("R"))
+    prioritizing, candidates = make_input(schema, size, n_candidates)
+    optimized = lambda c: check_two_keys(  # noqa: E731
+        prioritizing, c, key1, key2, backend="bitset"
+    )
+    baseline = lambda c: check_two_keys(  # noqa: E731
+        prioritizing, c, key1, key2, backend="object"
+    )
+    return prioritizing, candidates, optimized, baseline
+
+
+def workload_pareto_large(size, n_candidates):
+    schema = Schema.single_relation(["1 -> 2"], arity=3)
+    prioritizing, candidates = make_input(schema, size, n_candidates)
+    optimized = lambda c: check_pareto_optimal(  # noqa: E731
+        prioritizing, c, backend="bitset"
+    )
+    baseline = lambda c: check_pareto_optimal(  # noqa: E731
+        prioritizing, c, backend="object"
+    )
+    return prioritizing, candidates, optimized, baseline
+
+
+LARGE_WORKLOADS: Dict[str, Callable] = {
+    "single_fd": workload_single_fd_large,
+    "two_keys": workload_two_keys_large,
+    "pareto": workload_pareto_large,
+}
+
+
 def best_of(fn: Callable[[], object], repeats: int) -> float:
     """Minimum wall-clock seconds over ``repeats`` runs of ``fn``."""
     best = math.inf
@@ -148,10 +204,25 @@ def best_of(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
-def run_entry(checker: str, size: int, n_candidates: int, repeats: int):
-    prioritizing, candidates, optimized, baseline = WORKLOADS[checker](
+def run_entry(
+    checker: str,
+    size: int,
+    n_candidates: int,
+    repeats: int,
+    tier: str = "fastpath",
+):
+    workloads = LARGE_WORKLOADS if tier == "large" else WORKLOADS
+    prioritizing, candidates, optimized, baseline = workloads[checker](
         size, n_candidates
     )
+    # The one-off columnar compilation (interner + FD layouts + priority
+    # masks) is recorded separately so steady-state per-check latency is
+    # not conflated with the amortized setup it rides on.
+    interning_s = 0.0
+    if tier == "large":
+        start = time.perf_counter()
+        prioritizing.bitset_core  # noqa: B018  (builds and caches)
+        interning_s = time.perf_counter() - start
     # Warmup run on both sides: populates the shared conflict index and
     # the per-fact projection caches for the optimized path (the
     # baselines deliberately bypass both), and checks verdict agreement.
@@ -164,12 +235,18 @@ def run_entry(checker: str, size: int, n_candidates: int, repeats: int):
     baseline_s = best_of(lambda: [baseline(c) for c in candidates], repeats)
     return {
         "checker": checker,
+        "tier": tier,
+        "backend_optimized": "bitset" if tier == "large" else "object",
+        "backend_baseline": (
+            "object" if tier == "large" else "object-fresh"
+        ),
         "size": size,
         "density": DENSITY,
         "seed": SEED,
         "instance_facts": len(prioritizing.instance),
         "candidate_facts": [len(c) for c in candidates],
         "n_candidates": len(candidates),
+        "interning_s": interning_s,
         "optimized_s": optimized_s,
         "baseline_s": baseline_s,
         "optimized_per_check_ms": 1e3 * optimized_s / len(candidates),
@@ -185,7 +262,14 @@ def geomean(values: List[float]) -> float:
 
 
 def entry_key(entry: dict) -> Tuple:
-    return (entry["checker"], entry["size"], entry["density"], entry["seed"])
+    # .get keeps keys stable for committed files predating the tiers.
+    return (
+        entry.get("tier", "fastpath"),
+        entry["checker"],
+        entry["size"],
+        entry["density"],
+        entry["seed"],
+    )
 
 
 def compare_to_committed(
@@ -240,7 +324,22 @@ def main(argv: List[str] = None) -> int:
         "--min-geomean",
         type=float,
         default=2.0,
-        help="fail when the overall geometric-mean speedup is below this",
+        help="fail when the fast-path geometric-mean speedup is below this",
+    )
+    parser.add_argument(
+        "--min-large-geomean",
+        type=float,
+        default=3.0,
+        help="fail when the large-tier (bitset vs object) geometric-"
+        "mean speedup is below this",
+    )
+    parser.add_argument(
+        "--tier",
+        choices=["fastpath", "large", "all"],
+        default="all",
+        help="which size tier(s) to run (entries merge into the "
+        "output file by key, so a single-tier run keeps the other "
+        "tier's committed numbers)",
     )
     parser.add_argument(
         "--regression-tolerance",
@@ -251,8 +350,11 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     sizes = [80] if args.quick else [80, 160, 320]
+    large_sizes = [10_000] if args.quick else [10_000, 30_000, 100_000]
     n_candidates = 4 if args.quick else 6
+    large_candidates = 1 if args.quick else 2
     repeats = 2 if args.quick else 3
+    large_repeats = 1 if args.quick else 2
 
     baseline_path = args.baseline or args.output
     committed = None
@@ -260,39 +362,86 @@ def main(argv: List[str] = None) -> int:
         committed = json.loads(baseline_path.read_text())
 
     entries = []
-    for checker in WORKLOADS:
-        for size in sizes:
-            entry = run_entry(checker, size, n_candidates, repeats)
-            entries.append(entry)
-            print(
-                f"{checker:>10} size={size:<4} "
-                f"optimized={entry['optimized_per_check_ms']:8.2f} ms/check  "
-                f"baseline={entry['baseline_per_check_ms']:8.2f} ms/check  "
-                f"speedup={entry['speedup']:6.2f}x  "
-                f"agree={entry['verdicts_agree']}"
-            )
+    if args.tier in ("fastpath", "all"):
+        for checker in WORKLOADS:
+            for size in sizes:
+                entry = run_entry(checker, size, n_candidates, repeats)
+                entries.append(entry)
+                print(
+                    f"{checker:>10} size={size:<6} "
+                    f"optimized={entry['optimized_per_check_ms']:8.2f} "
+                    f"ms/check  "
+                    f"baseline={entry['baseline_per_check_ms']:8.2f} "
+                    f"ms/check  "
+                    f"speedup={entry['speedup']:6.2f}x  "
+                    f"agree={entry['verdicts_agree']}"
+                )
+    if args.tier in ("large", "all"):
+        for checker in LARGE_WORKLOADS:
+            for size in large_sizes:
+                entry = run_entry(
+                    checker, size, large_candidates, large_repeats,
+                    tier="large",
+                )
+                entries.append(entry)
+                print(
+                    f"{checker:>10} size={size:<6} "
+                    f"bitset={entry['optimized_per_check_ms']:8.2f} "
+                    f"ms/check  "
+                    f"object={entry['baseline_per_check_ms']:8.2f} "
+                    f"ms/check  "
+                    f"speedup={entry['speedup']:6.2f}x  "
+                    f"intern={entry['interning_s']:.3f}s  "
+                    f"agree={entry['verdicts_agree']}"
+                )
 
+    fastpath_entries = [e for e in entries if e["tier"] == "fastpath"]
+    large_entries = [e for e in entries if e["tier"] == "large"]
     per_checker = {
         checker: geomean(
-            [e["speedup"] for e in entries if e["checker"] == checker]
+            [e["speedup"] for e in fastpath_entries
+             if e["checker"] == checker]
         )
         for checker in WORKLOADS
+        if any(e["checker"] == checker for e in fastpath_entries)
     }
-    overall = geomean([e["speedup"] for e in entries])
+    overall = (
+        geomean([e["speedup"] for e in fastpath_entries])
+        if fastpath_entries else None
+    )
+    overall_large = (
+        geomean([e["speedup"] for e in large_entries])
+        if large_entries else None
+    )
+
+    # Merge this run's entries into the committed file by key, so a
+    # single-tier run refreshes its tier without discarding the other.
+    merged = {}
+    if committed is not None:
+        for entry in committed.get("entries", []):
+            merged[entry_key(entry)] = entry
+    for entry in entries:
+        merged[entry_key(entry)] = entry
+    merged_entries = [merged[key] for key in sorted(merged)]
     report = {
-        "version": 1,
+        "version": 2,
         "generated_by": "benchmarks/bench_core_fastpaths.py",
         "quick": args.quick,
         "config": {
             "sizes": sizes,
+            "large_sizes": large_sizes,
             "density": DENSITY,
             "seed": SEED,
             "n_candidates": n_candidates,
+            "large_candidates": large_candidates,
             "repeats": repeats,
+            "large_repeats": large_repeats,
+            "tier": args.tier,
         },
-        "entries": entries,
+        "entries": merged_entries,
         "geomean_speedup_per_checker": per_checker,
         "geomean_speedup": overall,
+        "geomean_speedup_large": overall_large,
         "python": sys.version.split()[0],
     }
 
@@ -301,10 +450,15 @@ def main(argv: List[str] = None) -> int:
         failures.append(
             "optimized and baseline checkers disagreed on a verdict"
         )
-    if overall < args.min_geomean:
+    if overall is not None and overall < args.min_geomean:
         failures.append(
-            f"overall geomean speedup {overall:.2f}x is below the "
+            f"fast-path geomean speedup {overall:.2f}x is below the "
             f"{args.min_geomean:.2f}x floor"
+        )
+    if overall_large is not None and overall_large < args.min_large_geomean:
+        failures.append(
+            f"large-tier geomean speedup {overall_large:.2f}x is below "
+            f"the {args.min_large_geomean:.2f}x floor"
         )
     if committed is not None:
         failures.extend(
@@ -314,10 +468,17 @@ def main(argv: List[str] = None) -> int:
         )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nper-checker geomean speedups:")
-    for checker, value in per_checker.items():
-        print(f"  {checker:>10}: {value:6.2f}x")
-    print(f"overall geomean speedup: {overall:.2f}x")
+    if per_checker:
+        print("\nfast-path per-checker geomean speedups:")
+        for checker, value in per_checker.items():
+            print(f"  {checker:>10}: {value:6.2f}x")
+    if overall is not None:
+        print(f"fast-path geomean speedup: {overall:.2f}x")
+    if overall_large is not None:
+        print(
+            f"large-tier geomean speedup (bitset vs object): "
+            f"{overall_large:.2f}x"
+        )
     print(f"wrote {args.output}")
 
     if failures:

@@ -16,12 +16,23 @@ Submodules
     The repair-checking algorithms (Sections 3, 4, and 7).
 ``classification``
     The dichotomy classifiers (Theorems 3.1/6.1 and 7.1/7.6).
+``backend``, ``interning``, ``bitset_index``
+    The columnar bitset execution backend: backend selection, dense
+    fact ids, and the id-space conflict/block/priority substrate.
 """
 
+from repro.core.backend import (
+    BACKEND_AUTO,
+    BACKEND_BITSET,
+    BACKEND_OBJECT,
+    resolve_backend,
+)
+from repro.core.bitset_index import BitsetConflictIndex, BitsetCore
 from repro.core.fact import Fact
 from repro.core.fd import FD
 from repro.core.fdset import FDSet
 from repro.core.instance import Instance
+from repro.core.interning import FactInterner
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
 from repro.core.signature import RelationSymbol, Signature
@@ -36,4 +47,11 @@ __all__ = [
     "Schema",
     "RelationSymbol",
     "Signature",
+    "FactInterner",
+    "BitsetConflictIndex",
+    "BitsetCore",
+    "BACKEND_AUTO",
+    "BACKEND_BITSET",
+    "BACKEND_OBJECT",
+    "resolve_backend",
 ]

@@ -34,13 +34,15 @@ from __future__ import annotations
 
 import random
 from itertools import product
-from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro.core.backend import BACKEND_BITSET, resolve_backend
 from repro.core.checking.brute_force import check_globally_optimal_brute_force
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck
+from repro.core.checking.validation import precheck, precheck_bitset
 from repro.core.fact import Fact
 from repro.core.instance import Instance
+from repro.core.interning import iter_bits
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.exceptions import CyclicPriorityError, InvalidPriorityError
 
@@ -96,6 +98,82 @@ def _forced_dominators(
     return {fact: frozenset(doms) for fact, doms in dominators.items()}
 
 
+def _forced_dominators_bitset(prioritizing: PrioritizingInstance) -> List[int]:
+    """:func:`_forced_dominators` in id space: one mask per fact id.
+
+    Same forced-orientation argument, run over the interned ids: per
+    priority ancestor, a forward DFS over the successor lists collects
+    the ≻-reachable set as a mask, and one ``&`` with the ancestor's
+    global conflict mask selects the facts whose orientation acyclicity
+    forces below it.
+    """
+    core = prioritizing.bitset_core
+    n = len(core.interner)
+    successors: Dict[int, List[int]] = {}
+    for better, worse in core.priority.edge_ids:
+        successors.setdefault(better, []).append(worse)
+    conflict_masks = core.index.conflict_masks()
+    dominators = [0] * n
+    for ancestor, direct in successors.items():
+        stack = list(direct)
+        seen: Set[int] = set()
+        reachable = 0
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            reachable |= 1 << node
+            stack.extend(successors.get(node, ()))
+        ancestor_bit = 1 << ancestor
+        for node in iter_bits(reachable & conflict_masks[ancestor]):
+            dominators[node] |= ancestor_bit
+    return dominators
+
+
+def _check_completion_optimal_bitset(
+    prioritizing: PrioritizingInstance, candidate: Instance
+) -> CheckResult:
+    """The greedy simulation of :func:`check_completion_optimal` on masks.
+
+    ``remaining`` is one global bitmask; a commit clears the picked bit
+    and its conflict-mask neighbours in a single ``&=``, and eligibility
+    is ``dominators[fid] & remaining == 0``.
+    """
+    failure, view = precheck_bitset(
+        prioritizing, candidate, "completion", _METHOD
+    )
+    if failure is not None:
+        return failure
+    core = prioritizing.bitset_core
+    conflict_masks = core.index.conflict_masks()
+    dominators = _forced_dominators_bitset(prioritizing)
+    fact_of = core.interner.fact_of
+    remaining = core.interner.full_mask
+    to_pick: List[int] = list(view.fids)
+    while to_pick:
+        pick = next(
+            (fid for fid in to_pick if not dominators[fid] & remaining),
+            None,
+        )
+        if pick is None:
+            blocked = to_pick[0]
+            dominator = next(iter_bits(dominators[blocked] & remaining))
+            return CheckResult(
+                is_optimal=False,
+                semantics="completion",
+                method=_METHOD,
+                reason=(
+                    f"no greedy run yields the candidate: "
+                    f"{fact_of(blocked)} stays dominated by the "
+                    f"un-discarded {fact_of(dominator)}"
+                ),
+            )
+        to_pick.remove(pick)
+        remaining &= ~((1 << pick) | conflict_masks[pick])
+    return CheckResult(is_optimal=True, semantics="completion", method=_METHOD)
+
+
 def _reject_ccp(prioritizing: PrioritizingInstance) -> None:
     if prioritizing.is_ccp:
         raise InvalidPriorityError(
@@ -105,7 +183,9 @@ def _reject_ccp(prioritizing: PrioritizingInstance) -> None:
 
 
 def check_completion_optimal(
-    prioritizing: PrioritizingInstance, candidate: Instance
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     """Decide whether ``candidate`` is a completion-optimal repair.
 
@@ -132,6 +212,8 @@ def check_completion_optimal(
     False
     """
     _reject_ccp(prioritizing)
+    if resolve_backend(len(prioritizing.instance), backend) == BACKEND_BITSET:
+        return _check_completion_optimal_bitset(prioritizing, candidate)
     failure = precheck(prioritizing, candidate, "completion", _METHOD)
     if failure is not None:
         return failure

@@ -55,6 +55,7 @@ def check_globally_optimal(
     candidate: Instance,
     allow_brute_force: bool = True,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> CheckResult:
     """Decide whether ``candidate`` is a globally-optimal repair.
 
@@ -75,6 +76,11 @@ def check_globally_optimal(
         checker for hard schemas), ``"brute-force"`` (repair
         enumeration), or ``"paranoid"`` (all-subsets search; tiny
         instances only).
+    backend:
+        The execution substrate for the tractable checkers and the
+        improvement search (``object`` | ``bitset`` | ``auto``, see
+        :mod:`repro.core.backend`); the enumeration methods and the
+        ccp specializations ignore it.
 
     Examples
     --------
@@ -112,17 +118,24 @@ def check_globally_optimal(
             check_globally_optimal_search,
         )
 
-        return check_globally_optimal_search(prioritizing, candidate)
+        return check_globally_optimal_search(
+            prioritizing, candidate, backend=backend
+        )
 
     if prioritizing.is_ccp:
-        return _dispatch_ccp(prioritizing, candidate, allow_brute_force)
-    return _dispatch_classical(prioritizing, candidate, allow_brute_force)
+        return _dispatch_ccp(
+            prioritizing, candidate, allow_brute_force, backend
+        )
+    return _dispatch_classical(
+        prioritizing, candidate, allow_brute_force, backend
+    )
 
 
 def _dispatch_classical(
     prioritizing: PrioritizingInstance,
     candidate: Instance,
     allow_brute_force: bool,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     verdict = classify_schema(prioritizing.schema)
     if not verdict.is_tractable:
@@ -144,12 +157,15 @@ def _dispatch_classical(
         )
         if relation_verdict.kind is RelationClass.SINGLE_FD:
             result = check_single_fd(
-                restricted, restricted_candidate, relation_verdict.witnesses[0]
+                restricted,
+                restricted_candidate,
+                relation_verdict.witnesses[0],
+                backend=backend,
             )
         else:
             key1, key2 = relation_verdict.witnesses
             result = check_two_keys(
-                restricted, restricted_candidate, key1, key2
+                restricted, restricted_candidate, key1, key2, backend=backend
             )
         if not result.is_optimal:
             return CheckResult(
@@ -193,6 +209,7 @@ def _dispatch_ccp(
     prioritizing: PrioritizingInstance,
     candidate: Instance,
     allow_brute_force: bool,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     verdict = classify_ccp_schema(prioritizing.schema)
     if verdict.is_primary_key_assignment:
@@ -214,7 +231,9 @@ def _dispatch_ccp(
             ccp=False,
             conflict_index=prioritizing.conflict_index,
         )
-        return _dispatch_classical(classical, candidate, allow_brute_force)
+        return _dispatch_classical(
+            classical, candidate, allow_brute_force, backend
+        )
 
     if not allow_brute_force:
         raise IntractableSchemaError(

@@ -37,12 +37,14 @@ it must be unless P = NP).
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
+from repro.core.backend import BACKEND_BITSET, resolve_backend
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck
+from repro.core.checking.validation import precheck, precheck_bitset
 from repro.core.fact import Fact
 from repro.core.instance import Instance
+from repro.core.interning import iter_bits, popcount
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import SearchBudgetExceededError
 
@@ -54,7 +56,31 @@ _METHOD = "improvement-search"
 _DEADLINE_STRIDE = 64
 
 
-class _Searcher:
+class _BudgetedSearch:
+    """Node-budget and wall-clock charging shared by both searchers."""
+
+    node_budget: Optional[int]
+    deadline: Optional[float]
+    nodes_explored: int
+
+    def _charge_node(self) -> None:
+        self.nodes_explored += 1
+        if (
+            self.node_budget is not None
+            and self.nodes_explored > self.node_budget
+        ):
+            raise SearchBudgetExceededError(
+                "nodes", self.nodes_explored, self.node_budget
+            )
+        if (
+            self.deadline is not None
+            and self.nodes_explored % _DEADLINE_STRIDE == 0
+            and time.monotonic() > self.deadline
+        ):
+            raise SearchBudgetExceededError("deadline", self.nodes_explored)
+
+
+class _Searcher(_BudgetedSearch):
     def __init__(
         self,
         prioritizing: PrioritizingInstance,
@@ -94,22 +120,6 @@ class _Searcher:
                 return result
         return None
 
-    def _charge_node(self) -> None:
-        self.nodes_explored += 1
-        if (
-            self.node_budget is not None
-            and self.nodes_explored > self.node_budget
-        ):
-            raise SearchBudgetExceededError(
-                "nodes", self.nodes_explored, self.node_budget
-            )
-        if (
-            self.deadline is not None
-            and self.nodes_explored % _DEADLINE_STRIDE == 0
-            and time.monotonic() > self.deadline
-        ):
-            raise SearchBudgetExceededError("deadline", self.nodes_explored)
-
     def _extend(self, added: FrozenSet[Fact]) -> Optional[FrozenSet[Fact]]:
         if added in self.visited:
             return None
@@ -141,18 +151,98 @@ class _Searcher:
         return None
 
 
+class _BitsetSearcher(_BudgetedSearch):
+    """The same branch-and-propagate search over ``added`` bitmasks.
+
+    State sets become masks: per-outsider evicted/conflicting masks are
+    one ``&`` against the precomputed global conflict masks, the
+    "already dominated" test is ``improvers[fid] & added``, and memoized
+    states are plain ints.  Seed and improver order follow ascending
+    ids, which is the object searcher's ``str`` order by construction of
+    the interner.
+    """
+
+    def __init__(
+        self,
+        prioritizing: PrioritizingInstance,
+        candidate: Instance,
+        node_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
+        self.node_budget = node_budget
+        self.deadline = deadline
+        self.nodes_explored = 0
+        core = prioritizing.bitset_core
+        self.core = core
+        candidate_mask = core.candidate(candidate.facts).mask()
+        self.candidate_mask = candidate_mask
+        self.outsiders_mask = core.interner.full_mask & ~candidate_mask
+        conflict_masks = core.index.conflict_masks()
+        self.evicts: Dict[int, int] = {}
+        self.outsider_conflicts: Dict[int, int] = {}
+        for fid in iter_bits(self.outsiders_mask):
+            self.evicts[fid] = conflict_masks[fid] & candidate_mask
+            self.outsider_conflicts[fid] = (
+                conflict_masks[fid] & self.outsiders_mask
+            )
+        self.improvers: List[int] = core.priority.improvers_masks()
+        self.visited: Set[int] = set()
+
+    def improvers_outside(self, fid: int) -> int:
+        return self.improvers[fid] & self.outsiders_mask
+
+    def search(self) -> Optional[int]:
+        """An added-mask completing to a global improvement, or None."""
+        for seed in iter_bits(self.outsiders_mask):
+            result = self._extend(1 << seed)
+            if result is not None:
+                return result
+        return None
+
+    def _extend(self, added: int) -> Optional[int]:
+        if added in self.visited:
+            return None
+        self.visited.add(added)
+        self._charge_node()
+        removed = 0
+        for outsider in iter_bits(added):
+            removed |= self.evicts[outsider]
+        pending = [
+            fid
+            for fid in iter_bits(removed)
+            if not self.improvers[fid] & added
+        ]
+        if not pending:
+            return added
+        target = min(
+            pending, key=lambda fid: popcount(self.improvers_outside(fid))
+        )
+        for improver in iter_bits(self.improvers_outside(target)):
+            bit = 1 << improver
+            if added & bit:
+                continue
+            if self.outsider_conflicts[improver] & added:
+                continue  # would make `added` inconsistent
+            result = self._extend(added | bit)
+            if result is not None:
+                return result
+        return None
+
+
 def find_global_improvement(
     prioritizing: PrioritizingInstance,
     candidate: Instance,
     node_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> Optional[Instance]:
     """A global improvement of the repair ``candidate``, or None.
 
     Assumes ``candidate`` is a repair (run
     :func:`~repro.core.checking.validation.precheck` first, or use
     :func:`check_globally_optimal_search`).  Complete for every schema
-    and for both classical and ccp priorities.
+    and for both classical and ccp priorities.  ``backend`` picks the
+    execution substrate (see :mod:`repro.core.backend`).
 
     ``node_budget`` bounds the number of search nodes expanded and
     ``deadline`` (a :func:`time.monotonic` timestamp) bounds wall-clock
@@ -160,6 +250,20 @@ def find_global_improvement(
     :class:`~repro.exceptions.SearchBudgetExceededError`.  With both
     left at None the search is unbounded (and complete).
     """
+    if resolve_backend(len(prioritizing.instance), backend) == BACKEND_BITSET:
+        bit_searcher = _BitsetSearcher(
+            prioritizing, candidate, node_budget, deadline
+        )
+        added_mask = bit_searcher.search()
+        if added_mask is None:
+            return None
+        removed_mask = 0
+        for outsider in iter_bits(added_mask):
+            removed_mask |= bit_searcher.evicts[outsider]
+        interner = bit_searcher.core.interner
+        return candidate.replace_facts(
+            interner.facts_of(removed_mask), interner.facts_of(added_mask)
+        )
     searcher = _Searcher(prioritizing, candidate, node_budget, deadline)
     added = searcher.search()
     if added is None:
@@ -175,6 +279,7 @@ def check_globally_optimal_search(
     candidate: Instance,
     node_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     """Globally-optimal repair checking via the improvement search.
 
@@ -192,11 +297,15 @@ def check_globally_optimal_search(
     deterministic function of the input and the budget (the deadline, of
     course, is not).
     """
-    failure = precheck(prioritizing, candidate, "global", _METHOD)
+    resolved = resolve_backend(len(prioritizing.instance), backend)
+    if resolved == BACKEND_BITSET:
+        failure, _ = precheck_bitset(prioritizing, candidate, "global", _METHOD)
+    else:
+        failure = precheck(prioritizing, candidate, "global", _METHOD)
     if failure is not None:
         return failure
     improvement = find_global_improvement(
-        prioritizing, candidate, node_budget, deadline
+        prioritizing, candidate, node_budget, deadline, backend=resolved
     )
     if improvement is not None:
         return CheckResult(

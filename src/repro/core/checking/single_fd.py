@@ -23,10 +23,15 @@ fidelity tests and the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.backend import BACKEND_BITSET, resolve_backend
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck, precheck_fresh
+from repro.core.checking.validation import (
+    precheck,
+    precheck_bitset,
+    precheck_fresh,
+)
 from repro.core.fact import Fact
 from repro.core.fd import FD
 from repro.core.improvements import (
@@ -34,6 +39,7 @@ from repro.core.improvements import (
     is_global_improvement_sets,
 )
 from repro.core.instance import Instance
+from repro.core.interning import iter_bits
 from repro.core.priority import PrioritizingInstance
 
 __all__ = ["check_single_fd", "check_single_fd_literal", "block_swap"]
@@ -82,10 +88,75 @@ def _blocks(
     return grouped
 
 
+def _check_single_fd_bitset(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    fd: FD,
+) -> CheckResult:
+    """The block-swap scan of Figure 2 on the bitset backend.
+
+    The block partition :func:`_blocks` rebuilds per call is exactly the
+    precompiled :class:`~repro.core.bitset_index._FDLayout` of ``fd``,
+    so the scan reduces to: per lhs-group with kept facts, per non-kept
+    rhs block, test ``added``'s improver coverage of the kept mask with
+    one ``improvers_local & added`` word-op per removed fact.  The swap
+    instance is materialized only for the block that succeeds.
+    """
+    failure, view = precheck_bitset(prioritizing, candidate, "global", _METHOD)
+    if failure is not None:
+        return failure
+    if fd.is_trivial():
+        # No conflicts are possible, so the only repair is I itself and
+        # precheck has already confirmed maximality (hence J = I).
+        return CheckResult(is_optimal=True, semantics="global", method=_METHOD)
+    core = prioritizing.bitset_core
+    layout = core.layout_for(fd)
+    improvers = core.priority.improvers_local(layout)
+    kept, kept_rhs, _ = view.kept_for(layout)
+    fact_of = core.interner.fact_of
+    for group in range(layout.group_count):
+        removed_mask = kept[group]
+        if not removed_mask:
+            continue
+        members = layout.group_members[group]
+        subs = layout.group_rhs_subs[group]
+        if len(subs) < 2:
+            continue
+        kept_sub = kept_rhs[group]
+        removed_ids = [members[local] for local in iter_bits(removed_mask)]
+        for sub, added_mask in enumerate(subs):
+            if sub == kept_sub:
+                continue
+            if all(
+                improvers[fid] & added_mask for fid in removed_ids
+            ):
+                swap = candidate.replace_facts(
+                    [fact_of(fid) for fid in removed_ids],
+                    [
+                        fact_of(members[local])
+                        for local in iter_bits(added_mask)
+                    ],
+                )
+                lhs_value = layout.group_lhs_values[group]
+                rhs_value = layout.group_rhs_values[group][sub]
+                return CheckResult(
+                    is_optimal=False,
+                    semantics="global",
+                    method=_METHOD,
+                    improvement=swap,
+                    reason=(
+                        f"the block swap at lhs value {lhs_value!r} to rhs "
+                        f"value {rhs_value!r} is a global improvement"
+                    ),
+                )
+    return CheckResult(is_optimal=True, semantics="global", method=_METHOD)
+
+
 def check_single_fd(
     prioritizing: PrioritizingInstance,
     candidate: Instance,
     fd: FD,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     """``GRepCheck1FD`` at block granularity (Figure 2, optimized).
 
@@ -99,6 +170,9 @@ def check_single_fd(
     fd:
         The single FD ``A → B`` that ``Δ|R`` is equivalent to (produced
         by :func:`repro.core.classification.equivalent_single_fd`).
+    backend:
+        The execution substrate (see :mod:`repro.core.backend`); both
+        backends return identical verdicts.
 
     For each lhs-group containing candidate facts, and each rhs-value of
     that group other than the candidate's, the corresponding block swap
@@ -109,6 +183,8 @@ def check_single_fd(
     known without building the swap instance; the witness ``Instance``
     is materialized only for the swap that succeeds.
     """
+    if resolve_backend(len(prioritizing.instance), backend) == BACKEND_BITSET:
+        return _check_single_fd_bitset(prioritizing, candidate, fd)
     failure = precheck(prioritizing, candidate, "global", _METHOD)
     if failure is not None:
         return failure
@@ -172,7 +248,9 @@ def check_single_fd_literal(
     outsiders = instance.facts - candidate.facts
     for fact_in in candidate:
         for fact_out in outsiders:
-            if not fd.is_conflict(fact_in, fact_out):
+            if not fd.is_conflict(  # repro-lint: ignore[RL009]
+                fact_in, fact_out
+            ):
                 continue
             swap = block_swap(instance, candidate, fd, fact_in, fact_out)
             if is_global_improvement(swap, candidate, priority):

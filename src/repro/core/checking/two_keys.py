@@ -32,12 +32,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.backend import BACKEND_BITSET, resolve_backend
+from repro.core.bitset_index import BitsetCandidate, BitsetCore, _FDLayout
 from repro.core.checking.result import CheckResult
-from repro.core.checking.validation import precheck, precheck_fresh
+from repro.core.checking.validation import (
+    precheck,
+    precheck_bitset,
+    precheck_fresh,
+)
 from repro.core.fact import Fact
 from repro.core.fd import FD
 from repro.core.improvements import (
     find_pareto_improvement,
+    find_pareto_improvement_bitset,
     find_pareto_improvement_fresh,
 )
 from repro.core.instance import Instance
@@ -176,11 +183,60 @@ def build_swap_graph(
     return SwapGraph(first=first, second=second, edges=edges)
 
 
+def _build_swap_graph_bitset(
+    core: BitsetCore,
+    view: BitsetCandidate,
+    lay_first: _FDLayout,
+    lay_second: _FDLayout,
+    first: FrozenSet[int],
+    second: FrozenSet[int],
+) -> SwapGraph:
+    """The swap graph from the columnar layouts, no per-fact projection.
+
+    Nodes carry *group indices* of the two key layouts instead of raw
+    projection tuples (the layouts key groups by lhs value, so the
+    graphs are isomorphic); the candidate fact blocking a given
+    ``second``-group is an O(1) array read, because ``second`` is a key
+    and a consistent candidate keeps at most one fact per key group.
+    The backward-edge priority test is a local-mask bit probe.
+    """
+    edges: Dict[_Node, Dict[_Node, Fact]] = {}
+    group_of1 = lay_first.group_of
+    group_of2 = lay_second.group_of
+    local_of2 = lay_second.local_of
+    fact_of = core.interner.fact_of
+    blocking_fact = [-1] * lay_second.group_count
+    for fid in view.fids:
+        group1 = group_of1[fid]
+        group2 = group_of2[fid]
+        if group1 < 0 or group2 < 0:
+            continue
+        left: _Node = ("L", (group1,))
+        right: _Node = ("R", (group2,))
+        edges.setdefault(left, {})[right] = fact_of(fid)
+        edges.setdefault(right, {})
+        blocking_fact[group2] = fid
+    preferred2 = core.priority.preferred_local(lay_second)
+    for fid in view.outsider_ids():
+        group2 = group_of2[fid]
+        if group2 < 0:
+            continue
+        blocked = blocking_fact[group2]
+        if blocked < 0 or not preferred2[fid] >> local_of2[blocked] & 1:
+            continue
+        right = ("R", (group2,))
+        left = ("L", (group_of1[fid],))
+        edges.setdefault(right, {})[left] = fact_of(fid)
+        edges.setdefault(left, {})
+    return SwapGraph(first=first, second=second, edges=edges)
+
+
 def check_two_keys(
     prioritizing: PrioritizingInstance,
     candidate: Instance,
     key1: FD,
     key2: FD,
+    backend: Optional[str] = None,
 ) -> CheckResult:
     """``GRepCheck2Keys`` (Figure 4).
 
@@ -194,7 +250,12 @@ def check_two_keys(
     key1, key2:
         The two key constraints ``Δ|R`` is equivalent to (produced by
         :func:`repro.core.classification.equivalent_two_keys`).
+    backend:
+        The execution substrate (see :mod:`repro.core.backend`); both
+        backends return identical verdicts.
     """
+    if resolve_backend(len(prioritizing.instance), backend) == BACKEND_BITSET:
+        return _check_two_keys_bitset(prioritizing, candidate, key1, key2)
     failure = precheck(prioritizing, candidate, "global", _METHOD)
     if failure is not None:
         return failure
@@ -212,6 +273,48 @@ def check_two_keys(
         (key2.lhs, key1.lhs, "G21"),
     ):
         graph = build_swap_graph(prioritizing, candidate, first, second)
+        cycle = graph.find_cycle()
+        if cycle is not None:
+            improvement = graph.cycle_to_improvement(cycle, candidate)
+            return CheckResult(
+                is_optimal=False,
+                semantics="global",
+                method=_METHOD,
+                improvement=improvement,
+                reason=f"the swap graph {label} has a cycle (Lemma 4.4)",
+            )
+    return CheckResult(is_optimal=True, semantics="global", method=_METHOD)
+
+
+def _check_two_keys_bitset(
+    prioritizing: PrioritizingInstance,
+    candidate: Instance,
+    key1: FD,
+    key2: FD,
+) -> CheckResult:
+    """``GRepCheck2Keys`` on the bitset backend (same three steps)."""
+    failure, view = precheck_bitset(prioritizing, candidate, "global", _METHOD)
+    if failure is not None:
+        return failure
+    pareto = find_pareto_improvement_bitset(prioritizing, candidate, view)
+    if pareto is not None:
+        return CheckResult(
+            is_optimal=False,
+            semantics="global",
+            method=_METHOD,
+            improvement=pareto,
+            reason="a Pareto improvement exists",
+        )
+    core = prioritizing.bitset_core
+    lay1 = core.layout_for(key1)
+    lay2 = core.layout_for(key2)
+    for lay_first, lay_second, first, second, label in (
+        (lay1, lay2, key1.lhs, key2.lhs, "G12"),
+        (lay2, lay1, key2.lhs, key1.lhs, "G21"),
+    ):
+        graph = _build_swap_graph_bitset(
+            core, view, lay_first, lay_second, first, second
+        )
         cycle = graph.find_cycle()
         if cycle is not None:
             improvement = graph.cycle_to_improvement(cycle, candidate)

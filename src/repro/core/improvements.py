@@ -31,9 +31,11 @@ from __future__ import annotations
 
 from typing import AbstractSet, Collection, Optional, Set
 
+from repro.core.bitset_index import BitsetCandidate
 from repro.core.conflicts import ConflictIndex
 from repro.core.fact import Fact
 from repro.core.instance import Instance
+from repro.core.interning import iter_bits
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 
 __all__ = [
@@ -42,6 +44,7 @@ __all__ = [
     "is_pareto_improvement",
     "is_pareto_improvement_sets",
     "find_pareto_improvement",
+    "find_pareto_improvement_bitset",
     "find_pareto_improvement_fresh",
     "has_pareto_improvement",
 ]
@@ -160,6 +163,70 @@ def find_pareto_improvement(
         blockers = index.conflicts_of_in(outsider, members)
         if blockers <= priority.preferred_over(outsider):
             return repair_candidate.replace_facts(blockers, (outsider,))
+    return None
+
+
+def find_pareto_improvement_bitset(
+    prioritizing: PrioritizingInstance,
+    repair_candidate: Instance,
+    view: BitsetCandidate,
+) -> Optional[Instance]:
+    """The single-swap Pareto search on the bitset backend.
+
+    Same characterization as :func:`find_pareto_improvement`, evaluated
+    group-locally: a consistent candidate keeps at most one rhs block
+    per (FD, lhs-group), so the blockers ``C_g`` of an outsider ``g``
+    are, per FD, either the whole kept mask of ``g``'s group (kept rhs
+    differs) or empty (same rhs / empty group), and the domination test
+    ``C_g ⊆ ≻(g)`` decomposes into one small-int mask comparison per FD
+    — ``kept & ~preferred == 0`` — with no per-outsider set building.
+    The swap instance is materialized only for the succeeding outsider.
+    """
+    core = prioritizing.bitset_core
+    priority = core.priority
+    layouts = core.layouts
+    per_layout = [
+        (
+            layout,
+            layout.group_of,
+            layout.rhs_of,
+            view.kept_for(layout),
+            priority.preferred_local(layout),
+        )
+        for layout in layouts
+    ]
+    fact_of = core.interner.fact_of
+    for fid in view.outsider_ids():
+        blocked = False
+        for _, group_of, rhs_of, (kept, kept_rhs, _), preferred in per_layout:
+            group = group_of[fid]
+            if group < 0:
+                continue
+            rhs = kept_rhs[group]
+            if rhs < 0 or rhs == rhs_of[fid]:
+                continue
+            if kept[group] & ~preferred[fid]:
+                blocked = True
+                break
+        if blocked:
+            continue
+        # Every blocker is ≻-dominated by the outsider: materialize the
+        # single swap (J \ C_g) ∪ {g}.
+        blocker_ids: Set[int] = set()
+        for layout, group_of, rhs_of, (kept, kept_rhs, _), _ in per_layout:
+            group = group_of[fid]
+            if group < 0:
+                continue
+            rhs = kept_rhs[group]
+            if rhs < 0 or rhs == rhs_of[fid]:
+                continue
+            members = layout.group_members[group]
+            blocker_ids.update(
+                members[local] for local in iter_bits(kept[group])
+            )
+        return repair_candidate.replace_facts(
+            [fact_of(blocker) for blocker in blocker_ids], (fact_of(fid),)
+        )
     return None
 
 

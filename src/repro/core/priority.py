@@ -18,6 +18,7 @@ unless ``ccp=True``.
 from __future__ import annotations
 
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -38,6 +39,9 @@ from repro.exceptions import (
     InvalidPriorityError,
     NotASubinstanceError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.bitset_index import BitsetCore
 
 __all__ = ["PriorityRelation", "PrioritizingInstance"]
 
@@ -270,7 +274,14 @@ class PrioritizingInstance:
     True
     """
 
-    __slots__ = ("_schema", "_instance", "_priority", "_ccp", "_conflict_index")
+    __slots__ = (
+        "_schema",
+        "_instance",
+        "_priority",
+        "_ccp",
+        "_conflict_index",
+        "_bitset_core",
+    )
 
     def __init__(
         self,
@@ -304,6 +315,7 @@ class PrioritizingInstance:
         # kept (not discarded): every checker needs exactly this index
         # over I, and conflict_index hands it out.
         self._conflict_index = index
+        self._bitset_core = None
 
     @classmethod
     def _from_validated(
@@ -326,6 +338,7 @@ class PrioritizingInstance:
         prioritizing._priority = priority
         prioritizing._ccp = ccp
         prioritizing._conflict_index = conflict_index
+        prioritizing._bitset_core = None
         return prioritizing
 
     @property
@@ -343,6 +356,24 @@ class PrioritizingInstance:
             index = ConflictIndex(self._schema, self._instance)
             self._conflict_index = index
         return index
+
+    @property
+    def bitset_core(self) -> "BitsetCore":
+        """The columnar substrate of the bitset backend, cached.
+
+        Lazily interns the instance's facts and compiles the per-FD
+        block partitions and the priority to id space
+        (:class:`~repro.core.bitset_index.BitsetCore`); built on the
+        first bitset-backend check of this instance and shared by all
+        subsequent ones.
+        """
+        core = self._bitset_core
+        if core is None:
+            from repro.core.bitset_index import BitsetCore
+
+            core = BitsetCore(self._schema, self._instance, self._priority)
+            self._bitset_core = core
+        return core
 
     @property
     def schema(self) -> Schema:

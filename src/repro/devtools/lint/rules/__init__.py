@@ -16,6 +16,7 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl006_monotonic_time,
     rl007_supervision_boundary,
     rl008_compute_semantics,
+    rl009_index_backed_adjacency,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "rl006_monotonic_time",
     "rl007_supervision_boundary",
     "rl008_compute_semantics",
+    "rl009_index_backed_adjacency",
 ]

@@ -123,19 +123,27 @@ def execute_check(
     method: str = "auto",
     node_budget: Optional[int] = None,
     timeout: Optional[float] = None,
+    core_backend: Optional[str] = None,
 ) -> Outcome:
     """Run one repair check under the service's degradation policy.
 
     Deterministic-by-construction outcomes (``ok``, ``degraded``,
     ``error``) depend only on the inputs and ``node_budget``; only
-    ``timeout`` depends on the wall clock.
+    ``timeout`` depends on the wall clock.  ``core_backend`` selects the
+    core execution substrate (:mod:`repro.core.backend`) — it changes
+    constant factors, never verdicts, and is deliberately excluded from
+    job fingerprints so cache entries stay backend-invariant.
     """
     deadline = time.monotonic() + timeout if timeout is not None else None
     try:
         if semantics == "pareto":
-            result = check_pareto_optimal(prioritizing, candidate)
+            result = check_pareto_optimal(
+                prioritizing, candidate, backend=core_backend
+            )
         elif semantics == "completion":
-            result = check_completion_optimal(prioritizing, candidate)
+            result = check_completion_optimal(
+                prioritizing, candidate, backend=core_backend
+            )
         elif semantics == "global":
             if method == "search" or (
                 method == "auto" and needs_degradation(prioritizing)
@@ -145,10 +153,12 @@ def execute_check(
                     candidate,
                     node_budget=node_budget,
                     deadline=deadline,
+                    backend=core_backend,
                 )
             else:
                 result = check_globally_optimal(
-                    prioritizing, candidate, method=method
+                    prioritizing, candidate, method=method,
+                    backend=core_backend,
                 )
         else:
             return Outcome(

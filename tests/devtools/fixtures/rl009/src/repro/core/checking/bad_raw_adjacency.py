@@ -1,0 +1,21 @@
+"""RL009 fixture: checkers that rebuild adjacency beside a carrier."""
+
+
+def _scan_with_rebuilt_index(prioritizing, candidate):
+    index = ConflictIndex(prioritizing.schema, candidate)
+    return index.is_consistent()
+
+
+def _scan_with_one_shot_helper(prioritizing, fact):
+    return facts_conflicting_with(
+        prioritizing.schema, prioritizing.instance, fact
+    )
+
+
+def _scan_with_pair_loop(prioritizing, fd):
+    adjacency = {}
+    for f in prioritizing.instance:
+        adjacency[f] = frozenset(
+            g for g in prioritizing.instance if fd.is_conflict(f, g)
+        )
+    return adjacency

@@ -1,0 +1,23 @@
+"""RL009 near-miss set: carried-index queries and carrier-free helpers."""
+
+
+def _scan_with_carried_index(prioritizing, candidate):
+    index = prioritizing.conflict_index
+    return index.is_consistent_subset(candidate.facts)
+
+
+def _scan_with_bitset_core(prioritizing, candidate):
+    core = prioritizing.bitset_core
+    return core.candidate(candidate.facts).kept_for(core.layouts[0])
+
+
+def _build_without_carrier(schema, instance):
+    # No carrier parameter in scope: constructing an index here is the
+    # legitimate way to obtain one.
+    return ConflictIndex(schema, instance)
+
+
+def _suppressed_rebuild(prioritizing, candidate):
+    # The deliberate ablation baseline shape, justified inline.
+    index = ConflictIndex(prioritizing.schema, candidate)  # repro-lint: ignore[RL009]
+    return index.is_consistent()

@@ -225,6 +225,7 @@ class TestRegistry:
             "RL006",
             "RL007",
             "RL008",
+            "RL009",
         ]
 
     def test_rules_carry_docs_and_scopes(self):

@@ -41,6 +41,7 @@ CASES = [
     ("rl006", "RL006", 4),  # time.time(), from-import, datetime.now/utcnow
     ("rl007", "RL007", 2),  # except Exception + bare except
     ("rl008", "RL008", 2),  # unvalidated compute_* and count_* semantics
+    ("rl009", "RL009", 3),  # fresh index, one-shot helper, is_conflict loop
 ]
 
 
