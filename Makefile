@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test lint typecheck coverage bench bench-tables \
+.PHONY: install test lint lint-program typecheck coverage bench bench-tables \
 	service-bench perf perf-large perf-compute chaos examples all clean
 
 install:
@@ -9,8 +9,8 @@ install:
 test:
 	pytest tests/
 
-# Project-invariant lint (rules RL001-RL008, docs/lint_rules.md) plus
-# ruff style checks when ruff is installed (CI always installs it).
+# Project-invariant lint (per-file rules RL001-RL009, docs/lint_rules.md)
+# plus ruff style checks when ruff is installed (CI always installs it).
 lint:
 	PYTHONPATH=src python -m repro.devtools.lint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -18,6 +18,14 @@ lint:
 	else \
 		echo "ruff not installed; skipping style checks (CI runs them)"; \
 	fi
+
+# Whole-program lint: the RL100-RL103 graph rules (ARCHITECTURE DAG,
+# async-safety, exception-flow, determinism-flow) over the import and
+# call graphs of src/.  Budgeted at 10s of wall clock — the same bound
+# tests/devtools/test_repo_clean.py asserts — so the pass stays cheap
+# enough to run on every push.
+lint-program:
+	PYTHONPATH=src timeout 10 python -m repro.devtools.lint --program
 
 # mypy --strict over the core data model; skipped gracefully when mypy
 # is not installed locally (CI always installs it).
@@ -89,7 +97,7 @@ examples:
 	done
 	@echo "all examples ran cleanly"
 
-all: lint test bench-tables examples
+all: lint lint-program test bench-tables examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +

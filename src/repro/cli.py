@@ -64,35 +64,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.classification import classify_ccp_schema, classify_schema
-from repro.core.schema import Schema
 
 from repro.exceptions import UsageError
+from repro.io import parse_schema_spec
+
 __all__ = ["main", "parse_schema_spec"]
-
-
-def parse_schema_spec(spec: str) -> Schema:
-    """Parse the CLI schema syntax into a :class:`Schema`.
-
-    Examples
-    --------
-    >>> schema = parse_schema_spec("R:3; R: 1 -> 2; R: 2 -> 3")
-    >>> sorted(schema.relation_names())
-    ['R']
-    """
-    parts = [part.strip() for part in spec.split(";") if part.strip()]
-    if not parts:
-        raise UsageError("empty schema specification")
-    relations = {}
-    for decl in parts[0].split(","):
-        name, _, arity_text = decl.partition(":")
-        relations[name.strip()] = int(arity_text)
-    fd_texts = parts[1:]
-    if len(relations) == 1:
-        only = next(iter(relations))
-        fd_texts = [
-            text if ":" in text else f"{only}: {text}" for text in fd_texts
-        ]
-    return Schema.parse(relations, fd_texts)
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:

@@ -23,7 +23,7 @@ from typing import Iterable, List, Tuple
 
 from repro.devtools.lint.findings import Finding
 from repro.exceptions import UsageError
-from repro.io import atomic_write_text
+from repro.fsutil import atomic_write_text
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",

@@ -3,7 +3,7 @@
 Usage (also reachable as ``python -m repro.devtools.lint``)::
 
     repro lint [paths...] [--format text|json] [--select RL001,...]
-               [--ignore RL003,...] [--root DIR]
+               [--ignore RL003,...] [--root DIR] [--program]
                [--baseline FILE] [--no-baseline] [--write-baseline]
                [--list-rules]
 
@@ -51,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "AST lint for the repro engine's correctness and determinism "
-            "invariants (rules RL001-RL006; see docs/lint_rules.md)."
+            "invariants (per-file rules RL001-RL009; whole-program rules "
+            "RL100-RL103 with --program; see docs/lint_rules.md)."
         ),
     )
     parser.add_argument(
@@ -82,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="project root paths are reported relative to (default: cwd)",
     )
     parser.add_argument(
+        "--program",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (RL100-RL103: layering, "
+            "async-safety, exception-flow, determinism-flow) over the "
+            "import and call graphs of <root>/src"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
@@ -107,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _render_text(report: LintReport, stream) -> None:
     for finding in report.findings:
-        print(finding.render(), file=stream)
+        for line in finding.render_lines():
+            print(line, file=stream)
     summary = (
         f"{len(report.findings)} finding(s) in "
         f"{report.files_checked} file(s)"
@@ -165,6 +176,7 @@ def run(argv: Optional[List[str]] = None, stream=None) -> int:
             ignore=_parse_codes(args.ignore) or (),
             baseline_path=baseline_path,
             use_baseline=not (args.no_baseline or args.write_baseline),
+            program=args.program,
         )
         report = lint_paths(paths, config)
     except (ReproError, OSError) as exc:

@@ -56,6 +56,9 @@ class LintConfig:
     ignore: Tuple[str, ...] = ()
     baseline_path: Optional[Path] = None
     use_baseline: bool = True
+    #: Also run the whole-program pass (RL1xx rules over the import and
+    #: call graphs of ``<root>/src``); ``repro lint --program``.
+    program: bool = False
 
 
 @dataclass
@@ -117,7 +120,8 @@ def _load_context(path: Path, root: Path) -> Tuple[Optional[FileContext], Option
     return FileContext(path, rel_path, source, lines, tree), None
 
 
-def _selected_rules(config: LintConfig) -> Tuple[Rule, ...]:
+def _selected_rules(config: LintConfig) -> Tuple[Tuple[Rule, ...], Tuple[Rule, ...]]:
+    """The (per-file, program-scope) rules this run executes."""
     rules = all_rules()
     known = {rule.code for rule in rules} | {PARSE_ERROR_CODE}
     requested = tuple(config.select or ()) + tuple(config.ignore)
@@ -128,12 +132,15 @@ def _selected_rules(config: LintConfig) -> Tuple[Rule, ...]:
             )
     if config.select is not None:
         rules = tuple(r for r in rules if r.code in config.select)
-    return tuple(r for r in rules if r.code not in config.ignore)
+    rules = tuple(r for r in rules if r.code not in config.ignore)
+    file_rules = tuple(r for r in rules if not r.program)
+    program_rules = tuple(r for r in rules if r.program) if config.program else ()
+    return file_rules, program_rules
 
 
 def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintReport:
     """Lint every Python file under ``paths`` per ``config``."""
-    rules = _selected_rules(config)
+    file_rules, program_rules = _selected_rules(config)
     report = LintReport()
     raw: List[Finding] = []
     for path in iter_python_files(paths):
@@ -147,7 +154,7 @@ def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintReport:
             continue
         assert ctx is not None
         table = parse_suppressions(ctx.lines)
-        for rule in rules:
+        for rule in file_rules:
             if not rule.applies_to(ctx.rel_path):
                 continue
             for finding in rule.check(ctx):
@@ -155,6 +162,16 @@ def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintReport:
                     report.suppressed_inline += 1
                 else:
                     raw.append(finding)
+    if program_rules:
+        # Imported lazily: the program package pulls in the full graph
+        # pipeline, which per-file runs never need.
+        from repro.devtools.lint.program.engine import run_program_rules
+
+        program_findings, program_suppressed = run_program_rules(
+            program_rules, config.root
+        )
+        raw.extend(program_findings)
+        report.suppressed_inline += program_suppressed
     raw.sort(key=finding_sort_key)
     if config.use_baseline and config.baseline_path is not None \
             and config.baseline_path.exists():

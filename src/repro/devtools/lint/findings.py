@@ -10,7 +10,7 @@ editing the violating line does.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
 __all__ = ["Finding", "finding_sort_key"]
@@ -33,6 +33,13 @@ class Finding:
         1-based line and 0-based column of the flagged node.
     snippet:
         The stripped source text of the flagged line (baseline identity).
+    witness:
+        For program-scope findings (RL1xx): the call-path witness from
+        entry point to sink, each element rendered as ``qualname
+        (path:line)``.  Empty for per-file findings.  Deliberately NOT
+        part of :meth:`baseline_key`: a refactor that reroutes the call
+        chain without touching the sink must neither resurrect a
+        baselined finding nor silently re-baseline a new one.
     """
 
     code: str
@@ -41,6 +48,7 @@ class Finding:
     line: int
     column: int
     snippet: str
+    witness: Tuple[str, ...] = field(default=())
 
     def baseline_key(self) -> str:
         """The content-addressed identity used by the baseline file."""
@@ -49,7 +57,7 @@ class Finding:
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready rendering (``repro lint --format json``)."""
-        return {
+        document = {
             "code": self.code,
             "message": self.message,
             "path": self.path,
@@ -57,6 +65,9 @@ class Finding:
             "column": self.column,
             "snippet": self.snippet,
         }
+        if self.witness:
+            document["witness"] = list(self.witness)
+        return document
 
     def render(self) -> str:
         """The one-line text rendering (``path:line:col: CODE message``)."""
@@ -64,6 +75,14 @@ class Finding:
             f"{self.path}:{self.line}:{self.column + 1}: "
             f"{self.code} {self.message}"
         )
+
+    def render_lines(self) -> Tuple[str, ...]:
+        """The text rendering including the call-path witness, if any."""
+        lines = [self.render()]
+        if self.witness:
+            lines.append("    call path:")
+            lines.extend(f"      {element}" for element in self.witness)
+        return tuple(lines)
 
 
 def finding_sort_key(finding: Finding) -> Tuple[str, int, int, str]:

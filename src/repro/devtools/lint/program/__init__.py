@@ -1,0 +1,20 @@
+"""Whole-program static analysis under ``repro lint --program``.
+
+The per-file rules (RL001–RL009) check invariants visible inside one
+AST.  This package builds the cross-module picture those rules cannot
+see — a project import graph with symbol resolution
+(:mod:`~repro.devtools.lint.program.imports`), an
+intraprocedural-summary call graph
+(:mod:`~repro.devtools.lint.program.callgraph`), and per-function
+effect summaries propagated transitively
+(:mod:`~repro.devtools.lint.program.effects` /
+:mod:`~repro.devtools.lint.program.propagate`) — and feeds it to the
+RL1xx rule family: RL100 layering, RL101 async-safety, RL102
+exception-flow, RL103 determinism-flow.  See ``DESIGN.md`` §14 and
+``docs/lint_rules.md``.
+"""
+
+from repro.devtools.lint.program.analyzer import ProgramAnalysis, build_program
+from repro.devtools.lint.program.engine import run_program_rules
+
+__all__ = ["ProgramAnalysis", "build_program", "run_program_rules"]

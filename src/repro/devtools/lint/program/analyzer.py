@@ -1,0 +1,131 @@
+"""The whole-program analysis facade.
+
+:func:`build_program` runs the full pipeline once per lint invocation —
+discovery, import-graph construction, symbol tables, call-graph walk,
+effect summaries — and hands the resulting :class:`ProgramAnalysis` to
+every program-scope rule.  Rules therefore share one set of graphs; an
+analysis over the whole of ``src/repro`` takes well under a second, and
+the CI budget test keeps it that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.devtools.lint.program.callgraph import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    RaiseSite,
+    build_symbols,
+    collect_function_bodies,
+)
+from repro.devtools.lint.program.effects import (
+    blocking_sites,
+    direct_escaping_raises,
+    nondet_call_sites,
+    unstable_iteration_sites,
+)
+from repro.devtools.lint.program.imports import (
+    ImportEdge,
+    collect_import_edges,
+    eager_import_cycles,
+)
+from repro.devtools.lint.program.modules import (
+    ModuleInfo,
+    ModuleSet,
+    discover_modules,
+)
+
+__all__ = ["ProgramAnalysis", "build_program"]
+
+
+@dataclass
+class ProgramAnalysis:
+    """Everything the RL1xx rules consume, built once per run."""
+
+    root: Path
+    modules: ModuleSet
+    import_edges: List[ImportEdge]
+    import_cycles: List[Tuple[str, ...]]
+    functions: Dict[str, FunctionInfo]
+    calls: Dict[str, Tuple[CallSite, ...]]
+    raises: Dict[str, Tuple[RaiseSite, ...]]
+    classes_by_qualname: Dict[str, ClassInfo]
+    #: function qualname -> direct blocking-call sites
+    blocking: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    #: function qualname -> direct nondeterminism sites
+    nondet: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    #: function qualname -> exception name -> raise line (locally uncaught)
+    direct_raises: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def module_of(self, qualname: str) -> Optional[ModuleInfo]:
+        """The module defining function/class ``qualname``."""
+        name = self.modules.resolve(qualname)
+        return self.modules.modules.get(name) if name else None
+
+    def location(self, qualname: str) -> Tuple[str, int]:
+        """(rel_path, def line) for a function qualname (best effort)."""
+        info = self.functions.get(qualname)
+        module = self.module_of(qualname)
+        rel_path = module.rel_path if module else qualname
+        return rel_path, info.line if info else 1
+
+    def describe(self, qualname: str, line: Optional[int] = None) -> str:
+        """The witness-element rendering ``qualname (path:line)``."""
+        rel_path, def_line = self.location(qualname)
+        return f"{qualname} ({rel_path}:{line if line else def_line})"
+
+    def witness_for_hops(
+        self, hops: Tuple[Tuple[str, int], ...], sink_desc: str,
+        sink: str, sink_line: int,
+    ) -> Tuple[str, ...]:
+        """Render a call chain as witness elements.
+
+        ``hops`` comes from the propagation layer: the first element is
+        the entry (rendered at its ``def`` line, so a path-head
+        suppression can anchor there); each later element is a callee
+        rendered at the call site *in its caller's file*; the final
+        element is the sink effect itself.
+        """
+        elements = []
+        for index, (fn, call_line) in enumerate(hops):
+            if index == 0:
+                elements.append(self.describe(fn))
+            else:
+                caller_rel, _ = self.location(hops[index - 1][0])
+                elements.append(f"{fn} ({caller_rel}:{call_line})")
+        sink_rel, _ = self.location(sink)
+        elements.append(f"{sink_desc} ({sink_rel}:{sink_line})")
+        return tuple(elements)
+
+
+def build_program(root: Path) -> ProgramAnalysis:
+    """Run the full analysis pipeline for the package(s) under ``root``."""
+    modules = discover_modules(root)
+    edges = collect_import_edges(modules)
+    cycles = eager_import_cycles(modules, edges)
+    tables = build_symbols(modules)
+    functions, calls, raises, nodes = collect_function_bodies(modules, tables)
+    analysis = ProgramAnalysis(
+        root=modules.root,
+        modules=modules,
+        import_edges=edges,
+        import_cycles=cycles,
+        functions=functions,
+        calls=calls,
+        raises=raises,
+        classes_by_qualname=tables.classes_by_qualname,
+    )
+    for qualname in functions:
+        analysis.blocking[qualname] = blocking_sites(calls[qualname])
+        analysis.nondet[qualname] = nondet_call_sites(
+            calls[qualname]
+        ) + unstable_iteration_sites(nodes[qualname])
+        analysis.nondet[qualname].sort(key=lambda site: site[1])
+        analysis.direct_raises[qualname] = direct_escaping_raises(
+            raises[qualname], tables.classes_by_qualname
+        )
+    return analysis

@@ -1,0 +1,590 @@
+"""Symbol tables and the intraprocedural-summary call graph.
+
+One pass over each module collects the *symbol table*: top-level
+functions, classes with their methods and (resolved) bases, and the
+import alias map (local name -> absolute dotted target).  A second
+pass walks every function body and resolves each ``ast.Call`` to:
+
+* a project function (``callee`` set to its qualname) — by local name,
+  imported symbol, ``module.func`` attribute access, ``self.method``
+  within a class, ``ClassName.method``, or a constructor call (which
+  edges to ``__init__`` and ``__post_init__`` when the class defines
+  them, since dataclass validation lives there);
+* otherwise an *external* dotted name (``"time.sleep"``,
+  ``"subprocess.run"``, a builtin like ``"open"``), or — when the
+  receiver cannot be resolved — a method marker ``".result"`` matched
+  by name against the effect catalogs.
+
+Calls the analysis cannot see (callables passed as values, e.g.
+``loop.run_in_executor(pool, fn)``) produce **no edge**: that
+under-approximation is exactly the thread-pool boundary RL101 needs,
+because handing a blocking callable to an executor is the sanctioned
+way off the event loop.
+
+Every call site also records which exception names the lexically
+enclosing ``try`` blocks catch, so RL102's propagation can stop an
+exception at the frame that handles it.  Bodies of nested functions
+and lambdas are attributed to the enclosing def — a deliberate
+over-approximation (defining a blocking closure counts as blocking).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.devtools.lint.program.modules import ModuleInfo, ModuleSet
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "RaiseSite",
+    "SymbolTables",
+    "build_symbols",
+    "collect_function_bodies",
+]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One project function or method."""
+
+    qualname: str              #: ``module.func`` or ``module.Class.method``
+    module: str
+    name: str                  #: bare name
+    cls: Optional[str]         #: bare class name for methods
+    line: int
+    is_coroutine: bool
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One top-level project class."""
+
+    qualname: str
+    name: str
+    module: str
+    line: int
+    bases: Tuple[str, ...]     #: resolved base names (project dotted or bare)
+    methods: Tuple[str, ...]   #: bare method names
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call inside a function body."""
+
+    caller: str
+    callee: Optional[str]      #: project function qualname, if resolved
+    external: Optional[str]    #: dotted external name or ``".method"`` marker
+    line: int
+    caught: FrozenSet[str]     #: exception names enclosing ``try``s catch
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise`` of a resolvable exception class."""
+
+    exc: str                   #: resolved name (project dotted or bare)
+    line: int
+    caught: FrozenSet[str]
+
+
+@dataclass
+class SymbolTables:
+    """Per-module name resolution state."""
+
+    #: module -> local name -> absolute dotted import target
+    aliases: Dict[str, Dict[str, str]]
+    #: module -> bare function name -> qualname
+    defs: Dict[str, Dict[str, str]]
+    #: module -> bare class name -> ClassInfo
+    classes: Dict[str, Dict[str, ClassInfo]]
+    #: class qualname -> ClassInfo (global)
+    classes_by_qualname: Dict[str, ClassInfo]
+
+
+def _absolute_base(module: ModuleInfo, level: int) -> str:
+    parts = module.name.split(".")
+    if module.path.name == "__init__.py":
+        keep = len(parts) - (level - 1)
+    else:
+        keep = len(parts) - level
+    return ".".join(parts[:max(keep, 0)])
+
+
+def _dotted_parts(expr: ast.expr) -> Optional[List[str]]:
+    """Flatten a ``Name``/``Attribute`` chain; None if anything else."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _alias_entries(
+    module: ModuleInfo, stmt: ast.stmt
+) -> List[Tuple[str, str]]:
+    """(local name, absolute dotted target) pairs for one import stmt."""
+    entries: List[Tuple[str, str]] = []
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            if alias.asname:
+                entries.append((alias.asname, alias.name))
+            else:
+                # ``import a.b`` binds ``a`` to the package ``a``.
+                head = alias.name.split(".")[0]
+                entries.append((head, head))
+    elif isinstance(stmt, ast.ImportFrom):
+        if stmt.level:
+            base = _absolute_base(module, stmt.level)
+            prefix = f"{base}.{stmt.module}" if stmt.module else base
+        else:
+            prefix = stmt.module or ""
+        for alias in stmt.names:
+            target = f"{prefix}.{alias.name}" if prefix else alias.name
+            entries.append((alias.asname or alias.name, target))
+    return entries
+
+
+def build_symbols(modules: ModuleSet) -> SymbolTables:
+    """Collect module-level symbol tables for every project module."""
+    tables = SymbolTables(aliases={}, defs={}, classes={}, classes_by_qualname={})
+    # First pass: names, so base-class resolution in the second pass can
+    # see classes of any module.
+    for name in sorted(modules.modules):
+        module = modules.modules[name]
+        aliases: Dict[str, str] = {}
+        defs: Dict[str, str] = {}
+        for stmt in module.tree.body:
+            for local, target in _alias_entries(module, stmt):
+                aliases[local] = target
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs[stmt.name] = f"{name}.{stmt.name}"
+        tables.aliases[name] = aliases
+        tables.defs[name] = defs
+        tables.classes[name] = {}
+    for name in sorted(modules.modules):
+        module = modules.modules[name]
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            bases = []
+            for base in stmt.bases:
+                resolved = _resolve_class_name(base, name, tables, modules)
+                if resolved:
+                    bases.append(resolved)
+            methods = tuple(
+                item.name
+                for item in stmt.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            info = ClassInfo(
+                qualname=f"{name}.{stmt.name}",
+                name=stmt.name,
+                module=name,
+                line=stmt.lineno,
+                bases=tuple(bases),
+                methods=methods,
+            )
+            tables.classes[name][stmt.name] = info
+            tables.classes_by_qualname[info.qualname] = info
+    return tables
+
+
+def _resolve_class_name(
+    expr: ast.expr,
+    module: str,
+    tables: SymbolTables,
+    modules: ModuleSet,
+) -> str:
+    """Resolve a class reference to a project qualname or bare name."""
+    parts = _dotted_parts(expr)
+    if not parts:
+        return ""
+    return _resolve_symbol(parts, module, tables.aliases[module], tables, modules)
+
+
+def _resolve_symbol(
+    parts: List[str],
+    module: str,
+    aliases: Dict[str, str],
+    tables: SymbolTables,
+    modules: ModuleSet,
+) -> str:
+    """Resolve a dotted reference to a project qualname or external name.
+
+    Project classes/functions come back as ``module.Symbol``; external
+    references as their absolute dotted form when the head is an
+    imported alias, else as the bare final segment.
+    """
+    head = parts[0]
+    if head in aliases:
+        target = ".".join([aliases[head]] + parts[1:])
+    elif head in tables.defs.get(module, ()) or head in tables.classes.get(
+        module, ()
+    ):
+        target = ".".join([f"{module}.{head}"] + parts[1:])
+    elif len(parts) == 1:
+        return head
+    else:
+        return ""
+    return _canonicalize(target, tables, modules)
+
+
+def _canonicalize(
+    target: str, tables: SymbolTables, modules: ModuleSet, depth: int = 0
+) -> str:
+    """Chase re-exports: ``repro.service.RepairService`` (imported into
+    the package ``__init__``) canonicalizes to the defining module's
+    ``repro.service.service.RepairService``."""
+    owner = modules.resolve(target)
+    if not owner:
+        return target
+    suffix = target[len(owner):].lstrip(".")
+    if not suffix:
+        return owner
+    head, _, rest = suffix.partition(".")
+    if head in tables.defs.get(owner, ()) or head in tables.classes.get(
+        owner, ()
+    ):
+        return f"{owner}.{suffix}"
+    redirect = tables.aliases.get(owner, {}).get(head)
+    if redirect and depth < 8:
+        return _canonicalize(
+            f"{redirect}.{rest}" if rest else redirect,
+            tables,
+            modules,
+            depth + 1,
+        )
+    return f"{owner}.{suffix}"
+
+
+def _is_false(expr: ast.expr) -> bool:
+    """Whether ``expr`` is the literal ``False``."""
+    return isinstance(expr, ast.Constant) and expr.value is False
+
+
+class _BodyWalker(ast.NodeVisitor):
+    """Collect call and raise sites for one function body."""
+
+    def __init__(
+        self,
+        caller: str,
+        module: ModuleInfo,
+        cls: Optional[ClassInfo],
+        tables: SymbolTables,
+        modules: ModuleSet,
+    ) -> None:
+        self.caller = caller
+        self.module = module
+        self.cls = cls
+        self.tables = tables
+        self.modules = modules
+        self.aliases = dict(tables.aliases[module.name])
+        self.caught_stack: List[FrozenSet[str]] = [frozenset()]
+        self.calls: List[CallSite] = []
+        self.raises: List[RaiseSite] = []
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def caught(self) -> FrozenSet[str]:
+        return self.caught_stack[-1]
+
+    def _handler_names(self, handler: ast.ExceptHandler) -> List[str]:
+        if handler.type is None:
+            return ["BaseException"]
+        exprs = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        names = []
+        for expr in exprs:
+            resolved = self._resolve(expr)
+            if resolved:
+                names.append(resolved)
+        return names
+
+    def _resolve(self, expr: ast.expr) -> str:
+        parts = _dotted_parts(expr)
+        if not parts:
+            return ""
+        return _resolve_symbol(
+            parts, self.module.name, self.aliases, self.tables, self.modules
+        )
+
+    def _method_in_class(self, cls: ClassInfo, method: str) -> Optional[str]:
+        """Resolve ``method`` on ``cls`` or a project ancestor class."""
+        seen = set()
+        queue = [cls.qualname]
+        while queue:
+            qualname = queue.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            info = self.tables.classes_by_qualname.get(qualname)
+            if info is None:
+                continue
+            if method in info.methods:
+                return f"{info.qualname}.{method}"
+            queue.extend(info.bases)
+        return None
+
+    def _constructor_targets(self, cls_qualname: str) -> List[str]:
+        info = self.tables.classes_by_qualname.get(cls_qualname)
+        if info is None:
+            return []
+        targets = []
+        for hook in ("__init__", "__post_init__"):
+            resolved = self._method_in_class(info, hook)
+            if resolved:
+                targets.append(resolved)
+        return targets
+
+    def _record(self, node: ast.Call) -> None:
+        func = node.func
+        callees: List[str] = []
+        external: Optional[str] = None
+        parts = _dotted_parts(func)
+        if parts is None:
+            if isinstance(func, ast.Attribute):
+                external = self._method_marker(func.attr, node)
+            # Calls on computed callables (lambda results, subscripts)
+            # stay invisible; see the module docstring.
+        elif parts[0] == "self" and self.cls is not None and len(parts) == 2:
+            resolved = self._method_in_class(self.cls, parts[1])
+            if resolved:
+                callees.append(resolved)
+            else:
+                external = self._method_marker(parts[1], node)
+        else:
+            resolved = _resolve_symbol(
+                parts, self.module.name, self.aliases, self.tables, self.modules
+            )
+            if resolved in self.modules.modules:
+                resolved = ""  # a bare module is not callable
+            if resolved:
+                owner = self.modules.resolve(resolved)
+                if owner:
+                    symbol = resolved[len(owner):].lstrip(".")
+                    head, _, rest = symbol.partition(".")
+                    if not rest and head in self.tables.defs.get(owner, ()):
+                        callees.append(resolved)
+                    elif head in self.tables.classes.get(owner, ()):
+                        if rest and "." not in rest:
+                            method = self._resolve_on_class(
+                                f"{owner}.{head}", rest
+                            )
+                            if method:
+                                callees.append(method)
+                        elif not rest:
+                            callees.extend(
+                                self._constructor_targets(f"{owner}.{head}")
+                            )
+                elif "." in resolved:
+                    external = resolved
+                else:
+                    external = resolved  # builtin or unresolved bare name
+        if not callees and not external and isinstance(func, ast.Attribute):
+            # Unresolvable receiver (``self._pool.shutdown(...)``, a
+            # local variable's method): fall back to the name marker.
+            external = self._method_marker(func.attr, node)
+        if callees:
+            for callee in callees:
+                self.calls.append(
+                    CallSite(self.caller, callee, None, node.lineno, self.caught)
+                )
+        elif external:
+            self.calls.append(
+                CallSite(self.caller, None, external, node.lineno, self.caught)
+            )
+
+    def _resolve_on_class(self, cls_qualname: str, method: str) -> Optional[str]:
+        info = self.tables.classes_by_qualname.get(cls_qualname)
+        if info is None:
+            return None
+        return self._method_in_class(info, method)
+
+    def _method_marker(self, method: str, node: ast.Call) -> Optional[str]:
+        """The ``".method"`` marker for an unresolved receiver.
+
+        ``shutdown(wait=False)`` is the explicitly non-blocking form and
+        produces no marker; any other ``shutdown(...)`` keeps the
+        blocking default.
+        """
+        if method == "shutdown":
+            for kw in node.keywords:
+                if kw.arg == "wait" and _is_false(kw.value):
+                    return None
+            if node.args and _is_false(node.args[0]):
+                return None
+        return f".{method}"
+
+    # -- visitors --------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for local, target in _alias_entries(self.module, node):
+            self.aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for local, target in _alias_entries(self.module, node):
+            self.aliases[local] = target
+
+    def _reraises_binding(self, handler: ast.ExceptHandler) -> bool:
+        """Whether the handler re-raises the exception it caught.
+
+        ``except BaseException: cleanup(); raise`` (and ``raise e`` of
+        the handler's binding) is the cleanup idiom: the handler is
+        *transparent* — whatever the guarded body raises passes through
+        unchanged.  Treating it as a catch would launder every body
+        escape into the handler's (usually much wider) caught type.
+        """
+        todo = list(handler.body)
+        while todo:
+            stmt = todo.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.Raise):
+                if stmt.exc is None:
+                    return True
+                if (
+                    isinstance(stmt.exc, ast.Name)
+                    and handler.name is not None
+                    and stmt.exc.id == handler.name
+                ):
+                    return True
+            if isinstance(stmt, ast.Try):
+                # A bare raise inside a *nested* handler re-raises that
+                # handler's exception, not this one's.
+                todo.extend(stmt.body + stmt.orelse + stmt.finalbody)
+                continue
+            todo.extend(
+                child
+                for child in ast.iter_child_nodes(stmt)
+                if isinstance(child, ast.stmt)
+            )
+        return False
+
+    def visit_Try(self, node: ast.Try) -> None:
+        names = frozenset(
+            name
+            for handler in node.handlers
+            if not self._reraises_binding(handler)
+            for name in self._handler_names(handler)
+        )
+        self.caught_stack.append(self.caught | names)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.caught_stack.pop()
+        # Handlers, else, and finally are not guarded by this try.
+        for handler in node.handlers:
+            self._visit_handler(handler)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        for stmt in node.finalbody:
+            self.visit(stmt)
+
+    def _visit_handler(self, handler: ast.ExceptHandler) -> None:
+        # Transparent handlers (cleanup-and-reraise) contribute nothing
+        # of their own: the guarded body's sites stay unfiltered, so the
+        # re-raise is already accounted for at its true origin.
+        names = (
+            ()
+            if self._reraises_binding(handler)
+            else tuple(self._handler_names(handler))
+        )
+        previous = self._handler_types
+        self._handler_types = names
+        for stmt in handler.body:
+            self.visit(stmt)
+        self._handler_types = previous
+
+    _handler_types: Tuple[str, ...] = ()
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is None:
+            # Bare re-raise: raises whatever the enclosing handler caught.
+            for name in self._handler_types:
+                self.raises.append(RaiseSite(name, node.lineno, self.caught))
+        else:
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            resolved = self._resolve(target)
+            if resolved and (
+                resolved in self.tables.classes_by_qualname
+                or resolved in self._handler_types
+                or (resolved[:1].isupper() and "." not in resolved)
+            ):
+                self.raises.append(
+                    RaiseSite(resolved, node.lineno, self.caught)
+                )
+            elif not resolved and isinstance(node.exc, ast.Name):
+                # ``raise exc`` where ``exc`` is the handler's binding.
+                for name in self._handler_types:
+                    self.raises.append(
+                        RaiseSite(name, node.lineno, self.caught)
+                    )
+        self.generic_visit(node)
+
+
+def collect_function_bodies(
+    modules: ModuleSet, tables: SymbolTables
+) -> Tuple[
+    Dict[str, FunctionInfo],
+    Dict[str, Tuple[CallSite, ...]],
+    Dict[str, Tuple[RaiseSite, ...]],
+    Dict[str, ast.AST],
+]:
+    """Walk every function body; return (functions, calls, raises, nodes)."""
+    functions: Dict[str, FunctionInfo] = {}
+    calls: Dict[str, Tuple[CallSite, ...]] = {}
+    raises: Dict[str, Tuple[RaiseSite, ...]] = {}
+    nodes: Dict[str, ast.AST] = {}
+
+    def handle(
+        node: ast.AST, module: ModuleInfo, cls: Optional[ClassInfo]
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        cls_part = f"{cls.name}." if cls else ""
+        qualname = f"{module.name}.{cls_part}{node.name}"
+        functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            cls=cls.name if cls else None,
+            line=node.lineno,
+            is_coroutine=isinstance(node, ast.AsyncFunctionDef),
+        )
+        walker = _BodyWalker(qualname, module, cls, tables, modules)
+        for stmt in node.body:
+            walker.visit(stmt)
+        calls[qualname] = tuple(walker.calls)
+        raises[qualname] = tuple(walker.raises)
+        nodes[qualname] = node
+
+    for name in sorted(modules.modules):
+        module = modules.modules[name]
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                handle(stmt, module, None)
+            elif isinstance(stmt, ast.ClassDef):
+                cls = tables.classes[name].get(stmt.name)
+                for item in stmt.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        handle(item, module, cls)
+    return functions, calls, raises, nodes

@@ -1,0 +1,348 @@
+"""Per-function effect summaries.
+
+Three effect families feed the RL1xx rules, all computed *directly*
+per function and then propagated transitively over the call graph by
+:mod:`repro.devtools.lint.program.propagate`:
+
+**Blocking** (RL101) — calls that park the calling thread: sleeps,
+``fsync``-class file durability, file metadata ops, ``open``/path
+reads and writes, ``subprocess``, future ``.result()``, and executor
+``shutdown()`` with the blocking default.  Matching is by absolute
+dotted name when the receiver resolves (``"time.sleep"``) and by
+method-name marker when it does not (``".result"``).
+
+**Raises** (RL102) — exception classes a function can raise directly
+and not catch itself; collected by the call-graph walker, filtered
+here against the lexically enclosing handlers using the project class
+hierarchy (``raise UsageError`` inside ``except ReproError:``'s try
+body does not escape).
+
+**Nondeterminism** (RL103) — hash-order and entropy sources: ``id()``,
+``uuid.uuid4``, ``os.urandom``, module-level ``random.*`` (a seeded
+``random.Random(seed)`` instance resolves to a method marker and is
+deliberately *not* matched), and — the flow-aware generalization of
+RL003 — ordered traversal of *provably unordered* expressions: set
+literals/comprehensions, ``set()``/``frozenset()`` calls, and dict
+views, unless an order-restoring or order-insensitive consumer
+(``sorted``, ``sum``, ``min``/``max``, ``any``/``all``, ``len``,
+membership, ``set``/``frozenset``/set-comprehension) absorbs the
+iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.devtools.lint.program.callgraph import (
+    CallSite,
+    ClassInfo,
+    RaiseSite,
+)
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_METHODS",
+    "NONDET_CALLS",
+    "EffectSite",
+    "blocking_sites",
+    "nondet_call_sites",
+    "unstable_iteration_sites",
+    "direct_escaping_raises",
+    "ancestors_of",
+    "covered_by",
+]
+
+#: One concrete effect occurrence: (description, line).
+EffectSite = Tuple[str, int]
+
+#: Absolute dotted names of blocking calls.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "os.sync",
+        "os.unlink",
+        "os.remove",
+        "os.replace",
+        "os.rename",
+        "open",
+        "io.open",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.rmtree",
+    }
+)
+
+#: Method markers (unresolvable receiver) treated as blocking.  The
+#: ``.shutdown`` marker is only emitted for the blocking form (the
+#: call-graph walker drops ``shutdown(wait=False)``).
+BLOCKING_METHODS = frozenset(
+    {
+        ".result",
+        ".shutdown",
+        ".read_text",
+        ".write_text",
+        ".read_bytes",
+        ".write_bytes",
+    }
+)
+
+#: Absolute dotted names of entropy / hash-order sources.
+NONDET_CALLS = frozenset(
+    {
+        "id",
+        "uuid.uuid4",
+        "uuid.uuid1",
+        "os.urandom",
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.getrandbits",
+    }
+)
+
+#: Builtin exception hierarchy fragments used by handler coverage.
+_BUILTIN_PARENTS = {
+    "ValueError": "Exception",
+    "TypeError": "Exception",
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "LookupError": "Exception",
+    "AttributeError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "OSError": "Exception",
+    "IOError": "OSError",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "TimeoutError": "OSError",
+    "InterruptedError": "OSError",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "AssertionError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+}
+
+
+def blocking_sites(calls: Iterable[CallSite]) -> List[EffectSite]:
+    """Direct blocking-call sites among ``calls``."""
+    sites = []
+    for call in calls:
+        name = call.external
+        if name is None:
+            continue
+        if name in BLOCKING_CALLS or name in BLOCKING_METHODS:
+            sites.append((name, call.line))
+    return sites
+
+
+def nondet_call_sites(calls: Iterable[CallSite]) -> List[EffectSite]:
+    """Direct entropy/hash-order call sites among ``calls``."""
+    return [
+        (call.external, call.line)
+        for call in calls
+        if call.external is not None and call.external in NONDET_CALLS
+    ]
+
+
+# -- exception hierarchy -------------------------------------------------------
+
+
+def ancestors_of(
+    name: str, classes_by_qualname: Dict[str, ClassInfo]
+) -> FrozenSet[str]:
+    """Every (transitive) base-class name of exception class ``name``.
+
+    Walks the project class table for project-defined classes and the
+    builtin fragment table for standard exceptions; names are returned
+    in both forms seen elsewhere (project dotted qualnames, bare
+    builtin names).
+    """
+    seen: set = set()
+    queue = [name]
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = classes_by_qualname.get(current)
+        if info is not None:
+            queue.extend(info.bases)
+        bare = current.rsplit(".", 1)[-1]
+        if bare != current:
+            seen.add(bare)
+        parent = _BUILTIN_PARENTS.get(bare)
+        if parent is not None:
+            queue.append(parent)
+    seen.discard(name)
+    return frozenset(seen)
+
+
+def covered_by(
+    exc: str,
+    caught: FrozenSet[str],
+    classes_by_qualname: Dict[str, ClassInfo],
+) -> bool:
+    """Whether a handler set catching ``caught`` stops ``exc``."""
+    if not caught:
+        return False
+    if "BaseException" in caught or "Exception" in caught:
+        # ``except Exception`` misses only BaseException-only descendants,
+        # none of which the analysis tracks as escapes worth reporting.
+        return True
+    if exc in caught or exc.rsplit(".", 1)[-1] in {
+        name.rsplit(".", 1)[-1] for name in caught
+    }:
+        return True
+    ancestors = ancestors_of(exc, classes_by_qualname)
+    return bool(ancestors & caught) or bool(
+        {a.rsplit(".", 1)[-1] for a in ancestors}
+        & {c.rsplit(".", 1)[-1] for c in caught}
+    )
+
+
+def direct_escaping_raises(
+    raises: Iterable[RaiseSite],
+    classes_by_qualname: Dict[str, ClassInfo],
+) -> Dict[str, int]:
+    """Exception name -> first raise line, for raises no local handler stops."""
+    escaped: Dict[str, int] = {}
+    for site in raises:
+        if covered_by(site.exc, site.caught, classes_by_qualname):
+            continue
+        if site.exc not in escaped or site.line < escaped[site.exc]:
+            escaped[site.exc] = site.line
+    return escaped
+
+
+# -- unstable iteration (RL103's flow-aware sink) ------------------------------
+
+#: Calls that absorb or restore iteration order.
+_ORDER_SAFE_CALLS = frozenset(
+    {
+        "sorted",
+        "sum",
+        "min",
+        "max",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+    }
+)
+
+
+def _is_unordered_expr(node: ast.AST) -> Optional[str]:
+    """A description when ``node`` is provably unordered, else None."""
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return f"{node.func.id}(...)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return f".{node.func.attr}() view"
+    return None
+
+
+def _build_parents(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _consumer_is_order_safe(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether the iteration consuming ``node`` is order-insensitive."""
+    parent = parents.get(node)
+    if parent is None:
+        return True  # dangling expression; nothing consumes the order
+    if isinstance(parent, ast.Call):
+        if node in parent.args:
+            if (
+                isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_SAFE_CALLS
+            ):
+                return True
+            return False
+        return True  # e.g. the func position; not an iteration
+    if isinstance(parent, ast.comprehension):
+        # The unordered expr drives a comprehension; safety depends on
+        # what the comprehension builds and who consumes *that*.
+        comp = parents.get(parent)
+        if isinstance(comp, (ast.SetComp, ast.DictComp)):
+            return True  # rebuilt as an unordered container
+        if comp is not None:
+            return _consumer_is_order_safe(comp, parents)
+        return True
+    if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+        return False
+    if isinstance(parent, ast.Compare):
+        ops = parent.ops
+        if any(isinstance(op, (ast.In, ast.NotIn)) for op in ops):
+            return True  # membership test
+        return True  # ==/<= etc. on sets are order-insensitive
+    if isinstance(parent, (ast.Starred, ast.Tuple, ast.List)):
+        return False  # splatted into an ordered container
+    if isinstance(parent, ast.BinOp):
+        return True  # set algebra (|, &, -) keeps it a set
+    if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.Return)):
+        return True  # passing the container along unordered is fine
+    return True
+
+
+def unstable_iteration_sites(node: ast.AST) -> List[EffectSite]:
+    """Ordered traversals of provably unordered expressions in a body."""
+    parents = _build_parents(node)
+    sites: List[EffectSite] = []
+    for candidate in ast.walk(node):
+        desc = _is_unordered_expr(candidate)
+        if desc is None:
+            continue
+        if _consumer_is_order_safe(candidate, parents):
+            continue
+        sites.append(
+            (f"unsorted iteration over {desc}", candidate.lineno)
+        )
+    sites.sort(key=lambda site: site[1])
+    return sites

@@ -1,0 +1,108 @@
+"""Running program-scope rules and filtering their findings.
+
+The per-file engine applies inline suppressions while it holds each
+file open; program findings need their own pass because one finding
+spans *several* files (the entry point, every hop, the sink).  Two
+anchor points honour a suppression comment:
+
+**the sink** — the line the finding points at (``finding.path`` /
+``finding.line``), like any per-file finding; and
+
+**the path head** — the entry-point function's ``def`` line, read from
+the first witness element.  Suppressing at the head says "every path
+out of this entry point is vetted" (e.g. a CLI command that legitimately
+re-raises), without having to chase each sink.
+
+Baseline identity stays sink-only (see
+:meth:`~repro.devtools.lint.findings.Finding.baseline_key`): a witness
+re-route neither resurrects nor forgives accepted debt.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.findings import Finding, finding_sort_key
+from repro.devtools.lint.program.analyzer import (
+    ProgramAnalysis,
+    build_program,
+)
+from repro.devtools.lint.suppress import SuppressionTable, parse_suppressions
+
+__all__ = ["run_program_rules", "witness_anchor"]
+
+#: Witness elements end in ``(path:line)``; the head anchor parses the
+#: first one back out.
+_ANCHOR = re.compile(r"\((?P<path>[^()\s]+):(?P<line>\d+)\)$")
+
+
+def witness_anchor(element: str) -> Optional[Tuple[str, int]]:
+    """The ``(rel_path, line)`` anchor of one witness element, if any."""
+    match = _ANCHOR.search(element)
+    if match is None:
+        return None
+    return match.group("path"), int(match.group("line"))
+
+
+class _Tables:
+    """Lazily parsed per-file suppression tables for the whole program."""
+
+    def __init__(self, analysis: ProgramAnalysis) -> None:
+        self._by_rel_path = {
+            info.rel_path: info for info in analysis.modules.modules.values()
+        }
+        self._tables: Dict[str, SuppressionTable] = {}
+
+    def for_path(self, rel_path: str) -> Optional[SuppressionTable]:
+        if rel_path not in self._tables:
+            info = self._by_rel_path.get(rel_path)
+            if info is None:
+                return None
+            self._tables[rel_path] = parse_suppressions(info.lines)
+        return self._tables[rel_path]
+
+
+def _is_suppressed(
+    finding: Finding, tables: _Tables
+) -> bool:
+    sink_table = tables.for_path(finding.path)
+    if sink_table is not None and sink_table.is_suppressed(
+        finding.code, finding.line
+    ):
+        return True
+    if finding.witness:
+        anchor = witness_anchor(finding.witness[0])
+        if anchor is not None:
+            head_table = tables.for_path(anchor[0])
+            if head_table is not None and head_table.is_suppressed(
+                finding.code, anchor[1]
+            ):
+                return True
+    return False
+
+
+def run_program_rules(
+    rules: Sequence[object],
+    root,
+    analysis: Optional[ProgramAnalysis] = None,
+) -> Tuple[List[Finding], int]:
+    """Run ``rules`` over the program under ``root``.
+
+    Returns (findings, inline_suppressed_count); findings come back
+    sorted and suppression-filtered, ready for the baseline pass the
+    caller applies together with per-file findings.
+    """
+    if analysis is None:
+        analysis = build_program(root)
+    tables = _Tables(analysis)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check_program(analysis):  # type: ignore[attr-defined]
+            if _is_suppressed(finding, tables):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=finding_sort_key)
+    return kept, suppressed

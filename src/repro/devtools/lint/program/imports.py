@@ -1,0 +1,196 @@
+"""The project import graph.
+
+Every ``import``/``from ... import`` statement in every project module
+becomes an :class:`ImportEdge` between project modules, annotated with
+how it executes:
+
+``deferred``
+    The import sits inside a function body, so it runs lazily at call
+    time.  Deferred edges still count for layering (RL100's DAG is
+    about *what may depend on what*, not about import timing) but are
+    exempt from the cycle check — a lazy import is the sanctioned way
+    to break a bootstrap cycle.
+
+``type_only``
+    The import sits under ``if TYPE_CHECKING:`` and is erased at
+    runtime; it is excluded from both checks.
+
+Symbol resolution is longest-prefix against the discovered module
+table: ``from repro.core import fact`` yields an edge to
+``repro.core.fact`` (a module), while ``from repro.core.fact import
+Fact`` also resolves to ``repro.core.fact`` (the module defining the
+symbol).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.devtools.lint.program.modules import ModuleInfo, ModuleSet
+
+__all__ = ["ImportEdge", "collect_import_edges", "eager_import_cycles"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved project-internal import."""
+
+    src: str        #: importing module (dotted name)
+    dst: str        #: imported project module (dotted name)
+    line: int
+    deferred: bool
+    type_only: bool
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _absolute_base(module: ModuleInfo, level: int) -> str:
+    """The absolute package a relative import of ``level`` starts from."""
+    parts = module.name.split(".")
+    if module.path.name == "__init__.py":
+        # Package __init__: level 1 is the package itself.
+        keep = len(parts) - (level - 1)
+    else:
+        keep = len(parts) - level
+    return ".".join(parts[:max(keep, 0)])
+
+
+def _iter_imports(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.stmt, bool, bool]]:
+    """Every import statement with (deferred, type_only) flags."""
+
+    def walk(node: ast.AST, deferred: bool, type_only: bool) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield child, deferred, type_only
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, True, type_only)
+            elif isinstance(child, ast.If) and _is_type_checking_test(
+                child.test
+            ):
+                for stmt in child.body:
+                    yield from walk_stmt(stmt, deferred, True)
+                for stmt in child.orelse:
+                    yield from walk_stmt(stmt, deferred, type_only)
+            else:
+                yield from walk(child, deferred, type_only)
+
+    def walk_stmt(stmt: ast.stmt, deferred: bool, type_only: bool):
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt, deferred, type_only
+        else:
+            yield from walk(stmt, deferred, type_only)
+
+    yield from walk(tree, False, False)
+
+
+def collect_import_edges(modules: ModuleSet) -> List[ImportEdge]:
+    """Every project-internal import edge, in deterministic order."""
+    edges: List[ImportEdge] = []
+    for name in sorted(modules.modules):
+        module = modules.modules[name]
+        for stmt, deferred, type_only in _iter_imports(module.tree):
+            if isinstance(stmt, ast.Import):
+                targets = [alias.name for alias in stmt.names]
+            else:
+                assert isinstance(stmt, ast.ImportFrom)
+                if stmt.level:
+                    base = _absolute_base(module, stmt.level)
+                    prefix = (
+                        f"{base}.{stmt.module}" if stmt.module else base
+                    )
+                else:
+                    prefix = stmt.module or ""
+                targets = [
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                    for alias in stmt.names
+                ]
+            for target in targets:
+                dst = modules.resolve(target)
+                if not dst or dst == module.name:
+                    continue
+                edges.append(
+                    ImportEdge(
+                        src=module.name,
+                        dst=dst,
+                        line=stmt.lineno,
+                        deferred=deferred,
+                        type_only=type_only,
+                    )
+                )
+    return edges
+
+
+def eager_import_cycles(
+    modules: ModuleSet, edges: List[ImportEdge]
+) -> List[Tuple[str, ...]]:
+    """Module cycles among eager (non-deferred, runtime) imports.
+
+    Returns each strongly connected component of size > 1 as a tuple of
+    module names forming a concrete cycle, deterministically ordered.
+    """
+    graph: Dict[str, Set[str]] = {name: set() for name in modules.modules}
+    for edge in edges:
+        if edge.deferred or edge.type_only:
+            continue
+        graph[edge.src].add(edge.dst)
+
+    # Iterative Tarjan SCC (the graph is small but recursion limits are
+    # not ours to burn).
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[Tuple[str, ...]] = []
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [
+            (start, iter(sorted(graph[start])))
+        ]
+        index[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(tuple(sorted(component)))
+    return sorted(components)

@@ -1,0 +1,131 @@
+"""Project module discovery for the whole-program analysis.
+
+The per-file engine (:mod:`repro.devtools.lint.engine`) lints whatever
+paths it is handed; the program analysis instead needs the *closed
+world* of one Python package so imports and calls resolve to project
+modules.  Discovery walks ``<root>/src/<package>/`` (every package
+directory directly under ``src``), parses each module once, and maps
+file paths to dotted module names; everything downstream — the import
+graph, the call graph, the effect summaries — is keyed by those names.
+
+Files that do not parse are skipped here (and recorded): the per-file
+engine already turns them into ``RL000`` findings, and a half-parsed
+module would only poison the graphs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+__all__ = ["ModuleInfo", "ModuleSet", "discover_modules", "module_layer"]
+
+#: Directory names never descended into (mirrors the per-file engine).
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", "build", "dist", ".venv"}
+)
+
+#: Layer name used for a package's root ``__init__`` module.
+ROOT_LAYER = "<root>"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed project module."""
+
+    name: str          #: dotted module name, e.g. ``"repro.core.fact"``
+    rel_path: str      #: root-relative POSIX path, e.g. ``"src/repro/core/fact.py"``
+    path: Path         #: absolute path
+    source: str
+    lines: Tuple[str, ...]
+    tree: ast.Module
+
+    @property
+    def layer(self) -> str:
+        """The architecture layer: the second dotted segment."""
+        return module_layer(self.name)
+
+
+def module_layer(name: str) -> str:
+    """The architecture layer of dotted module ``name``.
+
+    ``repro.core.fact`` -> ``core``; ``repro.io`` -> ``io``; the package
+    root ``repro`` -> ``<root>``.
+    """
+    parts = name.split(".")
+    return parts[1] if len(parts) > 1 else ROOT_LAYER
+
+
+@dataclass
+class ModuleSet:
+    """The discovered closed world of project modules."""
+
+    root: Path
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    unparsed: List[str] = field(default_factory=list)
+
+    def resolve(self, dotted: str) -> str:
+        """The longest project-module prefix of ``dotted`` (or ``""``).
+
+        ``from repro.core.fact import Fact`` names the symbol
+        ``repro.core.fact.Fact``; resolving it back to the module that
+        defines it is a longest-prefix match against the module table.
+        """
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return ""
+
+    def by_rel_path(self) -> Dict[str, ModuleInfo]:
+        return {info.rel_path: info for info in self.modules.values()}
+
+
+def _module_name(py_file: Path, src_dir: Path) -> str:
+    rel = py_file.relative_to(src_dir).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def discover_modules(root: Path) -> ModuleSet:
+    """Discover and parse every package module under ``root/src``.
+
+    ``root`` is the lint root (the directory ``ARCHITECTURE`` and the
+    baseline live in); each directory under ``root/src`` containing an
+    ``__init__.py`` is treated as one project package.
+    """
+    result = ModuleSet(root=root.resolve())
+    src_dir = result.root / "src"
+    if not src_dir.is_dir():
+        return result
+    packages = sorted(
+        entry
+        for entry in src_dir.iterdir()
+        if entry.is_dir() and (entry / "__init__.py").is_file()
+    )
+    for package in packages:
+        for py_file in sorted(package.rglob("*.py")):
+            if _SKIP_DIRS.intersection(py_file.parts):
+                continue
+            name = _module_name(py_file, src_dir)
+            rel_path = py_file.relative_to(result.root).as_posix()
+            source = py_file.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=rel_path)
+            except SyntaxError:
+                result.unparsed.append(rel_path)
+                continue
+            result.modules[name] = ModuleInfo(
+                name=name,
+                rel_path=rel_path,
+                path=py_file,
+                source=source,
+                lines=tuple(source.splitlines()),
+                tree=tree,
+            )
+    return result

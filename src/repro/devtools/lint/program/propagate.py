@@ -1,0 +1,181 @@
+"""Transitive effect propagation over the call graph.
+
+Two propagation shapes cover the RL1xx rules:
+
+* :func:`find_effect_paths` — plain reachability with breadth-first
+  witnesses: starting from each entry point, walk resolved call edges
+  until a function with a *direct* effect (blocking call, entropy
+  source) is reached, and reconstruct the shortest entry-to-sink call
+  chain.  Each sink site is reported once, with the first (entries are
+  visited in sorted order) shortest witness — the baseline and
+  suppression layers key on the sink, so which of several equivalent
+  witnesses is printed does not affect identity.
+
+* :func:`escaped_exceptions` — a monotone fixpoint for RL102: the
+  exceptions escaping a function are its own uncaught raises plus
+  whatever escapes its callees, minus what each call site's enclosing
+  handlers catch.  Origin pointers recorded during the fixpoint let a
+  finding print the exact frame-by-frame path from entry point to the
+  offending ``raise``.
+
+Both walks traverse only *resolved* project call edges.  A callable
+passed as a value (``loop.run_in_executor(pool, fn)``,
+``asyncio.to_thread(fn)``) produces no edge, so the executor boundary
+cuts every path exactly where the runtime does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.lint.program.callgraph import CallSite, ClassInfo
+from repro.devtools.lint.program.effects import EffectSite, covered_by
+
+__all__ = [
+    "EffectPath",
+    "EscapePath",
+    "escape_path",
+    "escaped_exceptions",
+    "find_effect_paths",
+]
+
+
+@dataclass(frozen=True)
+class EffectPath:
+    """One entry-to-sink witness for a reachability effect."""
+
+    entry: str                       #: entry-point function qualname
+    #: call chain as (function qualname, call-site line in the caller);
+    #: the first element's line is the entry's def line (filled by the
+    #: caller of find_effect_paths via function info).
+    hops: Tuple[Tuple[str, int], ...]
+    sink: str                        #: function containing the effect
+    desc: str                        #: effect description
+    line: int                        #: effect line inside ``sink``
+
+
+@dataclass(frozen=True)
+class EscapePath:
+    """One entry-to-raise witness for an escaping exception."""
+
+    entry: str
+    exc: str                         #: resolved exception class name
+    hops: Tuple[Tuple[str, int], ...]
+    sink: str                        #: function containing the raise
+    line: int                        #: the raise line
+
+
+def find_effect_paths(
+    entries: Sequence[str],
+    calls: Dict[str, Tuple[CallSite, ...]],
+    direct_effects: Callable[[str], List[EffectSite]],
+) -> List[EffectPath]:
+    """Shortest entry-to-effect witnesses, one per distinct sink site."""
+    paths: List[EffectPath] = []
+    reported: Set[Tuple[str, str, int]] = set()
+    for entry in sorted(entries):
+        parents: Dict[str, Tuple[Optional[str], int]] = {entry: (None, 0)}
+        queue = deque([entry])
+        order: List[str] = []
+        while queue:
+            fn = queue.popleft()
+            order.append(fn)
+            for site in calls.get(fn, ()):
+                if site.callee is None or site.callee in parents:
+                    continue
+                parents[site.callee] = (fn, site.line)
+                queue.append(site.callee)
+        for fn in order:
+            for desc, line in direct_effects(fn):
+                key = (fn, desc, line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                hops: List[Tuple[str, int]] = []
+                cursor: Optional[str] = fn
+                while cursor is not None:
+                    parent, call_line = parents[cursor]
+                    hops.append((cursor, call_line))
+                    cursor = parent
+                hops.reverse()
+                paths.append(
+                    EffectPath(
+                        entry=entry,
+                        hops=tuple(hops),
+                        sink=fn,
+                        desc=desc,
+                        line=line,
+                    )
+                )
+    paths.sort(key=lambda p: (p.sink, p.line, p.desc, p.entry))
+    return paths
+
+
+def escaped_exceptions(
+    functions: Sequence[str],
+    calls: Dict[str, Tuple[CallSite, ...]],
+    direct_raises: Dict[str, Dict[str, int]],
+    classes_by_qualname: Dict[str, ClassInfo],
+) -> Dict[str, Dict[str, Tuple[str, int, Optional[str]]]]:
+    """Fixpoint of escaping exceptions per function.
+
+    Returns ``fn -> exc -> origin`` where origin is ``("raise", line,
+    None)`` for a direct raise or ``("call", line, callee)`` when the
+    exception bubbles out of ``callee`` called at ``line``.
+    """
+    escaped: Dict[str, Dict[str, Tuple[str, int, Optional[str]]]] = {}
+    for fn in functions:
+        escaped[fn] = {
+            exc: ("raise", line, None)
+            for exc, line in direct_raises.get(fn, {}).items()
+        }
+    changed = True
+    while changed:
+        changed = False
+        for fn in sorted(functions):
+            table = escaped[fn]
+            for site in sorted(
+                calls.get(fn, ()), key=lambda s: (s.line, s.callee or "")
+            ):
+                if site.callee is None:
+                    continue
+                for exc in sorted(escaped.get(site.callee, ())):
+                    if exc in table:
+                        continue
+                    if covered_by(exc, site.caught, classes_by_qualname):
+                        continue
+                    table[exc] = ("call", site.line, site.callee)
+                    changed = True
+    return escaped
+
+
+def escape_path(
+    entry: str,
+    exc: str,
+    escaped: Dict[str, Dict[str, Tuple[str, int, Optional[str]]]],
+) -> Optional[EscapePath]:
+    """Reconstruct the frame-by-frame path for ``exc`` escaping ``entry``."""
+    hops: List[Tuple[str, int]] = []
+    cursor = entry
+    visited: Set[str] = set()
+    while True:
+        if cursor in visited:
+            return None  # cycle in the origin chain; no printable path
+        visited.add(cursor)
+        origin = escaped.get(cursor, {}).get(exc)
+        if origin is None:
+            return None
+        kind, line, callee = origin
+        if kind == "raise":
+            return EscapePath(
+                entry=entry,
+                exc=exc,
+                hops=tuple(hops),
+                sink=cursor,
+                line=line,
+            )
+        hops.append((cursor, line))
+        assert callee is not None
+        cursor = callee

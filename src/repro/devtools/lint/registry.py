@@ -24,8 +24,17 @@ from repro.exceptions import MissingEntryError, UsageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.devtools.lint.engine import FileContext
+    from repro.devtools.lint.program.analyzer import ProgramAnalysis
 
-__all__ = ["Rule", "register", "all_rules", "rule_by_code"]
+__all__ = [
+    "ProgramRule",
+    "Rule",
+    "register",
+    "all_rules",
+    "file_rules",
+    "program_rules",
+    "rule_by_code",
+]
 
 
 class Rule:
@@ -41,6 +50,9 @@ class Rule:
     rationale: str = ""
     #: Root-relative POSIX path prefixes the rule applies to.
     scopes: Tuple[str, ...] = ("src/",)
+    #: Whether the rule is program-scope (runs once per lint invocation
+    #: over the whole-program analysis, only under ``--program``).
+    program: bool = False
 
     def applies_to(self, rel_path: str) -> bool:
         """Whether the rule runs on ``rel_path`` (prefix scoping)."""
@@ -69,6 +81,30 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program rules (``repro lint --program``).
+
+    Program rules run once per invocation over the shared
+    :class:`~repro.devtools.lint.program.analyzer.ProgramAnalysis`
+    rather than per file; their findings carry a call-path ``witness``
+    from entry point to sink.  ``check`` is never called on them.
+    """
+
+    program = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise UsageError(
+            f"program rule {self.code} has no per-file check; "
+            "use check_program"
+        )
+
+    def check_program(
+        self, analysis: "ProgramAnalysis"
+    ) -> Iterator[Finding]:
+        """Yield findings for the whole program."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -94,6 +130,16 @@ def all_rules() -> Tuple[Rule, ...]:
     return tuple(
         _REGISTRY[code] for code in sorted(_REGISTRY)
     )
+
+
+def file_rules() -> Tuple[Rule, ...]:
+    """Registered per-file rules, in code order."""
+    return tuple(rule for rule in all_rules() if not rule.program)
+
+
+def program_rules() -> Tuple[Rule, ...]:
+    """Registered program-scope rules, in code order."""
+    return tuple(rule for rule in all_rules() if rule.program)
 
 
 def rule_by_code(code: str) -> Rule:

@@ -17,6 +17,10 @@ from repro.devtools.lint.rules import (  # noqa: F401
     rl007_supervision_boundary,
     rl008_compute_semantics,
     rl009_index_backed_adjacency,
+    rl100_layering,
+    rl101_async_safety,
+    rl102_exception_flow,
+    rl103_determinism_flow,
 )
 
 __all__ = [
@@ -29,4 +33,8 @@ __all__ = [
     "rl007_supervision_boundary",
     "rl008_compute_semantics",
     "rl009_index_backed_adjacency",
+    "rl100_layering",
+    "rl101_async_safety",
+    "rl102_exception_flow",
+    "rl103_determinism_flow",
 ]

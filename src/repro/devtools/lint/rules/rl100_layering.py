@@ -1,0 +1,199 @@
+"""RL100 — the architecture DAG: layering and import cycles.
+
+The repository's layers (top-level modules/packages under the project
+package: ``core``, ``io``, ``service``, ``server``, ``cli``,
+``devtools``, ...) form a DAG that the ROADMAP's scale-out plans lean
+on: the core checkers must stay embeddable without dragging in the
+serving stack, and the dev tooling must never import runtime layers
+(a linter that imports the daemon can deadlock the very CI job that
+guards the daemon).  Per-file rules cannot see an import *graph*; this
+rule checks every resolved project import — module-level and lazy
+function-local alike — against the checked-in ``ARCHITECTURE`` file at
+the lint root (falling back to the built-in copy of the same DAG), and
+reports module-level import cycles (strongly connected components of
+the eager import graph).  Lazy imports are exempt from the cycle check
+only: they are the sanctioned way to break a bootstrap cycle, but they
+still must respect the DAG.
+
+Deliberate module-to-module escape hatches are recorded in
+``ARCHITECTURE`` as ``allow a.b -> c.d`` lines, so every exemption is
+reviewable in one place.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, Set, Tuple
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.program.modules import module_layer
+from repro.devtools.lint.registry import ProgramRule, register
+from repro.exceptions import UsageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.program.analyzer import ProgramAnalysis
+
+__all__ = ["LayeringRule"]
+
+#: Layers every layer may import implicitly.
+BASE_LAYERS = frozenset({"exceptions", "fsutil"})
+
+#: The built-in architecture DAG, mirroring the repository's
+#: ``ARCHITECTURE`` file (which, when present at the lint root, is the
+#: authority).  Maps layer -> layers it may import from.
+DEFAULT_ARCHITECTURE: Dict[str, FrozenSet[str]] = {
+    layer: frozenset(allowed)
+    for layer, allowed in {
+        "<root>": ("core", "explain"),
+        "analysis": ("core",),
+        "catalog": ("core", "hardness", "workloads"),
+        "cli": (
+            "analysis",
+            "compute",
+            "core",
+            "devtools",
+            "engine",
+            "explain",
+            "hardness",
+            "io",
+            "server",
+            "service",
+            "workloads",
+        ),
+        "compute": ("core", "cqa"),
+        "core": (),
+        "cqa": ("core",),
+        "devtools": (),
+        "engine": ("core",),
+        "explain": ("core", "hardness"),
+        "hardness": ("core",),
+        "io": ("core",),
+        "server": ("core", "cqa", "io", "service"),
+        "service": ("compute", "core", "cqa", "engine", "io"),
+        "testing": ("core", "cqa"),
+        "viz": ("core",),
+        "workloads": ("core", "hardness"),
+    }.items()
+}
+
+ARCHITECTURE_FILE = "ARCHITECTURE"
+
+
+def load_architecture(
+    root: Path,
+) -> Tuple[Dict[str, FrozenSet[str]], Set[Tuple[str, str]]]:
+    """The (layer DAG, allowed module edges) for the tree at ``root``.
+
+    Parses ``<root>/ARCHITECTURE`` when present (see that file for the
+    grammar); otherwise returns the built-in DAG with no module-level
+    exemptions.
+    """
+    path = root / ARCHITECTURE_FILE
+    if not path.is_file():
+        return dict(DEFAULT_ARCHITECTURE), set()
+    allowed: Dict[str, FrozenSet[str]] = {}
+    edges: Set[Tuple[str, str]] = set()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("allow "):
+            spec = line[len("allow "):]
+            src, sep, dst = (part.strip() for part in spec.partition("->"))
+            if not sep or not src or not dst:
+                raise UsageError(
+                    f"malformed ARCHITECTURE allow line: {raw!r}"
+                )
+            edges.add((src, dst))
+            continue
+        src, sep, rest = (part.strip() for part in line.partition("->"))
+        if not sep or not src:
+            raise UsageError(f"malformed ARCHITECTURE line: {raw!r}")
+        targets = frozenset(
+            part.strip() for part in rest.split(",") if part.strip()
+        )
+        if src in allowed:
+            raise UsageError(f"duplicate ARCHITECTURE layer: {src!r}")
+        allowed[src] = targets
+    return allowed, edges
+
+
+@register
+class LayeringRule(ProgramRule):
+    code = "RL100"
+    name = "layering"
+    summary = (
+        "project imports must follow the ARCHITECTURE DAG; "
+        "module-level import cycles are errors"
+    )
+    rationale = (
+        "The serving fleet scales by embedding the core checkers in "
+        "many contexts (daemon workers, batch pools, oracles); a core "
+        "that imports the service stack, or dev tooling that imports "
+        "runtime layers, collapses those layers into one deployable "
+        "and makes the dichotomy engine unshippable on its own."
+    )
+
+    def check_program(self, analysis: "ProgramAnalysis") -> Iterator[Finding]:
+        allowed, allow_edges = load_architecture(analysis.root)
+        for edge in analysis.import_edges:
+            if edge.type_only:
+                continue
+            src_layer = module_layer(edge.src)
+            dst_layer = module_layer(edge.dst)
+            if src_layer == dst_layer or dst_layer in BASE_LAYERS:
+                continue
+            if (edge.src, edge.dst) in allow_edges:
+                continue
+            module = analysis.modules.modules[edge.src]
+            dst_module = analysis.modules.modules[edge.dst]
+            snippet = ""
+            if 1 <= edge.line <= len(module.lines):
+                snippet = module.lines[edge.line - 1].strip()
+            witness = (
+                f"{edge.src} ({module.rel_path}:{edge.line})",
+                f"{edge.dst} ({dst_module.rel_path}:1)",
+            )
+            if src_layer not in allowed:
+                message = (
+                    f"layer '{src_layer}' is not declared in "
+                    f"{ARCHITECTURE_FILE}; declare its dependencies "
+                    f"before importing '{edge.dst}'"
+                )
+            elif dst_layer not in allowed[src_layer]:
+                message = (
+                    f"layer '{src_layer}' may not import layer "
+                    f"'{dst_layer}' ({edge.src} -> {edge.dst}); allow it "
+                    f"in {ARCHITECTURE_FILE} or break the dependency"
+                )
+            else:
+                continue
+            yield Finding(
+                code=self.code,
+                message=message,
+                path=module.rel_path,
+                line=edge.line,
+                column=0,
+                snippet=snippet,
+                witness=witness,
+            )
+        for cycle in analysis.import_cycles:
+            head = cycle[0]
+            module = analysis.modules.modules[head]
+            chain = " -> ".join(cycle + (cycle[0],))
+            witness = tuple(
+                f"{name} ({analysis.modules.modules[name].rel_path}:1)"
+                for name in cycle
+            )
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"module-level import cycle: {chain}; break it with "
+                    "a lazy (function-local) import or a refactor"
+                ),
+                path=module.rel_path,
+                line=1,
+                column=0,
+                snippet=module.lines[0].strip() if module.lines else "",
+                witness=witness,
+            )

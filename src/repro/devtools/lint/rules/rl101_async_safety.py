@@ -1,0 +1,86 @@
+"""RL101 — no blocking call on a path from an event-loop coroutine.
+
+``repro serve`` multiplexes every connection, every control operation,
+and every admission decision onto one asyncio event loop; the worker
+pool exists precisely so jobs never run there.  One ``time.sleep``, one
+``fsync``, one ``subprocess`` call, one future ``.result()`` on the
+loop and *every* connected client stalls — the silent latency collapse
+the ROADMAP's sharded-fleet plan cannot tolerate, and a failure class
+the paper's complexity analysis (which counts operations, not where
+they run) abstracts away entirely.
+
+The rule walks the call graph from every coroutine defined in the
+``server`` layer and reports each reachable blocking call with the
+full call-path witness.  The thread-pool boundary needs no annotation:
+``loop.run_in_executor(pool, fn)`` / ``asyncio.to_thread(fn)`` pass
+``fn`` as a *value*, so the call graph has no edge through them — the
+analysis stops exactly where the event loop hands off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.program.modules import module_layer
+from repro.devtools.lint.program.propagate import find_effect_paths
+from repro.devtools.lint.registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.program.analyzer import ProgramAnalysis
+
+__all__ = ["AsyncSafetyRule"]
+
+#: The layer whose coroutines run on the serving event loop.
+EVENT_LOOP_LAYER = "server"
+
+
+@register
+class AsyncSafetyRule(ProgramRule):
+    code = "RL101"
+    name = "async-safety"
+    summary = (
+        "no call path from a server coroutine may reach a blocking "
+        "call without crossing the thread-pool boundary"
+    )
+    rationale = (
+        "The daemon's p99 latency rests on a never-blocked event loop; "
+        "admission control and graceful drain both assume control ops "
+        "stay responsive while every worker thread is busy."
+    )
+
+    def check_program(self, analysis: "ProgramAnalysis") -> Iterator[Finding]:
+        entries = sorted(
+            qualname
+            for qualname, info in analysis.functions.items()
+            if info.is_coroutine
+            and module_layer(info.module) == EVENT_LOOP_LAYER
+        )
+        paths = find_effect_paths(
+            entries, analysis.calls, lambda fn: analysis.blocking.get(fn, [])
+        )
+        for path in paths:
+            module = analysis.module_of(path.sink)
+            if module is None:
+                continue
+            snippet = ""
+            if 1 <= path.line <= len(module.lines):
+                snippet = module.lines[path.line - 1].strip()
+            call = path.desc
+            pretty = f"`{call[1:]}()` method call" if call.startswith(".") \
+                else f"`{call}`"
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"blocking call {pretty} is reachable from event-loop "
+                    f"coroutine `{path.entry}`; move it behind the worker "
+                    "pool (run_in_executor / asyncio.to_thread)"
+                ),
+                path=module.rel_path,
+                line=path.line,
+                column=0,
+                snippet=snippet,
+                witness=analysis.witness_for_hops(
+                    path.hops, f"blocking: {call}", path.sink, path.line
+                ),
+            )

@@ -1,0 +1,171 @@
+"""RL102 — only ``ReproError`` may escape a public entry point.
+
+PR 3's sweep unified the exception hierarchy file by file (RL005 bans
+*raising* bare builtins), but per-file rules cannot see whether an
+exception raised three calls deep actually *escapes* the public
+surface: the CLI's exit-code contract, ``RepairService.run_*``'s
+status-result contract, and the daemon's error-response contract all
+promise that every failure surfaces as a ``ReproError`` subclass (or a
+structured error), never a raw ``KeyError`` from a malformed document.
+
+This rule computes, for every function, the set of exception classes
+that can escape it — its own locally-uncaught raises plus whatever
+escapes its callees minus what each call site's ``try`` handlers catch
+(bare ``raise`` re-raises propagate the handler's caught types) — as a
+fixpoint over the call graph, then reports any non-``ReproError``
+class escaping a public entry point with the frame-by-frame witness
+from entry to ``raise``.
+
+Entry points, matched structurally so fixtures and the real tree are
+treated identically: CLI subcommands (``main`` / ``_cmd_*`` in the
+``cli`` layer), ``run_*`` methods of ``*Service`` classes, daemon op
+handlers (``_handle_*`` / ``_run_*`` / ``_control`` methods of
+``*Server`` classes), and public ``check_*`` / ``find_*`` / ``count_*``
+/ ``classify_*`` dispatchers in the engine layers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterator, List
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.program.effects import ancestors_of
+from repro.devtools.lint.program.modules import module_layer
+from repro.devtools.lint.program.propagate import (
+    escape_path,
+    escaped_exceptions,
+)
+from repro.devtools.lint.registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.program.analyzer import ProgramAnalysis
+
+__all__ = ["ExceptionFlowRule"]
+
+_CLI_ENTRY = re.compile(r"^(main|_cmd_\w+)$")
+_SERVER_ENTRY = re.compile(r"^(_handle_\w+|_run_\w+|_control)$")
+_DISPATCH_ENTRY = re.compile(r"^(check|find|count|classify)_\w+$")
+_DISPATCH_LAYERS = frozenset({"core", "compute", "cqa"})
+
+#: Exception names allowed to escape besides ReproError descendants:
+#: control-flow exceptions and the abstract-method contract.
+_ALLOWED_BARE = frozenset(
+    {
+        "ReproError",
+        "NotImplementedError",
+        "KeyboardInterrupt",
+        "SystemExit",
+        "GeneratorExit",
+        "StopIteration",
+        "StopAsyncIteration",
+        "CancelledError",
+    }
+)
+
+
+def _is_entry_point(info, layer: str) -> bool:
+    if layer == "cli" and info.cls is None and _CLI_ENTRY.match(info.name):
+        return True
+    if info.cls is not None:
+        if info.cls.endswith("Service") and info.name.startswith("run_"):
+            return True
+        if info.cls.endswith("Server") and _SERVER_ENTRY.match(info.name):
+            return True
+    if (
+        info.cls is None
+        and layer in _DISPATCH_LAYERS
+        and _DISPATCH_ENTRY.match(info.name)
+    ):
+        return True
+    return False
+
+
+@register
+class ExceptionFlowRule(ProgramRule):
+    code = "RL102"
+    name = "exception-flow"
+    summary = (
+        "every exception escaping a public entry point must be a "
+        "ReproError subclass (tracked transitively, re-raises included)"
+    )
+    rationale = (
+        "The CLI exit-code, service status-result, and daemon "
+        "error-response contracts all depend on failures surfacing as "
+        "ReproError; a raw builtin escaping three calls deep turns a "
+        "clean 'error' verdict into a stack trace (or a dead worker)."
+    )
+
+    def check_program(self, analysis: "ProgramAnalysis") -> Iterator[Finding]:
+        entries = sorted(
+            qualname
+            for qualname, info in analysis.functions.items()
+            if _is_entry_point(info, module_layer(info.module))
+        )
+        if not entries:
+            return
+        escaped = escaped_exceptions(
+            sorted(analysis.functions),
+            analysis.calls,
+            analysis.direct_raises,
+            analysis.classes_by_qualname,
+        )
+        findings: List[Finding] = []
+        reported = set()
+        for entry in entries:
+            for exc in sorted(escaped.get(entry, ())):
+                bare = exc.rsplit(".", 1)[-1]
+                if bare in _ALLOWED_BARE:
+                    continue
+                lineage = ancestors_of(exc, analysis.classes_by_qualname)
+                if "ReproError" in {
+                    name.rsplit(".", 1)[-1] for name in lineage
+                }:
+                    continue
+                path = escape_path(entry, exc, escaped)
+                if path is None:
+                    continue
+                key = (path.sink, path.line, bare)
+                if key in reported:
+                    continue
+                reported.add(key)
+                module = analysis.module_of(path.sink)
+                if module is None:
+                    continue
+                snippet = ""
+                if 1 <= path.line <= len(module.lines):
+                    snippet = module.lines[path.line - 1].strip()
+                # EscapePath hops carry (fn, line-of-its-outgoing-call);
+                # the witness renderer wants (fn, line-of-the-incoming
+                # call in the previous frame) ending at the sink.
+                if path.hops:
+                    hops = [(path.hops[0][0], 0)]
+                    for index in range(1, len(path.hops)):
+                        hops.append(
+                            (path.hops[index][0], path.hops[index - 1][1])
+                        )
+                    hops.append((path.sink, path.hops[-1][1]))
+                    hops = tuple(hops)
+                else:
+                    hops = ((entry, 0),)
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        message=(
+                            f"`{bare}` can escape public entry point "
+                            f"`{entry}`; raise a ReproError subclass or "
+                            "catch it at the boundary"
+                        ),
+                        path=module.rel_path,
+                        line=path.line,
+                        column=0,
+                        snippet=snippet,
+                        witness=analysis.witness_for_hops(
+                            hops,
+                            f"raise {bare}",
+                            path.sink,
+                            path.line,
+                        ),
+                    )
+                )
+        yield from findings

@@ -1,0 +1,52 @@
+"""Filesystem primitives shared by every layer.
+
+This module sits at the very bottom of the architecture DAG (alongside
+:mod:`repro.exceptions`): it may import nothing from the rest of the
+package, and anything — runtime layers and dev tooling alike — may
+import it.  That is exactly why :func:`atomic_write_text` lives here
+rather than in :mod:`repro.io`: the lint baseline writer
+(:mod:`repro.devtools.lint.baseline`) needs crash-atomic writes too,
+and ``devtools`` must not drag the serialization layer (and through it
+the whole core data model) into a dev-time tool.  The RL100 layering
+rule enforces this shape; see ``ARCHITECTURE`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` crash-atomically.
+
+    The text lands in a temporary file in the *same directory* (so the
+    final rename never crosses a filesystem), is flushed and fsync-ed,
+    and then ``os.replace``-s the destination.  Readers therefore see
+    either the complete old contents or the complete new contents —
+    never a torn file — no matter where a crash lands.
+    """
+    target = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=target.parent or Path("."),
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise

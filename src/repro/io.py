@@ -32,10 +32,7 @@ save time.
 
 from __future__ import annotations
 
-import contextlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
@@ -45,10 +42,12 @@ from repro.core.instance import Instance
 from repro.core.priority import PrioritizingInstance, PriorityRelation
 from repro.core.schema import Schema
 from repro.core.signature import RelationSymbol, Signature
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, UsageError
+from repro.fsutil import atomic_write_text
 
 __all__ = [
     "atomic_write_text",
+    "parse_schema_spec",
     "schema_to_dict",
     "schema_from_dict",
     "instance_to_list",
@@ -64,34 +63,34 @@ __all__ = [
 _SCALARS = (str, int, float, bool, type(None))
 
 
-def atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` crash-atomically.
+def parse_schema_spec(spec: str) -> Schema:
+    """Parse the textual schema syntax into a :class:`Schema`.
 
-    The text lands in a temporary file in the *same directory* (so the
-    final rename never crosses a filesystem), is flushed and fsync-ed,
-    and then ``os.replace``-s the destination.  Readers therefore see
-    either the complete old contents or the complete new contents —
-    never a torn file — no matter where a crash lands.
+    This is the grammar shared by the CLI (``repro classify "R:2; 1 ->
+    2"``), batch-job files, and the daemon's ``classify`` operation —
+    it lives here rather than in :mod:`repro.cli` so the runtime layers
+    (``service``, ``server``) never import the command-line front end.
+
+    Examples
+    --------
+    >>> schema = parse_schema_spec("R:3; R: 1 -> 2; R: 2 -> 3")
+    >>> sorted(schema.relation_names())
+    ['R']
     """
-    target = Path(path)
-    handle = tempfile.NamedTemporaryFile(
-        mode="w",
-        encoding="utf-8",
-        dir=target.parent or Path("."),
-        prefix=f".{target.name}.",
-        suffix=".tmp",
-        delete=False,
-    )
-    try:
-        with handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, target)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(handle.name)
-        raise
+    parts = [part.strip() for part in spec.split(";") if part.strip()]
+    if not parts:
+        raise UsageError("empty schema specification")
+    relations = {}
+    for decl in parts[0].split(","):
+        name, _, arity_text = decl.partition(":")
+        relations[name.strip()] = int(arity_text)
+    fd_texts = parts[1:]
+    if len(relations) == 1:
+        only = next(iter(relations))
+        fd_texts = [
+            text if ":" in text else f"{only}: {text}" for text in fd_texts
+        ]
+    return Schema.parse(relations, fd_texts)
 
 
 def schema_to_dict(schema: Schema) -> Dict[str, Any]:

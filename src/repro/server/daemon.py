@@ -57,7 +57,7 @@ from typing import Any, Dict, Optional, Set, Tuple, Union
 from repro.core.classification import classify_ccp_schema, classify_schema
 from repro.core.priority import PrioritizingInstance
 from repro.exceptions import ProtocolError, ReproError, UsageError
-from repro.io import prioritizing_from_dict, schema_from_dict
+from repro.io import parse_schema_spec, prioritizing_from_dict, schema_from_dict
 from repro.server.admission import AdmissionController
 from repro.server.protocol import (
     MAX_LINE_BYTES,
@@ -187,9 +187,10 @@ class RepairServer:
         if self.config.socket_path is not None:
             # A stale socket file from a killed daemon would make bind
             # fail; connect attempts to it already fail, so removing it
-            # is safe.
+            # is safe.  The unlink is file I/O, so it runs off the event
+            # loop like every other blocking call (RL101).
             with contextlib.suppress(FileNotFoundError):
-                os.unlink(self.config.socket_path)
+                await asyncio.to_thread(os.unlink, self.config.socket_path)
             self._server = await asyncio.start_unix_server(
                 self._handle_connection,
                 path=self.config.socket_path,
@@ -237,7 +238,11 @@ class RepairServer:
             uptime=time.monotonic() - self._started_at,
         )
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # shutdown(wait=True) joins the worker threads; even though
+            # every task was gathered above, the join must not run on
+            # the event loop (RL101) — a worker wedged in C code would
+            # freeze control ops for every still-connected client.
+            await asyncio.to_thread(self._pool.shutdown, True)
         return self.stats_payload()
 
     async def drain(self) -> Dict[str, Any]:
@@ -535,8 +540,6 @@ class RepairServer:
             if "schema" in payload:
                 schema = schema_from_dict(payload["schema"])
             else:
-                from repro.cli import parse_schema_spec
-
                 schema = parse_schema_spec(payload["schema_spec"])
             classical = classify_schema(schema)
             ccp = classify_ccp_schema(schema)

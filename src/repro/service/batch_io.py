@@ -55,6 +55,7 @@ from repro.io import (
     atomic_write_text,
     instance_to_list,
     load_prioritizing_instance,
+    parse_schema_spec,
     prioritizing_from_dict,
 )
 from repro.service.jobs import BatchReport, RepairJob
@@ -78,7 +79,6 @@ def load_problem_from_csv_spec(
     :func:`repro.engine.csv_loader.load_tagged_sources`, so conflicting
     facts from differently-ranked feeds get the source-trust priority.
     """
-    from repro.cli import parse_schema_spec
     from repro.engine.csv_loader import load_tagged_sources
     from repro.engine.database import Database
 

@@ -1,0 +1,7 @@
+"""Half of an eager module-level import cycle: RL100 must fire."""
+
+from repro.core.bad_cycle_b import b_helper
+
+
+def a_helper():
+    return b_helper()

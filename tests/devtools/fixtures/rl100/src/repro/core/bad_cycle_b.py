@@ -1,0 +1,7 @@
+"""The other half of the eager import cycle."""
+
+from repro.core.bad_cycle_a import a_helper
+
+
+def b_helper():
+    return a_helper()

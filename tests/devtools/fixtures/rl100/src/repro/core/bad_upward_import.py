@@ -1,0 +1,7 @@
+"""A core module importing the service layer: RL100 must fire."""
+
+from repro.service.ok_jobs import submit
+
+
+def schedule(job):
+    return submit(job)

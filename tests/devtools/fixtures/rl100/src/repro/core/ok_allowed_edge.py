@@ -1,0 +1,7 @@
+"""Near miss: this exact edge is exempted by an ARCHITECTURE allow line."""
+
+from repro.viz.ok_palette import palette_name
+
+
+def styled(label):
+    return f"{palette_name()}:{label}"

@@ -1,0 +1,7 @@
+"""Near miss: a lazy import closing a loop is not an eager cycle."""
+
+from repro.core.ok_lazy_b import lazy_b
+
+
+def lazy_a():
+    return lazy_b()

@@ -1,0 +1,7 @@
+"""The lazy back-edge: deferred imports are exempt from the cycle check."""
+
+
+def lazy_b():
+    from repro.core.ok_lazy_a import lazy_a
+
+    return lazy_a

@@ -1,0 +1,10 @@
+"""Near miss: a TYPE_CHECKING-only upward import is erased at runtime."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.service.ok_jobs import JobSpec
+
+
+def describe_job(job: "JobSpec") -> str:
+    return str(job)

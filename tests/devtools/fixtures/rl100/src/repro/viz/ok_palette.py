@@ -1,0 +1,5 @@
+"""A leaf viz module; imported only through the allow exemption."""
+
+
+def palette_name():
+    return "viridis"

@@ -1,0 +1,24 @@
+"""Blocking work reachable from event-loop coroutines: RL101 must fire."""
+
+import os
+import time
+
+
+async def handle_flush(journal_fd):
+    _flush(journal_fd)
+
+
+def _flush(journal_fd):
+    os.fsync(journal_fd)
+
+
+async def handle_backoff():
+    time.sleep(0.05)
+
+
+async def handle_result(fut):
+    return _collect(fut)
+
+
+def _collect(fut):
+    return fut.result()

@@ -1,0 +1,26 @@
+"""Near miss: the same blocking work, handed off the event loop.
+
+``run_in_executor`` / ``to_thread`` receive ``_flush`` as a *value*, so
+the call graph has no edge into it — the analysis stops exactly at the
+thread-pool boundary.
+"""
+
+import asyncio
+import os
+
+
+async def handle_flush(pool, journal_fd):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(pool, _flush, journal_fd)
+
+
+async def handle_thread(journal_fd):
+    await asyncio.to_thread(_flush, journal_fd)
+
+
+async def handle_pause():
+    await asyncio.sleep(0.05)
+
+
+def _flush(journal_fd):
+    os.fsync(journal_fd)

@@ -1,0 +1,7 @@
+"""Near miss: a plain function in the server layer is not an entry."""
+
+import time
+
+
+def sync_maintenance():
+    time.sleep(0.1)

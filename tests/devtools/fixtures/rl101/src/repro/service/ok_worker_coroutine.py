@@ -1,0 +1,8 @@
+"""Near miss: a coroutine outside the server layer never runs on the
+serving event loop, so it may block."""
+
+import time
+
+
+async def drain_worker():
+    time.sleep(0.1)

@@ -1,0 +1,34 @@
+"""Non-ReproError exceptions escaping entry points: RL102 must fire."""
+
+
+class CorruptDocument(Exception):
+    """Outside the ReproError hierarchy."""
+
+
+class DrainTimeout(Exception):
+    """Also outside the hierarchy."""
+
+
+class BatchService:
+    def run_batch(self, docs):
+        return [_parse(doc) for doc in docs]
+
+
+class AuditService:
+    def run_audit(self, budget):
+        try:
+            return _audit(budget)
+        except DrainTimeout:
+            raise  # cleanup idiom: the re-raise must be seen through
+
+
+def _parse(doc):
+    if not doc:
+        raise CorruptDocument("empty document")
+    return doc
+
+
+def _audit(budget):
+    if budget < 0:
+        raise DrainTimeout("budget exhausted")
+    return budget

@@ -1,0 +1,49 @@
+"""Near misses: the exception-flow contract held three different ways."""
+
+
+class ReproError(Exception):
+    """Fixture stand-in for the project hierarchy root."""
+
+
+class ParseError(ReproError):
+    """A domain error: allowed to escape any entry point."""
+
+
+class TransientLookup(Exception):
+    """Non-domain, but caught at the boundary below."""
+
+
+class InternalSignal(Exception):
+    """Raised only by a non-entry helper."""
+
+
+class ImportService:
+    def run_import(self, docs):
+        return [_parse(doc) for doc in docs]
+
+
+class RecoverService:
+    def run_recover(self, doc):
+        try:
+            return _fragile(doc)
+        except TransientLookup:
+            return None
+
+
+def _parse(doc):
+    if not doc:
+        raise ParseError("empty document")
+    return doc
+
+
+def _fragile(doc):
+    if doc is None:
+        raise TransientLookup("missing")
+    return doc
+
+
+def propagate_signal(flag):
+    """Not an entry point: internal helpers may raise freely."""
+    if flag:
+        raise InternalSignal()
+    return flag

@@ -1,0 +1,25 @@
+"""Near misses: ordered, seeded, or unreachable nondeterminism."""
+
+import random
+
+
+def fingerprint_state(facts):
+    return "|".join(_mix_sorted(facts))
+
+
+def _mix_sorted(facts):
+    return [str(fact) for fact in sorted(set(facts))]
+
+
+def fingerprint_sample(items, seed):
+    return _pick(items, seed)
+
+
+def _pick(items, seed):
+    rng = random.Random(seed)
+    return rng.choice(list(items))
+
+
+def _unreachable_noise():
+    """No deterministic-output entry point reaches this helper."""
+    return str(id(object()))

@@ -97,6 +97,63 @@ class TestFlags:
             assert expected in output
 
 
+class TestProgramFlag:
+    def test_text_mode_renders_call_paths(self):
+        code, output = run_lint(
+            *fixture_args("rl101"), "--program"
+        )
+        assert code == EXIT_FINDINGS
+        assert "RL101" in output
+        assert "call path:" in output
+        assert "blocking: time.sleep" in output
+
+    def test_json_mode_carries_witnesses(self):
+        code, output = run_lint(
+            *fixture_args("rl101"), "--program", "--format", "json"
+        )
+        assert code == EXIT_FINDINGS
+        document = json.loads(output)
+        assert {f["code"] for f in document["findings"]} == {"RL101"}
+        for finding in document["findings"]:
+            assert finding["witness"], finding
+            assert all(isinstance(el, str) for el in finding["witness"])
+
+    def test_program_json_is_deterministic(self):
+        args = fixture_args("rl103") + ["--program", "--format", "json"]
+        _, first = run_lint(*args)
+        _, second = run_lint(*args)
+        assert first == second
+
+    def test_every_program_fixture_fires_in_both_modes(self):
+        """The analyzer self-test: each RL1xx fixture fires through the
+        real CLI in text and JSON modes alike."""
+        for rule_dir, rule_code in (
+            ("rl100", "RL100"),
+            ("rl101", "RL101"),
+            ("rl102", "RL102"),
+            ("rl103", "RL103"),
+        ):
+            code, text_out = run_lint(*fixture_args(rule_dir), "--program")
+            assert code == EXIT_FINDINGS
+            assert rule_code in text_out
+            code, json_out = run_lint(
+                *fixture_args(rule_dir), "--program", "--format", "json"
+            )
+            assert code == EXIT_FINDINGS
+            document = json.loads(json_out)
+            assert {f["code"] for f in document["findings"]} == {rule_code}
+
+    def test_without_flag_fixtures_stay_clean(self):
+        code, _ = run_lint(*fixture_args("rl101"))
+        assert code == EXIT_CLEAN
+
+    def test_list_rules_includes_program_rules(self):
+        code, output = run_lint("--list-rules")
+        assert code == EXIT_CLEAN
+        for expected in ("RL100", "RL101", "RL102", "RL103", "layering"):
+            assert expected in output
+
+
 class TestBaselineWorkflow:
     def test_write_baseline_then_clean(self, tmp_path):
         module_dir = tmp_path / "src" / "repro"

@@ -226,6 +226,10 @@ class TestRegistry:
             "RL007",
             "RL008",
             "RL009",
+            "RL100",
+            "RL101",
+            "RL102",
+            "RL103",
         ]
 
     def test_rules_carry_docs_and_scopes(self):

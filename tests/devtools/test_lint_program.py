@@ -1,0 +1,271 @@
+"""Program-scope engine behavior: suppression anchoring, baselines, scope.
+
+The per-file suppression and baseline layers gained new obligations with
+whole-program findings: one finding now spans several files, so a
+suppression comment can sit at the *sink* line or at the *path head*
+(the entry point's ``def`` line), and baseline identity must stay
+pinned to the sink so a witness re-route neither resurrects nor
+forgives accepted debt.  These tests build tiny trees in ``tmp_path``
+and drive ``lint_paths`` end to end.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.baseline import write_baseline
+from repro.devtools.lint.engine import LintConfig, lint_paths
+from repro.devtools.lint.program import build_program
+from repro.devtools.lint.program.engine import witness_anchor
+from repro.devtools.lint.registry import file_rules, program_rules
+from repro.exceptions import UsageError
+
+BLOCKING_SINK = """\
+import os
+
+
+def flush_journal(fd):
+    os.fsync(fd)
+"""
+
+
+def make_tree(tmp_path, files):
+    """Write a ``src/repro`` package tree from {rel_path: source}."""
+    for rel, content in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+    init = tmp_path / "src" / "repro" / "__init__.py"
+    if not init.exists():
+        init.write_text("")
+    return tmp_path
+
+
+def lint_tree(root, **overrides):
+    overrides.setdefault("use_baseline", False)
+    config = LintConfig(root=root, program=True, **overrides)
+    return lint_paths([root / "src"], config)
+
+
+class TestSuppressionAnchors:
+    def test_multi_code_ignore_on_one_sink_line(self, tmp_path):
+        """``ignore[RL101,RL103]`` silences both rules at a line where
+        a blocking call and an entropy source coincide."""
+        source = """\
+            import time
+
+
+            async def handle_tick():
+                return _stamp()
+
+
+            def fingerprint_tick():
+                return _stamp()
+
+
+            def _stamp():
+                return time.sleep(0.1) or id(object())  {comment}
+        """
+        root = make_tree(tmp_path, {
+            "src/repro/server/ticker.py": source.format(
+                comment="# repro-lint: ignore[RL101,RL103]"
+            ),
+        })
+        report = lint_tree(root)
+        assert report.ok, report.findings
+        assert report.suppressed_inline == 2
+
+        bare = make_tree(tmp_path / "bare", {
+            "src/repro/server/ticker.py": source.format(comment=""),
+        })
+        report = lint_tree(bare)
+        assert {f.code for f in report.findings} == {"RL101", "RL103"}
+
+    def test_head_anchor_suppresses_cross_file_finding(self, tmp_path):
+        """A suppression on the entry point's def line vets every path
+        out of that entry, even when the sink sits in another file."""
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": """\
+                from repro.server.journal import flush_journal
+
+
+                async def handle_flush(fd):  # repro-lint: ignore[RL101]
+                    flush_journal(fd)
+            """,
+            "src/repro/server/journal.py": BLOCKING_SINK,
+        })
+        report = lint_tree(root)
+        assert report.ok, report.findings
+        assert report.suppressed_inline == 1
+
+    def test_head_anchor_is_code_specific(self, tmp_path):
+        """Suppressing a different code at the head changes nothing."""
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": """\
+                from repro.server.journal import flush_journal
+
+
+                async def handle_flush(fd):  # repro-lint: ignore[RL103]
+                    flush_journal(fd)
+            """,
+            "src/repro/server/journal.py": BLOCKING_SINK,
+        })
+        report = lint_tree(root)
+        assert [f.code for f in report.findings] == ["RL101"]
+        assert report.suppressed_inline == 0
+
+    def test_sink_anchor_suppresses_in_sink_file(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": """\
+                from repro.server.journal import flush_journal
+
+
+                async def handle_flush(fd):
+                    flush_journal(fd)
+            """,
+            "src/repro/server/journal.py": """\
+                import os
+
+
+                def flush_journal(fd):
+                    os.fsync(fd)  # repro-lint: ignore[RL101]
+            """,
+        })
+        report = lint_tree(root)
+        assert report.ok, report.findings
+        assert report.suppressed_inline == 1
+
+
+class TestBaselineIdentity:
+    ENTRY_VIA_A = """\
+        from repro.server.journal import flush_journal
+
+
+        async def handle_flush(fd):
+            _via_a(fd)
+
+
+        def _via_a(fd):
+            flush_journal(fd)
+    """
+    ENTRY_VIA_B = """\
+        from repro.server.journal import flush_journal
+
+
+        async def handle_flush(fd):
+            _via_b(fd)
+
+
+        def _via_b(fd):
+            flush_journal(fd)
+    """
+
+    def test_witness_reroute_stays_baselined(self, tmp_path):
+        """Baseline identity is sink-only: re-routing the call path
+        through a different intermediate does not resurrect the debt."""
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": self.ENTRY_VIA_A,
+            "src/repro/server/journal.py": BLOCKING_SINK,
+        })
+        report = lint_tree(root)
+        assert [f.code for f in report.findings] == ["RL101"]
+        baseline = root / ".repro-lint-baseline.json"
+        write_baseline(baseline, report.findings)
+
+        (root / "src/repro/server/handler.py").write_text(
+            textwrap.dedent(self.ENTRY_VIA_B)
+        )
+        report = lint_tree(
+            root, use_baseline=True, baseline_path=baseline
+        )
+        assert report.ok, report.findings
+        assert report.suppressed_baseline == 1
+
+    def test_new_sink_is_not_forgiven(self, tmp_path):
+        """A *different* sink reached from the same entry is new debt."""
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": self.ENTRY_VIA_A,
+            "src/repro/server/journal.py": BLOCKING_SINK,
+        })
+        report = lint_tree(root)
+        baseline = root / ".repro-lint-baseline.json"
+        write_baseline(baseline, report.findings)
+
+        (root / "src/repro/server/journal.py").write_text(
+            textwrap.dedent("""\
+                import os
+
+
+                def flush_journal(fd):
+                    os.fdatasync(fd)
+            """)
+        )
+        report = lint_tree(
+            root, use_baseline=True, baseline_path=baseline
+        )
+        assert [f.code for f in report.findings] == ["RL101"]
+        assert report.suppressed_baseline == 0
+
+
+class TestScope:
+    def test_select_narrows_program_rules(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": """\
+                import time
+
+
+                async def handle_tick():
+                    time.sleep(0.1)
+            """,
+        })
+        report = lint_tree(root, select=("RL103",))
+        assert report.ok
+        report = lint_tree(root, select=("RL101",))
+        assert [f.code for f in report.findings] == ["RL101"]
+
+    def test_program_flag_gates_rl1xx(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "src/repro/server/handler.py": """\
+                import time
+
+
+                async def handle_tick():
+                    time.sleep(0.1)
+            """,
+        })
+        config = LintConfig(root=root, use_baseline=False)
+        report = lint_paths([root / "src"], config)
+        assert report.ok
+
+    def test_registry_partition(self):
+        file_codes = {rule.code for rule in file_rules()}
+        program_codes = {rule.code for rule in program_rules()}
+        assert not file_codes & program_codes
+        assert {"RL100", "RL101", "RL102", "RL103"} <= program_codes
+        assert all(code < "RL100" for code in file_codes)
+
+    def test_program_rule_rejects_file_scope_call(self):
+        rule = next(iter(program_rules()))
+        with pytest.raises(UsageError):
+            list(rule.check(None))
+
+
+class TestWitnessFormat:
+    def test_witness_anchor_parsing(self):
+        assert witness_anchor("repro.a.f (src/repro/a.py:12)") == (
+            "src/repro/a.py",
+            12,
+        )
+        assert witness_anchor("blocking: time.sleep") is None
+
+    def test_analysis_is_deterministic(self):
+        """Two builds over the real tree agree edge for edge — the
+        analyzer must hold itself to the determinism bar it enforces."""
+        repo_root = Path(__file__).resolve().parents[2]
+        first = build_program(repo_root)
+        second = build_program(repo_root)
+        assert first.import_edges == second.import_edges
+        assert sorted(first.functions) == sorted(second.functions)
+        assert first.blocking == second.blocking
+        assert first.nondet == second.nondet

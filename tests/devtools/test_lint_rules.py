@@ -69,6 +69,64 @@ def test_no_cross_rule_noise(rule_dir, code, expected):
     assert other == []
 
 
+PROGRAM_CASES = [
+    # (fixture dir, code, expected firings in bad files)
+    ("rl100", "RL100", 2),  # core->service import + eager import cycle
+    ("rl101", "RL101", 3),  # fsync via helper, direct sleep, .result()
+    ("rl102", "RL102", 2),  # escaping raise + transparent re-raise
+    ("rl103", "RL103", 3),  # unsorted set iter, id(), uuid4, each via helper
+]
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", PROGRAM_CASES)
+def test_program_bad_fixture_fires(rule_dir, code, expected):
+    report = lint_fixture(rule_dir, program=True)
+    counts = findings_by_file(report, code)
+    bad = {stem: n for stem, n in counts.items() if stem.startswith("bad_")}
+    assert sum(bad.values()) == expected, report.findings
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", PROGRAM_CASES)
+def test_program_ok_fixture_stays_silent(rule_dir, code, expected):
+    """Near-misses (executor handoff, TYPE_CHECKING imports, boundary
+    catches, sorted iteration, seeded rngs) must not fire: zero false
+    positives is the acceptance bar for the program rules."""
+    report = lint_fixture(rule_dir, program=True)
+    counts = findings_by_file(report, code)
+    near_misses = {s: n for s, n in counts.items() if s.startswith("ok_")}
+    assert near_misses == {}, report.findings
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", PROGRAM_CASES)
+def test_program_no_cross_rule_noise(rule_dir, code, expected):
+    report = lint_fixture(rule_dir, program=True)
+    other = [f for f in report.findings if f.code != code]
+    assert other == []
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", PROGRAM_CASES)
+def test_program_findings_carry_witnesses(rule_dir, code, expected):
+    """Every program finding prints a frame-by-frame call path whose
+    elements (except the final effect description) carry file:line
+    anchors inside the fixture tree."""
+    report = lint_fixture(rule_dir, program=True)
+    assert report.findings
+    for finding in report.findings:
+        assert len(finding.witness) >= 2, finding
+        for element in finding.witness[:-1]:
+            assert "src/repro/" in element, finding.witness
+        rendered = finding.render_lines()
+        assert rendered[1].strip() == "call path:"
+        assert len(rendered) == 2 + len(finding.witness)
+
+
+@pytest.mark.parametrize("rule_dir, code, expected", PROGRAM_CASES)
+def test_program_rules_silent_without_flag(rule_dir, code, expected):
+    """The per-file pass never runs RL1xx: scope is strictly opt-in."""
+    report = lint_fixture(rule_dir)
+    assert findings_by_file(report, code) == {}
+
+
 def test_rl006_scope_excludes_workloads():
     """time.time() outside core/service is out of RL006's scope."""
     report = lint_fixture("rl006")

@@ -361,3 +361,72 @@ def test_unix_socket_transport_and_stale_socket_cleanup(tmp_path):
         assert response["result"]["is_optimal"] is True
 
     serve(scenario, server=server)
+
+
+def test_drain_joins_worker_pool_off_the_event_loop():
+    """Regression for an RL101 finding: ``wait_drained`` used to call
+    ``self._pool.shutdown(wait=True)`` directly on the event loop,
+    joining worker threads where a wedged worker would freeze control
+    ops for every connected client.  The join must run on a helper
+    thread."""
+    import threading
+
+    server = RepairServer(config=ServerConfig(port=0))
+    observed = {}
+
+    async def scenario(server, client):
+        assert (await client.request({"op": "ping"}))["pong"] is True
+        observed["loop_thread"] = threading.get_ident()
+        pool = server._pool
+        original = pool.shutdown
+
+        def recording_shutdown(wait=True, **kwargs):
+            observed.setdefault("shutdown_threads", []).append(
+                (threading.get_ident(), wait)
+            )
+            return original(wait=wait, **kwargs)
+
+        pool.shutdown = recording_shutdown
+
+    serve(scenario, server=server)
+    joins = [
+        ident
+        for ident, wait in observed["shutdown_threads"]
+        if wait
+    ]
+    assert joins, "drain never joined the worker pool"
+    assert all(ident != observed["loop_thread"] for ident in joins)
+
+
+def test_stale_socket_unlink_runs_off_the_event_loop(tmp_path, monkeypatch):
+    """Regression for the companion RL101 finding in ``start()``: the
+    stale-socket ``os.unlink`` is file I/O and must not run on the
+    event loop either."""
+    import threading
+
+    socket_path = str(tmp_path / "repro.sock")
+    with open(socket_path, "w") as handle:
+        handle.write("")
+
+    import os as os_module
+
+    original_unlink = os_module.unlink
+    observed = {"unlinks": []}
+
+    def recording_unlink(path, *args, **kwargs):
+        if str(path) == socket_path:
+            observed["unlinks"].append(threading.get_ident())
+        return original_unlink(path, *args, **kwargs)
+
+    monkeypatch.setattr(os_module, "unlink", recording_unlink)
+    server = RepairServer(config=ServerConfig(socket_path=socket_path))
+
+    async def scenario(server, client):
+        observed["loop_thread"] = threading.get_ident()
+        assert (await client.request({"op": "ping"}))["pong"] is True
+
+    serve(scenario, server=server)
+    assert observed["unlinks"], "stale socket was never unlinked"
+    assert all(
+        ident != observed["loop_thread"] for ident in observed["unlinks"]
+    )

@@ -260,7 +260,7 @@ class TestAtomicWriteText:
     def test_failure_leaves_target_intact_and_no_litter(
         self, tmp_path, monkeypatch
     ):
-        import repro.io as io_module
+        import repro.fsutil as fsutil_module
 
         path = tmp_path / "out.json"
         atomic_write_text(path, "original")
@@ -268,7 +268,7 @@ class TestAtomicWriteText:
         def exploding_replace(src, dst):
             raise OSError("simulated crash at rename")
 
-        monkeypatch.setattr(io_module.os, "replace", exploding_replace)
+        monkeypatch.setattr(fsutil_module.os, "replace", exploding_replace)
         with pytest.raises(OSError):
             atomic_write_text(path, "replacement")
         monkeypatch.undo()
