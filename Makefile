@@ -1,7 +1,8 @@
 # Convenience targets for the repro repository.
 
 .PHONY: install test lint lint-program typecheck coverage bench bench-tables \
-	service-bench perf perf-large perf-compute chaos examples all clean
+	service-bench perf perf-large perf-compute perf-serve chaos fleet-chaos \
+	examples all clean
 
 install:
 	pip install -e .
@@ -70,6 +71,18 @@ chaos:
 		tests/service/test_journal.py \
 		tests/service/test_serve_batch_resume.py -q
 
+# Fleet resilience drills: SIGKILL a worker mid-load with zero verdict
+# divergence vs a single-daemon reference, wedged-heartbeat escalation,
+# crash-loop circuit breaking, torn-store healing, warm results across
+# full fleet restarts, SIGTERM-drain-to-exit-0, and the client's
+# bounded reconnect-and-retry.
+fleet-chaos:
+	PYTHONPATH=src python -m pytest \
+		tests/server/test_fleet.py \
+		tests/server/test_fleet_chaos.py \
+		tests/server/test_fleet_e2e.py \
+		tests/server/test_client_retry.py -q
+
 # Core fast-path speedups vs the retained literal baselines, plus the
 # large-tier bitset-vs-object comparison; writes BENCH_core.json and
 # fails on regression vs the committed numbers.  QUICK=1 runs the
@@ -89,6 +102,14 @@ perf-large:
 # and fails on regression vs the committed numbers.
 perf-compute:
 	PYTHONPATH=src python benchmarks/bench_compute.py $(if $(QUICK),--quick)
+
+# Serving-tier open-loop load: p50/p99 latency and saturation
+# throughput for a single daemon and a 2-worker fleet; writes
+# BENCH_serve.json and fails when saturation drops or base-rate p99
+# rises more than 25% vs the committed numbers.  QUICK=1 offers the
+# low rates only over short windows (CI smoke).
+perf-serve:
+	PYTHONPATH=src python benchmarks/bench_serve_load.py $(if $(QUICK),--quick)
 
 examples:
 	for script in examples/*.py; do \

@@ -1,0 +1,439 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the serving tier (daemon and fleet).
+
+Boots ``repro serve`` exactly as an operator would (a real subprocess,
+a real socket) and drives it with an *open-loop* arrival process:
+requests are injected at their scheduled times regardless of how fast
+responses come back, so a saturated server shows up as overload
+rejections and latency growth instead of the closed-loop illusion of a
+load generator politely slowing down with its victim.
+
+Arrivals are deterministic: exponential interarrival gaps driven by
+:func:`repro.service.resilience.unit_interval` under a fixed seed, so
+two runs of the harness offer byte-identical schedules.  The request
+mix rotates over a small set of distinct problems (warmed once before
+timing), which makes this a benchmark of the *serving* path — protocol,
+admission, dispatch, cache — not of the solver.
+
+Measured per (scenario, offered rate): achieved throughput, overload
+rejections, and p50/p99 response latency.  Per scenario: the
+*saturation throughput* — the highest offered rate whose achieved
+throughput stays within 90% of offered.  Results land in
+``BENCH_serve.json``.
+
+Regression guard (the standard >25% rule): against the committed
+``BENCH_serve.json``, the run fails when a scenario's saturation
+throughput drops more than ``--regression-tolerance`` below the
+committed value, or when its base-rate p99 latency grows more than the
+tolerance above it (plus ``--latency-slack-ms`` of absolute slack, so
+millisecond-scale noise on shared CI runners cannot trip the guard).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py [--quick]
+
+or ``make perf-serve`` / ``make perf-serve QUICK=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.priority import PrioritizingInstance  # noqa: E402
+from repro.core.schema import Schema  # noqa: E402
+from repro.io import prioritizing_to_dict  # noqa: E402
+from repro.service.resilience import unit_interval  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    random_instance_with_conflicts,
+)
+from repro.workloads.priorities import random_conflict_priority  # noqa: E402
+
+SEED = 11
+PROBLEMS = 8
+PROBLEM_SIZE = 10
+ANNOUNCE = re.compile(r"repro serve: listening on \('127\.0\.0\.1', (\d+)\)")
+
+#: Achieved/offered ratio a rate must sustain to count as unsaturated.
+SATURATION_FLOOR = 0.9
+
+
+def make_problems() -> List[dict]:
+    """The deterministic request mix: small, distinct, cache-friendly."""
+    schema = Schema.single_relation(["1 -> 2"], arity=2)
+    documents = []
+    for index in range(PROBLEMS):
+        instance = random_instance_with_conflicts(
+            schema, PROBLEM_SIZE, 0.7, seed=SEED + index
+        )
+        priority = random_conflict_priority(schema, instance, seed=SEED)
+        documents.append(
+            prioritizing_to_dict(
+                PrioritizingInstance(schema, instance, priority)
+            )
+        )
+    return documents
+
+
+def boot_server(scenario: str, state_dir: str) -> Tuple[subprocess.Popen, int]:
+    """Start ``repro serve`` for ``scenario`` and wait for its port."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--port",
+        "0",
+    ]
+    if scenario.startswith("fleet"):
+        argv += [
+            "--workers",
+            scenario.removeprefix("fleet"),
+            "--state-dir",
+            state_dir,
+        ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = ANNOUNCE.match(line)
+    if not match:
+        process.kill()
+        raise RuntimeError(f"unexpected announce line: {line!r}")
+    return process, int(match.group(1))
+
+
+def schedule(scenario: str, rate: float, duration: float) -> List[float]:
+    """Deterministic open-loop arrival times (seconds from start)."""
+    times: List[float] = []
+    now = 0.0
+    index = 0
+    while True:
+        u = unit_interval(SEED, scenario, rate, index)
+        now += -math.log(1.0 - u) / rate
+        if now >= duration:
+            return times
+        times.append(now)
+        index += 1
+
+
+async def run_rate(
+    port: int, scenario: str, rate: float, duration: float
+) -> dict:
+    """Offer ``rate`` req/s for ``duration`` seconds; measure."""
+    problems = make_problems()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+    async def ask(document: dict) -> dict:
+        writer.write((json.dumps(document) + "\n").encode())
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    # Warm every problem once so the timed window measures the serving
+    # path at operating temperature, not first-touch solves.
+    for index, problem in enumerate(problems):
+        response = await ask(
+            {"op": "repair", "id": f"warm-{index}", "problem": problem}
+        )
+        assert response.get("ok"), response
+
+    arrivals = schedule(scenario, rate, duration)
+    send_times: Dict[str, float] = {}
+    latencies: List[float] = []
+    outcomes = {"ok": 0, "overloaded": 0, "other": 0}
+
+    async def drain_responses(expected: int) -> None:
+        for _ in range(expected):
+            line = await reader.readline()
+            if not line:
+                return
+            response = json.loads(line)
+            token = response.get("id")
+            started = send_times.pop(token, None)
+            if started is None:
+                continue
+            if response.get("ok"):
+                outcomes["ok"] += 1
+                latencies.append(time.perf_counter() - started)
+            elif (
+                response.get("error", {}).get("code") == "overloaded"
+            ):
+                outcomes["overloaded"] += 1
+            else:
+                outcomes["other"] += 1
+
+    collector = asyncio.create_task(drain_responses(len(arrivals)))
+    start = time.perf_counter()
+    for index, offset in enumerate(arrivals):
+        delay = start + offset - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        token = f"load-{index}"
+        send_times[token] = time.perf_counter()
+        writer.write(
+            (
+                json.dumps(
+                    {
+                        "op": "repair",
+                        "id": token,
+                        "problem": problems[index % len(problems)],
+                    }
+                )
+                + "\n"
+            ).encode()
+        )
+        await writer.drain()
+    elapsed_offering = time.perf_counter() - start
+    try:
+        await asyncio.wait_for(collector, timeout=30.0)
+    except asyncio.TimeoutError:
+        outcomes["other"] += len(send_times)
+    window = max(elapsed_offering, time.perf_counter() - start)
+    writer.close()
+
+    latencies.sort()
+
+    def percentile(q: float) -> float:
+        if not latencies:
+            return float("nan")
+        position = min(
+            len(latencies) - 1, max(0, round(q * (len(latencies) - 1)))
+        )
+        return latencies[position]
+
+    return {
+        "scenario": scenario,
+        "offered_rps": rate,
+        "requests": len(arrivals),
+        "ok": outcomes["ok"],
+        "overloaded": outcomes["overloaded"],
+        "other": outcomes["other"],
+        "achieved_rps": outcomes["ok"] / window if window else 0.0,
+        "p50_ms": 1e3 * percentile(0.50),
+        "p99_ms": 1e3 * percentile(0.99),
+        "duration_s": window,
+        "seed": SEED,
+    }
+
+
+def run_scenario(
+    scenario: str, rates: List[float], duration: float
+) -> List[dict]:
+    entries = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as state:
+        process, port = boot_server(scenario, state)
+        try:
+            for rate in rates:
+                entry = asyncio.run(
+                    run_rate(port, scenario, rate, duration)
+                )
+                entries.append(entry)
+                print(
+                    f"{scenario:>8} offered={rate:7.1f}/s  "
+                    f"achieved={entry['achieved_rps']:7.1f}/s  "
+                    f"ok={entry['ok']:<5} "
+                    f"rejected={entry['overloaded']:<4} "
+                    f"p50={entry['p50_ms']:7.2f} ms  "
+                    f"p99={entry['p99_ms']:7.2f} ms"
+                )
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.communicate()
+    return entries
+
+
+def summarize(scenario: str, entries: List[dict]) -> dict:
+    """Saturation throughput and base-rate latency for one scenario."""
+    own = [e for e in entries if e["scenario"] == scenario]
+    sustained = [
+        e
+        for e in own
+        if e["achieved_rps"] >= SATURATION_FLOOR * e["offered_rps"]
+    ]
+    base = min(own, key=lambda e: e["offered_rps"])
+    return {
+        "saturation_rps": (
+            max(e["offered_rps"] for e in sustained) if sustained else 0.0
+        ),
+        "base_p50_ms": base["p50_ms"],
+        "base_p99_ms": base["p99_ms"],
+    }
+
+
+def compare_to_committed(
+    summaries: Dict[str, dict],
+    committed: dict,
+    tolerance: float,
+    latency_slack_ms: float,
+    max_offered: float,
+) -> List[str]:
+    """Regression messages versus the committed ``BENCH_serve.json``.
+
+    The committed saturation is clamped to ``max_offered`` before the
+    floor is applied: a quick run that only offers up to 80/s cannot
+    observe a 320/s saturation, so the quick-mode guard asks "do we
+    still sustain every rate we offered?" while full runs compare the
+    real ceilings.
+    """
+    failures = []
+    for scenario, summary in summaries.items():
+        old = committed.get("summaries", {}).get(scenario)
+        if old is None:
+            continue
+        committed_saturation = min(old["saturation_rps"], max_offered)
+        saturation_floor = (1.0 - tolerance) * committed_saturation
+        if summary["saturation_rps"] < saturation_floor:
+            failures.append(
+                f"{scenario}: saturation {summary['saturation_rps']:.0f}/s "
+                f"fell below {saturation_floor:.0f}/s (committed "
+                f"{old['saturation_rps']:.0f}/s clamped to the "
+                f"{max_offered:.0f}/s offered here, "
+                f"tolerance {tolerance:.0%})"
+            )
+        p99_ceiling = (
+            (1.0 + tolerance) * old["base_p99_ms"] + latency_slack_ms
+        )
+        if summary["base_p99_ms"] > p99_ceiling:
+            failures.append(
+                f"{scenario}: base-rate p99 {summary['base_p99_ms']:.2f} ms "
+                f"rose above {p99_ceiling:.2f} ms (committed "
+                f"{old['base_p99_ms']:.2f} ms, tolerance {tolerance:.0%} "
+                f"+ {latency_slack_ms:.0f} ms slack)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer rates, shorter windows (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serve.json",
+        help="where to write the results (default: repo BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed results to regress against (default: the "
+        "pre-existing --output file, when present)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the regression comparison (first-run bootstrap)",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative drop in saturation / rise in p99",
+    )
+    parser.add_argument(
+        "--latency-slack-ms",
+        type=float,
+        default=10.0,
+        help="absolute p99 slack so CI-runner noise cannot trip the guard",
+    )
+    args = parser.parse_args(argv)
+
+    rates = [40.0, 80.0] if args.quick else [40.0, 80.0, 160.0, 320.0]
+    duration = 2.0 if args.quick else 4.0
+    scenarios = ["daemon", "fleet2"]
+
+    baseline_path = args.baseline or args.output
+    committed = None
+    if not args.no_compare and baseline_path.exists():
+        committed = json.loads(baseline_path.read_text())
+
+    entries: List[dict] = []
+    for scenario in scenarios:
+        entries.extend(run_scenario(scenario, rates, duration))
+
+    summaries = {
+        scenario: summarize(scenario, entries) for scenario in scenarios
+    }
+    report = {
+        "version": 1,
+        "generated_by": "benchmarks/bench_serve_load.py",
+        "quick": args.quick,
+        "config": {
+            "rates": rates,
+            "duration_s": duration,
+            "problems": PROBLEMS,
+            "problem_size": PROBLEM_SIZE,
+            "seed": SEED,
+            "saturation_floor": SATURATION_FLOOR,
+        },
+        "entries": entries,
+        "summaries": summaries,
+        "python": sys.version.split()[0],
+    }
+
+    failures = []
+    for scenario, summary in summaries.items():
+        if summary["saturation_rps"] <= 0.0:
+            failures.append(
+                f"{scenario}: no offered rate was sustained at all"
+            )
+    if committed is not None:
+        failures.extend(
+            compare_to_committed(
+                summaries,
+                committed,
+                args.regression_tolerance,
+                args.latency_slack_ms,
+                max(rates),
+            )
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    for scenario, summary in summaries.items():
+        print(
+            f"{scenario:>8}: saturation {summary['saturation_rps']:7.1f}/s  "
+            f"base p50 {summary['base_p50_ms']:7.2f} ms  "
+            f"base p99 {summary['base_p99_ms']:7.2f} ms"
+        )
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -385,6 +385,59 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.server import FleetConfig, FleetSupervisor
+    from repro.service import parse_fleet_fault_spec
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+    plan = (
+        parse_fleet_fault_spec(args.fleet_chaos) if args.fleet_chaos else None
+    )
+    supervisor = FleetSupervisor(
+        FleetConfig(
+            workers=args.workers,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            state_dir=state_dir,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            cache_size=args.cache_size,
+            default_timeout=args.timeout,
+            default_node_budget=args.budget,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_seconds=args.breaker_reset,
+            core_backend=args.core_backend,
+            worker_chaos=args.chaos,
+            store=args.store,
+            fault_plan=plan,
+        )
+    )
+
+    def _announce(address):
+        print(f"repro serve: listening on {address}", flush=True)
+        print(
+            f"repro serve: fleet of {args.workers} workers, "
+            f"state in {state_dir}",
+            flush=True,
+        )
+
+    stats = supervisor.run(on_ready=_announce)
+    counters = stats["counters"]
+    print(
+        "repro serve: drained cleanly — "
+        f"{counters.get('fleet.dispatched', 0)} dispatched, "
+        f"{counters.get('fleet.redispatched', 0)} re-dispatched, "
+        f"{counters.get('fleet.worker_deaths', 0)} worker death(s), "
+        f"{counters.get('fleet.restarts', 0)} restart(s), "
+        f"{counters.get('fleet.connections', 0)} connection(s) over "
+        f"{stats['uptime']:.1f}s"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -396,6 +449,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parse_fault_spec,
     )
 
+    if args.workers > 1:
+        return _cmd_serve_fleet(args)
+
     runner = None
     if args.chaos:
         from repro.service import FaultyRunner
@@ -406,6 +462,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal = None
         if args.journal:
             journal = stack.enter_context(JournalWriter(args.journal))
+        store = None
+        if args.store:
+            from repro.service import SqliteStore
+
+            store = stack.enter_context(SqliteStore(args.store))
+            if store.healed:
+                print(
+                    f"repro serve: store {args.store} was corrupt; "
+                    "quarantined and recreated",
+                    file=sys.stderr,
+                )
         service = RepairService(
             ServiceConfig(
                 cache_size=args.cache_size,
@@ -417,6 +484,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             runner=runner,
             result_sink=journal.append if journal is not None else None,
+            store=store,
         )
         server = RepairServer(
             service,
@@ -673,6 +741,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal",
         help="append finished deterministic results to this crash-safe "
         "write-ahead journal",
+    )
+    daemon.add_argument(
+        "--store",
+        help="persistent result store (WAL-mode sqlite) under the LRU "
+        "cache: cache hits survive daemon restarts and are shared by "
+        "every process opening the same file (a torn store is healed "
+        "on open)",
+    )
+    daemon.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run a supervised fleet of N daemon workers behind this "
+        "socket: problems are consistent-hashed across workers, crashed "
+        "workers restart under seeded backoff, and in-flight requests "
+        "fail over at most once (1 = a single plain daemon)",
+    )
+    daemon.add_argument(
+        "--state-dir",
+        help="fleet scratch directory for worker sockets, journals, the "
+        "shared store, and the fleet-state snapshot (default: a "
+        "temporary directory; implies --workers > 1 layouts)",
+    )
+    daemon.add_argument(
+        "--fleet-chaos",
+        metavar="SPEC",
+        help="inject deterministic fleet-level faults, e.g. "
+        '"kill=1@5,wedge=2@3x4" (SIGKILL worker 1 at its 5th dispatch; '
+        "wedge worker 2's heartbeat for 4 beats starting at beat 3); "
+        "used by the fleet chaos drills",
     )
     daemon.add_argument(
         "--chaos",

@@ -16,15 +16,24 @@ requests:
   :meth:`~repro.service.RepairService.run_job`, graceful drain on
   SIGINT/SIGTERM;
 * :mod:`repro.server.client` — a small blocking client for scripts and
-  tests.
+  tests, with bounded reconnect-and-retry on connection resets;
+* :mod:`repro.server.hashring` — the deterministic consistent-hash ring
+  placing problems on fleet workers;
+* :mod:`repro.server.fleet` — the supervised multi-worker fleet: N
+  daemon workers behind one front door, heartbeat liveness, seeded
+  backoff restarts behind a circuit breaker, at-most-once failover, a
+  shared crash-surviving result store, and fleet-wide graceful drain.
 
 Start one with ``repro serve --socket /tmp/repro.sock`` (see the CLI)
 or embed it: ``RepairServer(service, ServerConfig(port=0)).run()``.
+A fleet: ``repro serve --workers 4 --port 0 --state-dir /tmp/fleet``.
 """
 
 from repro.server.admission import AdmissionController
 from repro.server.client import RepairClient
 from repro.server.daemon import RepairServer, ServerConfig
+from repro.server.fleet import FleetConfig, FleetSupervisor
+from repro.server.hashring import HashRing
 from repro.server.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -42,6 +51,9 @@ __all__ = [
     "RepairClient",
     "RepairServer",
     "ServerConfig",
+    "FleetConfig",
+    "FleetSupervisor",
+    "HashRing",
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "OPS",

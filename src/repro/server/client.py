@@ -18,12 +18,25 @@ helpers (:meth:`check`, :meth:`classify`, ...) do one round trip and
 return the raw response envelope; they do **not** raise on ``ok: false``
 — overload and drain rejections are expected operating conditions the
 caller handles, not exceptions.
+
+Round trips made through :meth:`request` (and hence every typed helper)
+survive connection resets: when the socket drops mid-trip — a daemon
+restarting, a fleet worker being SIGKILLed under the front door — the
+client reconnects and re-sends, at most ``retries`` times.  That retry
+is safe because results are deterministic and content-addressed by the
+request fingerprint: re-executing a lost request yields a byte-identical
+verdict (at worst the daemon recomputes a result it already served, and
+the persistent store usually answers the repeat warmly).  Timeouts are
+**not** retried — a slow daemon may still be working, and a blind
+re-send would desynchronize the response stream.  Pipelined callers
+using bare :meth:`send`/:meth:`recv` manage their own recovery.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.exceptions import ProtocolError, UsageError
@@ -37,7 +50,10 @@ class RepairClient:
     Exactly one of ``socket_path`` and ``port`` must be given, matching
     how the daemon was started.  ``timeout`` bounds every socket
     operation; a daemon that stops responding surfaces as
-    ``socket.timeout`` rather than a hang.
+    ``socket.timeout`` rather than a hang.  ``retries`` bounds how many
+    times :meth:`request` reconnects and re-sends after a connection
+    reset (0 disables); ``retry_delay`` seconds separate the attempts,
+    growing linearly so a restarting daemon gets room to come back.
     """
 
     def __init__(
@@ -46,16 +62,45 @@ class RepairClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: float = 30.0,
+        retries: int = 2,
+        retry_delay: float = 0.1,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise UsageError("exactly one of socket_path and port must be given")
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
+        if retries < 0 or retry_delay < 0:
+            raise UsageError("retries and retry_delay must be >= 0")
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = retries
+        self.retry_delay = retry_delay
+        #: Completed reconnects over this client's lifetime (observable
+        #: so tests and callers can tell recovery happened).
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the connection described by the constructor."""
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._socket_path)
         else:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def _reconnect(self, attempt: int) -> None:
+        """Tear down the dead socket and dial again (attempt >= 1)."""
+        self.close()
+        time.sleep(self.retry_delay * attempt)
+        self._connect()
+        self.reconnects += 1
 
     # -- transport -------------------------------------------------------------------
 
@@ -71,9 +116,32 @@ class RepairClient:
         return json.loads(line)
 
     def request(self, document: Dict[str, Any]) -> Dict[str, Any]:
-        """One request/response round trip."""
-        self.send(document)
-        return self.recv()
+        """One request/response round trip, retried across resets.
+
+        A drop mid-trip (reset, broken pipe, EOF before the response)
+        reconnects and re-sends up to ``retries`` times; the re-send is
+        idempotent because results are content-addressed (see the module
+        docstring).  ``socket.timeout`` is never retried.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                try:
+                    self._reconnect(attempt)
+                except (ConnectionError, FileNotFoundError, OSError):
+                    # The daemon is not back yet; spend another attempt
+                    # (each waits a little longer) rather than giving up
+                    # on the first refused dial.
+                    continue
+            try:
+                self.send(document)
+                return self.recv()
+            except socket.timeout:
+                raise
+            except (ConnectionError, ProtocolError) as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     # -- typed operations --------------------------------------------------------------
 
@@ -160,9 +228,11 @@ class RepairClient:
     def close(self) -> None:
         """Close the connection (idempotent)."""
         try:
-            self._reader.close()
+            if self._reader is not None:
+                self._reader.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
 
     def __enter__(self) -> "RepairClient":
         return self

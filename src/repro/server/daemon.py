@@ -570,7 +570,7 @@ class RepairServer:
         load problem.
         """
         snapshot = self.service.metrics.snapshot()
-        return {
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "draining": self._draining,
             "uptime": (
@@ -586,3 +586,6 @@ class RepairServer:
             "result_cache": self.service.cache.stats(),
             "problem_cache": self._problems.stats(),
         }
+        if self.service.store is not None:
+            payload["result_store"] = self.service.store.stats()
+        return payload

@@ -1,0 +1,116 @@
+"""Consistent hashing for the fleet's problem → worker placement.
+
+The fleet front door routes every job-bearing request to the worker
+that *owns* its problem, so one worker's caches (parsed problems, the
+LRU result tier, memoized classification) stay hot for the problems it
+keeps seeing.  A plain ``hash(key) % N`` placement would reshuffle
+almost every problem when a worker dies; the classic consistent-hash
+ring moves only the dead worker's arc.
+
+Implementation: every node is planted at ``vnodes`` pseudo-random but
+fully deterministic points on a sha256 ring (the digest of
+``"node-name#replica"``); a key is owned by the first node clockwise
+from the key's own digest.  Determinism matters doubly here — placement
+must be reproducible across supervisor restarts (a restarted fleet
+re-routes identically, so the persistent store and per-worker caches
+line up again) and across the chaos drills that compare fleet runs
+against single-daemon reference runs.
+
+Examples
+--------
+>>> ring = HashRing(["w0", "w1", "w2"])
+>>> owner = ring.owner("some-problem-fingerprint")
+>>> owner in ("w0", "w1", "w2")
+True
+>>> ring.owner("some-problem-fingerprint") == owner   # deterministic
+True
+>>> without = ring.without(owner)                     # failover rehash
+>>> without.owner("some-problem-fingerprint") != owner
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import UsageError
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """A node's or key's position on the ring (a 64-bit hash point)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Distinct node names (the fleet uses worker names ``"w0"``...).
+    vnodes:
+        Ring points per node; more points smooth the load split at the
+        cost of a larger (sorted, binary-searched) ring.
+    """
+
+    def __init__(self, nodes: Iterable[str], vnodes: int = 64) -> None:
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        if not self.nodes:
+            raise UsageError("a hash ring needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise UsageError(f"duplicate node names: {sorted(self.nodes)}")
+        if vnodes < 1:
+            raise UsageError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                points.append((_point(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first node clockwise on the ring)."""
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key: str) -> List[str]:
+        """Every node ordered by ring distance from ``key``.
+
+        The failover order: when the owner is down, the job re-routes
+        to the next *distinct* node clockwise, and so on — the same
+        sequence any surviving front door would compute.
+        """
+        index = bisect.bisect_right(self._points, _point(key))
+        seen: List[str] = []
+        for offset in range(len(self._owners)):
+            node = self._owners[(index + offset) % len(self._owners)]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen
+
+    def without(self, *excluded: str) -> "HashRing":
+        """A ring with ``excluded`` nodes removed (failover rehash)."""
+        remaining = [node for node in self.nodes if node not in excluded]
+        if not remaining:
+            raise UsageError("cannot exclude every node from the ring")
+        return HashRing(remaining, vnodes=self.vnodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"HashRing({list(self.nodes)}, vnodes={self.vnodes})"

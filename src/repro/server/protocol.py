@@ -38,7 +38,11 @@ are ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``
 with codes ``bad-request`` (malformed request — the connection stays
 up), ``overloaded`` (the admission controller rejected the job;
 retry against a less busy server), ``draining`` (the daemon is shutting
-down and accepts no new work), and ``internal``.
+down and accepts no new work), ``internal``, and ``unavailable`` (the
+fleet front door could not place the job on any live worker — the
+owning worker died mid-request and its at-most-once re-dispatch budget
+is spent, or every candidate worker is down; safe to retry once the
+fleet recovers).
 
 This module is transport-free: it parses and renders single lines.
 Framing (readline loops, length limits) lives in
@@ -78,7 +82,13 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 OPS = ("check", "repair", "count", "classify", "ping", "stats", "drain")
 
 #: Every ``error.code`` a response may carry.
-ERROR_CODES = ("bad-request", "overloaded", "draining", "internal")
+ERROR_CODES = (
+    "bad-request",
+    "overloaded",
+    "draining",
+    "internal",
+    "unavailable",
+)
 
 #: ``check`` fields forwarded into the job beyond problem/candidate.
 _CHECK_OPTIONAL_FIELDS = ("semantics", "method", "timeout", "budget", "job_id")

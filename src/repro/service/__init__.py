@@ -20,7 +20,11 @@ traffic at batch granularity:
   retry jitter, the per-problem circuit breaker, supervised-pool
   bookkeeping, the crash-safe write-ahead result journal behind
   ``serve-batch --journal/--resume``, and the deterministic
-  fault-injection harness that tests all of it.
+  fault-injection harness that tests all of it;
+* :mod:`~repro.service.store` — the persistent content-addressed
+  result store (WAL-mode sqlite, checksummed rows, heal-on-open): the
+  durable cache tier under the LRU, shared across worker processes and
+  surviving their restarts.
 """
 
 from repro.service.batch_io import (
@@ -34,8 +38,10 @@ from repro.service.cache import LRUCache
 from repro.service.faults import (
     FaultPlan,
     FaultyRunner,
+    FleetFaultPlan,
     SkewedClock,
     parse_fault_spec,
+    parse_fleet_fault_spec,
 )
 from repro.service.fingerprint import (
     fingerprint_check_request,
@@ -75,6 +81,7 @@ from repro.service.resilience import (
     unit_interval,
 )
 from repro.service.service import RepairService, ServiceConfig
+from repro.service.store import STORED_STATUSES, SqliteStore
 
 __all__ = [
     "RepairService",
@@ -116,6 +123,10 @@ __all__ = [
     "JOURNALED_STATUSES",
     "FaultPlan",
     "FaultyRunner",
+    "FleetFaultPlan",
     "SkewedClock",
     "parse_fault_spec",
+    "parse_fleet_fault_spec",
+    "SqliteStore",
+    "STORED_STATUSES",
 ]

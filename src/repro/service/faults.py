@@ -40,12 +40,19 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Mapping, Optional, Tuple
 
 from repro.exceptions import TransientWorkerError, UsageError, WorkerCrashError
 from repro.service.resilience import unit_interval
 
-__all__ = ["FaultPlan", "FaultyRunner", "SkewedClock", "parse_fault_spec"]
+__all__ = [
+    "FaultPlan",
+    "FaultyRunner",
+    "SkewedClock",
+    "parse_fault_spec",
+    "FleetFaultPlan",
+    "parse_fleet_fault_spec",
+]
 
 #: The actions a plan can schedule for one execution attempt.
 FAULT_ACTIONS = ("crash", "transient", "slow", "none")
@@ -209,6 +216,106 @@ class FaultyRunner:
             node_budget=node_budget,
             timeout=timeout,
         )
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """A deterministic schedule of fleet-level (process) faults.
+
+    Where :class:`FaultPlan` injects faults *inside* a worker's runner,
+    this plan drives the supervisor's drills against whole worker
+    processes: SIGKILL a named worker at a fixed dispatch ordinal
+    (mid-load crash), or wedge its heartbeat for a window of beats so
+    the supervisor's liveness escalation fires.  Torn-store faults need
+    no schedule — the chaos tests corrupt the sqlite file directly and
+    assert heal-on-open.
+
+    Everything is keyed by worker *name* (``"w0"``, ``"w1"``, ...) and
+    fixed ordinals, so a drill replays identically run after run.
+
+    Attributes
+    ----------
+    kills:
+        ``worker name -> dispatch ordinal``: the worker is SIGKILLed
+        immediately after the supervisor forwards its n-th job (1-based)
+        to it.
+    wedges:
+        ``worker name -> (first beat, beat count)``: heartbeats in
+        ``[first, first + count)`` (1-based supervisor beats) go
+        unanswered for that worker, as if it were wedged in C code.
+    """
+
+    kills: Mapping[str, int] = field(default_factory=dict)
+    wedges: Mapping[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for worker, ordinal in self.kills.items():
+            if ordinal < 1:
+                raise UsageError(
+                    f"kill ordinal for {worker!r} must be >= 1, got {ordinal}"
+                )
+        for worker, (first, count) in self.wedges.items():
+            if first < 1 or count < 1:
+                raise UsageError(
+                    f"wedge window for {worker!r} must start at beat >= 1 "
+                    f"with count >= 1, got {first}x{count}"
+                )
+
+    def should_kill(self, worker: str, dispatch: int) -> bool:
+        """Whether ``worker`` dies right after its ``dispatch``-th job."""
+        return self.kills.get(worker) == dispatch
+
+    def wedged(self, worker: str, beat: int) -> bool:
+        """Whether ``worker`` ignores the ``beat``-th heartbeat."""
+        window = self.wedges.get(worker)
+        if window is None:
+            return False
+        first, count = window
+        return first <= beat < first + count
+
+
+def parse_fleet_fault_spec(spec: str) -> FleetFaultPlan:
+    """Parse the CLI fleet-chaos spec into a :class:`FleetFaultPlan`.
+
+    Comma-separated tokens: ``kill=<worker>@<dispatch>`` (SIGKILL worker
+    ``w<worker>`` after its n-th forwarded job) and
+    ``wedge=<worker>@<beat>x<count>`` (that worker misses ``count``
+    heartbeats starting at supervisor beat ``beat``), e.g.
+    ``"kill=1@5,wedge=2@3x4"``.  Workers are named by index.
+    """
+    kills = {}
+    wedges = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, separator, text = token.partition("=")
+        name = name.strip()
+        if not separator or name not in ("kill", "wedge"):
+            raise UsageError(
+                f"bad fleet chaos token {token!r}; expected "
+                "kill=<worker>@<dispatch> or wedge=<worker>@<beat>x<count>"
+            )
+        worker_text, at, ordinal_text = text.strip().partition("@")
+        if not at:
+            raise UsageError(
+                f"bad fleet chaos token {token!r}: missing '@<ordinal>'"
+            )
+        try:
+            worker = f"w{int(worker_text)}"
+            if name == "kill":
+                kills[worker] = int(ordinal_text)
+            else:
+                first_text, x, count_text = ordinal_text.partition("x")
+                wedges[worker] = (
+                    int(first_text),
+                    int(count_text) if x else 1,
+                )
+        except ValueError as exc:
+            raise UsageError(
+                f"bad fleet chaos value in {token!r}: {exc}"
+            ) from exc
+    return FleetFaultPlan(kills=kills, wedges=wedges)
 
 
 #: ``parse_fault_spec`` field spellings -> FaultPlan constructor fields.

@@ -301,6 +301,17 @@ class RepairService:
         plugs in here.  A truthy return value counts as a durable
         append (``journal.appended``); ``OSError`` from the sink is
         absorbed into ``journal.errors`` rather than failing the batch.
+    store:
+        An optional persistent result store (the sqlite tier of
+        :mod:`repro.service.store`) consulted *under* the LRU cache: an
+        LRU miss falls through to ``store.get(key)``, and a store hit
+        warms the LRU and is served without recomputation
+        (``store.hits``).  Freshly computed deterministic results are
+        written through (``store.appended``).  Because store keys are
+        the same backend-invariant canonical fingerprints as cache
+        keys, a store file shared by many service processes — the
+        fleet's workers — shares every answer across them and across
+        restarts.  Store failures degrade the cache, never a verdict.
     cancel:
         An optional ``threading.Event``; once set, jobs that have not
         started yet finish as ``error`` results (``jobs.cancelled``)
@@ -336,6 +347,7 @@ class RepairService:
         result_sink: Optional[Callable[[JobResult], object]] = None,
         cancel: Optional[object] = None,
         compute_runner: Optional[Callable[..., ComputeOutcome]] = None,
+        store: Optional[object] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
@@ -368,8 +380,12 @@ class RepairService:
             clock=clock,
             metrics=self.metrics,
         )
+        self.store = store
         for name in _WELL_KNOWN_COUNTERS:
             self.metrics.counter(name)
+        if store is not None:
+            for name in ("store.hits", "store.misses", "store.appended"):
+                self.metrics.counter(name)
 
     # -- single-job convenience ----------------------------------------------------
 
@@ -416,7 +432,11 @@ class RepairService:
             result = self._reissue(cached, job, key)
         else:
             self.metrics.counter("cache.misses").increment()
-            result = self._execute_one(job, key)
+            stored = self._store_lookup(key)
+            if stored is not None:
+                result = self._reissue(stored, job, key)
+            else:
+                result = self._execute_one(job, key)
         self.metrics.counter(f"jobs.{result.status}").increment()
         return result
 
@@ -438,7 +458,11 @@ class RepairService:
             result = self._reissue_compute(cached, job, key)
         else:
             self.metrics.counter("cache.misses").increment()
-            result = self._execute_compute(job, key)
+            stored = self._store_lookup(key)
+            if stored is not None and "kind" in stored:
+                result = self._reissue_compute(stored, job, key)
+            else:
+                result = self._execute_compute(job, key)
         self.metrics.counter(f"jobs.{result.status}").increment()
         return result
 
@@ -490,6 +514,13 @@ class RepairService:
                 duplicates.append((position, job, key))
             else:
                 self.metrics.counter("cache.misses").increment()
+                stored = self._store_lookup(key)
+                if stored is not None:
+                    # The persistent tier already answered this (this
+                    # process, an earlier incarnation, or a fleet peer);
+                    # the lookup warmed the LRU for in-batch duplicates.
+                    results[position] = self._reissue(stored, job, key)
+                    continue
                 first_by_key[key] = position
                 pending.append((position, job, key))
 
@@ -528,6 +559,28 @@ class RepairService:
         )
 
     # -- internals -------------------------------------------------------------------
+
+    def _store_lookup(self, key: str) -> Optional[Dict]:
+        """Consult the persistent tier after an LRU miss.
+
+        A hit warms the LRU so repeats in this process are pure memory
+        lookups; the store's own checksum verification guarantees a
+        returned record is exactly what some service once computed.
+        """
+        if self.store is None:
+            return None
+        record = self.store.get(key)
+        if record is None:
+            self.metrics.counter("store.misses").increment()
+            return None
+        self.metrics.counter("store.hits").increment()
+        self.cache.put(key, dict(record))
+        return record
+
+    def _store_put(self, key: str, result_dict: Dict) -> None:
+        """Write one fresh deterministic result through to the store."""
+        if self.store is not None and self.store.put(key, result_dict):
+            self.metrics.counter("store.appended").increment()
 
     def _cache_key(self, job: RepairJob) -> str:
         return fingerprint_check_request(
@@ -718,6 +771,7 @@ class RepairService:
         )
         if outcome.status in _CACHEABLE_STATUSES:
             self.cache.put(key, result.to_dict())
+            self._store_put(key, result.to_dict())
         if self._result_sink is not None:
             try:
                 if self._result_sink(result):
@@ -885,6 +939,7 @@ class RepairService:
         )
         if outcome.status in _CACHEABLE_STATUSES:
             self.cache.put(key, result.to_dict())
+            self._store_put(key, result.to_dict())
         if self._result_sink is not None:
             try:
                 if self._result_sink(result):
@@ -1115,6 +1170,8 @@ class RepairService:
             for name, cache_info in info.items()
         }
         snapshot["result_cache"] = self.cache.stats()
+        if self.store is not None:
+            snapshot["result_store"] = self.store.stats()
         return snapshot
 
 

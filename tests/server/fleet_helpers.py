@@ -1,0 +1,88 @@
+"""Shared fixtures for the fleet drills: problems, keys, references.
+
+The chaos tests compare a fleet run against a single-daemon reference,
+so every helper here is deliberately deterministic: the problems have
+unique witnesses (reason strings reproduce across processes and hash
+seeds) and the routing key mirrors the supervisor's placement digest
+exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+from repro.core import Fact, PriorityRelation
+from repro.core.priority import PrioritizingInstance
+from repro.io import prioritizing_to_dict
+
+from tests.helpers import single_fd_schema
+
+
+def fleet_problem(salt: int = 0) -> Dict[str, Any]:
+    """A tractable problem document; ``salt`` varies the fact values so
+    distinct salts hash to (usually) distinct workers."""
+    schema = single_fd_schema()
+    facts = [
+        Fact("R", (salt * 10 + 0, "a")),
+        Fact("R", (salt * 10 + 0, "b")),
+        Fact("R", (salt * 10 + 1, "a")),
+        Fact("R", (salt * 10 + 1, "b")),
+        Fact("R", (salt * 10 + 2, "a")),
+    ]
+    edges = [
+        (facts[0], facts[1]),
+        (facts[2], facts[3]),
+    ]
+    prioritizing = PrioritizingInstance(
+        schema, schema.instance(facts), PriorityRelation(edges)
+    )
+    return prioritizing_to_dict(prioritizing)
+
+
+def optimal_candidate(salt: int = 0) -> List[Dict[str, Any]]:
+    """The globally optimal repair of :func:`fleet_problem` as wire
+    fact specs (order-independent, index-free)."""
+    return [
+        {"relation": "R", "values": [salt * 10 + 0, "a"]},
+        {"relation": "R", "values": [salt * 10 + 1, "a"]},
+        {"relation": "R", "values": [salt * 10 + 2, "a"]},
+    ]
+
+
+def non_optimal_candidate(salt: int = 0) -> List[Dict[str, Any]]:
+    """A repair beaten by :func:`optimal_candidate`.
+
+    Exactly one block (the first) keeps its dominated ``b`` fact, so
+    the improvement witness — and with it the result's ``reason``
+    string — is unique: byte-identical comparisons across processes
+    need exactly one possible answer.
+    """
+    return [
+        {"relation": "R", "values": [salt * 10 + 0, "b"]},
+        {"relation": "R", "values": [salt * 10 + 1, "a"]},
+        {"relation": "R", "values": [salt * 10 + 2, "a"]},
+    ]
+
+
+def routing_key(problem: Dict[str, Any]) -> str:
+    """The fleet front door's placement digest for a problem document."""
+    return hashlib.sha256(
+        json.dumps(problem, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+
+
+def response_verdict(response: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic slice of one daemon/fleet check response —
+    exactly what must not diverge between a fleet run (under faults)
+    and a single-daemon reference run."""
+    result = response["result"]
+    return {
+        "ok": response["ok"],
+        "status": result["status"],
+        "is_optimal": result["is_optimal"],
+        "semantics": result["semantics"],
+        "method": result["method"],
+        "reason": result["reason"],
+    }

@@ -1,0 +1,155 @@
+"""The client's bounded reconnect-and-retry across connection resets.
+
+A scripted TCP server drops connections at chosen points; the client's
+:meth:`~repro.server.client.RepairClient.request` must reconnect and
+re-send (bounded by ``retries``), surface the original error once the
+budget is spent, and never retry a timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro.exceptions import ProtocolError, UsageError
+from repro.server import RepairClient
+
+
+class _ScriptedHandler(socketserver.StreamRequestHandler):
+    """Serves whole connections off the server's ``script`` list.
+
+    Each script entry is the number of requests to answer before
+    closing that connection (None = serve forever).  Responses echo the
+    request ``id``.
+    """
+
+    def handle(self):
+        with self.server.lock:
+            budget = (
+                self.server.script.pop(0) if self.server.script else None
+            )
+            self.server.connections += 1
+        served = 0
+        while budget is None or served < budget:
+            line = self.rfile.readline()
+            if not line:
+                return
+            document = json.loads(line)
+            with self.server.lock:
+                self.server.requests_seen.append(document)
+            response = {"id": document.get("id"), "ok": True, "pong": True}
+            self.wfile.write((json.dumps(response) + "\n").encode())
+            served += 1
+
+
+class _ScriptedServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, script):
+        super().__init__(("127.0.0.1", 0), _ScriptedHandler)
+        self.script = list(script)
+        self.requests_seen = []
+        self.connections = 0
+        self.lock = threading.Lock()
+
+
+@pytest.fixture
+def scripted():
+    def start(script):
+        server = _ScriptedServer(script)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server
+
+    servers = []
+
+    def factory(script):
+        server = start(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def test_request_survives_a_reset_between_round_trips(scripted):
+    # First connection answers one request then closes; the second
+    # request hits the dead socket, reconnects, and succeeds.
+    server = scripted([1, None])
+    port = server.server_address[1]
+    with RepairClient(port=port, timeout=5, retry_delay=0.01) as client:
+        assert client.request({"op": "ping", "id": 1})["ok"] is True
+        assert client.request({"op": "ping", "id": 2})["ok"] is True
+        assert client.reconnects == 1
+    # The re-send is by-value identical: idempotent by fingerprint.
+    ids = [doc["id"] for doc in server.requests_seen]
+    assert ids.count(2) >= 1
+
+
+def test_request_survives_eof_before_response(scripted):
+    # The connection dies after the request is sent but before any
+    # response arrives (budget 0): recv sees EOF, the retry re-sends.
+    server = scripted([0, None])
+    port = server.server_address[1]
+    with RepairClient(port=port, timeout=5, retry_delay=0.01) as client:
+        assert client.request({"op": "ping", "id": "x"})["ok"] is True
+        assert client.reconnects == 1
+    # The first connection closed before even reading; the re-sent copy
+    # is the one the server answered.
+    assert [doc["id"] for doc in server.requests_seen] == ["x"]
+    assert server.connections == 2
+
+
+def test_retry_budget_is_bounded(scripted):
+    # Every connection closes before answering; with retries=2 the
+    # client dials 3 times total, then surfaces the failure.
+    server = scripted([0, 0, 0, 0])
+    port = server.server_address[1]
+    with RepairClient(
+        port=port, timeout=5, retries=2, retry_delay=0.01
+    ) as client:
+        with pytest.raises(ProtocolError):
+            client.request({"op": "ping", "id": "y"})
+        assert client.reconnects == 2
+    # Initial dial + two reconnects, then the failure surfaced.
+    assert server.connections == 3
+
+
+def test_retries_zero_disables_recovery(scripted):
+    server = scripted([0])
+    port = server.server_address[1]
+    with RepairClient(port=port, timeout=5, retries=0) as client:
+        with pytest.raises(ProtocolError):
+            client.request({"op": "ping"})
+        assert client.reconnects == 0
+
+
+def test_timeouts_are_never_retried():
+    # A listener that accepts but never reads or writes.
+    gate = socket.socket()
+    gate.bind(("127.0.0.1", 0))
+    gate.listen(1)
+    port = gate.getsockname()[1]
+    try:
+        with RepairClient(
+            port=port, timeout=0.3, retries=3, retry_delay=0.01
+        ) as client:
+            with pytest.raises(socket.timeout):
+                client.request({"op": "ping", "id": "hang"})
+            assert client.reconnects == 0
+    finally:
+        gate.close()
+
+
+def test_negative_retry_settings_rejected():
+    with pytest.raises(UsageError):
+        RepairClient(port=1, retries=-1)
+    with pytest.raises(UsageError):
+        RepairClient(port=1, retry_delay=-0.1)

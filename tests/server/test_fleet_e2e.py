@@ -1,0 +1,116 @@
+"""Fleet end-to-end drills: a real ``repro serve --workers N`` process.
+
+The fleet is booted exactly as an operator would boot it; a real
+blocking :class:`RepairClient` drives it through the front door, and a
+SIGTERM must drain every worker and exit the supervisor with code 0.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.server import RepairClient
+
+from tests.helpers import subprocess_env
+from tests.server.fleet_helpers import (
+    fleet_problem,
+    non_optimal_candidate,
+    optimal_candidate,
+)
+
+pytestmark = pytest.mark.slow
+
+ANNOUNCE = re.compile(r"repro serve: listening on \('127\.0\.0\.1', (\d+)\)")
+
+
+def boot_fleet(state_dir, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--workers",
+            "2",
+            "--port",
+            "0",
+            "--state-dir",
+            str(state_dir),
+            *extra,
+        ],
+        env=subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_port(process: subprocess.Popen) -> int:
+    line = process.stdout.readline()
+    match = ANNOUNCE.match(line)
+    assert match, f"unexpected announce line: {line!r}"
+    return int(match.group(1))
+
+
+def shut_down(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.kill()
+        process.communicate()
+
+
+def test_fleet_serves_and_sigterm_drains_to_exit_zero(tmp_path):
+    process = boot_fleet(tmp_path / "state")
+    try:
+        port = wait_for_port(process)
+        with RepairClient(port=port, timeout=60) as client:
+            pong = client.ping()
+            assert pong["ok"] and pong["fleet"] == 2
+            problem = fleet_problem()
+            optimal = client.check(problem, optimal_candidate(), request_id="o")
+            assert optimal["ok"], optimal
+            assert optimal["result"]["is_optimal"] is True
+            beaten = client.check(
+                problem, non_optimal_candidate(), request_id="n"
+            )
+            assert beaten["ok"], beaten
+            assert beaten["result"]["is_optimal"] is False
+            stats = client.stats()
+            assert stats["stats"]["fleet"] is True
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        assert "drained cleanly" in stdout
+        # The fleet state snapshot survives the drain, complete.
+        assert (tmp_path / "state" / "fleet-state.json").exists()
+    finally:
+        shut_down(process)
+
+
+def test_fleet_chaos_spec_kill_is_survived(tmp_path):
+    # SIGKILL worker w0 at its first dispatch; with only a 2-node ring
+    # either owner dies under one of the early requests and the answers
+    # must still all arrive correct.
+    process = boot_fleet(
+        tmp_path / "state", "--fleet-chaos", "kill=0@1"
+    )
+    try:
+        port = wait_for_port(process)
+        with RepairClient(port=port, timeout=60) as client:
+            for salt in range(4):
+                response = client.check(
+                    fleet_problem(salt),
+                    optimal_candidate(salt),
+                    request_id=f"s{salt}",
+                )
+                assert response["ok"], response
+                assert response["result"]["is_optimal"] is True
+        process.send_signal(signal.SIGTERM)
+        stdout, _ = process.communicate(timeout=60)
+        assert process.returncode == 0
+    finally:
+        shut_down(process)

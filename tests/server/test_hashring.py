@@ -1,0 +1,101 @@
+"""The consistent-hash ring: determinism, balance, and minimal motion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import UsageError
+from repro.server import HashRing
+
+NODES = ["w0", "w1", "w2", "w3"]
+
+KEYS = [f"problem-fingerprint-{index}" for index in range(400)]
+
+
+class TestOwnership:
+    def test_owner_is_deterministic(self):
+        first = HashRing(NODES)
+        second = HashRing(NODES)
+        for key in KEYS:
+            assert first.owner(key) == second.owner(key)
+
+    def test_every_node_owns_something(self):
+        ring = HashRing(NODES)
+        owners = {ring.owner(key) for key in KEYS}
+        assert owners == set(NODES)
+
+    def test_load_split_is_roughly_even(self):
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        # 400 keys over 4 nodes: each should land well within 3x of
+        # its fair share — vnodes smooth the split.
+        for node, count in counts.items():
+            assert 100 / 3 <= count <= 100 * 3, (node, counts)
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:50]:
+            preference = ring.preference(key)
+            assert preference[0] == ring.owner(key)
+            assert sorted(preference) == sorted(NODES)
+
+    def test_removal_moves_only_the_dead_arc(self):
+        ring = HashRing(NODES)
+        survivor_view = ring.without("w1")
+        for key in KEYS:
+            before = ring.owner(key)
+            after = survivor_view.owner(key)
+            if before != "w1":
+                # Keys owned by survivors must not move.
+                assert after == before
+            else:
+                assert after != "w1"
+
+    def test_failover_order_matches_survivor_ring(self):
+        # The next distinct node clockwise is exactly who would own the
+        # key if the owner vanished — the supervisor relies on this.
+        ring = HashRing(NODES)
+        for key in KEYS[:100]:
+            owner = ring.owner(key)
+            second = ring.preference(key)[1]
+            assert ring.without(owner).owner(key) == second
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(UsageError):
+            HashRing([])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(UsageError):
+            HashRing(["w0", "w0"])
+
+    def test_zero_vnodes_rejected(self):
+        with pytest.raises(UsageError):
+            HashRing(NODES, vnodes=0)
+
+    def test_cannot_exclude_every_node(self):
+        with pytest.raises(UsageError):
+            HashRing(["w0"]).without("w0")
+
+    def test_contains_and_len(self):
+        ring = HashRing(NODES)
+        assert "w2" in ring
+        assert "w9" not in ring
+        assert len(ring) == 4
+
+
+@given(
+    key=st.text(min_size=1, max_size=40),
+    n_nodes=st.integers(min_value=1, max_value=8),
+)
+def test_owner_always_a_member(key, n_nodes):
+    ring = HashRing([f"w{index}" for index in range(n_nodes)])
+    assert ring.owner(key) in ring
+    preference = ring.preference(key)
+    assert len(preference) == n_nodes
+    assert len(set(preference)) == n_nodes

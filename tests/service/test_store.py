@@ -1,0 +1,202 @@
+"""The persistent result store: durability, healing, and service wiring.
+
+:class:`~repro.service.store.SqliteStore` is the crash-surviving tier
+under the LRU cache.  These tests cover its contract directly (round
+trips, refusal of non-deterministic statuses, checksum-guarded reads,
+heal-on-open for a torn file) and its integration with
+:class:`~repro.service.RepairService` (a fresh service instance over the
+same store answers warm, the LRU is re-warmed from the store, and
+metrics count the tier's traffic).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import UsageError
+from repro.service import (
+    STORED_STATUSES,
+    RepairJob,
+    RepairService,
+    ServiceConfig,
+    SqliteStore,
+)
+
+from tests.helpers import simple_problem_bundle, single_fd_schema
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "results.sqlite"
+
+
+class TestStoreContract:
+    def test_round_trip_returns_equal_document(self, store_path):
+        with SqliteStore(store_path) as store:
+            document = {"status": "ok", "is_optimal": True, "reason": "x"}
+            assert store.put("fp-1", document) is True
+            assert store.get("fp-1") == document
+            assert len(store) == 1
+
+    def test_survives_reopen(self, store_path):
+        with SqliteStore(store_path) as store:
+            store.put("fp-1", {"status": "ok", "is_optimal": False})
+        with SqliteStore(store_path) as reopened:
+            assert reopened.get("fp-1")["is_optimal"] is False
+            assert reopened.healed is False
+
+    def test_miss_returns_none_and_counts(self, store_path):
+        with SqliteStore(store_path) as store:
+            assert store.get("absent") is None
+            assert store.stats()["misses"] == 1
+            assert store.stats()["hits"] == 0
+
+    @pytest.mark.parametrize("status", ["timeout", "failed", "crashed", None])
+    def test_refuses_non_deterministic_statuses(self, store_path, status):
+        with SqliteStore(store_path) as store:
+            assert store.put("fp-1", {"status": status}) is False
+            assert len(store) == 0
+
+    def test_stored_statuses_match_cacheable_set(self):
+        assert STORED_STATUSES == frozenset({"ok", "degraded"})
+
+    def test_checksum_mismatch_drops_row(self, store_path):
+        with SqliteStore(store_path) as store:
+            store.put("fp-1", {"status": "ok", "is_optimal": True})
+        # Tamper with the payload behind the store's back.
+        connection = sqlite3.connect(store_path)
+        connection.execute(
+            "UPDATE results SET payload = ? WHERE fingerprint = ?",
+            (json.dumps({"status": "ok", "is_optimal": False}), "fp-1"),
+        )
+        connection.commit()
+        connection.close()
+        with SqliteStore(store_path) as store:
+            assert store.get("fp-1") is None
+            assert store.stats()["dropped"] == 1
+            assert len(store) == 0  # the corrupt row is gone for good
+
+    def test_tampered_status_is_not_served(self, store_path):
+        with SqliteStore(store_path) as store:
+            store.put("fp-1", {"status": "ok"})
+        connection = sqlite3.connect(store_path)
+        bad = json.dumps({"status": "timeout"}, sort_keys=True)
+        import hashlib
+
+        connection.execute(
+            "UPDATE results SET payload = ?, checksum = ? "
+            "WHERE fingerprint = ?",
+            (bad, hashlib.sha256(bad.encode()).hexdigest(), "fp-1"),
+        )
+        connection.commit()
+        connection.close()
+        with SqliteStore(store_path) as store:
+            assert store.get("fp-1") is None
+            assert store.stats()["dropped"] == 1
+
+    def test_torn_file_healed_on_open(self, store_path):
+        store_path.write_bytes(b"this is not a sqlite database\x00\xff" * 64)
+        with SqliteStore(store_path) as store:
+            assert store.healed is True
+            assert store.stats()["healed"] is True
+            # The damaged bytes are quarantined, not destroyed.
+            quarantine = store_path.with_name(store_path.name + ".corrupt")
+            assert quarantine.exists()
+            assert b"not a sqlite database" in quarantine.read_bytes()
+            # And the fresh store works immediately.
+            assert store.put("fp-1", {"status": "ok"}) is True
+            assert store.get("fp-1") == {"status": "ok"}
+
+    def test_healthy_open_does_not_heal(self, store_path):
+        with SqliteStore(store_path) as store:
+            assert store.healed is False
+
+    def test_closed_store_raises(self, store_path):
+        store = SqliteStore(store_path)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(UsageError):
+            store.get("fp-1")
+        with pytest.raises(UsageError):
+            store.put("fp-1", {"status": "ok"})
+        assert len(store) == 0
+
+    def test_put_overwrites(self, store_path):
+        with SqliteStore(store_path) as store:
+            store.put("fp-1", {"status": "ok", "attempts": 1})
+            store.put("fp-1", {"status": "ok", "attempts": 2})
+            assert store.get("fp-1")["attempts"] == 2
+            assert len(store) == 1
+
+    def test_negative_busy_timeout_rejected(self, store_path):
+        with pytest.raises(UsageError):
+            SqliteStore(store_path, busy_timeout=-1)
+
+
+class TestServiceIntegration:
+    def _service(self, store):
+        return RepairService(ServiceConfig(), store=store)
+
+    def _job(self, optimal=True):
+        prioritizing, opt, non_opt = simple_problem_bundle(
+            single_fd_schema()
+        )
+        return RepairJob(
+            job_id="j1",
+            prioritizing=prioritizing,
+            candidate=opt if optimal else non_opt,
+        )
+
+    def test_second_service_instance_answers_from_store(self, store_path):
+        with SqliteStore(store_path) as store:
+            first = self._service(store)
+            cold = first.run_job(self._job())
+            assert cold.status == "ok"
+            assert cold.cache_hit is False
+        # A new process (modelled by a new service over a reopened
+        # store) starts with a cold LRU but a warm durable tier.
+        with SqliteStore(store_path) as store:
+            second = self._service(store)
+            warm = second.run_job(self._job())
+            assert warm.cache_hit is True
+            assert warm.is_optimal == cold.is_optimal
+            assert warm.fingerprint == cold.fingerprint
+            assert store.stats()["hits"] == 1
+
+    def test_store_hit_rewarms_the_lru(self, store_path):
+        with SqliteStore(store_path) as store:
+            service = self._service(store)
+            service.run_job(self._job())
+        with SqliteStore(store_path) as store:
+            service = self._service(store)
+            service.run_job(self._job())  # store hit, warms LRU
+            service.run_job(self._job())  # pure LRU hit
+            assert store.stats()["hits"] == 1
+            counters = service.metrics.snapshot()["counters"]
+            assert counters["store.hits"] == 1
+            assert counters["cache.hits"] == 1
+
+    def test_metrics_expose_store_snapshot(self, store_path):
+        with SqliteStore(store_path) as store:
+            service = self._service(store)
+            service.run_job(self._job())
+            snapshot = service._metrics_snapshot()
+            assert snapshot["result_store"]["puts"] == 1
+            assert snapshot["result_store"]["path"] == str(store_path)
+
+    def test_serviced_verdicts_identical_with_and_without_store(
+        self, store_path
+    ):
+        bare = RepairService(ServiceConfig())
+        cold = bare.run_job(self._job(optimal=False))
+        with SqliteStore(store_path) as store:
+            stored_service = self._service(store)
+            stored_service.run_job(self._job(optimal=False))
+            replayed = self._service(store).run_job(self._job(optimal=False))
+        for result in (replayed,):
+            assert result.is_optimal == cold.is_optimal
+            assert result.reason == cold.reason
+            assert result.semantics == cold.semantics
