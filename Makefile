@@ -1,8 +1,8 @@
 # Convenience targets for the repro repository.
 
 .PHONY: install test lint lint-program typecheck coverage bench bench-tables \
-	service-bench perf perf-large perf-compute perf-serve chaos fleet-chaos \
-	examples all clean
+	service-bench perf perf-large perf-compute perf-serve perf-workload \
+	tpch-smoke chaos fleet-chaos examples all clean
 
 install:
 	pip install -e .
@@ -110,6 +110,47 @@ perf-compute:
 # low rates only over short windows (CI smoke).
 perf-serve:
 	PYTHONPATH=src python benchmarks/bench_serve_load.py $(if $(QUICK),--quick)
+
+# TPC-H-scale workload pipeline: generation + injection + streaming
+# sqlite load, kernel indexing, and manifest-conformant checking at
+# two scale factors x two injection rates; writes BENCH_workload.json
+# and fails on >25% throughput regression vs the committed numbers or
+# on any manifest-conformance failure.  QUICK=1 runs the smallest
+# scale factor only (CI smoke).
+perf-workload:
+	PYTHONPATH=src python benchmarks/bench_tpch_workload.py $(if $(QUICK),--quick)
+
+# Workload smoke: the full CLI pipeline at a tiny scale factor
+# (generate -> inject at two rates -> check -> repair, every verdict
+# cross-checked against the injection manifest) plus the streaming
+# loader-equivalence suites.  Bounded by timeout so a wedged loader
+# cannot hang CI.
+tpch-smoke:
+	rm -rf /tmp/repro-tpch-smoke && mkdir -p /tmp/repro-tpch-smoke
+	PYTHONPATH=src timeout 120 python -m repro.cli workload generate \
+		--sf 0.01 --seed 5 --out /tmp/repro-tpch-smoke/clean > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload check \
+		/tmp/repro-tpch-smoke/clean > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload inject \
+		--sf 0.01 --seed 5 --rate 0.005 \
+		--out /tmp/repro-tpch-smoke/low > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload inject \
+		--sf 0.01 --seed 5 --rate 0.05 \
+		--out /tmp/repro-tpch-smoke/high > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload check \
+		/tmp/repro-tpch-smoke/low > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload check \
+		/tmp/repro-tpch-smoke/high > /dev/null
+	PYTHONPATH=src timeout 120 python -m repro.cli workload repair \
+		/tmp/repro-tpch-smoke/high > /dev/null
+	PYTHONPATH=src timeout 180 python -m repro.cli workload e2e \
+		--sf 0.01 --seed 5 --rate 0.02 > /dev/null
+	PYTHONPATH=src timeout 300 python -m pytest \
+		tests/engine/test_streaming.py \
+		tests/workloads/test_tpch.py \
+		tests/workloads/test_injection.py \
+		tests/properties/test_streaming_equivalence.py -q
+	@echo "tpch smoke clean"
 
 examples:
 	for script in examples/*.py; do \

@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the TPC-H-scale workload pipeline.
+
+Measures the three stages every large-instance run pays, per
+``(scale factor, injection rate)`` cell:
+
+* **load** — generating the corrupted TPC-H streams
+  (:mod:`repro.workloads.tpch` through
+  :func:`repro.workloads.injection.iter_injected_rows`) and ingesting
+  them chunk by chunk into the sqlite-backed
+  :class:`~repro.engine.streaming.StreamingInstanceStore`;
+* **index** — the SQL-side conflict scan plus chunked construction of
+  the conflict kernel's
+  :class:`~repro.core.bitset_index.BitsetConflictIndex`;
+* **check** — certifying the all-trusted kernel candidate as globally
+  optimal under the manifest's two-tier priority.
+
+Every cell also *verifies itself*: the loader's conflict pairs must
+equal the injection manifest's pairs exactly, and the certified verdict
+must agree with the manifest's ground truth (the all-trusted candidate
+is the unique globally optimal repair).  A throughput number from a run
+whose verdicts are wrong is meaningless, so conformance failures fail
+the benchmark before any regression math.
+
+Results land in ``BENCH_workload.json``.  Regression guard (the
+standard >25% rule): against the committed file, the run fails when
+the geomean load throughput (rows/s) or geomean check throughput
+(kernel facts/s) across matched cells drops more than
+``--regression-tolerance`` below the committed values; per-cell
+numbers are recorded but not individually guarded, because they swing
+with shared-runner noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tpch_workload.py [--quick]
+
+or ``make perf-workload`` / ``make perf-workload QUICK=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.checking import check_globally_optimal  # noqa: E402
+from repro.engine.streaming import StreamingInstanceStore  # noqa: E402
+from repro.workloads.injection import (  # noqa: E402
+    InjectedConflict,
+    InjectionManifest,
+    iter_injected_rows,
+    tiered_prioritizing,
+)
+from repro.workloads.tpch import (  # noqa: E402
+    generate_tables,
+    tpch_schema,
+)
+
+SEED = 7
+
+#: (scale factors, injection rates) per mode.  The full matrix spans
+#: two orders of magnitude of instance size — sf 1.0 is the ~10^6-
+#: lineitem tier the streaming loader exists for.
+FULL_SCALE_FACTORS = [0.1, 1.0]
+FULL_RATES = [0.001, 0.01]
+QUICK_SCALE_FACTORS = [0.01]
+QUICK_RATES = [0.005, 0.02]
+
+
+def run_cell(scale_factor: float, rate: float, seed: int) -> dict:
+    """Load, index, and check one workload cell; self-verifying."""
+    schema = tpch_schema()
+    tables = generate_tables(scale_factor, seed)
+
+    start = time.perf_counter()
+    store = StreamingInstanceStore(schema)
+    conflicts: List[InjectedConflict] = []
+    for relation in sorted(tables):
+        fd = next(
+            fd for fd in sorted(schema.fds_for(relation).fds, key=str)
+            if not fd.is_trivial()
+        )
+        sink: List[InjectedConflict] = []
+        store.ingest_rows(
+            relation,
+            iter_injected_rows(
+                relation, fd, tables[relation](), rate, seed, sink
+            ),
+        )
+        conflicts.extend(sink)
+    load_s = time.perf_counter() - start
+    manifest = InjectionManifest(
+        rate=rate,
+        seed=seed,
+        relations=tuple(sorted(tables)),
+        conflicts=conflicts,
+    )
+    facts = store.fact_count()
+
+    start = time.perf_counter()
+    index = store.build_bitset_index()
+    kernel = index.instance
+    index_s = time.perf_counter() - start
+
+    pairs_ok = store.conflict_pairs() == manifest.conflict_pairs()
+
+    prioritizing = tiered_prioritizing(schema, kernel, manifest)
+    trusted = kernel.subinstance(
+        kernel.facts - manifest.injected_facts()
+    )
+    # Median of three: kernel checks finish in milliseconds, where a
+    # single perf_counter sample is scheduler noise.
+    samples = []
+    for _ in range(3):
+        start = time.perf_counter()
+        verdict = check_globally_optimal(prioritizing, trusted)
+        samples.append(time.perf_counter() - start)
+    check_s = sorted(samples)[1]
+    store.close()
+
+    kernel_facts = len(kernel.facts)
+    return {
+        "scale_factor": scale_factor,
+        "rate": rate,
+        "seed": seed,
+        "facts": facts,
+        "injected_conflicts": len(manifest),
+        "kernel_facts": kernel_facts,
+        "load_s": load_s,
+        "index_s": index_s,
+        "check_s": check_s,
+        "load_rows_per_s": facts / load_s,
+        "check_facts_per_s": (
+            kernel_facts / check_s if check_s > 0 else None
+        ),
+        "pairs_match_manifest": pairs_ok,
+        "trusted_is_optimal": verdict.is_optimal,
+        "conformant": pairs_ok and verdict.is_optimal,
+    }
+
+
+def geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def entry_key(entry: dict) -> Tuple:
+    return (entry["scale_factor"], entry["rate"], entry["seed"])
+
+
+#: Committed check timings below this are noise-dominated (a 2.4k-fact
+#: kernel certifies in ~30 ms) and excluded from the throughput guard.
+MIN_GUARDED_CHECK_S = 0.05
+
+#: Same for load: quick-mode cells ingest ~13k rows in well under a
+#: second, where process startup and page-cache state dominate.  Only
+#: the full matrix's multi-second loads carry a stable signal.
+MIN_GUARDED_LOAD_S = 5.0
+
+
+def compare_to_committed(
+    entries: List[dict], committed: dict, tolerance: float
+) -> List[str]:
+    """Regression messages against the committed run.
+
+    Guarded at the *geomean across matched cells*, not per cell:
+    single-cell load throughput swings ±40% run to run on shared
+    hardware (sqlite page-cache pressure, CPU contention), while the
+    matrix-wide geomean is stable — the same discipline
+    ``bench_serve_load.py`` applies to its noisy p99.  Cells whose
+    committed timing is under :data:`MIN_GUARDED_CHECK_S` /
+    :data:`MIN_GUARDED_LOAD_S` are excluded entirely: a 30 ms check or
+    a sub-second load regresses by scheduler jitter alone, so quick
+    mode's gate is the conformance cross-check, not throughput.
+    """
+    failures = []
+    committed_by_key = {
+        entry_key(e): e for e in committed.get("entries", [])
+    }
+    for metric, unit, eligible in (
+        (
+            "load_rows_per_s",
+            "rows/s",
+            lambda old: old.get("load_s", 0) >= MIN_GUARDED_LOAD_S,
+        ),
+        (
+            "check_facts_per_s",
+            "facts/s",
+            lambda old: old.get("check_s", 0) >= MIN_GUARDED_CHECK_S,
+        ),
+    ):
+        new_values, old_values = [], []
+        for entry in entries:
+            old = committed_by_key.get(entry_key(entry))
+            if old is None or not eligible(old):
+                continue
+            new_value, old_value = entry.get(metric), old.get(metric)
+            if not new_value or not old_value:
+                continue
+            new_values.append(new_value)
+            old_values.append(old_value)
+        if not new_values:
+            continue
+        new_geomean, old_geomean = geomean(new_values), geomean(old_values)
+        floor = (1.0 - tolerance) * old_geomean
+        if new_geomean < floor:
+            failures.append(
+                f"{metric} geomean over {len(new_values)} cell(s) "
+                f"{new_geomean:,.0f} {unit} fell below {floor:,.0f} "
+                f"(committed {old_geomean:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smallest scale factor only (CI smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_workload.json",
+        help="where to write the results",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed results to regress against (default: the "
+        "pre-existing --output file, when present)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the regression comparison (first-run bootstrap)",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed per-cell throughput drop vs the committed run",
+    )
+    args = parser.parse_args(argv)
+
+    scale_factors = (
+        QUICK_SCALE_FACTORS if args.quick else FULL_SCALE_FACTORS
+    )
+    rates = QUICK_RATES if args.quick else FULL_RATES
+
+    baseline_path = args.baseline or args.output
+    committed = None
+    if not args.no_compare and baseline_path.exists():
+        committed = json.loads(baseline_path.read_text())
+
+    entries = []
+    for scale_factor in scale_factors:
+        for rate in rates:
+            entry = run_cell(scale_factor, rate, SEED)
+            entries.append(entry)
+            print(
+                f"sf={scale_factor:<5} rate={rate:<6} "
+                f"facts={entry['facts']:>9,} "
+                f"kernel={entry['kernel_facts']:>7,} "
+                f"load={entry['load_rows_per_s']:>9,.0f} rows/s  "
+                f"index={entry['index_s']:6.2f}s  "
+                f"check={entry['check_s']:6.3f}s  "
+                f"conformant={entry['conformant']}"
+            )
+
+    # Merge this run's cells into the committed file by key, so a quick
+    # run refreshes its cells without discarding the full matrix.
+    merged = {}
+    if committed is not None:
+        for entry in committed.get("entries", []):
+            merged[entry_key(entry)] = entry
+    for entry in entries:
+        merged[entry_key(entry)] = entry
+    merged_entries = [merged[key] for key in sorted(merged)]
+    report = {
+        "version": 1,
+        "generated_by": "benchmarks/bench_tpch_workload.py",
+        "quick": args.quick,
+        "config": {
+            "scale_factors": scale_factors,
+            "rates": rates,
+            "seed": SEED,
+        },
+        "entries": merged_entries,
+        "geomean_load_rows_per_s": geomean(
+            [e["load_rows_per_s"] for e in entries]
+        ),
+        "python": sys.version.split()[0],
+    }
+
+    failures = []
+    non_conformant = [e for e in entries if not e["conformant"]]
+    if non_conformant:
+        failures.append(
+            f"{len(non_conformant)} cell(s) failed the manifest "
+            "conformance cross-check"
+        )
+    if committed is not None:
+        failures.extend(
+            compare_to_committed(
+                entries, committed, args.regression_tolerance
+            )
+        )
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"all {len(entries)} cell(s) conformant; geomean load throughput "
+        f"{report['geomean_load_rows_per_s']:,.0f} rows/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

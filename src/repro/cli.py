@@ -47,6 +47,17 @@ Subcommands
     ``--queue-limit`` with explicit ``overloaded`` errors; SIGINT or
     SIGTERM drains gracefully (in-flight checks finish, the
     ``--journal`` is flushed, a final metrics snapshot is printed).
+``repro workload generate|inject|check|repair|e2e``
+    The TPC-H-scale workload pipeline (:mod:`repro.workloads.tpch`,
+    :mod:`repro.workloads.injection`, :mod:`repro.engine.streaming`):
+    ``generate`` writes clean ``.tbl`` tables at a scale factor and
+    seed; ``inject`` additionally corrupts them at a seeded rate and
+    writes the conflict manifest; ``check`` streams a written workload
+    through the sqlite loader and cross-checks the discovered conflicts
+    against the manifest; ``repair`` computes and certifies an optimal
+    repair of the conflict kernel under the manifest's two-tier
+    priority; ``e2e`` runs the whole pipeline in one pass without
+    touching disk for the tables.
 ``repro lint --format json src``
     Run the project-invariant AST linter (rules RL001-RL008; see
     :mod:`repro.devtools.lint` and ``docs/lint_rules.md``); all
@@ -61,7 +72,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.classification import classify_ccp_schema, classify_schema
 
@@ -515,6 +526,318 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- the TPC-H-scale workload pipeline ---------------------------------------
+
+
+def _workload_store(args: argparse.Namespace):
+    """A streaming store at ``--store`` (default: in-memory sqlite)."""
+    from repro.engine.streaming import StreamingInstanceStore
+    from repro.workloads.tpch import tpch_schema
+
+    return StreamingInstanceStore(
+        tpch_schema(), path=args.store or ":memory:"
+    )
+
+
+def _workload_ingest_dir(store, directory: Path) -> Dict[str, int]:
+    """Ingest every ``<relation>.tbl`` under ``directory``; counts per
+    relation, in sorted order."""
+    from repro.workloads.tpch import TPCH_RELATIONS, converters_for
+
+    counts: Dict[str, int] = {}
+    for relation in sorted(TPCH_RELATIONS):
+        path = directory / f"{relation}.tbl"
+        if path.exists():
+            counts[relation] = store.ingest_tbl(
+                relation, path, converters_for(relation)
+            )
+    if not counts:
+        raise UsageError(f"no .tbl tables found under {directory}")
+    return counts
+
+
+def _workload_manifest(directory: Path):
+    from repro.workloads.injection import InjectionManifest
+
+    path = directory / "manifest.json"
+    if not path.exists():
+        return None
+    return InjectionManifest.from_json(path.read_text())
+
+
+def _workload_cross_check(store, manifest) -> Dict[str, Any]:
+    """The manifest conformance verdict: the loader's SQL-side conflict
+    pairs must be exactly the manifest's injected pairs."""
+    found = store.conflict_pairs()
+    expected = manifest.conflict_pairs()
+    return {
+        "manifest_conflicts": len(manifest),
+        "found_conflict_pairs": len(found),
+        "pairs_match_manifest": found == expected,
+        "missing_pairs": len(expected - found),
+        "unexpected_pairs": len(found - expected),
+    }
+
+
+def _workload_certifier(semantics: str):
+    from repro.core.checking import (
+        check_completion_optimal,
+        check_globally_optimal,
+        check_pareto_optimal,
+    )
+
+    return {
+        "global": check_globally_optimal,
+        "pareto": check_pareto_optimal,
+        "completion": check_completion_optimal,
+    }[semantics]
+
+
+def _workload_report(report: Dict[str, Any], args: argparse.Namespace) -> None:
+    import json
+
+    text = json.dumps(report, sort_keys=True, indent=2)
+    print(text)
+    if getattr(args, "json", None):
+        Path(args.json).write_text(text + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+
+
+def _cmd_workload_generate(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch import generate_tables, write_tbl
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    tables = generate_tables(args.sf, args.seed, args.relations or None)
+    counts = {}
+    for relation in sorted(tables):
+        counts[relation] = write_tbl(
+            tables[relation](), out / f"{relation}.tbl"
+        )
+    _workload_report(
+        {
+            "action": "generate",
+            "scale_factor": args.sf,
+            "seed": args.seed,
+            "out": str(out),
+            "rows": counts,
+        },
+        args,
+    )
+    return 0
+
+
+def _cmd_workload_inject(args: argparse.Namespace) -> int:
+    from repro.workloads.injection import (
+        InjectedConflict,
+        InjectionManifest,
+        iter_injected_rows,
+    )
+    from repro.workloads.tpch import generate_tables, tpch_schema, write_tbl
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    schema = tpch_schema()
+    tables = generate_tables(args.sf, args.seed, args.relations or None)
+    fds = {
+        relation: next(
+            fd for fd in sorted(schema.fds_for(relation).fds, key=str)
+            if not fd.is_trivial()
+        )
+        for relation in tables
+    }
+    # Single pass per relation: the corrupted stream goes straight to
+    # disk while its sink collects the manifest entries — the injector
+    # never materializes a table.
+    counts: Dict[str, int] = {}
+    conflicts: List[InjectedConflict] = []
+    for relation in sorted(tables):
+        sink: List[InjectedConflict] = []
+        counts[relation] = write_tbl(
+            iter_injected_rows(
+                relation,
+                fds[relation],
+                tables[relation](),
+                args.rate,
+                args.seed,
+                sink,
+            ),
+            out / f"{relation}.tbl",
+        )
+        conflicts.extend(sink)
+    manifest = InjectionManifest(
+        rate=args.rate,
+        seed=args.seed,
+        relations=tuple(sorted(tables)),
+        conflicts=conflicts,
+    )
+    (out / "manifest.json").write_text(manifest.to_json())
+    _workload_report(
+        {
+            "action": "inject",
+            "scale_factor": args.sf,
+            "seed": args.seed,
+            "rate": args.rate,
+            "out": str(out),
+            "rows": counts,
+            "injected_conflicts": len(manifest),
+            "conflicts_by_relation": manifest.counts_by_relation(),
+        },
+        args,
+    )
+    return 0
+
+
+def _cmd_workload_check(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    manifest = _workload_manifest(directory)
+    with _workload_store(args) as store:
+        counts = _workload_ingest_dir(store, directory)
+        report: Dict[str, Any] = {
+            "action": "check",
+            "dir": str(directory),
+            "rows": counts,
+            "facts": store.fact_count(),
+            "consistent": store.is_consistent(),
+            "violating_groups": store.conflict_summary(),
+        }
+        ok = True
+        if manifest is None:
+            report["manifest"] = None
+            ok = report["consistent"]
+        else:
+            cross = _workload_cross_check(store, manifest)
+            report["manifest"] = cross
+            ok = cross["pairs_match_manifest"]
+        report["ok"] = ok
+    _workload_report(report, args)
+    return 0 if ok else 1
+
+
+def _cmd_workload_repair(args: argparse.Namespace) -> int:
+    import random as random_module
+
+    from repro.compute import compute_optimal_repair
+    from repro.workloads.injection import tiered_prioritizing
+
+    directory = Path(args.dir)
+    manifest = _workload_manifest(directory)
+    if manifest is None:
+        raise UsageError(
+            f"{directory} has no manifest.json — `repro workload repair` "
+            "repairs injected workloads (run `repro workload inject`)"
+        )
+    with _workload_store(args) as store:
+        _workload_ingest_dir(store, directory)
+        kernel = store.conflict_kernel()
+        prioritizing = tiered_prioritizing(store.schema, kernel, manifest)
+        computed = compute_optimal_repair(
+            prioritizing,
+            semantics=args.semantics,
+            rng=random_module.Random(args.seed),
+        )
+        certified = _workload_certifier(args.semantics)(
+            prioritizing, computed.repair
+        )
+        expected = kernel.facts - manifest.injected_facts()
+        report = {
+            "action": "repair",
+            "dir": str(directory),
+            "facts": store.fact_count(),
+            "kernel_facts": len(kernel.facts),
+            "semantics": args.semantics,
+            "repair_keeps": len(computed.repair),
+            "status": computed.status,
+            "method": computed.method,
+            "certified_optimal": certified.is_optimal,
+            "repair_is_all_trusted": computed.repair.facts == expected,
+        }
+        ok = (
+            computed.status == "ok"
+            and certified.is_optimal
+            and report["repair_is_all_trusted"]
+        )
+        report["ok"] = ok
+    _workload_report(report, args)
+    return 0 if ok else 1
+
+
+def _cmd_workload_e2e(args: argparse.Namespace) -> int:
+    """Generate → inject → load → check → repair, no table files."""
+    import random as random_module
+
+    from repro.compute import compute_optimal_repair
+    from repro.workloads.injection import (
+        InjectedConflict,
+        InjectionManifest,
+        iter_injected_rows,
+        tiered_prioritizing,
+    )
+    from repro.workloads.tpch import generate_tables, tpch_schema
+
+    schema = tpch_schema()
+    tables = generate_tables(args.sf, args.seed, args.relations or None)
+    conflicts: List[InjectedConflict] = []
+    with _workload_store(args) as store:
+        counts: Dict[str, int] = {}
+        for relation in sorted(tables):
+            fd = next(
+                fd for fd in sorted(schema.fds_for(relation).fds, key=str)
+                if not fd.is_trivial()
+            )
+            sink: List[InjectedConflict] = []
+            counts[relation] = store.ingest_rows(
+                relation,
+                iter_injected_rows(
+                    relation, fd, tables[relation](), args.rate,
+                    args.seed, sink,
+                ),
+            )
+            conflicts.extend(sink)
+        manifest = InjectionManifest(
+            rate=args.rate,
+            seed=args.seed,
+            relations=tuple(sorted(tables)),
+            conflicts=conflicts,
+        )
+        cross = _workload_cross_check(store, manifest)
+        kernel = store.conflict_kernel()
+        prioritizing = tiered_prioritizing(schema, kernel, manifest)
+        computed = compute_optimal_repair(
+            prioritizing,
+            semantics=args.semantics,
+            rng=random_module.Random(args.seed),
+        )
+        certified = _workload_certifier(args.semantics)(
+            prioritizing, computed.repair
+        )
+        expected = kernel.facts - manifest.injected_facts()
+        report = {
+            "action": "e2e",
+            "scale_factor": args.sf,
+            "seed": args.seed,
+            "rate": args.rate,
+            "rows": counts,
+            "facts": store.fact_count(),
+            "consistent": store.is_consistent(),
+            "manifest": cross,
+            "kernel_facts": len(kernel.facts),
+            "semantics": args.semantics,
+            "repair_keeps": len(computed.repair),
+            "certified_optimal": certified.is_optimal,
+            "repair_is_all_trusted": computed.repair.facts == expected,
+        }
+        ok = (
+            cross["pairs_match_manifest"]
+            and computed.status == "ok"
+            and certified.is_optimal
+            and report["repair_is_all_trusted"]
+        )
+        report["ok"] = ok
+    _workload_report(report, args)
+    return 0 if ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import main as lint_main
 
@@ -800,6 +1123,108 @@ def build_parser() -> argparse.ArgumentParser:
         "verdicts and cache keys are backend-invariant",
     )
     daemon.set_defaults(handler=_cmd_serve)
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="generate, corrupt, load, and repair TPC-H-scale workloads",
+        description="The TPC-H-scale workload pipeline: a synthetic "
+        "benchmark-shaped generator (repro.workloads.tpch), a seeded "
+        "FD-violation injector with a full conflict manifest "
+        "(repro.workloads.injection), and the sqlite-backed streaming "
+        "loader (repro.engine.streaming) that checks and repairs the "
+        "result in bounded memory.",
+    )
+    workload_actions = workload.add_subparsers(
+        dest="workload_action", required=True
+    )
+
+    def _workload_common(sub, needs_rate: bool) -> None:
+        sub.add_argument(
+            "--sf",
+            type=float,
+            default=0.01,
+            help="scale factor (1.0 ~ 10^6 lineitem rows; default 0.01)",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        if needs_rate:
+            sub.add_argument(
+                "--rate",
+                type=float,
+                default=0.01,
+                help="per-row injection probability in [0, 1)",
+            )
+        sub.add_argument(
+            "--relations",
+            nargs="*",
+            default=None,
+            help="restrict to these relations (default: all eight)",
+        )
+
+    w_generate = workload_actions.add_parser(
+        "generate", help="write clean .tbl tables"
+    )
+    _workload_common(w_generate, needs_rate=False)
+    w_generate.add_argument("--out", required=True, help="output directory")
+    w_generate.add_argument("--json", help="also write the report JSON here")
+    w_generate.set_defaults(handler=_cmd_workload_generate)
+
+    w_inject = workload_actions.add_parser(
+        "inject",
+        help="write corrupted .tbl tables plus the conflict manifest",
+    )
+    _workload_common(w_inject, needs_rate=True)
+    w_inject.add_argument("--out", required=True, help="output directory")
+    w_inject.add_argument("--json", help="also write the report JSON here")
+    w_inject.set_defaults(handler=_cmd_workload_inject)
+
+    w_check = workload_actions.add_parser(
+        "check",
+        help="stream a written workload through the loader and "
+        "cross-check its conflicts against the manifest",
+    )
+    w_check.add_argument("dir", help="directory holding .tbl tables")
+    w_check.add_argument(
+        "--store",
+        help="back the streaming loader with this sqlite file "
+        "(default: in-memory)",
+    )
+    w_check.add_argument("--json", help="also write the report JSON here")
+    w_check.set_defaults(handler=_cmd_workload_check)
+
+    w_repair = workload_actions.add_parser(
+        "repair",
+        help="compute and certify an optimal repair of the conflict "
+        "kernel under the manifest's two-tier priority",
+    )
+    w_repair.add_argument("dir", help="directory holding .tbl + manifest")
+    w_repair.add_argument(
+        "--semantics",
+        choices=["global", "pareto", "completion"],
+        default="global",
+    )
+    w_repair.add_argument("--seed", type=int, default=0)
+    w_repair.add_argument(
+        "--store", help="sqlite file for the loader (default: in-memory)"
+    )
+    w_repair.add_argument("--json", help="also write the report JSON here")
+    w_repair.set_defaults(handler=_cmd_workload_repair)
+
+    w_e2e = workload_actions.add_parser(
+        "e2e",
+        help="generate, inject, load, check, and repair in one pass "
+        "without table files",
+    )
+    _workload_common(w_e2e, needs_rate=True)
+    w_e2e.add_argument(
+        "--semantics",
+        choices=["global", "pareto", "completion"],
+        default="global",
+    )
+    w_e2e.add_argument(
+        "--store", help="sqlite file for the loader (default: in-memory)"
+    )
+    w_e2e.add_argument("--json", help="also write the report JSON here")
+    w_e2e.set_defaults(handler=_cmd_workload_e2e)
 
     lint = subparsers.add_parser(
         "lint",

@@ -67,6 +67,28 @@ class FactInterner:
         }
         self._nbytes = (len(facts) + 7) // 8
 
+    @classmethod
+    def _from_sorted(cls, facts: Iterable[Fact]) -> "FactInterner":
+        """Trusted constructor: ``facts`` already distinct and in
+        ``str``-sorted order.
+
+        The streaming loader feeds facts chunk by chunk straight out of
+        its sqlite backing store, whose scan order is exactly the
+        ``str`` sort this class would otherwise re-establish; skipping
+        the redundant O(n log n) pass (and the intermediate list) keeps
+        chunked interner construction single-scan.  Callers must
+        guarantee the order — the ids assigned here must equal the ones
+        ``FactInterner(instance)`` would assign, and every bitset-
+        backend mask depends on that.
+        """
+        interner = cls.__new__(cls)
+        interner._facts = tuple(facts)
+        interner._ids = {
+            fact: fid for fid, fact in enumerate(interner._facts)
+        }
+        interner._nbytes = (len(interner._facts) + 7) // 8
+        return interner
+
     def __len__(self) -> int:
         return len(self._facts)
 

@@ -3,6 +3,9 @@
 :class:`Database` holds possibly-inconsistent data and priority
 declarations; :class:`RepairManager` seals it and answers the
 repair-theoretic questions (check / enumerate / clean).
+:class:`StreamingInstanceStore` is the scale path: sqlite-backed
+chunked ingestion and SQL-side conflict analysis for instances too
+large to materialize fact-by-fact.
 """
 
 from repro.engine.csv_loader import load_csv, load_tagged_sources
@@ -14,10 +17,12 @@ from repro.engine.rules import (
     newer_timestamp,
     source_ranking,
 )
+from repro.engine.streaming import StreamingInstanceStore
 
 __all__ = [
     "Database",
     "RepairManager",
+    "StreamingInstanceStore",
     "load_csv",
     "load_tagged_sources",
     "newer_timestamp",

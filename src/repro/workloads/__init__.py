@@ -5,7 +5,10 @@ The paper is a theory paper without an empirical section, so every
 experiment in this reproduction runs on synthetic data produced here
 (documented as a substitution in DESIGN.md).  The generators model the
 paper's own motivations: conflicting sources of differing reliability
-and timestamped fact versions.
+and timestamped fact versions.  :mod:`repro.workloads.tpch` and
+:mod:`repro.workloads.injection` add the production-scale workload: a
+TPC-H-shaped benchmark generator with seeded FD-violation injection
+and a trusted/crowdsourced two-tier priority.
 """
 
 from repro.workloads.consortium import consortium_scenario, consortium_schema
@@ -19,6 +22,14 @@ from repro.workloads.graphs import (
     erdos_renyi,
     hamiltonian_graph,
     non_hamiltonian_graph,
+)
+from repro.workloads.injection import (
+    InjectedConflict,
+    InjectionManifest,
+    inject_violations,
+    iter_injected_rows,
+    manifest_priority_edges,
+    tiered_prioritizing,
 )
 from repro.workloads.priorities import (
     layered_priority,
@@ -36,6 +47,17 @@ from repro.workloads.scenarios import (
 from repro.workloads.separations import (
     separation_instance,
     separation_schema,
+)
+from repro.workloads.tpch import (
+    TPCH_RELATIONS,
+    converters_for,
+    generate_tables,
+    iter_relation,
+    read_tbl,
+    sample_conflict_neighborhoods,
+    table_sizes,
+    tpch_schema,
+    write_tbl,
 )
 
 __all__ = [
@@ -59,4 +81,19 @@ __all__ = [
     "consortium_schema",
     "separation_instance",
     "separation_schema",
+    "TPCH_RELATIONS",
+    "tpch_schema",
+    "table_sizes",
+    "iter_relation",
+    "generate_tables",
+    "write_tbl",
+    "read_tbl",
+    "converters_for",
+    "sample_conflict_neighborhoods",
+    "InjectedConflict",
+    "InjectionManifest",
+    "inject_violations",
+    "iter_injected_rows",
+    "manifest_priority_edges",
+    "tiered_prioritizing",
 ]

@@ -1,0 +1,233 @@
+"""The sqlite-backed streaming loader: set semantics, deterministic
+scans, SQL-side conflict analysis, and kernel/index construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Fact, Schema
+from repro.core.bitset_index import BitsetConflictIndex
+from repro.core.instance import Instance
+from repro.core.interning import FactInterner
+from repro.engine.streaming import (
+    StreamingInstanceStore,
+    decode_value,
+    encode_value,
+    fact_sort_key,
+)
+from repro.exceptions import ReproError, UnknownRelationError, UsageError
+
+from tests.helpers import single_fd_schema
+
+#: Values that stress the cell encoding: the unit-separator concat
+#: character, quotes, unicode, numeric/string lookalikes, bools, None.
+TRICKY = [1, "1", 1.5, True, False, None, "", "a|b", "x\x1fy", 'q"\'\\', "é"]
+
+
+def two_relation_schema() -> Schema:
+    return Schema.parse(
+        {"R": 2, "S": 3}, ["R: 1 -> 2", "S: {1,2} -> 3"]
+    )
+
+
+@pytest.fixture
+def store():
+    with StreamingInstanceStore(single_fd_schema()) as s:
+        yield s
+
+
+def test_ingest_is_set_semantics(store):
+    added = store.ingest_rows("R", [(1, "a"), (1, "a"), (2, "b")])
+    assert added == 2
+    assert store.ingest_rows("R", [(1, "a"), (3, "c")]) == 1
+    assert store.fact_count() == 3
+    assert store.fact_count("R") == 3
+
+
+def test_scan_order_is_str_sorted(store):
+    rows = [(3, "z"), (1, "a"), (10, "m"), (2, "q")]
+    store.ingest_rows("R", rows)
+    facts = list(store.iter_facts())
+    assert facts == sorted(
+        (Fact("R", row) for row in rows), key=str
+    )
+
+
+def test_scan_order_independent_of_chunk_size(store):
+    store.ingest_rows("R", [(i, f"v{i}") for i in range(50)])
+    baseline = list(store.iter_facts(chunk_size=1000))
+    for chunk_size in (1, 7):
+        assert list(store.iter_facts(chunk_size=chunk_size)) == baseline
+
+
+def test_global_scan_merges_relations_in_str_order():
+    with StreamingInstanceStore(two_relation_schema()) as store:
+        store.ingest_rows("S", [(1, 2, "x")])
+        store.ingest_rows("R", [(9, "z"), (1, "a")])
+        facts = list(store.iter_facts())
+    assert facts == sorted(facts, key=str)
+    assert [fact.relation for fact in facts] == ["R", "R", "S"]
+
+
+def test_tricky_values_roundtrip(store):
+    rows = [(index, value) for index, value in enumerate(TRICKY)]
+    store.ingest_rows("R", rows)
+    assert list(store.iter_rows("R")) == sorted(
+        rows, key=lambda row: fact_sort_key("R", row)
+    )
+    # 1 and "1" stay distinct facts.
+    store.ingest_rows("R", [(99, 1), (99, "1")])
+    assert store.fact_count("R") == len(rows) + 2
+
+
+def test_encode_decode_are_inverse():
+    for value in TRICKY:
+        assert decode_value(encode_value(value)) == value
+        assert type(decode_value(encode_value(value))) is type(value)
+    with pytest.raises(UsageError):
+        encode_value((1, 2))
+
+
+def test_fact_sort_key_matches_str():
+    for values in [(1, "a"), ("x\x1fy", None), (True, 2.5)]:
+        assert fact_sort_key("R", values) == str(Fact("R", values))
+
+
+def test_arity_and_relation_validation(store):
+    with pytest.raises(UsageError):
+        store.ingest_rows("R", [(1, "a", "extra")])
+    with pytest.raises(UnknownRelationError):
+        store.ingest_rows("T", [(1,)])
+    with pytest.raises(UnknownRelationError):
+        store.fact_count("T")
+    with pytest.raises(UsageError):
+        StreamingInstanceStore(single_fd_schema(), chunk_size=0)
+
+
+def test_consistency_matches_in_memory_checker(store):
+    store.ingest_rows("R", [(1, "a"), (2, "b")])
+    assert store.is_consistent()
+    store.ingest_rows("R", [(1, "b")])
+    assert not store.is_consistent()
+    summary = store.conflict_summary()
+    assert summary == {"R: 1 -> 2": 1}
+
+
+def test_multi_column_rhs_grouping():
+    # S: {1,2} -> 3 with values engineered so naive string concat
+    # without a separator would collide ("ab"+"c" vs "a"+"bc").
+    with StreamingInstanceStore(two_relation_schema()) as store:
+        store.ingest_rows("S", [("ab", "c", 1), ("a", "bc", 2)])
+        assert store.is_consistent()
+        store.ingest_rows("S", [("ab", "c", 9)])
+        assert not store.is_consistent()
+        kernel = store.conflict_kernel()
+    assert kernel.facts == frozenset(
+        {Fact("S", ("ab", "c", 1)), Fact("S", ("ab", "c", 9))}
+    )
+
+
+def test_conflict_kernel_and_pairs(store):
+    store.ingest_rows(
+        "R", [(1, "a"), (1, "b"), (1, "c"), (2, "x"), (3, "y")]
+    )
+    kernel = store.conflict_kernel()
+    assert kernel.facts == frozenset(
+        {Fact("R", (1, "a")), Fact("R", (1, "b")), Fact("R", (1, "c"))}
+    )
+    pairs = store.conflict_pairs()
+    assert len(pairs) == 3  # the triangle of the 1-keyed block
+    index = BitsetConflictIndex(single_fd_schema(), kernel)
+    expected = frozenset(
+        frozenset((f, g)) for _, f, g in index.iter_conflicts()
+    )
+    assert pairs == expected
+
+
+def test_to_instance_matches_object_construction(store):
+    rows = [(1, "a"), (1, "b"), (2, "c")]
+    store.ingest_rows("R", rows)
+    direct = Instance(
+        single_fd_schema().signature,
+        [Fact("R", row) for row in rows],
+    )
+    assert store.to_instance() == direct
+
+
+def test_build_interner_matches_in_memory(store):
+    store.ingest_rows("R", [(i % 5, f"v{i}") for i in range(20)])
+    for chunk_size in (1, 7, 1000):
+        streamed = store.build_interner(
+            kernel_only=False, chunk_size=chunk_size
+        )
+        assert streamed.facts == FactInterner(store.to_instance()).facts
+    kernel = store.conflict_kernel()
+    assert store.build_interner().facts == FactInterner(kernel).facts
+
+
+def test_build_bitset_index_kernel_and_full(store):
+    store.ingest_rows("R", [(1, "a"), (1, "b"), (2, "c")])
+    kernel_index = store.build_bitset_index()
+    assert kernel_index.instance.facts == store.conflict_kernel().facts
+    assert not kernel_index.is_consistent()
+    full_index = store.build_bitset_index(kernel_only=False)
+    assert full_index.instance.facts == store.to_instance().facts
+    assert store.conflict_pairs() == frozenset(
+        frozenset((f, g)) for _, f, g in full_index.iter_conflicts()
+    )
+
+
+def test_ingest_tbl_and_csv_match_rows(store, tmp_path):
+    rows = [(1, "a"), (2, "b"), (3, "c|d")]
+    tbl = tmp_path / "r.tbl"
+    tbl.write_text("1|a|\n2|b|\n")
+    assert store.ingest_tbl("R", tbl, (int, str)) == 2
+    csv_path = tmp_path / "r.csv"
+    csv_path.write_text('key,value\n3,"c|d"\n')
+    assert store.ingest_csv("R", csv_path, (int, str)) == 1
+    assert list(store.iter_rows("R")) == sorted(
+        rows, key=lambda row: fact_sort_key("R", row)
+    )
+
+
+def test_ingest_tbl_errors(store, tmp_path):
+    ragged = tmp_path / "ragged.tbl"
+    ragged.write_text("1|a|b|\n")
+    with pytest.raises(UsageError):
+        store.ingest_tbl("R", ragged)
+    untyped = tmp_path / "untyped.tbl"
+    untyped.write_text("x|a|\n")
+    with pytest.raises(UsageError):
+        store.ingest_tbl("R", untyped, (int, str))
+    with pytest.raises(UsageError):
+        store.ingest_tbl("R", untyped, (int,))
+
+
+def test_file_backed_store(tmp_path):
+    path = tmp_path / "store.sqlite"
+    with StreamingInstanceStore(single_fd_schema(), path=path) as store:
+        store.ingest_rows("R", [(1, "a"), (1, "b")])
+        assert not store.is_consistent()
+    assert path.exists()
+    # Reopening sees the persisted rows (CREATE TABLE IF NOT EXISTS).
+    with StreamingInstanceStore(single_fd_schema(), path=path) as store:
+        assert store.fact_count() == 2
+
+
+def test_bad_path_raises_repro_error(tmp_path):
+    with pytest.raises(ReproError):
+        StreamingInstanceStore(
+            single_fd_schema(), path=tmp_path / "no" / "such" / "dir.db"
+        )
+
+
+def test_constant_attribute_fd_consistency():
+    schema = Schema.parse({"C": 2}, ["C: {} -> 1"])
+    with StreamingInstanceStore(schema) as store:
+        store.ingest_rows("C", [("v", 1), ("v", 2)])
+        assert store.is_consistent()
+        store.ingest_rows("C", [("w", 3)])
+        assert not store.is_consistent()
+        kernel = store.conflict_kernel()
+        assert len(kernel.facts) == 3
+        assert len(store.conflict_pairs()) == 2

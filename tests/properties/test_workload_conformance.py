@@ -1,0 +1,92 @@
+"""Oracle conformance on injected-workload neighborhoods.
+
+Random small neighborhoods (conflict blocks plus their priority
+closure, ≤ 12 facts) sampled from an injected TPC-H workload are small
+enough for the exhaustive definitional oracle
+(:mod:`repro.testing.oracle`).  On each, the production checkers must
+agree with the oracle for all three semantics, for candidates on both
+sides of the verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checking import (
+    check_completion_optimal,
+    check_globally_optimal,
+    check_pareto_optimal,
+)
+from repro.engine.streaming import StreamingInstanceStore
+from repro.testing.oracle import ORACLE_MAX_FACTS, oracle_check
+from repro.workloads.injection import inject_violations, tiered_prioritizing
+from repro.workloads.tpch import (
+    generate_tables,
+    sample_conflict_neighborhoods,
+    tpch_schema,
+)
+
+CHECKERS = {
+    "global": check_globally_optimal,
+    "pareto": check_pareto_optimal,
+    "completion": check_completion_optimal,
+}
+
+
+def _neighborhoods(count=8, seed=19):
+    schema = tpch_schema()
+    tables = generate_tables(0.005, seed)
+    injected, manifest = inject_violations(tables, schema, 0.08, seed)
+    with StreamingInstanceStore(schema) as store:
+        for relation, factory in injected.items():
+            store.ingest_rows(relation, factory())
+        kernel = store.conflict_kernel()
+    prioritizing = tiered_prioritizing(schema, kernel, manifest)
+    samples = sample_conflict_neighborhoods(
+        prioritizing, count=count, max_facts=ORACLE_MAX_FACTS, seed=seed
+    )
+    assert samples, "the injected workload must yield small components"
+    return manifest, samples
+
+
+def _candidates(sample, manifest):
+    """Candidates on both sides: the all-trusted repair, a repair with
+    one injected twin swapped in, and the inconsistent full set."""
+    facts = sample.instance.facts
+    injected = facts & manifest.injected_facts()
+    trusted = facts - injected
+    candidates = [trusted]
+    if injected:
+        twin = min(injected, key=str)
+        clean_of_twin = next(
+            conflict.clean_fact()
+            for conflict in manifest.conflicts
+            if conflict.injected_fact() == twin
+        )
+        candidates.append((trusted - {clean_of_twin}) | {twin})
+    if not sample.conflict_index.is_consistent():
+        candidates.append(facts)
+    return candidates
+
+
+@pytest.mark.parametrize("semantics", sorted(CHECKERS))
+def test_checkers_agree_with_oracle_on_sampled_neighborhoods(semantics):
+    manifest, samples = _neighborhoods()
+    checker = CHECKERS[semantics]
+    decided = 0
+    for sample in samples:
+        for candidate_facts in _candidates(sample, manifest):
+            candidate = sample.instance.subinstance(candidate_facts)
+            expected = oracle_check(sample, candidate, semantics)
+            assert checker(sample, candidate).is_optimal == expected
+            decided += 1
+    assert decided >= len(samples)
+
+
+def test_trusted_candidate_is_globally_optimal_on_every_neighborhood():
+    manifest, samples = _neighborhoods(count=10, seed=23)
+    for sample in samples:
+        trusted = sample.instance.facts - manifest.injected_facts()
+        candidate = sample.instance.subinstance(trusted)
+        assert oracle_check(sample, candidate, "global")
+        assert check_globally_optimal(sample, candidate).is_optimal

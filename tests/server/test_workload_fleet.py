@@ -1,0 +1,144 @@
+"""Fleet drill for the injected TPC-H workload: a real 2-worker
+``repro serve`` fleet answers manifest-conformant verdicts on sampled
+conflict neighborhoods.
+
+This is the scale path end to end: generate, inject, stream into the
+sqlite loader, carve the conflict kernel, sample small neighborhoods,
+and push their check jobs through the fleet's front door exactly as an
+operator's client would.  The fleet's verdicts must match the
+injection manifest's ground truth — the all-trusted repair is optimal,
+any repair keeping an injected twin over its clean original is not.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine.streaming import StreamingInstanceStore
+from repro.io import prioritizing_to_dict
+from repro.server import RepairClient
+from repro.workloads.injection import inject_violations, tiered_prioritizing
+from repro.workloads.tpch import (
+    generate_tables,
+    sample_conflict_neighborhoods,
+    tpch_schema,
+)
+
+from tests.helpers import subprocess_env
+
+pytestmark = pytest.mark.slow
+
+ANNOUNCE = re.compile(r"repro serve: listening on \('127\.0\.0\.1', (\d+)\)")
+
+SEED = 29
+
+
+def boot_fleet(state_dir) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--workers",
+            "2",
+            "--port",
+            "0",
+            "--state-dir",
+            str(state_dir),
+        ],
+        env=subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_port(process: subprocess.Popen) -> int:
+    line = process.stdout.readline()
+    match = ANNOUNCE.match(line)
+    assert match, f"unexpected announce line: {line!r}"
+    return int(match.group(1))
+
+
+def shut_down(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.kill()
+        process.communicate()
+
+
+def wire_facts(facts):
+    return [
+        {"relation": fact.relation, "values": list(fact.values)}
+        for fact in sorted(facts, key=str)
+    ]
+
+
+def workload_jobs(count=4):
+    """(problem document, trusted candidate, corrupted candidate) per
+    sampled neighborhood; ground truth comes from the manifest."""
+    schema = tpch_schema()
+    tables = generate_tables(0.005, SEED)
+    injected, manifest = inject_violations(tables, schema, 0.08, SEED)
+    with StreamingInstanceStore(schema) as store:
+        for relation, factory in injected.items():
+            store.ingest_rows(relation, factory())
+        kernel = store.conflict_kernel()
+    prioritizing = tiered_prioritizing(schema, kernel, manifest)
+    samples = sample_conflict_neighborhoods(
+        prioritizing, count=count, max_facts=12, seed=SEED
+    )
+    jobs = []
+    for sample in samples:
+        facts = sample.instance.facts
+        twins = facts & manifest.injected_facts()
+        if not twins:
+            continue
+        twin = min(twins, key=str)
+        clean_of_twin = next(
+            conflict.clean_fact()
+            for conflict in manifest.conflicts
+            if conflict.injected_fact() == twin
+        )
+        trusted = facts - manifest.injected_facts()
+        corrupted = (trusted - {clean_of_twin}) | {twin}
+        jobs.append(
+            (
+                prioritizing_to_dict(sample),
+                wire_facts(trusted),
+                wire_facts(corrupted),
+            )
+        )
+    assert jobs, "sampling must yield neighborhoods with injected twins"
+    return jobs
+
+
+def test_fleet_answers_manifest_conformant_verdicts(tmp_path):
+    jobs = workload_jobs()
+    process = boot_fleet(tmp_path / "state")
+    try:
+        port = wait_for_port(process)
+        with RepairClient(port=port, timeout=60) as client:
+            assert client.ping()["ok"]
+            for index, (problem, trusted, corrupted) in enumerate(jobs):
+                good = client.check(
+                    problem, trusted, request_id=f"trusted-{index}"
+                )
+                assert good["ok"], good
+                assert good["result"]["is_optimal"] is True
+                bad = client.check(
+                    problem, corrupted, request_id=f"corrupted-{index}"
+                )
+                assert bad["ok"], bad
+                assert bad["result"]["is_optimal"] is False
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        assert "drained cleanly" in stdout
+    finally:
+        shut_down(process)

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_schema_spec
+from repro.exceptions import UsageError
 
 
 class TestSchemaSpecParser:
@@ -60,3 +63,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count(": tractable=False") == 6
         assert out.count("ccp-tractable=False") == 4
+
+
+class TestWorkloadCommand:
+    def test_generate_then_check_clean(self, capsys, tmp_path):
+        out = tmp_path / "clean"
+        assert main(
+            ["workload", "generate", "--sf", "0.002", "--seed", "4",
+             "--out", str(out)]
+        ) == 0
+        assert (out / "lineitem.tbl").exists()
+        capsys.readouterr()
+        assert main(["workload", "check", str(out)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["consistent"] is True and report["ok"] is True
+        assert report["manifest"] is None
+
+    def test_inject_check_repair_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "injected"
+        assert main(
+            ["workload", "inject", "--sf", "0.002", "--seed", "4",
+             "--rate", "0.05", "--out", str(out)]
+        ) == 0
+        inject_report = json.loads(capsys.readouterr().out)
+        assert inject_report["injected_conflicts"] > 0
+        assert (out / "manifest.json").exists()
+        assert main(["workload", "check", str(out)]) == 0
+        check_report = json.loads(capsys.readouterr().out)
+        assert check_report["consistent"] is False
+        assert check_report["manifest"]["pairs_match_manifest"] is True
+        assert main(["workload", "repair", str(out)]) == 0
+        repair_report = json.loads(capsys.readouterr().out)
+        assert repair_report["certified_optimal"] is True
+        assert repair_report["repair_is_all_trusted"] is True
+
+    def test_e2e_writes_json_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["workload", "e2e", "--sf", "0.002", "--seed", "4",
+             "--rate", "0.05", "--json", str(report_path)]
+        ) == 0
+        capsys.readouterr()
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["manifest"]["pairs_match_manifest"] is True
+        assert report["repair_is_all_trusted"] is True
+
+    def test_repair_requires_manifest(self, tmp_path, capsys):
+        out = tmp_path / "clean"
+        assert main(
+            ["workload", "generate", "--sf", "0.002", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(UsageError):
+            main(["workload", "repair", str(out)])
